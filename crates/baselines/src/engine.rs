@@ -1,0 +1,732 @@
+//! The shared baseline file-system engine.
+//!
+//! [`BaselineFs`] provides the namespace, the host page cache, block
+//! allocation and the data-correctness path once; each baseline file system
+//! plugs in a [`PersistencePolicy`] that decides which device interface every
+//! access uses and how much metadata traffic each operation generates. This
+//! mirrors how the paper's baselines differ: not in what a file system *does*,
+//! but in how its updates reach the device.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fskit::journal::BlockJournal;
+use fskit::pagecache::{DirtyPage, PageCache};
+use fskit::path as fspath;
+use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, FsResult, Metadata, OpenFlags};
+use mssd::Mssd;
+
+use crate::common::{BlockAlloc, Ctx, PseudoLayout};
+use crate::namespace::{Namespace, ROOT_INO};
+
+/// A metadata-affecting operation a policy must persist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaOp {
+    /// A file or directory was created.
+    Create {
+        /// Parent directory inode.
+        parent: u64,
+        /// Device block holding the parent's directory entries / log.
+        parent_meta_block: u64,
+        /// The new inode.
+        ino: u64,
+        /// Whether the new object is a directory.
+        is_dir: bool,
+        /// Length of the new name in bytes.
+        name_len: usize,
+    },
+    /// A file or directory was removed.
+    Remove {
+        /// Parent directory inode.
+        parent: u64,
+        /// Device block holding the parent's directory entries / log.
+        parent_meta_block: u64,
+        /// The removed inode.
+        ino: u64,
+        /// Whether the removed object was a directory.
+        is_dir: bool,
+        /// Number of data blocks that were freed.
+        freed_blocks: usize,
+    },
+    /// An entry moved between directories.
+    Rename {
+        /// Source directory inode and its metadata block.
+        from_parent: u64,
+        /// Metadata block of the source directory.
+        from_meta_block: u64,
+        /// Destination directory inode.
+        to_parent: u64,
+        /// Metadata block of the destination directory.
+        to_meta_block: u64,
+        /// The moved inode.
+        ino: u64,
+        /// Length of the destination name.
+        name_len: usize,
+    },
+    /// An inode's size/mtime/data pointers changed (write or writeback).
+    InodeUpdate {
+        /// The inode.
+        ino: u64,
+        /// Number of data pages involved in the update.
+        pages: usize,
+    },
+    /// A file was truncated.
+    Truncate {
+        /// The inode.
+        ino: u64,
+        /// Number of data blocks that were freed.
+        freed_blocks: usize,
+    },
+}
+
+/// How one baseline file system persists metadata and data.
+///
+/// Every hook receives a [`Ctx`] giving access to the device, the pseudo
+/// layout, the block allocator and (for journaling file systems) the block
+/// journal. Hooks are called with the engine lock held, so implementations may
+/// keep interior state behind a cheap mutex without ordering concerns.
+pub trait PersistencePolicy: Send + Sync + 'static {
+    /// File-system name used in reports (e.g. `"ext4"`).
+    fn fs_name(&self) -> &'static str;
+
+    /// Whether file data flows through the host page cache (`true` for the
+    /// block-based file systems) or straight to the device (`false` for the
+    /// DAX-style byte-interface file systems).
+    fn buffered_data(&self) -> bool {
+        true
+    }
+
+    /// Whether [`PersistencePolicy::write_page`] needs the complete page
+    /// contents (copy-on-write and whole-block writers) or only the modified
+    /// ranges (in-place byte-granular writers).
+    fn needs_full_page(&self) -> bool {
+        true
+    }
+
+    /// Whether the engine should create an Ext4-style block journal for this
+    /// policy.
+    fn wants_journal(&self) -> bool {
+        false
+    }
+
+    /// Metadata read traffic generated the first time an inode is accessed.
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64);
+
+    /// Metadata read traffic generated the first time a directory is accessed.
+    fn load_dir(&self, ctx: &mut Ctx<'_>, ino: u64, meta_block: u64, entries: usize);
+
+    /// Persist the metadata effects of one namespace operation.
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp);
+
+    /// Persist one file page. `old_lba` is the block currently backing the
+    /// page (if any), `page` its full new contents (meaningful only where
+    /// `dirty` says so when [`PersistencePolicy::needs_full_page`] is false),
+    /// and `dirty` the modified byte ranges. Returns the LBA now backing the
+    /// page; out-of-place file systems return a freshly allocated one.
+    fn write_page(
+        &self,
+        ctx: &mut Ctx<'_>,
+        ino: u64,
+        file_block: u64,
+        old_lba: Option<u64>,
+        page: &[u8],
+        dirty: &[(usize, usize)],
+    ) -> u64;
+
+    /// Read `len` bytes at `offset` inside the page stored at `lba`.
+    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8>;
+
+    /// Called at the end of `fsync`/`sync` for an inode, after its data pages
+    /// were written (journal commits, ordering barriers).
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, ino: u64, synced_pages: usize);
+
+    /// Called at the end of a whole-file-system `sync` (and unmount), so
+    /// journaling file systems can commit metadata batches that no `fsync`
+    /// forced out. Defaults to a no-op.
+    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenFile {
+    ino: u64,
+    flags: OpenFlags,
+}
+
+struct EngineState {
+    ns: Namespace,
+    layout: PseudoLayout,
+    alloc: BlockAlloc,
+    journal: Option<BlockJournal>,
+    page_cache: PageCache,
+    open: HashMap<u64, OpenFile>,
+    next_fd: u64,
+    loaded_inodes: HashSet<u64>,
+    loaded_dirs: HashSet<u64>,
+    /// Per-directory metadata block (directory entries / per-inode log head).
+    meta_blocks: HashMap<u64, u64>,
+    dirty_inodes: BTreeSet<u64>,
+    seq: u64,
+}
+
+/// A baseline file system: the shared engine specialized by a persistence
+/// policy. Use the concrete aliases [`crate::Ext4Like`], [`crate::F2fsLike`],
+/// [`crate::NovaLike`] and [`crate::PmfsLike`].
+pub struct BaselineFs<P: PersistencePolicy> {
+    device: Arc<Mssd>,
+    policy: P,
+    state: Mutex<EngineState>,
+}
+
+impl<P: PersistencePolicy> std::fmt::Debug for BaselineFs<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineFs").field("fs", &self.policy.fs_name()).finish()
+    }
+}
+
+/// Host page-cache capacity used by the buffered baselines, in pages (256 MB
+/// worth of 4 KB pages, matching the ByteFS default).
+const PAGE_CACHE_PAGES: usize = 64 << 10;
+
+impl<P: PersistencePolicy> BaselineFs<P> {
+    /// Creates (formats) a baseline file system on the device.
+    pub fn with_policy(device: Arc<Mssd>, policy: P) -> Arc<Self> {
+        let layout = PseudoLayout::compute(&device);
+        let mut alloc = BlockAlloc::new(layout.data_start, layout.total_pages);
+        let journal = policy.wants_journal().then(|| {
+            BlockJournal::new(Arc::clone(&device), layout.journal_start, layout.journal_pages)
+        });
+        let mut meta_blocks = HashMap::new();
+        meta_blocks.insert(ROOT_INO, alloc.allocate().expect("room for the root directory"));
+        let page_size = device.page_size();
+        let state = EngineState {
+            ns: Namespace::new(),
+            layout,
+            alloc,
+            journal,
+            page_cache: PageCache::new(PAGE_CACHE_PAGES, page_size, false),
+            open: HashMap::new(),
+            next_fd: 3,
+            loaded_inodes: HashSet::new(),
+            loaded_dirs: HashSet::new(),
+            meta_blocks,
+            dirty_inodes: BTreeSet::new(),
+            seq: 0,
+        };
+        Arc::new(Self { device, policy, state: Mutex::new(state) })
+    }
+
+    /// The persistence policy (for tests and reports).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn with_ctx<R>(
+        &self,
+        st: &mut EngineState,
+        f: impl FnOnce(&mut Ctx<'_>, &mut Namespace, &mut PageCache) -> R,
+    ) -> R {
+        let EngineState { ns, layout, alloc, journal, page_cache, seq, .. } = st;
+        let mut ctx =
+            Ctx { device: &self.device, layout, alloc, journal: journal.as_mut(), seq };
+        f(&mut ctx, ns, page_cache)
+    }
+
+    fn touch_inode(&self, st: &mut EngineState, ino: u64) {
+        if st.loaded_inodes.insert(ino) {
+            self.with_ctx(st, |ctx, _, _| self.policy.load_inode(ctx, ino));
+        }
+    }
+
+    fn touch_dir(&self, st: &mut EngineState, ino: u64) {
+        if st.loaded_dirs.insert(ino) {
+            let meta_block = st.meta_blocks.get(&ino).copied().unwrap_or(st.layout.data_start);
+            let entries = st.ns.node(ino).map(|n| n.children.len()).unwrap_or(0);
+            self.with_ctx(st, |ctx, _, _| self.policy.load_dir(ctx, ino, meta_block, entries));
+        }
+    }
+
+    /// Resolves a path, generating metadata read traffic for every directory
+    /// and the target the first time they are touched.
+    fn resolve_touch(&self, st: &mut EngineState, path: &str) -> FsResult<u64> {
+        let comps = fspath::components(path)?;
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            self.touch_dir(st, cur);
+            let node = st.ns.node(cur)?;
+            if !node.file_type.is_dir() {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = *node
+                .children
+                .get(comp)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        self.touch_inode(st, cur);
+        Ok(cur)
+    }
+
+    fn resolve_parent_touch<'p>(
+        &self,
+        st: &mut EngineState,
+        path: &'p str,
+    ) -> FsResult<(u64, &'p str)> {
+        let (parent, name) = st.ns.resolve_parent(path)?;
+        // Touch every directory on the way for read-traffic accounting.
+        let (dirs, _) = fspath::split_parent(path)?;
+        let mut cur = ROOT_INO;
+        self.touch_dir(st, cur);
+        for comp in dirs {
+            cur = *st.ns.node(cur)?.children.get(comp).expect("resolve_parent succeeded");
+            self.touch_dir(st, cur);
+        }
+        Ok((parent, name))
+    }
+
+    fn open_file(&self, st: &EngineState, fd: Fd) -> FsResult<OpenFile> {
+        st.open.get(&fd.0).copied().ok_or(FsError::BadDescriptor(fd.0))
+    }
+
+    fn meta_block_of(&self, st: &mut EngineState, ino: u64) -> u64 {
+        if let Some(b) = st.meta_blocks.get(&ino) {
+            return *b;
+        }
+        let lba = st.alloc.allocate().unwrap_or(st.layout.data_start);
+        st.meta_blocks.insert(ino, lba);
+        lba
+    }
+
+    fn do_create(&self, st: &mut EngineState, path: &str, is_dir: bool) -> FsResult<u64> {
+        let (parent, name) = self.resolve_parent_touch(st, path)?;
+        self.touch_dir(st, parent);
+        let now = self.device.clock().now_ns();
+        let file_type = if is_dir { FileType::Directory } else { FileType::File };
+        let ino = st.ns.create(parent, name, file_type, now)?;
+        if is_dir {
+            self.meta_block_of(st, ino);
+        }
+        let parent_meta_block = self.meta_block_of(st, parent);
+        st.loaded_inodes.insert(ino);
+        if is_dir {
+            st.loaded_dirs.insert(ino);
+        }
+        let name_len = name.len();
+        let op = MetaOp::Create { parent, parent_meta_block, ino, is_dir, name_len };
+        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        Ok(ino)
+    }
+
+    fn free_node_blocks(&self, st: &mut EngineState, blocks: &BTreeMap<u64, u64>) {
+        for lba in blocks.values() {
+            st.alloc.free(*lba);
+            self.device.trim(*lba, 1);
+        }
+    }
+
+    /// Writes back one page through the policy and updates the block map.
+    fn writeback_page(
+        &self,
+        st: &mut EngineState,
+        ino: u64,
+        file_block: u64,
+        page: &[u8],
+        dirty: &[(usize, usize)],
+    ) -> FsResult<()> {
+        let old_lba = st.ns.node(ino)?.blocks.get(&file_block).copied();
+        let new_lba = self.with_ctx(st, |ctx, _, _| {
+            self.policy.write_page(ctx, ino, file_block, old_lba, page, dirty)
+        });
+        if let Some(old) = old_lba {
+            if old != new_lba {
+                st.alloc.free(old);
+                self.device.trim(old, 1);
+            }
+        }
+        st.ns.node_mut(ino)?.blocks.insert(file_block, new_lba);
+        Ok(())
+    }
+
+    /// Reads one full page of a file, via the page cache when the policy is
+    /// buffered.
+    fn read_page(&self, st: &mut EngineState, ino: u64, index: u64) -> FsResult<Vec<u8>> {
+        let page_size = st.layout.page_size;
+        let buffered = self.policy.buffered_data();
+        if buffered {
+            if let Some(p) = st.page_cache.get(ino, index) {
+                return Ok(p);
+            }
+        }
+        let lba = st.ns.node(ino)?.blocks.get(&index).copied();
+        let page = match lba {
+            Some(lba) => self
+                .with_ctx(st, |ctx, _, _| self.policy.read_range(ctx, lba, 0, page_size)),
+            None => vec![0u8; page_size],
+        };
+        if buffered && lba.is_some() {
+            st.page_cache.insert_clean(ino, index, page.clone());
+        }
+        Ok(page)
+    }
+
+    fn writeback_inode(&self, st: &mut EngineState, ino: u64, pages: Vec<DirtyPage>) -> FsResult<()> {
+        let npages = pages.len();
+        let meta_dirty = st.dirty_inodes.remove(&ino);
+        if npages == 0 && !meta_dirty {
+            return Ok(());
+        }
+        let page_size = st.layout.page_size;
+        for dp in pages {
+            self.writeback_page(st, ino, dp.index, &dp.data, &[(0, page_size)])?;
+        }
+        let op = MetaOp::InodeUpdate { ino, pages: npages };
+        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(st, |ctx, _, _| self.policy.fsync_epilogue(ctx, ino, npages));
+        Ok(())
+    }
+}
+
+impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
+    fn name(&self) -> &'static str {
+        self.policy.fs_name()
+    }
+
+    fn device(&self) -> &Arc<Mssd> {
+        &self.device
+    }
+
+    fn create(&self, path: &str) -> FsResult<Fd> {
+        let mut st = self.state.lock();
+        let ino = self.do_create(&mut st, path, false)?;
+        let fd = st.next_fd;
+        st.next_fd += 1;
+        st.open.insert(fd, OpenFile { ino, flags: OpenFlags::create_rw() });
+        Ok(Fd(fd))
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let mut st = self.state.lock();
+        let ino = match self.resolve_touch(&mut st, path) {
+            Ok(ino) => {
+                if st.ns.node(ino)?.file_type.is_dir() {
+                    return Err(FsError::IsADirectory(path.to_string()));
+                }
+                ino
+            }
+            Err(FsError::NotFound(_)) if flags.create => self.do_create(&mut st, path, false)?,
+            Err(e) => return Err(e),
+        };
+        let fd = st.next_fd;
+        st.next_fd += 1;
+        st.open.insert(fd, OpenFile { ino, flags });
+        if flags.truncate {
+            drop(st);
+            self.truncate(Fd(fd), 0)?;
+        }
+        Ok(Fd(fd))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        let mut st = self.state.lock();
+        st.open.remove(&fd.0).ok_or(FsError::BadDescriptor(fd.0))?;
+        Ok(())
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let mut st = self.state.lock();
+        let of = self.open_file(&st, fd)?;
+        let size = st.ns.node(of.ino)?.size;
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - offset) as usize);
+        let page_size = st.layout.page_size as u64;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let index = pos / page_size;
+            let in_page = (pos % page_size) as usize;
+            let span = ((page_size as usize) - in_page).min((end - pos) as usize);
+            if !self.policy.buffered_data() {
+                // DAX-style read of exactly the requested range.
+                let lba = st.ns.node(of.ino)?.blocks.get(&index).copied();
+                match lba {
+                    Some(lba) => {
+                        let bytes = self.with_ctx(&mut st, |ctx, _, _| {
+                            self.policy.read_range(ctx, lba, in_page, span)
+                        });
+                        out.extend_from_slice(&bytes);
+                    }
+                    None => out.extend(std::iter::repeat(0u8).take(span)),
+                }
+            } else {
+                let page = self.read_page(&mut st, of.ino, index)?;
+                out.extend_from_slice(&page[in_page..in_page + span]);
+            }
+            pos += span as u64;
+        }
+        Ok(out)
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let mut st = self.state.lock();
+        let of = self.open_file(&st, fd)?;
+        if !of.flags.write && !of.flags.create {
+            return Err(FsError::PermissionDenied("file not open for writing".into()));
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let offset = if of.flags.append { st.ns.node(of.ino)?.size } else { offset };
+        let page_size = st.layout.page_size as u64;
+        let ps = page_size as usize;
+        let mut pos = offset;
+        let end = offset + data.len() as u64;
+        while pos < end {
+            let index = pos / page_size;
+            let in_page = (pos % page_size) as usize;
+            let span = (ps - in_page).min((end - pos) as usize);
+            let chunk = &data[(pos - offset) as usize..(pos - offset) as usize + span];
+            if self.policy.buffered_data() {
+                if st.page_cache.contains(of.ino, index) {
+                    st.page_cache.write(of.ino, index, in_page, chunk);
+                } else if in_page == 0 && span == ps {
+                    st.page_cache.insert_new_dirty(of.ino, index, chunk.to_vec());
+                } else {
+                    let base = self.read_page(&mut st, of.ino, index)?;
+                    if !st.page_cache.contains(of.ino, index) {
+                        st.page_cache.insert_clean(of.ino, index, base);
+                    }
+                    st.page_cache.write(of.ino, index, in_page, chunk);
+                }
+            } else {
+                // Write-through: build the page image the policy needs.
+                let old_lba = st.ns.node(of.ino)?.blocks.get(&index).copied();
+                let mut page = if self.policy.needs_full_page()
+                    && old_lba.is_some()
+                    && !(in_page == 0 && span == ps)
+                {
+                    self.with_ctx(&mut st, |ctx, _, _| {
+                        self.policy.read_range(ctx, old_lba.expect("checked"), 0, ps)
+                    })
+                } else {
+                    vec![0u8; ps]
+                };
+                page[in_page..in_page + span].copy_from_slice(chunk);
+                self.writeback_page(&mut st, of.ino, index, &page, &[(in_page, span)])?;
+            }
+            pos += span as u64;
+        }
+        let now = self.device.clock().now_ns();
+        {
+            let node = st.ns.node_mut(of.ino)?;
+            node.size = node.size.max(end);
+            node.mtime_ns = now;
+        }
+        if self.policy.buffered_data() {
+            st.dirty_inodes.insert(of.ino);
+        } else {
+            // DAX-style file systems persist the inode update with the write.
+            let pages = ((end - offset) as usize).div_ceil(ps);
+            let op = MetaOp::InodeUpdate { ino: of.ino, pages };
+            self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        }
+        Ok(data.len())
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let of = self.open_file(&st, fd)?;
+        if self.policy.buffered_data() {
+            let dirty = st.page_cache.take_dirty(of.ino);
+            self.writeback_inode(&mut st, of.ino, dirty)
+        } else {
+            self.with_ctx(&mut st, |ctx, _, _| self.policy.fsync_epilogue(ctx, of.ino, 0));
+            Ok(())
+        }
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let of = self.open_file(&st, fd)?;
+        let page_size = st.layout.page_size as u64;
+        let keep_blocks = size.div_ceil(page_size);
+        let now = self.device.clock().now_ns();
+        let freed: Vec<u64> = {
+            let node = st.ns.node_mut(of.ino)?;
+            if node.file_type.is_dir() {
+                return Err(FsError::IsADirectory(format!("inode {}", of.ino)));
+            }
+            let freed: Vec<u64> = node
+                .blocks
+                .iter()
+                .filter(|(fb, _)| **fb >= keep_blocks)
+                .map(|(_, lba)| *lba)
+                .collect();
+            node.blocks.retain(|fb, _| *fb < keep_blocks);
+            node.size = size;
+            node.mtime_ns = now;
+            freed
+        };
+        let nfreed = freed.len();
+        for lba in freed {
+            st.alloc.free(lba);
+            self.device.trim(lba, 1);
+        }
+        st.page_cache.invalidate_from(of.ino, keep_blocks);
+        // Zero the tail of the last partial page so stale bytes beyond the new
+        // EOF cannot resurface when the file grows again.
+        let ps = st.layout.page_size;
+        let tail_off = (size % page_size) as usize;
+        if tail_off != 0 {
+            let last = size / page_size;
+            let last_mapped = st.ns.node(of.ino)?.blocks.contains_key(&last);
+            let resident = st.page_cache.contains(of.ino, last);
+            if last_mapped || resident {
+                let mut page = self.read_page(&mut st, of.ino, last)?;
+                page[tail_off..].fill(0);
+                if self.policy.buffered_data() {
+                    if !st.page_cache.contains(of.ino, last) {
+                        st.page_cache.insert_clean(of.ino, last, page.clone());
+                    }
+                    let zeros = vec![0u8; ps - tail_off];
+                    st.page_cache.write(of.ino, last, tail_off, &zeros);
+                } else {
+                    self.writeback_page(&mut st, of.ino, last, &page, &[(tail_off, ps - tail_off)])?;
+                }
+            }
+        }
+        let op = MetaOp::Truncate { ino: of.ino, freed_blocks: nfreed };
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        Ok(())
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        let mut st = self.state.lock();
+        let of = self.open_file(&st, fd)?;
+        self.touch_inode(&mut st, of.ino);
+        Ok(st.ns.node(of.ino)?.metadata())
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let mut st = self.state.lock();
+        let ino = self.resolve_touch(&mut st, path)?;
+        Ok(st.ns.node(ino)?.metadata())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        self.do_create(&mut st, path, true)?;
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = self.resolve_parent_touch(&mut st, path)?;
+        self.touch_dir(&mut st, parent);
+        let now = self.device.clock().now_ns();
+        let removed = st.ns.remove(parent, name, true, now)?;
+        if let Some(meta) = st.meta_blocks.remove(&removed.ino) {
+            st.alloc.free(meta);
+            self.device.trim(meta, 1);
+        }
+        let parent_meta_block = self.meta_block_of(&mut st, parent);
+        let op = MetaOp::Remove {
+            parent,
+            parent_meta_block,
+            ino: removed.ino,
+            is_dir: true,
+            freed_blocks: 0,
+        };
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        Ok(())
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = self.resolve_parent_touch(&mut st, path)?;
+        self.touch_dir(&mut st, parent);
+        let now = self.device.clock().now_ns();
+        let removed = st.ns.remove(parent, name, false, now)?;
+        let freed_blocks = removed.blocks.len();
+        self.free_node_blocks(&mut st, &removed.blocks);
+        st.page_cache.invalidate_inode(removed.ino);
+        st.dirty_inodes.remove(&removed.ino);
+        let parent_meta_block = self.meta_block_of(&mut st, parent);
+        let op = MetaOp::Remove {
+            parent,
+            parent_meta_block,
+            ino: removed.ino,
+            is_dir: false,
+            freed_blocks,
+        };
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (from_parent, from_name) = self.resolve_parent_touch(&mut st, from)?;
+        let (to_parent, to_name) = self.resolve_parent_touch(&mut st, to)?;
+        self.touch_dir(&mut st, from_parent);
+        self.touch_dir(&mut st, to_parent);
+        let now = self.device.clock().now_ns();
+        let ino = st.ns.rename(from_parent, from_name, to_parent, to_name, now)?;
+        let from_meta_block = self.meta_block_of(&mut st, from_parent);
+        let to_meta_block = self.meta_block_of(&mut st, to_parent);
+        let op = MetaOp::Rename {
+            from_parent,
+            from_meta_block,
+            to_parent,
+            to_meta_block,
+            ino,
+            name_len: to_name.len(),
+        };
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let mut st = self.state.lock();
+        let ino = self.resolve_touch(&mut st, path)?;
+        self.touch_dir(&mut st, ino);
+        st.ns.readdir(ino)
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        let mut st = self.state.lock();
+        if self.policy.buffered_data() {
+            let all = st.page_cache.take_all_dirty();
+            let mut by_inode: BTreeMap<u64, Vec<DirtyPage>> = BTreeMap::new();
+            for dp in all {
+                by_inode.entry(dp.inode).or_default().push(dp);
+            }
+            for ino in st.dirty_inodes.clone() {
+                by_inode.entry(ino).or_default();
+            }
+            for (ino, pages) in by_inode {
+                self.writeback_inode(&mut st, ino, pages)?;
+            }
+        }
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.sync_epilogue(ctx));
+        Ok(())
+    }
+
+    fn drop_caches(&self) {
+        let mut st = self.state.lock();
+        if st.page_cache.dirty_count() == 0 {
+            st.page_cache.clear();
+        }
+        st.loaded_inodes.clear();
+        st.loaded_dirs.clear();
+    }
+
+    fn unmount(&self) -> FsResult<()> {
+        self.sync()?;
+        self.device.flush();
+        Ok(())
+    }
+}

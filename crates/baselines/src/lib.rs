@@ -1,0 +1,55 @@
+//! # baselines — comparison file systems for the ByteFS evaluation
+//!
+//! The paper compares ByteFS against four state-of-the-art file systems, all
+//! mounted on the same memory-semantic SSD *without* firmware changes (the
+//! device DRAM acts as a conventional page-granular cache,
+//! [`mssd::DramMode::PageCache`]):
+//!
+//! * **Ext4-like** ([`Ext4Like`]) — block interface only, JBD2-style ordered
+//!   journaling (metadata blocks written twice: journal + in-place).
+//! * **F2FS-like** ([`F2fsLike`]) — block interface only, log-structured
+//!   out-of-place updates with node-address-table bookkeeping.
+//! * **NOVA-like** ([`NovaLike`]) — byte interface only, per-inode
+//!   log-structured metadata and page-granular copy-on-write data.
+//! * **PMFS-like** ([`PmfsLike`]) — byte interface only, in-place data writes
+//!   and undo-journaled metadata.
+//!
+//! All four share one engine ([`engine::BaselineFs`]) that provides the POSIX
+//! namespace, the host page cache and the data-correctness path; a
+//! [`engine::PersistencePolicy`] implementation per file system decides which
+//! interface every access uses and how much metadata traffic each operation
+//! generates. Data blocks always flow through the device, so reads always
+//! return exactly what was written; metadata *persistence formats* are
+//! modelled at the traffic level (the simplification is documented in
+//! DESIGN.md — the baselines are measurement stand-ins, not remountable
+//! on-disk formats).
+//!
+//! ```
+//! use baselines::Ext4Like;
+//! use fskit::{FileSystem, FileSystemExt};
+//! use mssd::{Mssd, MssdConfig, DramMode};
+//!
+//! # fn main() -> fskit::FsResult<()> {
+//! let device = Mssd::new(MssdConfig::small_test(), DramMode::PageCache);
+//! let fs = Ext4Like::format(device);
+//! fs.write_file("/hello", b"block interface")?;
+//! assert_eq!(fs.read_file("/hello")?, b"block interface");
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod engine;
+pub mod ext4like;
+pub mod f2fslike;
+pub mod namespace;
+pub mod novalike;
+pub mod pmfslike;
+
+pub use ext4like::Ext4Like;
+pub use f2fslike::F2fsLike;
+pub use novalike::NovaLike;
+pub use pmfslike::PmfsLike;

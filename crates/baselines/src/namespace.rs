@@ -1,0 +1,336 @@
+//! The in-memory namespace shared by all baseline file systems.
+//!
+//! The baselines model their on-device metadata formats at the traffic level
+//! (see the crate documentation); the authoritative name tree, file sizes and
+//! file-block → LBA mappings live here. Data blocks themselves are always
+//! stored on the device.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fskit::path as fspath;
+use fskit::{DirEntry, FileType, FsError, FsResult, Metadata};
+
+/// Inode number of the root directory.
+pub const ROOT_INO: u64 = 1;
+
+/// One file or directory.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Inode number.
+    pub ino: u64,
+    /// File or directory.
+    pub file_type: FileType,
+    /// Size in bytes (files only).
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Modification time (virtual ns).
+    pub mtime_ns: u64,
+    /// Children (directories only): name → inode.
+    pub children: BTreeMap<String, u64>,
+    /// Data mapping (files only): file block index → device LBA.
+    pub blocks: BTreeMap<u64, u64>,
+}
+
+impl Node {
+    fn new(ino: u64, file_type: FileType, now_ns: u64) -> Self {
+        Self {
+            ino,
+            file_type,
+            size: 0,
+            nlink: if file_type.is_dir() { 2 } else { 1 },
+            mtime_ns: now_ns,
+            children: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// Metadata view of this node.
+    pub fn metadata(&self) -> Metadata {
+        Metadata {
+            inode: self.ino,
+            size: self.size,
+            file_type: self.file_type,
+            nlink: self.nlink,
+            blocks: self.blocks.len() as u64,
+            mtime_ns: self.mtime_ns,
+        }
+    }
+}
+
+/// The in-memory file tree.
+#[derive(Debug)]
+pub struct Namespace {
+    nodes: HashMap<u64, Node>,
+    next_ino: u64,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Namespace {
+    /// Creates a namespace containing only the root directory.
+    pub fn new() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert(ROOT_INO, Node::new(ROOT_INO, FileType::Directory, 0));
+        Self { nodes, next_ino: ROOT_INO + 1 }
+    }
+
+    /// Looks up a node by inode number.
+    pub fn node(&self, ino: u64) -> FsResult<&Node> {
+        self.nodes.get(&ino).ok_or_else(|| FsError::NotFound(format!("inode {ino}")))
+    }
+
+    /// Mutable lookup by inode number.
+    pub fn node_mut(&mut self, ino: u64) -> FsResult<&mut Node> {
+        self.nodes.get_mut(&ino).ok_or_else(|| FsError::NotFound(format!("inode {ino}")))
+    }
+
+    /// Number of live nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Resolves an absolute path to an inode number.
+    pub fn resolve(&self, path: &str) -> FsResult<u64> {
+        let comps = fspath::components(path)?;
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            let node = self.node(cur)?;
+            if !node.file_type.is_dir() {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = *node
+                .children
+                .get(comp)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(parent ino, name)`.
+    pub fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(u64, &'p str)> {
+        let (parents, name) = fspath::split_parent(path)?;
+        let mut cur = ROOT_INO;
+        for comp in parents {
+            let node = self.node(cur)?;
+            if !node.file_type.is_dir() {
+                return Err(FsError::NotADirectory(path.to_string()));
+            }
+            cur = *node
+                .children
+                .get(comp)
+                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        }
+        if !self.node(cur)?.file_type.is_dir() {
+            return Err(FsError::NotADirectory(path.to_string()));
+        }
+        Ok((cur, name))
+    }
+
+    /// Creates a new file or directory under `parent`. Returns the new inode.
+    pub fn create(
+        &mut self,
+        parent: u64,
+        name: &str,
+        file_type: FileType,
+        now_ns: u64,
+    ) -> FsResult<u64> {
+        if name.is_empty() || name.len() > 255 {
+            return Err(FsError::InvalidArgument(format!("bad name {name:?}")));
+        }
+        let parent_is_dir = self.node(parent)?.file_type.is_dir();
+        if !parent_is_dir {
+            return Err(FsError::NotADirectory(name.to_string()));
+        }
+        if self.node(parent)?.children.contains_key(name) {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.nodes.insert(ino, Node::new(ino, file_type, now_ns));
+        let parent_node = self.node_mut(parent)?;
+        parent_node.children.insert(name.to_string(), ino);
+        parent_node.mtime_ns = now_ns;
+        if file_type.is_dir() {
+            parent_node.nlink += 1;
+        }
+        Ok(ino)
+    }
+
+    /// Removes the entry `name` from `parent`. For directories the target must
+    /// be empty. Returns the removed node (so the caller can free its blocks).
+    pub fn remove(&mut self, parent: u64, name: &str, dir: bool, now_ns: u64) -> FsResult<Node> {
+        let ino = *self
+            .node(parent)?
+            .children
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let target = self.node(ino)?;
+        if dir {
+            if !target.file_type.is_dir() {
+                return Err(FsError::NotADirectory(name.to_string()));
+            }
+            if !target.children.is_empty() {
+                return Err(FsError::DirectoryNotEmpty(name.to_string()));
+            }
+        } else if target.file_type.is_dir() {
+            return Err(FsError::IsADirectory(name.to_string()));
+        }
+        let parent_node = self.node_mut(parent)?;
+        parent_node.children.remove(name);
+        parent_node.mtime_ns = now_ns;
+        if dir {
+            parent_node.nlink = parent_node.nlink.saturating_sub(1);
+        }
+        Ok(self.nodes.remove(&ino).expect("checked above"))
+    }
+
+    /// Renames `from_name` in `from_parent` to `to_name` in `to_parent`.
+    /// The destination must not exist.
+    pub fn rename(
+        &mut self,
+        from_parent: u64,
+        from_name: &str,
+        to_parent: u64,
+        to_name: &str,
+        now_ns: u64,
+    ) -> FsResult<u64> {
+        if self.node(to_parent)?.children.contains_key(to_name) {
+            return Err(FsError::AlreadyExists(to_name.to_string()));
+        }
+        let ino = *self
+            .node(from_parent)?
+            .children
+            .get(from_name)
+            .ok_or_else(|| FsError::NotFound(from_name.to_string()))?;
+        let is_dir = self.node(ino)?.file_type.is_dir();
+        {
+            let from_node = self.node_mut(from_parent)?;
+            from_node.children.remove(from_name);
+            from_node.mtime_ns = now_ns;
+            if is_dir {
+                from_node.nlink = from_node.nlink.saturating_sub(1);
+            }
+        }
+        {
+            let to_node = self.node_mut(to_parent)?;
+            to_node.children.insert(to_name.to_string(), ino);
+            to_node.mtime_ns = now_ns;
+            if is_dir {
+                to_node.nlink += 1;
+            }
+        }
+        Ok(ino)
+    }
+
+    /// Directory listing.
+    pub fn readdir(&self, ino: u64) -> FsResult<Vec<DirEntry>> {
+        let node = self.node(ino)?;
+        if !node.file_type.is_dir() {
+            return Err(FsError::NotADirectory(format!("inode {ino}")));
+        }
+        node.children
+            .iter()
+            .map(|(name, child)| {
+                let c = self.node(*child)?;
+                Ok(DirEntry { name: name.clone(), inode: *child, file_type: c.file_type })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_resolve_remove() {
+        let mut ns = Namespace::new();
+        assert!(ns.is_empty());
+        let dir = ns.create(ROOT_INO, "dir", FileType::Directory, 1).unwrap();
+        let file = ns.create(dir, "f", FileType::File, 2).unwrap();
+        assert_eq!(ns.resolve("/dir").unwrap(), dir);
+        assert_eq!(ns.resolve("/dir/f").unwrap(), file);
+        assert_eq!(ns.resolve("/").unwrap(), ROOT_INO);
+        assert!(matches!(ns.resolve("/missing"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            ns.remove(ROOT_INO, "dir", true, 3),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
+        ns.remove(dir, "f", false, 4).unwrap();
+        ns.remove(ROOT_INO, "dir", true, 5).unwrap();
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ns = Namespace::new();
+        ns.create(ROOT_INO, "x", FileType::File, 0).unwrap();
+        assert!(matches!(
+            ns.create(ROOT_INO, "x", FileType::Directory, 0),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_of_directory_and_rmdir_of_file_fail() {
+        let mut ns = Namespace::new();
+        ns.create(ROOT_INO, "d", FileType::Directory, 0).unwrap();
+        ns.create(ROOT_INO, "f", FileType::File, 0).unwrap();
+        assert!(matches!(ns.remove(ROOT_INO, "d", false, 1), Err(FsError::IsADirectory(_))));
+        assert!(matches!(ns.remove(ROOT_INO, "f", true, 1), Err(FsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn rename_moves_and_preserves_inode() {
+        let mut ns = Namespace::new();
+        let a = ns.create(ROOT_INO, "a", FileType::Directory, 0).unwrap();
+        let b = ns.create(ROOT_INO, "b", FileType::Directory, 0).unwrap();
+        let f = ns.create(a, "f", FileType::File, 0).unwrap();
+        let moved = ns.rename(a, "f", b, "g", 1).unwrap();
+        assert_eq!(moved, f);
+        assert!(ns.resolve("/a/f").is_err());
+        assert_eq!(ns.resolve("/b/g").unwrap(), f);
+        // nlink bookkeeping for directory moves.
+        let c = ns.create(a, "sub", FileType::Directory, 2).unwrap();
+        let a_links = ns.node(a).unwrap().nlink;
+        ns.rename(a, "sub", b, "sub", 3).unwrap();
+        assert_eq!(ns.node(a).unwrap().nlink, a_links - 1);
+        assert_eq!(ns.resolve("/b/sub").unwrap(), c);
+    }
+
+    #[test]
+    fn readdir_lists_children_sorted() {
+        let mut ns = Namespace::new();
+        ns.create(ROOT_INO, "z", FileType::File, 0).unwrap();
+        ns.create(ROOT_INO, "a", FileType::Directory, 0).unwrap();
+        let entries = ns.readdir(ROOT_INO).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a");
+        assert_eq!(entries[1].name, "z");
+        assert!(ns.readdir(entries[1].inode).is_err());
+    }
+
+    #[test]
+    fn metadata_reflects_node_state() {
+        let mut ns = Namespace::new();
+        let f = ns.create(ROOT_INO, "f", FileType::File, 7).unwrap();
+        let node = ns.node_mut(f).unwrap();
+        node.size = 4096;
+        node.blocks.insert(0, 1234);
+        let meta = ns.node(f).unwrap().metadata();
+        assert_eq!(meta.size, 4096);
+        assert_eq!(meta.blocks, 1);
+        assert_eq!(meta.mtime_ns, 7);
+        assert!(meta.is_file());
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of end-to-end file-system operations (simulation-code
+//! cost, not virtual device latency): create/write/fsync/read on ByteFS and
+//! the Ext4-like and NOVA-like baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fskit::OpenFlags;
+use mssd::MssdConfig;
+use workloads::FsKind;
+
+fn bench_fs(c: &mut Criterion, kind: FsKind) {
+    let label = kind.label();
+    c.bench_function(&format!("{label}_create_write_fsync"), |b| {
+        let (_dev, fs) = kind.build(MssdConfig::small_test());
+        let payload = vec![0x42u8; 4096];
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = format!("/bench{i}");
+            i += 1;
+            let fd = fs.create(&path).expect("create");
+            fs.write(fd, 0, black_box(&payload)).expect("write");
+            fs.fsync(fd).expect("fsync");
+            fs.close(fd).expect("close");
+            fs.unlink(&path).expect("unlink");
+        })
+    });
+    c.bench_function(&format!("{label}_read_4k"), |b| {
+        let (_dev, fs) = kind.build(MssdConfig::small_test());
+        let fd = fs.create("/readable").expect("create");
+        fs.write(fd, 0, &vec![7u8; 16 << 10]).expect("write");
+        fs.fsync(fd).expect("fsync");
+        b.iter(|| black_box(fs.read(fd, 4096, 4096).expect("read")))
+    });
+    c.bench_function(&format!("{label}_small_overwrite_fsync"), |b| {
+        let (_dev, fs) = kind.build(MssdConfig::small_test());
+        let fd = fs.create("/hot").expect("create");
+        fs.write(fd, 0, &vec![1u8; 8192]).expect("write");
+        fs.fsync(fd).expect("fsync");
+        let fd = fs.open("/hot", OpenFlags::read_write()).expect("open");
+        b.iter(|| {
+            fs.write(fd, 128, black_box(&[9u8; 64])).expect("write");
+            fs.fsync(fd).expect("fsync");
+        })
+    });
+}
+
+fn fs_ops(c: &mut Criterion) {
+    bench_fs(c, FsKind::ByteFs);
+    bench_fs(c, FsKind::Ext4);
+    bench_fs(c, FsKind::Nova);
+}
+
+criterion_group!(
+    name = ops;
+    config = Criterion::default().sample_size(20);
+    targets = fs_ops
+);
+criterion_main!(ops);

@@ -1,0 +1,46 @@
+//! Figure 1: host–SSD traffic breakdown of Ext4-like and F2FS-like by
+//! file-system data structure, for the micro-benchmarks and the macro
+//! workloads, in both directions.
+
+use bench::{bench_config, print_table, scale_from_args};
+use mssd::stats::Direction;
+use workloads::amplification::TrafficBreakdown;
+use workloads::filebench::{Filebench, Personality};
+use workloads::micro::{Micro, MicroOp};
+use workloads::oltp::Oltp;
+use workloads::{run_workload, FsKind, Workload};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Micro::new(MicroOp::Mkdir, scale)),
+        Box::new(Micro::new(MicroOp::Rmdir, scale)),
+        Box::new(Micro::new(MicroOp::Create, scale)),
+        Box::new(Micro::new(MicroOp::Delete, scale)),
+    ];
+    for p in Personality::ALL {
+        workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    workloads.push(Box::new(Oltp::new(scale)));
+
+    for dir in [Direction::Write, Direction::Read] {
+        let mut rows = Vec::new();
+        for kind in [FsKind::Ext4, FsKind::F2fs] {
+            for w in &workloads {
+                let run =
+                    run_workload(kind, bench_config(), w.as_ref(), 7).expect("workload runs");
+                let breakdown = TrafficBreakdown::new(&run.traffic, dir);
+                rows.push(vec![
+                    kind.label().to_string(),
+                    run.workload.clone(),
+                    breakdown.format_line(),
+                ]);
+            }
+        }
+        let title = match dir {
+            Direction::Write => "Figure 1 (a,b) — write traffic breakdown",
+            Direction::Read => "Figure 1 (c,d) — read traffic breakdown",
+        };
+        print_table(title, &["fs", "workload", "per-structure breakdown"], &rows);
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 11: internal flash traffic for the macro-benchmarks, normalized to
+//! Ext4.
+
+use bench::{bench_config, mib, print_table, scale_from_args};
+use workloads::filebench::{Filebench, Personality};
+use workloads::oltp::Oltp;
+use workloads::{run_workload, FsKind, Workload};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+    for p in Personality::ALL {
+        workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    workloads.push(Box::new(Oltp::new(scale)));
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let mut totals = Vec::new();
+        for kind in FsKind::MAIN {
+            let run = run_workload(kind, bench_config(), w.as_ref(), 3).expect("workload runs");
+            totals.push((kind, run.flash_read_bytes(), run.flash_write_bytes()));
+        }
+        let ext4_total = totals.first().map(|(_, r, w)| r + w).unwrap_or(1).max(1);
+        for (kind, r, wbytes) in totals {
+            rows.push(vec![
+                w.name(),
+                kind.label().to_string(),
+                mib(r),
+                mib(wbytes),
+                format!("{:.2}x", (r + wbytes) as f64 / ext4_total as f64),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11 — SSD flash traffic on macro-benchmarks (normalized to Ext4)",
+        &["workload", "fs", "flash read", "flash write", "total vs Ext4"],
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 12: performance breakdown of the ByteFS design — Ext4 vs
+//! ByteFS-Dual (dual interface for metadata only) vs ByteFS-Log (plus the
+//! firmware log) vs full ByteFS — on the macro workloads, normalized to Ext4.
+
+use bench::{bench_config, print_table, scale_from_args};
+use workloads::filebench::{Filebench, Personality};
+use workloads::oltp::Oltp;
+use workloads::{run_workload, FsKind, Workload};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+    for p in Personality::ALL {
+        workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    workloads.push(Box::new(Oltp::new(scale)));
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let mut kops = Vec::new();
+        for kind in FsKind::ABLATION {
+            let run = run_workload(kind, bench_config(), w.as_ref(), 17).expect("workload runs");
+            kops.push((kind, run.kops_per_sec));
+        }
+        let ext4 = kops[0].1;
+        let mut row = vec![w.name()];
+        for (kind, v) in &kops {
+            row.push(format!("{kind}: {:.2}x", v / ext4));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 12 — ByteFS performance breakdown (normalized to Ext4)",
+        &["workload", "ext4", "bytefs-dual", "bytefs-log", "bytefs"],
+        &rows,
+    );
+    println!("Paper reference: Varmail/Fileserver benefit from both the dual interface and the");
+    println!("log-structured buffer; Webproxy mostly from the dual interface; OLTP from both.");
+}

@@ -1,0 +1,49 @@
+//! Figure 13: macro-benchmark throughput under different flash latencies
+//! (25/200, 40/60, 3/80 and the CXL variant 3/80*) for ByteFS, F2FS and NOVA.
+
+use bench::{print_table, scale_from_args};
+use mssd::{MssdConfig, TimingProfile};
+use workloads::filebench::{Filebench, Personality};
+use workloads::oltp::Oltp;
+use workloads::{run_workload, FsKind, Workload};
+
+fn config_for(profile: TimingProfile) -> MssdConfig {
+    MssdConfig::with_profile(profile)
+        .with_capacity(1 << 30)
+        .with_dram_region(16 << 20)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+    for p in Personality::ALL {
+        workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    workloads.push(Box::new(Oltp::new(scale)));
+
+    let fses = [FsKind::ByteFs, FsKind::F2fs, FsKind::Nova];
+    let mut rows = Vec::new();
+    for w in &workloads {
+        for kind in fses {
+            let mut row = vec![w.name(), kind.label().to_string()];
+            // Normalize to this file system's throughput under the default profile,
+            // as the figure plots relative throughput per latency point.
+            let baseline = run_workload(kind, config_for(TimingProfile::Default), w.as_ref(), 29)
+                .expect("workload runs")
+                .kops_per_sec;
+            for profile in TimingProfile::all() {
+                let run = run_workload(kind, config_for(profile), w.as_ref(), 29)
+                    .expect("workload runs");
+                row.push(format!("{}: {:.2}x", profile.label(), run.kops_per_sec / baseline));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Figure 13 — throughput vs flash latency (normalized to each FS at 40/60)",
+        &["workload", "fs", "25/200", "40/60", "3/80", "3/80* (CXL)"],
+        &rows,
+    );
+    println!("Paper reference: ByteFS keeps its advantage across flash latencies; the gap grows");
+    println!("with slower flash programs because the write log hides program latency.");
+}

@@ -1,0 +1,60 @@
+//! Figure 14: ByteFS throughput as a function of the SSD DRAM write-log size.
+//!
+//! The paper sweeps 64–512 MB on full-size working sets; the harness sweeps
+//! 4–32 MB against its proportionally scaled-down working sets (the ratio of
+//! log size to working set is what matters).
+
+use bench::{bench_config_with_log, print_table, scale_from_args};
+use workloads::filebench::{Filebench, Personality};
+use workloads::oltp::Oltp;
+use workloads::ycsb::{run_ycsb, YcsbSpec, YcsbWorkload};
+use workloads::{run_workload, FsKind, Workload};
+
+const LOG_SIZES: [(usize, &str); 4] =
+    [(4 << 20, "4M (≈64M)"), (8 << 20, "8M (≈128M)"), (16 << 20, "16M (≈256M)"), (32 << 20, "32M (≈512M)")];
+
+fn main() {
+    let scale = scale_from_args();
+    let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+    for p in Personality::ALL {
+        workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    workloads.push(Box::new(Oltp::new(scale)));
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let mut kops = Vec::new();
+        for (bytes, label) in LOG_SIZES {
+            let run = run_workload(FsKind::ByteFs, bench_config_with_log(bytes), w.as_ref(), 31)
+                .expect("workload runs");
+            kops.push((label, run.kops_per_sec));
+        }
+        let base = kops[0].1;
+        let mut row = vec![w.name()];
+        for (label, v) in kops {
+            row.push(format!("{label}: {:.2}x", v / base));
+        }
+        rows.push(row);
+    }
+    for ycsb in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::F] {
+        let mut kops = Vec::new();
+        for (bytes, label) in LOG_SIZES {
+            let (dev, fs) = FsKind::ByteFs.build(bench_config_with_log(bytes));
+            let r = run_ycsb(&dev, fs, &YcsbSpec::new(ycsb, scale), 31).expect("ycsb runs");
+            kops.push((label, r.kops_per_sec));
+        }
+        let base = kops[0].1;
+        let mut row = vec![ycsb.label().to_string()];
+        for (label, v) in kops {
+            row.push(format!("{label}: {:.2}x", v / base));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 14 — ByteFS throughput vs write-log size (normalized to the smallest log)",
+        &["workload", "smallest", "2x", "4x", "8x"],
+        &rows,
+    );
+    println!("Paper reference: larger logs help most workloads modestly; workloads with good");
+    println!("write locality (e.g. OLTP) see marginal benefit.");
+}

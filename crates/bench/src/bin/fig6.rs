@@ -1,0 +1,63 @@
+//! Figure 6: overall throughput of Ext4/F2FS/NOVA/PMFS/ByteFS across the
+//! micro-benchmarks, macro-benchmarks and YCSB, normalized to Ext4.
+
+use bench::{bench_config, print_table, scale_from_args};
+use workloads::filebench::{Filebench, Personality};
+use workloads::micro::{Micro, MicroOp};
+use workloads::oltp::Oltp;
+use workloads::ycsb::{run_ycsb, YcsbSpec, YcsbWorkload};
+use workloads::{run_workload, FsKind, Workload};
+
+fn main() {
+    let scale = scale_from_args();
+
+    // File-system workloads.
+    let mut fs_workloads: Vec<Box<dyn Workload>> = Vec::new();
+    for op in MicroOp::ALL {
+        fs_workloads.push(Box::new(Micro::new(op, scale)));
+    }
+    for p in Personality::ALL {
+        fs_workloads.push(Box::new(Filebench::new(p, scale)));
+    }
+    fs_workloads.push(Box::new(Oltp::new(scale)));
+
+    let mut rows = Vec::new();
+    for w in &fs_workloads {
+        let mut kops = Vec::new();
+        for kind in FsKind::MAIN {
+            let run = run_workload(kind, bench_config(), w.as_ref(), 13).expect("workload runs");
+            kops.push((kind, run.kops_per_sec));
+        }
+        let ext4 = kops[0].1;
+        let mut row = vec![w.name()];
+        for (kind, v) in &kops {
+            row.push(format!("{kind}: {:.2} kops/s ({:.2}x)", v, v / ext4));
+        }
+        rows.push(row);
+    }
+
+    // YCSB workloads.
+    for ycsb in YcsbWorkload::ALL {
+        let spec = YcsbSpec::new(ycsb, scale);
+        let mut kops = Vec::new();
+        for kind in FsKind::MAIN {
+            let (dev, fs) = kind.build(bench_config());
+            let result = run_ycsb(&dev, fs, &spec, 13).expect("ycsb runs");
+            kops.push((kind, result.kops_per_sec));
+        }
+        let ext4 = kops[0].1;
+        let mut row = vec![ycsb.label().to_string()];
+        for (kind, v) in &kops {
+            row.push(format!("{kind}: {:.2} kops/s ({:.2}x)", v, v / ext4));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "Figure 6 — throughput normalized to Ext4",
+        &["workload", "E", "F", "N", "P", "B"],
+        &rows,
+    );
+    println!("Paper reference: ByteFS outperforms Ext4 by up to 2.7x overall (6x on create),");
+    println!("F2FS by up to 2.4x; NOVA/PMFS lag on read-heavy workloads.");
+}

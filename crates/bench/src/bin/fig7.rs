@@ -1,0 +1,35 @@
+//! Figure 7: YCSB average and 95th-percentile latency for reads and
+//! updates, per file system.
+
+use bench::{bench_config, print_table, scale_from_args};
+use workloads::ycsb::{run_ycsb, YcsbSpec, YcsbWorkload};
+use workloads::FsKind;
+
+fn main() {
+    let scale = scale_from_args();
+    let us = |ns: f64| format!("{:.1} us", ns / 1e3);
+
+    let mut rows = Vec::new();
+    for ycsb in YcsbWorkload::ALL {
+        for kind in FsKind::MAIN {
+            let (dev, fs) = kind.build(bench_config());
+            let spec = YcsbSpec::new(ycsb, scale);
+            let r = run_ycsb(&dev, fs, &spec, 21).expect("ycsb runs");
+            rows.push(vec![
+                ycsb.label().to_string(),
+                kind.label().to_string(),
+                us(r.read.avg_ns),
+                us(r.read.p95_ns as f64),
+                if r.write.count == 0 { "-".into() } else { us(r.write.avg_ns) },
+                if r.write.count == 0 { "-".into() } else { us(r.write.p95_ns as f64) },
+            ]);
+        }
+    }
+    print_table(
+        "Figure 7 — YCSB latency (read avg / read p95 / write avg / write p95)",
+        &["workload", "fs", "read avg", "read p95", "write avg", "write p95"],
+        &rows,
+    );
+    println!("Paper reference: ByteFS improves read avg/p95 by ~2.3x/2.0x and write by");
+    println!("~1.3x/1.6x over F2FS on YCSB-A/F; YCSB-C (read-only) is similar across FSes.");
+}

@@ -1,0 +1,58 @@
+//! Table 1: characteristics of the modelled memory devices.
+//!
+//! Reports the M-SSD latencies and bandwidths as measured on the device model
+//! (byte-interface cacheline accesses, block-interface 4 KB sequential
+//! transfers), next to the configured NAND parameters.
+
+use bench::{bench_config, print_table};
+use mssd::{Category, DramMode, Mssd};
+
+fn main() {
+    let cfg = bench_config();
+    let dev = Mssd::new(cfg.clone(), DramMode::WriteLog);
+    let clock = dev.clock();
+
+    // Cacheline write / read latency against device DRAM.
+    let t0 = clock.now_ns();
+    dev.byte_write(0, &[0u8; 64], None, Category::Other);
+    let write_lat = clock.now_ns() - t0;
+    let t0 = clock.now_ns();
+    dev.byte_read(0, 64, Category::Other);
+    let read_lat = clock.now_ns() - t0;
+
+    // Sequential 4 KB block bandwidth over 32 MB.
+    let pages = 8192usize;
+    let buf = vec![0u8; 4096];
+    let t0 = clock.now_ns();
+    for i in 0..pages {
+        dev.block_write(i as u64, &buf, Category::Other);
+    }
+    let write_elapsed = clock.now_ns() - t0;
+    let t0 = clock.now_ns();
+    for i in 0..pages {
+        dev.block_read(i as u64, 1, Category::Other);
+    }
+    let read_elapsed = clock.now_ns() - t0;
+    let gbs = |bytes: usize, ns: u64| bytes as f64 / (ns as f64 / 1e9) / 1e9;
+
+    print_table(
+        "Table 1 — modelled M-SSD characteristics",
+        &["metric", "measured", "paper"],
+        &[
+            vec!["cacheline read latency".into(), format!("{:.1} us", read_lat as f64 / 1e3), "4.8 us".into()],
+            vec!["cacheline write latency".into(), format!("{:.1} us", write_lat as f64 / 1e3), "0.6 us".into()],
+            vec![
+                "seq read bandwidth (4 KB)".into(),
+                format!("{:.2} GB/s", gbs(pages * 4096, read_elapsed)),
+                "3.5 GB/s".into(),
+            ],
+            vec![
+                "seq write bandwidth (4 KB)".into(),
+                format!("{:.2} GB/s", gbs(pages * 4096, write_elapsed)),
+                "2.5 GB/s".into(),
+            ],
+            vec!["flash read latency".into(), format!("{} us", cfg.flash_read_ns / 1000), "40 us".into()],
+            vec!["flash program latency".into(), format!("{} us", cfg.flash_write_ns / 1000), "60 us".into()],
+        ],
+    );
+}

@@ -1,0 +1,297 @@
+//! Block and inode bitmap allocators.
+//!
+//! ByteFS tracks inode and data-block allocation with bitmaps, like Ext4.
+//! Each bitmap block is divided into 64-byte groups — the basic unit of
+//! persistence — so allocating or freeing touches only one cacheline on the
+//! device, persisted over the byte interface (§4.5, Table 3: bitmap reads use
+//! the block interface, writes the byte interface).
+//!
+//! The allocator itself lives in host memory (loaded at mount over the block
+//! interface) and records which 64-byte groups have changed since the last
+//! persistence point, so the file system knows exactly which cachelines to
+//! write out in the next transaction.
+
+use std::collections::BTreeSet;
+
+use crate::layout::DENTRY_SIZE;
+
+/// Bits per 64-byte persistence group.
+pub const BITS_PER_GROUP: u64 = (DENTRY_SIZE * 8) as u64;
+
+/// An in-memory bitmap allocator with dirty-group tracking.
+#[derive(Debug, Clone)]
+pub struct BitmapAllocator {
+    bits: Vec<u64>,
+    total: u64,
+    allocated: u64,
+    hint: u64,
+    dirty_groups: BTreeSet<u64>,
+}
+
+impl BitmapAllocator {
+    /// Creates an allocator for `total` objects, all free.
+    pub fn new(total: u64) -> Self {
+        let words = (total as usize).div_ceil(64);
+        Self { bits: vec![0; words], total, allocated: 0, hint: 0, dirty_groups: BTreeSet::new() }
+    }
+
+    /// Rebuilds an allocator from the raw bitmap bytes read from the device.
+    /// Bits beyond `total` are ignored.
+    pub fn from_bytes(raw: &[u8], total: u64) -> Self {
+        let mut alloc = Self::new(total);
+        for idx in 0..total {
+            let byte = (idx / 8) as usize;
+            if byte < raw.len() && raw[byte] & (1 << (idx % 8)) != 0 {
+                alloc.set(idx);
+            }
+        }
+        alloc.dirty_groups.clear();
+        alloc
+    }
+
+    /// Serializes the whole bitmap into bytes (little-endian bit order within
+    /// each byte), padded to a multiple of the group size.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nbytes = ((self.total as usize).div_ceil(8)).div_ceil(DENTRY_SIZE) * DENTRY_SIZE;
+        let mut out = vec![0u8; nbytes.max(DENTRY_SIZE)];
+        for idx in 0..self.total {
+            if self.is_allocated(idx) {
+                out[(idx / 8) as usize] |= 1 << (idx % 8);
+            }
+        }
+        out
+    }
+
+    /// Total number of objects tracked.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of currently allocated objects.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of free objects.
+    pub fn free_count(&self) -> u64 {
+        self.total - self.allocated
+    }
+
+    /// Whether object `idx` is allocated.
+    pub fn is_allocated(&self, idx: u64) -> bool {
+        debug_assert!(idx < self.total);
+        self.bits[(idx / 64) as usize] & (1 << (idx % 64)) != 0
+    }
+
+    fn set(&mut self, idx: u64) {
+        let word = (idx / 64) as usize;
+        let mask = 1u64 << (idx % 64);
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.allocated += 1;
+            self.dirty_groups.insert(idx / BITS_PER_GROUP);
+        }
+    }
+
+    fn clear(&mut self, idx: u64) {
+        let word = (idx / 64) as usize;
+        let mask = 1u64 << (idx % 64);
+        if self.bits[word] & mask != 0 {
+            self.bits[word] &= !mask;
+            self.allocated -= 1;
+            self.dirty_groups.insert(idx / BITS_PER_GROUP);
+        }
+    }
+
+    /// Allocates one object, preferring the area after the most recent
+    /// allocation (next-fit, which keeps file blocks roughly contiguous for
+    /// extent-friendly allocation).
+    pub fn allocate(&mut self) -> Option<u64> {
+        if self.allocated >= self.total {
+            return None;
+        }
+        let start = self.hint.min(self.total.saturating_sub(1));
+        let mut idx = start;
+        loop {
+            if !self.is_allocated(idx) {
+                self.set(idx);
+                self.hint = (idx + 1) % self.total;
+                return Some(idx);
+            }
+            idx = (idx + 1) % self.total;
+            if idx == start {
+                return None;
+            }
+        }
+    }
+
+    /// Allocates up to `count` objects, contiguous when possible.
+    pub fn allocate_many(&mut self, count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.allocate() {
+                Some(idx) => out.push(idx),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Marks a specific object allocated (used for reserved objects such as
+    /// the root inode). Returns `false` if it was already allocated.
+    pub fn allocate_at(&mut self, idx: u64) -> bool {
+        debug_assert!(idx < self.total);
+        if self.is_allocated(idx) {
+            return false;
+        }
+        self.set(idx);
+        true
+    }
+
+    /// Frees an allocated object.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the object was not allocated (double free).
+    pub fn free(&mut self, idx: u64) {
+        debug_assert!(self.is_allocated(idx), "double free of {idx}");
+        self.clear(idx);
+    }
+
+    /// The 64-byte group index an object belongs to.
+    pub fn group_of(idx: u64) -> u64 {
+        idx / BITS_PER_GROUP
+    }
+
+    /// Returns the current raw bytes of one 64-byte group (what the file
+    /// system persists over the byte interface).
+    pub fn group_bytes(&self, group: u64) -> [u8; DENTRY_SIZE] {
+        let mut out = [0u8; DENTRY_SIZE];
+        let first_bit = group * BITS_PER_GROUP;
+        for bit in 0..BITS_PER_GROUP {
+            let idx = first_bit + bit;
+            if idx < self.total && self.is_allocated(idx) {
+                out[(bit / 8) as usize] |= 1 << (bit % 8);
+            }
+        }
+        out
+    }
+
+    /// Groups modified since the last [`BitmapAllocator::take_dirty_groups`],
+    /// without clearing them.
+    pub fn dirty_groups(&self) -> impl Iterator<Item = u64> + '_ {
+        self.dirty_groups.iter().copied()
+    }
+
+    /// Returns and clears the set of modified groups.
+    pub fn take_dirty_groups(&mut self) -> Vec<u64> {
+        let out: Vec<u64> = self.dirty_groups.iter().copied().collect();
+        self.dirty_groups.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free() {
+        let mut a = BitmapAllocator::new(100);
+        assert_eq!(a.free_count(), 100);
+        let x = a.allocate().unwrap();
+        let y = a.allocate().unwrap();
+        assert_ne!(x, y);
+        assert_eq!(a.allocated(), 2);
+        assert!(a.is_allocated(x));
+        a.free(x);
+        assert!(!a.is_allocated(x));
+        assert_eq!(a.allocated(), 1);
+    }
+
+    #[test]
+    fn never_double_allocates() {
+        let mut a = BitmapAllocator::new(64);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(idx) = a.allocate() {
+            assert!(seen.insert(idx), "{idx} allocated twice");
+        }
+        assert_eq!(seen.len(), 64);
+        assert_eq!(a.allocate(), None);
+    }
+
+    #[test]
+    fn allocate_at_reserves_specific_objects() {
+        let mut a = BitmapAllocator::new(16);
+        assert!(a.allocate_at(1));
+        assert!(!a.allocate_at(1));
+        // Subsequent dynamic allocation skips the reserved slot.
+        let mut got = Vec::new();
+        while let Some(i) = a.allocate() {
+            got.push(i);
+        }
+        assert!(!got.contains(&1));
+        assert_eq!(got.len(), 15);
+    }
+
+    #[test]
+    fn next_fit_tends_to_be_contiguous() {
+        let mut a = BitmapAllocator::new(1000);
+        let blocks = a.allocate_many(10);
+        for pair in blocks.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+    }
+
+    #[test]
+    fn dirty_groups_track_mutations() {
+        let mut a = BitmapAllocator::new(2048);
+        assert_eq!(a.dirty_groups().count(), 0);
+        a.allocate_at(0);
+        a.allocate_at(5);
+        a.allocate_at(513); // second group
+        let dirty = a.take_dirty_groups();
+        assert_eq!(dirty, vec![0, 1]);
+        assert_eq!(a.dirty_groups().count(), 0);
+        a.free(5);
+        assert_eq!(a.take_dirty_groups(), vec![0]);
+    }
+
+    #[test]
+    fn group_bytes_reflect_allocation() {
+        let mut a = BitmapAllocator::new(1024);
+        a.allocate_at(0);
+        a.allocate_at(9);
+        let g = a.group_bytes(0);
+        assert_eq!(g[0], 0b0000_0001);
+        assert_eq!(g[1], 0b0000_0010);
+        assert!(g[2..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut a = BitmapAllocator::new(777);
+        for i in [0u64, 3, 64, 511, 512, 776] {
+            a.allocate_at(i);
+        }
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len() % DENTRY_SIZE, 0);
+        let b = BitmapAllocator::from_bytes(&bytes, 777);
+        assert_eq!(b.allocated(), a.allocated());
+        for i in [0u64, 3, 64, 511, 512, 776] {
+            assert!(b.is_allocated(i));
+        }
+        assert!(!b.is_allocated(1));
+        assert_eq!(b.dirty_groups().count(), 0, "loading must not mark groups dirty");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let mut a = BitmapAllocator::new(8);
+        let x = a.allocate().unwrap();
+        a.free(x);
+        a.free(x);
+    }
+}

@@ -1,0 +1,324 @@
+//! Directory entries and the in-memory directory representation.
+//!
+//! §4.5: each directory holds an array of directory entries in its directory
+//! blocks; creating or renaming touches a single entry and is persisted over
+//! the byte interface (64–320 B depending on the name length), while lookups
+//! load whole directory blocks over the block interface and cache them in the
+//! host.
+//!
+//! In this implementation each entry occupies one 64-byte slot (inode number,
+//! type, name length, name up to [`MAX_NAME_LEN`] bytes), so a directory block
+//! holds 64 entries and every entry update is exactly one cacheline write.
+
+use std::collections::BTreeMap;
+
+use fskit::{FileType, FsError, FsResult};
+
+use crate::layout::DENTRY_SIZE;
+
+/// Maximum file-name length storable in one slot.
+pub const MAX_NAME_LEN: usize = DENTRY_SIZE - 10;
+
+/// Number of directory-entry slots per 4 KB directory block.
+pub fn slots_per_block(page_size: usize) -> usize {
+    page_size / DENTRY_SIZE
+}
+
+/// A decoded directory-entry slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DentrySlot {
+    /// Inode of the child (0 means the slot is free).
+    pub ino: u64,
+    /// Type of the child.
+    pub file_type: FileType,
+    /// Child name.
+    pub name: String,
+}
+
+impl DentrySlot {
+    /// Encodes the slot into its 64-byte on-device form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidArgument`] if the name is empty or longer
+    /// than [`MAX_NAME_LEN`].
+    pub fn encode(&self) -> FsResult<[u8; DENTRY_SIZE]> {
+        if self.name.is_empty() || self.name.len() > MAX_NAME_LEN {
+            return Err(FsError::InvalidArgument(format!(
+                "file name must be 1..={MAX_NAME_LEN} bytes: {:?}",
+                self.name
+            )));
+        }
+        let mut out = [0u8; DENTRY_SIZE];
+        out[..8].copy_from_slice(&self.ino.to_le_bytes());
+        out[8] = if self.file_type.is_dir() { 2 } else { 1 };
+        out[9] = self.name.len() as u8;
+        out[10..10 + self.name.len()].copy_from_slice(self.name.as_bytes());
+        Ok(out)
+    }
+
+    /// Decodes a 64-byte slot. Returns `None` for a free slot (inode 0).
+    pub fn decode(raw: &[u8]) -> Option<Self> {
+        debug_assert!(raw.len() >= DENTRY_SIZE);
+        let ino = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes"));
+        if ino == 0 {
+            return None;
+        }
+        let file_type = if raw[8] == 2 { FileType::Directory } else { FileType::File };
+        let name_len = (raw[9] as usize).min(MAX_NAME_LEN);
+        let name = String::from_utf8_lossy(&raw[10..10 + name_len]).into_owned();
+        Some(Self { ino, file_type, name })
+    }
+
+    /// An all-zero slot image, written to clear an entry on unlink.
+    pub fn free_slot() -> [u8; DENTRY_SIZE] {
+        [0u8; DENTRY_SIZE]
+    }
+}
+
+/// Location of one entry inside a directory: which directory block (by
+/// position in the directory's block list) and which slot inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRef {
+    /// Index into the directory's ordered list of data blocks.
+    pub block_pos: usize,
+    /// Slot index within that block.
+    pub slot: usize,
+}
+
+/// One live directory entry as held in the host dentry cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedDentry {
+    /// Child inode number.
+    pub ino: u64,
+    /// Child type.
+    pub file_type: FileType,
+    /// Where the entry lives on the device.
+    pub slot: SlotRef,
+}
+
+/// The in-memory image of one directory: name → entry plus free-slot tracking.
+///
+/// The file system loads it by reading the directory's data blocks over the
+/// block interface and keeps it cached (host-side metadata caching, §4.5).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: BTreeMap<String, CachedDentry>,
+    free_slots: Vec<SlotRef>,
+    nblocks: usize,
+    slots_per_block: usize,
+}
+
+impl Directory {
+    /// Creates an empty directory image with no blocks yet.
+    pub fn new(page_size: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            free_slots: Vec::new(),
+            nblocks: 0,
+            slots_per_block: slots_per_block(page_size),
+        }
+    }
+
+    /// Rebuilds the image from the directory's data blocks, in file order.
+    pub fn from_blocks(page_size: usize, blocks: &[Vec<u8>]) -> Self {
+        let mut dir = Self::new(page_size);
+        for block in blocks {
+            dir.append_block_image(block);
+        }
+        dir
+    }
+
+    fn append_block_image(&mut self, block: &[u8]) {
+        let pos = self.nblocks;
+        self.nblocks += 1;
+        for slot in 0..self.slots_per_block {
+            let off = slot * DENTRY_SIZE;
+            if off + DENTRY_SIZE > block.len() {
+                self.free_slots.push(SlotRef { block_pos: pos, slot });
+                continue;
+            }
+            match DentrySlot::decode(&block[off..off + DENTRY_SIZE]) {
+                Some(d) => {
+                    self.entries.insert(
+                        d.name.clone(),
+                        CachedDentry {
+                            ino: d.ino,
+                            file_type: d.file_type,
+                            slot: SlotRef { block_pos: pos, slot },
+                        },
+                    );
+                }
+                None => self.free_slots.push(SlotRef { block_pos: pos, slot }),
+            }
+        }
+    }
+
+    /// Registers a freshly allocated, empty directory block and returns its
+    /// position in the block list.
+    pub fn add_empty_block(&mut self) -> usize {
+        let pos = self.nblocks;
+        self.nblocks += 1;
+        for slot in 0..self.slots_per_block {
+            self.free_slots.push(SlotRef { block_pos: pos, slot });
+        }
+        pos
+    }
+
+    /// Number of directory blocks backing this directory.
+    pub fn block_count(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a child by name.
+    pub fn lookup(&self, name: &str) -> Option<&CachedDentry> {
+        self.entries.get(name)
+    }
+
+    /// Whether a free slot is available (otherwise the caller must allocate a
+    /// new directory block first).
+    pub fn has_free_slot(&self) -> bool {
+        !self.free_slots.is_empty()
+    }
+
+    /// Inserts a new entry into a free slot and returns where it was placed.
+    ///
+    /// # Errors
+    ///
+    /// * [`FsError::AlreadyExists`] if the name is taken.
+    /// * [`FsError::NoSpace`] if there is no free slot (call
+    ///   [`Directory::add_empty_block`] and retry).
+    pub fn insert(&mut self, name: &str, ino: u64, file_type: FileType) -> FsResult<SlotRef> {
+        if self.entries.contains_key(name) {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let slot = self.free_slots.pop().ok_or(FsError::NoSpace)?;
+        self.entries.insert(name.to_string(), CachedDentry { ino, file_type, slot });
+        Ok(slot)
+    }
+
+    /// Removes an entry by name, returning it so the caller can clear the slot
+    /// on the device.
+    pub fn remove(&mut self, name: &str) -> Option<CachedDentry> {
+        let removed = self.entries.remove(name)?;
+        self.free_slots.push(removed.slot);
+        Some(removed)
+    }
+
+    /// Iterates over `(name, entry)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &CachedDentry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 4096;
+
+    #[test]
+    fn slot_encode_decode_roundtrip() {
+        let s = DentrySlot { ino: 42, file_type: FileType::File, name: "hello.txt".into() };
+        let raw = s.encode().unwrap();
+        assert_eq!(raw.len(), DENTRY_SIZE);
+        assert_eq!(DentrySlot::decode(&raw), Some(s));
+        assert_eq!(DentrySlot::decode(&DentrySlot::free_slot()), None);
+    }
+
+    #[test]
+    fn directory_slot_rejects_bad_names() {
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        let s = DentrySlot { ino: 1, file_type: FileType::File, name: long };
+        assert!(matches!(s.encode(), Err(FsError::InvalidArgument(_))));
+        let s = DentrySlot { ino: 1, file_type: FileType::File, name: String::new() };
+        assert!(s.encode().is_err());
+        // Exactly at the limit is fine.
+        let s = DentrySlot {
+            ino: 1,
+            file_type: FileType::Directory,
+            name: "d".repeat(MAX_NAME_LEN),
+        };
+        let raw = s.encode().unwrap();
+        assert_eq!(DentrySlot::decode(&raw).unwrap().name.len(), MAX_NAME_LEN);
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut d = Directory::new(PS);
+        assert!(!d.has_free_slot());
+        assert!(matches!(d.insert("a", 2, FileType::File), Err(FsError::NoSpace)));
+        d.add_empty_block();
+        assert_eq!(d.block_count(), 1);
+        let slot = d.insert("a", 2, FileType::File).unwrap();
+        assert!(slot.slot < slots_per_block(PS));
+        assert_eq!(d.lookup("a").unwrap().ino, 2);
+        assert!(d.lookup("b").is_none());
+        assert!(matches!(d.insert("a", 3, FileType::File), Err(FsError::AlreadyExists(_))));
+        let removed = d.remove("a").unwrap();
+        assert_eq!(removed.ino, 2);
+        assert!(d.is_empty());
+        assert!(d.remove("a").is_none());
+        // The freed slot is reused.
+        let slot2 = d.insert("b", 3, FileType::Directory).unwrap();
+        assert_eq!(slot2, removed.slot);
+    }
+
+    #[test]
+    fn fills_every_slot_of_a_block() {
+        let mut d = Directory::new(PS);
+        d.add_empty_block();
+        let n = slots_per_block(PS);
+        for i in 0..n {
+            d.insert(&format!("f{i}"), 10 + i as u64, FileType::File).unwrap();
+        }
+        assert_eq!(d.len(), n);
+        assert!(!d.has_free_slot());
+        assert!(matches!(d.insert("overflow", 1, FileType::File), Err(FsError::NoSpace)));
+        d.add_empty_block();
+        d.insert("overflow", 1, FileType::File).unwrap();
+        assert_eq!(d.block_count(), 2);
+    }
+
+    #[test]
+    fn from_blocks_rebuilds_entries_and_free_slots() {
+        // Build a block image with two entries in specific slots.
+        let mut block = vec![0u8; PS];
+        let e0 = DentrySlot { ino: 5, file_type: FileType::File, name: "one".into() };
+        let e3 = DentrySlot { ino: 6, file_type: FileType::Directory, name: "two".into() };
+        block[..DENTRY_SIZE].copy_from_slice(&e0.encode().unwrap());
+        block[3 * DENTRY_SIZE..4 * DENTRY_SIZE].copy_from_slice(&e3.encode().unwrap());
+
+        let d = Directory::from_blocks(PS, &[block]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup("one").unwrap().ino, 5);
+        assert_eq!(d.lookup("one").unwrap().slot, SlotRef { block_pos: 0, slot: 0 });
+        assert_eq!(d.lookup("two").unwrap().slot, SlotRef { block_pos: 0, slot: 3 });
+        assert_eq!(
+            d.free_slots.len() + d.len(),
+            slots_per_block(PS),
+            "every slot is either live or free"
+        );
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut d = Directory::new(PS);
+        d.add_empty_block();
+        for name in ["zeta", "alpha", "mid"] {
+            d.insert(name, 1, FileType::File).unwrap();
+        }
+        let names: Vec<&String> = d.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

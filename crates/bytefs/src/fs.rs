@@ -1,0 +1,812 @@
+//! The `ByteFs` file system: mount/format, metadata operations, and the
+//! [`FileSystem`] trait implementation.
+//!
+//! The data path (read/write/fsync/truncate and the §4.6 interface-selection
+//! policy) lives in [`crate::fs::data`]; this module owns the in-memory state
+//! and the metadata operations of §4.5.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fskit::journal::BlockJournal;
+use fskit::pagecache::PageCache;
+use fskit::path as fspath;
+use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, FsResult, Metadata, OpenFlags};
+use mssd::{Category, DramMode, Mssd};
+
+use crate::alloc::BitmapAllocator;
+use crate::dentry::{DentrySlot, Directory};
+use crate::inode::Inode;
+use crate::layout::{Layout, DENTRY_SIZE, INODE_SIZE, ROOT_INO};
+use crate::policy::{ByteFsConfig, InterfaceChoice};
+use crate::superblock::Superblock;
+use crate::txn::{TxTable, Txn};
+
+pub(crate) mod data;
+
+/// An open file description.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpenFile {
+    pub(crate) ino: u64,
+    pub(crate) flags: OpenFlags,
+}
+
+/// All mutable file-system state, guarded by one lock (the kernel analogue
+/// would be finer-grained locking; a single lock keeps the simulation simple
+/// and still exercises the full I/O protocol).
+pub(crate) struct State {
+    pub(crate) sb: Superblock,
+    pub(crate) layout: Layout,
+    pub(crate) inode_bitmap: BitmapAllocator,
+    pub(crate) block_bitmap: BitmapAllocator,
+    pub(crate) inodes: HashMap<u64, Inode>,
+    pub(crate) dirs: HashMap<u64, Directory>,
+    pub(crate) page_cache: PageCache,
+    pub(crate) open_files: HashMap<u64, OpenFile>,
+    pub(crate) next_fd: u64,
+    pub(crate) txtable: TxTable,
+    /// Inodes whose in-memory metadata is newer than the device copy.
+    pub(crate) dirty_inodes: BTreeSet<u64>,
+    pub(crate) journal: Option<BlockJournal>,
+}
+
+/// The ByteFS file system (host side).
+///
+/// See the [crate-level documentation](crate) for an overview and an example.
+pub struct ByteFs {
+    pub(crate) device: Arc<Mssd>,
+    pub(crate) config: ByteFsConfig,
+    pub(crate) state: Mutex<State>,
+}
+
+impl std::fmt::Debug for ByteFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("ByteFs")
+            .field("inodes_allocated", &state.inode_bitmap.allocated())
+            .field("blocks_allocated", &state.block_bitmap.allocated())
+            .field("open_files", &state.open_files.len())
+            .finish()
+    }
+}
+
+impl ByteFs {
+    /// Formats the device with a fresh ByteFS volume and mounts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device is too small or the configuration and
+    /// device firmware mode disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device page size differs from 4 KB (the only geometry the
+    /// on-disk format supports).
+    pub fn format(device: Arc<Mssd>, config: ByteFsConfig) -> FsResult<Arc<Self>> {
+        Self::check_mode(&device, &config)?;
+        let page_size = device.page_size();
+        let layout = Layout::compute(device.logical_pages(), page_size);
+        let sb = Superblock::new(layout);
+
+        // Reserve metadata regions in the block bitmap and the reserved inodes.
+        let mut block_bitmap = BitmapAllocator::new(layout.total_pages);
+        for page in 0..layout.data_start {
+            block_bitmap.allocate_at(page);
+        }
+        let mut inode_bitmap = BitmapAllocator::new(layout.inode_count);
+        inode_bitmap.allocate_at(0); // inode 0 is never used
+        inode_bitmap.allocate_at(ROOT_INO);
+
+        // Persist the initial metadata with plain block writes; mkfs is not
+        // part of any measurement.
+        device.block_write(layout.superblock_page, &sb.encode(page_size), Category::Superblock);
+        Self::write_bitmap_region(
+            &device,
+            layout.inode_bitmap_start,
+            layout.inode_bitmap_pages,
+            &inode_bitmap.to_bytes(),
+            page_size,
+        );
+        Self::write_bitmap_region(
+            &device,
+            layout.block_bitmap_start,
+            layout.block_bitmap_pages,
+            &block_bitmap.to_bytes(),
+            page_size,
+        );
+        inode_bitmap.take_dirty_groups();
+        block_bitmap.take_dirty_groups();
+
+        // Root directory inode.
+        let mut root = Inode::new(ROOT_INO, FileType::Directory, device.clock().now_ns());
+        root.nlink = 2;
+        let mut inode_page = vec![0u8; page_size];
+        let off = (ROOT_INO % layout.inodes_per_page()) as usize * INODE_SIZE;
+        inode_page[off..off + INODE_SIZE].copy_from_slice(&root.encode());
+        device.block_write(layout.inode_page(ROOT_INO), &inode_page, Category::Inode);
+        device.flush();
+
+        let mut inodes = HashMap::new();
+        inodes.insert(ROOT_INO, root);
+        let mut dirs = HashMap::new();
+        dirs.insert(ROOT_INO, Directory::new(page_size));
+
+        let journal = config
+            .data_journaling
+            .then(|| BlockJournal::new(Arc::clone(&device), layout.journal_start, layout.journal_pages));
+
+        let state = State {
+            sb,
+            layout,
+            inode_bitmap,
+            block_bitmap,
+            inodes,
+            dirs,
+            page_cache: PageCache::new(config.page_cache_pages, page_size, true),
+            open_files: HashMap::new(),
+            next_fd: 3,
+            txtable: TxTable::new(),
+            dirty_inodes: BTreeSet::new(),
+            journal,
+        };
+        Ok(Arc::new(Self { device, config, state: Mutex::new(state) }))
+    }
+
+    /// Mounts an existing ByteFS volume. If the volume was not cleanly
+    /// unmounted, firmware recovery (`RECOVER()`) runs first (§4.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Corrupted`] if no valid superblock is found, or a
+    /// configuration error if the device firmware mode does not match.
+    pub fn mount(device: Arc<Mssd>, config: ByteFsConfig) -> FsResult<Arc<Self>> {
+        Self::check_mode(&device, &config)?;
+        let page_size = device.page_size();
+        let sb_page = device.block_read(0, 1, Category::Superblock);
+        let mut sb = Superblock::decode(&sb_page)?;
+        let layout = sb.layout;
+
+        if !sb.clean && config.firmware_transactions {
+            // Crash recovery: replay committed log entries, discard the rest.
+            device.recover();
+        }
+
+        // Load bitmaps over the block interface (Table 3: bitmap reads prefer
+        // the block interface and are cached in host DRAM afterwards).
+        let inode_bitmap_raw = device.block_read(
+            layout.inode_bitmap_start,
+            layout.inode_bitmap_pages as usize,
+            Category::Bitmap,
+        );
+        let block_bitmap_raw = device.block_read(
+            layout.block_bitmap_start,
+            layout.block_bitmap_pages as usize,
+            Category::Bitmap,
+        );
+        let inode_bitmap = BitmapAllocator::from_bytes(&inode_bitmap_raw, layout.inode_count);
+        let block_bitmap = BitmapAllocator::from_bytes(&block_bitmap_raw, layout.total_pages);
+
+        // Mark the volume dirty until a clean unmount.
+        sb.clean = false;
+        sb.mount_count += 1;
+        device.block_write(0, &sb.encode(page_size), Category::Superblock);
+
+        let journal = config
+            .data_journaling
+            .then(|| BlockJournal::new(Arc::clone(&device), layout.journal_start, layout.journal_pages));
+
+        let state = State {
+            sb,
+            layout,
+            inode_bitmap,
+            block_bitmap,
+            inodes: HashMap::new(),
+            dirs: HashMap::new(),
+            page_cache: PageCache::new(config.page_cache_pages, page_size, true),
+            open_files: HashMap::new(),
+            next_fd: 3,
+            txtable: TxTable::new(),
+            dirty_inodes: BTreeSet::new(),
+            journal,
+        };
+        Ok(Arc::new(Self { device, config, state: Mutex::new(state) }))
+    }
+
+    fn check_mode(device: &Mssd, config: &ByteFsConfig) -> FsResult<()> {
+        if config.firmware_transactions && device.dram_mode() != DramMode::WriteLog {
+            return Err(FsError::InvalidArgument(
+                "firmware transactions require a device in WriteLog mode".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn write_bitmap_region(
+        device: &Mssd,
+        start: u64,
+        pages: u64,
+        bytes: &[u8],
+        page_size: usize,
+    ) {
+        for i in 0..pages {
+            let lo = (i as usize) * page_size;
+            let hi = (lo + page_size).min(bytes.len());
+            let mut page = vec![0u8; page_size];
+            if lo < bytes.len() {
+                page[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+            }
+            device.block_write(start + i, &page, Category::Bitmap);
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &ByteFsConfig {
+        &self.config
+    }
+
+    /// Runs crash recovery explicitly (normally done by [`ByteFs::mount`] when
+    /// the volume is dirty): firmware `RECOVER()` plus data-journal scan.
+    /// Returns the firmware recovery report.
+    pub fn recover_after_crash(&self) -> mssd::device::RecoveryReport {
+        self.device.recover()
+    }
+
+    /// Number of in-flight plus committed host transactions (observability).
+    pub fn committed_transactions(&self) -> u64 {
+        self.state.lock().txtable.committed()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers shared by the metadata and data paths
+    // ------------------------------------------------------------------
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.device.clock().now_ns()
+    }
+
+    /// Begins a metadata transaction (TxID-tagged when firmware transactions
+    /// are enabled).
+    pub(crate) fn begin_txn(&self, state: &mut State) -> Txn {
+        let txid = self.config.firmware_transactions.then(|| state.txtable.begin());
+        Txn::new(Arc::clone(&self.device), txid)
+    }
+
+    /// Finishes a transaction: persistence barrier, firmware commit, TxTable
+    /// bookkeeping.
+    pub(crate) fn commit_txn(&self, state: &mut State, txn: Txn) {
+        if let Some(txid) = txn.commit() {
+            state.txtable.finish(txid);
+        }
+    }
+
+    /// Persists a small metadata update either over the byte interface (inside
+    /// the transaction) or as a read-modify-write of the containing block when
+    /// the dual interface is disabled.
+    pub(crate) fn persist_meta(&self, txn: &mut Txn, addr: u64, bytes: &[u8], cat: Category) {
+        match self.config.metadata_choice(bytes.len()) {
+            InterfaceChoice::Byte => txn.write(addr, bytes, cat),
+            InterfaceChoice::Block => {
+                let page_size = self.device.page_size() as u64;
+                let lba = addr / page_size;
+                let off = (addr % page_size) as usize;
+                let mut page = self.device.block_read(lba, 1, cat);
+                page[off..off + bytes.len()].copy_from_slice(bytes);
+                self.device.block_write(lba, &page, cat);
+            }
+        }
+    }
+
+    /// Persists an inode (both halves) into the inode table.
+    pub(crate) fn persist_inode(&self, state: &State, txn: &mut Txn, inode: &Inode) {
+        let addr = state.layout.inode_addr(inode.ino);
+        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode);
+        self.persist_meta(
+            txn,
+            addr + (INODE_SIZE / 2) as u64,
+            &inode.encode_upper(),
+            Category::Inode,
+        );
+    }
+
+    /// Persists only the hot lower half of an inode (size/mtime/nlink updates).
+    pub(crate) fn persist_inode_lower(&self, state: &State, txn: &mut Txn, inode: &Inode) {
+        let addr = state.layout.inode_addr(inode.ino);
+        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode);
+    }
+
+    /// Marks an inode slot free on the device (unlink/rmdir).
+    pub(crate) fn persist_inode_free(&self, state: &State, txn: &mut Txn, ino: u64) {
+        let addr = state.layout.inode_addr(ino);
+        self.persist_meta(txn, addr, &[0u8; INODE_SIZE / 2], Category::Inode);
+    }
+
+    /// Persists every bitmap group dirtied since the last transaction.
+    pub(crate) fn persist_bitmaps(&self, state: &mut State, txn: &mut Txn) {
+        let layout = state.layout;
+        let page_size = layout.page_size as u64;
+        for group in state.inode_bitmap.take_dirty_groups() {
+            let bytes = state.inode_bitmap.group_bytes(group);
+            let addr = layout.inode_bitmap_start * page_size + group * DENTRY_SIZE as u64;
+            self.persist_meta(txn, addr, &bytes, Category::Bitmap);
+        }
+        for group in state.block_bitmap.take_dirty_groups() {
+            let bytes = state.block_bitmap.group_bytes(group);
+            let addr = layout.block_bitmap_start * page_size + group * DENTRY_SIZE as u64;
+            self.persist_meta(txn, addr, &bytes, Category::Bitmap);
+        }
+    }
+
+    /// Allocates one data block and returns its absolute LBA.
+    pub(crate) fn alloc_block(&self, state: &mut State) -> FsResult<u64> {
+        state.block_bitmap.allocate().ok_or(FsError::NoSpace)
+    }
+
+    /// Frees a data block: bitmap, device TRIM.
+    pub(crate) fn free_block(&self, state: &mut State, lba: u64) {
+        state.block_bitmap.free(lba);
+        self.device.trim(lba, 1);
+    }
+
+    /// Loads an inode into the cache (block-interface read of its inode page
+    /// on a miss) and returns a clone.
+    pub(crate) fn load_inode(&self, state: &mut State, ino: u64) -> FsResult<Inode> {
+        if let Some(inode) = state.inodes.get(&ino) {
+            return Ok(inode.clone());
+        }
+        if ino >= state.layout.inode_count || !state.inode_bitmap.is_allocated(ino) {
+            return Err(FsError::NotFound(format!("inode {ino}")));
+        }
+        let page = self.device.block_read(state.layout.inode_page(ino), 1, Category::Inode);
+        let off = (ino % state.layout.inodes_per_page()) as usize * INODE_SIZE;
+        let mut inode = Inode::decode(ino, &page[off..off + INODE_SIZE])
+            .ok_or_else(|| FsError::Corrupted(format!("inode {ino} is allocated but empty")))?;
+        if let Some(lba) = inode.overflow_lba {
+            let block = self.device.block_read(lba, 1, Category::DataPointer);
+            inode.load_overflow(&block);
+        }
+        state.inodes.insert(ino, inode.clone());
+        Ok(inode)
+    }
+
+    /// Loads a directory's entries into the dentry cache (block-interface
+    /// reads of its directory blocks on a miss).
+    pub(crate) fn load_dir(&self, state: &mut State, ino: u64) -> FsResult<()> {
+        if state.dirs.contains_key(&ino) {
+            return Ok(());
+        }
+        let inode = self.load_inode(state, ino)?;
+        if !inode.is_dir() {
+            return Err(FsError::NotADirectory(format!("inode {ino}")));
+        }
+        let mut blocks = Vec::new();
+        for (_, lba) in inode.extents.iter_blocks() {
+            blocks.push(self.device.block_read(lba, 1, Category::Dentry));
+        }
+        let dir = Directory::from_blocks(state.layout.page_size, &blocks);
+        state.dirs.insert(ino, dir);
+        Ok(())
+    }
+
+    /// Resolves an absolute path to an inode number.
+    pub(crate) fn resolve(&self, state: &mut State, path: &str) -> FsResult<u64> {
+        let comps = fspath::components(path)?;
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            self.load_dir(state, cur)?;
+            let dir = state.dirs.get(&cur).expect("just loaded");
+            match dir.lookup(comp) {
+                Some(entry) => cur = entry.ino,
+                None => return Err(FsError::NotFound(path.to_string())),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent directory of `path`, returning `(parent inode,
+    /// final name)`.
+    pub(crate) fn resolve_parent<'p>(
+        &self,
+        state: &mut State,
+        path: &'p str,
+    ) -> FsResult<(u64, &'p str)> {
+        let (parents, name) = fspath::split_parent(path)?;
+        let mut cur = ROOT_INO;
+        for comp in parents {
+            self.load_dir(state, cur)?;
+            let dir = state.dirs.get(&cur).expect("just loaded");
+            match dir.lookup(comp) {
+                Some(entry) if entry.file_type.is_dir() => cur = entry.ino,
+                Some(_) => return Err(FsError::NotADirectory(path.to_string())),
+                None => return Err(FsError::NotFound(path.to_string())),
+            }
+        }
+        Ok((cur, name))
+    }
+
+    /// Device byte address of a dentry slot inside a directory.
+    fn dentry_addr(&self, dir_inode: &Inode, block_pos: usize, slot: usize) -> u64 {
+        let lba = dir_inode
+            .extents
+            .lookup(block_pos as u64)
+            .expect("directory block must be mapped");
+        lba * self.device.page_size() as u64 + (slot * DENTRY_SIZE) as u64
+    }
+
+    /// Adds a new, zeroed directory block to `dir_ino`, updating the inode and
+    /// the in-memory directory image. Returns nothing; the caller persists the
+    /// inode afterwards.
+    fn grow_directory(&self, state: &mut State, dir_ino: u64) -> FsResult<()> {
+        let lba = self.alloc_block(state)?;
+        let now = self.now_ns();
+        let inode = state.inodes.get_mut(&dir_ino).expect("directory inode cached");
+        let block_pos = inode.extents.mapped_blocks();
+        inode.extents.insert(block_pos, lba);
+        inode.blocks += 1;
+        inode.mtime_ns = now;
+        let dir = state.dirs.get_mut(&dir_ino).expect("directory cached");
+        dir.add_empty_block();
+        Ok(())
+    }
+
+    /// Creates a new file or directory entry under `parent`, persisting all
+    /// metadata in one transaction. Returns the new inode number.
+    fn create_object(
+        &self,
+        state: &mut State,
+        parent: u64,
+        name: &str,
+        file_type: FileType,
+    ) -> FsResult<u64> {
+        self.load_dir(state, parent)?;
+        if state.dirs[&parent].lookup(name).is_some() {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        // Validate the name before allocating anything.
+        DentrySlot { ino: 1, file_type, name: name.to_string() }.encode()?;
+
+        let ino = state.inode_bitmap.allocate().ok_or(FsError::NoInodes)?;
+        let now = self.now_ns();
+        let mut inode = Inode::new(ino, file_type, now);
+        if file_type.is_dir() {
+            inode.nlink = 2;
+        }
+
+        let mut txn = self.begin_txn(state);
+
+        // Ensure the parent has a free dentry slot.
+        if !state.dirs[&parent].has_free_slot() {
+            self.grow_directory(state, parent)?;
+        }
+        let slot = {
+            let dir = state.dirs.get_mut(&parent).expect("parent cached");
+            dir.insert(name, ino, file_type)?
+        };
+
+        // Persist: the dentry slot, the new inode, the parent inode, bitmaps.
+        let slot_bytes =
+            DentrySlot { ino, file_type, name: name.to_string() }.encode().expect("validated");
+        let parent_inode = {
+            let p = state.inodes.get_mut(&parent).expect("parent inode cached");
+            p.mtime_ns = now;
+            p.size = (state.dirs[&parent].len() * DENTRY_SIZE) as u64;
+            if file_type.is_dir() {
+                p.nlink += 1;
+            }
+            p.clone()
+        };
+        let addr = self.dentry_addr(&parent_inode, slot.block_pos, slot.slot);
+        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry);
+        self.persist_inode(&state, &mut txn, &inode);
+        self.persist_inode(&state, &mut txn, &parent_inode);
+        self.persist_bitmaps(state, &mut txn);
+        self.commit_txn(state, txn);
+
+        state.inodes.insert(ino, inode);
+        if file_type.is_dir() {
+            state.dirs.insert(ino, Directory::new(state.layout.page_size));
+        }
+        Ok(ino)
+    }
+
+    /// Removes the entry `name` from `parent` and frees the object if its link
+    /// count drops to zero.
+    fn remove_object(&self, state: &mut State, parent: u64, name: &str, dir: bool) -> FsResult<()> {
+        self.load_dir(state, parent)?;
+        let entry = state.dirs[&parent]
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let target = entry.ino;
+        let target_inode = self.load_inode(state, target)?;
+        if dir {
+            if !target_inode.is_dir() {
+                return Err(FsError::NotADirectory(name.to_string()));
+            }
+            self.load_dir(state, target)?;
+            if !state.dirs[&target].is_empty() {
+                return Err(FsError::DirectoryNotEmpty(name.to_string()));
+            }
+        } else if target_inode.is_dir() {
+            return Err(FsError::IsADirectory(name.to_string()));
+        }
+
+        let now = self.now_ns();
+        let mut txn = self.begin_txn(state);
+
+        // Clear the dentry slot.
+        let parent_inode = {
+            let p = state.inodes.get_mut(&parent).expect("parent inode cached");
+            p.mtime_ns = now;
+            if dir {
+                p.nlink = p.nlink.saturating_sub(1);
+            }
+            p.clone()
+        };
+        let removed =
+            state.dirs.get_mut(&parent).expect("parent cached").remove(name).expect("exists");
+        let addr = self.dentry_addr(&parent_inode, removed.slot.block_pos, removed.slot.slot);
+        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry);
+        self.persist_inode_lower(&state, &mut txn, &parent_inode);
+
+        // Free the target's blocks and inode.
+        let freed: Vec<u64> = target_inode.extents.iter_blocks().map(|(_, lba)| lba).collect();
+        for lba in freed {
+            self.free_block(state, lba);
+        }
+        if let Some(lba) = target_inode.overflow_lba {
+            self.free_block(state, lba);
+        }
+        state.inode_bitmap.free(target);
+        self.persist_inode_free(&state, &mut txn, target);
+        self.persist_bitmaps(state, &mut txn);
+        self.commit_txn(state, txn);
+
+        state.inodes.remove(&target);
+        state.dirs.remove(&target);
+        state.dirty_inodes.remove(&target);
+        state.page_cache.invalidate_inode(target);
+        Ok(())
+    }
+
+    fn metadata_of(&self, inode: &Inode) -> Metadata {
+        Metadata {
+            inode: inode.ino,
+            size: inode.size,
+            file_type: inode.file_type,
+            nlink: inode.nlink,
+            blocks: inode.blocks,
+            mtime_ns: inode.mtime_ns,
+        }
+    }
+
+    pub(crate) fn open_file(&self, state: &State, fd: Fd) -> FsResult<OpenFile> {
+        state.open_files.get(&fd.0).copied().ok_or(FsError::BadDescriptor(fd.0))
+    }
+}
+
+impl FileSystem for ByteFs {
+    fn name(&self) -> &'static str {
+        "bytefs"
+    }
+
+    fn device(&self) -> &Arc<Mssd> {
+        &self.device
+    }
+
+    fn create(&self, path: &str) -> FsResult<Fd> {
+        let mut state = self.state.lock();
+        let (parent, name) = self.resolve_parent(&mut state, path)?;
+        let ino = self.create_object(&mut state, parent, name, FileType::File)?;
+        let fd = state.next_fd;
+        state.next_fd += 1;
+        state.open_files.insert(fd, OpenFile { ino, flags: OpenFlags::create_rw() });
+        Ok(Fd(fd))
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let mut state = self.state.lock();
+        let ino = match self.resolve(&mut state, path) {
+            Ok(ino) => {
+                let inode = self.load_inode(&mut state, ino)?;
+                if inode.is_dir() {
+                    return Err(FsError::IsADirectory(path.to_string()));
+                }
+                ino
+            }
+            Err(FsError::NotFound(_)) if flags.create => {
+                let (parent, name) = self.resolve_parent(&mut state, path)?;
+                self.create_object(&mut state, parent, name, FileType::File)?
+            }
+            Err(e) => return Err(e),
+        };
+        let fd = state.next_fd;
+        state.next_fd += 1;
+        state.open_files.insert(fd, OpenFile { ino, flags });
+        if flags.truncate {
+            drop(state);
+            self.truncate(Fd(fd), 0)?;
+        }
+        Ok(Fd(fd))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        let mut state = self.state.lock();
+        state.open_files.remove(&fd.0).ok_or(FsError::BadDescriptor(fd.0))?;
+        Ok(())
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let mut state = self.state.lock();
+        let of = self.open_file(&state, fd)?;
+        self.do_read(&mut state, of, offset, len)
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let mut state = self.state.lock();
+        let of = self.open_file(&state, fd)?;
+        if !of.flags.write && !of.flags.create {
+            return Err(FsError::PermissionDenied("file not open for writing".into()));
+        }
+        let offset = if of.flags.append {
+            state.inodes.get(&of.ino).map(|i| i.size).unwrap_or(offset)
+        } else {
+            offset
+        };
+        self.do_write(&mut state, of, offset, data)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let of = self.open_file(&state, fd)?;
+        self.do_fsync(&mut state, of.ino)
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let of = self.open_file(&state, fd)?;
+        self.do_truncate(&mut state, of.ino, size)
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        let mut state = self.state.lock();
+        let of = self.open_file(&state, fd)?;
+        let inode = self.load_inode(&mut state, of.ino)?;
+        Ok(self.metadata_of(&inode))
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let mut state = self.state.lock();
+        let ino = self.resolve(&mut state, path)?;
+        let inode = self.load_inode(&mut state, ino)?;
+        Ok(self.metadata_of(&inode))
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let (parent, name) = self.resolve_parent(&mut state, path)?;
+        self.create_object(&mut state, parent, name, FileType::Directory)?;
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let (parent, name) = self.resolve_parent(&mut state, path)?;
+        self.remove_object(&mut state, parent, name, true)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let (parent, name) = self.resolve_parent(&mut state, path)?;
+        self.remove_object(&mut state, parent, name, false)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut state = self.state.lock();
+        let (from_parent, from_name) = self.resolve_parent(&mut state, from)?;
+        let (to_parent, to_name) = self.resolve_parent(&mut state, to)?;
+        self.load_dir(&mut state, from_parent)?;
+        self.load_dir(&mut state, to_parent)?;
+        let entry = state.dirs[&from_parent]
+            .lookup(from_name)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        if state.dirs[&to_parent].lookup(to_name).is_some() {
+            return Err(FsError::AlreadyExists(to.to_string()));
+        }
+        DentrySlot { ino: entry.ino, file_type: entry.file_type, name: to_name.to_string() }
+            .encode()?;
+
+        let now = self.now_ns();
+        let mut txn = self.begin_txn(&mut state);
+
+        // Remove from the source directory.
+        let from_inode = {
+            let p = state.inodes.get_mut(&from_parent).expect("cached");
+            p.mtime_ns = now;
+            p.clone()
+        };
+        let removed = state
+            .dirs
+            .get_mut(&from_parent)
+            .expect("cached")
+            .remove(from_name)
+            .expect("looked up above");
+        let addr = self.dentry_addr(&from_inode, removed.slot.block_pos, removed.slot.slot);
+        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry);
+        self.persist_inode_lower(&state, &mut txn, &from_inode);
+
+        // Insert into the destination directory.
+        if !state.dirs[&to_parent].has_free_slot() {
+            self.grow_directory(&mut state, to_parent)?;
+        }
+        let slot = state
+            .dirs
+            .get_mut(&to_parent)
+            .expect("cached")
+            .insert(to_name, entry.ino, entry.file_type)?;
+        let to_size = (state.dirs[&to_parent].len() * DENTRY_SIZE) as u64;
+        let to_inode = {
+            let p = state.inodes.get_mut(&to_parent).expect("cached");
+            p.mtime_ns = now;
+            p.size = to_size;
+            p.clone()
+        };
+        let slot_bytes =
+            DentrySlot { ino: entry.ino, file_type: entry.file_type, name: to_name.to_string() }
+                .encode()
+                .expect("validated");
+        let addr = self.dentry_addr(&to_inode, slot.block_pos, slot.slot);
+        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry);
+        self.persist_inode(&state, &mut txn, &to_inode);
+        self.persist_bitmaps(&mut state, &mut txn);
+        self.commit_txn(&mut state, txn);
+        Ok(())
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let mut state = self.state.lock();
+        let ino = self.resolve(&mut state, path)?;
+        self.load_dir(&mut state, ino)?;
+        Ok(state.dirs[&ino]
+            .iter()
+            .map(|(name, e)| DirEntry { name: name.clone(), inode: e.ino, file_type: e.file_type })
+            .collect())
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        let mut state = self.state.lock();
+        self.do_sync(&mut state)
+    }
+
+    fn drop_caches(&self) {
+        let mut state = self.state.lock();
+        if state.page_cache.dirty_count() == 0 {
+            state.page_cache.clear();
+        }
+        state.dirs.clear();
+        let keep: std::collections::HashSet<u64> = state
+            .dirty_inodes
+            .iter()
+            .copied()
+            .chain(state.open_files.values().map(|of| of.ino))
+            .collect();
+        state.inodes.retain(|ino, _| keep.contains(ino));
+    }
+
+    fn unmount(&self) -> FsResult<()> {
+        {
+            let mut state = self.state.lock();
+            self.do_sync(&mut state)?;
+            state.sb.clean = true;
+            let encoded = state.sb.encode(state.layout.page_size);
+            self.device.block_write(state.layout.superblock_page, &encoded, Category::Superblock);
+        }
+        if self.config.firmware_transactions {
+            self.device.force_clean();
+        }
+        self.device.flush();
+        Ok(())
+    }
+}

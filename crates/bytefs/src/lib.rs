@@ -1,0 +1,53 @@
+//! # bytefs — the ByteFS file system (ASPLOS'25) in Rust
+//!
+//! ByteFS is a file system for memory-semantic SSDs (M-SSDs) that exposes both
+//! a byte interface (PCIe/CXL MMIO) and a block interface (NVMe). This crate
+//! is the host-side half of the paper's co-design; the firmware half (the
+//! log-structured device DRAM, TxLog, `COMMIT`/`RECOVER` commands) lives in
+//! the [`mssd`] crate.
+//!
+//! The headline ideas, and where they live here:
+//!
+//! * **Dual-interface metadata** (§4.5) — inodes, bitmaps, directory entries
+//!   and extent nodes are *read* in whole blocks (to exploit locality and the
+//!   host metadata cache) but *persisted* as 64–320 byte byte-interface writes:
+//!   [`inode`], [`alloc`], [`dentry`], [`extent`].
+//! * **Interface selection for data** (§4.6) — direct I/O picks the interface
+//!   by request size (≤ 512 B → byte), buffered writeback picks it by the
+//!   XOR-derived modified ratio (R < 1/8 → byte): [`policy`] plus the CoW page
+//!   cache in [`fskit::pagecache`].
+//! * **Transactions over the firmware write log** (§4.3, §4.7) — every
+//!   metadata update is a TxID-tagged byte write; commit is one `COMMIT(TxID)`
+//!   command; recovery replays the committed prefix: [`txn`] and
+//!   [`ByteFs::recover_after_crash`].
+//!
+//! ```
+//! use bytefs::{ByteFs, ByteFsConfig};
+//! use fskit::{FileSystem, FileSystemExt};
+//! use mssd::{Mssd, MssdConfig, DramMode};
+//!
+//! # fn main() -> fskit::FsResult<()> {
+//! let device = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+//! let fs = ByteFs::format(device, ByteFsConfig::default())?;
+//! fs.mkdir("/mail")?;
+//! fs.write_file("/mail/msg1", b"hello m-ssd")?;
+//! assert_eq!(fs.read_file("/mail/msg1")?, b"hello m-ssd");
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod dentry;
+pub mod extent;
+pub mod fs;
+pub mod inode;
+pub mod layout;
+pub mod policy;
+pub mod superblock;
+pub mod txn;
+
+pub use fs::ByteFs;
+pub use policy::{ByteFsConfig, InterfaceChoice};

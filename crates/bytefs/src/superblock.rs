@@ -1,0 +1,211 @@
+//! The ByteFS superblock.
+//!
+//! The superblock occupies page 0 and records the volume geometry plus a
+//! clean-shutdown flag. Table 3 of the paper classifies the superblock as
+//! "read rarely, written rarely — block interface for both", which is exactly
+//! how [`crate::ByteFs`] treats it: it is read once at mount and rewritten as
+//! a whole block at mkfs/unmount.
+
+use crate::layout::Layout;
+use fskit::{FsError, FsResult};
+
+/// Magic number identifying a ByteFS volume ("BYTE" + "FS25").
+pub const MAGIC: u64 = 0x4259_5445_4653_2025;
+
+/// On-device format version understood by this implementation.
+pub const VERSION: u32 = 1;
+
+/// The superblock contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Magic number ([`MAGIC`]).
+    pub magic: u64,
+    /// Format version ([`VERSION`]).
+    pub version: u32,
+    /// Volume layout.
+    pub layout: Layout,
+    /// `true` if the file system was unmounted cleanly; cleared at mount,
+    /// set again at unmount. A mount that finds it `false` runs recovery.
+    pub clean: bool,
+    /// Number of mounts since mkfs (informational).
+    pub mount_count: u32,
+}
+
+impl Superblock {
+    /// Creates a fresh superblock for a newly formatted volume.
+    pub fn new(layout: Layout) -> Self {
+        Self { magic: MAGIC, version: VERSION, layout, clean: true, mount_count: 0 }
+    }
+
+    /// Serializes the superblock into a full page of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is smaller than the encoded superblock (~128 B).
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; page_size];
+        let mut w = Writer::new(&mut buf);
+        w.u64(self.magic);
+        w.u32(self.version);
+        w.u32(self.mount_count);
+        w.u8(self.clean as u8);
+        let l = &self.layout;
+        w.u64(l.page_size as u64);
+        w.u64(l.total_pages);
+        w.u64(l.inode_bitmap_start);
+        w.u64(l.inode_bitmap_pages);
+        w.u64(l.block_bitmap_start);
+        w.u64(l.block_bitmap_pages);
+        w.u64(l.inode_table_start);
+        w.u64(l.inode_table_pages);
+        w.u64(l.journal_start);
+        w.u64(l.journal_pages);
+        w.u64(l.data_start);
+        w.u64(l.data_pages);
+        w.u64(l.inode_count);
+        buf
+    }
+
+    /// Decodes a superblock from a page read from the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Corrupted`] if the magic or version do not match or
+    /// the geometry is inconsistent.
+    pub fn decode(page: &[u8]) -> FsResult<Self> {
+        let mut r = Reader::new(page);
+        let magic = r.u64()?;
+        if magic != MAGIC {
+            return Err(FsError::Corrupted(format!("bad superblock magic {magic:#x}")));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(FsError::Corrupted(format!("unsupported format version {version}")));
+        }
+        let mount_count = r.u32()?;
+        let clean = r.u8()? != 0;
+        let layout = Layout {
+            page_size: r.u64()? as usize,
+            total_pages: r.u64()?,
+            superblock_page: 0,
+            inode_bitmap_start: r.u64()?,
+            inode_bitmap_pages: r.u64()?,
+            block_bitmap_start: r.u64()?,
+            block_bitmap_pages: r.u64()?,
+            inode_table_start: r.u64()?,
+            inode_table_pages: r.u64()?,
+            journal_start: r.u64()?,
+            journal_pages: r.u64()?,
+            data_start: r.u64()?,
+            data_pages: r.u64()?,
+            inode_count: r.u64()?,
+        };
+        if layout.data_start + layout.data_pages != layout.total_pages {
+            return Err(FsError::Corrupted("superblock geometry is inconsistent".into()));
+        }
+        Ok(Self { magic, version, layout, clean, mount_count })
+    }
+}
+
+struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> FsResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(FsError::Corrupted("superblock truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> FsResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn u32(&mut self) -> FsResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u8(&mut self) -> FsResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sb() -> Superblock {
+        Superblock::new(Layout::compute(2048, 4096))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = sb();
+        s.mount_count = 3;
+        s.clean = false;
+        let page = s.encode(4096);
+        assert_eq!(page.len(), 4096);
+        let back = Superblock::decode(&page).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let s = sb();
+        let mut page = s.encode(4096);
+        page[0] ^= 0xFF;
+        assert!(matches!(Superblock::decode(&page), Err(FsError::Corrupted(_))));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let s = sb();
+        let mut page = s.encode(4096);
+        page[8] = 99;
+        assert!(matches!(Superblock::decode(&page), Err(FsError::Corrupted(_))));
+    }
+
+    #[test]
+    fn truncated_page_is_rejected() {
+        let s = sb();
+        let page = s.encode(4096);
+        assert!(matches!(Superblock::decode(&page[..16]), Err(FsError::Corrupted(_))));
+    }
+
+    #[test]
+    fn inconsistent_geometry_is_rejected() {
+        let s = sb();
+        let mut page = s.encode(4096);
+        // Corrupt total_pages (offset: 8+4+4+1+8 = 25).
+        page[25..33].copy_from_slice(&12345u64.to_le_bytes());
+        assert!(matches!(Superblock::decode(&page), Err(FsError::Corrupted(_))));
+    }
+}

@@ -1,0 +1,167 @@
+//! Host-side transaction management.
+//!
+//! A ByteFS file-system operation that touches multiple metadata structures
+//! (e.g. `create` updates the parent directory, the inode bitmap, the new
+//! inode and the parent inode) is wrapped in a transaction: every byte write
+//! carries the transaction's TxID, and a single `COMMIT(TxID)` command makes
+//! the whole group durable and atomic (§4.3, §4.7). The host keeps a TxTable
+//! of in-flight transactions (mirrored here by [`TxTable`]) mostly for
+//! observability; ordering between conflicting transactions is provided by the
+//! file-system lock.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mssd::txn::TxIdAllocator;
+use mssd::{Category, Mssd, TxId};
+
+/// The host transaction table: allocates TxIDs and tracks in-flight
+/// transactions.
+#[derive(Debug, Default)]
+pub struct TxTable {
+    alloc: TxIdAllocator,
+    active: HashSet<TxId>,
+    committed: u64,
+}
+
+impl TxTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self { alloc: TxIdAllocator::new(), active: HashSet::new(), committed: 0 }
+    }
+
+    /// Starts a new transaction and returns its TxID.
+    pub fn begin(&mut self) -> TxId {
+        let id = self.alloc.allocate();
+        self.active.insert(id);
+        id
+    }
+
+    /// Marks a transaction committed.
+    pub fn finish(&mut self, txid: TxId) {
+        if self.active.remove(&txid) {
+            self.committed += 1;
+        }
+    }
+
+    /// Number of transactions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of transactions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+}
+
+/// A single in-flight transaction: a thin wrapper that tags byte writes with
+/// the TxID and issues the commit sequence.
+#[derive(Debug)]
+pub struct Txn {
+    device: Arc<Mssd>,
+    txid: Option<TxId>,
+    writes: usize,
+    bytes: usize,
+}
+
+impl Txn {
+    /// Starts a transaction. When `txid` is `None` (firmware transactions
+    /// disabled) writes are plain byte writes and commit is only a persistence
+    /// barrier.
+    pub fn new(device: Arc<Mssd>, txid: Option<TxId>) -> Self {
+        Self { device, txid, writes: 0, bytes: 0 }
+    }
+
+    /// The transaction ID, if firmware transactions are enabled.
+    pub fn txid(&self) -> Option<TxId> {
+        self.txid
+    }
+
+    /// Number of byte writes issued under this transaction.
+    pub fn writes(&self) -> usize {
+        self.writes
+    }
+
+    /// Total bytes written under this transaction.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Issues a byte-interface write tagged with this transaction's TxID.
+    pub fn write(&mut self, addr: u64, data: &[u8], cat: Category) {
+        self.device.byte_write(addr, data, self.txid, cat);
+        self.writes += 1;
+        self.bytes += data.len();
+    }
+
+    /// Commits the transaction: flush the CPU write-combining buffers
+    /// (persistence barrier) and, when firmware transactions are enabled,
+    /// issue `COMMIT(TxID)`.
+    pub fn commit(self) -> Option<TxId> {
+        if self.writes > 0 {
+            self.device.persist_barrier();
+        }
+        if let Some(txid) = self.txid {
+            self.device.commit(txid);
+        }
+        self.txid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssd::{DramMode, MssdConfig};
+
+    #[test]
+    fn txtable_tracks_lifecycle() {
+        let mut t = TxTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        assert_ne!(a, b);
+        assert_eq!(t.in_flight(), 2);
+        t.finish(a);
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.committed(), 1);
+        // Finishing twice is harmless.
+        t.finish(a);
+        assert_eq!(t.committed(), 1);
+    }
+
+    #[test]
+    fn txn_tags_writes_and_commits() {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        let mut table = TxTable::new();
+        let txid = table.begin();
+        let mut txn = Txn::new(Arc::clone(&dev), Some(txid));
+        txn.write(4096, &[1u8; 64], Category::Inode);
+        txn.write(8192, &[2u8; 64], Category::Bitmap);
+        assert_eq!(txn.writes(), 2);
+        assert_eq!(txn.bytes(), 128);
+        let committed = txn.commit().unwrap();
+        table.finish(committed);
+        assert!(dev.is_committed(txid));
+        assert_eq!(dev.traffic().tx_commits, 1);
+    }
+
+    #[test]
+    fn txn_without_firmware_transactions_only_barriers() {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::PageCache);
+        let mut txn = Txn::new(Arc::clone(&dev), None);
+        txn.write(0, &[5u8; 64], Category::Dentry);
+        assert!(txn.commit().is_none());
+        assert_eq!(dev.traffic().tx_commits, 0);
+        // The data is still durable in device DRAM.
+        assert_eq!(dev.byte_read(0, 64, Category::Dentry), vec![5u8; 64]);
+    }
+
+    #[test]
+    fn empty_txn_commit_skips_the_barrier() {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        let before = dev.clock().now_ns();
+        let txn = Txn::new(Arc::clone(&dev), None);
+        txn.commit();
+        assert_eq!(dev.clock().now_ns(), before);
+    }
+}

@@ -1,0 +1,86 @@
+//! The error type shared by every file system in the workspace.
+
+/// Result alias used throughout the file-system crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by [`crate::FileSystem`] operations.
+///
+/// The variants intentionally mirror the POSIX errno values the corresponding
+/// kernel file systems would return, so workload code written against one file
+/// system behaves identically on all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// A path component does not exist (`ENOENT`).
+    NotFound(String),
+    /// The target already exists (`EEXIST`).
+    AlreadyExists(String),
+    /// The operation expected a directory but found a file (`ENOTDIR`).
+    NotADirectory(String),
+    /// The operation expected a file but found a directory (`EISDIR`).
+    IsADirectory(String),
+    /// Directory is not empty (`ENOTEMPTY`).
+    DirectoryNotEmpty(String),
+    /// The file descriptor is not open (`EBADF`).
+    BadDescriptor(u64),
+    /// No space left on device (`ENOSPC`).
+    NoSpace,
+    /// No free inodes left.
+    NoInodes,
+    /// The path is syntactically invalid (empty component, not absolute, ...).
+    InvalidPath(String),
+    /// An argument was invalid (`EINVAL`).
+    InvalidArgument(String),
+    /// The file is not open for the requested access mode.
+    PermissionDenied(String),
+    /// The file system detected an internal inconsistency (corruption).
+    Corrupted(String),
+    /// The operation is not supported by this file system.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::BadDescriptor(fd) => write!(f, "bad file descriptor: {fd}"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes left"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            FsError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            FsError::Corrupted(m) => write!(f, "file system corrupted: {m}"),
+            FsError::Unsupported(m) => write!(f, "operation not supported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = FsError::NotFound("/a/b".into());
+        assert_eq!(e.to_string(), "no such file or directory: /a/b");
+        let e = FsError::NoSpace;
+        assert_eq!(e.to_string(), "no space left on device");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FsError::NoSpace, FsError::NoSpace);
+        assert_ne!(FsError::NoSpace, FsError::NoInodes);
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(FsError::BadDescriptor(3));
+    }
+}

@@ -1,0 +1,460 @@
+//! The host page cache, with copy-on-write duplicate pages and XOR-based
+//! dirty-chunk detection.
+//!
+//! §4.6 of the paper: in buffered I/O mode ByteFS tracks, per cached page, a
+//! duplicate copy taken the first time the page is modified (copy-on-write).
+//! On writeback it XORs the original and current contents to find the modified
+//! 64-byte chunks and computes the modified ratio `R = N_modified / N_total`;
+//! if `R < 1/8` the dirty chunks are persisted over the byte interface,
+//! otherwise the whole page goes through the block interface.
+//!
+//! The same [`PageCache`] type (with CoW tracking disabled) serves as the
+//! ordinary host page cache of the block-based baseline file systems.
+
+use std::collections::HashMap;
+
+/// Key of a cached page: `(inode number, page index within the file)`.
+pub type PageKey = (u64, u64);
+
+/// A contiguous modified byte range within a page, aligned to chunk
+/// boundaries: `(offset, length)`.
+pub type DirtyRange = (usize, usize);
+
+/// A dirty page handed to the file system for writeback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyPage {
+    /// Owning inode.
+    pub inode: u64,
+    /// Page index within the file.
+    pub index: u64,
+    /// Current contents.
+    pub data: Vec<u8>,
+    /// Contents when the page was first modified (present only when CoW
+    /// tracking is enabled), used for XOR dirty-chunk detection.
+    pub original: Option<Vec<u8>>,
+}
+
+impl DirtyPage {
+    /// Modified chunk ranges of this page (64-byte aligned). When no original
+    /// copy exists the whole page is considered modified.
+    pub fn dirty_ranges(&self, chunk: usize) -> Vec<DirtyRange> {
+        match &self.original {
+            Some(orig) => dirty_chunks(orig, &self.data, chunk),
+            None => vec![(0, self.data.len())],
+        }
+    }
+
+    /// Modified ratio `R` of this page (1.0 when no original copy exists).
+    pub fn modified_ratio(&self, chunk: usize) -> f64 {
+        match &self.original {
+            Some(orig) => modified_ratio(orig, &self.data, chunk),
+            None => 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CachedPage {
+    data: Vec<u8>,
+    dirty: bool,
+    original: Option<Vec<u8>>,
+    last_use: u64,
+}
+
+/// An LRU host page cache keyed by `(inode, page index)`.
+#[derive(Debug)]
+pub struct PageCache {
+    page_size: usize,
+    capacity_pages: usize,
+    track_cow: bool,
+    pages: HashMap<PageKey, CachedPage>,
+    tick: u64,
+}
+
+impl PageCache {
+    /// Creates a page cache holding at most `capacity_pages` pages of
+    /// `page_size` bytes. `track_cow` enables the ByteFS duplicate-page
+    /// mechanism.
+    pub fn new(capacity_pages: usize, page_size: usize, track_cow: bool) -> Self {
+        Self {
+            page_size,
+            capacity_pages: capacity_pages.max(1),
+            track_cow,
+            pages: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of resident dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.pages.values().filter(|p| p.dirty).count()
+    }
+
+    /// Bytes used by duplicate (CoW) pages, for the §4.6 memory-overhead
+    /// accounting.
+    pub fn cow_bytes(&self) -> usize {
+        self.pages.values().filter(|p| p.original.is_some()).count() * self.page_size
+    }
+
+    /// Whether a page is resident.
+    pub fn contains(&self, inode: u64, index: u64) -> bool {
+        self.pages.contains_key(&(inode, index))
+    }
+
+    fn touch(&mut self, key: PageKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(p) = self.pages.get_mut(&key) {
+            p.last_use = tick;
+        }
+    }
+
+    /// Returns a copy of a resident page.
+    pub fn get(&mut self, inode: u64, index: u64) -> Option<Vec<u8>> {
+        let key = (inode, index);
+        if self.pages.contains_key(&key) {
+            self.touch(key);
+            Some(self.pages[&key].data.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a page read from the device (clean). Evicts clean LRU pages if
+    /// the cache is over capacity; dirty pages are never evicted implicitly.
+    pub fn insert_clean(&mut self, inode: u64, index: u64, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), self.page_size);
+        self.tick += 1;
+        let entry = CachedPage { data, dirty: false, original: None, last_use: self.tick };
+        match self.pages.get_mut(&(inode, index)) {
+            Some(existing) if existing.dirty => {
+                // Never clobber a dirty page with stale device contents.
+            }
+            Some(existing) => *existing = entry,
+            None => {
+                self.pages.insert((inode, index), entry);
+                self.evict_clean();
+            }
+        }
+    }
+
+    /// Applies a write to a resident page, marking it dirty and (if enabled)
+    /// capturing the CoW original on the first modification. Returns `false`
+    /// when the page is not resident — the caller must load it first.
+    pub fn write(&mut self, inode: u64, index: u64, offset: usize, bytes: &[u8]) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let track_cow = self.track_cow;
+        match self.pages.get_mut(&(inode, index)) {
+            Some(p) => {
+                debug_assert!(offset + bytes.len() <= self.page_size);
+                if track_cow && !p.dirty && p.original.is_none() {
+                    p.original = Some(p.data.clone());
+                }
+                p.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+                p.dirty = true;
+                p.last_use = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a brand-new page that has no backing content on the device yet
+    /// (file extension); it starts dirty with a zero original.
+    pub fn insert_new_dirty(&mut self, inode: u64, index: u64, data: Vec<u8>) {
+        debug_assert_eq!(data.len(), self.page_size);
+        self.tick += 1;
+        let original = if self.track_cow { Some(vec![0u8; self.page_size]) } else { None };
+        self.pages.insert(
+            (inode, index),
+            CachedPage { data, dirty: true, original, last_use: self.tick },
+        );
+        self.evict_clean();
+    }
+
+    /// Removes the dirty state of one inode's pages and returns them for
+    /// writeback, in ascending page order. The pages stay resident (clean).
+    pub fn take_dirty(&mut self, inode: u64) -> Vec<DirtyPage> {
+        let mut keys: Vec<PageKey> = self
+            .pages
+            .iter()
+            .filter(|((ino, _), p)| *ino == inode && p.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        self.take_keys(&keys)
+    }
+
+    /// Like [`PageCache::take_dirty`] but for every inode (used by `sync`).
+    pub fn take_all_dirty(&mut self) -> Vec<DirtyPage> {
+        let mut keys: Vec<PageKey> =
+            self.pages.iter().filter(|(_, p)| p.dirty).map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        self.take_keys(&keys)
+    }
+
+    fn take_keys(&mut self, keys: &[PageKey]) -> Vec<DirtyPage> {
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(p) = self.pages.get_mut(key) {
+                p.dirty = false;
+                let original = p.original.take();
+                out.push(DirtyPage {
+                    inode: key.0,
+                    index: key.1,
+                    data: p.data.clone(),
+                    original,
+                });
+            }
+        }
+        out
+    }
+
+    /// Drops every page (dirty or clean) belonging to an inode (unlink,
+    /// truncate).
+    pub fn invalidate_inode(&mut self, inode: u64) {
+        self.pages.retain(|(ino, _), _| *ino != inode);
+    }
+
+    /// Drops pages of `inode` with index >= `from_index` (truncate).
+    pub fn invalidate_from(&mut self, inode: u64, from_index: u64) {
+        self.pages.retain(|(ino, idx), _| *ino != inode || *idx < from_index);
+    }
+
+    /// Drops everything (unmount / simulated host crash).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    fn evict_clean(&mut self) {
+        while self.pages.len() > self.capacity_pages {
+            let victim = self
+                .pages
+                .iter()
+                .filter(|(_, p)| !p.dirty)
+                .min_by_key(|(_, p)| p.last_use)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.pages.remove(&k);
+                }
+                None => break, // everything is dirty; allow temporary overshoot
+            }
+        }
+    }
+}
+
+/// Returns the modified byte ranges between `original` and `current`,
+/// detected at `chunk` granularity and merged into maximal runs.
+///
+/// This is the software stand-in for the AVX2 XOR scan the paper uses: only
+/// the *decision* (which 64-byte chunks differ) matters for interface
+/// selection.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or `chunk` is zero.
+pub fn dirty_chunks(original: &[u8], current: &[u8], chunk: usize) -> Vec<DirtyRange> {
+    assert_eq!(original.len(), current.len(), "XOR diff needs equal-length pages");
+    assert!(chunk > 0, "chunk size must be non-zero");
+    let mut ranges: Vec<DirtyRange> = Vec::new();
+    let mut off = 0;
+    while off < current.len() {
+        let end = (off + chunk).min(current.len());
+        if original[off..end] != current[off..end] {
+            match ranges.last_mut() {
+                Some((start, len)) if *start + *len == off => *len += end - off,
+                _ => ranges.push((off, end - off)),
+            }
+        }
+        off = end;
+    }
+    ranges
+}
+
+/// The modified ratio `R = N_modified_chunks / N_total_chunks` (§4.6).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `chunk` is zero.
+pub fn modified_ratio(original: &[u8], current: &[u8], chunk: usize) -> f64 {
+    assert!(chunk > 0);
+    let total = original.len().div_ceil(chunk).max(1);
+    let modified: usize =
+        dirty_chunks(original, current, chunk).iter().map(|(_, len)| len.div_ceil(chunk)).sum();
+    modified as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 4096;
+
+    fn cache(cow: bool) -> PageCache {
+        PageCache::new(64, PS, cow)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = cache(false);
+        c.insert_clean(1, 0, vec![3u8; PS]);
+        assert_eq!(c.get(1, 0), Some(vec![3u8; PS]));
+        assert_eq!(c.get(1, 1), None);
+        assert!(c.contains(1, 0));
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn write_requires_residency() {
+        let mut c = cache(true);
+        assert!(!c.write(1, 0, 0, &[1, 2, 3]));
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        assert!(c.write(1, 0, 100, &[9, 9]));
+        assert_eq!(c.dirty_count(), 1);
+        let got = c.get(1, 0).unwrap();
+        assert_eq!(&got[100..102], &[9, 9]);
+    }
+
+    #[test]
+    fn cow_original_is_captured_once() {
+        let mut c = cache(true);
+        c.insert_clean(1, 0, vec![7u8; PS]);
+        c.write(1, 0, 0, &[1u8; 64]);
+        c.write(1, 0, 64, &[2u8; 64]);
+        assert_eq!(c.cow_bytes(), PS);
+        let dirty = c.take_dirty(1);
+        assert_eq!(dirty.len(), 1);
+        let orig = dirty[0].original.as_ref().unwrap();
+        assert_eq!(orig, &vec![7u8; PS]);
+        // Ranges cover exactly the two modified cachelines, merged.
+        assert_eq!(dirty[0].dirty_ranges(64), vec![(0, 128)]);
+    }
+
+    #[test]
+    fn cow_disabled_reports_whole_page() {
+        let mut c = cache(false);
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        c.write(1, 0, 0, &[1u8; 8]);
+        let dirty = c.take_dirty(1);
+        assert!(dirty[0].original.is_none());
+        assert_eq!(dirty[0].dirty_ranges(64), vec![(0, PS)]);
+        assert_eq!(dirty[0].modified_ratio(64), 1.0);
+    }
+
+    #[test]
+    fn take_dirty_clears_dirty_state_but_keeps_pages() {
+        let mut c = cache(true);
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        c.insert_clean(1, 1, vec![0u8; PS]);
+        c.insert_clean(2, 0, vec![0u8; PS]);
+        c.write(1, 0, 0, &[1]);
+        c.write(1, 1, 0, &[1]);
+        c.write(2, 0, 0, &[1]);
+        let dirty = c.take_dirty(1);
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(dirty[0].index, 0);
+        assert_eq!(dirty[1].index, 1);
+        assert_eq!(c.dirty_count(), 1, "inode 2 remains dirty");
+        assert_eq!(c.len(), 3);
+        assert!(c.take_dirty(1).is_empty());
+        assert_eq!(c.take_all_dirty().len(), 1);
+    }
+
+    #[test]
+    fn insert_clean_never_clobbers_dirty() {
+        let mut c = cache(true);
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        c.write(1, 0, 0, &[5u8; 4]);
+        c.insert_clean(1, 0, vec![9u8; PS]);
+        let page = c.get(1, 0).unwrap();
+        assert_eq!(&page[..4], &[5u8; 4]);
+    }
+
+    #[test]
+    fn invalidate_inode_and_from() {
+        let mut c = cache(false);
+        for idx in 0..4 {
+            c.insert_clean(1, idx, vec![0u8; PS]);
+        }
+        c.insert_clean(2, 0, vec![0u8; PS]);
+        c.invalidate_from(1, 2);
+        assert!(c.contains(1, 1));
+        assert!(!c.contains(1, 2));
+        c.invalidate_inode(1);
+        assert!(!c.contains(1, 0));
+        assert!(c.contains(2, 0));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_only_clean_pages() {
+        let mut c = PageCache::new(2, PS, false);
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        c.write(1, 0, 0, &[1]);
+        c.insert_clean(1, 1, vec![0u8; PS]);
+        c.insert_clean(1, 2, vec![0u8; PS]);
+        // Page (1,0) is dirty and must survive; one of the clean pages is gone.
+        assert!(c.contains(1, 0));
+        assert_eq!(c.len(), 2);
+        // With everything dirty the cache may overshoot rather than lose data.
+        let mut c = PageCache::new(1, PS, false);
+        c.insert_new_dirty(1, 0, vec![1u8; PS]);
+        c.insert_new_dirty(1, 1, vec![2u8; PS]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dirty_chunks_detects_and_merges() {
+        let orig = vec![0u8; 4096];
+        let mut cur = orig.clone();
+        cur[0] = 1; // chunk 0
+        cur[100] = 1; // chunk 1
+        cur[1000] = 1; // chunk 15
+        let ranges = dirty_chunks(&orig, &cur, 64);
+        assert_eq!(ranges, vec![(0, 128), (960, 64)]);
+        assert!(dirty_chunks(&orig, &orig, 64).is_empty());
+    }
+
+    #[test]
+    fn modified_ratio_matches_paper_threshold_semantics() {
+        let orig = vec![0u8; 4096];
+        let mut cur = orig.clone();
+        // Modify 7 cachelines: 7/64 < 1/8 → byte interface preferred.
+        for i in 0..7 {
+            cur[i * 64] = 1;
+        }
+        let r = modified_ratio(&orig, &cur, 64);
+        assert!(r < 0.125, "r = {r}");
+        // Modify half the page → block interface preferred.
+        for i in 0..32 {
+            cur[i * 64] = 2;
+        }
+        let r = modified_ratio(&orig, &cur, 64);
+        assert!(r >= 0.125);
+        assert!(r <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn dirty_chunks_rejects_mismatched_lengths() {
+        dirty_chunks(&[0u8; 10], &[0u8; 12], 64);
+    }
+}

@@ -1,0 +1,158 @@
+//! Common value types used by the [`crate::FileSystem`] trait.
+
+use serde::{Deserialize, Serialize};
+
+/// An open file handle returned by `create`/`open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd(pub u64);
+
+impl std::fmt::Display for Fd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// The type of a file-system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// A regular file.
+    File,
+    /// A directory.
+    Directory,
+}
+
+impl FileType {
+    /// `true` for [`FileType::Directory`].
+    pub fn is_dir(self) -> bool {
+        matches!(self, FileType::Directory)
+    }
+}
+
+/// Flags controlling `open` behaviour; a tiny subset of `O_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpenFlags {
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate the file to zero length on open.
+    pub truncate: bool,
+    /// Open for writing (reads are always allowed).
+    pub write: bool,
+    /// Bypass the host page cache (`O_DIRECT`): reads and writes go straight
+    /// to the device and the interface is chosen by request size (§4.6).
+    pub direct: bool,
+    /// All writes append to the end of the file (`O_APPEND`).
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Read-only open of an existing file.
+    pub fn read_only() -> Self {
+        Self::default()
+    }
+
+    /// Read-write open of an existing file.
+    pub fn read_write() -> Self {
+        Self { write: true, ..Self::default() }
+    }
+
+    /// Create (if needed) and open read-write.
+    pub fn create_rw() -> Self {
+        Self { create: true, write: true, ..Self::default() }
+    }
+
+    /// Create, truncate and open read-write.
+    pub fn create_truncate() -> Self {
+        Self { create: true, truncate: true, write: true, ..Self::default() }
+    }
+
+    /// Enables `O_DIRECT` on top of the current flags.
+    pub fn with_direct(mut self) -> Self {
+        self.direct = true;
+        self
+    }
+
+    /// Enables `O_APPEND` on top of the current flags.
+    pub fn with_append(mut self) -> Self {
+        self.append = true;
+        self.write = true;
+        self
+    }
+}
+
+/// File metadata as returned by `stat`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Inode number.
+    pub inode: u64,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Object type.
+    pub file_type: FileType,
+    /// Number of directory entries pointing at this inode.
+    pub nlink: u32,
+    /// Number of data blocks allocated to the file.
+    pub blocks: u64,
+    /// Last modification time in virtual nanoseconds.
+    pub mtime_ns: u64,
+}
+
+impl Metadata {
+    /// `true` if the object is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.file_type.is_dir()
+    }
+
+    /// `true` if the object is a regular file.
+    pub fn is_file(&self) -> bool {
+        matches!(self.file_type, FileType::File)
+    }
+}
+
+/// One entry returned by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Name of the child within its parent directory (no slashes).
+    pub name: String,
+    /// Inode of the child.
+    pub inode: u64,
+    /// Type of the child.
+    pub file_type: FileType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flag_constructors() {
+        assert!(!OpenFlags::read_only().write);
+        assert!(OpenFlags::read_write().write);
+        let f = OpenFlags::create_truncate();
+        assert!(f.create && f.truncate && f.write);
+        let f = OpenFlags::read_only().with_append();
+        assert!(f.append && f.write);
+        let f = OpenFlags::read_write().with_direct();
+        assert!(f.direct);
+    }
+
+    #[test]
+    fn metadata_type_helpers() {
+        let m = Metadata {
+            inode: 2,
+            size: 0,
+            file_type: FileType::Directory,
+            nlink: 2,
+            blocks: 1,
+            mtime_ns: 0,
+        };
+        assert!(m.is_dir());
+        assert!(!m.is_file());
+        assert!(FileType::Directory.is_dir());
+        assert!(!FileType::File.is_dir());
+    }
+
+    #[test]
+    fn fd_displays_compactly() {
+        assert_eq!(Fd(7).to_string(), "fd7");
+    }
+}

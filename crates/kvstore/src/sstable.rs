@@ -1,0 +1,323 @@
+//! Immutable sorted-string tables (SSTables).
+//!
+//! A memtable flush writes its sorted entries to one SSTable file with a
+//! sparse index; lookups read only a small byte range of the file, scans read
+//! it sequentially. Tombstones are stored so that compaction can shadow older
+//! values.
+
+use std::sync::Arc;
+
+use fskit::{FileSystem, FsError, FsResult, OpenFlags};
+
+/// One entry as stored in an SSTable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SstEntry {
+    /// The key.
+    pub key: Vec<u8>,
+    /// The value; `None` is a tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
+fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: &Option<Vec<u8>>) {
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    let vlen = value.as_ref().map(|v| v.len()).unwrap_or(0) as u32;
+    out.extend_from_slice(&vlen.to_le_bytes());
+    out.push(value.is_some() as u8);
+    out.extend_from_slice(key);
+    if let Some(v) = value {
+        out.extend_from_slice(v);
+    }
+}
+
+fn decode_entry(buf: &[u8]) -> Option<(SstEntry, usize)> {
+    if buf.len() < 9 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+    let vlen = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
+    let has_value = buf[8] != 0;
+    let total = 9 + klen + vlen;
+    if klen == 0 || buf.len() < total {
+        return None;
+    }
+    let key = buf[9..9 + klen].to_vec();
+    let value = has_value.then(|| buf[9 + klen..total].to_vec());
+    Some((SstEntry { key, value }, total))
+}
+
+/// Every how many entries a sparse-index anchor is kept in memory.
+const INDEX_INTERVAL: usize = 16;
+
+/// An immutable, sorted table backed by one file.
+pub struct SsTable {
+    fs: Arc<dyn FileSystem>,
+    path: String,
+    /// Sparse index: `(key, byte offset)` of every `INDEX_INTERVAL`-th entry.
+    index: Vec<(Vec<u8>, u64)>,
+    /// Smallest and largest key in the table.
+    bounds: Option<(Vec<u8>, Vec<u8>)>,
+    size_bytes: u64,
+    entries: usize,
+}
+
+impl SsTable {
+    /// Writes a new SSTable from sorted `(key, value)` entries and syncs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors; returns [`FsError::InvalidArgument`] if
+    /// the entries are not strictly sorted by key.
+    pub fn write(
+        fs: Arc<dyn FileSystem>,
+        path: &str,
+        entries: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> FsResult<Self> {
+        for pair in entries.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(FsError::InvalidArgument("sstable entries must be sorted".into()));
+            }
+        }
+        let mut buf = Vec::new();
+        let mut index = Vec::new();
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if i % INDEX_INTERVAL == 0 {
+                index.push((key.clone(), buf.len() as u64));
+            }
+            encode_entry(&mut buf, key, value);
+        }
+        let fd = fs.open(path, OpenFlags::create_truncate())?;
+        fs.write(fd, 0, &buf)?;
+        fs.fsync(fd)?;
+        fs.close(fd)?;
+        let bounds = entries
+            .first()
+            .map(|(k, _)| (k.clone(), entries.last().expect("non-empty").0.clone()));
+        Ok(Self {
+            fs,
+            path: path.to_string(),
+            index,
+            bounds,
+            size_bytes: buf.len() as u64,
+            entries: entries.len(),
+        })
+    }
+
+    /// Opens an existing SSTable, rebuilding the sparse index by scanning the
+    /// file once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn open(fs: Arc<dyn FileSystem>, path: &str) -> FsResult<Self> {
+        let fd = fs.open(path, OpenFlags::read_only())?;
+        let size = fs.fstat(fd)?.size as usize;
+        let buf = fs.read(fd, 0, size)?;
+        fs.close(fd)?;
+        let mut index = Vec::new();
+        let mut bounds: Option<(Vec<u8>, Vec<u8>)> = None;
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while let Some((entry, used)) = decode_entry(&buf[pos..]) {
+            if count % INDEX_INTERVAL == 0 {
+                index.push((entry.key.clone(), pos as u64));
+            }
+            bounds = Some(match bounds {
+                None => (entry.key.clone(), entry.key.clone()),
+                Some((lo, _)) => (lo, entry.key.clone()),
+            });
+            pos += used;
+            count += 1;
+        }
+        Ok(Self {
+            fs,
+            path: path.to_string(),
+            index,
+            bounds,
+            size_bytes: pos as u64,
+            entries: count,
+        })
+    }
+
+    /// The file path backing this table.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Size of the table file in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Whether `key` falls within this table's key range.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        match &self.bounds {
+            Some((lo, hi)) => key >= lo.as_slice() && key <= hi.as_slice(),
+            None => false,
+        }
+    }
+
+    /// Point lookup. Reads only the index segment that may hold the key.
+    ///
+    /// Returns `Some(Some(v))` for a live value, `Some(None)` for a tombstone,
+    /// and `None` if the key is not in this table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn get(&self, key: &[u8]) -> FsResult<Option<Option<Vec<u8>>>> {
+        if !self.may_contain(key) {
+            return Ok(None);
+        }
+        // Find the index anchor at or before the key.
+        let slot = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return Ok(None),
+            Err(i) => i - 1,
+        };
+        let start = self.index[slot].1;
+        let end = self.index.get(slot + 1).map(|(_, off)| *off).unwrap_or(self.size_bytes);
+        let fd = self.fs.open(&self.path, OpenFlags::read_only())?;
+        let buf = self.fs.read(fd, start, (end - start) as usize)?;
+        self.fs.close(fd)?;
+        let mut pos = 0;
+        while let Some((entry, used)) = decode_entry(&buf[pos..]) {
+            if entry.key.as_slice() == key {
+                return Ok(Some(entry.value));
+            }
+            if entry.key.as_slice() > key {
+                break;
+            }
+            pos += used;
+        }
+        Ok(None)
+    }
+
+    /// Reads every entry of the table in key order (used by scans and
+    /// compaction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn scan_all(&self) -> FsResult<Vec<SstEntry>> {
+        let fd = self.fs.open(&self.path, OpenFlags::read_only())?;
+        let buf = self.fs.read(fd, 0, self.size_bytes as usize)?;
+        self.fs.close(fd)?;
+        let mut out = Vec::with_capacity(self.entries);
+        let mut pos = 0;
+        while let Some((entry, used)) = decode_entry(&buf[pos..]) {
+            out.push(entry);
+            pos += used;
+        }
+        Ok(out)
+    }
+
+    /// Deletes the backing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn delete(self) -> FsResult<()> {
+        self.fs.unlink(&self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytefs::{ByteFs, ByteFsConfig};
+    use mssd::{DramMode, Mssd, MssdConfig};
+
+    fn test_fs() -> Arc<dyn FileSystem> {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        ByteFs::format(dev, ByteFsConfig::default()).unwrap()
+    }
+
+    fn entries(n: usize) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("key{i:05}").into_bytes();
+                let value = (i % 7 != 3).then(|| format!("value-{i}").into_bytes());
+                (key, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_get() {
+        let fs = test_fs();
+        let table = SsTable::write(Arc::clone(&fs), "/sst1", &entries(100)).unwrap();
+        assert_eq!(table.len(), 100);
+        assert!(table.size_bytes() > 0);
+        assert_eq!(table.get(b"key00042").unwrap(), Some(Some(b"value-42".to_vec())));
+        assert_eq!(table.get(b"key00003").unwrap(), Some(None), "tombstone is found");
+        assert_eq!(table.get(b"missing").unwrap(), None);
+        assert_eq!(table.get(b"key99999").unwrap(), None);
+    }
+
+    #[test]
+    fn open_rebuilds_the_index() {
+        let fs = test_fs();
+        SsTable::write(Arc::clone(&fs), "/sst2", &entries(64)).unwrap();
+        let reopened = SsTable::open(Arc::clone(&fs), "/sst2").unwrap();
+        assert_eq!(reopened.len(), 64);
+        assert_eq!(reopened.get(b"key00012").unwrap(), Some(Some(b"value-12".to_vec())));
+        assert_eq!(reopened.get(b"key00010").unwrap(), Some(None), "tombstone preserved");
+        assert!(reopened.may_contain(b"key00000"));
+        assert!(!reopened.may_contain(b"zzz"));
+    }
+
+    #[test]
+    fn scan_all_returns_sorted_entries() {
+        let fs = test_fs();
+        let table = SsTable::write(Arc::clone(&fs), "/sst3", &entries(40)).unwrap();
+        let all = table.scan_all().unwrap();
+        assert_eq!(all.len(), 40);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn unsorted_input_is_rejected() {
+        let fs = test_fs();
+        let bad = vec![
+            (b"b".to_vec(), Some(b"1".to_vec())),
+            (b"a".to_vec(), Some(b"2".to_vec())),
+        ];
+        assert!(matches!(
+            SsTable::write(Arc::clone(&fs), "/bad", &bad),
+            Err(FsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_the_file() {
+        let fs = test_fs();
+        let table = SsTable::write(Arc::clone(&fs), "/sst4", &entries(8)).unwrap();
+        table.delete().unwrap();
+        assert!(!fs.exists("/sst4"));
+    }
+
+    #[test]
+    fn point_lookups_read_only_part_of_the_file() {
+        let fs = test_fs();
+        let table = SsTable::write(Arc::clone(&fs), "/sst5", &entries(1000)).unwrap();
+        let dev = fs.device();
+        let before = dev.traffic().host_read_bytes();
+        table.get(b"key00500").unwrap();
+        let read = dev.traffic().host_read_bytes() - before;
+        assert!(
+            read < table.size_bytes(),
+            "a point lookup must not read the whole table ({read} of {})",
+            table.size_bytes()
+        );
+    }
+}

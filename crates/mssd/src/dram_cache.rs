@@ -1,0 +1,261 @@
+//! Page-granular device DRAM cache (baseline firmware behaviour).
+//!
+//! The baseline file systems in the paper run on the M-SSD "without firmware
+//! changes (i.e., no log-structure memory in SSD DRAM), but we enabled the
+//! data caching (256 MB) in SSD DRAM" (§5.1). This module is that conventional
+//! write-back, LRU, page-granular cache. ByteFS does not use it — it
+//! repurposes the same DRAM budget as the log-structured write log
+//! ([`crate::log::WriteLog`]).
+
+use std::collections::HashMap;
+
+use crate::ftl::Lpa;
+
+/// One cached flash page.
+#[derive(Debug, Clone)]
+struct CachedPage {
+    data: Vec<u8>,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// An LRU write-back cache of flash pages held in device DRAM.
+#[derive(Debug)]
+pub struct DramPageCache {
+    capacity_pages: usize,
+    page_size: usize,
+    pages: HashMap<Lpa, CachedPage>,
+    tick: u64,
+}
+
+impl DramPageCache {
+    /// Creates a cache that can hold `capacity_bytes / page_size` pages
+    /// (at least one).
+    pub fn new(capacity_bytes: usize, page_size: usize) -> Self {
+        Self {
+            capacity_pages: (capacity_bytes / page_size).max(1),
+            page_size,
+            pages: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` when no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of resident dirty pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.values().filter(|p| p.dirty).count()
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Whether a page is resident.
+    pub fn contains(&self, lpa: Lpa) -> bool {
+        self.pages.contains_key(&lpa)
+    }
+
+    fn touch(&mut self, lpa: Lpa) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(p) = self.pages.get_mut(&lpa) {
+            p.last_use = tick;
+        }
+    }
+
+    /// Returns a copy of a cached page and refreshes its LRU position.
+    pub fn get(&mut self, lpa: Lpa) -> Option<Vec<u8>> {
+        if self.pages.contains_key(&lpa) {
+            self.touch(lpa);
+            Some(self.pages[&lpa].data.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Inserts (or replaces) a page. Returns the pages that had to be evicted
+    /// to make room, as `(lpa, data)` pairs — only dirty victims are returned,
+    /// clean victims are silently dropped.
+    pub fn insert(&mut self, lpa: Lpa, data: Vec<u8>, dirty: bool) -> Vec<(Lpa, Vec<u8>)> {
+        debug_assert_eq!(data.len(), self.page_size, "cache stores whole pages");
+        self.tick += 1;
+        let entry = CachedPage { data, dirty, last_use: self.tick };
+        match self.pages.get_mut(&lpa) {
+            Some(existing) => {
+                // Keep the dirty bit sticky: overwriting a dirty page with a
+                // clean copy must not lose the pending writeback.
+                let was_dirty = existing.dirty;
+                *existing = entry;
+                existing.dirty = dirty || was_dirty;
+                Vec::new()
+            }
+            None => {
+                self.pages.insert(lpa, entry);
+                self.evict_to_capacity()
+            }
+        }
+    }
+
+    /// Applies a byte-granular modification to a cached page, marking it
+    /// dirty. Returns `false` if the page is not resident.
+    pub fn modify(&mut self, lpa: Lpa, offset: usize, bytes: &[u8]) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.pages.get_mut(&lpa) {
+            Some(p) => {
+                let end = offset + bytes.len();
+                debug_assert!(end <= self.page_size);
+                p.data[offset..end].copy_from_slice(bytes);
+                p.dirty = true;
+                p.last_use = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops a page from the cache regardless of its dirty state (used when the
+    /// host overwrites the whole page through the block interface).
+    pub fn discard(&mut self, lpa: Lpa) {
+        self.pages.remove(&lpa);
+    }
+
+    /// Removes and returns all dirty pages (for FLUSH / power-loss handling).
+    pub fn drain_dirty(&mut self) -> Vec<(Lpa, Vec<u8>)> {
+        let dirty_keys: Vec<Lpa> =
+            self.pages.iter().filter(|(_, p)| p.dirty).map(|(k, _)| *k).collect();
+        let mut out = Vec::with_capacity(dirty_keys.len());
+        for k in dirty_keys {
+            if let Some(p) = self.pages.get_mut(&k) {
+                p.dirty = false;
+                out.push((k, p.data.clone()));
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Drops every cached page (clean and dirty) without writing anything
+    /// back. Only used to model losing a *volatile* cache.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    fn evict_to_capacity(&mut self) -> Vec<(Lpa, Vec<u8>)> {
+        let mut writebacks = Vec::new();
+        while self.pages.len() > self.capacity_pages {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(_, p)| p.last_use)
+                .map(|(k, _)| *k)
+                .expect("cache is non-empty");
+            let page = self.pages.remove(&victim).expect("victim present");
+            if page.dirty {
+                writebacks.push((victim, page.data));
+            }
+        }
+        writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 4096;
+
+    fn cache(pages: usize) -> DramPageCache {
+        DramPageCache::new(pages * PS, PS)
+    }
+
+    fn page(tag: u8) -> Vec<u8> {
+        vec![tag; PS]
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = cache(4);
+        assert!(c.insert(1, page(1), false).is_empty());
+        assert_eq!(c.get(1), Some(page(1)));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_returns_dirty_victims_only() {
+        let mut c = cache(2);
+        c.insert(1, page(1), true);
+        c.insert(2, page(2), false);
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(1);
+        let evicted = c.insert(3, page(3), false);
+        assert!(evicted.is_empty(), "clean victim should not be written back");
+        assert!(!c.contains(2));
+        // Now 1 (dirty) is the LRU.
+        let evicted = c.insert(4, page(4), false);
+        assert_eq!(evicted, vec![(1, page(1))]);
+    }
+
+    #[test]
+    fn modify_marks_dirty() {
+        let mut c = cache(2);
+        c.insert(5, page(0), false);
+        assert_eq!(c.dirty_pages(), 0);
+        assert!(c.modify(5, 100, &[9, 9, 9]));
+        assert_eq!(c.dirty_pages(), 1);
+        let got = c.get(5).unwrap();
+        assert_eq!(&got[100..103], &[9, 9, 9]);
+        assert!(!c.modify(99, 0, &[1]));
+    }
+
+    #[test]
+    fn reinsert_keeps_dirty_bit_sticky() {
+        let mut c = cache(2);
+        c.insert(1, page(1), true);
+        c.insert(1, page(2), false);
+        assert_eq!(c.dirty_pages(), 1);
+        assert_eq!(c.get(1), Some(page(2)));
+    }
+
+    #[test]
+    fn drain_dirty_cleans_pages_but_keeps_them_resident() {
+        let mut c = cache(4);
+        c.insert(1, page(1), true);
+        c.insert(2, page(2), false);
+        c.insert(3, page(3), true);
+        let drained = c.drain_dirty();
+        assert_eq!(drained, vec![(1, page(1)), (3, page(3))]);
+        assert_eq!(c.dirty_pages(), 0);
+        assert_eq!(c.len(), 3);
+        assert!(c.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn discard_and_clear() {
+        let mut c = cache(4);
+        c.insert(1, page(1), true);
+        c.insert(2, page(2), true);
+        c.discard(1);
+        assert!(!c.contains(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one_page() {
+        let c = DramPageCache::new(10, PS);
+        assert_eq!(c.capacity_pages(), 1);
+    }
+}

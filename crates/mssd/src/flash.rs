@@ -1,0 +1,327 @@
+//! NAND flash array model.
+//!
+//! The flash array stores page-granular data addressed by *physical page
+//! address* (PPA). It enforces the two invariants that make flash management
+//! interesting for the rest of the stack:
+//!
+//! * pages within an erase block must be programmed sequentially, and
+//! * a page cannot be re-programmed until its block has been erased.
+//!
+//! Geometry follows the configuration: pages are grouped into erase blocks and
+//! blocks are striped round-robin across channels, so `ppa % channels` is the
+//! channel a page lives on (used for the channel-parallel latency model).
+
+use std::collections::HashMap;
+
+use crate::config::MssdConfig;
+
+/// Physical page address.
+pub type Ppa = u64;
+/// Physical erase-block index.
+pub type BlockId = u64;
+
+/// Errors returned by the flash array when an operation violates NAND rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The physical page address is beyond the device geometry.
+    OutOfRange(Ppa),
+    /// The page was already programmed since the last erase of its block.
+    AlreadyProgrammed(Ppa),
+    /// Pages inside a block must be programmed in order.
+    OutOfOrderProgram {
+        /// Offending page address.
+        ppa: Ppa,
+        /// The page the block expected to be programmed next.
+        expected: Ppa,
+    },
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::OutOfRange(p) => write!(f, "physical page {p} out of range"),
+            FlashError::AlreadyProgrammed(p) => {
+                write!(f, "physical page {p} already programmed since last erase")
+            }
+            FlashError::OutOfOrderProgram { ppa, expected } => {
+                write!(f, "out-of-order program of page {ppa}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Per-block bookkeeping.
+#[derive(Debug, Clone)]
+struct BlockState {
+    /// Next page offset (within the block) that may be programmed.
+    write_ptr: usize,
+    /// Number of times the block has been erased (wear).
+    erase_count: u64,
+}
+
+impl BlockState {
+    fn new() -> Self {
+        Self { write_ptr: 0, erase_count: 0 }
+    }
+}
+
+/// The NAND flash array: raw page storage plus per-block program/erase state.
+#[derive(Debug)]
+pub struct FlashArray {
+    page_size: usize,
+    pages_per_block: usize,
+    channels: usize,
+    total_pages: u64,
+    /// Programmed page contents. Sparse: unprogrammed pages read as all-zero
+    /// (freshly erased flash reads as all-ones in reality; zero is simpler and
+    /// equivalent for the simulation).
+    pages: HashMap<Ppa, Box<[u8]>>,
+    blocks: Vec<BlockState>,
+}
+
+impl FlashArray {
+    /// Builds an array with the geometry described by `cfg`.
+    pub fn new(cfg: &MssdConfig) -> Self {
+        let total_pages = cfg.physical_pages();
+        let total_blocks = cfg.physical_blocks() as usize;
+        Self {
+            page_size: cfg.page_size,
+            pages_per_block: cfg.pages_per_block,
+            channels: cfg.channels,
+            total_pages,
+            pages: HashMap::new(),
+            blocks: vec![BlockState::new(); total_blocks],
+        }
+    }
+
+    /// Flash page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages per erase block.
+    pub fn pages_per_block(&self) -> usize {
+        self.pages_per_block
+    }
+
+    /// Total number of physical pages.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Total number of erase blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The erase block a physical page belongs to.
+    pub fn block_of(&self, ppa: Ppa) -> BlockId {
+        ppa / self.pages_per_block as u64
+    }
+
+    /// The channel a physical page maps to (blocks are striped over channels).
+    pub fn channel_of(&self, ppa: Ppa) -> usize {
+        (self.block_of(ppa) % self.channels as u64) as usize
+    }
+
+    /// First physical page of a block.
+    pub fn first_page_of(&self, block: BlockId) -> Ppa {
+        block * self.pages_per_block as u64
+    }
+
+    /// Reads a page. Unprogrammed pages read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] if `ppa` is beyond the geometry.
+    pub fn read_page(&self, ppa: Ppa) -> Result<Vec<u8>, FlashError> {
+        if ppa >= self.total_pages {
+            return Err(FlashError::OutOfRange(ppa));
+        }
+        Ok(self
+            .pages
+            .get(&ppa)
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; self.page_size]))
+    }
+
+    /// Programs a page.
+    ///
+    /// `data` shorter than a page is zero-padded; longer data is truncated.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is out of range, already programmed, or programmed
+    /// out of order within its block.
+    pub fn program_page(&mut self, ppa: Ppa, data: &[u8]) -> Result<(), FlashError> {
+        if ppa >= self.total_pages {
+            return Err(FlashError::OutOfRange(ppa));
+        }
+        let block = self.block_of(ppa) as usize;
+        let offset = (ppa % self.pages_per_block as u64) as usize;
+        let write_ptr = self.blocks[block].write_ptr;
+        if offset < write_ptr {
+            return Err(FlashError::AlreadyProgrammed(ppa));
+        }
+        if offset > write_ptr {
+            let expected = self.first_page_of(block as BlockId) + write_ptr as u64;
+            return Err(FlashError::OutOfOrderProgram { ppa, expected });
+        }
+        let mut page = vec![0u8; self.page_size];
+        let n = data.len().min(self.page_size);
+        page[..n].copy_from_slice(&data[..n]);
+        self.pages.insert(ppa, page.into_boxed_slice());
+        self.blocks[block].write_ptr += 1;
+        Ok(())
+    }
+
+    /// Erases a block, discarding all of its pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] if the block index is invalid.
+    pub fn erase_block(&mut self, block: BlockId) -> Result<(), FlashError> {
+        if block >= self.total_blocks() {
+            return Err(FlashError::OutOfRange(block * self.pages_per_block as u64));
+        }
+        let first = self.first_page_of(block);
+        for off in 0..self.pages_per_block as u64 {
+            self.pages.remove(&(first + off));
+        }
+        let state = &mut self.blocks[block as usize];
+        state.write_ptr = 0;
+        state.erase_count += 1;
+        Ok(())
+    }
+
+    /// Number of pages programmed in a block since its last erase.
+    pub fn block_fill(&self, block: BlockId) -> usize {
+        self.blocks[block as usize].write_ptr
+    }
+
+    /// Erase count (wear) of a block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.blocks[block as usize].erase_count
+    }
+
+    /// Maximum erase count across all blocks (simple wear indicator).
+    pub fn max_wear(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+
+    /// Number of bytes of page data currently resident (for memory accounting
+    /// in tests).
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> FlashArray {
+        FlashArray::new(&MssdConfig::small_test())
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let cfg = MssdConfig::small_test();
+        let a = FlashArray::new(&cfg);
+        assert_eq!(a.total_pages(), cfg.physical_pages());
+        assert_eq!(a.total_blocks(), cfg.physical_blocks());
+        assert_eq!(a.total_pages() % a.pages_per_block() as u64, 0);
+    }
+
+    #[test]
+    fn unprogrammed_reads_zero() {
+        let a = array();
+        assert_eq!(a.read_page(0).unwrap(), vec![0u8; a.page_size()]);
+    }
+
+    #[test]
+    fn program_and_read_back() {
+        let mut a = array();
+        let mut data = vec![0u8; a.page_size()];
+        data[..4].copy_from_slice(b"abcd");
+        a.program_page(0, &data).unwrap();
+        assert_eq!(a.read_page(0).unwrap(), data);
+    }
+
+    #[test]
+    fn short_data_is_padded() {
+        let mut a = array();
+        a.program_page(0, b"hi").unwrap();
+        let page = a.read_page(0).unwrap();
+        assert_eq!(&page[..2], b"hi");
+        assert!(page[2..].iter().all(|b| *b == 0));
+        assert_eq!(page.len(), a.page_size());
+    }
+
+    #[test]
+    fn reprogram_without_erase_fails() {
+        let mut a = array();
+        a.program_page(0, b"x").unwrap();
+        assert_eq!(a.program_page(0, b"y"), Err(FlashError::AlreadyProgrammed(0)));
+    }
+
+    #[test]
+    fn out_of_order_program_fails() {
+        let mut a = array();
+        let err = a.program_page(2, b"x").unwrap_err();
+        assert_eq!(err, FlashError::OutOfOrderProgram { ppa: 2, expected: 0 });
+    }
+
+    #[test]
+    fn sequential_program_within_block_succeeds() {
+        let mut a = array();
+        for i in 0..a.pages_per_block() as u64 {
+            a.program_page(i, &[i as u8]).unwrap();
+        }
+        assert_eq!(a.block_fill(0), a.pages_per_block());
+    }
+
+    #[test]
+    fn erase_resets_block() {
+        let mut a = array();
+        a.program_page(0, b"x").unwrap();
+        a.program_page(1, b"y").unwrap();
+        a.erase_block(0).unwrap();
+        assert_eq!(a.block_fill(0), 0);
+        assert_eq!(a.erase_count(0), 1);
+        assert_eq!(a.read_page(0).unwrap(), vec![0u8; a.page_size()]);
+        // Can program again after erase.
+        a.program_page(0, b"z").unwrap();
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut a = array();
+        let bad = a.total_pages();
+        assert!(matches!(a.read_page(bad), Err(FlashError::OutOfRange(_))));
+        assert!(matches!(a.program_page(bad, b"x"), Err(FlashError::OutOfRange(_))));
+        assert!(matches!(a.erase_block(a.total_blocks()), Err(FlashError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn channels_stripe_blocks() {
+        let cfg = MssdConfig::small_test();
+        let a = FlashArray::new(&cfg);
+        let ppb = a.pages_per_block() as u64;
+        assert_eq!(a.channel_of(0), 0);
+        assert_eq!(a.channel_of(ppb), 1 % cfg.channels);
+        assert_eq!(a.channel_of(ppb * cfg.channels as u64), 0);
+    }
+
+    #[test]
+    fn wear_tracking() {
+        let mut a = array();
+        assert_eq!(a.max_wear(), 0);
+        a.erase_block(3).unwrap();
+        a.erase_block(3).unwrap();
+        assert_eq!(a.erase_count(3), 2);
+        assert_eq!(a.max_wear(), 2);
+    }
+}

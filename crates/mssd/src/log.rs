@@ -1,0 +1,492 @@
+//! The log-structured write log held in device DRAM (ByteFS firmware mode).
+//!
+//! §4.3 of the paper: byte-interface writes are appended to a circular log
+//! region (256 MB by default) as 64-byte-aligned data entries, indexed by a
+//! three-layer structure:
+//!
+//! 1. a **partition table** dividing the SSD address space into 16 MB
+//!    partitions,
+//! 2. a **skip list per partition** keyed by logical page address (LPA), and
+//! 3. an **ordered chunk list per page** recording `(offset-in-page, length,
+//!    log offset)` for each data entry.
+//!
+//! Entries carry the TxID of the transaction that wrote them; log cleaning
+//! merges the newest *committed* version of each chunk into its flash page and
+//! migrates uncommitted entries into the fresh log region.
+
+use std::collections::BTreeMap;
+
+use crate::config::MssdConfig;
+use crate::ftl::Lpa;
+use crate::skiplist::SkipList;
+use crate::txn::TxId;
+use crate::CACHELINE;
+
+/// Size of one first-layer partition of the SSD address space (16 MB, §4.3).
+pub const PARTITION_BYTES: u64 = 16 << 20;
+
+/// Fixed per-entry index overhead in bytes (block offset + log offset + length
+/// + TxID, rounded up; the paper reports ~9 B per chunk entry plus skip-list
+/// node overhead).
+pub const ENTRY_OVERHEAD: usize = 16;
+
+/// One byte-granular write buffered in the log region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset of this chunk within its flash page.
+    pub offset: usize,
+    /// The written bytes.
+    pub data: Vec<u8>,
+    /// Transaction the write belongs to (`None` for non-transactional writes,
+    /// which are treated as immediately committed).
+    pub txid: Option<TxId>,
+    /// Global sequence number: larger means newer.
+    pub seq: u64,
+    /// Byte offset of the data entry inside the circular log region
+    /// (informational; kept to mirror the paper's chunk-entry layout).
+    pub log_off: usize,
+}
+
+impl ChunkEntry {
+    /// Bytes of log-region space this entry occupies (64 B-aligned data plus
+    /// index overhead).
+    pub fn footprint(&self) -> usize {
+        self.data.len().div_ceil(CACHELINE) * CACHELINE + ENTRY_OVERHEAD
+    }
+
+    /// End offset (exclusive) of the chunk within its page.
+    pub fn end(&self) -> usize {
+        self.offset + self.data.len()
+    }
+}
+
+/// The result of draining the log for cleaning: per-page entries to merge into
+/// flash, plus the uncommitted entries that must be migrated to the new log.
+#[derive(Debug, Default)]
+pub struct CleanBatch {
+    /// For every dirty page: the entries to apply, already reduced to the
+    /// newest committed version per byte range (in apply order).
+    pub pages: Vec<(Lpa, Vec<ChunkEntry>)>,
+    /// Entries whose transaction has not committed; they survive cleaning.
+    pub migrated: Vec<(Lpa, ChunkEntry)>,
+}
+
+/// The write log: circular data region accounting plus the three-layer index.
+#[derive(Debug)]
+pub struct WriteLog {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    clean_threshold: f64,
+    page_size: usize,
+    pages_per_partition: u64,
+    /// Layer 1 → Layer 2: partition index → skip list keyed by LPA.
+    /// Layer 3 lives in the skip-list values (chunk lists).
+    partitions: BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
+    entries: usize,
+    seq: u64,
+    write_cursor: usize,
+}
+
+/// Error returned when an append does not fit in the log region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFull {
+    /// Bytes the rejected entry would have needed.
+    pub needed: usize,
+    /// Bytes currently free.
+    pub free: usize,
+}
+
+impl std::fmt::Display for LogFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "write log full: need {} bytes, {} free", self.needed, self.free)
+    }
+}
+
+impl std::error::Error for LogFull {}
+
+impl WriteLog {
+    /// Creates a write log sized by `cfg.dram_region_bytes`.
+    pub fn new(cfg: &MssdConfig) -> Self {
+        Self {
+            capacity_bytes: cfg.dram_region_bytes,
+            used_bytes: 0,
+            clean_threshold: cfg.log_clean_threshold,
+            page_size: cfg.page_size,
+            pages_per_partition: (PARTITION_BYTES / cfg.page_size as u64).max(1),
+            partitions: BTreeMap::new(),
+            entries: 0,
+            seq: 0,
+            write_cursor: 0,
+        }
+    }
+
+    /// Total log-region capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied (data entries + index overhead).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of live chunk entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Log-region utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// `true` once utilization exceeds the cleaning threshold (85 % by
+    /// default) and background cleaning should start.
+    pub fn needs_cleaning(&self) -> bool {
+        self.utilization() >= self.clean_threshold
+    }
+
+    fn partition_of(&self, lpa: Lpa) -> u64 {
+        lpa / self.pages_per_partition
+    }
+
+    /// Appends a byte-granular write to the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFull`] when the entry does not fit; the caller must run
+    /// log cleaning first.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the chunk crosses a page boundary — the
+    /// device splits host writes per page before appending.
+    pub fn append(
+        &mut self,
+        lpa: Lpa,
+        offset: usize,
+        data: &[u8],
+        txid: Option<TxId>,
+    ) -> Result<(), LogFull> {
+        debug_assert!(!data.is_empty(), "empty log append");
+        debug_assert!(
+            offset + data.len() <= self.page_size,
+            "log entries must not cross page boundaries"
+        );
+        let entry = ChunkEntry {
+            offset,
+            data: data.to_vec(),
+            txid,
+            seq: self.seq,
+            log_off: self.write_cursor,
+        };
+        let footprint = entry.footprint();
+        if self.used_bytes + footprint > self.capacity_bytes {
+            return Err(LogFull { needed: footprint, free: self.capacity_bytes - self.used_bytes });
+        }
+        self.seq += 1;
+        self.used_bytes += footprint;
+        self.write_cursor = (self.write_cursor + footprint) % self.capacity_bytes.max(1);
+        self.entries += 1;
+        let partition = self.partition_of(lpa);
+        let list = self.partitions.entry(partition).or_default();
+        match list.get_mut(lpa) {
+            Some(chunks) => chunks.push(entry),
+            None => {
+                list.insert(lpa, vec![entry]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any log entries exist for the page.
+    pub fn has_page(&self, lpa: Lpa) -> bool {
+        self.partitions
+            .get(&self.partition_of(lpa))
+            .is_some_and(|list| list.contains_key(lpa))
+    }
+
+    /// Returns `true` if the byte range `[offset, offset + len)` of the page is
+    /// fully covered by log entries, i.e. a byte-interface read can be served
+    /// from device DRAM without touching flash.
+    pub fn covers(&self, lpa: Lpa, offset: usize, len: usize) -> bool {
+        let Some(chunks) = self.chunks(lpa) else { return false };
+        if len == 0 {
+            return true;
+        }
+        // Merge the chunk ranges and check coverage.
+        let mut ranges: Vec<(usize, usize)> =
+            chunks.iter().map(|c| (c.offset, c.end())).collect();
+        ranges.sort_unstable();
+        let mut covered_to = offset;
+        for (start, end) in ranges {
+            if start > covered_to {
+                if covered_to >= offset + len {
+                    break;
+                }
+                if start >= offset + len {
+                    break;
+                }
+                return false;
+            }
+            covered_to = covered_to.max(end);
+        }
+        covered_to >= offset + len
+    }
+
+    fn chunks(&self, lpa: Lpa) -> Option<&Vec<ChunkEntry>> {
+        self.partitions.get(&self.partition_of(lpa))?.get(lpa)
+    }
+
+    /// Applies all log entries for `lpa` onto `page` in sequence order (oldest
+    /// first), so the newest write wins for overlapping ranges.
+    pub fn merge_into(&self, lpa: Lpa, page: &mut [u8]) {
+        let Some(chunks) = self.chunks(lpa) else { return };
+        let mut ordered: Vec<&ChunkEntry> = chunks.iter().collect();
+        ordered.sort_by_key(|c| c.seq);
+        for c in ordered {
+            let end = c.end().min(page.len());
+            if c.offset < end {
+                page[c.offset..end].copy_from_slice(&c.data[..end - c.offset]);
+            }
+        }
+    }
+
+    /// Invalidates all log entries of a page (the host overwrote the whole
+    /// page through the block interface, §4.4). Returns the number of entries
+    /// dropped.
+    pub fn invalidate_page(&mut self, lpa: Lpa) -> usize {
+        let partition = self.partition_of(lpa);
+        let Some(list) = self.partitions.get_mut(&partition) else { return 0 };
+        let Some(chunks) = list.remove(lpa) else { return 0 };
+        let freed: usize = chunks.iter().map(ChunkEntry::footprint).sum();
+        self.used_bytes -= freed;
+        self.entries -= chunks.len();
+        if list.is_empty() {
+            self.partitions.remove(&partition);
+        }
+        chunks.len()
+    }
+
+    /// All page addresses that currently have log entries, in ascending order.
+    pub fn dirty_pages(&self) -> Vec<Lpa> {
+        self.partitions.values().flat_map(|list| list.keys()).collect()
+    }
+
+    /// Drains the entire log for cleaning.
+    ///
+    /// `is_committed` decides whether an entry's transaction has a TxLog commit
+    /// record. Committed entries are grouped per page (Algorithm 1 lines 2-11);
+    /// uncommitted ones are returned separately so the device can migrate them
+    /// into the fresh log (line 8). After this call the log is empty.
+    pub fn drain_for_cleaning<F>(&mut self, is_committed: F) -> CleanBatch
+    where
+        F: Fn(TxId) -> bool,
+    {
+        let mut batch = CleanBatch::default();
+        let partitions = std::mem::take(&mut self.partitions);
+        for (_, list) in partitions {
+            for (lpa, chunks) in list.iter() {
+                let mut committed: Vec<ChunkEntry> = Vec::new();
+                for c in chunks {
+                    let ok = match c.txid {
+                        None => true,
+                        Some(txid) => is_committed(txid),
+                    };
+                    if ok {
+                        committed.push(c.clone());
+                    } else {
+                        batch.migrated.push((lpa, c.clone()));
+                    }
+                }
+                if !committed.is_empty() {
+                    committed.sort_by_key(|c| c.seq);
+                    batch.pages.push((lpa, committed));
+                }
+            }
+        }
+        batch.pages.sort_by_key(|(lpa, _)| *lpa);
+        self.used_bytes = 0;
+        self.entries = 0;
+        self.write_cursor = 0;
+        batch
+    }
+
+    /// Re-inserts migrated (uncommitted) entries after cleaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the migrated entries do not fit — they came out of the same
+    /// log region, so they always fit in an empty one.
+    pub fn reinstate(&mut self, migrated: Vec<(Lpa, ChunkEntry)>) {
+        for (lpa, entry) in migrated {
+            self.append(lpa, entry.offset, &entry.data, entry.txid)
+                .expect("migrated entries fit in an empty log");
+        }
+    }
+
+    /// Clears the log without flushing anything (mkfs / tests only).
+    pub fn reset(&mut self) {
+        self.partitions.clear();
+        self.used_bytes = 0;
+        self.entries = 0;
+        self.write_cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_log() -> WriteLog {
+        WriteLog::new(&MssdConfig::small_test())
+    }
+
+    #[test]
+    fn append_and_merge() {
+        let mut log = small_log();
+        log.append(3, 128, &[1u8; 64], None).unwrap();
+        log.append(3, 192, &[2u8; 64], None).unwrap();
+        assert_eq!(log.entries(), 2);
+        assert!(log.has_page(3));
+        let mut page = vec![0u8; 4096];
+        log.merge_into(3, &mut page);
+        assert_eq!(&page[128..192], &[1u8; 64][..]);
+        assert_eq!(&page[192..256], &[2u8; 64][..]);
+        assert_eq!(&page[0..128], &[0u8; 128][..]);
+    }
+
+    #[test]
+    fn newer_write_wins_on_overlap() {
+        let mut log = small_log();
+        log.append(1, 0, &[1u8; 128], None).unwrap();
+        log.append(1, 64, &[2u8; 64], None).unwrap();
+        let mut page = vec![0u8; 4096];
+        log.merge_into(1, &mut page);
+        assert_eq!(&page[0..64], &[1u8; 64][..]);
+        assert_eq!(&page[64..128], &[2u8; 64][..]);
+    }
+
+    #[test]
+    fn coverage_detection() {
+        let mut log = small_log();
+        log.append(9, 0, &[5u8; 64], None).unwrap();
+        log.append(9, 64, &[6u8; 64], None).unwrap();
+        assert!(log.covers(9, 0, 128));
+        assert!(log.covers(9, 32, 64));
+        assert!(!log.covers(9, 0, 129));
+        assert!(!log.covers(9, 200, 8));
+        assert!(!log.covers(10, 0, 1));
+        // Gap in the middle is detected.
+        log.append(9, 256, &[7u8; 64], None).unwrap();
+        assert!(!log.covers(9, 0, 320));
+    }
+
+    #[test]
+    fn footprint_is_cacheline_aligned() {
+        let e = ChunkEntry { offset: 0, data: vec![0; 1], txid: None, seq: 0, log_off: 0 };
+        assert_eq!(e.footprint(), 64 + ENTRY_OVERHEAD);
+        let e = ChunkEntry { offset: 0, data: vec![0; 65], txid: None, seq: 0, log_off: 0 };
+        assert_eq!(e.footprint(), 128 + ENTRY_OVERHEAD);
+    }
+
+    #[test]
+    fn log_full_is_reported() {
+        let mut cfg = MssdConfig::small_test();
+        cfg.dram_region_bytes = 4096;
+        let mut log = WriteLog::new(&cfg);
+        let mut appended = 0;
+        loop {
+            match log.append(appended, 0, &[1u8; 64], None) {
+                Ok(()) => appended += 1,
+                Err(err) => {
+                    assert!(err.free < err.needed);
+                    break;
+                }
+            }
+        }
+        assert!(appended > 0);
+        assert!(log.utilization() > 0.9);
+    }
+
+    #[test]
+    fn needs_cleaning_at_threshold() {
+        let mut cfg = MssdConfig::small_test();
+        cfg.dram_region_bytes = 8192;
+        cfg.log_clean_threshold = 0.5;
+        let mut log = WriteLog::new(&cfg);
+        assert!(!log.needs_cleaning());
+        for i in 0..52 {
+            log.append(i, 0, &[0u8; 64], None).unwrap();
+        }
+        assert!(log.needs_cleaning());
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut log = small_log();
+        log.append(4, 0, &[1u8; 64], None).unwrap();
+        log.append(4, 64, &[1u8; 64], None).unwrap();
+        log.append(5, 0, &[1u8; 64], None).unwrap();
+        let used_before = log.used_bytes();
+        assert_eq!(log.invalidate_page(4), 2);
+        assert!(log.used_bytes() < used_before);
+        assert!(!log.has_page(4));
+        assert!(log.has_page(5));
+        assert_eq!(log.invalidate_page(4), 0);
+    }
+
+    #[test]
+    fn cleaning_separates_committed_and_uncommitted() {
+        let mut log = small_log();
+        log.append(1, 0, &[1u8; 64], Some(TxId(1))).unwrap();
+        log.append(1, 64, &[2u8; 64], Some(TxId(2))).unwrap();
+        log.append(2, 0, &[3u8; 64], None).unwrap();
+        let batch = log.drain_for_cleaning(|tx| tx == TxId(1));
+        assert_eq!(log.entries(), 0);
+        assert_eq!(log.used_bytes(), 0);
+        // Page 1 has one committed chunk, page 2 one non-transactional chunk.
+        assert_eq!(batch.pages.len(), 2);
+        assert_eq!(batch.pages[0].0, 1);
+        assert_eq!(batch.pages[0].1.len(), 1);
+        assert_eq!(batch.pages[1].0, 2);
+        // The TxId(2) entry was migrated.
+        assert_eq!(batch.migrated.len(), 1);
+        assert_eq!(batch.migrated[0].0, 1);
+        assert_eq!(batch.migrated[0].1.txid, Some(TxId(2)));
+    }
+
+    #[test]
+    fn reinstate_restores_migrated_entries() {
+        let mut log = small_log();
+        log.append(7, 0, &[9u8; 64], Some(TxId(3))).unwrap();
+        let batch = log.drain_for_cleaning(|_| false);
+        assert!(batch.pages.is_empty());
+        log.reinstate(batch.migrated);
+        assert_eq!(log.entries(), 1);
+        assert!(log.covers(7, 0, 64));
+        let mut page = vec![0u8; 4096];
+        log.merge_into(7, &mut page);
+        assert_eq!(&page[0..64], &[9u8; 64][..]);
+    }
+
+    #[test]
+    fn dirty_pages_are_sorted_unique() {
+        let mut log = small_log();
+        log.append(9, 0, &[1u8; 64], None).unwrap();
+        log.append(2, 0, &[1u8; 64], None).unwrap();
+        log.append(9, 64, &[1u8; 64], None).unwrap();
+        assert_eq!(log.dirty_pages(), vec![2, 9]);
+    }
+
+    #[test]
+    fn partitions_split_address_space() {
+        let cfg = MssdConfig::small_test();
+        let mut log = WriteLog::new(&cfg);
+        let pages_per_partition = PARTITION_BYTES / cfg.page_size as u64;
+        log.append(0, 0, &[1u8; 64], None).unwrap();
+        log.append(pages_per_partition + 1, 0, &[1u8; 64], None).unwrap();
+        assert_eq!(log.partitions.len(), 2);
+        assert_eq!(log.dirty_pages().len(), 2);
+    }
+}

@@ -1,0 +1,478 @@
+//! A probabilistic skip list keyed by `u64`.
+//!
+//! The ByteFS firmware indexes its write log with "an efficient three-layer
+//! skip list" (§4.3): a partition table in the first layer, a skip list per
+//! partition keyed by logical page address in the second, and an ordered chunk
+//! list in the third. This module provides the second-layer structure: an
+//! ordered map with `O(log n)` expected insert/lookup/delete and cheap ordered
+//! iteration (needed by log cleaning and range lookups).
+//!
+//! The implementation is arena-based (indices instead of pointers) so it is
+//! entirely safe Rust. Tower heights are drawn from a deterministic xorshift
+//! generator so simulations are reproducible.
+
+/// Maximum tower height. 2^16 entries at p = 1/4 stay well below this.
+const MAX_LEVEL: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    /// `forward[l]` is the index of the next node at level `l`, if any.
+    forward: Vec<Option<usize>>,
+}
+
+/// An ordered map from `u64` keys to values, implemented as a skip list.
+///
+/// ```
+/// use mssd::skiplist::SkipList;
+/// let mut list = SkipList::new();
+/// list.insert(30, "c");
+/// list.insert(10, "a");
+/// list.insert(20, "b");
+/// assert_eq!(list.get(20), Some(&"b"));
+/// let keys: Vec<u64> = list.iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![10, 20, 30]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkipList<V> {
+    /// Head forward pointers (one per level).
+    head: Vec<Option<usize>>,
+    nodes: Vec<Option<Node<V>>>,
+    free: Vec<usize>,
+    len: usize,
+    level: usize,
+    rng_state: u64,
+}
+
+impl<V> Default for SkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> SkipList<V> {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        Self::with_seed(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Creates an empty skip list with a specific RNG seed (tower heights are
+    /// the only randomized aspect).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            head: vec![None; MAX_LEVEL],
+            nodes: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            level: 1,
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn next_level(&mut self) -> usize {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let mut level = 1;
+        // p = 1/4 per extra level.
+        let mut bits = r;
+        while level < MAX_LEVEL && (bits & 0b11) == 0 {
+            level += 1;
+            bits >>= 2;
+        }
+        level
+    }
+
+    fn node(&self, idx: usize) -> &Node<V> {
+        self.nodes[idx].as_ref().expect("live node index")
+    }
+
+    /// For each level, the index of the last node with key < `key` (None means
+    /// the head pseudo-node).
+    fn find_predecessors(&self, key: u64) -> [Option<usize>; MAX_LEVEL] {
+        let mut preds: [Option<usize>; MAX_LEVEL] = [None; MAX_LEVEL];
+        let mut current: Option<usize> = None;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let next = match current {
+                    None => self.head[lvl],
+                    Some(idx) => self.node(idx).forward[lvl],
+                };
+                match next {
+                    Some(nidx) if self.node(nidx).key < key => current = Some(nidx),
+                    _ => break,
+                }
+            }
+            preds[lvl] = current;
+        }
+        preds
+    }
+
+    /// Inserts a key/value pair, returning the previous value for the key if
+    /// one existed.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let preds = self.find_predecessors(key);
+        // Does the key already exist?
+        let next = match preds[0] {
+            None => self.head[0],
+            Some(idx) => self.node(idx).forward[0],
+        };
+        if let Some(nidx) = next {
+            if self.node(nidx).key == key {
+                let node = self.nodes[nidx].as_mut().expect("live node");
+                return Some(std::mem::replace(&mut node.value, value));
+            }
+        }
+
+        let height = self.next_level();
+        if height > self.level {
+            self.level = height;
+        }
+        let mut forward = vec![None; height];
+        #[allow(clippy::needless_range_loop)]
+        for lvl in 0..height {
+            forward[lvl] = match preds[lvl] {
+                None => self.head[lvl],
+                Some(idx) => self.node(idx).forward[lvl],
+            };
+        }
+        let new_node = Node { key, value, forward };
+        let new_idx = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(new_node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(new_node));
+                self.nodes.len() - 1
+            }
+        };
+        for lvl in 0..height {
+            match preds[lvl] {
+                None => self.head[lvl] = Some(new_idx),
+                Some(idx) => {
+                    self.nodes[idx].as_mut().expect("live node").forward[lvl] = Some(new_idx)
+                }
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Returns a reference to the value for `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let idx = self.find_index(key)?;
+        Some(&self.node(idx).value)
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let idx = self.find_index(key)?;
+        Some(&mut self.nodes[idx].as_mut().expect("live node").value)
+    }
+
+    /// `true` if the key is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find_index(key).is_some()
+    }
+
+    fn find_index(&self, key: u64) -> Option<usize> {
+        let preds = self.find_predecessors(key);
+        let next = match preds[0] {
+            None => self.head[0],
+            Some(idx) => self.node(idx).forward[0],
+        };
+        next.filter(|&nidx| self.node(nidx).key == key)
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let preds = self.find_predecessors(key);
+        let target = match preds[0] {
+            None => self.head[0],
+            Some(idx) => self.node(idx).forward[0],
+        };
+        let target = target.filter(|&idx| self.node(idx).key == key)?;
+        let height = self.node(target).forward.len();
+        for lvl in 0..height {
+            let next = self.node(target).forward[lvl];
+            match preds[lvl] {
+                None => {
+                    if self.head[lvl] == Some(target) {
+                        self.head[lvl] = next;
+                    }
+                }
+                Some(p) => {
+                    let pnode = self.nodes[p].as_mut().expect("live node");
+                    if pnode.forward[lvl] == Some(target) {
+                        pnode.forward[lvl] = next;
+                    }
+                }
+            }
+        }
+        let node = self.nodes[target].take().expect("live node");
+        self.free.push(target);
+        self.len -= 1;
+        while self.level > 1 && self.head[self.level - 1].is_none() {
+            self.level -= 1;
+        }
+        Some(node.value)
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    pub fn pop_first(&mut self) -> Option<(u64, V)> {
+        let first = self.head[0]?;
+        let key = self.node(first).key;
+        let value = self.remove(key)?;
+        Some((key, value))
+    }
+
+    /// The smallest key, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        self.head[0].map(|idx| self.node(idx).key)
+    }
+
+    /// Iterates over entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter { list: self, next: self.head[0] }
+    }
+
+    /// Iterates over entries with keys in `[start, end)`.
+    pub fn range(&self, start: u64, end: u64) -> Range<'_, V> {
+        let preds = self.find_predecessors(start);
+        let next = match preds[0] {
+            None => self.head[0],
+            Some(idx) => self.node(idx).forward[0],
+        };
+        Range { list: self, next, end }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.head = vec![None; MAX_LEVEL];
+        self.nodes.clear();
+        self.free.clear();
+        self.len = 0;
+        self.level = 1;
+    }
+
+    /// Collects all keys in ascending order (convenience for tests/cleaning).
+    pub fn keys(&self) -> Vec<u64> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// Ordered iterator over a [`SkipList`]; produced by [`SkipList::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    list: &'a SkipList<V>,
+    next: Option<usize>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.next?;
+        let node = self.list.node(idx);
+        self.next = node.forward[0];
+        Some((node.key, &node.value))
+    }
+}
+
+/// Bounded ordered iterator; produced by [`SkipList::range`].
+#[derive(Debug)]
+pub struct Range<'a, V> {
+    list: &'a SkipList<V>,
+    next: Option<usize>,
+    end: u64,
+}
+
+impl<'a, V> Iterator for Range<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.next?;
+        let node = self.list.node(idx);
+        if node.key >= self.end {
+            return None;
+        }
+        self.next = node.forward[0];
+        Some((node.key, &node.value))
+    }
+}
+
+impl<'a, V> IntoIterator for &'a SkipList<V> {
+    type Item = (u64, &'a V);
+    type IntoIter = Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<V> FromIterator<(u64, V)> for SkipList<V> {
+    fn from_iter<T: IntoIterator<Item = (u64, V)>>(iter: T) -> Self {
+        let mut list = SkipList::new();
+        for (k, v) in iter {
+            list.insert(k, v);
+        }
+        list
+    }
+}
+
+impl<V> Extend<(u64, V)> for SkipList<V> {
+    fn extend<T: IntoIterator<Item = (u64, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_list() {
+        let list: SkipList<u32> = SkipList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.len(), 0);
+        assert_eq!(list.get(5), None);
+        assert_eq!(list.first_key(), None);
+        assert!(list.keys().is_empty());
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut list = SkipList::new();
+        assert_eq!(list.insert(5, "five"), None);
+        assert_eq!(list.insert(3, "three"), None);
+        assert_eq!(list.insert(9, "nine"), None);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.get(3), Some(&"three"));
+        assert_eq!(list.get(4), None);
+        assert!(list.contains_key(9));
+        assert_eq!(list.remove(3), Some("three"));
+        assert_eq!(list.remove(3), None);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.keys(), vec![5, 9]);
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut list = SkipList::new();
+        list.insert(1, 10);
+        assert_eq!(list.insert(1, 20), Some(10));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get(1), Some(&20));
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let mut list = SkipList::new();
+        for k in [42u64, 7, 100, 1, 55] {
+            list.insert(k, k * 2);
+        }
+        let collected: Vec<_> = list.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(collected, vec![(1, 2), (7, 14), (42, 84), (55, 110), (100, 200)]);
+    }
+
+    #[test]
+    fn range_query() {
+        let list: SkipList<u64> = (0..20u64).map(|k| (k * 10, k)).collect();
+        let keys: Vec<u64> = list.range(35, 90).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![40, 50, 60, 70, 80]);
+        assert!(list.range(500, 600).next().is_none());
+        let all: Vec<u64> = list.range(0, u64::MAX).map(|(k, _)| k).collect();
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut list = SkipList::new();
+        list.insert(8, vec![1]);
+        list.get_mut(8).unwrap().push(2);
+        assert_eq!(list.get(8), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn pop_first_drains_in_order() {
+        let mut list: SkipList<u64> = [(3u64, 3u64), (1, 1), (2, 2)].into_iter().collect();
+        assert_eq!(list.pop_first(), Some((1, 1)));
+        assert_eq!(list.pop_first(), Some((2, 2)));
+        assert_eq!(list.pop_first(), Some((3, 3)));
+        assert_eq!(list.pop_first(), None);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut list: SkipList<u64> = (0..100u64).map(|k| (k, k)).collect();
+        list.clear();
+        assert!(list.is_empty());
+        list.insert(1, 1);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut list = SkipList::new();
+        for k in 0..50u64 {
+            list.insert(k, k);
+        }
+        for k in 0..50u64 {
+            assert_eq!(list.remove(k), Some(k));
+        }
+        let slots_before = list.nodes.len();
+        for k in 0..50u64 {
+            list.insert(k + 100, k);
+        }
+        assert_eq!(list.nodes.len(), slots_before, "freed slots should be reused");
+    }
+
+    #[test]
+    fn behaves_like_btreemap_on_mixed_ops() {
+        let mut model = BTreeMap::new();
+        let mut list = SkipList::with_seed(42);
+        // Deterministic pseudo-random op sequence.
+        let mut x = 0xDEADBEEFu64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 200;
+            match x % 3 {
+                0 => {
+                    assert_eq!(list.insert(key, x), model.insert(key, x));
+                }
+                1 => {
+                    assert_eq!(list.remove(key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(list.get(key), model.get(&key));
+                }
+            }
+            assert_eq!(list.len(), model.len());
+        }
+        let list_items: Vec<_> = list.iter().map(|(k, v)| (k, *v)).collect();
+        let model_items: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(list_items, model_items);
+    }
+}

@@ -1,0 +1,356 @@
+//! Traffic and latency accounting.
+//!
+//! The ByteFS evaluation is largely about *where the bytes go*: Figures 1, 8
+//! and 9 break host↔SSD traffic down by file-system data structure, Figures 10
+//! and 11 report internal flash traffic, and Table 2 reports read/write
+//! amplification. Every device operation in this crate is therefore tagged
+//! with a [`Category`] (which data structure initiated it) and an
+//! [`Interface`] (byte or block), and the device accumulates a
+//! [`TrafficCounter`] that the harness snapshots before/after a workload.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The file-system data structure a device access is attributed to.
+///
+/// These mirror the legend of Figure 1 in the paper (Data, Inode, Dentry,
+/// Bitmap, Superblock, Data Pointer, Journaling, Other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// File contents.
+    Data,
+    /// Inode blocks / inode entries.
+    Inode,
+    /// Directory entries.
+    Dentry,
+    /// Block and inode allocation bitmaps (or NAT/SIT in F2FS-like systems).
+    Bitmap,
+    /// The superblock and other global metadata.
+    Superblock,
+    /// Extent nodes / indirect block pointers (file offset → LBA mappings).
+    DataPointer,
+    /// Journal / write-ahead-log traffic.
+    Journal,
+    /// Anything else (e.g. padding, firmware-internal host traffic).
+    Other,
+}
+
+impl Category {
+    /// All categories in display order.
+    pub const ALL: [Category; 8] = [
+        Category::Data,
+        Category::Inode,
+        Category::Dentry,
+        Category::Bitmap,
+        Category::Superblock,
+        Category::DataPointer,
+        Category::Journal,
+        Category::Other,
+    ];
+
+    /// `true` for the categories the paper classifies as metadata.
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, Category::Data)
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Data => "data",
+            Category::Inode => "inode",
+            Category::Dentry => "dentry",
+            Category::Bitmap => "bitmap",
+            Category::Superblock => "superblock",
+            Category::DataPointer => "data_pointer",
+            Category::Journal => "journal",
+            Category::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which of the M-SSD's two host interfaces served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Interface {
+    /// PCIe/CXL memory-mapped cacheline access.
+    Byte,
+    /// NVMe block command.
+    Block,
+}
+
+impl std::fmt::Display for Interface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interface::Byte => f.write_str("byte"),
+            Interface::Block => f.write_str("block"),
+        }
+    }
+}
+
+/// Direction of a host access, from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Host reads from the device.
+    Read,
+    /// Host writes to the device.
+    Write,
+}
+
+/// Bytes moved between host and device, keyed by category, interface and
+/// direction, plus internal flash traffic and latency accumulators.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficCounter {
+    host_read: BTreeMap<(Category, Interface), u64>,
+    host_write: BTreeMap<(Category, Interface), u64>,
+    /// Pages read from NAND flash.
+    pub flash_read_pages: u64,
+    /// Pages programmed to NAND flash.
+    pub flash_write_pages: u64,
+    /// Blocks erased (garbage collection / log cleaning).
+    pub flash_erase_blocks: u64,
+    /// Flash page reads caused by internal work (GC, log cleaning RMW).
+    pub flash_internal_read_pages: u64,
+    /// Flash page writes caused by internal work (GC relocation).
+    pub flash_internal_write_pages: u64,
+    /// Number of host byte-interface requests.
+    pub byte_requests: u64,
+    /// Number of host block-interface requests.
+    pub block_requests: u64,
+    /// Number of firmware transaction commits.
+    pub tx_commits: u64,
+    /// Number of log-cleaning passes executed.
+    pub log_cleanings: u64,
+    /// Total virtual nanoseconds spent in host-visible device operations.
+    pub device_busy_ns: u64,
+}
+
+impl TrafficCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a host access of `bytes` bytes.
+    pub fn record_host(
+        &mut self,
+        dir: Direction,
+        cat: Category,
+        iface: Interface,
+        bytes: u64,
+    ) {
+        let map = match dir {
+            Direction::Read => &mut self.host_read,
+            Direction::Write => &mut self.host_write,
+        };
+        *map.entry((cat, iface)).or_insert(0) += bytes;
+        match iface {
+            Interface::Byte => self.byte_requests += 1,
+            Interface::Block => self.block_requests += 1,
+        }
+    }
+
+    /// Total host-read bytes (all categories and interfaces).
+    pub fn host_read_bytes(&self) -> u64 {
+        self.host_read.values().sum()
+    }
+
+    /// Total host-written bytes (all categories and interfaces).
+    pub fn host_write_bytes(&self) -> u64 {
+        self.host_write.values().sum()
+    }
+
+    /// Host bytes for one direction and category, summed over interfaces.
+    pub fn host_bytes_by_category(&self, dir: Direction, cat: Category) -> u64 {
+        let map = match dir {
+            Direction::Read => &self.host_read,
+            Direction::Write => &self.host_write,
+        };
+        map.iter().filter(|((c, _), _)| *c == cat).map(|(_, v)| *v).sum()
+    }
+
+    /// Host bytes for one direction and interface, summed over categories.
+    pub fn host_bytes_by_interface(&self, dir: Direction, iface: Interface) -> u64 {
+        let map = match dir {
+            Direction::Read => &self.host_read,
+            Direction::Write => &self.host_write,
+        };
+        map.iter().filter(|((_, i), _)| *i == iface).map(|(_, v)| *v).sum()
+    }
+
+    /// Host metadata bytes (all categories except `Data`) for one direction.
+    pub fn host_metadata_bytes(&self, dir: Direction) -> u64 {
+        Category::ALL
+            .iter()
+            .filter(|c| c.is_metadata())
+            .map(|c| self.host_bytes_by_category(dir, *c))
+            .sum()
+    }
+
+    /// Host data bytes (category `Data`) for one direction.
+    pub fn host_data_bytes(&self, dir: Direction) -> u64 {
+        self.host_bytes_by_category(dir, Category::Data)
+    }
+
+    /// Total flash bytes read, including internal reads, given the page size.
+    pub fn flash_read_bytes(&self, page_size: usize) -> u64 {
+        (self.flash_read_pages + self.flash_internal_read_pages) * page_size as u64
+    }
+
+    /// Total flash bytes written, including internal writes, given the page size.
+    pub fn flash_write_bytes(&self, page_size: usize) -> u64 {
+        (self.flash_write_pages + self.flash_internal_write_pages) * page_size as u64
+    }
+
+    /// Returns `self - earlier`, i.e. the traffic that happened after the
+    /// `earlier` snapshot was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually an earlier snapshot
+    /// of the same counter (any counter would have to go backwards).
+    pub fn delta_since(&self, earlier: &TrafficCounter) -> TrafficCounter {
+        fn sub_map(
+            a: &BTreeMap<(Category, Interface), u64>,
+            b: &BTreeMap<(Category, Interface), u64>,
+        ) -> BTreeMap<(Category, Interface), u64> {
+            let mut out = a.clone();
+            for (k, v) in b {
+                let cur = out.entry(*k).or_insert(0);
+                debug_assert!(*cur >= *v, "traffic counter went backwards for {k:?}");
+                *cur = cur.saturating_sub(*v);
+            }
+            out.retain(|_, v| *v > 0);
+            out
+        }
+        TrafficCounter {
+            host_read: sub_map(&self.host_read, &earlier.host_read),
+            host_write: sub_map(&self.host_write, &earlier.host_write),
+            flash_read_pages: self.flash_read_pages - earlier.flash_read_pages,
+            flash_write_pages: self.flash_write_pages - earlier.flash_write_pages,
+            flash_erase_blocks: self.flash_erase_blocks - earlier.flash_erase_blocks,
+            flash_internal_read_pages: self.flash_internal_read_pages
+                - earlier.flash_internal_read_pages,
+            flash_internal_write_pages: self.flash_internal_write_pages
+                - earlier.flash_internal_write_pages,
+            byte_requests: self.byte_requests - earlier.byte_requests,
+            block_requests: self.block_requests - earlier.block_requests,
+            tx_commits: self.tx_commits - earlier.tx_commits,
+            log_cleanings: self.log_cleanings - earlier.log_cleanings,
+            device_busy_ns: self.device_busy_ns - earlier.device_busy_ns,
+        }
+    }
+
+    /// Per-category breakdown of host traffic for one direction, as
+    /// `(category, bytes)` pairs in display order, omitting zero rows.
+    pub fn breakdown(&self, dir: Direction) -> Vec<(Category, u64)> {
+        Category::ALL
+            .iter()
+            .map(|c| (*c, self.host_bytes_by_category(dir, *c)))
+            .filter(|(_, v)| *v > 0)
+            .collect()
+    }
+}
+
+/// An immutable snapshot of the device state used by the measurement harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Traffic counters at the time of the snapshot.
+    pub traffic: TrafficCounter,
+    /// Virtual time at the time of the snapshot (nanoseconds).
+    pub now_ns: u64,
+    /// Current utilization of the write log region in bytes (0 when the device
+    /// DRAM is configured as a page cache).
+    pub log_used_bytes: usize,
+    /// Number of live entries in the write log index.
+    pub log_entries: usize,
+    /// Number of dirty pages in the device page cache (baseline mode).
+    pub cache_dirty_pages: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut t = TrafficCounter::new();
+        t.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
+        t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
+        t.record_host(Direction::Read, Category::Data, Interface::Block, 8192);
+        assert_eq!(t.host_write_bytes(), 4160);
+        assert_eq!(t.host_read_bytes(), 8192);
+        assert_eq!(t.host_metadata_bytes(Direction::Write), 64);
+        assert_eq!(t.host_data_bytes(Direction::Write), 4096);
+        assert_eq!(t.byte_requests, 1);
+        assert_eq!(t.block_requests, 2);
+    }
+
+    #[test]
+    fn breakdown_skips_zero_rows() {
+        let mut t = TrafficCounter::new();
+        t.record_host(Direction::Write, Category::Dentry, Interface::Byte, 128);
+        let rows = t.breakdown(Direction::Write);
+        assert_eq!(rows, vec![(Category::Dentry, 128)]);
+        assert!(t.breakdown(Direction::Read).is_empty());
+    }
+
+    #[test]
+    fn by_interface_filters() {
+        let mut t = TrafficCounter::new();
+        t.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
+        t.record_host(Direction::Write, Category::Inode, Interface::Block, 4096);
+        assert_eq!(t.host_bytes_by_interface(Direction::Write, Interface::Byte), 64);
+        assert_eq!(t.host_bytes_by_interface(Direction::Write, Interface::Block), 4096);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut t = TrafficCounter::new();
+        t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
+        t.flash_write_pages = 1;
+        let snap = t.clone();
+        t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
+        t.record_host(Direction::Read, Category::Inode, Interface::Block, 4096);
+        t.flash_write_pages = 3;
+        t.device_busy_ns = 500;
+        let d = t.delta_since(&snap);
+        assert_eq!(d.host_write_bytes(), 4096);
+        assert_eq!(d.host_read_bytes(), 4096);
+        assert_eq!(d.flash_write_pages, 2);
+        assert_eq!(d.device_busy_ns, 500);
+    }
+
+    #[test]
+    fn metadata_classification() {
+        assert!(!Category::Data.is_metadata());
+        for c in Category::ALL {
+            if c != Category::Data {
+                assert!(c.is_metadata(), "{c} should be metadata");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn flash_byte_accounting_includes_internal() {
+        let mut t = TrafficCounter::new();
+        t.flash_read_pages = 2;
+        t.flash_internal_read_pages = 1;
+        t.flash_write_pages = 4;
+        assert_eq!(t.flash_read_bytes(4096), 3 * 4096);
+        assert_eq!(t.flash_write_bytes(4096), 4 * 4096);
+    }
+}

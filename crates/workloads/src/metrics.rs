@@ -1,0 +1,171 @@
+//! Latency recording and aggregate statistics.
+
+use mssd::clock::Stopwatch;
+use mssd::Clock;
+
+/// The class an operation's latency is attributed to (Figure 7 separates read
+/// and write/update latencies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Data-returning operations (read, get, scan).
+    Read,
+    /// Data-modifying operations (write, update, insert, fsync).
+    Write,
+    /// Namespace operations (create, unlink, mkdir, ...).
+    Meta,
+}
+
+/// Aggregate latency statistics for one operation class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Average latency in nanoseconds.
+    pub avg_ns: f64,
+    /// Median (50th percentile) in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds (the tail the paper reports).
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum observed latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|v| *v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        Self {
+            count,
+            avg_ns: sum as f64 / count as f64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Fixed host-side CPU cost charged per recorded operation (syscall entry,
+/// VFS path handling, copies). Keeps cache-hit-only workloads from reporting
+/// unbounded throughput on the virtual clock.
+pub const HOST_CPU_NS_PER_OP: u64 = 700;
+
+/// Records per-operation latencies and application-issued bytes during a
+/// workload run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    metas: Vec<u64>,
+    /// Bytes the application asked to read (denominator of read amplification).
+    pub app_read_bytes: u64,
+    /// Bytes the application asked to write (denominator of write
+    /// amplification).
+    pub app_write_bytes: u64,
+    /// Total operations executed.
+    pub ops: u64,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing one operation.
+    pub fn start(&self, clock: &Clock) -> Stopwatch {
+        Stopwatch::start(clock)
+    }
+
+    /// Finishes one operation of the given class, crediting `bytes` of
+    /// application I/O. Charges [`HOST_CPU_NS_PER_OP`] of host CPU time.
+    pub fn finish(&mut self, clock: &Clock, sw: Stopwatch, class: OpClass, bytes: usize) {
+        clock.advance(HOST_CPU_NS_PER_OP);
+        let elapsed = sw.elapsed_ns(clock);
+        match class {
+            OpClass::Read => {
+                self.reads.push(elapsed);
+                self.app_read_bytes += bytes as u64;
+            }
+            OpClass::Write => {
+                self.writes.push(elapsed);
+                self.app_write_bytes += bytes as u64;
+            }
+            OpClass::Meta => self.metas.push(elapsed),
+        }
+        self.ops += 1;
+    }
+
+    /// Latency statistics for read operations.
+    pub fn read_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.reads.clone())
+    }
+
+    /// Latency statistics for write operations.
+    pub fn write_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.writes.clone())
+    }
+
+    /// Latency statistics for metadata operations.
+    pub fn meta_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.metas.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_ns, 0.0);
+        assert_eq!(s.p95_ns, 0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 1000);
+        assert!((s.avg_ns - 500.5).abs() < 1.0);
+        assert!(s.p50_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert_eq!(s.max_ns, 1000);
+        assert!(s.p95_ns >= 940 && s.p95_ns <= 960);
+    }
+
+    #[test]
+    fn recorder_classifies_and_counts_bytes() {
+        let clock = Clock::new();
+        let mut rec = Recorder::new();
+        let sw = rec.start(&clock);
+        clock.advance(100);
+        rec.finish(&clock, sw, OpClass::Read, 4096);
+        let sw = rec.start(&clock);
+        clock.advance(300);
+        rec.finish(&clock, sw, OpClass::Write, 1024);
+        let sw = rec.start(&clock);
+        clock.advance(50);
+        rec.finish(&clock, sw, OpClass::Meta, 0);
+        assert_eq!(rec.ops, 3);
+        assert_eq!(rec.app_read_bytes, 4096);
+        assert_eq!(rec.app_write_bytes, 1024);
+        assert_eq!(rec.read_stats().count, 1);
+        assert_eq!(rec.read_stats().max_ns, 100 + HOST_CPU_NS_PER_OP);
+        assert_eq!(rec.write_stats().max_ns, 300 + HOST_CPU_NS_PER_OP);
+        assert_eq!(rec.meta_stats().max_ns, 50 + HOST_CPU_NS_PER_OP);
+    }
+}

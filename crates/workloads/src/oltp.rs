@@ -1,0 +1,129 @@
+//! The OLTP-style workload (Table 5: 1.6 K files of 10 MB, 200 threads, with
+//! frequent `fdatasync`): small random overwrites of large database files plus
+//! a sequential redo-log append, every transaction made durable.
+
+use fskit::{FileSystem, FileSystemExt, FsResult, OpenFlags};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::metrics::{OpClass, Recorder};
+use crate::spec::Scale;
+use crate::Workload;
+
+/// The OLTP workload.
+#[derive(Debug, Clone)]
+pub struct Oltp {
+    /// Number of database files.
+    pub files: usize,
+    /// Size of each database file in bytes.
+    pub file_size: usize,
+    /// Number of transactions (each: one random overwrite + log append +
+    /// fdatasync).
+    pub transactions: usize,
+    /// Size of one random overwrite in bytes.
+    pub write_size: usize,
+    /// Size of one redo-log append in bytes.
+    pub log_size: usize,
+}
+
+impl Oltp {
+    /// The paper's shape scaled down (harness base: 8 files of 512 KB,
+    /// 600 transactions of 2 KB writes).
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            files: 8,
+            file_size: 512 << 10,
+            transactions: scale.count(600),
+            write_size: 2 << 10,
+            log_size: 512,
+        }
+    }
+
+    fn table_path(i: usize) -> String {
+        format!("/oltp/table{i}")
+    }
+}
+
+impl Workload for Oltp {
+    fn name(&self) -> String {
+        "oltp".to_string()
+    }
+
+    fn setup(&self, fs: &dyn FileSystem, _rng: &mut SmallRng) -> FsResult<()> {
+        fs.mkdir("/oltp")?;
+        let payload = vec![0x44u8; self.file_size];
+        for i in 0..self.files {
+            fs.write_file(&Self::table_path(i), &payload)?;
+        }
+        fs.write_file("/oltp/redo.log", b"")?;
+        fs.sync()
+    }
+
+    fn run(&self, fs: &dyn FileSystem, rng: &mut SmallRng, rec: &mut Recorder) -> FsResult<()> {
+        let clock = fs.clock();
+        let log_fd = fs.open("/oltp/redo.log", OpenFlags::read_write().with_append())?;
+        let row = vec![0x99u8; self.write_size];
+        let log_entry = vec![0x11u8; self.log_size];
+        for _ in 0..self.transactions {
+            let table = rng.gen_range(0..self.files);
+            let offset =
+                (rng.gen_range(0..self.file_size - self.write_size) / self.write_size
+                    * self.write_size) as u64;
+            // Occasionally read the row first (SELECT before UPDATE).
+            if rng.gen_bool(0.3) {
+                let sw = rec.start(&clock);
+                let fd = fs.open(&Self::table_path(table), OpenFlags::read_only())?;
+                let data = fs.read(fd, offset, self.write_size)?;
+                fs.close(fd)?;
+                rec.finish(&clock, sw, OpClass::Read, data.len());
+            }
+            let sw = rec.start(&clock);
+            let fd = fs.open(&Self::table_path(table), OpenFlags::read_write())?;
+            fs.write(fd, offset, &row)?;
+            fs.fdatasync(fd)?;
+            fs.close(fd)?;
+            rec.finish(&clock, sw, OpClass::Write, self.write_size);
+
+            let sw = rec.start(&clock);
+            fs.append(log_fd, &log_entry)?;
+            fs.fdatasync(log_fd)?;
+            rec.finish(&clock, sw, OpClass::Write, self.log_size);
+        }
+        fs.close(log_fd)?;
+        let sw = rec.start(&clock);
+        fs.sync()?;
+        rec.finish(&clock, sw, OpClass::Write, 0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_workload;
+    use crate::fsfactory::FsKind;
+    use mssd::MssdConfig;
+
+    #[test]
+    fn oltp_runs_on_all_main_file_systems() {
+        for kind in FsKind::MAIN {
+            let w = Oltp { transactions: 20, file_size: 64 << 10, ..Oltp::new(Scale::tiny()) };
+            let result = run_workload(kind, MssdConfig::small_test(), &w, 11).unwrap();
+            assert!(result.write.count >= 40, "{kind}: two durable writes per transaction");
+            assert!(result.traffic.host_write_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn small_sync_overwrites_favour_bytefs_over_ext4() {
+        let mk = || Oltp { transactions: 50, file_size: 64 << 10, ..Oltp::new(Scale::tiny()) };
+        let bytefs = run_workload(FsKind::ByteFs, MssdConfig::small_test(), &mk(), 5).unwrap();
+        let ext4 = run_workload(FsKind::Ext4, MssdConfig::small_test(), &mk(), 5).unwrap();
+        assert!(
+            bytefs.kops_per_sec > ext4.kops_per_sec,
+            "ByteFS ({:.2} kops/s) should beat Ext4 ({:.2} kops/s) on sync-heavy OLTP",
+            bytefs.kops_per_sec,
+            ext4.kops_per_sec
+        );
+    }
+}

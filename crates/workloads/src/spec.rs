@@ -1,0 +1,69 @@
+//! Workload scaling.
+//!
+//! The paper's workloads (Table 5) run millions of files and tens of millions
+//! of operations on real hardware for hours. The harness defaults reproduce
+//! the same operation mixes over working sets scaled down so every figure
+//! regenerates in minutes on a laptop; [`Scale`] is the single knob.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative scale applied to file counts and operation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    factor: f64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self { factor: 1.0 }
+    }
+}
+
+impl Scale {
+    /// The harness default (already scaled down from the paper's Table 5).
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self { factor }
+    }
+
+    /// A very small scale for unit tests and smoke runs.
+    pub fn tiny() -> Self {
+        Self { factor: 0.05 }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Scales a base count, never below 1.
+    pub fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.factor).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_identity() {
+        let s = Scale::default();
+        assert_eq!(s.count(100), 100);
+        assert_eq!(s.factor(), 1.0);
+    }
+
+    #[test]
+    fn scaling_rounds_and_floors_at_one() {
+        let s = Scale::new(0.1);
+        assert_eq!(s.count(100), 10);
+        assert_eq!(s.count(3), 1);
+        assert_eq!(Scale::tiny().count(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = Scale::new(0.0);
+    }
+}

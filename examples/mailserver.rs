@@ -1,0 +1,38 @@
+//! A Varmail-style mail-server scenario comparing ByteFS with the Ext4-like
+//! baseline on the same emulated M-SSD configuration: many small files,
+//! frequent `fsync`, lots of metadata churn.
+//!
+//! Run with `cargo run --release --example mailserver`.
+
+use workloads::filebench::{Filebench, Personality};
+use workloads::{run_workload, FsKind, Scale};
+
+fn main() {
+    let scale = Scale::new(0.25);
+    let cfg = mssd::MssdConfig::default()
+        .with_capacity(1 << 30)
+        .with_dram_region(16 << 20);
+
+    println!("Running the Varmail personality (small files, fsync-heavy) ...\n");
+    let workload = Filebench::new(Personality::Varmail, scale);
+    let mut results = Vec::new();
+    for kind in [FsKind::Ext4, FsKind::F2fs, FsKind::ByteFs] {
+        let r = run_workload(kind, cfg.clone(), &workload, 2024).expect("workload runs");
+        println!(
+            "{:<8} {:>8.2} kops/s | write amp {:>5.2}x | read amp {:>5.2}x | metadata written {:>8} B",
+            r.fs,
+            r.kops_per_sec,
+            r.write_amplification(),
+            r.read_amplification(),
+            r.metadata_write_bytes(),
+        );
+        results.push(r);
+    }
+    let ext4 = &results[0];
+    let bytefs = results.last().expect("three results");
+    println!(
+        "\nByteFS vs Ext4: {:.2}x throughput, {:.2}x less host-SSD write traffic",
+        bytefs.kops_per_sec / ext4.kops_per_sec,
+        ext4.traffic.host_write_bytes() as f64 / bytefs.traffic.host_write_bytes().max(1) as f64,
+    );
+}

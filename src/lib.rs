@@ -1,0 +1,12 @@
+//! Umbrella crate for the ByteFS reproduction workspace.
+//!
+//! This crate re-exports the member crates so that the workspace-level
+//! examples and integration tests can use a single dependency. Library users
+//! should depend on the individual crates (`bytefs`, `mssd`, ...) directly.
+
+pub use baselines;
+pub use bytefs;
+pub use fskit;
+pub use kvstore;
+pub use mssd;
+pub use workloads;

@@ -1,0 +1,141 @@
+//! Cross-file-system integration tests: the same operation sequences must
+//! produce identical user-visible contents on ByteFS and every baseline, and
+//! ByteFS must agree with an in-memory model under randomized operation
+//! sequences.
+
+
+use bytefs_repro::fskit::{FileSystem, FileSystemExt, OpenFlags};
+use bytefs_repro::mssd::MssdConfig;
+use bytefs_repro::workloads::FsKind;
+use proptest::prelude::*;
+
+const ALL_KINDS: [FsKind; 7] = [
+    FsKind::Ext4,
+    FsKind::F2fs,
+    FsKind::Nova,
+    FsKind::Pmfs,
+    FsKind::ByteFs,
+    FsKind::ByteFsDual,
+    FsKind::ByteFsLog,
+];
+
+#[test]
+fn identical_scenario_on_every_file_system() {
+    for kind in ALL_KINDS {
+        let (_dev, fs) = kind.build(MssdConfig::small_test());
+        fs.mkdir("/docs").unwrap();
+        fs.mkdir("/docs/reports").unwrap();
+        fs.write_file("/docs/reports/q1", &vec![1u8; 5000]).unwrap();
+        fs.write_file("/docs/reports/q2", &vec![2u8; 12_000]).unwrap();
+
+        // Overwrite part of q1, append to q2.
+        let fd = fs.open("/docs/reports/q1", OpenFlags::read_write()).unwrap();
+        fs.write(fd, 1000, &[9u8; 256]).unwrap();
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs.open("/docs/reports/q2", OpenFlags::read_write().with_append()).unwrap();
+        fs.write(fd, 0, &[7u8; 100]).unwrap();
+        fs.close(fd).unwrap();
+
+        fs.rename("/docs/reports/q2", "/docs/q2-final").unwrap();
+        fs.unlink("/docs/reports/q1").unwrap();
+        fs.rmdir("/docs/reports").unwrap();
+        fs.sync().unwrap();
+
+        let q2 = fs.read_file("/docs/q2-final").unwrap();
+        assert_eq!(q2.len(), 12_100, "{kind}");
+        assert_eq!(&q2[..12_000], &vec![2u8; 12_000][..], "{kind}");
+        assert_eq!(&q2[12_000..], &[7u8; 100][..], "{kind}");
+        assert!(!fs.exists("/docs/reports"), "{kind}");
+        assert_eq!(fs.readdir("/docs").unwrap().len(), 1, "{kind}");
+    }
+}
+
+#[test]
+fn sparse_files_and_truncation_behave_identically() {
+    for kind in ALL_KINDS {
+        let (_dev, fs) = kind.build(MssdConfig::small_test());
+        let fd = fs.create("/sparse").unwrap();
+        // Write at an offset far beyond EOF, leaving a hole.
+        fs.write(fd, 20_000, b"tail").unwrap();
+        fs.fsync(fd).unwrap();
+        let meta = fs.fstat(fd).unwrap();
+        assert_eq!(meta.size, 20_004, "{kind}");
+        let data = fs.read(fd, 0, 30_000).unwrap();
+        assert_eq!(data.len(), 20_004, "{kind}");
+        assert!(data[..20_000].iter().all(|b| *b == 0), "{kind}: hole reads as zeros");
+        assert_eq!(&data[20_000..], b"tail", "{kind}");
+
+        fs.truncate(fd, 10_000).unwrap();
+        assert_eq!(fs.read(fd, 0, 30_000).unwrap().len(), 10_000, "{kind}");
+        fs.truncate(fd, 0).unwrap();
+        assert!(fs.read(fd, 0, 10).unwrap().is_empty(), "{kind}");
+    }
+}
+
+/// A tiny model-based property test: random write/read/truncate sequences on
+/// ByteFS must match a plain in-memory byte-vector model.
+#[derive(Debug, Clone)]
+enum FileOp {
+    Write { offset: u16, len: u8 },
+    Read { offset: u16, len: u8 },
+    Truncate { size: u16 },
+    Fsync,
+}
+
+fn file_op_strategy() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(offset, len)| FileOp::Write { offset, len }),
+        (any::<u16>(), any::<u8>()).prop_map(|(offset, len)| FileOp::Read { offset, len }),
+        any::<u16>().prop_map(|size| FileOp::Truncate { size }),
+        Just(FileOp::Fsync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bytefs_matches_an_in_memory_model(ops in proptest::collection::vec(file_op_strategy(), 1..40)) {
+        let (_dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let fd = fs.create("/model").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        let mut tag: u8 = 0;
+        for op in ops {
+            match op {
+                FileOp::Write { offset, len } => {
+                    let offset = offset as usize % 30_000;
+                    let len = (len as usize % 200) + 1;
+                    tag = tag.wrapping_add(1);
+                    let data = vec![tag; len];
+                    fs.write(fd, offset as u64, &data).unwrap();
+                    if model.len() < offset + len {
+                        model.resize(offset + len, 0);
+                    }
+                    model[offset..offset + len].copy_from_slice(&data);
+                }
+                FileOp::Read { offset, len } => {
+                    let offset = offset as usize % 32_000;
+                    let len = len as usize;
+                    let got = fs.read(fd, offset as u64, len).unwrap();
+                    let expected: &[u8] = if offset >= model.len() {
+                        &[]
+                    } else {
+                        &model[offset..(offset + len).min(model.len())]
+                    };
+                    prop_assert_eq!(got, expected.to_vec());
+                }
+                FileOp::Truncate { size } => {
+                    let size = size as usize % 32_000;
+                    fs.truncate(fd, size as u64).unwrap();
+                    model.resize(size, 0);
+                }
+                FileOp::Fsync => fs.fsync(fd).unwrap(),
+            }
+            prop_assert_eq!(fs.fstat(fd).unwrap().size, model.len() as u64);
+        }
+        fs.fsync(fd).unwrap();
+        let full = fs.read(fd, 0, model.len()).unwrap();
+        prop_assert_eq!(full, model);
+    }
+}
