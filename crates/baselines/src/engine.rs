@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use fskit::journal::BlockJournal;
-use fskit::pagecache::{DirtyPage, PageCache};
+use fskit::pagecache::{DirtyPage, PageCache, PageRef};
 use fskit::path as fspath;
 use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, FsResult, Metadata, OpenFlags};
 use mssd::Mssd;
@@ -350,8 +350,8 @@ impl<P: PersistencePolicy> BaselineFs<P> {
     }
 
     /// Reads one full page of a file, via the page cache when the policy is
-    /// buffered.
-    fn read_page(&self, st: &mut EngineState, ino: u64, index: u64) -> FsResult<Vec<u8>> {
+    /// buffered. Returns a zero-copy handle (cache hits are a refcount bump).
+    fn read_page(&self, st: &mut EngineState, ino: u64, index: u64) -> FsResult<PageRef> {
         let page_size = st.layout.page_size;
         let buffered = self.policy.buffered_data();
         if buffered {
@@ -361,9 +361,10 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         }
         let lba = st.ns.node(ino)?.blocks.get(&index).copied();
         let page = match lba {
-            Some(lba) => self
-                .with_ctx(st, |ctx, _, _| self.policy.read_range(ctx, lba, 0, page_size)),
-            None => vec![0u8; page_size],
+            Some(lba) => PageRef::from(
+                self.with_ctx(st, |ctx, _, _| self.policy.read_range(ctx, lba, 0, page_size)),
+            ),
+            None => PageRef::zeroed(page_size),
         };
         if buffered && lba.is_some() {
             st.page_cache.insert_clean(ino, index, page.clone());
@@ -460,7 +461,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
                         });
                         out.extend_from_slice(&bytes);
                     }
-                    None => out.extend(std::iter::repeat(0u8).take(span)),
+                    None => out.extend(std::iter::repeat_n(0u8, span)),
                 }
             } else {
                 let page = self.read_page(&mut st, of.ino, index)?;
@@ -586,15 +587,16 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             let last_mapped = st.ns.node(of.ino)?.blocks.contains_key(&last);
             let resident = st.page_cache.contains(of.ino, last);
             if last_mapped || resident {
-                let mut page = self.read_page(&mut st, of.ino, last)?;
-                page[tail_off..].fill(0);
+                let page = self.read_page(&mut st, of.ino, last)?;
                 if self.policy.buffered_data() {
                     if !st.page_cache.contains(of.ino, last) {
-                        st.page_cache.insert_clean(of.ino, last, page.clone());
+                        st.page_cache.insert_clean(of.ino, last, page);
                     }
                     let zeros = vec![0u8; ps - tail_off];
                     st.page_cache.write(of.ino, last, tail_off, &zeros);
                 } else {
+                    let mut page = page.to_vec();
+                    page[tail_off..].fill(0);
                     self.writeback_page(&mut st, of.ino, last, &page, &[(tail_off, ps - tail_off)])?;
                 }
             }

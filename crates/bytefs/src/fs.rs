@@ -498,8 +498,8 @@ impl ByteFs {
         };
         let addr = self.dentry_addr(&parent_inode, slot.block_pos, slot.slot);
         self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry);
-        self.persist_inode(&state, &mut txn, &inode);
-        self.persist_inode(&state, &mut txn, &parent_inode);
+        self.persist_inode(state, &mut txn, &inode);
+        self.persist_inode(state, &mut txn, &parent_inode);
         self.persist_bitmaps(state, &mut txn);
         self.commit_txn(state, txn);
 
@@ -548,7 +548,7 @@ impl ByteFs {
             state.dirs.get_mut(&parent).expect("parent cached").remove(name).expect("exists");
         let addr = self.dentry_addr(&parent_inode, removed.slot.block_pos, removed.slot.slot);
         self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry);
-        self.persist_inode_lower(&state, &mut txn, &parent_inode);
+        self.persist_inode_lower(state, &mut txn, &parent_inode);
 
         // Free the target's blocks and inode.
         let freed: Vec<u64> = target_inode.extents.iter_blocks().map(|(_, lba)| lba).collect();
@@ -559,7 +559,7 @@ impl ByteFs {
             self.free_block(state, lba);
         }
         state.inode_bitmap.free(target);
-        self.persist_inode_free(&state, &mut txn, target);
+        self.persist_inode_free(state, &mut txn, target);
         self.persist_bitmaps(state, &mut txn);
         self.commit_txn(state, txn);
 

@@ -2,7 +2,7 @@
 //! interface selection (§4.6), `fsync`, truncate and whole-FS sync.
 
 use fskit::journal::JournaledBlock;
-use fskit::pagecache::DirtyPage;
+use fskit::pagecache::{DirtyPage, PageRef};
 use fskit::{FsError, FsResult};
 use mssd::Category;
 
@@ -30,8 +30,9 @@ impl ByteFs {
     }
 
     /// Reads one page of a file into the host page cache (block interface on a
-    /// miss; holes materialize as zero pages) and returns its contents.
-    fn page_for_read(&self, state: &mut State, ino: u64, index: u64) -> Vec<u8> {
+    /// miss; holes materialize as zero pages) and returns a zero-copy handle
+    /// to its contents.
+    fn page_for_read(&self, state: &mut State, ino: u64, index: u64) -> PageRef {
         if let Some(page) = state.page_cache.get(ino, index) {
             return page;
         }
@@ -39,11 +40,11 @@ impl ByteFs {
         let lba = state.inodes.get(&ino).and_then(|i| i.extents.lookup(index));
         match lba {
             Some(lba) => {
-                let page = self.device.block_read(lba, 1, Category::Data);
+                let page = PageRef::from(self.device.block_read(lba, 1, Category::Data));
                 state.page_cache.insert_clean(ino, index, page.clone());
                 page
             }
-            None => vec![0u8; page_size],
+            None => PageRef::zeroed(page_size),
         }
     }
 
@@ -107,7 +108,7 @@ impl ByteFs {
                         out.extend_from_slice(&page[in_page..in_page + span]);
                     }
                 },
-                None => out.extend(std::iter::repeat(0u8).take(span)),
+                None => out.extend(std::iter::repeat_n(0u8, span)),
             }
             pos += span as u64;
         }
@@ -270,7 +271,7 @@ impl ByteFs {
                             journal.commit(
                                 &[JournaledBlock {
                                     lba,
-                                    data: dp.data.clone(),
+                                    data: dp.data.to_vec(),
                                     category: Category::Data,
                                 }],
                                 true,

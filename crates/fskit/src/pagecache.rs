@@ -10,17 +10,92 @@
 //!
 //! The same [`PageCache`] type (with CoW tracking disabled) serves as the
 //! ordinary host page cache of the block-based baseline file systems.
+//!
+//! Page data is stored `Arc`-backed and handed out as [`PageRef`] handles:
+//! [`PageCache::get`] is a reference-count bump, not a 4 KB memcpy, and the
+//! first dirty write to a page that still has outstanding readers (or a CoW
+//! original) copies the buffer exactly once (`Arc::make_mut`). Read-dominated
+//! paths through the file systems are therefore zero-copy end to end.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Key of a cached page: `(inode number, page index within the file)`.
 pub type PageKey = (u64, u64);
+
+/// A cheap, immutable handle to one cached page's bytes.
+///
+/// Cloning a `PageRef` (and fetching one from [`PageCache::get`]) only bumps a
+/// reference count. The underlying buffer is copied lazily, the first time the
+/// cache must mutate a page that is still shared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRef(Arc<Vec<u8>>);
+
+impl PageRef {
+    /// Wraps an owned buffer.
+    pub fn new(data: Vec<u8>) -> Self {
+        Self(Arc::new(data))
+    }
+
+    /// An all-zero page of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self::new(vec![0u8; len])
+    }
+
+    /// Length of the page in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when the page is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the bytes out into an owned vector (the only copying API —
+    /// everything else borrows).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+
+    /// `true` when both handles share the same underlying buffer (used by
+    /// tests to assert zero-copy behaviour).
+    pub fn ptr_eq(a: &PageRef, b: &PageRef) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    fn into_arc(self) -> Arc<Vec<u8>> {
+        self.0
+    }
+}
+
+impl Deref for PageRef {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PageRef {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for PageRef {
+    fn from(data: Vec<u8>) -> Self {
+        Self::new(data)
+    }
+}
 
 /// A contiguous modified byte range within a page, aligned to chunk
 /// boundaries: `(offset, length)`.
 pub type DirtyRange = (usize, usize);
 
-/// A dirty page handed to the file system for writeback.
+/// A dirty page handed to the file system for writeback. Both buffers are
+/// shared handles into the cache — taking dirty pages copies nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirtyPage {
     /// Owning inode.
@@ -28,10 +103,10 @@ pub struct DirtyPage {
     /// Page index within the file.
     pub index: u64,
     /// Current contents.
-    pub data: Vec<u8>,
+    pub data: PageRef,
     /// Contents when the page was first modified (present only when CoW
     /// tracking is enabled), used for XOR dirty-chunk detection.
-    pub original: Option<Vec<u8>>,
+    pub original: Option<PageRef>,
 }
 
 impl DirtyPage {
@@ -55,9 +130,9 @@ impl DirtyPage {
 
 #[derive(Debug, Clone)]
 struct CachedPage {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
     dirty: bool,
-    original: Option<Vec<u8>>,
+    original: Option<Arc<Vec<u8>>>,
     last_use: u64,
 }
 
@@ -124,12 +199,13 @@ impl PageCache {
         }
     }
 
-    /// Returns a copy of a resident page.
-    pub fn get(&mut self, inode: u64, index: u64) -> Option<Vec<u8>> {
+    /// Returns a zero-copy handle to a resident page (a reference-count bump,
+    /// not a 4 KB copy).
+    pub fn get(&mut self, inode: u64, index: u64) -> Option<PageRef> {
         let key = (inode, index);
         if self.pages.contains_key(&key) {
             self.touch(key);
-            Some(self.pages[&key].data.clone())
+            Some(PageRef(Arc::clone(&self.pages[&key].data)))
         } else {
             None
         }
@@ -137,7 +213,8 @@ impl PageCache {
 
     /// Inserts a page read from the device (clean). Evicts clean LRU pages if
     /// the cache is over capacity; dirty pages are never evicted implicitly.
-    pub fn insert_clean(&mut self, inode: u64, index: u64, data: Vec<u8>) {
+    pub fn insert_clean(&mut self, inode: u64, index: u64, data: impl Into<PageRef>) {
+        let data = data.into().into_arc();
         debug_assert_eq!(data.len(), self.page_size);
         self.tick += 1;
         let entry = CachedPage { data, dirty: false, original: None, last_use: self.tick };
@@ -156,6 +233,10 @@ impl PageCache {
     /// Applies a write to a resident page, marking it dirty and (if enabled)
     /// capturing the CoW original on the first modification. Returns `false`
     /// when the page is not resident — the caller must load it first.
+    ///
+    /// The buffer is physically copied only when it is still shared (with
+    /// outstanding [`PageRef`]s or with the CoW original) — copy-on-write on
+    /// the first dirty write, in-place mutation afterwards.
     pub fn write(&mut self, inode: u64, index: u64, offset: usize, bytes: &[u8]) -> bool {
         self.tick += 1;
         let tick = self.tick;
@@ -164,9 +245,12 @@ impl PageCache {
             Some(p) => {
                 debug_assert!(offset + bytes.len() <= self.page_size);
                 if track_cow && !p.dirty && p.original.is_none() {
-                    p.original = Some(p.data.clone());
+                    // Capturing the original is free: it shares the buffer,
+                    // and the make_mut below unshares the writable copy.
+                    p.original = Some(Arc::clone(&p.data));
                 }
-                p.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+                let buf = Arc::make_mut(&mut p.data);
+                buf[offset..offset + bytes.len()].copy_from_slice(bytes);
                 p.dirty = true;
                 p.last_use = tick;
                 true
@@ -177,10 +261,12 @@ impl PageCache {
 
     /// Inserts a brand-new page that has no backing content on the device yet
     /// (file extension); it starts dirty with a zero original.
-    pub fn insert_new_dirty(&mut self, inode: u64, index: u64, data: Vec<u8>) {
+    pub fn insert_new_dirty(&mut self, inode: u64, index: u64, data: impl Into<PageRef>) {
+        let data = data.into().into_arc();
         debug_assert_eq!(data.len(), self.page_size);
         self.tick += 1;
-        let original = if self.track_cow { Some(vec![0u8; self.page_size]) } else { None };
+        let original =
+            if self.track_cow { Some(Arc::new(vec![0u8; self.page_size])) } else { None };
         self.pages.insert(
             (inode, index),
             CachedPage { data, dirty: true, original, last_use: self.tick },
@@ -218,8 +304,8 @@ impl PageCache {
                 out.push(DirtyPage {
                     inode: key.0,
                     index: key.1,
-                    data: p.data.clone(),
-                    original,
+                    data: PageRef(Arc::clone(&p.data)),
+                    original: original.map(PageRef),
                 });
             }
         }
@@ -315,10 +401,34 @@ mod tests {
     fn insert_get_roundtrip() {
         let mut c = cache(false);
         c.insert_clean(1, 0, vec![3u8; PS]);
-        assert_eq!(c.get(1, 0), Some(vec![3u8; PS]));
+        assert_eq!(c.get(1, 0), Some(PageRef::from(vec![3u8; PS])));
         assert_eq!(c.get(1, 1), None);
         assert!(c.contains(1, 0));
         assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn get_is_zero_copy_and_write_unshares() {
+        let mut c = cache(false);
+        c.insert_clean(1, 0, vec![3u8; PS]);
+        let a = c.get(1, 0).unwrap();
+        let b = c.get(1, 0).unwrap();
+        assert!(PageRef::ptr_eq(&a, &b), "repeated gets share one buffer");
+        // A write while handles are outstanding must not mutate them
+        // (copy-on-write), and the cache must serve the new contents.
+        assert!(c.write(1, 0, 0, &[9u8; 4]));
+        assert_eq!(&a[..4], &[3u8; 4], "outstanding handle sees old bytes");
+        let after = c.get(1, 0).unwrap();
+        assert_eq!(&after[..4], &[9u8; 4]);
+        assert!(!PageRef::ptr_eq(&a, &after));
+        // With no handles outstanding and the page already dirty, further
+        // writes mutate in place (no second copy).
+        drop((a, b, after));
+        let before = c.get(1, 0).unwrap();
+        drop(before);
+        assert!(c.write(1, 0, 4, &[8u8; 4]));
+        let now = c.get(1, 0).unwrap();
+        assert_eq!(&now[..8], &[9, 9, 9, 9, 8, 8, 8, 8]);
     }
 
     #[test]
@@ -342,7 +452,7 @@ mod tests {
         let dirty = c.take_dirty(1);
         assert_eq!(dirty.len(), 1);
         let orig = dirty[0].original.as_ref().unwrap();
-        assert_eq!(orig, &vec![7u8; PS]);
+        assert_eq!(orig.to_vec(), vec![7u8; PS]);
         // Ranges cover exactly the two modified cachelines, merged.
         assert_eq!(dirty[0].dirty_ranges(64), vec![(0, 128)]);
     }

@@ -336,7 +336,7 @@ mod tests {
     fn flush_and_read_from_sstables() {
         let db = Db::open(bytefs(), "/db", DbOptions::small_test()).unwrap();
         for i in 0..200u32 {
-            db.put(format!("user{i:04}").as_bytes(), &vec![i as u8; 100]).unwrap();
+            db.put(format!("user{i:04}").as_bytes(), &[i as u8; 100]).unwrap();
         }
         db.flush().unwrap();
         assert!(db.table_count() >= 1);
@@ -404,7 +404,7 @@ mod tests {
         let fs: Arc<dyn FileSystem> = Ext4Like::format(dev);
         let db = Db::open(fs, "/rocks", DbOptions::small_test()).unwrap();
         for i in 0..100u32 {
-            db.put(format!("k{i}").as_bytes(), &vec![7u8; 64]).unwrap();
+            db.put(format!("k{i}").as_bytes(), &[7u8; 64]).unwrap();
         }
         db.flush().unwrap();
         assert_eq!(db.get(b"k42").unwrap(), Some(vec![7u8; 64]));

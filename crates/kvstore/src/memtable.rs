@@ -47,7 +47,7 @@ impl Memtable {
         if let Some(old) = self.entries.insert(key, value) {
             let old_size = old.map(|v| v.len()).unwrap_or(0);
             self.approx_bytes = self.approx_bytes.saturating_sub(old_size);
-            self.approx_bytes += add.saturating_sub(16) - 0;
+            self.approx_bytes += add.saturating_sub(16);
         } else {
             self.approx_bytes += add;
         }

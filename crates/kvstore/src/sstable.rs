@@ -118,7 +118,7 @@ impl SsTable {
         let mut pos = 0usize;
         let mut count = 0usize;
         while let Some((entry, used)) = decode_entry(&buf[pos..]) {
-            if count % INDEX_INTERVAL == 0 {
+            if count.is_multiple_of(INDEX_INTERVAL) {
                 index.push((entry.key.clone(), pos as u64));
             }
             bounds = Some(match bounds {

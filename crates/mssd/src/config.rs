@@ -17,10 +17,12 @@ use crate::{CACHELINE, PAGE_SIZE};
 /// (Figure 13). Read/write latencies are expressed in microseconds as in the
 /// figure labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum TimingProfile {
     /// Low-end flash: 25 µs read / 200 µs program.
     LowEnd,
     /// The default emulator setting: 40 µs read / 60 µs program (Table 4).
+    #[default]
     Default,
     /// High-end (Z-NAND-class) flash: 3 µs read / 80 µs program.
     HighEnd,
@@ -63,11 +65,6 @@ impl TimingProfile {
     }
 }
 
-impl Default for TimingProfile {
-    fn default() -> Self {
-        Self::Default
-    }
-}
 
 impl std::fmt::Display for TimingProfile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -264,7 +261,7 @@ impl MssdConfig {
         if self.page_size == 0 || !self.page_size.is_power_of_two() {
             return Err(format!("page_size {} must be a power of two", self.page_size));
         }
-        if self.capacity_bytes % self.page_size as u64 != 0 {
+        if !self.capacity_bytes.is_multiple_of(self.page_size as u64) {
             return Err("capacity must be a multiple of the page size".into());
         }
         if self.channels == 0 {

@@ -2,9 +2,37 @@
 //! write log or page cache, transactions and recovery.
 //!
 //! [`Mssd`] is the single object file systems talk to. It is `Send + Sync`
-//! (interior mutability behind a mutex) so multi-threaded workloads can share
-//! it, and every operation advances the shared virtual [`Clock`] by the
-//! modelled latency and records traffic in a [`TrafficCounter`].
+//! and built so that the byte-interface hot path scales with threads instead
+//! of serializing on one device-wide lock:
+//!
+//! * traffic/latency accounting is lock-free ([`AtomicTraffic`] — plain
+//!   relaxed atomic adds, never a mutex);
+//! * the write-log index is sharded by the paper's first-layer partition key
+//!   (LPA / 16 MB) with an independent lock per shard
+//!   ([`crate::log::ShardedWriteLog`]), so byte writes and log-served byte
+//!   reads in different partitions never contend;
+//! * the FTL + flash array (and, in baseline mode, the device page cache)
+//!   sit behind their own mutex, taken only when flash must actually be
+//!   touched;
+//! * the firmware TxLog has its own small mutex, so `COMMIT` does not block
+//!   writers.
+//!
+//! Lock order (to avoid deadlock): **flash → txlog → log shards**. Any
+//! operation that takes more than one of these acquires them in that order;
+//! the sharded log itself only ever locks shards one at a time or all of them
+//! in ascending index order (cleaning).
+//!
+//! Concurrency contract: individual operations are thread-safe, but a
+//! multi-page request is atomic only **per page-sized chunk**, not as a
+//! whole — a concurrent reader of a range another thread is writing may see
+//! some pages new and some old. This mirrors real dual-interface hardware
+//! (MMIO gives at most cacheline atomicity; NVMe gives per-command, not
+//! cross-command, ordering); the old implementation's whole-request atomicity
+//! was an artifact of its single device-wide mutex. Callers needing
+//! cross-page atomicity use transactions (`txid` + `COMMIT`).
+//!
+//! Every operation advances the shared virtual [`Clock`] by the modelled
+//! latency and records traffic in the device's [`AtomicTraffic`].
 //!
 //! The firmware behaviour depends on [`DramMode`]:
 //!
@@ -25,8 +53,8 @@ use crate::clock::Clock;
 use crate::config::MssdConfig;
 use crate::dram_cache::DramPageCache;
 use crate::ftl::{Ftl, Lpa};
-use crate::log::WriteLog;
-use crate::stats::{Category, Direction, Interface, StatsSnapshot, TrafficCounter};
+use crate::log::ShardedWriteLog;
+use crate::stats::{AtomicTraffic, Category, Direction, Interface, StatsSnapshot, TrafficCounter};
 use crate::txn::{TxId, TxLog};
 
 /// How the firmware manages the device DRAM region.
@@ -51,13 +79,13 @@ pub struct RecoveryReport {
     pub duration_ns: u64,
 }
 
+/// The flash-side state: FTL (mapping, write buffer, GC) plus, in baseline
+/// mode, the device-DRAM page cache. One mutex — taken only when flash or the
+/// device cache is actually involved.
 #[derive(Debug)]
-struct Inner {
+struct FlashUnit {
     ftl: Ftl,
-    log: WriteLog,
-    txlog: TxLog,
     cache: DramPageCache,
-    stats: TrafficCounter,
 }
 
 /// The memory-semantic SSD device model.
@@ -65,7 +93,10 @@ pub struct Mssd {
     cfg: MssdConfig,
     mode: DramMode,
     clock: Arc<Clock>,
-    inner: Mutex<Inner>,
+    stats: AtomicTraffic,
+    log: ShardedWriteLog,
+    txlog: Mutex<TxLog>,
+    flash: Mutex<FlashUnit>,
 }
 
 impl std::fmt::Debug for Mssd {
@@ -98,14 +129,19 @@ impl Mssd {
         if let Err(msg) = cfg.validate() {
             panic!("invalid MssdConfig: {msg}");
         }
-        let inner = Inner {
+        let flash = FlashUnit {
             ftl: Ftl::new(cfg.clone()),
-            log: WriteLog::new(&cfg),
-            txlog: TxLog::new(cfg.txlog_bytes),
             cache: DramPageCache::new(cfg.dram_region_bytes, cfg.page_size),
-            stats: TrafficCounter::new(),
         };
-        Arc::new(Self { cfg, mode, clock, inner: Mutex::new(inner) })
+        Arc::new(Self {
+            log: ShardedWriteLog::new(&cfg),
+            txlog: Mutex::new(TxLog::new(cfg.txlog_bytes)),
+            flash: Mutex::new(flash),
+            stats: AtomicTraffic::new(),
+            cfg,
+            mode,
+            clock,
+        })
     }
 
     /// The device configuration.
@@ -138,10 +174,12 @@ impl Mssd {
         self.cfg.logical_pages()
     }
 
-    fn charge(&self, inner: &mut Inner, ns: u64) {
+    /// Charges `ns` of host-visible device time: advances the shared clock and
+    /// accumulates the busy counter. Entirely lock-free.
+    fn charge(&self, ns: u64) {
         if ns > 0 {
             self.clock.advance(ns);
-            inner.stats.device_busy_ns += ns;
+            self.stats.add_device_busy_ns(ns);
         }
     }
 
@@ -154,6 +192,10 @@ impl Mssd {
     /// becomes durable at commit; otherwise it is treated as immediately
     /// committed.
     ///
+    /// In [`DramMode::WriteLog`] this is the sharded hot path: the only lock
+    /// taken is the one write-log shard covering each touched partition
+    /// (flash is involved only when the log overflows).
+    ///
     /// # Panics
     ///
     /// Panics if the address range exceeds the device capacity.
@@ -165,10 +207,12 @@ impl Mssd {
         if data.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock();
-        inner.stats.record_host(Direction::Write, cat, Interface::Byte, data.len() as u64);
+        self.stats.record_host(Direction::Write, cat, Interface::Byte, data.len() as u64);
         let mut cost = self.cfg.byte_access_ns(data.len(), false);
         let page_size = self.cfg.page_size as u64;
+        // In baseline mode every chunk goes through the device cache, which
+        // lives behind the flash lock; take it once for the whole request.
+        let mut flash = (self.mode == DramMode::PageCache).then(|| self.flash.lock());
         let mut off = 0usize;
         while off < data.len() {
             let cur_addr = addr + off as u64;
@@ -176,25 +220,25 @@ impl Mssd {
             let in_page = (cur_addr % page_size) as usize;
             let span = (self.cfg.page_size - in_page).min(data.len() - off);
             let chunk = &data[off..off + span];
-            match self.mode {
-                DramMode::WriteLog => {
-                    cost += self.log_append(&mut inner, lpa, in_page, chunk, txid);
-                }
-                DramMode::PageCache => {
-                    cost += self.cache_modify(&mut inner, lpa, in_page, chunk);
-                }
+            match &mut flash {
+                None => cost += self.log_append(lpa, in_page, chunk, txid),
+                Some(unit) => cost += self.cache_modify(unit, lpa, in_page, chunk),
             }
             off += span;
         }
+        drop(flash);
         // Opportunistic background cleaning once the threshold is crossed.
-        if self.mode == DramMode::WriteLog && inner.log.needs_cleaning() {
-            self.clean_log(&mut inner, false);
+        if self.mode == DramMode::WriteLog && self.log.needs_cleaning() {
+            self.clean_log(false);
         }
-        self.charge(&mut inner, cost);
+        self.charge(cost);
     }
 
     /// Reads `len` bytes at absolute device byte address `addr` through the
     /// byte interface.
+    ///
+    /// Ranges fully covered by write-log entries are served under a single
+    /// shard lock; only uncovered ranges touch the FTL.
     ///
     /// # Panics
     ///
@@ -208,40 +252,44 @@ impl Mssd {
         if len == 0 {
             return out;
         }
-        let mut inner = self.inner.lock();
-        inner.stats.record_host(Direction::Read, cat, Interface::Byte, len as u64);
+        self.stats.record_host(Direction::Read, cat, Interface::Byte, len as u64);
         let mut cost = self.cfg.byte_access_ns(len, true);
         let page_size = self.cfg.page_size as u64;
+        let mut flash = (self.mode == DramMode::PageCache).then(|| self.flash.lock());
         let mut off = 0usize;
         while off < len {
             let cur_addr = addr + off as u64;
             let lpa: Lpa = cur_addr / page_size;
             let in_page = (cur_addr % page_size) as usize;
             let span = (self.cfg.page_size - in_page).min(len - off);
-            match self.mode {
-                DramMode::WriteLog => {
-                    if inner.log.covers(lpa, in_page, span) {
-                        let mut page = vec![0u8; self.cfg.page_size];
-                        inner.log.merge_into(lpa, &mut page);
-                        out.extend_from_slice(&page[in_page..in_page + span]);
-                    } else {
-                        let inner_ref = &mut *inner;
-                        let (mut page, ns) =
-                            inner_ref.ftl.read_page(lpa, &mut inner_ref.stats, false);
-                        cost += ns;
-                        inner_ref.log.merge_into(lpa, &mut page);
-                        out.extend_from_slice(&page[in_page..in_page + span]);
+            match &mut flash {
+                None => {
+                    // Fast path: the log fully covers the range (shard lock
+                    // only). Slow path: fetch the flash page, then overlay
+                    // whatever the log has.
+                    match self.log.read_covered(lpa, in_page, span) {
+                        Some(bytes) => out.extend_from_slice(&bytes),
+                        None => {
+                            // Hold the flash lock across read + merge: a
+                            // concurrent cleaning (which takes flash first)
+                            // could otherwise drain the log between the two
+                            // and the overlay would be lost.
+                            let unit = self.flash.lock();
+                            let (mut page, ns) = unit.ftl.read_page(lpa, &self.stats, false);
+                            cost += ns;
+                            self.log.merge_into(lpa, &mut page);
+                            drop(unit);
+                            out.extend_from_slice(&page[in_page..in_page + span]);
+                        }
                     }
                 }
-                DramMode::PageCache => {
-                    let page = match inner.cache.get(lpa) {
+                Some(unit) => {
+                    let page = match unit.cache.get(lpa) {
                         Some(p) => p,
                         None => {
-                            let inner_ref = &mut *inner;
-                            let (page, ns) =
-                                inner_ref.ftl.read_page(lpa, &mut inner_ref.stats, false);
+                            let (page, ns) = unit.ftl.read_page(lpa, &self.stats, false);
                             cost += ns;
-                            cost += self.cache_insert(inner_ref, lpa, page.clone(), false);
+                            cost += self.cache_insert(unit, lpa, page.clone(), false);
                             page
                         }
                     };
@@ -250,7 +298,8 @@ impl Mssd {
             }
             off += span;
         }
-        self.charge(&mut inner, cost);
+        drop(flash);
+        self.charge(cost);
         out
     }
 
@@ -259,9 +308,7 @@ impl Mssd {
     /// PCIe writes to complete (§4.2). Charges one byte-interface read
     /// round-trip.
     pub fn persist_barrier(&self) {
-        let mut inner = self.inner.lock();
-        let cost = self.cfg.byte_read_ns;
-        self.charge(&mut inner, cost);
+        self.charge(self.cfg.byte_read_ns);
     }
 
     // ------------------------------------------------------------------
@@ -283,8 +330,7 @@ impl Mssd {
         if count == 0 {
             return out;
         }
-        let mut inner = self.inner.lock();
-        inner.stats.record_host(
+        self.stats.record_host(
             Direction::Read,
             cat,
             Interface::Block,
@@ -293,35 +339,35 @@ impl Mssd {
         let mut cost =
             self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(count * page_size, true);
         let mut flash_reads = 0usize;
+        let mut unit = self.flash.lock();
         for i in 0..count as u64 {
             let lpa = lba + i;
             match self.mode {
                 DramMode::WriteLog => {
-                    let inner_ref = &mut *inner;
-                    let (mut page, ns) = inner_ref.ftl.read_page(lpa, &mut inner_ref.stats, false);
+                    let (mut page, ns) = unit.ftl.read_page(lpa, &self.stats, false);
                     if ns > 0 {
                         flash_reads += 1;
                     }
-                    inner_ref.log.merge_into(lpa, &mut page);
+                    self.log.merge_into(lpa, &mut page);
                     out.extend_from_slice(&page);
                 }
-                DramMode::PageCache => match inner.cache.get(lpa) {
+                DramMode::PageCache => match unit.cache.get(lpa) {
                     Some(p) => out.extend_from_slice(&p),
                     None => {
-                        let inner_ref = &mut *inner;
-                        let (page, _) = inner_ref.ftl.read_page(lpa, &mut inner_ref.stats, false);
+                        let (page, _) = unit.ftl.read_page(lpa, &self.stats, false);
                         flash_reads += 1;
-                        cost += self.cache_insert(inner_ref, lpa, page.clone(), false);
+                        cost += self.cache_insert(&mut unit, lpa, page.clone(), false);
                         out.extend_from_slice(&page);
                     }
                 },
             }
         }
+        drop(unit);
         // Flash reads proceed channel-parallel.
         if flash_reads > 0 {
             cost += flash_reads.div_ceil(self.cfg.channels) as u64 * self.cfg.flash_read_ns;
         }
-        self.charge(&mut inner, cost);
+        self.charge(cost);
         out
     }
 
@@ -338,7 +384,7 @@ impl Mssd {
     pub fn block_write(&self, lba: u64, data: &[u8], cat: Category) {
         let page_size = self.cfg.page_size;
         assert!(
-            data.len() % page_size == 0 && !data.is_empty(),
+            data.len().is_multiple_of(page_size) && !data.is_empty(),
             "block_write length must be a non-zero multiple of the page size"
         );
         let count = data.len() / page_size;
@@ -346,9 +392,9 @@ impl Mssd {
             lba + count as u64 <= self.logical_pages(),
             "block_write beyond device capacity"
         );
-        let mut inner = self.inner.lock();
-        inner.stats.record_host(Direction::Write, cat, Interface::Block, data.len() as u64);
+        self.stats.record_host(Direction::Write, cat, Interface::Block, data.len() as u64);
         let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(data.len(), false);
+        let mut unit = self.flash.lock();
         for i in 0..count {
             let lpa = lba + i as u64;
             let page = data[i * page_size..(i + 1) * page_size].to_vec();
@@ -356,47 +402,44 @@ impl Mssd {
                 DramMode::WriteLog => {
                     // The host page cache always holds the newest data, so log
                     // entries for this page are stale and dropped (§4.4).
-                    inner.log.invalidate_page(lpa);
-                    let inner_ref = &mut *inner;
-                    cost += inner_ref.ftl.buffer_write(lpa, page, &mut inner_ref.stats);
+                    self.log.invalidate_page(lpa);
+                    cost += unit.ftl.buffer_write(lpa, page, &self.stats);
                 }
                 DramMode::PageCache => {
-                    cost += self.cache_insert(&mut inner, lpa, page, true);
+                    cost += self.cache_insert(&mut unit, lpa, page, true);
                 }
             }
         }
-        self.charge(&mut inner, cost);
+        drop(unit);
+        self.charge(cost);
     }
 
     /// Marks blocks as unused (TRIM). The FS calls this when freeing data
     /// blocks so the FTL stops relocating dead data.
     pub fn trim(&self, lba: u64, count: usize) {
-        let mut inner = self.inner.lock();
+        let mut unit = self.flash.lock();
         for i in 0..count as u64 {
-            inner.log.invalidate_page(lba + i);
-            inner.cache.discard(lba + i);
-            inner.ftl.trim(lba + i);
+            self.log.invalidate_page(lba + i);
+            unit.cache.discard(lba + i);
+            unit.ftl.trim(lba + i);
         }
     }
 
     /// NVMe FLUSH: makes all acknowledged block writes durable on flash.
     /// Block-interface file systems call this on `fsync`.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
+        let mut unit = self.flash.lock();
         let mut cost = 0;
         if self.mode == DramMode::PageCache {
-            let dirty = inner.cache.drain_dirty();
-            let inner_ref = &mut *inner;
+            let dirty = unit.cache.drain_dirty();
             for (lpa, page) in dirty {
-                cost += inner_ref.ftl.buffer_write(lpa, page, &mut inner_ref.stats);
+                cost += unit.ftl.buffer_write(lpa, page, &self.stats);
             }
         }
-        {
-            let inner_ref = &mut *inner;
-            cost += inner_ref.ftl.flush_buffer(&mut inner_ref.stats);
-        }
+        cost += unit.ftl.flush_buffer(&self.stats);
+        drop(unit);
         cost += self.cfg.nvme_overhead_ns;
-        self.charge(&mut inner, cost);
+        self.charge(cost);
     }
 
     // ------------------------------------------------------------------
@@ -412,29 +455,32 @@ impl Mssd {
     /// Panics if the device is not in [`DramMode::WriteLog`].
     pub fn commit(&self, txid: TxId) {
         assert_eq!(self.mode, DramMode::WriteLog, "COMMIT requires the write-log firmware");
-        let mut inner = self.inner.lock();
         let mut cost = self.cfg.nvme_overhead_ns;
-        if !inner.txlog.commit(txid) {
-            // TxLog full: clean synchronously, then retry.
-            cost += self.clean_log(&mut inner, true);
-            let ok = inner.txlog.commit(txid);
-            debug_assert!(ok, "TxLog still full after cleaning");
+        // Concurrent committers can refill the TxLog between our cleaning
+        // pass (which clears it) and the retry, so loop rather than assume
+        // one retry suffices; dropping a commit record would silently lose
+        // the transaction at recovery.
+        let mut attempts = 0;
+        while !self.txlog.lock().commit(txid) {
+            // TxLog full: clean synchronously (which clears it), then retry.
+            cost += self.clean_log(true);
+            attempts += 1;
+            assert!(attempts < 64, "TxLog still full after repeated cleaning");
         }
-        inner.stats.tx_commits += 1;
-        self.charge(&mut inner, cost);
+        self.stats.inc_tx_commits();
+        self.charge(cost);
     }
 
     /// Whether a transaction has a commit record in the firmware TxLog.
     pub fn is_committed(&self, txid: TxId) -> bool {
-        self.inner.lock().txlog.is_committed(txid)
+        self.txlog.lock().is_committed(txid)
     }
 
     /// Forces a full log-cleaning pass in the foreground (used by unmount and
     /// by tests). Charges the cleaning latency.
     pub fn force_clean(&self) {
-        let mut inner = self.inner.lock();
-        let cost = self.clean_log(&mut inner, true);
-        self.charge(&mut inner, cost);
+        let cost = self.clean_log(true);
+        self.charge(cost);
     }
 
     /// Simulates a power failure. Device DRAM (write log, TxLog, device cache)
@@ -442,16 +488,14 @@ impl Mssd {
     /// its volatile state. The FTL write buffer is flushed by the
     /// battery-backed capacitor logic, mirroring real SSD behaviour.
     pub fn crash(&self) {
-        let mut inner = self.inner.lock();
+        let mut unit = self.flash.lock();
         if self.mode == DramMode::PageCache {
-            let dirty = inner.cache.drain_dirty();
-            let inner_ref = &mut *inner;
+            let dirty = unit.cache.drain_dirty();
             for (lpa, page) in dirty {
-                inner_ref.ftl.buffer_write(lpa, page, &mut inner_ref.stats);
+                unit.ftl.buffer_write(lpa, page, &self.stats);
             }
         }
-        let inner_ref = &mut *inner;
-        inner_ref.ftl.flush_buffer(&mut inner_ref.stats);
+        unit.ftl.flush_buffer(&self.stats);
         // No time is charged: the host is down during the power loss.
     }
 
@@ -459,35 +503,33 @@ impl Mssd {
     /// uncommitted entries, flushes committed entries to flash in TxLog order
     /// and clears the log (§4.7).
     pub fn recover(&self) -> RecoveryReport {
-        let mut inner = self.inner.lock();
+        // Recovery is a stop-the-world command: flash, TxLog, then all log
+        // shards (inside drain_for_cleaning), following the global lock order.
+        let mut unit = self.flash.lock();
+        let mut txlog = self.txlog.lock();
         let start = self.clock.now_ns();
-        let scanned = inner.log.entries();
+        let scanned = self.log.entries();
         // Loading the device DRAM image + scanning every entry.
         let mut cost = self.cfg.transfer_ns(self.cfg.dram_region_bytes, true);
         cost += scanned as u64 * 120;
 
-        let flash_writes_before = {
-            let s = &inner.stats;
-            s.flash_write_pages + s.flash_internal_write_pages
-        };
-        let inner_ref = &mut *inner;
-        let is_committed = |tx: TxId| inner_ref.txlog.is_committed(tx);
-        let batch = inner_ref.log.drain_for_cleaning(is_committed);
+        let flash_writes_before = self.stats.flash_writes_total();
+        let batch = self.log.drain_for_cleaning(|tx| txlog.is_committed(tx));
         let discarded = batch.migrated.len();
         let mut flush_cost = 0;
         for (lpa, chunks) in &batch.pages {
-            flush_cost += Self::apply_chunks_to_flash(&self.cfg, inner_ref, *lpa, chunks);
+            flush_cost +=
+                Self::apply_chunks_to_flash(&self.cfg, &mut unit.ftl, &self.stats, *lpa, chunks);
         }
-        flush_cost += inner_ref.ftl.flush_buffer(&mut inner_ref.stats);
-        inner_ref.txlog.clear();
-        inner_ref.stats.log_cleanings += 1;
+        flush_cost += unit.ftl.flush_buffer(&self.stats);
+        txlog.clear();
+        self.stats.inc_log_cleanings();
         cost += flush_cost;
 
-        let flushed_pages = {
-            let s = &inner.stats;
-            (s.flash_write_pages + s.flash_internal_write_pages) - flash_writes_before
-        };
-        self.charge(&mut inner, cost);
+        let flushed_pages = self.stats.flash_writes_total() - flash_writes_before;
+        drop(txlog);
+        drop(unit);
+        self.charge(cost);
         RecoveryReport {
             scanned_entries: scanned,
             discarded_entries: discarded,
@@ -502,68 +544,66 @@ impl Mssd {
 
     /// Snapshot of traffic counters and firmware state.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let inner = self.inner.lock();
         StatsSnapshot {
-            traffic: inner.stats.clone(),
+            traffic: self.stats.snapshot(),
             now_ns: self.clock.now_ns(),
-            log_used_bytes: inner.log.used_bytes(),
-            log_entries: inner.log.entries(),
-            cache_dirty_pages: inner.cache.dirty_pages(),
+            log_used_bytes: self.log.used_bytes(),
+            log_entries: self.log.entries(),
+            cache_dirty_pages: self.flash.lock().cache.dirty_pages(),
         }
     }
 
     /// Current traffic counters (convenience wrapper over [`Mssd::snapshot`]).
     pub fn traffic(&self) -> TrafficCounter {
-        self.inner.lock().stats.clone()
+        self.stats.snapshot()
     }
 
     /// Resets the traffic counters (the clock keeps running).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = TrafficCounter::new();
+        self.stats.reset();
     }
 
     // ------------------------------------------------------------------
     // Internal helpers
     // ------------------------------------------------------------------
 
-    fn log_append(
-        &self,
-        inner: &mut Inner,
-        lpa: Lpa,
-        offset: usize,
-        data: &[u8],
-        txid: Option<TxId>,
-    ) -> u64 {
+    /// Appends one chunk to the sharded write log, cleaning synchronously when
+    /// the region is full. Returns the foreground cost.
+    fn log_append(&self, lpa: Lpa, offset: usize, data: &[u8], txid: Option<TxId>) -> u64 {
         let mut cost = 0;
-        if inner.log.append(lpa, offset, data, txid).is_err() {
-            // The log is completely full: the writer stalls behind a
-            // synchronous cleaning pass.
-            cost += self.clean_log(inner, true);
-            inner
-                .log
-                .append(lpa, offset, data, txid)
-                .expect("append fits after cleaning an empty log");
+        // Under concurrency another writer may re-fill the region between our
+        // failed append and the retry, so loop; a bounded number of attempts
+        // distinguishes contention from an entry that can never fit.
+        for _ in 0..64 {
+            match self.log.append(lpa, offset, data, txid) {
+                Ok(()) => return cost,
+                Err(_) => {
+                    // The log is completely full: the writer stalls behind a
+                    // synchronous cleaning pass.
+                    cost += self.clean_log(true);
+                }
+            }
         }
-        cost
+        panic!("write-log entry of {} bytes cannot fit even after cleaning", data.len());
     }
 
-    fn cache_modify(&self, inner: &mut Inner, lpa: Lpa, offset: usize, data: &[u8]) -> u64 {
+    fn cache_modify(&self, unit: &mut FlashUnit, lpa: Lpa, offset: usize, data: &[u8]) -> u64 {
         let mut cost = 0;
-        if !inner.cache.modify(lpa, offset, data) {
+        if !unit.cache.modify(lpa, offset, data) {
             // Miss: fetch the backing page, apply the modification, cache it.
-            let (mut page, ns) = inner.ftl.read_page(lpa, &mut inner.stats, false);
+            let (mut page, ns) = unit.ftl.read_page(lpa, &self.stats, false);
             cost += ns;
             page[offset..offset + data.len()].copy_from_slice(data);
-            cost += self.cache_insert(inner, lpa, page, true);
+            cost += self.cache_insert(unit, lpa, page, true);
         }
         cost
     }
 
-    fn cache_insert(&self, inner: &mut Inner, lpa: Lpa, page: Vec<u8>, dirty: bool) -> u64 {
+    fn cache_insert(&self, unit: &mut FlashUnit, lpa: Lpa, page: Vec<u8>, dirty: bool) -> u64 {
         let mut cost = 0;
-        let evicted = inner.cache.insert(lpa, page, dirty);
+        let evicted = unit.cache.insert(lpa, page, dirty);
         for (victim, data) in evicted {
-            cost += inner.ftl.buffer_write(victim, data, &mut inner.stats);
+            cost += unit.ftl.buffer_write(victim, data, &self.stats);
         }
         cost
     }
@@ -572,7 +612,8 @@ impl Mssd {
     /// (Algorithm 1, lines 3-11). Returns the foreground cost.
     fn apply_chunks_to_flash(
         cfg: &MssdConfig,
-        inner: &mut Inner,
+        ftl: &mut Ftl,
+        stats: &AtomicTraffic,
         lpa: Lpa,
         chunks: &[crate::log::ChunkEntry],
     ) -> u64 {
@@ -594,8 +635,8 @@ impl Mssd {
             total
         };
         let partial = covered < cfg.page_size;
-        let mut page = if partial && inner.ftl.is_mapped(lpa) {
-            let (page, ns) = inner.ftl.read_page(lpa, &mut inner.stats, true);
+        let mut page = if partial && ftl.is_mapped(lpa) {
+            let (page, ns) = ftl.read_page(lpa, stats, true);
             cost += ns;
             page
         } else {
@@ -604,7 +645,7 @@ impl Mssd {
         for c in chunks {
             page[c.offset..c.end()].copy_from_slice(&c.data);
         }
-        cost += inner.ftl.buffer_write(lpa, page, &mut inner.stats);
+        cost += ftl.buffer_write(lpa, page, stats);
         cost
     }
 
@@ -612,21 +653,26 @@ impl Mssd {
     /// flash work is recorded in the traffic counters but no latency is
     /// charged — the paper performs cleaning in the background with double
     /// buffering so it stays off the critical path.
-    fn clean_log(&self, inner: &mut Inner, foreground: bool) -> u64 {
-        let inner_ref = &mut *inner;
-        let is_committed = |tx: TxId| inner_ref.txlog.is_committed(tx);
-        let batch = inner_ref.log.drain_for_cleaning(is_committed);
+    ///
+    /// Takes flash, then the TxLog, then (inside the drain) every log shard —
+    /// the global lock order — so concurrent writers simply queue behind the
+    /// drain, mirroring the paper's stop-and-switch log regions.
+    fn clean_log(&self, foreground: bool) -> u64 {
+        let mut unit = self.flash.lock();
+        let mut txlog = self.txlog.lock();
+        let batch = self.log.drain_for_cleaning(|tx| txlog.is_committed(tx));
         if batch.pages.is_empty() && batch.migrated.is_empty() {
             return 0;
         }
         let mut cost = 0;
         for (lpa, chunks) in &batch.pages {
-            cost += Self::apply_chunks_to_flash(&self.cfg, inner_ref, *lpa, chunks);
+            cost +=
+                Self::apply_chunks_to_flash(&self.cfg, &mut unit.ftl, &self.stats, *lpa, chunks);
         }
-        cost += inner_ref.ftl.flush_buffer(&mut inner_ref.stats);
-        inner_ref.log.reinstate(batch.migrated);
-        inner_ref.txlog.clear();
-        inner_ref.stats.log_cleanings += 1;
+        cost += unit.ftl.flush_buffer(&self.stats);
+        self.log.reinstate(batch.migrated);
+        txlog.clear();
+        self.stats.inc_log_cleanings();
         if foreground {
             cost
         } else {

@@ -14,14 +14,14 @@
 //!   the fewest valid pages.
 //!
 //! All latencies are computed from the [`MssdConfig`] and returned to the
-//! caller in nanoseconds; all flash page movements are recorded in the
-//! [`TrafficCounter`].
+//! caller in nanoseconds; all flash page movements are recorded lock-free in
+//! the device's [`AtomicTraffic`] counters.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::config::MssdConfig;
 use crate::flash::{BlockId, FlashArray, Ppa};
-use crate::stats::TrafficCounter;
+use crate::stats::AtomicTraffic;
 
 /// Logical page address (host-visible page number).
 pub type Lpa = u64;
@@ -103,7 +103,7 @@ impl Ftl {
     /// the buffer without a flash access. `internal` marks reads issued by
     /// firmware-internal work (log cleaning read-modify-write) so they are
     /// accounted separately.
-    pub fn read_page(&self, lpa: Lpa, stats: &mut TrafficCounter, internal: bool) -> (Vec<u8>, u64) {
+    pub fn read_page(&self, lpa: Lpa, stats: &AtomicTraffic, internal: bool) -> (Vec<u8>, u64) {
         // Newest buffered copy wins.
         if let Some((_, data)) = self.write_buffer.iter().rev().find(|(l, _)| *l == lpa) {
             return (data.clone(), 0);
@@ -111,9 +111,9 @@ impl Ftl {
         match self.l2p.get(&lpa) {
             Some(&ppa) => {
                 if internal {
-                    stats.flash_internal_read_pages += 1;
+                    stats.inc_flash_read(true);
                 } else {
-                    stats.flash_read_pages += 1;
+                    stats.inc_flash_read(false);
                 }
                 let data = self.flash.read_page(ppa).expect("mapped ppa in range");
                 (data, self.cfg.flash_read_ns)
@@ -126,7 +126,7 @@ impl Ftl {
     ///
     /// Returns the latency charged now (only a buffer drain if the buffer was
     /// full). The page becomes durable only after [`Ftl::flush_buffer`].
-    pub fn buffer_write(&mut self, lpa: Lpa, data: Vec<u8>, stats: &mut TrafficCounter) -> u64 {
+    pub fn buffer_write(&mut self, lpa: Lpa, data: Vec<u8>, stats: &AtomicTraffic) -> u64 {
         debug_assert!(lpa < self.logical_pages(), "lpa {lpa} out of range");
         let mut cost = 0;
         if self.write_buffer.len() >= self.write_buffer_capacity {
@@ -143,7 +143,7 @@ impl Ftl {
 
     /// Programs all buffered pages to flash, running garbage collection as
     /// needed. Returns the latency in nanoseconds (channel-parallel).
-    pub fn flush_buffer(&mut self, stats: &mut TrafficCounter) -> u64 {
+    pub fn flush_buffer(&mut self, stats: &AtomicTraffic) -> u64 {
         if self.write_buffer.is_empty() {
             return 0;
         }
@@ -154,7 +154,7 @@ impl Ftl {
             cost += self.ensure_free_space(stats);
             let ppa = self.allocate_ppa(stats);
             self.flash.program_page(ppa, &data).expect("allocation yields programmable page");
-            stats.flash_write_pages += 1;
+            stats.inc_flash_write(false);
             self.map(lpa, ppa);
         }
         // Program latency: pages on distinct channels proceed in parallel.
@@ -201,7 +201,7 @@ impl Ftl {
 
     /// Allocates the next physical page, filling per-channel active blocks
     /// round-robin.
-    fn allocate_ppa(&mut self, stats: &mut TrafficCounter) -> Ppa {
+    fn allocate_ppa(&mut self, stats: &AtomicTraffic) -> Ppa {
         let channels = self.cfg.channels;
         for _ in 0..channels {
             let ch = self.next_channel;
@@ -234,7 +234,7 @@ impl Ftl {
 
     /// Runs garbage collection if the free-block pool is low. Returns the
     /// latency spent.
-    fn ensure_free_space(&mut self, stats: &mut TrafficCounter) -> u64 {
+    fn ensure_free_space(&mut self, stats: &AtomicTraffic) -> u64 {
         let low_water = self.cfg.channels + 1;
         let mut cost = 0;
         let mut guard = 0;
@@ -254,7 +254,7 @@ impl Ftl {
 
     /// Greedy GC: relocate valid pages out of the block with the fewest valid
     /// pages, then erase it. Returns number of blocks freed.
-    fn collect_garbage(&mut self, stats: &mut TrafficCounter) -> usize {
+    fn collect_garbage(&mut self, stats: &AtomicTraffic) -> usize {
         if self.collect_garbage_cost(stats) > 0 {
             1
         } else {
@@ -262,7 +262,7 @@ impl Ftl {
         }
     }
 
-    fn collect_garbage_cost(&mut self, stats: &mut TrafficCounter) -> u64 {
+    fn collect_garbage_cost(&mut self, stats: &AtomicTraffic) -> u64 {
         // Victim: fully-written, non-active block with minimum valid pages.
         let ppb = self.flash.pages_per_block();
         let victim = (0..self.flash.total_blocks())
@@ -282,17 +282,17 @@ impl Ftl {
             .collect();
         for (ppa, lpa) in live {
             let data = self.flash.read_page(ppa).expect("victim page readable");
-            stats.flash_internal_read_pages += 1;
+            stats.inc_flash_read(true);
             cost += self.cfg.flash_read_ns;
             let dst = self.allocate_ppa(stats);
             debug_assert_ne!(self.flash.block_of(dst), victim, "GC wrote into its own victim");
             self.flash.program_page(dst, &data).expect("relocation target programmable");
-            stats.flash_internal_write_pages += 1;
+            stats.inc_flash_write(true);
             cost += self.cfg.flash_write_ns;
             self.map(lpa, dst);
         }
         self.flash.erase_block(victim).expect("victim block erasable");
-        stats.flash_erase_blocks += 1;
+        stats.inc_flash_erase();
         cost += self.cfg.flash_erase_ns;
         self.valid_count[victim as usize] = 0;
         self.free_blocks[(victim % self.cfg.channels as u64) as usize].push_back(victim);
@@ -304,8 +304,8 @@ impl Ftl {
 mod tests {
     use super::*;
 
-    fn ftl() -> (Ftl, TrafficCounter) {
-        (Ftl::new(MssdConfig::small_test()), TrafficCounter::new())
+    fn ftl() -> (Ftl, AtomicTraffic) {
+        (Ftl::new(MssdConfig::small_test()), AtomicTraffic::new())
     }
 
     fn page(tag: u8, size: usize) -> Vec<u8> {
@@ -314,64 +314,64 @@ mod tests {
 
     #[test]
     fn read_unwritten_is_zero_and_free() {
-        let (f, mut st) = ftl();
-        let (data, ns) = f.read_page(7, &mut st, false);
+        let (f, st) = ftl();
+        let (data, ns) = f.read_page(7, &st, false);
         assert_eq!(data, vec![0u8; f.page_size()]);
         assert_eq!(ns, 0);
-        assert_eq!(st.flash_read_pages, 0);
+        assert_eq!(st.snapshot().flash_read_pages, 0);
     }
 
     #[test]
     fn write_then_read_from_buffer() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(3, page(0xAB, ps), &mut st);
+        f.buffer_write(3, page(0xAB, ps), &st);
         // Still in buffer: no flash write yet, read served from buffer.
-        assert_eq!(st.flash_write_pages, 0);
-        let (data, ns) = f.read_page(3, &mut st, false);
+        assert_eq!(st.snapshot().flash_write_pages, 0);
+        let (data, ns) = f.read_page(3, &st, false);
         assert_eq!(data, page(0xAB, ps));
         assert_eq!(ns, 0);
     }
 
     #[test]
     fn flush_programs_pages() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(1, page(1, ps), &mut st);
-        f.buffer_write(2, page(2, ps), &mut st);
-        let cost = f.flush_buffer(&mut st);
+        f.buffer_write(1, page(1, ps), &st);
+        f.buffer_write(2, page(2, ps), &st);
+        let cost = f.flush_buffer(&st);
         assert!(cost > 0);
-        assert_eq!(st.flash_write_pages, 2);
+        assert_eq!(st.snapshot().flash_write_pages, 2);
         assert_eq!(f.mapped_pages(), 2);
-        let (d, ns) = f.read_page(2, &mut st, false);
+        let (d, ns) = f.read_page(2, &st, false);
         assert_eq!(d, page(2, ps));
         assert!(ns > 0);
-        assert_eq!(st.flash_read_pages, 1);
+        assert_eq!(st.snapshot().flash_read_pages, 1);
     }
 
     #[test]
     fn overwrite_invalidates_old_mapping() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(5, page(1, ps), &mut st);
-        f.flush_buffer(&mut st);
-        f.buffer_write(5, page(2, ps), &mut st);
-        f.flush_buffer(&mut st);
+        f.buffer_write(5, page(1, ps), &st);
+        f.flush_buffer(&st);
+        f.buffer_write(5, page(2, ps), &st);
+        f.flush_buffer(&st);
         assert_eq!(f.mapped_pages(), 1);
-        let (d, _) = f.read_page(5, &mut st, false);
+        let (d, _) = f.read_page(5, &st, false);
         assert_eq!(d, page(2, ps));
     }
 
     #[test]
     fn buffer_coalesces_same_lpa() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(9, page(1, ps), &mut st);
-        f.buffer_write(9, page(2, ps), &mut st);
+        f.buffer_write(9, page(1, ps), &st);
+        f.buffer_write(9, page(2, ps), &st);
         assert_eq!(f.buffered_pages(), 1);
-        f.flush_buffer(&mut st);
-        assert_eq!(st.flash_write_pages, 1);
-        let (d, _) = f.read_page(9, &mut st, false);
+        f.flush_buffer(&st);
+        assert_eq!(st.snapshot().flash_write_pages, 1);
+        let (d, _) = f.read_page(9, &st, false);
         assert_eq!(d, page(2, ps));
     }
 
@@ -380,26 +380,26 @@ mod tests {
         let cfg = MssdConfig::small_test();
         let per_write = cfg.flash_write_ns;
         let channels = cfg.channels;
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
         for i in 0..channels as u64 {
-            f.buffer_write(i, page(i as u8, ps), &mut st);
+            f.buffer_write(i, page(i as u8, ps), &st);
         }
-        let cost = f.flush_buffer(&mut st);
+        let cost = f.flush_buffer(&st);
         // All pages fit in one parallel round (plus possible GC cost of 0).
         assert_eq!(cost, per_write);
     }
 
     #[test]
     fn trim_unmaps() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(4, page(7, ps), &mut st);
-        f.flush_buffer(&mut st);
+        f.buffer_write(4, page(7, ps), &st);
+        f.flush_buffer(&st);
         assert!(f.is_mapped(4));
         f.trim(4);
         assert!(!f.is_mapped(4));
-        let (d, ns) = f.read_page(4, &mut st, false);
+        let (d, ns) = f.read_page(4, &st, false);
         assert_eq!(d, vec![0u8; ps]);
         assert_eq!(ns, 0);
     }
@@ -410,38 +410,38 @@ mod tests {
         let cfg = MssdConfig::small_test();
         let logical = cfg.logical_pages();
         let mut f = Ftl::new(cfg);
-        let mut st = TrafficCounter::new();
+        let st = AtomicTraffic::new();
         let ps = f.page_size();
         let working_set = (logical / 2).max(8);
         let mut version = 0u8;
         for round in 0..6u64 {
             version = version.wrapping_add(1);
             for lpa in 0..working_set {
-                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &mut st);
+                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st);
             }
-            f.flush_buffer(&mut st);
+            f.flush_buffer(&st);
             // Spot-check correctness each round.
             let probe = round % working_set;
-            let (d, _) = f.read_page(probe, &mut st, false);
+            let (d, _) = f.read_page(probe, &st, false);
             assert_eq!(d, page(version ^ probe as u8, ps), "round {round}");
         }
-        assert!(st.flash_erase_blocks > 0, "GC should have run");
+        assert!(st.snapshot().flash_erase_blocks > 0, "GC should have run");
         // Everything still readable with the final version.
         for lpa in 0..working_set {
-            let (d, _) = f.read_page(lpa, &mut st, false);
+            let (d, _) = f.read_page(lpa, &st, false);
             assert_eq!(d, page(version ^ lpa as u8, ps), "lpa {lpa}");
         }
     }
 
     #[test]
     fn utilization_tracks_mapped_fraction() {
-        let (mut f, mut st) = ftl();
+        let (mut f, st) = ftl();
         assert_eq!(f.utilization(), 0.0);
         let ps = f.page_size();
         for lpa in 0..16 {
-            f.buffer_write(lpa, page(1, ps), &mut st);
+            f.buffer_write(lpa, page(1, ps), &st);
         }
-        f.flush_buffer(&mut st);
+        f.flush_buffer(&st);
         assert!(f.utilization() > 0.0);
         assert!(f.utilization() < 1.0);
     }

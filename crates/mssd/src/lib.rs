@@ -48,7 +48,8 @@ pub mod txn;
 pub use clock::Clock;
 pub use config::{MssdConfig, TimingProfile};
 pub use device::{DramMode, Mssd};
-pub use stats::{Category, Interface, StatsSnapshot, TrafficCounter};
+pub use log::{ShardedWriteLog, LOG_SHARDS};
+pub use stats::{AtomicTraffic, Category, Interface, StatsSnapshot, TrafficCounter};
 pub use txn::TxId;
 
 /// Size of one cacheline, the unit of byte-interface transfers and of write-log

@@ -13,10 +13,25 @@
 //! Entries carry the TxID of the transaction that wrote them; log cleaning
 //! merges the newest *committed* version of each chunk into its flash page and
 //! migrates uncommitted entries into the fresh log region.
+//!
+//! Two index implementations live here:
+//!
+//! * [`WriteLog`] — the original single-threaded index (one map of partitions
+//!   behind whatever lock the caller provides). Kept as the sequential
+//!   reference model; the equivalence property tests compare against it.
+//! * [`ShardedWriteLog`] — the concurrent index used by the device: the
+//!   paper's own first-layer partition key (LPA / 16 MB) hashes each page to
+//!   one of [`LOG_SHARDS`] independently locked shards, while space
+//!   accounting (`used_bytes`, `entries`, the append sequence) lives in
+//!   shared atomics. Writers to different partitions never contend.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
+use crate::stats::CachePadded;
 use crate::ftl::Lpa;
 use crate::skiplist::SkipList;
 use crate::txn::TxId;
@@ -25,9 +40,9 @@ use crate::CACHELINE;
 /// Size of one first-layer partition of the SSD address space (16 MB, §4.3).
 pub const PARTITION_BYTES: u64 = 16 << 20;
 
-/// Fixed per-entry index overhead in bytes (block offset + log offset + length
-/// + TxID, rounded up; the paper reports ~9 B per chunk entry plus skip-list
-/// node overhead).
+/// Fixed per-entry index overhead in bytes (block offset, log offset, length
+/// and TxID, rounded up; the paper reports ~9 B per chunk entry plus
+/// skip-list node overhead).
 pub const ENTRY_OVERHEAD: usize = 16;
 
 /// One byte-granular write buffered in the log region.
@@ -189,13 +204,7 @@ impl WriteLog {
         self.write_cursor = (self.write_cursor + footprint) % self.capacity_bytes.max(1);
         self.entries += 1;
         let partition = self.partition_of(lpa);
-        let list = self.partitions.entry(partition).or_default();
-        match list.get_mut(lpa) {
-            Some(chunks) => chunks.push(entry),
-            None => {
-                list.insert(lpa, vec![entry]);
-            }
-        }
+        push_chunk(&mut self.partitions, partition, lpa, entry);
         Ok(())
     }
 
@@ -211,27 +220,7 @@ impl WriteLog {
     /// from device DRAM without touching flash.
     pub fn covers(&self, lpa: Lpa, offset: usize, len: usize) -> bool {
         let Some(chunks) = self.chunks(lpa) else { return false };
-        if len == 0 {
-            return true;
-        }
-        // Merge the chunk ranges and check coverage.
-        let mut ranges: Vec<(usize, usize)> =
-            chunks.iter().map(|c| (c.offset, c.end())).collect();
-        ranges.sort_unstable();
-        let mut covered_to = offset;
-        for (start, end) in ranges {
-            if start > covered_to {
-                if covered_to >= offset + len {
-                    break;
-                }
-                if start >= offset + len {
-                    break;
-                }
-                return false;
-            }
-            covered_to = covered_to.max(end);
-        }
-        covered_to >= offset + len
+        chunks_cover(chunks, offset, len)
     }
 
     fn chunks(&self, lpa: Lpa) -> Option<&Vec<ChunkEntry>> {
@@ -241,14 +230,8 @@ impl WriteLog {
     /// Applies all log entries for `lpa` onto `page` in sequence order (oldest
     /// first), so the newest write wins for overlapping ranges.
     pub fn merge_into(&self, lpa: Lpa, page: &mut [u8]) {
-        let Some(chunks) = self.chunks(lpa) else { return };
-        let mut ordered: Vec<&ChunkEntry> = chunks.iter().collect();
-        ordered.sort_by_key(|c| c.seq);
-        for c in ordered {
-            let end = c.end().min(page.len());
-            if c.offset < end {
-                page[c.offset..end].copy_from_slice(&c.data[..end - c.offset]);
-            }
+        if let Some(chunks) = self.chunks(lpa) {
+            merge_chunks_into(chunks, page);
         }
     }
 
@@ -285,26 +268,7 @@ impl WriteLog {
     {
         let mut batch = CleanBatch::default();
         let partitions = std::mem::take(&mut self.partitions);
-        for (_, list) in partitions {
-            for (lpa, chunks) in list.iter() {
-                let mut committed: Vec<ChunkEntry> = Vec::new();
-                for c in chunks {
-                    let ok = match c.txid {
-                        None => true,
-                        Some(txid) => is_committed(txid),
-                    };
-                    if ok {
-                        committed.push(c.clone());
-                    } else {
-                        batch.migrated.push((lpa, c.clone()));
-                    }
-                }
-                if !committed.is_empty() {
-                    committed.sort_by_key(|c| c.seq);
-                    batch.pages.push((lpa, committed));
-                }
-            }
-        }
+        drain_partitions_into(partitions, &is_committed, &mut batch);
         batch.pages.sort_by_key(|(lpa, _)| *lpa);
         self.used_bytes = 0;
         self.entries = 0;
@@ -312,16 +276,27 @@ impl WriteLog {
         batch
     }
 
-    /// Re-inserts migrated (uncommitted) entries after cleaning.
+    /// Re-inserts migrated (uncommitted) entries after cleaning, preserving
+    /// each entry's original sequence number so a migrated chunk can never
+    /// outrank a write that happened after it.
     ///
     /// # Panics
     ///
     /// Panics if the migrated entries do not fit — they came out of the same
     /// log region, so they always fit in an empty one.
     pub fn reinstate(&mut self, migrated: Vec<(Lpa, ChunkEntry)>) {
-        for (lpa, entry) in migrated {
-            self.append(lpa, entry.offset, &entry.data, entry.txid)
-                .expect("migrated entries fit in an empty log");
+        for (lpa, mut entry) in migrated {
+            let footprint = entry.footprint();
+            assert!(
+                self.used_bytes + footprint <= self.capacity_bytes,
+                "migrated entries fit in an empty log"
+            );
+            entry.log_off = self.write_cursor;
+            self.used_bytes += footprint;
+            self.write_cursor = (self.write_cursor + footprint) % self.capacity_bytes.max(1);
+            self.entries += 1;
+            let partition = self.partition_of(lpa);
+            push_chunk(&mut self.partitions, partition, lpa, entry);
         }
     }
 
@@ -331,6 +306,389 @@ impl WriteLog {
         self.used_bytes = 0;
         self.entries = 0;
         self.write_cursor = 0;
+    }
+}
+
+/// Pushes one chunk entry onto its page's chunk list in a three-layer index
+/// (shared by [`WriteLog`] and [`ShardedWriteLog`] so the reference model and
+/// the concurrent implementation cannot drift).
+fn push_chunk(
+    partitions: &mut BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
+    partition: u64,
+    lpa: Lpa,
+    entry: ChunkEntry,
+) {
+    let list = partitions.entry(partition).or_default();
+    match list.get_mut(lpa) {
+        Some(chunks) => chunks.push(entry),
+        None => {
+            list.insert(lpa, vec![entry]);
+        }
+    }
+}
+
+/// Splits drained partitions into a [`CleanBatch`], consuming the entries —
+/// no chunk data is copied, which matters for the sharded log where this runs
+/// inside the stop-the-world section with every shard locked.
+fn drain_partitions_into<F>(
+    partitions: BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
+    is_committed: &F,
+    batch: &mut CleanBatch,
+) where
+    F: Fn(TxId) -> bool,
+{
+    for (_, mut list) in partitions {
+        while let Some((lpa, chunks)) = list.pop_first() {
+            let mut committed: Vec<ChunkEntry> = Vec::new();
+            for c in chunks {
+                let ok = match c.txid {
+                    None => true,
+                    Some(txid) => is_committed(txid),
+                };
+                if ok {
+                    committed.push(c);
+                } else {
+                    batch.migrated.push((lpa, c));
+                }
+            }
+            if !committed.is_empty() {
+                committed.sort_by_key(|c| c.seq);
+                batch.pages.push((lpa, committed));
+            }
+        }
+    }
+}
+
+/// `true` when `[offset, offset + len)` is fully covered by the chunks.
+fn chunks_cover(chunks: &[ChunkEntry], offset: usize, len: usize) -> bool {
+    if len == 0 {
+        return true;
+    }
+    // Merge the chunk ranges and check coverage.
+    let mut ranges: Vec<(usize, usize)> = chunks.iter().map(|c| (c.offset, c.end())).collect();
+    ranges.sort_unstable();
+    let mut covered_to = offset;
+    for (start, end) in ranges {
+        if start > covered_to {
+            if covered_to >= offset + len {
+                break;
+            }
+            if start >= offset + len {
+                break;
+            }
+            return false;
+        }
+        covered_to = covered_to.max(end);
+    }
+    covered_to >= offset + len
+}
+
+/// Applies `chunks` onto `page` oldest-first so the newest write wins.
+fn merge_chunks_into(chunks: &[ChunkEntry], page: &mut [u8]) {
+    let mut ordered: Vec<&ChunkEntry> = chunks.iter().collect();
+    ordered.sort_by_key(|c| c.seq);
+    for c in ordered {
+        let end = c.end().min(page.len());
+        if c.offset < end {
+            page[c.offset..end].copy_from_slice(&c.data[..end - c.offset]);
+        }
+    }
+}
+
+/// Number of independently locked shards of the [`ShardedWriteLog`] index.
+///
+/// The shard key is the paper's own first-layer partition index (LPA / 16 MB),
+/// so writers working in different partitions take different locks. 16 shards
+/// keeps the false-sharing probability below 7 % for up to two concurrent
+/// writers per partition-sized region while costing only 16 mutexes.
+pub const LOG_SHARDS: usize = 16;
+
+/// One shard of the concurrent write-log index: the partitions (and their
+/// skip lists) whose index hashes to this shard.
+#[derive(Debug, Default)]
+struct LogShard {
+    /// Layer 1 → Layer 2 for this shard: partition index → skip list by LPA.
+    partitions: BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
+}
+
+/// The concurrent write log used by the device: per-partition-shard locking
+/// for the index, lock-free atomics for space accounting.
+///
+/// Observationally equivalent to [`WriteLog`] under single-threaded use (the
+/// property tests in `tests/sharded_log_equiv.rs` check this); under
+/// concurrent use, appends to different partitions proceed in parallel and
+/// only [`ShardedWriteLog::drain_for_cleaning`] stops the world (it locks all
+/// shards, which is exactly the paper's stop-and-clean semantics).
+///
+/// Lock order: callers holding device-level locks (FTL, TxLog) may take shard
+/// locks, never the reverse. Within this type, shards are only ever locked
+/// one at a time or in ascending index order.
+#[derive(Debug)]
+pub struct ShardedWriteLog {
+    shards: Vec<Mutex<LogShard>>,
+    capacity_bytes: usize,
+    clean_threshold: f64,
+    page_size: usize,
+    pages_per_partition: u64,
+    used_bytes: CachePadded<AtomicUsize>,
+    entries: CachePadded<AtomicUsize>,
+    seq: CachePadded<AtomicU64>,
+    write_cursor: CachePadded<AtomicUsize>,
+}
+
+impl ShardedWriteLog {
+    /// Creates a sharded write log sized by `cfg.dram_region_bytes`.
+    pub fn new(cfg: &MssdConfig) -> Self {
+        Self {
+            shards: (0..LOG_SHARDS).map(|_| Mutex::new(LogShard::default())).collect(),
+            capacity_bytes: cfg.dram_region_bytes,
+            clean_threshold: cfg.log_clean_threshold,
+            page_size: cfg.page_size,
+            pages_per_partition: (PARTITION_BYTES / cfg.page_size as u64).max(1),
+            used_bytes: CachePadded::default(),
+            entries: CachePadded::default(),
+            seq: CachePadded::default(),
+            write_cursor: CachePadded::default(),
+        }
+    }
+
+    /// Total log-region capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied (data entries + index overhead).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes.0.load(Ordering::Relaxed)
+    }
+
+    /// Number of live chunk entries.
+    pub fn entries(&self) -> usize {
+        self.entries.0.load(Ordering::Relaxed)
+    }
+
+    /// Log-region utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used_bytes() as f64 / self.capacity_bytes as f64
+    }
+
+    /// `true` once utilization exceeds the cleaning threshold.
+    pub fn needs_cleaning(&self) -> bool {
+        self.utilization() >= self.clean_threshold
+    }
+
+    fn partition_of(&self, lpa: Lpa) -> u64 {
+        lpa / self.pages_per_partition
+    }
+
+    /// The shard index serving `lpa` (exposed so tests can construct
+    /// deliberately contended or disjoint access patterns).
+    pub fn shard_of(&self, lpa: Lpa) -> usize {
+        (self.partition_of(lpa) % LOG_SHARDS as u64) as usize
+    }
+
+    /// Appends a byte-granular write, taking only the one shard lock that
+    /// covers the page's partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFull`] when the entry does not fit; the caller must run
+    /// log cleaning first.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the chunk crosses a page boundary.
+    pub fn append(
+        &self,
+        lpa: Lpa,
+        offset: usize,
+        data: &[u8],
+        txid: Option<TxId>,
+    ) -> Result<(), LogFull> {
+        debug_assert!(!data.is_empty(), "empty log append");
+        debug_assert!(
+            offset + data.len() <= self.page_size,
+            "log entries must not cross page boundaries"
+        );
+        // Lock the shard *before* reserving space: drain_for_cleaning holds
+        // every shard lock while it zeroes the space accounting, so holding
+        // ours here means no reservation can race with a drain.
+        let mut shard = self.shards[self.shard_of(lpa)].lock();
+        let footprint = data.len().div_ceil(CACHELINE) * CACHELINE + ENTRY_OVERHEAD;
+        self.try_reserve(footprint)?;
+        self.insert_reserved(&mut shard, lpa, offset, data, txid, footprint);
+        Ok(())
+    }
+
+    /// Reserves `footprint` bytes of log space, failing if the region is full.
+    fn try_reserve(&self, footprint: usize) -> Result<(), LogFull> {
+        let mut used = self.used_bytes.0.load(Ordering::Relaxed);
+        loop {
+            if used + footprint > self.capacity_bytes {
+                return Err(LogFull {
+                    needed: footprint,
+                    free: self.capacity_bytes.saturating_sub(used),
+                });
+            }
+            match self.used_bytes.0.compare_exchange_weak(
+                used,
+                used + footprint,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(cur) => used = cur,
+            }
+        }
+    }
+
+    /// Inserts an entry whose space is already accounted for. The caller holds
+    /// the shard lock for `lpa`.
+    fn insert_reserved(
+        &self,
+        shard: &mut LogShard,
+        lpa: Lpa,
+        offset: usize,
+        data: &[u8],
+        txid: Option<TxId>,
+        footprint: usize,
+    ) {
+        let entry = ChunkEntry {
+            offset,
+            data: data.to_vec(),
+            txid,
+            seq: self.seq.0.fetch_add(1, Ordering::Relaxed),
+            log_off: self.write_cursor.0.fetch_add(footprint, Ordering::Relaxed)
+                % self.capacity_bytes.max(1),
+        };
+        self.entries.0.fetch_add(1, Ordering::Relaxed);
+        let partition = self.partition_of(lpa);
+        push_chunk(&mut shard.partitions, partition, lpa, entry);
+    }
+
+    /// Whether any log entries exist for the page.
+    pub fn has_page(&self, lpa: Lpa) -> bool {
+        let shard = self.shards[self.shard_of(lpa)].lock();
+        shard
+            .partitions
+            .get(&self.partition_of(lpa))
+            .is_some_and(|list| list.contains_key(lpa))
+    }
+
+    /// `true` if `[offset, offset + len)` of the page is fully covered by log
+    /// entries.
+    pub fn covers(&self, lpa: Lpa, offset: usize, len: usize) -> bool {
+        let shard = self.shards[self.shard_of(lpa)].lock();
+        match shard.partitions.get(&self.partition_of(lpa)).and_then(|l| l.get(lpa)) {
+            Some(chunks) => chunks_cover(chunks, offset, len),
+            None => false,
+        }
+    }
+
+    /// Serves a byte read entirely from the log if the range is covered:
+    /// returns the merged bytes of `[offset, offset + len)` under a single
+    /// shard-lock acquisition, or `None` when flash must be consulted.
+    pub fn read_covered(&self, lpa: Lpa, offset: usize, len: usize) -> Option<Vec<u8>> {
+        let shard = self.shards[self.shard_of(lpa)].lock();
+        let chunks = shard.partitions.get(&self.partition_of(lpa))?.get(lpa)?;
+        if !chunks_cover(chunks, offset, len) {
+            return None;
+        }
+        let mut page = vec![0u8; self.page_size];
+        merge_chunks_into(chunks, &mut page);
+        Some(page[offset..offset + len].to_vec())
+    }
+
+    /// Applies all log entries for `lpa` onto `page` oldest-first.
+    pub fn merge_into(&self, lpa: Lpa, page: &mut [u8]) {
+        let shard = self.shards[self.shard_of(lpa)].lock();
+        if let Some(chunks) = shard.partitions.get(&self.partition_of(lpa)).and_then(|l| l.get(lpa))
+        {
+            merge_chunks_into(chunks, page);
+        }
+    }
+
+    /// Invalidates all log entries of a page. Returns the number dropped.
+    pub fn invalidate_page(&self, lpa: Lpa) -> usize {
+        let partition = self.partition_of(lpa);
+        let mut shard = self.shards[self.shard_of(lpa)].lock();
+        let Some(list) = shard.partitions.get_mut(&partition) else { return 0 };
+        let Some(chunks) = list.remove(lpa) else { return 0 };
+        let freed: usize = chunks.iter().map(ChunkEntry::footprint).sum();
+        self.used_bytes.0.fetch_sub(freed, Ordering::Relaxed);
+        self.entries.0.fetch_sub(chunks.len(), Ordering::Relaxed);
+        if list.is_empty() {
+            shard.partitions.remove(&partition);
+        }
+        chunks.len()
+    }
+
+    /// All page addresses that currently have log entries, in ascending order.
+    /// Shards are visited one at a time, so the result is a consistent union
+    /// only at quiescent points.
+    pub fn dirty_pages(&self) -> Vec<Lpa> {
+        let mut pages: Vec<Lpa> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            pages.extend(shard.partitions.values().flat_map(|list| list.keys()));
+        }
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Drains the entire log for cleaning. Holds every shard lock for the
+    /// duration (ascending index order), so no append can interleave with the
+    /// drain or observe half-reset space accounting.
+    pub fn drain_for_cleaning<F>(&self, is_committed: F) -> CleanBatch
+    where
+        F: Fn(TxId) -> bool,
+    {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut batch = CleanBatch::default();
+        for guard in &mut guards {
+            let partitions = std::mem::take(&mut guard.partitions);
+            drain_partitions_into(partitions, &is_committed, &mut batch);
+        }
+        batch.pages.sort_by_key(|(lpa, _)| *lpa);
+        batch.migrated.sort_by_key(|(lpa, c)| (*lpa, c.seq));
+        self.used_bytes.0.store(0, Ordering::Relaxed);
+        self.entries.0.store(0, Ordering::Relaxed);
+        self.write_cursor.0.store(0, Ordering::Relaxed);
+        batch
+    }
+
+    /// Re-inserts migrated (uncommitted) entries after cleaning, preserving
+    /// each entry's original sequence number: a writer may append a newer
+    /// version of the same range between the drain and this call, and the
+    /// migrated (older) chunk must not outrank it in merge order.
+    ///
+    /// Unlike [`ShardedWriteLog::append`] this never fails: the entries came
+    /// out of the same log region, so semantically they still own their
+    /// space. If other writers raced in after the drain, the accounting may
+    /// transiently overshoot capacity, which simply triggers the next
+    /// cleaning pass sooner.
+    pub fn reinstate(&self, migrated: Vec<(Lpa, ChunkEntry)>) {
+        for (lpa, mut entry) in migrated {
+            let mut shard = self.shards[self.shard_of(lpa)].lock();
+            let footprint = entry.footprint();
+            self.used_bytes.0.fetch_add(footprint, Ordering::Relaxed);
+            entry.log_off = self.write_cursor.0.fetch_add(footprint, Ordering::Relaxed)
+                % self.capacity_bytes.max(1);
+            self.entries.0.fetch_add(1, Ordering::Relaxed);
+            let partition = self.partition_of(lpa);
+            push_chunk(&mut shard.partitions, partition, lpa, entry);
+        }
+    }
+
+    /// Clears the log without flushing anything (mkfs / tests only).
+    pub fn reset(&self) {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        for guard in &mut guards {
+            guard.partitions.clear();
+        }
+        self.used_bytes.0.store(0, Ordering::Relaxed);
+        self.entries.0.store(0, Ordering::Relaxed);
+        self.write_cursor.0.store(0, Ordering::Relaxed);
     }
 }
 
@@ -488,5 +846,153 @@ mod tests {
         log.append(pages_per_partition + 1, 0, &[1u8; 64], None).unwrap();
         assert_eq!(log.partitions.len(), 2);
         assert_eq!(log.dirty_pages().len(), 2);
+    }
+
+    #[test]
+    fn sharded_append_merge_and_accounting() {
+        let sharded = ShardedWriteLog::new(&MssdConfig::small_test());
+        sharded.append(3, 128, &[1u8; 64], None).unwrap();
+        sharded.append(3, 192, &[2u8; 64], None).unwrap();
+        assert_eq!(sharded.entries(), 2);
+        assert!(sharded.has_page(3));
+        assert!(sharded.covers(3, 128, 128));
+        assert!(!sharded.covers(3, 0, 64));
+        let mut page = vec![0u8; 4096];
+        sharded.merge_into(3, &mut page);
+        assert_eq!(&page[128..192], &[1u8; 64][..]);
+        assert_eq!(&page[192..256], &[2u8; 64][..]);
+
+        let served = sharded.read_covered(3, 150, 80).expect("covered range");
+        assert_eq!(served, page[150..230].to_vec());
+        assert!(sharded.read_covered(3, 0, 64).is_none());
+        assert!(sharded.read_covered(99, 0, 1).is_none());
+
+        let used_before = sharded.used_bytes();
+        assert_eq!(sharded.invalidate_page(3), 2);
+        assert_eq!(sharded.used_bytes(), used_before - 2 * (64 + ENTRY_OVERHEAD));
+        assert_eq!(sharded.entries(), 0);
+    }
+
+    #[test]
+    fn sharded_pages_map_to_partition_shards() {
+        let cfg = MssdConfig::small_test();
+        let sharded = ShardedWriteLog::new(&cfg);
+        let ppp = PARTITION_BYTES / cfg.page_size as u64;
+        assert_eq!(sharded.shard_of(0), 0);
+        assert_eq!(sharded.shard_of(ppp - 1), 0);
+        assert_eq!(sharded.shard_of(ppp), 1);
+        assert_eq!(sharded.shard_of(ppp * LOG_SHARDS as u64), 0);
+    }
+
+    #[test]
+    fn sharded_drain_matches_reference_model() {
+        let cfg = MssdConfig::small_test();
+        let mut reference = WriteLog::new(&cfg);
+        let sharded = ShardedWriteLog::new(&cfg);
+        let ppp = PARTITION_BYTES / cfg.page_size as u64;
+        let writes: Vec<(Lpa, usize, u8, Option<TxId>)> = vec![
+            (0, 0, 1, None),
+            (ppp, 64, 2, Some(TxId(1))),
+            (2 * ppp + 3, 128, 3, Some(TxId(2))),
+            (0, 0, 4, None),
+            (ppp, 4032, 5, Some(TxId(1))),
+        ];
+        for (lpa, off, tag, tx) in &writes {
+            reference.append(*lpa, *off, &[*tag; 64], *tx).unwrap();
+            sharded.append(*lpa, *off, &[*tag; 64], *tx).unwrap();
+        }
+        assert_eq!(sharded.entries(), reference.entries());
+        assert_eq!(sharded.used_bytes(), reference.used_bytes());
+
+        let committed = |tx: TxId| tx == TxId(1);
+        let mut ref_batch = reference.drain_for_cleaning(committed);
+        let sharded_batch = sharded.drain_for_cleaning(committed);
+        ref_batch.migrated.sort_by_key(|(lpa, c)| (*lpa, c.seq));
+        assert_eq!(sharded_batch.pages, ref_batch.pages);
+        assert_eq!(sharded_batch.migrated, ref_batch.migrated);
+        assert_eq!(sharded.entries(), 0);
+        assert_eq!(sharded.used_bytes(), 0);
+    }
+
+    #[test]
+    fn sharded_concurrent_appends_from_disjoint_partitions() {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 256 << 20; // room for several partitions
+        cfg.dram_region_bytes = 4 << 20;
+        let log = std::sync::Arc::new(ShardedWriteLog::new(&cfg));
+        let ppp = PARTITION_BYTES / cfg.page_size as u64;
+        let threads = 4u64;
+        let per_thread = 500usize;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let base = t * ppp;
+                    for i in 0..per_thread {
+                        let lpa = base + (i % 8) as u64;
+                        let off = (i * 64) % 4096;
+                        log.append(lpa, off, &[t as u8 + 1; 64], None).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.entries(), threads as usize * per_thread);
+        let expected_used = threads as usize * per_thread * (64 + ENTRY_OVERHEAD);
+        assert_eq!(log.used_bytes(), expected_used);
+        // Every thread's pages merged independently: newest tag everywhere.
+        for t in 0..threads {
+            let mut page = vec![0u8; 4096];
+            log.merge_into(t * ppp, &mut page);
+            assert!(page[..64].iter().all(|b| *b == t as u8 + 1), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn reinstated_entries_never_outrank_newer_writes() {
+        // A migrated (uncommitted) chunk is drained, a *newer* write to the
+        // same range lands before the reinstate, and the reinstated chunk
+        // must keep its original (older) sequence so the newer write wins.
+        let cfg = MssdConfig::small_test();
+        for preserve in [true, false] {
+            let sharded = ShardedWriteLog::new(&cfg);
+            sharded.append(1, 0, &[1u8; 64], Some(TxId(7))).unwrap();
+            let batch = sharded.drain_for_cleaning(|_| false);
+            assert_eq!(batch.migrated.len(), 1);
+            // The racing newer write to the same range.
+            sharded.append(1, 0, &[2u8; 64], None).unwrap();
+            if preserve {
+                sharded.reinstate(batch.migrated);
+            }
+            let mut page = vec![0u8; 4096];
+            sharded.merge_into(1, &mut page);
+            assert_eq!(&page[..64], &[2u8; 64][..], "newer write must win (preserve={preserve})");
+        }
+
+        // The sequential reference model behaves identically.
+        let mut reference = WriteLog::new(&cfg);
+        reference.append(1, 0, &[1u8; 64], Some(TxId(7))).unwrap();
+        let batch = reference.drain_for_cleaning(|_| false);
+        reference.append(1, 0, &[2u8; 64], None).unwrap();
+        reference.reinstate(batch.migrated);
+        let mut page = vec![0u8; 4096];
+        reference.merge_into(1, &mut page);
+        assert_eq!(&page[..64], &[2u8; 64][..]);
+    }
+
+    #[test]
+    fn sharded_reinstate_survives_full_accounting() {
+        let mut cfg = MssdConfig::small_test();
+        cfg.dram_region_bytes = 4096;
+        let sharded = ShardedWriteLog::new(&cfg);
+        sharded.append(1, 0, &[7u8; 64], Some(TxId(9))).unwrap();
+        let batch = sharded.drain_for_cleaning(|_| false);
+        assert_eq!(batch.migrated.len(), 1);
+        sharded.reinstate(batch.migrated);
+        assert_eq!(sharded.entries(), 1);
+        assert!(sharded.covers(1, 0, 64));
+        assert_eq!(sharded.used_bytes(), 64 + ENTRY_OVERHEAD);
     }
 }

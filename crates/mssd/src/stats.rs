@@ -5,10 +5,17 @@
 //! and 11 report internal flash traffic, and Table 2 reports read/write
 //! amplification. Every device operation in this crate is therefore tagged
 //! with a [`Category`] (which data structure initiated it) and an
-//! [`Interface`] (byte or block), and the device accumulates a
-//! [`TrafficCounter`] that the harness snapshots before/after a workload.
+//! [`Interface`] (byte or block).
+//!
+//! Recording happens in an [`AtomicTraffic`]: a bank of per-`(category,
+//! interface, direction)` `AtomicU64`s, so stats accounting on the device hot
+//! path never takes a lock (all orderings are `Relaxed` — the counters are
+//! monotonic tallies with no cross-counter invariants readers may assume
+//! mid-run). The harness reads it through [`AtomicTraffic::snapshot`], which
+//! yields the plain [`TrafficCounter`] value type used by every report.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +44,24 @@ pub enum Category {
 }
 
 impl Category {
+    /// Number of categories (the length of [`Category::ALL`]).
+    pub const COUNT: usize = 8;
+
+    /// Position of this category in [`Category::ALL`], used to index the
+    /// atomic counter banks.
+    pub fn index(self) -> usize {
+        match self {
+            Category::Data => 0,
+            Category::Inode => 1,
+            Category::Dentry => 2,
+            Category::Bitmap => 3,
+            Category::Superblock => 4,
+            Category::DataPointer => 5,
+            Category::Journal => 6,
+            Category::Other => 7,
+        }
+    }
+
     /// All categories in display order.
     pub const ALL: [Category; 8] = [
         Category::Data,
@@ -82,6 +107,20 @@ pub enum Interface {
     Byte,
     /// NVMe block command.
     Block,
+}
+
+impl Interface {
+    /// Number of interfaces.
+    pub const COUNT: usize = 2;
+
+    /// Stable index of this interface (byte = 0, block = 1), used to index the
+    /// atomic counter banks.
+    pub fn index(self) -> usize {
+        match self {
+            Interface::Byte => 0,
+            Interface::Block => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for Interface {
@@ -257,6 +296,177 @@ impl TrafficCounter {
     }
 }
 
+/// A value on its own cache line, shared by every hot counter in the crate.
+///
+/// Hot-path counters are hammered by every thread on every operation; packing
+/// several into one line would make each relaxed add invalidate the
+/// neighbours' line (false sharing). A padded cell is 64 bytes and there are
+/// only a few dozen per device, so the memory cost is trivial.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T>(pub(crate) T);
+
+impl CachePadded<AtomicU64> {
+    fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free traffic accounting: one cache-line-padded `AtomicU64` per
+/// `(direction, category, interface)` host-bytes cell plus one per scalar
+/// counter.
+///
+/// The device hot path records into this with plain `Relaxed` atomic adds —
+/// no mutex is ever taken for stats. Reports are produced by materializing a
+/// [`TrafficCounter`] snapshot. Because individual counters are updated
+/// independently, a snapshot taken while other threads are mid-operation is
+/// only approximately consistent across counters (each counter is exact);
+/// the harness always snapshots at quiescent points.
+#[derive(Debug, Default)]
+pub struct AtomicTraffic {
+    host_read: [[CachePadded<AtomicU64>; Interface::COUNT]; Category::COUNT],
+    host_write: [[CachePadded<AtomicU64>; Interface::COUNT]; Category::COUNT],
+    flash_read_pages: CachePadded<AtomicU64>,
+    flash_write_pages: CachePadded<AtomicU64>,
+    flash_erase_blocks: CachePadded<AtomicU64>,
+    flash_internal_read_pages: CachePadded<AtomicU64>,
+    flash_internal_write_pages: CachePadded<AtomicU64>,
+    byte_requests: CachePadded<AtomicU64>,
+    block_requests: CachePadded<AtomicU64>,
+    tx_commits: CachePadded<AtomicU64>,
+    log_cleanings: CachePadded<AtomicU64>,
+    device_busy_ns: CachePadded<AtomicU64>,
+}
+
+impl AtomicTraffic {
+    /// Creates a zeroed counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a host access of `bytes` bytes (lock-free).
+    pub fn record_host(&self, dir: Direction, cat: Category, iface: Interface, bytes: u64) {
+        let bank = match dir {
+            Direction::Read => &self.host_read,
+            Direction::Write => &self.host_write,
+        };
+        bank[cat.index()][iface.index()].add(bytes);
+        match iface {
+            Interface::Byte => self.byte_requests.add(1),
+            Interface::Block => self.block_requests.add(1),
+        };
+    }
+
+    /// Counts one flash page read (`internal` marks firmware-internal work).
+    pub fn inc_flash_read(&self, internal: bool) {
+        if internal {
+            self.flash_internal_read_pages.add(1);
+        } else {
+            self.flash_read_pages.add(1);
+        }
+    }
+
+    /// Counts one flash page program (`internal` marks GC relocation).
+    pub fn inc_flash_write(&self, internal: bool) {
+        if internal {
+            self.flash_internal_write_pages.add(1);
+        } else {
+            self.flash_write_pages.add(1);
+        }
+    }
+
+    /// Counts one block erase.
+    pub fn inc_flash_erase(&self) {
+        self.flash_erase_blocks.add(1);
+    }
+
+    /// Counts one firmware transaction commit.
+    pub fn inc_tx_commits(&self) {
+        self.tx_commits.add(1);
+    }
+
+    /// Counts one log-cleaning pass.
+    pub fn inc_log_cleanings(&self) {
+        self.log_cleanings.add(1);
+    }
+
+    /// Accumulates host-visible device busy time.
+    pub fn add_device_busy_ns(&self, ns: u64) {
+        self.device_busy_ns.add(ns);
+    }
+
+    /// Current flash page programs including internal ones (used by recovery
+    /// reporting without paying for a full snapshot).
+    pub fn flash_writes_total(&self) -> u64 {
+        self.flash_write_pages.get() + self.flash_internal_write_pages.get()
+    }
+
+    /// Materializes a plain [`TrafficCounter`] from the current counters.
+    pub fn snapshot(&self) -> TrafficCounter {
+        fn bank_to_map(
+            bank: &[[CachePadded<AtomicU64>; Interface::COUNT]; Category::COUNT],
+        ) -> BTreeMap<(Category, Interface), u64> {
+            let mut map = BTreeMap::new();
+            for cat in Category::ALL {
+                for iface in [Interface::Byte, Interface::Block] {
+                    let v = bank[cat.index()][iface.index()].get();
+                    if v > 0 {
+                        map.insert((cat, iface), v);
+                    }
+                }
+            }
+            map
+        }
+        TrafficCounter {
+            host_read: bank_to_map(&self.host_read),
+            host_write: bank_to_map(&self.host_write),
+            flash_read_pages: self.flash_read_pages.get(),
+            flash_write_pages: self.flash_write_pages.get(),
+            flash_erase_blocks: self.flash_erase_blocks.get(),
+            flash_internal_read_pages: self.flash_internal_read_pages.get(),
+            flash_internal_write_pages: self.flash_internal_write_pages.get(),
+            byte_requests: self.byte_requests.get(),
+            block_requests: self.block_requests.get(),
+            tx_commits: self.tx_commits.get(),
+            log_cleanings: self.log_cleanings.get(),
+            device_busy_ns: self.device_busy_ns.get(),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for bank in [&self.host_read, &self.host_write] {
+            for row in bank.iter() {
+                for cell in row {
+                    cell.clear();
+                }
+            }
+        }
+        for cell in [
+            &self.flash_read_pages,
+            &self.flash_write_pages,
+            &self.flash_erase_blocks,
+            &self.flash_internal_read_pages,
+            &self.flash_internal_write_pages,
+            &self.byte_requests,
+            &self.block_requests,
+            &self.tx_commits,
+            &self.log_cleanings,
+            &self.device_busy_ns,
+        ] {
+            cell.clear();
+        }
+    }
+}
+
 /// An immutable snapshot of the device state used by the measurement harness.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatsSnapshot {
@@ -342,6 +552,72 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn atomic_traffic_snapshot_matches_plain_counter() {
+        let a = AtomicTraffic::new();
+        a.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
+        a.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
+        a.record_host(Direction::Read, Category::Data, Interface::Block, 8192);
+        a.inc_flash_write(false);
+        a.inc_flash_write(true);
+        a.inc_flash_read(false);
+        a.inc_flash_erase();
+        a.inc_tx_commits();
+        a.inc_log_cleanings();
+        a.add_device_busy_ns(500);
+
+        let mut t = TrafficCounter::new();
+        t.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
+        t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
+        t.record_host(Direction::Read, Category::Data, Interface::Block, 8192);
+        t.flash_write_pages = 1;
+        t.flash_internal_write_pages = 1;
+        t.flash_read_pages = 1;
+        t.flash_erase_blocks = 1;
+        t.tx_commits = 1;
+        t.log_cleanings = 1;
+        t.device_busy_ns = 500;
+
+        assert_eq!(a.snapshot(), t);
+        assert_eq!(a.flash_writes_total(), 2);
+        a.reset();
+        assert_eq!(a.snapshot(), TrafficCounter::new());
+    }
+
+    #[test]
+    fn atomic_traffic_is_race_free_across_threads() {
+        let a = std::sync::Arc::new(AtomicTraffic::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let a = std::sync::Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.record_host(Direction::Write, Category::Data, Interface::Byte, 64);
+                        a.inc_flash_write(false);
+                        a.add_device_busy_ns(3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.host_write_bytes(), 4 * 10_000 * 64);
+        assert_eq!(snap.byte_requests, 40_000);
+        assert_eq!(snap.flash_write_pages, 40_000);
+        assert_eq!(snap.device_busy_ns, 120_000);
+    }
+
+    #[test]
+    fn category_indices_match_display_order() {
+        for (i, cat) in Category::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+        assert_eq!(Interface::Byte.index(), 0);
+        assert_eq!(Interface::Block.index(), 1);
     }
 
     #[test]

@@ -60,11 +60,11 @@ fn kv_store_data_survives_a_crash_on_bytefs() {
     {
         let db = Db::open(fs.clone(), "/db", DbOptions::small_test()).unwrap();
         for i in 0..300u32 {
-            db.put(format!("key{i:05}").as_bytes(), &vec![i as u8; 200]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[i as u8; 200]).unwrap();
         }
         db.flush().unwrap();
         for i in 300..320u32 {
-            db.put(format!("key{i:05}").as_bytes(), &vec![i as u8; 200]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[i as u8; 200]).unwrap();
         }
         // WAL group commit: force the tail to be durable before the crash.
         db.close().unwrap();

@@ -4,7 +4,7 @@
 //! sequences.
 
 
-use bytefs_repro::fskit::{FileSystem, FileSystemExt, OpenFlags};
+use bytefs_repro::fskit::{FileSystemExt, OpenFlags};
 use bytefs_repro::mssd::MssdConfig;
 use bytefs_repro::workloads::FsKind;
 use proptest::prelude::*;

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the API subset the workspace's tests use: [`Strategy`] with
+//! `prop_map`, [`any`], tuple and range strategies, [`collection::vec`],
+//! `prop_oneof!`, `proptest!`, `prop_assert!` / `prop_assert_eq!` and
+//! [`ProptestConfig`]. Cases are generated from a deterministic per-test RNG,
+//! so failures are reproducible run-to-run. The one intentional omission is
+//! shrinking: a failing case is reported verbatim (its `Debug` rendering is
+//! printed) instead of being minimized first.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic generator feeding the strategies (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for test case number `case` of a named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x100_0000_01b3);
+        }
+        state ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self { state: state | 1 }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Runner configuration accepted by `proptest!`'s `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Ignored (shrinking is not implemented); kept so struct-update syntax
+    /// against the real crate's field set keeps compiling.
+    pub max_shrink_iters: u32,
+    /// Ignored; kept for struct-update compatibility.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// Types with a canonical "anything goes" strategy, used by [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy generating arbitrary values of `A` (`any::<u16>()` etc.).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// Returns the canonical strategy for type `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestRng,
+    };
+}
+
+/// Picks one of several same-valued strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property-test assertion (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion (behaves like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases. On failure the
+/// offending input's `Debug` rendering is printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    let values = ( $( $crate::Strategy::new_value(&($strategy), &mut rng), )+ );
+                    let described = format!("{values:?}");
+                    let outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(move || {
+                            let ( $($pat,)+ ) = values;
+                            $body
+                        }),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} of `{}` failed for input: {described}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let strat = prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| (a as u16) + (b as u16)),
+            Just(7u16),
+            (0u16..5).prop_map(|v| v),
+        ];
+        let mut rng = TestRng::for_case("compose", 0);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!(v <= 510 + 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+
+        #[test]
+        fn multiple_params(a in 0u32..10, b in 10u32..20) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+    }
+}

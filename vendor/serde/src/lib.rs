@@ -1,0 +1,52 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so they
+//! are ready for real serialization once a registry is reachable, but nothing
+//! in-tree serializes through serde yet (reports are hand-rendered JSON and
+//! markdown). This stand-in therefore provides the two traits as markers with
+//! blanket impls, plus no-op derive macros, so every `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bound in the tree compiles unchanged.
+//!
+//! Swapping back to the real serde is a one-line change per manifest and
+//! requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        #[serde(default)]
+        x: u32,
+    }
+
+    fn takes_serialize<T: Serialize>(_t: &T) {}
+
+    #[test]
+    fn derive_and_bounds_compile() {
+        let p = Probe { x: 7 };
+        takes_serialize(&p);
+        assert_eq!(p, Probe { x: 7 });
+    }
+}

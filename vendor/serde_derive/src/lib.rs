@@ -1,0 +1,23 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The real serde derives generate visitor-based (de)serialization code. In
+//! this workspace the traits are marker-only (see the sibling `serde` crate),
+//! so the derives have nothing to emit: the blanket impls in `serde` already
+//! cover every type. Accepting (and ignoring) `#[serde(...)]` helper
+//! attributes keeps annotated types compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Derives the marker `serde::Serialize` trait (no generated code needed —
+/// the stand-in trait has a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the marker `serde::Deserialize` trait (no generated code needed —
+/// the stand-in trait has a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
