@@ -1,0 +1,198 @@
+//! Multi-threaded throughput scaling of whole file systems (wall-clock).
+//!
+//! The FS-level companion of `mt_scale`: where `mt_scale` measures how fast
+//! raw device operations scale across threads, `fs_scale` drives complete
+//! *workloads* — partitioned micro/filebench op streams — through
+//! [`workloads::run_concurrent`] over one shared file system per
+//! configuration, measuring end-to-end host throughput with 1/2/4/8 worker
+//! threads. This is the bench the host-side lock sharding was built for:
+//!
+//! * `bytefs` — sharded inode table + per-inode RwLocks + namespace RwLock +
+//!   sharded page cache + atomic allocators over the sharded write-log
+//!   device. Data-path-heavy workloads are expected to scale.
+//! * `ext4` / `nova` — the baselines serialize every operation behind one
+//!   engine mutex; they are the contrast and cannot scale, regardless of the
+//!   (sharded) device underneath.
+//!
+//! Usage: `fs_scale [scale] [output.json]` — scale multiplies the workload
+//! working sets (default 1.0); results are printed as a table and written as
+//! JSON (default `BENCH_fs_scale.json`). Wall-clock speedup is bounded by
+//! `host_cpus` (see `crates/bench/DESIGN.md`).
+
+use std::sync::Arc;
+
+use bench::print_table;
+use fskit::FileSystem;
+use mssd::{Mssd, MssdConfig};
+use workloads::filebench::{Filebench, Personality};
+use workloads::micro::{Micro, MicroOp};
+use workloads::{run_concurrent, FsKind, Scale, Workload};
+
+/// Thread counts swept (the acceptance gate compares 4 threads vs 1).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per configuration; the best (fastest) one is reported,
+/// filtering scheduler noise on busy hosts.
+const REPEATS: usize = 2;
+
+/// One measured configuration.
+struct Sample {
+    fs: &'static str,
+    workload: String,
+    threads: usize,
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    virtual_kops: f64,
+}
+
+fn device_config() -> MssdConfig {
+    // 1 GiB volume with the default 256 MB device DRAM region: the measured
+    // runs never trigger a stop-the-world log cleaning, so the numbers
+    // isolate host-lock scaling (cleaning stalls are fig14's subject).
+    MssdConfig::default().with_capacity(1 << 30)
+}
+
+fn workloads_under_test(scale: Scale) -> Vec<Box<dyn Workload + Sync>> {
+    vec![
+        // Namespace-bound: every op holds the namespace write lock. The
+        // honest contrast case — sharding cannot help pure metadata streams.
+        Box::new(Micro::new(MicroOp::Create, scale)),
+        // Mixed data/metadata over per-thread file subsets.
+        Box::new(Filebench::new(Personality::Fileserver, scale)),
+        // Read-heavy data path: per-inode read locks + sharded page cache.
+        Box::new(Filebench::new(Personality::Webserver, scale)),
+    ]
+}
+
+/// One timed run on a fresh file system. Returns (wall seconds, ops, virtual
+/// kops/s).
+fn timed_run(kind: FsKind, workload: &(dyn Workload + Sync), threads: usize) -> (f64, u64, f64) {
+    let (device, fs): (Arc<Mssd>, Arc<dyn FileSystem>) = kind.build(device_config());
+    let result = run_concurrent(&device, &fs, workload, threads, 42)
+        .unwrap_or_else(|e| panic!("{kind} {} x{threads}: {e:?}", workload.name()));
+    (result.wall_ns as f64 / 1e9, result.aggregate.ops, result.aggregate.kops_per_sec)
+}
+
+fn run_config(kind: FsKind, workload: &(dyn Workload + Sync), threads: usize) -> Sample {
+    let mut best = timed_run(kind, workload, threads);
+    for _ in 1..REPEATS {
+        let run = timed_run(kind, workload, threads);
+        if run.0 < best.0 {
+            best = run;
+        }
+    }
+    let (wall_secs, ops, virtual_kops) = best;
+    Sample {
+        fs: kind.label(),
+        workload: workload.name(),
+        threads,
+        ops,
+        wall_ms: wall_secs * 1e3,
+        ops_per_sec: ops as f64 / wall_secs.max(1e-9),
+        virtual_kops,
+    }
+}
+
+fn base_ops_per_sec(samples: &[Sample], s: &Sample) -> f64 {
+    samples
+        .iter()
+        .find(|b| b.fs == s.fs && b.workload == s.workload && b.threads == 1)
+        .map(|b| b.ops_per_sec)
+        .unwrap_or(s.ops_per_sec)
+}
+
+fn write_json(path: &str, scale: f64, samples: &[Sample]) -> std::io::Result<()> {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "    {{\"fs\": \"{}\", \"workload\": \"{}\", \"threads\": {}, ",
+                    "\"ops\": {}, \"wall_ms\": {:.3}, \"ops_per_sec\": {:.0}, ",
+                    "\"speedup_vs_1t\": {:.3}, \"virtual_kops_per_sec\": {:.3}}}"
+                ),
+                s.fs,
+                s.workload,
+                s.threads,
+                s.ops,
+                s.wall_ms,
+                s.ops_per_sec,
+                s.ops_per_sec / base_ops_per_sec(samples, s),
+                s.virtual_kops,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"fs_scale\",\n  \"scale\": {scale},\n",
+            "  \"host_cpus\": {cpus},\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        ),
+        scale = scale,
+        cpus = host_cpus(),
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(path, json)
+}
+
+/// Parallelism actually available to this process — wall-clock speedup is
+/// bounded by it (a single-CPU container caps every configuration at 1.0x).
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn main() {
+    let scale_factor = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_fs_scale.json".to_string());
+    let scale = Scale::new(scale_factor);
+    eprintln!("fs_scale: scale {scale_factor}, host parallelism {}", host_cpus());
+
+    // Warmup: brings the CPU out of its idle frequency state so the first
+    // measured configuration is not systematically penalized.
+    let warm = Micro::new(MicroOp::Create, Scale::tiny());
+    let _ = timed_run(FsKind::ByteFs, &warm, 2);
+
+    let workloads = workloads_under_test(scale);
+    let mut samples = Vec::new();
+    for kind in FsKind::SCALING {
+        for workload in &workloads {
+            for threads in THREADS {
+                let s = run_config(kind, workload.as_ref(), threads);
+                eprintln!(
+                    "{:>7} {:>10} x{}: {:>9.0} ops/s  ({:.0} ms wall)",
+                    s.fs, s.workload, s.threads, s.ops_per_sec, s.wall_ms
+                );
+                samples.push(s);
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.fs.to_string(),
+                s.workload.clone(),
+                s.threads.to_string(),
+                format!("{}", s.ops),
+                format!("{:.0}", s.wall_ms),
+                format!("{:.0}", s.ops_per_sec),
+                format!("{:.2}x", s.ops_per_sec / base_ops_per_sec(&samples, s)),
+            ]
+        })
+        .collect();
+    print_table(
+        "fs_scale — wall-clock file-system throughput (shared Mssd, run_concurrent)",
+        &["fs", "workload", "threads", "ops", "wall ms", "ops/s", "speedup"],
+        &rows,
+    );
+
+    if let Err(e) = write_json(&out_path, scale_factor, &samples) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("results written to {out_path}");
+}

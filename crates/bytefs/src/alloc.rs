@@ -12,6 +12,9 @@
 //! write out in the next transaction.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::layout::DENTRY_SIZE;
 
@@ -191,6 +194,124 @@ impl BitmapAllocator {
     }
 }
 
+/// A thread-safe bitmap allocator with a mutex-free fast path for space
+/// admission, mirroring the `AtomicTraffic` pattern of the device model.
+///
+/// The free-space count is mirrored in an [`AtomicU64`]: `allocate` first
+/// *claims* one unit of free space with a compare-exchange loop — a full
+/// volume is rejected without ever touching the bitmap mutex, and the
+/// observability queries ([`SharedBitmap::free_count`],
+/// [`SharedBitmap::allocated`]) are plain atomic loads. Only the short pick /
+/// clear of the concrete bit index takes the inner mutex.
+///
+/// Invariant: the atomic counter never exceeds the bitmap's true free count
+/// (claims decrement it *before* the bitmap is updated; frees increment it
+/// *after*), so a successful claim guarantees the locked allocation succeeds.
+#[derive(Debug)]
+pub struct SharedBitmap {
+    inner: Mutex<BitmapAllocator>,
+    free: AtomicU64,
+    total: u64,
+}
+
+impl SharedBitmap {
+    /// Wraps an already-populated allocator.
+    pub fn new(bitmap: BitmapAllocator) -> Self {
+        let free = AtomicU64::new(bitmap.free_count());
+        let total = bitmap.total();
+        Self { inner: Mutex::new(bitmap), free, total }
+    }
+
+    /// Total number of objects tracked (immutable, lock-free).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of free objects (lock-free).
+    pub fn free_count(&self) -> u64 {
+        self.free.load(Ordering::Acquire)
+    }
+
+    /// Number of allocated objects (lock-free).
+    pub fn allocated(&self) -> u64 {
+        self.total.saturating_sub(self.free_count())
+    }
+
+    /// Whether object `idx` is allocated.
+    pub fn is_allocated(&self, idx: u64) -> bool {
+        self.inner.lock().is_allocated(idx)
+    }
+
+    /// Atomically claims one unit of free space from the mirrored counter.
+    /// Returns `false` when the volume is full — without touching the mutex.
+    fn claim_free_unit(&self) -> bool {
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match self.free.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Allocates one object. The out-of-space check is a lock-free
+    /// compare-exchange on the mirrored free counter; only the bit pick takes
+    /// the mutex.
+    pub fn allocate(&self) -> Option<u64> {
+        if !self.claim_free_unit() {
+            return None;
+        }
+        let idx = self.inner.lock().allocate().expect("free space was claimed atomically");
+        Some(idx)
+    }
+
+    /// Marks a specific object allocated. Returns `false` if it already was
+    /// (or if no free space could be claimed). The free counter is claimed
+    /// *before* the bit is taken — preserving the `counter <= true free`
+    /// invariant — and refunded if the object turns out to be taken already.
+    pub fn allocate_at(&self, idx: u64) -> bool {
+        if !self.claim_free_unit() {
+            return false;
+        }
+        let taken = self.inner.lock().allocate_at(idx);
+        if !taken {
+            self.free.fetch_add(1, Ordering::AcqRel);
+        }
+        taken
+    }
+
+    /// Frees an allocated object.
+    pub fn free(&self, idx: u64) {
+        self.inner.lock().free(idx);
+        self.free.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Returns and clears the dirty 64-byte groups together with their
+    /// current raw bytes, atomically with respect to other allocations — what
+    /// a transaction persists over the byte interface.
+    pub fn take_dirty_group_bytes(&self) -> Vec<(u64, [u8; DENTRY_SIZE])> {
+        let mut inner = self.inner.lock();
+        inner
+            .take_dirty_groups()
+            .into_iter()
+            .map(|group| (group, inner.group_bytes(group)))
+            .collect()
+    }
+
+    /// Serializes the whole bitmap (mkfs/debugging).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.inner.lock().to_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +404,47 @@ mod tests {
         }
         assert!(!b.is_allocated(1));
         assert_eq!(b.dirty_groups().count(), 0, "loading must not mark groups dirty");
+    }
+
+    #[test]
+    fn shared_bitmap_mirrors_counts() {
+        let s = SharedBitmap::new(BitmapAllocator::new(128));
+        assert_eq!(s.total(), 128);
+        assert_eq!(s.free_count(), 128);
+        let a = s.allocate().unwrap();
+        assert!(s.allocate_at(100));
+        assert!(!s.allocate_at(100));
+        assert_eq!(s.allocated(), 2);
+        assert!(s.is_allocated(a) && s.is_allocated(100));
+        s.free(a);
+        assert_eq!(s.free_count(), 127);
+        let dirty = s.take_dirty_group_bytes();
+        assert_eq!(dirty.len(), 1, "128 bits fit one 64-byte group");
+        assert!(s.take_dirty_group_bytes().is_empty(), "taking clears");
+    }
+
+    #[test]
+    fn shared_bitmap_never_double_allocates_under_threads() {
+        let s = std::sync::Arc::new(SharedBitmap::new(BitmapAllocator::new(1000)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(idx) = s.allocate() {
+                        got.push(idx);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        assert_eq!(all.len(), 1000, "exactly the whole volume is handed out");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000, "no index handed out twice");
+        assert_eq!(s.free_count(), 0);
+        assert_eq!(s.allocate(), None, "full volume rejected on the lock-free path");
     }
 
     #[test]

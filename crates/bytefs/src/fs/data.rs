@@ -1,12 +1,18 @@
 //! The ByteFS data path: buffered and direct reads/writes, writeback with
 //! interface selection (§4.6), `fsync`, truncate and whole-FS sync.
+//!
+//! Every function here operates on an [`Inode`] the caller has already locked
+//! through its [`InodeHandle`](crate::fs::InodeHandle): shared for reads,
+//! exclusive for writes. No function in this module touches the namespace
+//! lock, which is what lets data I/O on different files run fully in
+//! parallel (see the [concurrency model](crate::fs)).
 
 use fskit::journal::JournaledBlock;
 use fskit::pagecache::{DirtyPage, PageRef};
 use fskit::{FsError, FsResult};
 use mssd::Category;
 
-use crate::fs::{ByteFs, OpenFile, State};
+use crate::fs::{ByteFs, OpenFile};
 use crate::inode::Inode;
 use crate::policy::InterfaceChoice;
 use crate::txn::Txn;
@@ -15,56 +21,54 @@ use crate::txn::Txn;
 const CHUNK: usize = 64;
 
 impl ByteFs {
-    /// Ensures file block `file_block` of `ino` has a device block allocated,
-    /// returning its LBA.
-    pub(crate) fn ensure_block(&self, state: &mut State, ino: u64, file_block: u64) -> FsResult<u64> {
-        if let Some(lba) = state.inodes.get(&ino).and_then(|i| i.extents.lookup(file_block)) {
+    /// Ensures file block `file_block` of the locked inode has a device block
+    /// allocated, returning its LBA.
+    pub(crate) fn ensure_block(&self, inode: &mut Inode, file_block: u64) -> FsResult<u64> {
+        if let Some(lba) = inode.extents.lookup(file_block) {
             return Ok(lba);
         }
-        let lba = self.alloc_block(state)?;
-        let inode = state.inodes.get_mut(&ino).expect("inode cached before data I/O");
+        let lba = self.alloc_block()?;
         inode.extents.insert(file_block, lba);
         inode.blocks += 1;
-        state.dirty_inodes.insert(ino);
+        self.mark_dirty(inode.ino);
         Ok(lba)
     }
 
     /// Reads one page of a file into the host page cache (block interface on a
     /// miss; holes materialize as zero pages) and returns a zero-copy handle
     /// to its contents.
-    fn page_for_read(&self, state: &mut State, ino: u64, index: u64) -> PageRef {
-        if let Some(page) = state.page_cache.get(ino, index) {
+    fn page_for_read(&self, inode: &Inode, index: u64) -> PageRef {
+        if let Some(page) = self.page_cache.get(inode.ino, index) {
             return page;
         }
-        let page_size = state.layout.page_size;
-        let lba = state.inodes.get(&ino).and_then(|i| i.extents.lookup(index));
-        match lba {
+        let page_size = self.layout.page_size;
+        match inode.extents.lookup(index) {
             Some(lba) => {
                 let page = PageRef::from(self.device.block_read(lba, 1, Category::Data));
-                state.page_cache.insert_clean(ino, index, page.clone());
+                self.page_cache.insert_clean(inode.ino, index, page.clone());
                 page
             }
             None => PageRef::zeroed(page_size),
         }
     }
 
-    /// Buffered or direct read, depending on the open flags.
+    /// Buffered or direct read, depending on the open flags. The caller holds
+    /// the inode lock (shared).
     pub(crate) fn do_read(
         &self,
-        state: &mut State,
+        inode: &Inode,
         of: OpenFile,
         offset: u64,
         len: usize,
     ) -> FsResult<Vec<u8>> {
-        let inode = self.load_inode(state, of.ino)?;
         if offset >= inode.size {
             return Ok(Vec::new());
         }
         let len = len.min((inode.size - offset) as usize);
         if of.flags.direct {
-            return self.direct_read(state, &inode, offset, len);
+            return self.direct_read(inode, offset, len);
         }
-        let page_size = state.layout.page_size as u64;
+        let page_size = self.layout.page_size as u64;
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
         let end = offset + len as u64;
@@ -72,7 +76,7 @@ impl ByteFs {
             let index = pos / page_size;
             let in_page = (pos % page_size) as usize;
             let span = ((page_size as usize) - in_page).min((end - pos) as usize);
-            let page = self.page_for_read(state, of.ino, index);
+            let page = self.page_for_read(inode, index);
             out.extend_from_slice(&page[in_page..in_page + span]);
             pos += span as u64;
         }
@@ -81,14 +85,8 @@ impl ByteFs {
 
     /// Direct (`O_DIRECT`) read: bypasses the host page cache; requests of at
     /// most 512 bytes use the byte interface, larger ones the block interface.
-    fn direct_read(
-        &self,
-        state: &mut State,
-        inode: &Inode,
-        offset: u64,
-        len: usize,
-    ) -> FsResult<Vec<u8>> {
-        let page_size = state.layout.page_size as u64;
+    fn direct_read(&self, inode: &Inode, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let page_size = self.layout.page_size as u64;
         let choice = self.config.direct_io_choice(len);
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
@@ -115,10 +113,11 @@ impl ByteFs {
         Ok(out)
     }
 
-    /// Buffered or direct write, depending on the open flags.
+    /// Buffered or direct write, depending on the open flags. The caller holds
+    /// the inode lock (exclusive) and has already resolved `O_APPEND`.
     pub(crate) fn do_write(
         &self,
-        state: &mut State,
+        inode: &mut Inode,
         of: OpenFile,
         offset: u64,
         data: &[u8],
@@ -126,11 +125,11 @@ impl ByteFs {
         if data.is_empty() {
             return Ok(0);
         }
-        self.load_inode(state, of.ino)?;
         if of.flags.direct {
-            return self.direct_write(state, of.ino, offset, data);
+            return self.direct_write(inode, offset, data);
         }
-        let page_size = state.layout.page_size as u64;
+        let ino = inode.ino;
+        let page_size = self.layout.page_size as u64;
         let mut pos = offset;
         let end = offset + data.len() as u64;
         while pos < end {
@@ -138,41 +137,35 @@ impl ByteFs {
             let in_page = (pos % page_size) as usize;
             let span = ((page_size as usize) - in_page).min((end - pos) as usize);
             let chunk = &data[(pos - offset) as usize..(pos - offset) as usize + span];
-            if state.page_cache.contains(of.ino, index) {
-                state.page_cache.write(of.ino, index, in_page, chunk);
-            } else if in_page == 0 && span == page_size as usize {
-                state.page_cache.insert_new_dirty(of.ino, index, chunk.to_vec());
-            } else {
-                // Partial write to a non-resident page: read-modify-write in
-                // the page cache.
-                let base = self.page_for_read(state, of.ino, index);
-                if !state.page_cache.contains(of.ino, index) {
-                    state.page_cache.insert_clean(of.ino, index, base);
-                }
-                state.page_cache.write(of.ino, index, in_page, chunk);
+            if in_page == 0 && span == page_size as usize {
+                // Whole-page write: overwrite-or-install in one shard-lock
+                // hold, so a concurrent eviction (another inode sharing the
+                // shard) can never make the write land nowhere.
+                self.page_cache.write_full_page(ino, index, chunk.to_vec());
+            } else if !self.page_cache.write(ino, index, in_page, chunk) {
+                // Partial write to a non-resident page: read-modify-write.
+                // Nobody else can touch this inode's pages while we hold its
+                // write lock, so the base read here cannot go stale before
+                // the single-lock-hold install-and-write below.
+                let base = self.page_for_read(inode, index);
+                self.page_cache.write_with_fallback(ino, index, in_page, chunk, base);
             }
             pos += span as u64;
         }
         let now = self.now_ns();
-        let inode = state.inodes.get_mut(&of.ino).expect("inode cached");
         inode.size = inode.size.max(end);
         inode.mtime_ns = now;
-        state.dirty_inodes.insert(of.ino);
+        self.mark_dirty(ino);
         Ok(data.len())
     }
 
     /// Direct (`O_DIRECT`) write: persists immediately, choosing the interface
     /// by request size (§4.6), and commits the metadata transaction.
-    fn direct_write(
-        &self,
-        state: &mut State,
-        ino: u64,
-        offset: u64,
-        data: &[u8],
-    ) -> FsResult<usize> {
-        let page_size = state.layout.page_size as u64;
+    fn direct_write(&self, inode: &mut Inode, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let ino = inode.ino;
+        let page_size = self.layout.page_size as u64;
         let choice = self.config.direct_io_choice(data.len());
-        let mut txn = self.begin_txn(state);
+        let mut txn = self.begin_txn();
         let mut pos = offset;
         let end = offset + data.len() as u64;
         while pos < end {
@@ -180,7 +173,7 @@ impl ByteFs {
             let in_page = (pos % page_size) as usize;
             let span = ((page_size as usize) - in_page).min((end - pos) as usize);
             let chunk = &data[(pos - offset) as usize..(pos - offset) as usize + span];
-            let lba = self.ensure_block(state, ino, index)?;
+            let lba = self.ensure_block(inode, index)?;
             match choice {
                 InterfaceChoice::Byte => {
                     txn.write(lba * page_size + in_page as u64, chunk, Category::Data);
@@ -196,185 +189,176 @@ impl ByteFs {
                     self.device.block_write(lba, &page, Category::Data);
                 }
             }
-            // Keep any cached copy coherent.
-            if state.page_cache.contains(ino, index) {
-                state.page_cache.write(ino, index, in_page, chunk);
-            }
+            // Keep any cached copy coherent (single call: residency is
+            // checked and the write applied under one shard-lock hold; a
+            // non-resident page needs no update).
+            self.page_cache.write(ino, index, in_page, chunk);
             pos += span as u64;
         }
         let now = self.now_ns();
-        let inode = {
-            let inode = state.inodes.get_mut(&ino).expect("inode cached");
-            inode.size = inode.size.max(end);
-            inode.mtime_ns = now;
-            inode.clone()
-        };
-        self.persist_extents(state, &mut txn, &inode)?;
-        self.persist_inode(&*state, &mut txn, &inode);
-        self.persist_bitmaps(state, &mut txn);
-        self.commit_txn(state, txn);
-        state.dirty_inodes.remove(&ino);
+        inode.size = inode.size.max(end);
+        inode.mtime_ns = now;
+        self.persist_extents(&mut txn, inode)?;
+        self.persist_inode(&mut txn, inode);
+        self.persist_bitmaps(&mut txn);
+        self.commit_txn(txn);
+        self.dirty_inodes.lock().remove(&ino);
         Ok(data.len())
     }
 
     /// Persists the extent tree: inline extents travel with the inode; the
     /// overflow extents (if any) are written to the overflow extent block over
     /// the byte interface ([`Category::DataPointer`]).
-    fn persist_extents(&self, state: &mut State, txn: &mut Txn, inode: &Inode) -> FsResult<()> {
+    fn persist_extents(&self, txn: &mut Txn, inode: &mut Inode) -> FsResult<()> {
         if !inode.needs_overflow() {
             return Ok(());
         }
         let lba = match inode.overflow_lba {
             Some(lba) => lba,
             None => {
-                let lba = self.alloc_block(state)?;
-                let stored = state.inodes.get_mut(&inode.ino).expect("inode cached");
-                stored.overflow_lba = Some(lba);
-                stored.blocks += 1;
+                let lba = self.alloc_block()?;
+                inode.overflow_lba = Some(lba);
+                inode.blocks += 1;
                 lba
             }
         };
-        let inode = state.inodes.get(&inode.ino).expect("inode cached").clone();
         let bytes = inode.encode_overflow().expect("needs_overflow checked");
-        let addr = lba * state.layout.page_size as u64;
+        let addr = lba * self.layout.page_size as u64;
         self.persist_meta(txn, addr, &bytes, Category::DataPointer);
         Ok(())
     }
 
     /// Writes back one inode's dirty pages and metadata in a transaction
-    /// (shared by `fsync` and `sync`).
-    fn writeback_inode(
-        &self,
-        state: &mut State,
-        ino: u64,
-        dirty_pages: Vec<DirtyPage>,
-    ) -> FsResult<()> {
-        let meta_dirty = state.dirty_inodes.remove(&ino);
+    /// (shared by `fsync` and `sync`). The caller holds the inode lock
+    /// (exclusive).
+    fn writeback_inode(&self, inode: &mut Inode, dirty_pages: Vec<DirtyPage>) -> FsResult<()> {
+        let ino = inode.ino;
+        let meta_dirty = self.dirty_inodes.lock().remove(&ino);
         if dirty_pages.is_empty() && !meta_dirty {
             return Ok(());
         }
-        let page_size = state.layout.page_size as u64;
-        let mut txn = self.begin_txn(state);
+        let page_size = self.layout.page_size as u64;
+        let mut txn = self.begin_txn();
 
         for dp in &dirty_pages {
-            let lba = self.ensure_block(state, ino, dp.index)?;
+            let lba = self.ensure_block(inode, dp.index)?;
             let ratio = dp.modified_ratio(CHUNK);
             match self.config.writeback_choice(ratio) {
                 InterfaceChoice::Byte => {
                     for (off, len) in dp.dirty_ranges(CHUNK) {
-                        txn.write(lba * page_size + off as u64, &dp.data[off..off + len], Category::Data);
+                        txn.write(
+                            lba * page_size + off as u64,
+                            &dp.data[off..off + len],
+                            Category::Data,
+                        );
                     }
                 }
                 InterfaceChoice::Block => {
-                    if self.config.data_journaling {
-                        if let Some(journal) = state.journal.as_mut() {
-                            journal.commit(
-                                &[JournaledBlock {
-                                    lba,
-                                    data: dp.data.to_vec(),
-                                    category: Category::Data,
-                                }],
-                                true,
-                            )?;
-                            continue;
-                        }
+                    if let Some(journal) = &self.journal {
+                        journal.lock().commit(
+                            &[JournaledBlock {
+                                lba,
+                                data: dp.data.to_vec(),
+                                category: Category::Data,
+                            }],
+                            true,
+                        )?;
+                        continue;
                     }
                     self.device.block_write(lba, &dp.data, Category::Data);
                 }
             }
         }
-        // ensure_block may have added extents after the early `dirty_inodes`
+        // ensure_block may have re-marked the inode dirty after the early
         // removal; drop the flag again so it is not persisted twice.
-        state.dirty_inodes.remove(&ino);
+        self.dirty_inodes.lock().remove(&ino);
 
-        let inode = state
-            .inodes
-            .get(&ino)
-            .cloned()
-            .ok_or_else(|| FsError::Corrupted(format!("dirty inode {ino} not cached")))?;
-        self.persist_extents(state, &mut txn, &inode)?;
-        let inode = state.inodes.get(&ino).expect("inode cached").clone();
-        self.persist_inode(&*state, &mut txn, &inode);
-        self.persist_bitmaps(state, &mut txn);
-        self.commit_txn(state, txn);
+        self.persist_extents(&mut txn, inode)?;
+        self.persist_inode(&mut txn, inode);
+        self.persist_bitmaps(&mut txn);
+        self.commit_txn(txn);
         Ok(())
     }
 
-    /// `fsync`: write back this inode's dirty pages and metadata.
-    pub(crate) fn do_fsync(&self, state: &mut State, ino: u64) -> FsResult<()> {
-        let dirty = state.page_cache.take_dirty(ino);
-        self.writeback_inode(state, ino, dirty)
+    /// `fsync`: write back this inode's dirty pages and metadata. The caller
+    /// holds the inode lock (exclusive).
+    pub(crate) fn do_fsync(&self, inode: &mut Inode) -> FsResult<()> {
+        let dirty = self.page_cache.take_dirty(inode.ino);
+        self.writeback_inode(inode, dirty)
     }
 
-    /// Truncates (or extends) a file, freeing blocks beyond the new size.
-    pub(crate) fn do_truncate(&self, state: &mut State, ino: u64, size: u64) -> FsResult<()> {
-        let inode = self.load_inode(state, ino)?;
+    /// Truncates (or extends) a file, freeing blocks beyond the new size. The
+    /// caller holds the inode lock (exclusive).
+    pub(crate) fn do_truncate(&self, inode: &mut Inode, size: u64) -> FsResult<()> {
         if inode.is_dir() {
-            return Err(FsError::IsADirectory(format!("inode {ino}")));
+            return Err(FsError::IsADirectory(format!("inode {}", inode.ino)));
         }
-        let page_size = state.layout.page_size as u64;
+        let ino = inode.ino;
+        let page_size = self.layout.page_size as u64;
         let new_blocks = size.div_ceil(page_size);
         let now = self.now_ns();
 
         let shrinking = size < inode.size;
-        let freed = {
-            let stored = state.inodes.get_mut(&ino).expect("just loaded");
-            let freed = if shrinking { stored.extents.truncate(new_blocks) } else { Vec::new() };
-            stored.blocks = stored.blocks.saturating_sub(freed.len() as u64);
-            stored.size = size;
-            stored.mtime_ns = now;
-            freed
-        };
+        let freed = if shrinking { inode.extents.truncate(new_blocks) } else { Vec::new() };
+        inode.blocks = inode.blocks.saturating_sub(freed.len() as u64);
+        inode.size = size;
+        inode.mtime_ns = now;
         for lba in &freed {
-            self.free_block(state, *lba);
+            self.free_block(*lba);
         }
-        state.page_cache.invalidate_from(ino, new_blocks);
+        self.page_cache.invalidate_from(ino, new_blocks);
         // Zero the tail of the last partial page so stale bytes beyond the new
         // EOF can never resurface if the file grows again later.
         let tail_off = (size % page_size) as usize;
         if shrinking && tail_off != 0 {
             let last = size / page_size;
-            let resident = state.page_cache.contains(ino, last);
-            let mapped = state.inodes.get(&ino).is_some_and(|i| i.extents.lookup(last).is_some());
-            if resident || mapped {
-                if !resident {
-                    let base = self.page_for_read(state, ino, last);
-                    if !state.page_cache.contains(ino, last) {
-                        state.page_cache.insert_clean(ino, last, base);
-                    }
-                }
-                let zeros = vec![0u8; state.layout.page_size - tail_off];
-                state.page_cache.write(ino, last, tail_off, &zeros);
+            if inode.extents.lookup(last).is_some() || self.page_cache.contains(ino, last) {
+                let base = self.page_for_read(inode, last);
+                let zeros = vec![0u8; self.layout.page_size - tail_off];
+                // Single-lock-hold install-and-write: the zeroing must stick
+                // even if a concurrent insertion evicts the page in between.
+                self.page_cache.write_with_fallback(ino, last, tail_off, &zeros, base);
             }
         }
 
-        let mut txn = self.begin_txn(state);
-        let inode = state.inodes.get(&ino).expect("cached").clone();
-        self.persist_inode(&*state, &mut txn, &inode);
-        self.persist_bitmaps(state, &mut txn);
-        self.commit_txn(state, txn);
-        state.dirty_inodes.remove(&ino);
+        let mut txn = self.begin_txn();
+        self.persist_inode(&mut txn, inode);
+        self.persist_bitmaps(&mut txn);
+        self.commit_txn(txn);
+        self.dirty_inodes.lock().remove(&ino);
         Ok(())
     }
 
-    /// Whole-file-system sync: write back every dirty page and inode.
-    pub(crate) fn do_sync(&self, state: &mut State) -> FsResult<()> {
-        let all = state.page_cache.take_all_dirty();
-        let mut by_inode: std::collections::BTreeMap<u64, Vec<DirtyPage>> =
-            std::collections::BTreeMap::new();
-        for dp in all {
-            by_inode.entry(dp.inode).or_default().push(dp);
-        }
-        for ino in state.dirty_inodes.clone() {
-            by_inode.entry(ino).or_default();
-        }
-        for (ino, pages) in by_inode {
-            self.writeback_inode(state, ino, pages)?;
+    /// Whole-file-system sync: write back every dirty page and inode, taking
+    /// each inode's lock in turn (ascending inode order — no two inode locks
+    /// are ever held together).
+    pub(crate) fn do_sync(&self) -> FsResult<()> {
+        let mut inos = self.page_cache.dirty_inodes();
+        inos.extend(self.dirty_inodes.lock().iter().copied());
+        for ino in inos {
+            // Load through the inode table: a live inode whose handle was
+            // evicted (drop_caches) but whose dirty pages survived must be
+            // re-read from the device, not have its pages discarded.
+            let handle = match self.inode_handle(ino) {
+                Ok(handle) => handle,
+                Err(FsError::NotFound(_)) => {
+                    // Truly unlinked: nothing durable remains to write back.
+                    self.page_cache.invalidate_inode(ino);
+                    self.dirty_inodes.lock().remove(&ino);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut inode = handle.write();
+            if inode.is_unlinked() {
+                continue;
+            }
+            let dirty = self.page_cache.take_dirty(ino);
+            self.writeback_inode(&mut inode, dirty)?;
         }
         Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
@@ -457,17 +441,11 @@ mod tests {
         // Ensure the root directory already has its dentry block allocated so
         // the before/after comparison only sees the file's own blocks.
         fs.write_file("/keeper", b"k").unwrap();
-        let before = {
-            let state = fs.state.lock();
-            state.block_bitmap.allocated()
-        };
+        let before = fs.allocated_blocks();
         fs.write_file("/victim", &vec![7u8; 20_000]).unwrap();
         fs.unlink("/victim").unwrap();
         assert!(!fs.exists("/victim"));
-        let after = {
-            let state = fs.state.lock();
-            state.block_bitmap.allocated()
-        };
+        let after = fs.allocated_blocks();
         assert_eq!(before, after, "all blocks of the unlinked file are freed");
     }
 
@@ -498,6 +476,31 @@ mod tests {
         assert_eq!(data.len(), 8_192);
         assert_eq!(&data[..4_000], &vec![5u8; 4_000][..]);
         assert!(data[4_096..].iter().all(|b| *b == 0), "extended region reads as zeros");
+    }
+
+    #[test]
+    fn truncate_tail_zeroing_survives_drop_caches_and_sync() {
+        // Regression test: after a shrinking truncate the zeroed tail page
+        // sits dirty in the page cache while the inode is no longer in the
+        // dirty-metadata set. Dropping caches and syncing must write that
+        // page back — not orphan or discard it — or the stale pre-truncate
+        // bytes resurface from the device block when the file grows again.
+        let (_dev, fs) = new_fs();
+        fs.write_file("/t", &vec![5u8; 9_000]).unwrap();
+        let fd = fs.open("/t", OpenFlags::read_write()).unwrap();
+        fs.truncate(fd, 4_000).unwrap();
+        fs.close(fd).unwrap();
+        fs.drop_caches();
+        fs.sync().unwrap();
+        let fd = fs.open("/t", OpenFlags::read_write()).unwrap();
+        fs.truncate(fd, 8_192).unwrap();
+        fs.drop_caches(); // force the next read to come from the device
+        let data = fs.read(fd, 0, 10_000).unwrap();
+        assert_eq!(data.len(), 8_192);
+        assert!(
+            data[4_000..4_096].iter().all(|b| *b == 0),
+            "stale pre-truncate bytes resurfaced past the old EOF"
+        );
     }
 
     #[test]

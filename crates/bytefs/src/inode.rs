@@ -71,6 +71,15 @@ impl Inode {
         self.file_type.is_dir()
     }
 
+    /// `true` once the inode has been tombstoned by `unlink`/`rmdir`
+    /// (`nlink == 0`). Under the concurrent locking model this is set while
+    /// the unlinker holds the inode's write lock, *before* its blocks are
+    /// freed; data-path racers that acquire the lock afterwards check it and
+    /// bail instead of resurrecting freed blocks.
+    pub fn is_unlinked(&self) -> bool {
+        self.nlink == 0
+    }
+
     /// Encodes the hot lower half (64 bytes).
     pub fn encode_lower(&self) -> [u8; INODE_HALF] {
         let mut out = [0u8; INODE_HALF];

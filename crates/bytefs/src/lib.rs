@@ -21,6 +21,26 @@
 //!   command; recovery replays the committed prefix: [`txn`] and
 //!   [`ByteFs::recover_after_crash`].
 //!
+//! # Concurrency model
+//!
+//! `ByteFs` has no global lock: many threads may operate on one
+//! `Arc<ByteFs>` concurrently. Synchronization is fine-grained —
+//!
+//! * a **namespace `RwLock`** serializes metadata mutations (create, unlink,
+//!   mkdir, rmdir, rename) against each other while path resolution and
+//!   `readdir` share it for read;
+//! * the **inode table is lock-striped** and each inode carries its own
+//!   `RwLock`, so reads/writes/fsyncs of different files run in parallel;
+//! * the **page cache is lock-striped** by inode
+//!   ([`fskit::pagecache::ShardedPageCache`]);
+//! * the **allocators** ([`alloc::SharedBitmap`]) admit or reject
+//!   allocations on an atomic free-space counter without a lock;
+//! * **TxIDs** come from an atomic counter ([`txn::SharedTxTable`]).
+//!
+//! The lock order is `namespace → inode shard → inode → page-cache shard →
+//! allocator → journal/txtable → device`; see [`fs`] for the full rules and
+//! why they are deadlock-free.
+//!
 //! ```
 //! use bytefs::{ByteFs, ByteFsConfig};
 //! use fskit::{FileSystem, FileSystemExt};

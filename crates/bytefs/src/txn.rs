@@ -5,12 +5,17 @@
 //! inode and the parent inode) is wrapped in a transaction: every byte write
 //! carries the transaction's TxID, and a single `COMMIT(TxID)` command makes
 //! the whole group durable and atomic (§4.3, §4.7). The host keeps a TxTable
-//! of in-flight transactions (mirrored here by [`TxTable`]) mostly for
-//! observability; ordering between conflicting transactions is provided by the
-//! file-system lock.
+//! of in-flight transactions (mirrored here by [`TxTable`] and its concurrent
+//! counterpart [`SharedTxTable`]) mostly for observability; ordering between
+//! conflicting transactions is provided by the file-system locks (the
+//! namespace lock for metadata operations, per-inode locks for the data
+//! path — see the crate-level "Concurrency model" docs).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use mssd::txn::TxIdAllocator;
 use mssd::{Category, Mssd, TxId};
@@ -52,6 +57,57 @@ impl TxTable {
     /// Number of transactions committed so far.
     pub fn committed(&self) -> u64 {
         self.committed
+    }
+}
+
+/// The concurrent host transaction table: the `&self` counterpart of
+/// [`TxTable`] used by the sharded file system.
+///
+/// TxID allocation is a single atomic fetch-add and the committed counter is
+/// an atomic load, so neither the begin fast path nor observability contends
+/// on a lock; only the in-flight set (bounded by the number of concurrent
+/// operations) is mutex-protected.
+#[derive(Debug, Default)]
+pub struct SharedTxTable {
+    next: AtomicU32,
+    active: Mutex<HashSet<TxId>>,
+    committed: AtomicU64,
+}
+
+impl SharedTxTable {
+    /// Creates an empty table. TxID 0 is reserved as "no transaction".
+    pub fn new() -> Self {
+        Self { next: AtomicU32::new(1), active: Mutex::new(HashSet::new()), committed: AtomicU64::new(0) }
+    }
+
+    /// Starts a new transaction and returns its TxID.
+    pub fn begin(&self) -> TxId {
+        let id = loop {
+            let raw = self.next.fetch_add(1, Ordering::Relaxed);
+            if raw != 0 {
+                break TxId(raw);
+            }
+            // u32 wrap-around landed on the reserved id; draw again.
+        };
+        self.active.lock().insert(id);
+        id
+    }
+
+    /// Marks a transaction committed.
+    pub fn finish(&self, txid: TxId) {
+        if self.active.lock().remove(&txid) {
+            self.committed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of transactions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Number of transactions committed so far (lock-free).
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
     }
 }
 
@@ -127,6 +183,34 @@ mod tests {
         // Finishing twice is harmless.
         t.finish(a);
         assert_eq!(t.committed(), 1);
+    }
+
+    #[test]
+    fn shared_txtable_is_concurrent() {
+        let t = std::sync::Arc::new(SharedTxTable::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for _ in 0..200 {
+                        ids.push(t.begin());
+                    }
+                    for id in &ids {
+                        t.finish(*id);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).map(|id| id.0).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "every thread got unique TxIDs");
+        assert!(!all.contains(&0), "TxID 0 stays reserved");
+        assert_eq!(t.committed(), 800);
+        assert_eq!(t.in_flight(), 0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Multi-threaded stress tests of the sharded ByteFS host path.
+//!
+//! N threads issue mixed create/write/rename/unlink/fsync/readdir traffic
+//! against one shared [`ByteFs`] — each thread inside its own directory, so
+//! every thread's expected state is deterministic while all the shared
+//! structures (namespace lock, inode shards, page-cache shards, allocators,
+//! TxTable, device) race. Afterwards the tests assert post-hoc invariants:
+//! every thread's files read back exactly, the namespace agrees with the
+//! expectations, unlinking everything returns the allocators to their
+//! baseline, a concurrent run is observationally equivalent to a sequential
+//! replay of the same per-thread streams, and committed state survives a
+//! crash (mirroring the device-level suite in `mssd/tests/concurrency.rs`,
+//! one layer up).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytefs::{ByteFs, ByteFsConfig};
+use fskit::{FileSystem, FileSystemExt, OpenFlags};
+use mssd::{DramMode, Mssd, MssdConfig};
+
+const THREADS: usize = 8;
+const OPS: usize = 400;
+
+/// Deterministic per-thread op stream (xorshift64).
+struct Ops {
+    state: u64,
+}
+
+impl Ops {
+    fn new(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+fn new_fs() -> (Arc<Mssd>, Arc<ByteFs>) {
+    let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+    let fs = ByteFs::format(Arc::clone(&dev), ByteFsConfig::full()).unwrap();
+    (dev, fs)
+}
+
+/// Executes thread `t`'s operation stream: create / overwrite / fsync /
+/// rename / unlink on files inside `/t{t}`, returning the expected final
+/// content of every surviving file. At most ~32 files are live at once so
+/// the thread's directory never outgrows one dentry block (keeps the
+/// allocator-baseline check exact).
+fn drive(fs: &dyn FileSystem, t: usize, ops: usize) -> BTreeMap<String, Vec<u8>> {
+    let dir = format!("/t{t}");
+    let mut rng = Ops::new(0xC0FFEE ^ (t as u64) << 24);
+    let mut expected: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut serial = 0usize;
+    for _ in 0..ops {
+        match rng.next() % 10 {
+            // Create a fresh file with a deterministic payload and fsync it.
+            0..=3 => {
+                if expected.len() >= 32 {
+                    continue;
+                }
+                let path = format!("{dir}/f{serial}");
+                serial += 1;
+                let tag = (rng.next() % 251) as u8;
+                let len = 64 + (rng.next() % 8000) as usize;
+                let payload = vec![tag; len];
+                fs.write_file(&path, &payload).unwrap();
+                expected.insert(path, payload);
+            }
+            // Overwrite a range in an existing file, fsync.
+            4 | 5 => {
+                let Some(path) = nth_key(&expected, rng.next()) else { continue };
+                let tag = (rng.next() % 251) as u8;
+                let content = expected.get_mut(&path).unwrap();
+                let off = (rng.next() as usize) % content.len();
+                let len = ((rng.next() as usize) % 256 + 1).min(content.len() - off);
+                let fd = fs.open(&path, OpenFlags::read_write()).unwrap();
+                fs.write(fd, off as u64, &vec![tag; len]).unwrap();
+                fs.fsync(fd).unwrap();
+                fs.close(fd).unwrap();
+                content[off..off + len].fill(tag);
+            }
+            // Read back a file mid-run and check it against the expectation.
+            6 => {
+                let Some(path) = nth_key(&expected, rng.next()) else { continue };
+                let got = fs.read_file(&path).unwrap();
+                assert_eq!(&got, expected.get(&path).unwrap(), "thread {t} mid-run {path}");
+            }
+            // Rename within the thread's directory.
+            7 => {
+                let Some(path) = nth_key(&expected, rng.next()) else { continue };
+                let to = format!("{dir}/r{serial}");
+                serial += 1;
+                fs.rename(&path, &to).unwrap();
+                let content = expected.remove(&path).unwrap();
+                expected.insert(to, content);
+            }
+            // Unlink.
+            8 => {
+                let Some(path) = nth_key(&expected, rng.next()) else { continue };
+                fs.unlink(&path).unwrap();
+                expected.remove(&path);
+            }
+            // Namespace reads under churn.
+            _ => {
+                let entries = fs.readdir(&dir).unwrap();
+                assert_eq!(entries.len(), expected.len(), "thread {t} dir count");
+                let Some(path) = nth_key(&expected, rng.next()) else { continue };
+                let meta = fs.stat(&path).unwrap();
+                assert_eq!(meta.size as usize, expected[&path].len(), "thread {t} {path} size");
+            }
+        }
+    }
+    expected
+}
+
+fn nth_key(map: &BTreeMap<String, Vec<u8>>, r: u64) -> Option<String> {
+    if map.is_empty() {
+        return None;
+    }
+    map.keys().nth((r as usize) % map.len()).cloned()
+}
+
+fn verify(fs: &dyn FileSystem, expected: &[BTreeMap<String, Vec<u8>>]) {
+    for (t, files) in expected.iter().enumerate() {
+        let entries = fs.readdir(&format!("/t{t}")).unwrap();
+        assert_eq!(entries.len(), files.len(), "thread {t} final dir count");
+        for (path, content) in files {
+            assert_eq!(&fs.read_file(path).unwrap(), content, "thread {t} final {path}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_mixed_ops_stress() {
+    let (_dev, fs) = new_fs();
+    for t in 0..THREADS {
+        fs.mkdir(&format!("/t{t}")).unwrap();
+    }
+    // Materialize every directory's dentry block, then record the allocator
+    // baseline the cleanup phase must return to.
+    for t in 0..THREADS {
+        fs.write_file(&format!("/t{t}/probe"), b"x").unwrap();
+        fs.unlink(&format!("/t{t}/probe")).unwrap();
+    }
+    fs.sync().unwrap();
+    let baseline_blocks = fs.allocated_blocks();
+    let baseline_inodes = fs.allocated_inodes();
+
+    let expected: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || drive(fs.as_ref(), t, OPS))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    fs.sync().unwrap();
+    verify(fs.as_ref(), &expected);
+
+    // Cleanup must return both allocators exactly to the post-setup baseline:
+    // no leaked blocks, no leaked inodes, no double frees (those would panic).
+    for (t, files) in expected.iter().enumerate() {
+        for path in files.keys() {
+            fs.unlink(path).unwrap();
+        }
+        assert!(fs.readdir(&format!("/t{t}")).unwrap().is_empty());
+    }
+    fs.sync().unwrap();
+    assert_eq!(fs.allocated_blocks(), baseline_blocks, "no data/extent block leaked");
+    assert_eq!(fs.allocated_inodes(), baseline_inodes, "no inode leaked");
+}
+
+#[test]
+fn concurrent_run_survives_unmount_and_remount() {
+    let (dev, fs) = new_fs();
+    for t in 0..THREADS {
+        fs.mkdir(&format!("/t{t}")).unwrap();
+    }
+    let expected: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || drive(fs.as_ref(), t, OPS / 2))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    fs.unmount().unwrap();
+    drop(fs);
+
+    let fs2 = ByteFs::mount(Arc::clone(&dev), ByteFsConfig::full()).unwrap();
+    verify(fs2.as_ref(), &expected);
+}
+
+/// The FS-level analogue of the device suite's replay test: the same
+/// per-thread op streams, run concurrently on one volume and sequentially on
+/// another, must leave observationally identical file systems (every thread's
+/// namespace is private, so the interleaving may change physical block
+/// placement but never logical content).
+#[test]
+fn concurrent_run_agrees_with_single_threaded_replay() {
+    let (_dev_a, shared) = new_fs();
+    for t in 0..THREADS {
+        shared.mkdir(&format!("/t{t}")).unwrap();
+    }
+    let concurrent: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let fs: Arc<dyn FileSystem> = Arc::clone(&shared) as _;
+                s.spawn(move || drive(fs.as_ref(), t, OPS / 2))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let (_dev_b, replay) = new_fs();
+    for t in 0..THREADS {
+        replay.mkdir(&format!("/t{t}")).unwrap();
+    }
+    let replayed: Vec<_> = (0..THREADS).map(|t| drive(replay.as_ref(), t, OPS / 2)).collect();
+
+    assert_eq!(concurrent, replayed, "per-thread op streams are deterministic");
+    shared.sync().unwrap();
+    replay.sync().unwrap();
+    verify(shared.as_ref(), &concurrent);
+    verify(replay.as_ref(), &replayed);
+    // Logical observables agree even though physical placement may differ.
+    assert_eq!(shared.allocated_inodes(), replay.allocated_inodes());
+}
+
+/// Crash consistency under concurrency: every thread fsyncs one file and
+/// renames another (both backed by committed firmware transactions), leaves a
+/// third dirty in the page cache, then the machine dies. After recovery the
+/// committed state must be intact and the uncommitted data absent.
+#[test]
+fn concurrent_crash_recovery_preserves_committed_operations() {
+    let (dev, fs) = new_fs();
+    for t in 0..THREADS {
+        fs.mkdir(&format!("/t{t}")).unwrap();
+    }
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let fs = Arc::clone(&fs);
+            s.spawn(move || {
+                let dir = format!("/t{t}");
+                // Durable: written and fsynced.
+                fs.write_file(&format!("{dir}/durable"), &vec![0xA0 + t as u8; 5_000]).unwrap();
+                // Durable metadata: created+fsynced, then renamed.
+                fs.write_file(&format!("{dir}/moved.tmp"), &vec![0xB0 + t as u8; 600]).unwrap();
+                fs.rename(&format!("{dir}/moved.tmp"), &format!("{dir}/moved")).unwrap();
+                // Volatile: created (committed) but its data never fsynced.
+                let fd = fs.open(&format!("{dir}/volatile"), OpenFlags::create_rw()).unwrap();
+                fs.write(fd, 0, &[0xFFu8; 2_000]).unwrap();
+                // No fsync, no close-side flush: the 2 000 bytes stay dirty in
+                // the host page cache and die with the host.
+            });
+        }
+    });
+    drop(fs);
+    dev.crash();
+
+    let fs2 = ByteFs::mount(Arc::clone(&dev), ByteFsConfig::full()).unwrap();
+    for t in 0..THREADS {
+        let dir = format!("/t{t}");
+        assert_eq!(
+            fs2.read_file(&format!("{dir}/durable")).unwrap(),
+            vec![0xA0 + t as u8; 5_000],
+            "thread {t}: fsynced file survives the crash"
+        );
+        assert_eq!(
+            fs2.read_file(&format!("{dir}/moved")).unwrap(),
+            vec![0xB0 + t as u8; 600],
+            "thread {t}: committed rename survives the crash"
+        );
+        assert!(!fs2.exists(&format!("{dir}/moved.tmp")), "thread {t}: old name is gone");
+        let meta = fs2.stat(&format!("{dir}/volatile")).unwrap();
+        assert_eq!(meta.size, 0, "thread {t}: unsynced page-cache data is lost");
+    }
+}
+
+/// Readers hammer files other threads are writing: per-inode RwLocks must
+/// serialize each file's writes against its reads without ever deadlocking,
+/// and a reader must only ever observe a prefix-consistent tagged payload.
+#[test]
+fn shared_file_readers_and_writers_stay_consistent() {
+    let (_dev, fs) = new_fs();
+    fs.mkdir("/shared").unwrap();
+    const FILES: usize = 4;
+    for f in 0..FILES {
+        fs.write_file(&format!("/shared/f{f}"), &vec![0u8; 4096]).unwrap();
+    }
+    std::thread::scope(|s| {
+        // Writers: each rewrites every file with its own tag, whole-page.
+        for t in 0..4u64 {
+            let fs = Arc::clone(&fs);
+            s.spawn(move || {
+                let mut rng = Ops::new(0xDEAD ^ (t << 16));
+                for _ in 0..150 {
+                    let f = rng.next() as usize % FILES;
+                    let tag = 1 + (rng.next() % 250) as u8;
+                    let fd = fs.open(&format!("/shared/f{f}"), OpenFlags::read_write()).unwrap();
+                    fs.write(fd, 0, &vec![tag; 4096]).unwrap();
+                    if rng.next().is_multiple_of(2) {
+                        fs.fsync(fd).unwrap();
+                    }
+                    fs.close(fd).unwrap();
+                }
+            });
+        }
+        // Readers: whole-file reads must always see one uniform tag — a torn
+        // read would prove a write was observed mid-flight.
+        for t in 0..4u64 {
+            let fs = Arc::clone(&fs);
+            s.spawn(move || {
+                let mut rng = Ops::new(0xBEEF ^ (t << 16));
+                for _ in 0..150 {
+                    let f = rng.next() as usize % FILES;
+                    let data = fs.read_file(&format!("/shared/f{f}")).unwrap();
+                    assert_eq!(data.len(), 4096);
+                    let first = data[0];
+                    assert!(
+                        data.iter().all(|b| *b == first),
+                        "torn read on /shared/f{f}: page mixes tags"
+                    );
+                }
+            });
+        }
+    });
+    fs.sync().unwrap();
+}

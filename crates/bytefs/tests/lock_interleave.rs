@@ -1,0 +1,197 @@
+//! Property test: the fine-grained lock hierarchy never deadlocks under
+//! randomized op interleavings.
+//!
+//! Proptest generates small per-thread operation schedules over one *shared*
+//! path universe — the worst case for the lock hierarchy, because every
+//! thread contends for the same namespace entries, the same inode locks and
+//! the same page-cache shards, and racing threads constantly hit the
+//! tombstone / re-resolve edges (`unlink` vs `write`, `rename` vs `open`).
+//! Each schedule runs on real threads under a watchdog: if the workers do
+//! not finish within the timeout, the test fails — a bounded-model stand-in
+//! for a lock-order proof, which the documented hierarchy
+//! (namespace → inode shard → inode → cache shard → allocator → device)
+//! backs analytically.
+//!
+//! Individual operations may fail (a racing thread may have unlinked the
+//! file first); errors are expected outcomes, panics and deadlocks are not.
+//! After every schedule the file system must still be fully functional:
+//! `sync`, a full tree walk and an unmount must succeed.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use bytefs::{ByteFs, ByteFsConfig};
+use fskit::{FileSystem, FileSystemExt, OpenFlags};
+use mssd::{DramMode, Mssd, MssdConfig};
+
+/// The shared path universe: two directories, six file slots each.
+const DIRS: usize = 2;
+const FILES: usize = 6;
+
+/// One operation of a schedule. `file`/`dir` are selectors into the shared
+/// universe, so different threads frequently target the same object.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { dir: u8, file: u8 },
+    Write { dir: u8, file: u8, len: u16 },
+    Append { dir: u8, file: u8 },
+    Read { dir: u8, file: u8 },
+    Fsync { dir: u8, file: u8 },
+    Truncate { dir: u8, file: u8, size: u16 },
+    Rename { dir: u8, file: u8, to_dir: u8, to_file: u8 },
+    Unlink { dir: u8, file: u8 },
+    Stat { dir: u8, file: u8 },
+    Readdir { dir: u8 },
+    Sync,
+}
+
+fn path(dir: u8, file: u8) -> String {
+    format!("/d{}/f{}", dir as usize % DIRS, file as usize % FILES)
+}
+
+fn dir_path(dir: u8) -> String {
+    format!("/d{}", dir as usize % DIRS)
+}
+
+/// Applies one op, swallowing errors: under races, NotFound/AlreadyExists/
+/// IsADirectory outcomes are all legitimate. Only hangs and panics are bugs.
+fn apply(fs: &dyn FileSystem, op: &Op) {
+    match op {
+        Op::Create { dir, file } => {
+            if let Ok(fd) = fs.create(&path(*dir, *file)) {
+                let _ = fs.write(fd, 0, &[0xAB; 300]);
+                let _ = fs.close(fd);
+            }
+        }
+        Op::Write { dir, file, len } => {
+            if let Ok(fd) = fs.open(&path(*dir, *file), OpenFlags::create_rw()) {
+                let _ = fs.write(fd, 0, &vec![0xCD; *len as usize % 6000 + 1]);
+                let _ = fs.close(fd);
+            }
+        }
+        Op::Append { dir, file } => {
+            if let Ok(fd) = fs.open(&path(*dir, *file), OpenFlags::read_write().with_append()) {
+                let _ = fs.write(fd, 0, &[0xEF; 128]);
+                let _ = fs.close(fd);
+            }
+        }
+        Op::Read { dir, file } => {
+            let _ = fs.read_file(&path(*dir, *file));
+        }
+        Op::Fsync { dir, file } => {
+            if let Ok(fd) = fs.open(&path(*dir, *file), OpenFlags::read_write()) {
+                let _ = fs.fsync(fd);
+                let _ = fs.close(fd);
+            }
+        }
+        Op::Truncate { dir, file, size } => {
+            if let Ok(fd) = fs.open(&path(*dir, *file), OpenFlags::read_write()) {
+                let _ = fs.truncate(fd, *size as u64 % 5000);
+                let _ = fs.close(fd);
+            }
+        }
+        Op::Rename { dir, file, to_dir, to_file } => {
+            let _ = fs.rename(&path(*dir, *file), &path(*to_dir, *to_file));
+        }
+        Op::Unlink { dir, file } => {
+            let _ = fs.unlink(&path(*dir, *file));
+        }
+        Op::Stat { dir, file } => {
+            let _ = fs.stat(&path(*dir, *file));
+        }
+        Op::Readdir { dir } => {
+            let _ = fs.readdir(&dir_path(*dir));
+        }
+        Op::Sync => {
+            let _ = fs.sync();
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Create { dir, file }),
+        (any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(dir, file, len)| Op::Write { dir, file, len }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Append { dir, file }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Read { dir, file }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Fsync { dir, file }),
+        (any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(dir, file, size)| Op::Truncate { dir, file, size }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(dir, file, to_dir, to_file)| Op::Rename { dir, file, to_dir, to_file }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Unlink { dir, file }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Stat { dir, file }),
+        any::<u8>().prop_map(|dir| Op::Readdir { dir }),
+        Just(Op::Sync),
+    ]
+}
+
+/// Runs the given per-thread schedules concurrently on a fresh ByteFS under a
+/// watchdog. Returns only when every worker finished; panics on timeout.
+fn run_schedules(schedules: Vec<Vec<Op>>, timeout: Duration) {
+    let (tx, rx) = mpsc::channel();
+    let supervisor = std::thread::spawn(move || {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        let fs: Arc<ByteFs> = ByteFs::format(dev, ByteFsConfig::full()).unwrap();
+        for d in 0..DIRS {
+            fs.mkdir(&format!("/d{d}")).unwrap();
+        }
+        std::thread::scope(|s| {
+            for schedule in &schedules {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    for op in schedule {
+                        apply(fs.as_ref(), op);
+                    }
+                });
+            }
+        });
+        // The lock hierarchy survived the interleaving; the volume must still
+        // be coherent and unmountable.
+        fs.sync().unwrap();
+        for d in 0..DIRS {
+            for entry in fs.readdir(&format!("/d{d}")).unwrap() {
+                let meta = fs.stat(&format!("/d{d}/{}", entry.name)).unwrap();
+                let data = fs.read_file(&format!("/d{d}/{}", entry.name)).unwrap();
+                assert_eq!(data.len() as u64, meta.size, "post-run walk is coherent");
+            }
+        }
+        fs.unmount().unwrap();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(()) => supervisor.join().expect("schedule run panicked"),
+        Err(_) => panic!(
+            "potential deadlock: randomized schedules did not finish within {timeout:?} \
+             (lock order namespace → shard → inode → cache → allocator violated?)"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Two threads, maximally conflicting schedules.
+    #[test]
+    fn two_thread_schedules_never_deadlock(
+        a in proptest::collection::vec(op_strategy(), 1..40),
+        b in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        run_schedules(vec![a, b], Duration::from_secs(60));
+    }
+
+    /// Four threads, shorter schedules — more simultaneous lock holders.
+    #[test]
+    fn four_thread_schedules_never_deadlock(
+        a in proptest::collection::vec(op_strategy(), 1..20),
+        b in proptest::collection::vec(op_strategy(), 1..20),
+        c in proptest::collection::vec(op_strategy(), 1..20),
+        d in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        run_schedules(vec![a, b, c, d], Duration::from_secs(60));
+    }
+}

@@ -16,7 +16,12 @@ use crate::types::{DirEntry, Fd, Metadata, OpenFlags};
 ///
 /// All methods take `&self`; implementations use interior mutability and are
 /// safe to share across threads (`Send + Sync`), mirroring how a kernel file
-/// system serves many processes at once.
+/// system serves many processes at once. Multi-threaded drivers rely on this
+/// being real concurrency safety, not just compile-time markers: any
+/// interleaving of calls from different threads must leave the volume
+/// coherent (each call atomic with respect to the others), though how much
+/// actually runs in *parallel* is the implementation's business — from one
+/// global lock (the baselines) to fully sharded locking (ByteFS).
 pub trait FileSystem: Send + Sync {
     /// A short, stable name such as `"bytefs"`, `"ext4"`, `"nova"` — used as
     /// the key in benchmark reports.

@@ -17,9 +17,11 @@
 //! original) copies the buffer exactly once (`Arc::make_mut`). Read-dominated
 //! paths through the file systems are therefore zero-copy end to end.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::Deref;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Key of a cached page: `(inode number, page index within the file)`.
 pub type PageKey = (u64, u64);
@@ -287,6 +289,12 @@ impl PageCache {
         self.take_keys(&keys)
     }
 
+    /// Inodes that currently own at least one dirty page (used by `sync` to
+    /// decide which inodes need writeback).
+    pub fn dirty_inodes(&self) -> BTreeSet<u64> {
+        self.pages.iter().filter(|(_, p)| p.dirty).map(|((ino, _), _)| *ino).collect()
+    }
+
     /// Like [`PageCache::take_dirty`] but for every inode (used by `sync`).
     pub fn take_all_dirty(&mut self) -> Vec<DirtyPage> {
         let mut keys: Vec<PageKey> =
@@ -341,6 +349,181 @@ impl PageCache {
                     self.pages.remove(&k);
                 }
                 None => break, // everything is dirty; allow temporary overshoot
+            }
+        }
+    }
+}
+
+/// A lock-striped page cache for concurrent file systems.
+///
+/// Pages are distributed over independently locked [`PageCache`] shards keyed
+/// by a `(inode, page index)` hash, so data-path operations on different
+/// files — and on different pages of one large file — proceed in parallel
+/// while all per-page semantics (CoW originals, dirty tracking) stay exactly
+/// those of the underlying `PageCache`. All methods take `&self`; a shard's
+/// mutex is held only for the duration of one call.
+///
+/// Hashing by page (not by inode) also means a single hot file can use the
+/// whole configured capacity rather than `1/shards` of it; the LRU becomes
+/// per-shard (approximate global LRU), and per-inode operations
+/// ([`ShardedPageCache::take_dirty`], the invalidations) scan every shard.
+///
+/// Because a check-then-act pair of calls spans two lock acquisitions (a
+/// concurrent insertion into the same shard may evict a clean page in
+/// between), compound updates must use the single-lock-hold primitives
+/// [`ShardedPageCache::write_full_page`] and
+/// [`ShardedPageCache::write_with_fallback`] instead of
+/// `contains`+`write`.
+#[derive(Debug)]
+pub struct ShardedPageCache {
+    shards: Vec<Mutex<PageCache>>,
+}
+
+impl ShardedPageCache {
+    /// Creates a cache with `shards` independent locks and a *total* capacity
+    /// of `capacity_pages`, split evenly across the shards.
+    pub fn new(shards: usize, capacity_pages: usize, page_size: usize, track_cow: bool) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity_pages / shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PageCache::new(per_shard, page_size, track_cow)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, inode: u64, index: u64) -> &Mutex<PageCache> {
+        let h = (inode ^ index.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Zero-copy handle to a resident page.
+    pub fn get(&self, inode: u64, index: u64) -> Option<PageRef> {
+        self.shard(inode, index).lock().get(inode, index)
+    }
+
+    /// Whether a page is resident. Only a hint under concurrency — see the
+    /// type-level docs; never pair it with a mutating call.
+    pub fn contains(&self, inode: u64, index: u64) -> bool {
+        self.shard(inode, index).lock().contains(inode, index)
+    }
+
+    /// See [`PageCache::write`].
+    pub fn write(&self, inode: u64, index: u64, offset: usize, bytes: &[u8]) -> bool {
+        self.shard(inode, index).lock().write(inode, index, offset, bytes)
+    }
+
+    /// Full-page dirty write in one lock hold: overwrites the resident page,
+    /// or installs the data as a brand-new dirty page when it is absent
+    /// (whether never loaded or just evicted by a concurrent insertion).
+    pub fn write_full_page(&self, inode: u64, index: u64, data: Vec<u8>) {
+        let mut shard = self.shard(inode, index).lock();
+        if !shard.write(inode, index, 0, &data) {
+            shard.insert_new_dirty(inode, index, data);
+        }
+    }
+
+    /// Partial write in one lock hold: applies `bytes` at `offset` to the
+    /// resident page, or installs `base` (the page's pre-write contents, read
+    /// by the caller) first when the page is absent. The caller must hold the
+    /// inode's write lock so `base` cannot be stale.
+    pub fn write_with_fallback(
+        &self,
+        inode: u64,
+        index: u64,
+        offset: usize,
+        bytes: &[u8],
+        base: PageRef,
+    ) {
+        let mut shard = self.shard(inode, index).lock();
+        if !shard.write(inode, index, offset, bytes) {
+            shard.insert_clean(inode, index, base);
+            let applied = shard.write(inode, index, offset, bytes);
+            debug_assert!(applied, "freshly installed page accepts the write");
+        }
+    }
+
+    /// See [`PageCache::insert_clean`].
+    pub fn insert_clean(&self, inode: u64, index: u64, data: impl Into<PageRef>) {
+        self.shard(inode, index).lock().insert_clean(inode, index, data);
+    }
+
+    /// See [`PageCache::insert_new_dirty`].
+    pub fn insert_new_dirty(&self, inode: u64, index: u64, data: impl Into<PageRef>) {
+        self.shard(inode, index).lock().insert_new_dirty(inode, index, data);
+    }
+
+    /// See [`PageCache::take_dirty`]; scans every shard and returns the pages
+    /// in ascending page order (deterministic writeback order).
+    pub fn take_dirty(&self, inode: u64) -> Vec<DirtyPage> {
+        let mut out: Vec<DirtyPage> =
+            self.shards.iter().flat_map(|s| s.lock().take_dirty(inode)).collect();
+        out.sort_unstable_by_key(|dp| dp.index);
+        out
+    }
+
+    /// Every inode that owns at least one dirty page, across all shards.
+    pub fn dirty_inodes(&self) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().dirty_inodes());
+        }
+        out
+    }
+
+    /// Total resident dirty pages across all shards.
+    pub fn dirty_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().dirty_count()).sum()
+    }
+
+    /// Total resident pages across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when nothing is cached in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes used by duplicate (CoW) pages.
+    pub fn cow_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().cow_bytes()).sum()
+    }
+
+    /// See [`PageCache::invalidate_inode`]; scans every shard.
+    pub fn invalidate_inode(&self, inode: u64) {
+        for shard in &self.shards {
+            shard.lock().invalidate_inode(inode);
+        }
+    }
+
+    /// See [`PageCache::invalidate_from`]; scans every shard.
+    pub fn invalidate_from(&self, inode: u64, from_index: u64) {
+        for shard in &self.shards {
+            shard.lock().invalidate_from(inode, from_index);
+        }
+    }
+
+    /// Drops every page in every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Drops every shard that holds no dirty pages (`drop_caches` semantics:
+    /// clean state may be discarded, dirty state must survive).
+    pub fn clear_clean(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            if guard.dirty_count() == 0 {
+                guard.clear();
             }
         }
     }
@@ -566,5 +749,106 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn dirty_chunks_rejects_mismatched_lengths() {
         dirty_chunks(&[0u8; 10], &[0u8; 12], 64);
+    }
+
+    #[test]
+    fn sharded_cache_behaves_like_one_cache() {
+        let c = ShardedPageCache::new(4, 64, PS, true);
+        assert_eq!(c.shard_count(), 4);
+        for ino in 0..8u64 {
+            c.insert_clean(ino, 0, vec![ino as u8; PS]);
+        }
+        assert_eq!(c.len(), 8);
+        assert!(c.contains(3, 0));
+        assert_eq!(&c.get(5, 0).unwrap()[..2], &[5, 5]);
+        assert!(c.write(5, 0, 0, &[9u8; 64]));
+        assert!(c.write(6, 0, 0, &[9u8; 64]));
+        assert_eq!(c.dirty_count(), 2);
+        assert_eq!(c.dirty_inodes().into_iter().collect::<Vec<_>>(), vec![5, 6]);
+        let dirty = c.take_dirty(5);
+        assert_eq!(dirty.len(), 1);
+        assert!(dirty[0].original.is_some(), "CoW tracking reaches the shards");
+        c.invalidate_inode(6);
+        assert!(!c.contains(6, 0));
+        c.clear_clean();
+        assert_eq!(c.len(), 0, "everything left was clean");
+    }
+
+    #[test]
+    fn sharded_cache_clear_clean_keeps_dirty_pages() {
+        let c = ShardedPageCache::new(4, 32, PS, false);
+        for idx in 0..8u64 {
+            c.insert_clean(1, idx, vec![idx as u8; PS]);
+        }
+        c.write(1, 3, 0, &[7]);
+        c.clear_clean();
+        assert!(c.contains(1, 3), "dirty page survives drop_caches");
+        assert_eq!(c.dirty_count(), 1);
+        assert!(c.len() < 8, "clean-only shards are dropped");
+        // A fully clean cache clears completely.
+        let c = ShardedPageCache::new(4, 32, PS, false);
+        c.insert_clean(1, 0, vec![0u8; PS]);
+        c.clear_clean();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_lock_write_primitives_handle_absent_pages() {
+        let c = ShardedPageCache::new(2, 8, PS, true);
+        // write_full_page installs an absent page dirty...
+        c.write_full_page(9, 0, vec![3u8; PS]);
+        assert_eq!(c.get(9, 0).unwrap()[0], 3);
+        assert_eq!(c.dirty_count(), 1);
+        // ...and overwrites a resident one in place.
+        c.write_full_page(9, 0, vec![4u8; PS]);
+        assert_eq!(c.get(9, 0).unwrap()[0], 4);
+        assert_eq!(c.dirty_count(), 1);
+        // write_with_fallback installs the caller's base when absent...
+        c.write_with_fallback(9, 1, 4, &[7u8; 4], PageRef::new(vec![1u8; PS]));
+        let page = c.get(9, 1).unwrap();
+        assert_eq!(&page[..4], &[1, 1, 1, 1], "base bytes preserved");
+        assert_eq!(&page[4..8], &[7, 7, 7, 7], "write applied on top");
+        // ...and writes straight through when resident.
+        c.write_with_fallback(9, 1, 0, &[9u8; 2], PageRef::zeroed(PS));
+        assert_eq!(&c.get(9, 1).unwrap()[..2], &[9, 9]);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_one_file_across_shards() {
+        // A single hot file must be able to use more than 1/shards of the
+        // capacity: its pages hash across shards instead of pinning one.
+        let c = ShardedPageCache::new(4, 64, PS, false);
+        for idx in 0..32u64 {
+            c.insert_clean(7, idx, vec![0u8; PS]);
+        }
+        assert_eq!(c.len(), 32, "well under total capacity: nothing evicted");
+    }
+
+    #[test]
+    fn sharded_cache_is_safe_under_concurrent_writers() {
+        let c = std::sync::Arc::new(ShardedPageCache::new(8, 256, PS, true));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        let ino = t * 100 + (i % 4);
+                        // Single-lock-hold install: a plain insert_clean +
+                        // write pair could lose the page to a concurrent
+                        // eviction in between. Once dirty, the page cannot
+                        // be evicted, so the read-back must hit.
+                        let mut page = vec![t as u8; PS];
+                        page[..64].fill(i as u8);
+                        c.write_full_page(ino, i, page);
+                        let got = c.get(ino, i).unwrap();
+                        assert_eq!(got[0], i as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.dirty_count() > 0);
     }
 }

@@ -140,6 +140,142 @@ pub fn run_on(
     })
 }
 
+/// Latency/byte statistics of one thread of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// Thread (shard) index.
+    pub thread: usize,
+    /// Operations this thread executed.
+    pub ops: u64,
+    /// Read-operation latency statistics.
+    pub read: LatencyStats,
+    /// Write-operation latency statistics.
+    pub write: LatencyStats,
+    /// Metadata-operation latency statistics.
+    pub meta: LatencyStats,
+    /// Bytes this thread asked to read.
+    pub app_read_bytes: u64,
+    /// Bytes this thread asked to write.
+    pub app_write_bytes: u64,
+}
+
+/// The outcome of one multi-threaded workload run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRunResult {
+    /// Merged metrics over all threads; `traffic` is the device delta over
+    /// the whole measured phase (snapshotted once, not per thread).
+    pub aggregate: RunResult,
+    /// Per-thread slices of the aggregate.
+    pub per_thread: Vec<ThreadResult>,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock (host) time of the measured phase in nanoseconds — the
+    /// number that shows whether the file system's locking scales. Virtual
+    /// time lives in `aggregate.elapsed_ns` as usual.
+    pub wall_ns: u64,
+}
+
+impl ConcurrentRunResult {
+    /// Wall-clock throughput in operations per second (the scaling metric of
+    /// the `fs_scale` bench; virtual-time throughput is
+    /// `aggregate.kops_per_sec`).
+    pub fn wall_ops_per_sec(&self) -> f64 {
+        self.aggregate.ops as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// The RNG seed thread `t` of a concurrent run derives from the run seed.
+/// Public so differential tests can replay one shard's exact op stream
+/// sequentially.
+pub fn shard_seed(seed: u64, t: usize) -> u64 {
+    seed ^ ((t as u64 + 1) << 32)
+}
+
+/// Runs `workload` over one shared file system from `threads` worker threads:
+/// the setup phase runs once (single-threaded), then each thread executes one
+/// shard of the measured op stream via [`Workload::run_shard`].
+///
+/// Device traffic is snapshotted exactly **once** around the measured phase
+/// and attached to the aggregate result; merging per-thread snapshots would
+/// count the shared device's traffic once per thread. Per-thread recorders
+/// only carry latencies and application byte counts, which partition cleanly.
+///
+/// # Errors
+///
+/// Propagates the first file-system error any thread hit.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_concurrent(
+    device: &Arc<Mssd>,
+    fs: &Arc<dyn FileSystem>,
+    workload: &(dyn Workload + Sync),
+    threads: usize,
+    seed: u64,
+) -> FsResult<ConcurrentRunResult> {
+    assert!(threads > 0, "need at least one worker thread");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    workload.setup(fs.as_ref(), &mut rng)?;
+    fs.drop_caches();
+
+    let clock = device.clock();
+    let before_traffic = device.traffic();
+    let start_ns = clock.now_ns();
+    let wall_start = std::time::Instant::now();
+    let outcomes: Vec<FsResult<Recorder>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let fs = Arc::clone(fs);
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(shard_seed(seed, t));
+                    let mut rec = Recorder::new();
+                    workload.run_shard(fs.as_ref(), t, threads, &mut rng, &mut rec)?;
+                    Ok(rec)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("workload thread panicked")).collect()
+    });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let elapsed_ns = clock.now_ns().saturating_sub(start_ns).max(1);
+    // One traffic snapshot for the whole run (see the doc comment).
+    let traffic = device.traffic().delta_since(&before_traffic);
+
+    let mut merged = Recorder::new();
+    let mut per_thread = Vec::with_capacity(threads);
+    for (t, outcome) in outcomes.into_iter().enumerate() {
+        let rec = outcome?;
+        per_thread.push(ThreadResult {
+            thread: t,
+            ops: rec.ops,
+            read: rec.read_stats(),
+            write: rec.write_stats(),
+            meta: rec.meta_stats(),
+            app_read_bytes: rec.app_read_bytes,
+            app_write_bytes: rec.app_write_bytes,
+        });
+        merged.merge(rec);
+    }
+
+    let ops = merged.ops;
+    let aggregate = RunResult {
+        fs: fs.name().to_string(),
+        workload: workload.name(),
+        ops,
+        elapsed_ns,
+        kops_per_sec: ops as f64 / (elapsed_ns as f64 / 1e9) / 1e3,
+        read: merged.read_stats(),
+        write: merged.write_stats(),
+        meta: merged.meta_stats(),
+        traffic,
+        app_read_bytes: merged.app_read_bytes,
+        app_write_bytes: merged.app_write_bytes,
+        page_size: device.page_size(),
+    };
+    Ok(ConcurrentRunResult { aggregate, per_thread, threads, wall_ns })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +305,96 @@ mod tests {
         let b = run_workload(FsKind::ByteFs, MssdConfig::small_test(), &w, 9).unwrap();
         assert_eq!(a.elapsed_ns, b.elapsed_ns, "simulation must be deterministic");
         assert_eq!(a.traffic.host_write_bytes(), b.traffic.host_write_bytes());
+    }
+
+    #[test]
+    fn concurrent_run_matches_sequential_work() {
+        let w = Micro::new(MicroOp::Create, Scale::tiny());
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let c = run_concurrent(&dev, &fs, &w, 4, 11).unwrap();
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.per_thread.len(), 4);
+        // Every object is created exactly once across the four shards, plus
+        // one final sync per shard.
+        let objects = w.objects as u64;
+        assert_eq!(c.aggregate.ops, objects + 4);
+        let shard_ops: u64 = c.per_thread.iter().map(|t| t.ops).sum();
+        assert_eq!(shard_ops, c.aggregate.ops, "per-thread slices partition the aggregate");
+        assert!(c.wall_ns > 0);
+        assert!(c.wall_ops_per_sec() > 0.0);
+        // The single-shard run is byte-for-byte the old sequential driver.
+        let seq = run_workload(FsKind::ByteFs, MssdConfig::small_test(), &w, 11).unwrap();
+        assert_eq!(seq.ops, objects + 1);
+    }
+
+    #[test]
+    fn concurrent_traffic_is_snapshotted_once_not_per_thread() {
+        // Regression test: merging per-thread recorders must not multiply the
+        // shared device's traffic. The aggregate's traffic delta has to equal
+        // the device-side growth over the measured phase exactly.
+        let w = Micro::new(MicroOp::Create, Scale::tiny());
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let before_all = dev.traffic();
+        let c = run_concurrent(&dev, &fs, &w, 4, 5).unwrap();
+        let total_growth = dev.traffic().delta_since(&before_all);
+        assert!(
+            c.aggregate.traffic.host_write_bytes() <= total_growth.host_write_bytes(),
+            "measured-phase traffic cannot exceed the whole run's traffic"
+        );
+        assert!(c.aggregate.traffic.host_write_bytes() > 0);
+        // The application wrote each object's payload exactly once; if the
+        // driver multiplied the traffic by the thread count, amplification
+        // would be ~4x the sequential run's.
+        let seq = run_workload(FsKind::ByteFs, MssdConfig::small_test(), &w, 5).unwrap();
+        let seq_wa = seq.write_amplification();
+        let conc_wa = c.aggregate.write_amplification();
+        assert!(
+            conc_wa < seq_wa * 2.0,
+            "concurrent WA {conc_wa:.2} vs sequential {seq_wa:.2}: traffic was double-counted"
+        );
+    }
+
+    #[test]
+    fn concurrent_filebench_partitions_cleanly() {
+        for p in [Personality::Varmail, Personality::Fileserver, Personality::Webserver] {
+            let w = Filebench::new(p, Scale::tiny());
+            let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+            let c = run_concurrent(&dev, &fs, &w, 3, 7).unwrap();
+            assert!(c.aggregate.ops > 0, "{p:?}");
+            assert!(
+                c.per_thread.iter().filter(|t| t.ops > 0).count() >= 2,
+                "{p:?}: work lands on several shards"
+            );
+        }
+    }
+
+    #[test]
+    fn default_run_shard_runs_everything_on_shard_zero() {
+        struct Probe;
+        impl crate::Workload for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn setup(&self, _fs: &dyn FileSystem, _rng: &mut SmallRng) -> FsResult<()> {
+                Ok(())
+            }
+            fn run(
+                &self,
+                fs: &dyn FileSystem,
+                _rng: &mut SmallRng,
+                rec: &mut Recorder,
+            ) -> FsResult<()> {
+                let clock = fs.clock();
+                let sw = rec.start(&clock);
+                rec.finish(&clock, sw, crate::OpClass::Meta, 0);
+                Ok(())
+            }
+        }
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let c = run_concurrent(&dev, &fs, &Probe, 4, 1).unwrap();
+        assert_eq!(c.aggregate.ops, 1, "unpartitioned workloads fall back to shard 0");
+        assert_eq!(c.per_thread[0].ops, 1);
+        assert!(c.per_thread[1..].iter().all(|t| t.ops == 0));
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl Filebench {
         format!("/set/dir{}/file{}", i % 16, i)
     }
 
+    /// Number of file indices `i < files` with `i % shards == shard` — the
+    /// file subset one shard owns.
+    fn shard_file_count(&self, shard: usize, shards: usize) -> usize {
+        if shard >= self.files {
+            0
+        } else {
+            (self.files - shard).div_ceil(shards)
+        }
+    }
+
+    /// Draws a file index from this shard's own subset. With one shard this
+    /// is exactly `gen_range(0..files)`, so the sequential run is unchanged.
+    fn shard_pick(&self, rng: &mut SmallRng, shard: usize, shards: usize) -> usize {
+        shard + rng.gen_range(0..self.shard_file_count(shard, shards)) * shards
+    }
+
     fn read_whole(&self, fs: &dyn FileSystem, path: &str) -> FsResult<usize> {
         match fs.read_file(path) {
             Ok(data) => Ok(data.len()),
@@ -111,10 +127,28 @@ impl Workload for Filebench {
     }
 
     fn run(&self, fs: &dyn FileSystem, rng: &mut SmallRng, rec: &mut Recorder) -> FsResult<()> {
+        self.run_shard(fs, 0, 1, rng, rec)
+    }
+
+    /// Shard `shard` runs iterations `shard, shard+shards, ...` over its own
+    /// file subset (`i % shards == shard`), so concurrent shards never race
+    /// on the same data files. The web-server log is deliberately shared:
+    /// concurrent appends through `O_APPEND` must still interleave safely.
+    fn run_shard(
+        &self,
+        fs: &dyn FileSystem,
+        shard: usize,
+        shards: usize,
+        rng: &mut SmallRng,
+        rec: &mut Recorder,
+    ) -> FsResult<()> {
+        if self.shard_file_count(shard, shards) == 0 {
+            return Ok(());
+        }
         let clock = fs.clock();
         let append = vec![0xCD; self.append_size];
-        for iter in 0..self.iterations {
-            let pick = |rng: &mut SmallRng| rng.gen_range(0..self.files);
+        for iter in (shard..self.iterations).step_by(shards.max(1)) {
+            let pick = |rng: &mut SmallRng| self.shard_pick(rng, shard, shards);
             match self.personality {
                 Personality::Varmail => {
                     // delete one mail file

@@ -35,7 +35,9 @@ pub mod oltp;
 pub mod spec;
 pub mod ycsb;
 
-pub use driver::{run_workload, RunResult};
+pub use driver::{
+    run_concurrent, run_workload, shard_seed, ConcurrentRunResult, RunResult, ThreadResult,
+};
 pub use fsfactory::FsKind;
 pub use metrics::{LatencyStats, OpClass, Recorder};
 pub use spec::Scale;
@@ -61,4 +63,36 @@ pub trait Workload {
     ///
     /// Propagates file-system errors.
     fn run(&self, fs: &dyn FileSystem, rng: &mut SmallRng, rec: &mut Recorder) -> FsResult<()>;
+
+    /// Runs shard `shard` of `shards` of the measured phase — the unit the
+    /// multi-threaded driver ([`driver::run_concurrent`]) hands to each
+    /// thread over one shared file system.
+    ///
+    /// Implementations partition their op stream (and the file subset each
+    /// shard touches, so shards never race on the same files) such that
+    /// running shards `0..shards` — in any order or concurrently — performs
+    /// the same logical work as [`Workload::run`]. `run_shard(fs, 0, 1, ..)`
+    /// must be exactly `run`.
+    ///
+    /// The default implementation does not partition: shard 0 runs the whole
+    /// workload, other shards idle. Workloads override it to scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    fn run_shard(
+        &self,
+        fs: &dyn FileSystem,
+        shard: usize,
+        shards: usize,
+        rng: &mut SmallRng,
+        rec: &mut Recorder,
+    ) -> FsResult<()> {
+        let _ = shards;
+        if shard == 0 {
+            self.run(fs, rng, rec)
+        } else {
+            Ok(())
+        }
+    }
 }

@@ -106,6 +106,20 @@ impl Recorder {
         self.ops += 1;
     }
 
+    /// Absorbs another recorder's samples and byte counts (merging the
+    /// per-thread recorders of a concurrent run into one aggregate). Device
+    /// traffic is *not* tracked here — the driver snapshots the shared
+    /// [`mssd::stats::TrafficCounter`] once around the whole measured phase,
+    /// so merging recorders can never double-count it.
+    pub fn merge(&mut self, other: Recorder) {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self.metas.extend(other.metas);
+        self.app_read_bytes += other.app_read_bytes;
+        self.app_write_bytes += other.app_write_bytes;
+        self.ops += other.ops;
+    }
+
     /// Latency statistics for read operations.
     pub fn read_stats(&self) -> LatencyStats {
         LatencyStats::from_samples(self.reads.clone())
@@ -145,6 +159,28 @@ mod tests {
         assert!(s.p99_ns <= s.max_ns);
         assert_eq!(s.max_ns, 1000);
         assert!(s.p95_ns >= 940 && s.p95_ns <= 960);
+    }
+
+    #[test]
+    fn merge_combines_samples_and_bytes() {
+        let clock = Clock::new();
+        let mut a = Recorder::new();
+        let sw = a.start(&clock);
+        clock.advance(10);
+        a.finish(&clock, sw, OpClass::Read, 100);
+        let mut b = Recorder::new();
+        let sw = b.start(&clock);
+        clock.advance(20);
+        b.finish(&clock, sw, OpClass::Write, 200);
+        let sw = b.start(&clock);
+        b.finish(&clock, sw, OpClass::Meta, 0);
+        a.merge(b);
+        assert_eq!(a.ops, 3);
+        assert_eq!(a.app_read_bytes, 100);
+        assert_eq!(a.app_write_bytes, 200);
+        assert_eq!(a.read_stats().count, 1);
+        assert_eq!(a.write_stats().count, 1);
+        assert_eq!(a.meta_stats().count, 1);
     }
 
     #[test]

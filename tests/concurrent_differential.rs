@@ -1,0 +1,128 @@
+//! Differential test: a multi-threaded ByteFS workload run, replayed
+//! single-threaded, must produce an identical post-`fsync` on-disk image.
+//!
+//! This is the FS-level counterpart of the device-level replay test in
+//! `mssd/tests/concurrency.rs` (and of PR 1's `sharded_log_equiv` proptest),
+//! one layer up the stack: [`workloads::run_concurrent`] partitions a
+//! workload's op stream into per-thread shards; here the *same* shard
+//! streams are replayed sequentially on a second volume, both volumes are
+//! unmounted and **remounted** — so only durable, on-device state is
+//! visible — and the two file trees must then be observationally identical:
+//! same paths, same types, same sizes, same byte-for-byte contents.
+//!
+//! Physical placement (which LBA a file landed on) and virtual timestamps
+//! legitimately depend on the interleaving; the on-disk *image* a reader can
+//! observe must not.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytefs::{ByteFs, ByteFsConfig};
+use fskit::{FileSystem, FileSystemExt, FileType};
+use mssd::{DramMode, Mssd, MssdConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use workloads::filebench::{Filebench, Personality};
+use workloads::micro::{Micro, MicroOp};
+use workloads::{run_concurrent, shard_seed, Recorder, Scale, Workload};
+
+const THREADS: usize = 4;
+
+/// One file-system object as an external observer sees it after a remount.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Observed {
+    Dir,
+    File { size: u64, content: Vec<u8> },
+}
+
+/// Walks the mounted tree into a path → observation map.
+fn snapshot(fs: &dyn FileSystem) -> BTreeMap<String, Observed> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir).unwrap() {
+            let path =
+                if dir == "/" { format!("/{}", entry.name) } else { format!("{dir}/{}", entry.name) };
+            match entry.file_type {
+                FileType::Directory => {
+                    out.insert(path.clone(), Observed::Dir);
+                    stack.push(path);
+                }
+                FileType::File => {
+                    let meta = fs.stat(&path).unwrap();
+                    let content = fs.read_file(&path).unwrap();
+                    assert_eq!(content.len() as u64, meta.size, "{path}: size agrees with data");
+                    out.insert(path, Observed::File { size: meta.size, content });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fresh_bytefs() -> (Arc<Mssd>, Arc<ByteFs>) {
+    let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+    let fs = ByteFs::format(Arc::clone(&dev), ByteFsConfig::full()).unwrap();
+    (dev, fs)
+}
+
+/// Runs `workload` concurrently on one volume and replays the identical
+/// shard streams sequentially on another; asserts the remounted images match.
+fn assert_differential(workload: &(dyn Workload + Sync), seed: u64) {
+    // Concurrent run.
+    let (dev_c, fs_c) = fresh_bytefs();
+    {
+        let fs: Arc<dyn FileSystem> = fs_c;
+        let result = run_concurrent(&dev_c, &fs, workload, THREADS, seed).unwrap();
+        assert!(result.aggregate.ops > 0);
+        fs.unmount().unwrap();
+    }
+
+    // Sequential replay: same setup, then each shard's stream in thread
+    // order, with exactly the per-shard seeds the concurrent driver used.
+    let (dev_s, fs_s) = fresh_bytefs();
+    {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        workload.setup(fs_s.as_ref(), &mut rng).unwrap();
+        fs_s.drop_caches();
+        for t in 0..THREADS {
+            let mut rng = SmallRng::seed_from_u64(shard_seed(seed, t));
+            let mut rec = Recorder::new();
+            workload.run_shard(fs_s.as_ref(), t, THREADS, &mut rng, &mut rec).unwrap();
+        }
+        fs_s.unmount().unwrap();
+    }
+
+    // Remount both: from here on, only the durable on-disk image is visible.
+    let fs_c = ByteFs::mount(dev_c, ByteFsConfig::full()).unwrap();
+    let fs_s = ByteFs::mount(dev_s, ByteFsConfig::full()).unwrap();
+    let concurrent = snapshot(fs_c.as_ref());
+    let sequential = snapshot(fs_s.as_ref());
+    assert_eq!(
+        concurrent.len(),
+        sequential.len(),
+        "{}: object counts diverge",
+        workload.name()
+    );
+    assert_eq!(concurrent, sequential, "{}: on-disk images diverge", workload.name());
+}
+
+#[test]
+fn micro_create_concurrent_equals_sequential_replay() {
+    assert_differential(&Micro::new(MicroOp::Create, Scale::tiny()), 42);
+}
+
+#[test]
+fn micro_delete_concurrent_equals_sequential_replay() {
+    assert_differential(&Micro::new(MicroOp::Delete, Scale::tiny()), 17);
+}
+
+#[test]
+fn varmail_concurrent_equals_sequential_replay() {
+    assert_differential(&Filebench::new(Personality::Varmail, Scale::tiny()), 7);
+}
+
+#[test]
+fn fileserver_concurrent_equals_sequential_replay() {
+    assert_differential(&Filebench::new(Personality::Fileserver, Scale::tiny()), 23);
+}
