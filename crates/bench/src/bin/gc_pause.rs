@@ -1,0 +1,195 @@
+//! Foreground write-latency impact of log cleaning (wall-clock).
+//!
+//! The double-buffered background cleaner exists so that log cleaning stays
+//! off the host's critical path: writers flip to a fresh active region and
+//! keep appending while sealed regions drain on the cleaner thread. This
+//! benchmark measures exactly that property: the wall-clock latency
+//! distribution (p50/p99/p99.9/max) of individual byte-interface writes on
+//! one device where cleaning is **continuously active** (log region much
+//! smaller than the working set) versus one where cleaning is **idle** (log
+//! region big enough that the run never crosses the threshold).
+//!
+//! The acceptance target for the cleaning path is that active-cleaning p99
+//! stays within 2x of the idle p99 — stop-the-world cleaning fails this by
+//! orders of magnitude because every threshold crossing stalls a writer for
+//! a full region drain.
+//!
+//! Usage: `gc_pause [scale] [output.json]` — scale multiplies the op count
+//! (default 1.0); results are printed as a table and written as JSON
+//! (default `BENCH_gc_pause.json`).
+
+use std::time::Instant;
+
+use bench::print_table;
+use mssd::{Category, DramMode, Mssd, MssdConfig};
+
+/// Measured byte writes at scale 1.0.
+const OPS: usize = 150_000;
+
+/// Byte window the writer cycles through (8 MB: four times the active log
+/// region in the cleaning-on configuration).
+const WINDOW_BYTES: u64 = 8 << 20;
+
+/// Tiny deterministic generator (xorshift64).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+struct Sample {
+    config: &'static str,
+    ops: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    log_cleanings: u64,
+    fg_stalls: u64,
+    bg_cleaned_pages: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `ops` byte writes against a fresh device and returns the per-op
+/// latency distribution. `log_bytes` decides whether cleaning is active
+/// (2 MB region under an 8 MB working window) or idle (64 MB region).
+fn run(config: &'static str, log_bytes: usize, ops: usize) -> Sample {
+    let cfg = MssdConfig::default()
+        .with_capacity(256 << 20)
+        .with_dram_region(log_bytes);
+    let dev = Mssd::new(cfg, DramMode::WriteLog);
+    let slots = WINDOW_BYTES / 64;
+    let mut rng = XorShift(0x6C0F_FEE5);
+    let payload = [0x5Au8; 256];
+    // Warm up maps and the allocator outside the measured loop.
+    for i in 0..(ops / 20).max(500) {
+        let addr = (rng.next() % slots) * 64;
+        dev.byte_write(addr, &payload[..64], None, Category::Data);
+        std::hint::black_box(i);
+    }
+    dev.reset_stats();
+    let mut lat = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let addr = (rng.next() % slots) * 64;
+        let len = 64 * (1 + (rng.next() % 4) as usize);
+        let t0 = Instant::now();
+        dev.byte_write(addr, &payload[..len], None, Category::Data);
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    // Quiesce before snapshotting so the cleaning counters include the pass
+    // still in flight when the measured loop ended.
+    dev.quiesce_cleaning();
+    let t = dev.traffic();
+    lat.sort_unstable();
+    Sample {
+        config,
+        ops,
+        p50_ns: percentile(&lat, 0.50),
+        p99_ns: percentile(&lat, 0.99),
+        p999_ns: percentile(&lat, 0.999),
+        max_ns: *lat.last().unwrap_or(&0),
+        log_cleanings: t.log_cleanings,
+        fg_stalls: t.log_fg_stalls,
+        bg_cleaned_pages: t.log_bg_cleaned_pages,
+    }
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn write_json(path: &str, scale: f64, samples: &[Sample], ratio: f64) -> std::io::Result<()> {
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "    {{\"config\": \"{}\", \"ops\": {}, \"p50_ns\": {}, \"p99_ns\": {}, ",
+                    "\"p999_ns\": {}, \"max_ns\": {}, \"log_cleanings\": {}, ",
+                    "\"fg_stalls\": {}, \"bg_cleaned_pages\": {}}}"
+                ),
+                s.config,
+                s.ops,
+                s.p50_ns,
+                s.p99_ns,
+                s.p999_ns,
+                s.max_ns,
+                s.log_cleanings,
+                s.fg_stalls,
+                s.bg_cleaned_pages,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"gc_pause\",\n  \"scale\": {scale},\n",
+            "  \"host_cpus\": {cpus},\n  \"results\": [\n{rows}\n  ],\n",
+            "  \"p99_ratio_on_vs_off\": {ratio:.3}\n}}\n"
+        ),
+        scale = scale,
+        cpus = host_cpus(),
+        rows = rows.join(",\n"),
+        ratio = ratio,
+    );
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_gc_pause.json".to_string());
+    let ops = ((OPS as f64 * scale) as usize).max(5_000);
+    eprintln!("gc_pause: {ops} byte writes per config, host parallelism {}", host_cpus());
+
+    // Warm the CPU out of idle states so the first config is not penalized.
+    let _ = run("warmup", 64 << 20, ops / 10);
+
+    let on = run("cleaning_on", 2 << 20, ops);
+    let off = run("cleaning_off", 64 << 20, ops);
+    let ratio = on.p99_ns as f64 / off.p99_ns.max(1) as f64;
+
+    let samples = [on, off];
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.config.to_string(),
+                format!("{}", s.ops),
+                format!("{}", s.p50_ns),
+                format!("{}", s.p99_ns),
+                format!("{}", s.p999_ns),
+                format!("{}", s.max_ns),
+                format!("{}", s.log_cleanings),
+                format!("{}", s.fg_stalls),
+            ]
+        })
+        .collect();
+    print_table(
+        "gc_pause — foreground byte-write latency vs log cleaning (wall-clock ns)",
+        &["config", "ops", "p50", "p99", "p99.9", "max", "cleanings", "fg stalls"],
+        &rows,
+    );
+    println!("p99 cleaning-on / cleaning-off: {ratio:.2}x (target <= 2x)");
+
+    if let Err(e) = write_json(&out_path, scale, &samples, ratio) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("results written to {out_path}");
+}

@@ -5,17 +5,21 @@
 //! host threads hammer one shared [`Mssd`]: the property the sharded write-log
 //! index, lock-free traffic counters and per-unit locking were built for.
 //!
-//! Two engines run the same ByteFS-style op mix (byte-granular metadata and
-//! data writes, periodic `COMMIT`s, byte reads of recently written ranges),
-//! each thread inside its own 16 MB partition — the paper's own first-layer
-//! key, so threads map to distinct write-log shards:
+//! Three engines run against one shared device, each thread inside its own
+//! 16 MB partition — the paper's own first-layer key, so threads map to
+//! distinct write-log shards:
 //!
-//! * `bytefs`    — the write-log firmware ([`DramMode::WriteLog`]): appends
-//!   take only the partition's shard lock, reads covered by the log never
-//!   touch the FTL. This path is expected to scale.
-//! * `pagecache` — the unmodified baseline firmware
-//!   ([`DramMode::PageCache`]): every access funnels through the single
-//!   device-cache/FTL lock. This path is the contrast and does not scale.
+//! * `bytefs`    — the write-log firmware ([`DramMode::WriteLog`]) driven
+//!   through the byte interface (byte-granular writes, periodic `COMMIT`s,
+//!   byte reads of recently written ranges): appends take only the
+//!   partition's shard lock, reads covered by the log never touch the FTL.
+//! * `pagecache` — the baseline firmware ([`DramMode::PageCache`]) on the
+//!   same byte mix: accesses go through the sharded device cache and the
+//!   channel-parallel FTL.
+//! * `blockio`   — the write-log firmware driven through the **block**
+//!   interface (4 KB reads/writes + periodic FLUSH): exercises the
+//!   channel-parallel flash path (lock-striped L2P + per-channel units);
+//!   with the old single flash mutex this could not scale at all.
 //!
 //! Usage: `mt_scale [scale] [output.json]` — scale multiplies the per-thread
 //! op count (default 1.0); results are printed as a table and written as JSON
@@ -75,6 +79,30 @@ impl XorShift {
     }
 }
 
+/// Block-interface mix inside partition `t`: populate, then 2:5 write:read
+/// with a periodic FLUSH. Exercises the channel-parallel flash path.
+fn drive_block_thread(dev: &Mssd, t: usize, ops: usize) {
+    let pages = 512u64; // 2 MB working set per thread
+    let base = t as u64 * (PARTITION_BYTES / 4096);
+    let mut rng = XorShift(0x0051_CADE ^ (t as u64) << 32 | 1);
+    let page_buf = vec![0xB5u8; 4096];
+    for p in 0..pages {
+        dev.block_write(base + p, &page_buf, Category::Data);
+    }
+    for i in 0..ops {
+        match i % 8 {
+            0 | 1 => {
+                dev.block_write(base + rng.below(pages), &page_buf, Category::Data);
+            }
+            2 if i % 512 == 2 => dev.flush(),
+            _ => {
+                let lba = base + rng.below(pages);
+                std::hint::black_box(dev.block_read(lba, 1, Category::Data));
+            }
+        }
+    }
+}
+
 /// Runs the ByteFS-style op mix: `ops` operations inside partition `t`.
 fn drive_thread(dev: &Mssd, t: usize, ops: usize, commits: bool) {
     let base = t as u64 * PARTITION_BYTES;
@@ -117,16 +145,45 @@ fn drive_thread(dev: &Mssd, t: usize, ops: usize, commits: bool) {
 /// which filters out scheduler and frequency-scaling noise on busy hosts.
 const REPEATS: usize = 3;
 
+/// Which op mix an engine drives against the shared device.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// Byte-interface mix on the write-log firmware.
+    ByteLog,
+    /// Byte-interface mix on the baseline page-cache firmware.
+    BytePageCache,
+    /// Block-interface mix on the write-log firmware.
+    BlockIo,
+}
+
+impl Engine {
+    fn mode(self) -> DramMode {
+        match self {
+            Engine::BytePageCache => DramMode::PageCache,
+            _ => DramMode::WriteLog,
+        }
+    }
+
+    fn drive(self, dev: &Mssd, t: usize, ops: usize) {
+        match self {
+            Engine::ByteLog => drive_thread(dev, t, ops, true),
+            Engine::BytePageCache => drive_thread(dev, t, ops, false),
+            Engine::BlockIo => drive_block_thread(dev, t, ops),
+        }
+    }
+}
+
 /// Times one measured run on a fresh device. Returns (wall seconds, virtual
 /// device-busy ms).
-fn timed_run(mode: DramMode, threads: usize, ops: usize) -> (f64, f64) {
-    let dev = Mssd::new(device_config(), mode);
-    let commits = mode == DramMode::WriteLog;
+fn timed_run(engine: Engine, threads: usize, ops: usize) -> (f64, f64) {
+    let dev = Mssd::new(device_config(), engine.mode());
     // Warm up allocator, device maps and branch predictors outside the timed
     // region (in a partition no measured thread uses), then reset so the
     // measured run starts from identical state for every thread count.
-    drive_thread(&dev, 60, (ops / 10).max(500), commits);
-    dev.force_clean();
+    engine.drive(&dev, 60, (ops / 10).max(500));
+    if engine.mode() == DramMode::WriteLog {
+        dev.force_clean();
+    }
     dev.reset_stats();
     let barrier = Arc::new(Barrier::new(threads + 1));
     let handles: Vec<_> = (0..threads)
@@ -135,7 +192,7 @@ fn timed_run(mode: DramMode, threads: usize, ops: usize) -> (f64, f64) {
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 barrier.wait();
-                drive_thread(&dev, t, ops, commits);
+                engine.drive(&dev, t, ops);
             })
         })
         .collect();
@@ -149,10 +206,10 @@ fn timed_run(mode: DramMode, threads: usize, ops: usize) -> (f64, f64) {
 }
 
 /// Measures one engine at one thread count (best of [`REPEATS`] runs).
-fn run_config(engine: &'static str, mode: DramMode, threads: usize, ops: usize) -> Sample {
-    let (mut best_wall, mut best_virtual) = timed_run(mode, threads, ops);
+fn run_config(engine_name: &'static str, engine: Engine, threads: usize, ops: usize) -> Sample {
+    let (mut best_wall, mut best_virtual) = timed_run(engine, threads, ops);
     for _ in 1..REPEATS {
-        let (wall, virt) = timed_run(mode, threads, ops);
+        let (wall, virt) = timed_run(engine, threads, ops);
         if wall < best_wall {
             best_wall = wall;
             best_virtual = virt;
@@ -160,7 +217,7 @@ fn run_config(engine: &'static str, mode: DramMode, threads: usize, ops: usize) 
     }
     let total_ops = ops * threads;
     Sample {
-        engine,
+        engine: engine_name,
         threads,
         total_ops,
         wall_ms: best_wall * 1e3,
@@ -224,16 +281,22 @@ fn main() {
 
     // Throwaway configuration: brings the CPU out of its idle frequency state
     // so the first measured configuration is not systematically penalized.
-    let _ = run_config("warmup", DramMode::WriteLog, 2, ops / 4);
+    let _ = run_config("warmup", Engine::ByteLog, 2, ops / 4);
 
     let mut samples = Vec::new();
-    for (engine, mode) in
-        [("bytefs", DramMode::WriteLog), ("pagecache", DramMode::PageCache)]
-    {
+    for (name, engine) in [
+        ("bytefs", Engine::ByteLog),
+        ("pagecache", Engine::BytePageCache),
+        ("blockio", Engine::BlockIo),
+    ] {
+        // Block ops move 4 KB each; fewer of them take comparable time. The
+        // floor keeps even smoke-scale runs long enough (tens of ms) that
+        // the CI scaling gate measures work, not timer noise.
+        let engine_ops = if engine == Engine::BlockIo { (ops / 4).max(10_000) } else { ops };
         for threads in THREADS {
-            let s = run_config(engine, mode, threads, ops);
+            let s = run_config(name, engine, threads, engine_ops);
             eprintln!(
-                "{engine:>9} x{threads}: {:>10.0} ops/s  ({:.0} ms wall)",
+                "{name:>9} x{threads}: {:>10.0} ops/s  ({:.0} ms wall)",
                 s.ops_per_sec, s.wall_ms
             );
             samples.push(s);

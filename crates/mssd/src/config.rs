@@ -117,6 +117,11 @@ pub struct MssdConfig {
     pub txlog_bytes: usize,
     /// FTL write buffer used to batch page programs, 16 MB by default.
     pub write_buffer_bytes: usize,
+    /// Whether the write-log firmware runs its cleaner on a background
+    /// thread with double-buffered log regions (the paper's design). When
+    /// `false`, threshold-triggered cleaning runs inline and stop-the-world —
+    /// the sequential reference behaviour the equivalence tests pin against.
+    pub background_cleaning: bool,
     /// Timing profile this configuration was derived from (informational).
     pub profile: TimingProfile,
 }
@@ -151,6 +156,7 @@ impl MssdConfig {
             log_clean_threshold: 0.85,
             txlog_bytes: 2 << 20,
             write_buffer_bytes: 16 << 20,
+            background_cleaning: true,
             profile,
         }
     }
@@ -175,6 +181,7 @@ impl MssdConfig {
             log_clean_threshold: 0.85,
             txlog_bytes: 64 << 10,
             write_buffer_bytes: 64 << 10,
+            background_cleaning: true,
             profile: TimingProfile::Default,
         }
     }
@@ -208,6 +215,12 @@ impl MssdConfig {
     pub fn with_byte_latency(mut self, read_ns: u64, write_ns: u64) -> Self {
         self.byte_read_ns = read_ns;
         self.byte_write_ns = write_ns;
+        self
+    }
+
+    /// Enables or disables the background log-cleaner thread.
+    pub fn with_background_cleaning(mut self, enabled: bool) -> Self {
+        self.background_cleaning = enabled;
         self
     }
 

@@ -54,7 +54,7 @@ impl std::error::Error for FlashError {}
 
 /// Per-block bookkeeping.
 #[derive(Debug, Clone)]
-struct BlockState {
+pub(crate) struct BlockState {
     /// Next page offset (within the block) that may be programmed.
     write_ptr: usize,
     /// Number of times the block has been erased (wear).
@@ -218,6 +218,179 @@ impl FlashArray {
     }
 }
 
+/// The slice of the NAND array owned by **one** flash channel.
+///
+/// Blocks are striped round-robin over channels (`block % channels` is the
+/// owning channel), so a `ChannelFlash` holds every block of one residue
+/// class. It enforces the same NAND invariants as [`FlashArray`] — sequential
+/// programs within a block, no re-program before erase — but is sized to sit
+/// behind a *per-channel* lock: programs/reads/erases on different channels
+/// never touch shared state, which is what lets [`crate::ftl::ShardedFtl`]
+/// execute them concurrently in real time instead of only modelling the
+/// parallelism in the latency formula.
+#[derive(Debug)]
+pub struct ChannelFlash {
+    page_size: usize,
+    pages_per_block: usize,
+    channels: usize,
+    channel: usize,
+    total_pages: u64,
+    /// Programmed page contents of this channel's blocks. Sparse:
+    /// unprogrammed pages read as all-zero.
+    pages: HashMap<Ppa, Box<[u8]>>,
+    /// Block state indexed by *local* block index (`block / channels`).
+    blocks: Vec<BlockState>,
+}
+
+impl ChannelFlash {
+    /// Builds the channel-`channel` slice of the geometry described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= cfg.channels`.
+    pub fn new(cfg: &MssdConfig, channel: usize) -> Self {
+        assert!(channel < cfg.channels, "channel {channel} out of range");
+        // physical_blocks() is rounded to a multiple of the channel count, so
+        // every channel owns exactly total_blocks / channels blocks.
+        let local_blocks = (cfg.physical_blocks() / cfg.channels as u64) as usize;
+        Self {
+            page_size: cfg.page_size,
+            pages_per_block: cfg.pages_per_block,
+            channels: cfg.channels,
+            channel,
+            total_pages: cfg.physical_pages(),
+            pages: HashMap::new(),
+            blocks: vec![BlockState::new(); local_blocks],
+        }
+    }
+
+    /// The channel index this slice belongs to.
+    pub fn channel(&self) -> usize {
+        self.channel
+    }
+
+    /// Number of erase blocks owned by this channel.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Global block ids owned by this channel, in ascending order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let channels = self.channels as u64;
+        let channel = self.channel as u64;
+        (0..self.blocks.len() as u64).map(move |local| local * channels + channel)
+    }
+
+    /// Number of pages per erase block.
+    pub fn pages_per_block(&self) -> usize {
+        self.pages_per_block
+    }
+
+    /// First physical page of a block.
+    pub fn first_page_of(&self, block: BlockId) -> Ppa {
+        block * self.pages_per_block as u64
+    }
+
+    fn local_index(&self, block: BlockId) -> usize {
+        debug_assert_eq!(
+            (block % self.channels as u64) as usize,
+            self.channel,
+            "block {block} does not belong to channel {}",
+            self.channel
+        );
+        (block / self.channels as u64) as usize
+    }
+
+    fn owns(&self, ppa: Ppa) -> bool {
+        ppa < self.total_pages
+            && (ppa / self.pages_per_block as u64 % self.channels as u64) as usize == self.channel
+    }
+
+    /// Reads a page of this channel. Unprogrammed pages read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] if the page is beyond the geometry
+    /// or belongs to another channel.
+    pub fn read_page(&self, ppa: Ppa) -> Result<Vec<u8>, FlashError> {
+        if !self.owns(ppa) {
+            return Err(FlashError::OutOfRange(ppa));
+        }
+        Ok(self
+            .pages
+            .get(&ppa)
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; self.page_size]))
+    }
+
+    /// Programs a page of this channel (same rules as
+    /// [`FlashArray::program_page`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is out of range / foreign, already programmed, or
+    /// programmed out of order within its block.
+    pub fn program_page(&mut self, ppa: Ppa, data: &[u8]) -> Result<(), FlashError> {
+        if !self.owns(ppa) {
+            return Err(FlashError::OutOfRange(ppa));
+        }
+        let block = ppa / self.pages_per_block as u64;
+        let local = self.local_index(block);
+        let offset = (ppa % self.pages_per_block as u64) as usize;
+        let write_ptr = self.blocks[local].write_ptr;
+        if offset < write_ptr {
+            return Err(FlashError::AlreadyProgrammed(ppa));
+        }
+        if offset > write_ptr {
+            let expected = self.first_page_of(block) + write_ptr as u64;
+            return Err(FlashError::OutOfOrderProgram { ppa, expected });
+        }
+        let mut page = vec![0u8; self.page_size];
+        let n = data.len().min(self.page_size);
+        page[..n].copy_from_slice(&data[..n]);
+        self.pages.insert(ppa, page.into_boxed_slice());
+        self.blocks[local].write_ptr += 1;
+        Ok(())
+    }
+
+    /// Erases a block of this channel, discarding its pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::OutOfRange`] for a foreign or out-of-range block.
+    pub fn erase_block(&mut self, block: BlockId) -> Result<(), FlashError> {
+        if block * self.pages_per_block as u64 >= self.total_pages
+            || (block % self.channels as u64) as usize != self.channel
+        {
+            return Err(FlashError::OutOfRange(block * self.pages_per_block as u64));
+        }
+        let first = self.first_page_of(block);
+        for off in 0..self.pages_per_block as u64 {
+            self.pages.remove(&(first + off));
+        }
+        let local = self.local_index(block);
+        let state = &mut self.blocks[local];
+        state.write_ptr = 0;
+        state.erase_count += 1;
+        Ok(())
+    }
+
+    /// Number of pages programmed in a block since its last erase.
+    pub fn block_fill(&self, block: BlockId) -> usize {
+        self.blocks[self.local_index(block)].write_ptr
+    }
+
+    /// Erase count (wear) of a block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.blocks[self.local_index(block)].erase_count
+    }
+
+    /// Maximum erase count across this channel's blocks.
+    pub fn max_wear(&self) -> u64 {
+        self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +486,48 @@ mod tests {
         assert_eq!(a.channel_of(0), 0);
         assert_eq!(a.channel_of(ppb), 1 % cfg.channels);
         assert_eq!(a.channel_of(ppb * cfg.channels as u64), 0);
+    }
+
+    #[test]
+    fn channel_flash_partitions_the_array() {
+        let cfg = MssdConfig::small_test();
+        let slices: Vec<ChannelFlash> =
+            (0..cfg.channels).map(|c| ChannelFlash::new(&cfg, c)).collect();
+        let total: usize = slices.iter().map(|s| s.block_count()).sum();
+        assert_eq!(total as u64, cfg.physical_blocks());
+        // Every global block is owned by exactly one channel slice.
+        for (c, s) in slices.iter().enumerate() {
+            for b in s.block_ids() {
+                assert_eq!((b % cfg.channels as u64) as usize, c);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_flash_enforces_nand_rules() {
+        let cfg = MssdConfig::small_test();
+        let mut s = ChannelFlash::new(&cfg, 1);
+        let block = s.block_ids().next().unwrap();
+        let first = s.first_page_of(block);
+        assert_eq!(s.read_page(first).unwrap(), vec![0u8; cfg.page_size]);
+        s.program_page(first, b"hi").unwrap();
+        assert_eq!(&s.read_page(first).unwrap()[..2], b"hi");
+        // Re-program and out-of-order program fail.
+        assert!(matches!(s.program_page(first, b"x"), Err(FlashError::AlreadyProgrammed(_))));
+        assert!(matches!(
+            s.program_page(first + 2, b"x"),
+            Err(FlashError::OutOfOrderProgram { .. })
+        ));
+        // Foreign pages and blocks are rejected.
+        let foreign = ChannelFlash::new(&cfg, 0).block_ids().next().unwrap();
+        assert!(matches!(s.program_page(foreign * 16, b"x"), Err(FlashError::OutOfRange(_))));
+        assert!(matches!(s.erase_block(foreign), Err(FlashError::OutOfRange(_))));
+        // Erase resets.
+        s.erase_block(block).unwrap();
+        assert_eq!(s.block_fill(block), 0);
+        assert_eq!(s.erase_count(block), 1);
+        assert_eq!(s.max_wear(), 1);
+        s.program_page(first, b"z").unwrap();
     }
 
     #[test]

@@ -16,11 +16,25 @@
 //! All latencies are computed from the [`MssdConfig`] and returned to the
 //! caller in nanoseconds; all flash page movements are recorded lock-free in
 //! the device's [`AtomicTraffic`] counters.
+//!
+//! Two implementations live here:
+//!
+//! * [`Ftl`] — the original single-threaded FTL over one [`FlashArray`]. Kept
+//!   as the sequential reference model; the `channel_parallel_equiv` property
+//!   tests pin the concurrent implementation to it.
+//! * [`ShardedFtl`] — the concurrent FTL used by the device: a lock-striped
+//!   L2P mapping table plus one independently locked [`ChannelFlash`] unit per
+//!   flash channel (active block, free list, page store and write-buffer
+//!   slice), so programs and reads on distinct channels proceed concurrently
+//!   in real time, not just in the virtual-latency formula.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
-use crate::flash::{BlockId, FlashArray, Ppa};
+use crate::flash::{BlockId, ChannelFlash, FlashArray, Ppa};
 use crate::stats::AtomicTraffic;
 
 /// Logical page address (host-visible page number).
@@ -300,6 +314,528 @@ impl Ftl {
     }
 }
 
+/// Number of independently locked stripes of the [`ShardedFtl`] L2P mapping
+/// table. Sequential LPAs land on different stripes, so block-interface
+/// streams and GC validation rarely contend on the same stripe lock.
+pub const L2P_STRIPES: usize = 64;
+
+/// Where the newest version of a logical page currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Programmed on flash at this physical page address.
+    Flash(Ppa),
+    /// Sitting in this channel's write-buffer slice, not yet programmed.
+    Buffered(usize),
+}
+
+/// The state owned by one flash channel, guarded by one mutex: the channel's
+/// slice of the NAND array, its allocator (active block + free list), its
+/// reverse mapping for GC, and its slice of the FTL write buffer.
+#[derive(Debug)]
+struct Channel {
+    flash: ChannelFlash,
+    free: VecDeque<BlockId>,
+    /// Currently-filling block and its next page offset.
+    active: Option<(BlockId, usize)>,
+    /// Reverse map for this channel's pages, maintained lazily: entries are
+    /// inserted at program time and validated against the L2P table during
+    /// GC, so no cross-channel lock is ever needed to invalidate them.
+    p2l: HashMap<Ppa, Lpa>,
+    /// This channel's slice of the write buffer. Invariant: `lpa` appears in
+    /// this buffer **iff** the L2P table maps it to `Loc::Buffered(channel)`;
+    /// every transition in or out happens under this channel's lock plus the
+    /// page's stripe lock.
+    buffer: Vec<(Lpa, Vec<u8>)>,
+    buffer_capacity: usize,
+}
+
+/// Result of draining one channel's write-buffer slice.
+#[derive(Debug, Default)]
+struct DrainResult {
+    /// Latency spent on garbage collection during the drain.
+    gc_cost: u64,
+    /// Pages programmed (all on this one channel, so they serialize).
+    programmed: usize,
+    /// Pages that could not be placed because the channel ran out of erased
+    /// blocks even after GC; they remain buffered and the caller migrates
+    /// them to another channel.
+    stranded: Vec<Lpa>,
+}
+
+/// The concurrent FTL used by the device: a lock-striped L2P mapping table
+/// over per-channel flash units.
+///
+/// * The **mapping table** is striped into [`L2P_STRIPES`] independently
+///   locked stripes keyed by LPA.
+/// * Each **channel** owns its own [`ChannelFlash`] slice, free list, active
+///   block, reverse map and write-buffer slice behind its own mutex, so
+///   programs, reads and GC on distinct channels proceed concurrently.
+/// * Per-block **valid-page counts** are plain atomics (they are only a GC
+///   victim-selection heuristic; GC re-validates every page against the L2P
+///   table before relocating it).
+///
+/// Lock order: **channel → stripe**. Mapping lookups that need no channel
+/// state take a stripe lock alone and release it before touching a channel;
+/// paths that need both always lock the channel first and then re-validate
+/// the mapping under the stripe lock (the mapping may have moved in between).
+/// The only place two channel locks are ever held at once is
+/// [`ShardedFtl::migrate_buffered`], which acquires them in ascending index
+/// order.
+///
+/// Observationally equivalent to [`Ftl`] under single-threaded use — the
+/// property tests in `tests/channel_parallel_equiv.rs` pin this — though the
+/// physical placement (and therefore GC traffic) differs.
+#[derive(Debug)]
+pub struct ShardedFtl {
+    cfg: MssdConfig,
+    stripes: Vec<Mutex<HashMap<Lpa, Loc>>>,
+    channels: Vec<Mutex<Channel>>,
+    /// Valid (live-mapped) pages per global block id.
+    valid: Vec<AtomicUsize>,
+    /// Round-robin cursor for picking the channel of a fresh page write.
+    rr: AtomicUsize,
+    /// Total pages currently in write-buffer slices (all channels).
+    buffered: AtomicUsize,
+}
+
+impl ShardedFtl {
+    /// Creates a channel-parallel FTL over fresh per-channel flash units.
+    pub fn new(cfg: MssdConfig) -> Self {
+        let channels: Vec<Mutex<Channel>> = (0..cfg.channels)
+            .map(|c| {
+                let flash = ChannelFlash::new(&cfg, c);
+                let free: VecDeque<BlockId> = flash.block_ids().collect();
+                Mutex::new(Channel {
+                    flash,
+                    free,
+                    active: None,
+                    p2l: HashMap::new(),
+                    buffer: Vec::new(),
+                    buffer_capacity: (cfg.write_buffer_bytes / cfg.page_size / cfg.channels)
+                        .max(1),
+                })
+            })
+            .collect();
+        let total_blocks = cfg.physical_blocks() as usize;
+        Self {
+            stripes: (0..L2P_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            channels,
+            valid: (0..total_blocks).map(|_| AtomicUsize::new(0)).collect(),
+            rr: AtomicUsize::new(0),
+            buffered: AtomicUsize::new(0),
+            cfg,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.cfg.page_size
+    }
+
+    /// Number of logical pages exposed to the host.
+    pub fn logical_pages(&self) -> u64 {
+        self.cfg.logical_pages()
+    }
+
+    /// Number of logical pages currently mapped to flash.
+    pub fn mapped_pages(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().values().filter(|l| matches!(l, Loc::Flash(_))).count())
+            .sum()
+    }
+
+    /// Number of page writes currently sitting in write-buffer slices.
+    pub fn buffered_pages(&self) -> usize {
+        self.buffered.load(Ordering::Relaxed)
+    }
+
+    /// Whether a logical page has ever been written (mapped or buffered).
+    pub fn is_mapped(&self, lpa: Lpa) -> bool {
+        self.peek(lpa).is_some()
+    }
+
+    /// Fraction of physical pages holding live data.
+    pub fn utilization(&self) -> f64 {
+        self.mapped_pages() as f64 / self.cfg.physical_pages() as f64
+    }
+
+    /// Maximum block erase count (wear indicator) across all channels.
+    pub fn max_wear(&self) -> u64 {
+        self.channels.iter().map(|c| c.lock().flash.max_wear()).max().unwrap_or(0)
+    }
+
+    fn stripe_of(lpa: Lpa) -> usize {
+        (lpa % L2P_STRIPES as u64) as usize
+    }
+
+    fn peek(&self, lpa: Lpa) -> Option<Loc> {
+        self.stripes[Self::stripe_of(lpa)].lock().get(&lpa).copied()
+    }
+
+    fn block_of(&self, ppa: Ppa) -> BlockId {
+        ppa / self.cfg.pages_per_block as u64
+    }
+
+    fn channel_of(&self, ppa: Ppa) -> usize {
+        (self.block_of(ppa) % self.cfg.channels as u64) as usize
+    }
+
+    /// Reads a logical page: the channel's buffered copy if one exists, the
+    /// flash copy otherwise. Returns the page contents (zeros if never
+    /// written) and the latency in nanoseconds.
+    ///
+    /// Only the one stripe lock and the one channel lock covering the page
+    /// are taken; reads of pages on other channels proceed concurrently.
+    pub fn read_page(&self, lpa: Lpa, stats: &AtomicTraffic, internal: bool) -> (Vec<u8>, u64) {
+        loop {
+            let Some(loc) = self.peek(lpa) else {
+                return (vec![0u8; self.cfg.page_size], 0);
+            };
+            let ch_idx = match loc {
+                Loc::Buffered(c) => c,
+                Loc::Flash(ppa) => self.channel_of(ppa),
+            };
+            let ch = self.channels[ch_idx].lock();
+            // Re-validate under channel → stripe: the mapping may have moved
+            // (flush, GC, migration) between the unlocked peek and the lock.
+            let still = self.stripes[Self::stripe_of(lpa)].lock().get(&lpa).copied();
+            if still != Some(loc) {
+                continue;
+            }
+            match loc {
+                Loc::Buffered(_) => {
+                    let data = ch
+                        .buffer
+                        .iter()
+                        .rev()
+                        .find(|(l, _)| *l == lpa)
+                        .expect("buffered mapping implies a buffer entry")
+                        .1
+                        .clone();
+                    return (data, 0);
+                }
+                Loc::Flash(ppa) => {
+                    stats.inc_flash_read(internal);
+                    let data = ch.flash.read_page(ppa).expect("mapped ppa readable");
+                    return (data, self.cfg.flash_read_ns);
+                }
+            }
+        }
+    }
+
+    /// Queues a full-page write into the owning channel's write-buffer slice
+    /// (the channel round-robins for fresh pages, sticks for re-writes of a
+    /// still-buffered page). Returns the latency charged now — only a slice
+    /// drain if the slice was full. The page becomes durable after
+    /// [`ShardedFtl::flush_all`].
+    pub fn buffer_write(&self, lpa: Lpa, data: Vec<u8>, stats: &AtomicTraffic) -> u64 {
+        debug_assert!(lpa < self.logical_pages(), "lpa {lpa} out of range");
+        let mut cost = 0;
+        let mut target = match self.peek(lpa) {
+            Some(Loc::Buffered(c)) => c,
+            _ => self.rr.fetch_add(1, Ordering::Relaxed) % self.channels.len(),
+        };
+        let mut data = Some(data);
+        let mut stranded_rounds = 0usize;
+        loop {
+            let mut ch = self.channels[target].lock();
+            if ch.buffer.len() >= ch.buffer_capacity {
+                let r = self.drain_buffer_locked(&mut ch, stats);
+                cost += r.gc_cost + r.programmed as u64 * self.cfg.flash_write_ns;
+                if !r.stranded.is_empty() {
+                    drop(ch);
+                    for l in r.stranded {
+                        self.migrate_buffered(l, target);
+                    }
+                    stranded_rounds += 1;
+                    assert!(
+                        stranded_rounds <= 4 * self.channels.len(),
+                        "no channel can place buffered pages: device out of erased space"
+                    );
+                    continue;
+                }
+            }
+            let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+            match stripe.get(&lpa).copied() {
+                // Coalesce a pending write to the same page.
+                Some(Loc::Buffered(c)) if c == target => {
+                    let slot = ch
+                        .buffer
+                        .iter_mut()
+                        .rev()
+                        .find(|(l, _)| *l == lpa)
+                        .expect("buffered mapping implies a buffer entry");
+                    slot.1 = data.take().expect("data consumed once");
+                    return cost;
+                }
+                // The page got (re)buffered on another channel meanwhile —
+                // coalesce there instead.
+                Some(Loc::Buffered(c)) => {
+                    drop(stripe);
+                    drop(ch);
+                    target = c;
+                    continue;
+                }
+                prev => {
+                    ch.buffer.push((lpa, data.take().expect("data consumed once")));
+                    stripe.insert(lpa, Loc::Buffered(target));
+                    self.buffered.fetch_add(1, Ordering::Relaxed);
+                    if let Some(Loc::Flash(old)) = prev {
+                        // The flash copy is stale now; its p2l entry is
+                        // invalidated lazily by GC validation.
+                        self.valid[self.block_of(old) as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                    return cost;
+                }
+            }
+        }
+    }
+
+    /// Programs every buffered page to flash, running per-channel GC as
+    /// needed. Returns the latency in nanoseconds: channels drain in
+    /// parallel, so the program cost is the largest per-channel batch, plus
+    /// all GC work.
+    pub fn flush_all(&self, stats: &AtomicTraffic) -> u64 {
+        let mut gc_cost = 0;
+        let mut max_pages = 0usize;
+        // Two passes: a page stranded on a full channel is migrated to the
+        // next channel's slice and picked up there; a page that lands on an
+        // already-drained channel simply stays buffered (it is battery-backed
+        // device DRAM, and the next flush or slice drain programs it).
+        for _pass in 0..2 {
+            let mut any_stranded = false;
+            for c in 0..self.channels.len() {
+                let mut ch = self.channels[c].lock();
+                let r = self.drain_buffer_locked(&mut ch, stats);
+                drop(ch);
+                gc_cost += r.gc_cost;
+                max_pages = max_pages.max(r.programmed);
+                any_stranded |= !r.stranded.is_empty();
+                for l in r.stranded {
+                    self.migrate_buffered(l, c);
+                }
+            }
+            if !any_stranded {
+                break;
+            }
+        }
+        gc_cost + max_pages as u64 * self.cfg.flash_write_ns
+    }
+
+    /// Marks a logical page as no longer containing live data. Drops the
+    /// buffered copy (if any) or invalidates the flash mapping.
+    pub fn trim(&self, lpa: Lpa) {
+        loop {
+            let Some(loc) = self.peek(lpa) else { return };
+            let ch_idx = match loc {
+                Loc::Buffered(c) => c,
+                Loc::Flash(ppa) => self.channel_of(ppa),
+            };
+            let mut ch = self.channels[ch_idx].lock();
+            let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+            if stripe.get(&lpa).copied() != Some(loc) {
+                continue;
+            }
+            match loc {
+                Loc::Buffered(_) => {
+                    let pos = ch
+                        .buffer
+                        .iter()
+                        .position(|(l, _)| *l == lpa)
+                        .expect("buffered mapping implies a buffer entry");
+                    ch.buffer.remove(pos);
+                    self.buffered.fetch_sub(1, Ordering::Relaxed);
+                }
+                Loc::Flash(ppa) => {
+                    ch.p2l.remove(&ppa);
+                    self.valid[self.block_of(ppa) as usize].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            stripe.remove(&lpa);
+            return;
+        }
+    }
+
+    /// Allocates the next page of the channel's active block, refilling the
+    /// active block from the free list. `None` when the channel is out of
+    /// erased space (the caller runs GC or strands the page).
+    fn allocate_ppa_locked(ch: &mut Channel) -> Option<Ppa> {
+        if ch.active.is_none() {
+            ch.active = ch.free.pop_front().map(|b| (b, 0));
+        }
+        let (block, off) = ch.active?;
+        let ppa = ch.flash.first_page_of(block) + off as u64;
+        if off + 1 >= ch.flash.pages_per_block() {
+            ch.active = None;
+        } else {
+            ch.active = Some((block, off + 1));
+        }
+        Some(ppa)
+    }
+
+    /// Keeps a small reserve of erased blocks in the channel. Returns the GC
+    /// latency spent.
+    fn ensure_free_space_locked(&self, ch: &mut Channel, stats: &AtomicTraffic) -> u64 {
+        const LOW_WATER: usize = 2;
+        let mut cost = 0;
+        let mut guard = 0;
+        while ch.free.len() < LOW_WATER {
+            let c = self.collect_garbage_locked(ch, stats);
+            if c == 0 {
+                break;
+            }
+            cost += c;
+            guard += 1;
+            if guard > ch.flash.block_count() {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// Greedy per-channel GC: relocates the still-live pages out of the
+    /// fully-written block with the fewest valid pages, then erases it.
+    /// Every candidate page is re-validated against the L2P table under its
+    /// stripe lock before relocation — stale `p2l` entries (the page was
+    /// overwritten from another channel) are simply discarded.
+    ///
+    /// Returns the latency spent, or 0 if no victim could make progress.
+    fn collect_garbage_locked(&self, ch: &mut Channel, stats: &AtomicTraffic) -> u64 {
+        let ppb = ch.flash.pages_per_block();
+        let active_block = ch.active.map(|(b, _)| b);
+        let victim = ch
+            .flash
+            .block_ids()
+            .filter(|b| Some(*b) != active_block)
+            .filter(|b| ch.flash.block_fill(*b) == ppb)
+            .min_by_key(|b| self.valid[*b as usize].load(Ordering::Relaxed));
+        let Some(victim) = victim else { return 0 };
+        let first = ch.flash.first_page_of(victim);
+        // Count the pages that are *really* live (p2l keeps stale entries
+        // until GC; only the L2P table knows). Liveness can only shrink
+        // between this count and the relocation loop below, so it is a safe
+        // upper bound for the headroom check.
+        let live_upper = (0..ppb as u64)
+            .filter(|off| {
+                let ppa = first + off;
+                ch.p2l.get(&ppa).is_some_and(|lpa| {
+                    self.stripes[Self::stripe_of(*lpa)].lock().get(lpa).copied()
+                        == Some(Loc::Flash(ppa))
+                })
+            })
+            .count();
+        if live_upper >= ppb {
+            // Erasing a fully-live block frees nothing.
+            return 0;
+        }
+        let headroom =
+            ch.active.map(|(_, off)| ppb - off).unwrap_or(0) + ch.free.len() * ppb;
+        if headroom < live_upper {
+            // Not enough erased space to relocate into; give up rather than
+            // fail mid-relocation.
+            return 0;
+        }
+        let mut cost = 0;
+        for off in 0..ppb as u64 {
+            let ppa = first + off;
+            let Some(&lpa) = ch.p2l.get(&ppa) else { continue };
+            let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+            if stripe.get(&lpa).copied() == Some(Loc::Flash(ppa)) {
+                let data = ch.flash.read_page(ppa).expect("victim page readable");
+                stats.inc_flash_read(true);
+                cost += self.cfg.flash_read_ns;
+                let dst = Self::allocate_ppa_locked(ch)
+                    .expect("GC pre-checked relocation headroom");
+                debug_assert_ne!(self.block_of(dst), victim, "GC wrote into its own victim");
+                ch.flash.program_page(dst, &data).expect("relocation target programmable");
+                stats.inc_flash_write(true);
+                cost += self.cfg.flash_write_ns;
+                ch.p2l.insert(dst, lpa);
+                stripe.insert(lpa, Loc::Flash(dst));
+                self.valid[self.block_of(dst) as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            drop(stripe);
+            ch.p2l.remove(&ppa);
+        }
+        ch.flash.erase_block(victim).expect("victim block erasable");
+        stats.inc_flash_erase();
+        cost += self.cfg.flash_erase_ns;
+        self.valid[victim as usize].store(0, Ordering::Relaxed);
+        ch.free.push_back(victim);
+        cost
+    }
+
+    /// Drains the channel's write-buffer slice onto its flash. Pages the
+    /// channel cannot place (out of erased blocks even after GC) stay
+    /// buffered and are reported as stranded.
+    fn drain_buffer_locked(&self, ch: &mut Channel, stats: &AtomicTraffic) -> DrainResult {
+        let mut r = DrainResult::default();
+        if ch.buffer.is_empty() {
+            return r;
+        }
+        let pending = std::mem::take(&mut ch.buffer);
+        let channel_index = ch.flash.channel();
+        let mut iter = pending.into_iter();
+        while let Some((lpa, data)) = iter.next() {
+            r.gc_cost += self.ensure_free_space_locked(ch, stats);
+            let Some(ppa) = Self::allocate_ppa_locked(ch) else {
+                // Out of space: keep this page and the rest buffered, in
+                // order, and let the caller migrate them to other channels.
+                r.stranded.push(lpa);
+                ch.buffer.push((lpa, data));
+                for (l, d) in iter.by_ref() {
+                    r.stranded.push(l);
+                    ch.buffer.push((l, d));
+                }
+                break;
+            };
+            ch.flash.program_page(ppa, &data).expect("allocation yields programmable page");
+            stats.inc_flash_write(false);
+            ch.p2l.insert(ppa, lpa);
+            r.programmed += 1;
+            let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+            debug_assert_eq!(
+                stripe.get(&lpa).copied(),
+                Some(Loc::Buffered(channel_index)),
+                "buffer entry out of sync with the mapping table"
+            );
+            stripe.insert(lpa, Loc::Flash(ppa));
+            drop(stripe);
+            self.valid[self.block_of(ppa) as usize].fetch_add(1, Ordering::Relaxed);
+            self.buffered.fetch_sub(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Moves a stranded buffered page from channel `from` to the next
+    /// channel. The only code path that holds two channel locks at once;
+    /// they are acquired in ascending index order.
+    fn migrate_buffered(&self, lpa: Lpa, from: usize) {
+        let to = (from + 1) % self.channels.len();
+        if to == from {
+            return; // single-channel device: nowhere to go
+        }
+        let (lo, hi) = (from.min(to), from.max(to));
+        let mut g_lo = self.channels[lo].lock();
+        let mut g_hi = self.channels[hi].lock();
+        let (src, dst) =
+            if from == lo { (&mut *g_lo, &mut *g_hi) } else { (&mut *g_hi, &mut *g_lo) };
+        let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+        if stripe.get(&lpa).copied() != Some(Loc::Buffered(from)) {
+            return; // trimmed or moved meanwhile
+        }
+        let pos = src
+            .buffer
+            .iter()
+            .position(|(l, _)| *l == lpa)
+            .expect("buffered mapping implies a buffer entry");
+        let entry = src.buffer.remove(pos);
+        dst.buffer.push(entry);
+        stripe.insert(lpa, Loc::Buffered(to));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +967,129 @@ mod tests {
             let (d, _) = f.read_page(lpa, &st, false);
             assert_eq!(d, page(version ^ lpa as u8, ps), "lpa {lpa}");
         }
+    }
+
+    fn sharded() -> (ShardedFtl, AtomicTraffic) {
+        (ShardedFtl::new(MssdConfig::small_test()), AtomicTraffic::new())
+    }
+
+    #[test]
+    fn sharded_write_read_trim_roundtrip() {
+        let (f, st) = sharded();
+        let ps = f.page_size();
+        assert_eq!(f.read_page(7, &st, false), (vec![0u8; ps], 0));
+        f.buffer_write(3, page(0xAB, ps), &st);
+        assert_eq!(f.buffered_pages(), 1);
+        assert!(f.is_mapped(3));
+        // Buffered read: no flash access, no latency.
+        let (data, ns) = f.read_page(3, &st, false);
+        assert_eq!(data, page(0xAB, ps));
+        assert_eq!(ns, 0);
+        assert_eq!(st.snapshot().flash_write_pages, 0);
+        let cost = f.flush_all(&st);
+        assert!(cost > 0);
+        assert_eq!(f.buffered_pages(), 0);
+        assert_eq!(f.mapped_pages(), 1);
+        let (data, ns) = f.read_page(3, &st, false);
+        assert_eq!(data, page(0xAB, ps));
+        assert!(ns > 0);
+        f.trim(3);
+        assert!(!f.is_mapped(3));
+        assert_eq!(f.read_page(3, &st, false), (vec![0u8; ps], 0));
+    }
+
+    #[test]
+    fn sharded_coalesces_and_overwrites() {
+        let (f, st) = sharded();
+        let ps = f.page_size();
+        f.buffer_write(9, page(1, ps), &st);
+        f.buffer_write(9, page(2, ps), &st);
+        assert_eq!(f.buffered_pages(), 1);
+        f.flush_all(&st);
+        assert_eq!(st.snapshot().flash_write_pages, 1);
+        // Overwrite of a flash-mapped page: newest wins after re-flush.
+        f.buffer_write(9, page(3, ps), &st);
+        let (d, ns) = f.read_page(9, &st, false);
+        assert_eq!((d, ns), (page(3, ps), 0));
+        f.flush_all(&st);
+        assert_eq!(f.mapped_pages(), 1);
+        assert_eq!(f.read_page(9, &st, false).0, page(3, ps));
+    }
+
+    #[test]
+    fn sharded_flush_latency_is_channel_parallel() {
+        let cfg = MssdConfig::small_test();
+        let per_write = cfg.flash_write_ns;
+        let channels = cfg.channels;
+        let (f, st) = sharded();
+        let ps = f.page_size();
+        for i in 0..channels as u64 {
+            f.buffer_write(i, page(i as u8, ps), &st);
+        }
+        let cost = f.flush_all(&st);
+        // Round-robin placement puts one page per channel: one parallel round.
+        assert_eq!(cost, per_write);
+    }
+
+    #[test]
+    fn sharded_sustained_overwrites_trigger_gc_and_stay_correct() {
+        let cfg = MssdConfig::small_test();
+        let logical = cfg.logical_pages();
+        let f = ShardedFtl::new(cfg);
+        let st = AtomicTraffic::new();
+        let ps = f.page_size();
+        let working_set = (logical / 2).max(8);
+        let mut version = 0u8;
+        for round in 0..6u64 {
+            version = version.wrapping_add(1);
+            for lpa in 0..working_set {
+                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st);
+            }
+            f.flush_all(&st);
+            let probe = round % working_set;
+            assert_eq!(f.read_page(probe, &st, false).0, page(version ^ probe as u8, ps));
+        }
+        assert!(st.snapshot().flash_erase_blocks > 0, "GC should have run");
+        for lpa in 0..working_set {
+            assert_eq!(f.read_page(lpa, &st, false).0, page(version ^ lpa as u8, ps), "lpa {lpa}");
+        }
+        assert!(f.utilization() > 0.0);
+        assert!(f.max_wear() > 0);
+    }
+
+    #[test]
+    fn sharded_concurrent_disjoint_writers() {
+        let cfg = MssdConfig::small_test();
+        let f = std::sync::Arc::new(ShardedFtl::new(cfg));
+        let st = std::sync::Arc::new(AtomicTraffic::new());
+        let threads = 4u64;
+        let per_thread = 64u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = std::sync::Arc::clone(&f);
+                let st = std::sync::Arc::clone(&st);
+                std::thread::spawn(move || {
+                    let ps = f.page_size();
+                    let base = t * per_thread;
+                    for i in 0..per_thread {
+                        f.buffer_write(base + i, page((t * 64 + i) as u8, ps), &st);
+                        if i % 16 == 15 {
+                            f.flush_all(&st);
+                        }
+                    }
+                    for i in 0..per_thread {
+                        let (d, _) = f.read_page(base + i, &st, false);
+                        assert_eq!(d, page((t * 64 + i) as u8, ps), "thread {t} page {i}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        f.flush_all(&st);
+        assert_eq!(f.mapped_pages(), (threads * per_thread) as usize);
+        assert_eq!(f.buffered_pages(), 0);
     }
 
     #[test]

@@ -18,6 +18,26 @@
 //! skip list, with background log cleaning, per-transaction commit records
 //! (TxLog), and a `RECOVER()` path that replays committed entries after a crash.
 //!
+//! The device executes concurrently along the hardware's own seams, with the
+//! lock order **log shard → txlog → flash channel → L2P stripe** (and
+//! **cache shard → flash channel → L2P stripe** in baseline mode; see
+//! [`device`] for the full discipline):
+//!
+//! * the write-log index is sharded by the paper's 16 MB partition key and
+//!   **double-buffered**: a background cleaner thread seals each shard's
+//!   active region and drains the sealed region page by page, so cleaning
+//!   stays off the host's critical path ([`log::ShardedWriteLog`]);
+//! * the flash path is **channel-parallel**: a lock-striped L2P table over
+//!   per-channel flash units — active block, free list, page store, write
+//!   buffer slice, greedy GC — each behind its own lock
+//!   ([`ftl::ShardedFtl`] over [`flash::ChannelFlash`]);
+//! * the baseline device cache is lock-striped by LPA
+//!   ([`dram_cache::ShardedDramCache`]).
+//!
+//! The single-threaded [`ftl::Ftl`], [`log::WriteLog`] and stop-the-world
+//! drain remain as sequential reference models, pinned to the concurrent
+//! implementations by the property tests in `tests/`.
+//!
 //! ```
 //! use mssd::{Mssd, MssdConfig, DramMode, Category};
 //!
@@ -48,6 +68,9 @@ pub mod txn;
 pub use clock::Clock;
 pub use config::{MssdConfig, TimingProfile};
 pub use device::{DramMode, Mssd};
+pub use dram_cache::{CachePageRef, DramPageCache, ShardedDramCache, CACHE_SHARDS};
+pub use flash::ChannelFlash;
+pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};
 pub use log::{ShardedWriteLog, LOG_SHARDS};
 pub use stats::{AtomicTraffic, Category, Interface, StatsSnapshot, TrafficCounter};
 pub use txn::TxId;

@@ -24,6 +24,19 @@
 //!   one of [`LOG_SHARDS`] independently locked shards, while space
 //!   accounting (`used_bytes`, `entries`, the append sequence) lives in
 //!   shared atomics. Writers to different partitions never contend.
+//!
+//! The sharded log is **double-buffered** for background cleaning: each shard
+//! holds an *active* region (appends land here) and a *sealed* region.
+//! [`ShardedWriteLog::seal_shard`] flips a shard's active region into the
+//! sealed slot under a brief per-shard lock (an O(1) map move), and the
+//! background cleaner drains sealed regions page by page with
+//! [`ShardedWriteLog::drain_sealed_step`] — so cleaning never holds more than
+//! one shard lock at a time and foreground writers keep appending to fresh
+//! active regions. Reads merge both regions; uncommitted entries drained from
+//! a sealed region migrate back into the shard's active region with their
+//! original sequence numbers. The stop-the-world drain
+//! ([`ShardedWriteLog::lock_all`]) remains for recovery, forced cleaning and
+//! the space-admission fallback.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -361,11 +374,21 @@ fn drain_partitions_into<F>(
 
 /// `true` when `[offset, offset + len)` is fully covered by the chunks.
 fn chunks_cover(chunks: &[ChunkEntry], offset: usize, len: usize) -> bool {
+    ranges_cover(chunks.iter().map(|c| (c.offset, c.end())), offset, len)
+}
+
+/// `true` when `[offset, offset + len)` is fully covered by the chunks.
+fn refs_cover(chunks: &[&ChunkEntry], offset: usize, len: usize) -> bool {
+    ranges_cover(chunks.iter().map(|c| (c.offset, c.end())), offset, len)
+}
+
+/// Coverage check over `(start, end)` ranges.
+fn ranges_cover(ranges: impl Iterator<Item = (usize, usize)>, offset: usize, len: usize) -> bool {
     if len == 0 {
         return true;
     }
     // Merge the chunk ranges and check coverage.
-    let mut ranges: Vec<(usize, usize)> = chunks.iter().map(|c| (c.offset, c.end())).collect();
+    let mut ranges: Vec<(usize, usize)> = ranges.collect();
     ranges.sort_unstable();
     let mut covered_to = offset;
     for (start, end) in ranges {
@@ -386,8 +409,14 @@ fn chunks_cover(chunks: &[ChunkEntry], offset: usize, len: usize) -> bool {
 /// Applies `chunks` onto `page` oldest-first so the newest write wins.
 fn merge_chunks_into(chunks: &[ChunkEntry], page: &mut [u8]) {
     let mut ordered: Vec<&ChunkEntry> = chunks.iter().collect();
-    ordered.sort_by_key(|c| c.seq);
-    for c in ordered {
+    merge_refs_into(&mut ordered, page);
+}
+
+/// Applies `chunks` onto `page` oldest-first so the newest write wins.
+/// Sorts the ref slice by sequence number in place.
+fn merge_refs_into(chunks: &mut [&ChunkEntry], page: &mut [u8]) {
+    chunks.sort_by_key(|c| c.seq);
+    for c in chunks {
         let end = c.end().min(page.len());
         if c.offset < end {
             page[c.offset..end].copy_from_slice(&c.data[..end - c.offset]);
@@ -403,12 +432,72 @@ fn merge_chunks_into(chunks: &[ChunkEntry], page: &mut [u8]) {
 /// writers per partition-sized region while costing only 16 mutexes.
 pub const LOG_SHARDS: usize = 16;
 
+/// One region of a log shard: partition index → skip list keyed by LPA
+/// (layers 1 and 2 of the paper's index; layer 3 is the chunk lists in the
+/// skip-list values).
+type Region = BTreeMap<u64, SkipList<Vec<ChunkEntry>>>;
+
 /// One shard of the concurrent write-log index: the partitions (and their
-/// skip lists) whose index hashes to this shard.
+/// skip lists) whose index hashes to this shard, double-buffered into an
+/// active and a sealed region.
 #[derive(Debug, Default)]
 struct LogShard {
-    /// Layer 1 → Layer 2 for this shard: partition index → skip list by LPA.
-    partitions: BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
+    /// The region appends land in.
+    active: Region,
+    /// The region currently being drained by the cleaner (empty when none
+    /// is sealed). Reads merge both regions; appends never touch this.
+    sealed: Region,
+}
+
+impl LogShard {
+    /// The page's chunk lists in the sealed and active regions. Returned as
+    /// two borrows so the overwhelmingly common cases — no entries at all, or
+    /// entries in only one region — cost no allocation on the read hot path;
+    /// only a page split across both regions (i.e. written again while the
+    /// cleaner drains its older chunks) pays for a combined ref vector.
+    fn region_chunks(
+        &self,
+        partition: u64,
+        lpa: Lpa,
+    ) -> (Option<&Vec<ChunkEntry>>, Option<&Vec<ChunkEntry>>) {
+        (
+            self.sealed.get(&partition).and_then(|list| list.get(lpa)),
+            self.active.get(&partition).and_then(|list| list.get(lpa)),
+        )
+    }
+}
+
+/// Coverage of `[offset, offset + len)` by chunks that may span both regions.
+fn both_cover(
+    sealed: Option<&Vec<ChunkEntry>>,
+    active: Option<&Vec<ChunkEntry>>,
+    offset: usize,
+    len: usize,
+) -> bool {
+    match (sealed, active) {
+        (None, None) => len == 0,
+        (Some(c), None) | (None, Some(c)) => chunks_cover(c, offset, len),
+        (Some(s), Some(a)) => {
+            let refs: Vec<&ChunkEntry> = s.iter().chain(a.iter()).collect();
+            refs_cover(&refs, offset, len)
+        }
+    }
+}
+
+/// Merges chunks from both regions onto `page`, newest (by seq) winning.
+fn merge_both_into(
+    sealed: Option<&Vec<ChunkEntry>>,
+    active: Option<&Vec<ChunkEntry>>,
+    page: &mut [u8],
+) {
+    match (sealed, active) {
+        (None, None) => {}
+        (Some(c), None) | (None, Some(c)) => merge_chunks_into(c, page),
+        (Some(s), Some(a)) => {
+            let mut refs: Vec<&ChunkEntry> = s.iter().chain(a.iter()).collect();
+            merge_refs_into(&mut refs, page);
+        }
+    }
 }
 
 /// The concurrent write log used by the device: per-partition-shard locking
@@ -563,26 +652,22 @@ impl ShardedWriteLog {
         };
         self.entries.0.fetch_add(1, Ordering::Relaxed);
         let partition = self.partition_of(lpa);
-        push_chunk(&mut shard.partitions, partition, lpa, entry);
+        push_chunk(&mut shard.active, partition, lpa, entry);
     }
 
-    /// Whether any log entries exist for the page.
+    /// Whether any log entries exist for the page (in either region).
     pub fn has_page(&self, lpa: Lpa) -> bool {
         let shard = self.shards[self.shard_of(lpa)].lock();
-        shard
-            .partitions
-            .get(&self.partition_of(lpa))
-            .is_some_and(|list| list.contains_key(lpa))
+        let (sealed, active) = shard.region_chunks(self.partition_of(lpa), lpa);
+        sealed.is_some() || active.is_some()
     }
 
     /// `true` if `[offset, offset + len)` of the page is fully covered by log
-    /// entries.
+    /// entries (across both regions).
     pub fn covers(&self, lpa: Lpa, offset: usize, len: usize) -> bool {
         let shard = self.shards[self.shard_of(lpa)].lock();
-        match shard.partitions.get(&self.partition_of(lpa)).and_then(|l| l.get(lpa)) {
-            Some(chunks) => chunks_cover(chunks, offset, len),
-            None => false,
-        }
+        let (sealed, active) = shard.region_chunks(self.partition_of(lpa), lpa);
+        (sealed.is_some() || active.is_some()) && both_cover(sealed, active, offset, len)
     }
 
     /// Serves a byte read entirely from the log if the range is covered:
@@ -590,37 +675,75 @@ impl ShardedWriteLog {
     /// shard-lock acquisition, or `None` when flash must be consulted.
     pub fn read_covered(&self, lpa: Lpa, offset: usize, len: usize) -> Option<Vec<u8>> {
         let shard = self.shards[self.shard_of(lpa)].lock();
-        let chunks = shard.partitions.get(&self.partition_of(lpa))?.get(lpa)?;
-        if !chunks_cover(chunks, offset, len) {
+        let (sealed, active) = shard.region_chunks(self.partition_of(lpa), lpa);
+        if (sealed.is_none() && active.is_none()) || !both_cover(sealed, active, offset, len) {
             return None;
         }
         let mut page = vec![0u8; self.page_size];
-        merge_chunks_into(chunks, &mut page);
+        merge_both_into(sealed, active, &mut page);
         Some(page[offset..offset + len].to_vec())
     }
 
-    /// Applies all log entries for `lpa` onto `page` oldest-first.
-    pub fn merge_into(&self, lpa: Lpa, page: &mut [u8]) {
+    /// Reads `[offset, offset + len)` of a page through the log: ranges fully
+    /// covered by log entries are served without calling `fetch`; otherwise
+    /// `fetch` supplies the backing flash page (and its latency) and the log
+    /// entries are overlaid. The whole read happens under the page's shard
+    /// lock, so a concurrent cleaner (which takes the same shard lock per
+    /// page) can never drain entries between the fetch and the overlay.
+    pub fn read_range<F>(&self, lpa: Lpa, offset: usize, len: usize, fetch: F) -> (Vec<u8>, u64)
+    where
+        F: FnOnce() -> (Vec<u8>, u64),
+    {
         let shard = self.shards[self.shard_of(lpa)].lock();
-        if let Some(chunks) = shard.partitions.get(&self.partition_of(lpa)).and_then(|l| l.get(lpa))
-        {
-            merge_chunks_into(chunks, page);
+        let (sealed, active) = shard.region_chunks(self.partition_of(lpa), lpa);
+        if (sealed.is_some() || active.is_some()) && both_cover(sealed, active, offset, len) {
+            let mut page = vec![0u8; self.page_size];
+            merge_both_into(sealed, active, &mut page);
+            return (page[offset..offset + len].to_vec(), 0);
         }
+        let (mut page, cost) = fetch();
+        merge_both_into(sealed, active, &mut page);
+        (page[offset..offset + len].to_vec(), cost)
     }
 
-    /// Invalidates all log entries of a page. Returns the number dropped.
+    /// Applies all log entries for `lpa` (both regions) onto `page`
+    /// oldest-first, so the newest write wins.
+    pub fn merge_into(&self, lpa: Lpa, page: &mut [u8]) {
+        let shard = self.shards[self.shard_of(lpa)].lock();
+        let (sealed, active) = shard.region_chunks(self.partition_of(lpa), lpa);
+        merge_both_into(sealed, active, page);
+    }
+
+    /// Invalidates all log entries of a page (both regions). Returns the
+    /// number dropped.
     pub fn invalidate_page(&self, lpa: Lpa) -> usize {
+        let (dropped, ()) = self.invalidate_page_and(lpa, || ());
+        dropped
+    }
+
+    /// Invalidates all log entries of a page, then runs `f` — still under the
+    /// page's shard lock. The device uses this for block-interface
+    /// overwrites: the invalidation and the FTL buffer write must be atomic
+    /// against the cleaner, or a drained stale chunk could be merged on top
+    /// of the fresh block data.
+    pub fn invalidate_page_and<R>(&self, lpa: Lpa, f: impl FnOnce() -> R) -> (usize, R) {
         let partition = self.partition_of(lpa);
         let mut shard = self.shards[self.shard_of(lpa)].lock();
-        let Some(list) = shard.partitions.get_mut(&partition) else { return 0 };
-        let Some(chunks) = list.remove(lpa) else { return 0 };
-        let freed: usize = chunks.iter().map(ChunkEntry::footprint).sum();
-        self.used_bytes.0.fetch_sub(freed, Ordering::Relaxed);
-        self.entries.0.fetch_sub(chunks.len(), Ordering::Relaxed);
-        if list.is_empty() {
-            shard.partitions.remove(&partition);
+        let mut dropped = 0;
+        let LogShard { sealed, active } = &mut *shard;
+        for region in [sealed, active] {
+            let Some(list) = region.get_mut(&partition) else { continue };
+            let Some(chunks) = list.remove(lpa) else { continue };
+            let freed: usize = chunks.iter().map(ChunkEntry::footprint).sum();
+            self.used_bytes.0.fetch_sub(freed, Ordering::Relaxed);
+            self.entries.0.fetch_sub(chunks.len(), Ordering::Relaxed);
+            if list.is_empty() {
+                region.remove(&partition);
+            }
+            dropped += chunks.len();
         }
-        chunks.len()
+        let r = f();
+        (dropped, r)
     }
 
     /// All page addresses that currently have log entries, in ascending order.
@@ -630,31 +753,137 @@ impl ShardedWriteLog {
         let mut pages: Vec<Lpa> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock();
-            pages.extend(shard.partitions.values().flat_map(|list| list.keys()));
+            for region in [&shard.sealed, &shard.active] {
+                pages.extend(region.values().flat_map(|list| list.keys()));
+            }
         }
         pages.sort_unstable();
+        pages.dedup();
         pages
     }
 
-    /// Drains the entire log for cleaning. Holds every shard lock for the
-    /// duration (ascending index order), so no append can interleave with the
-    /// drain or observe half-reset space accounting.
+    // ------------------------------------------------------------------
+    // Double-buffered cleaning
+    // ------------------------------------------------------------------
+
+    /// Seals a shard's active region: flips it into the sealed slot under a
+    /// brief per-shard lock (an O(1) map move — the paper's double-buffered
+    /// region switch). Returns `false` when there is nothing to seal or the
+    /// previous sealed region has not been fully drained yet.
+    pub fn seal_shard(&self, shard: usize) -> bool {
+        let mut guard = self.shards[shard].lock();
+        if guard.active.is_empty() || !guard.sealed.is_empty() {
+            return false;
+        }
+        guard.sealed = std::mem::take(&mut guard.active);
+        true
+    }
+
+    /// Seals every shard that has unsealed entries (used before crash tests
+    /// and by the foreground space-admission fallback).
+    pub fn seal_all(&self) {
+        for i in 0..self.shards.len() {
+            self.seal_shard(i);
+        }
+    }
+
+    /// Whether any shard currently holds a sealed, not-yet-drained region.
+    pub fn has_sealed_work(&self) -> bool {
+        self.shards.iter().any(|s| !s.lock().sealed.is_empty())
+    }
+
+    /// Drains up to `max_pages` pages from a shard's sealed region, holding
+    /// only that one shard lock. For each page, the committed chunks are
+    /// handed to `apply` — which merges them into flash while the shard lock
+    /// is still held, so readers and block-interface writers of those pages
+    /// cannot interleave with the merge — and their space is released;
+    /// uncommitted chunks migrate back into the shard's active region with
+    /// their original sequence numbers.
+    ///
+    /// `verdicts` is invoked **once per step**, after the shard lock is
+    /// taken, and returns the commit predicate used for every chunk of the
+    /// step (the device has it lock the TxLog — shard → txlog order — and
+    /// hold the guard for the whole step). One consistent snapshot matters:
+    /// sampling per chunk would let a racing `COMMIT` split one
+    /// transaction's chunks for the *same page* between merge-to-flash and
+    /// migrate-back, and the migrated older chunk would later overlay the
+    /// newer merged data.
+    ///
+    /// Returns the number of pages processed (0 means the sealed region is
+    /// empty) plus the chunk count and the accumulated `apply` cost.
+    pub fn drain_sealed_step<F, V, G>(
+        &self,
+        shard: usize,
+        max_pages: usize,
+        verdicts: F,
+        mut apply: G,
+    ) -> SealedStep
+    where
+        F: FnOnce() -> V,
+        V: Fn(TxId) -> bool,
+        G: FnMut(Lpa, &[ChunkEntry]) -> u64,
+    {
+        let mut guard = self.shards[shard].lock();
+        let is_committed = verdicts();
+        let mut step = SealedStep::default();
+        while step.pages < max_pages {
+            let Some((&partition, _)) = guard.sealed.iter().next() else { break };
+            let list = guard.sealed.get_mut(&partition).expect("partition present");
+            let Some((lpa, chunks)) = list.pop_first() else {
+                guard.sealed.remove(&partition);
+                continue;
+            };
+            if list.is_empty() {
+                guard.sealed.remove(&partition);
+            }
+            let mut committed: Vec<ChunkEntry> = Vec::new();
+            for c in chunks {
+                let ok = match c.txid {
+                    None => true,
+                    Some(txid) => is_committed(txid),
+                };
+                if ok {
+                    committed.push(c);
+                } else {
+                    // Survives cleaning: back into the active region, keeping
+                    // its original seq so it can never outrank a newer write.
+                    push_chunk(&mut guard.active, partition, lpa, c);
+                }
+            }
+            if !committed.is_empty() {
+                committed.sort_by_key(|c| c.seq);
+                let freed: usize = committed.iter().map(ChunkEntry::footprint).sum();
+                step.cost += apply(lpa, &committed);
+                step.merged_pages += 1;
+                step.chunks += committed.len();
+                self.used_bytes.0.fetch_sub(freed, Ordering::Relaxed);
+                self.entries.0.fetch_sub(committed.len(), Ordering::Relaxed);
+            }
+            step.pages += 1;
+        }
+        step
+    }
+
+    /// Locks every shard (ascending index order) for a stop-the-world
+    /// operation: recovery, forced cleaning, and the space-admission
+    /// fallback. While the returned guard lives, no append, read or cleaner
+    /// step can interleave.
+    pub fn lock_all(&self) -> AllShards<'_> {
+        AllShards { log: self, guards: self.shards.iter().map(|s| s.lock()).collect() }
+    }
+
+    /// Drains the entire log (sealed and active regions of every shard) for
+    /// cleaning. Holds every shard lock for the duration.
+    ///
+    /// Note for callers that subsequently merge the batch into flash: prefer
+    /// [`ShardedWriteLog::lock_all`] + [`AllShards::drain`] and do the merge
+    /// while the guard is held, otherwise a concurrent reader can observe the
+    /// window where entries have left the log but not yet reached flash.
     pub fn drain_for_cleaning<F>(&self, is_committed: F) -> CleanBatch
     where
         F: Fn(TxId) -> bool,
     {
-        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
-        let mut batch = CleanBatch::default();
-        for guard in &mut guards {
-            let partitions = std::mem::take(&mut guard.partitions);
-            drain_partitions_into(partitions, &is_committed, &mut batch);
-        }
-        batch.pages.sort_by_key(|(lpa, _)| *lpa);
-        batch.migrated.sort_by_key(|(lpa, c)| (*lpa, c.seq));
-        self.used_bytes.0.store(0, Ordering::Relaxed);
-        self.entries.0.store(0, Ordering::Relaxed);
-        self.write_cursor.0.store(0, Ordering::Relaxed);
-        batch
+        self.lock_all().drain(is_committed)
     }
 
     /// Re-inserts migrated (uncommitted) entries after cleaning, preserving
@@ -676,7 +905,7 @@ impl ShardedWriteLog {
                 % self.capacity_bytes.max(1);
             self.entries.0.fetch_add(1, Ordering::Relaxed);
             let partition = self.partition_of(lpa);
-            push_chunk(&mut shard.partitions, partition, lpa, entry);
+            push_chunk(&mut shard.active, partition, lpa, entry);
         }
     }
 
@@ -684,11 +913,82 @@ impl ShardedWriteLog {
     pub fn reset(&self) {
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         for guard in &mut guards {
-            guard.partitions.clear();
+            guard.active.clear();
+            guard.sealed.clear();
         }
         self.used_bytes.0.store(0, Ordering::Relaxed);
         self.entries.0.store(0, Ordering::Relaxed);
         self.write_cursor.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Progress report of one [`ShardedWriteLog::drain_sealed_step`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SealedStep {
+    /// Pages taken out of the sealed region (committed or migrated).
+    pub pages: usize,
+    /// Pages that had committed chunks and were merged into flash.
+    pub merged_pages: usize,
+    /// Committed chunks merged into flash. Zero means the step freed no log
+    /// space (everything it processed was uncommitted and migrated back).
+    pub chunks: usize,
+    /// Accumulated cost returned by the apply callback.
+    pub cost: u64,
+}
+
+/// Every shard locked at once (see [`ShardedWriteLog::lock_all`]).
+pub struct AllShards<'a> {
+    log: &'a ShardedWriteLog,
+    guards: Vec<parking_lot::MutexGuard<'a, LogShard>>,
+}
+
+impl AllShards<'_> {
+    /// Drains sealed and active regions of every shard into a [`CleanBatch`]
+    /// and zeroes the space accounting. The guard stays held, so the caller
+    /// can merge the batch into flash and [`AllShards::reinstate`] the
+    /// uncommitted remainder with no reader-visible window.
+    pub fn drain<F>(&mut self, is_committed: F) -> CleanBatch
+    where
+        F: Fn(TxId) -> bool,
+    {
+        let mut batch = CleanBatch::default();
+        for guard in &mut self.guards {
+            let sealed = std::mem::take(&mut guard.sealed);
+            let mut combined = std::mem::take(&mut guard.active);
+            // Fold sealed chunks into the active lists so each page surfaces
+            // exactly once in the batch (order is irrelevant: committed
+            // chunks are sorted by seq downstream).
+            for (partition, mut list) in sealed {
+                while let Some((lpa, chunks)) = list.pop_first() {
+                    for c in chunks {
+                        push_chunk(&mut combined, partition, lpa, c);
+                    }
+                }
+            }
+            drain_partitions_into(combined, &is_committed, &mut batch);
+        }
+        batch.pages.sort_by_key(|(lpa, _)| *lpa);
+        batch.migrated.sort_by_key(|(lpa, c)| (*lpa, c.seq));
+        self.log.used_bytes.0.store(0, Ordering::Relaxed);
+        self.log.entries.0.store(0, Ordering::Relaxed);
+        self.log.write_cursor.0.store(0, Ordering::Relaxed);
+        batch
+    }
+
+    /// Re-inserts migrated (uncommitted) entries into the active regions
+    /// while all shards are still locked, preserving original sequence
+    /// numbers (see [`ShardedWriteLog::reinstate`]).
+    pub fn reinstate(&mut self, migrated: Vec<(Lpa, ChunkEntry)>) {
+        for (lpa, mut entry) in migrated {
+            let footprint = entry.footprint();
+            self.log.used_bytes.0.fetch_add(footprint, Ordering::Relaxed);
+            entry.log_off = self.log.write_cursor.0.fetch_add(footprint, Ordering::Relaxed)
+                % self.log.capacity_bytes.max(1);
+            self.log.entries.0.fetch_add(1, Ordering::Relaxed);
+            let partition = self.log.partition_of(lpa);
+            let shard = self.log.shard_of(lpa);
+            push_chunk(&mut self.guards[shard].active, partition, lpa, entry);
+        }
     }
 }
 
@@ -980,6 +1280,96 @@ mod tests {
         let mut page = vec![0u8; 4096];
         reference.merge_into(1, &mut page);
         assert_eq!(&page[..64], &[2u8; 64][..]);
+    }
+
+    #[test]
+    fn seal_flips_regions_and_reads_merge_both() {
+        let sharded = ShardedWriteLog::new(&MssdConfig::small_test());
+        sharded.append(1, 0, &[1u8; 64], None).unwrap();
+        assert!(sharded.seal_shard(sharded.shard_of(1)));
+        // Sealed again without new appends: nothing to seal.
+        assert!(!sharded.seal_shard(sharded.shard_of(1)));
+        assert!(sharded.has_sealed_work());
+        // Entries in the sealed region stay visible.
+        assert!(sharded.has_page(1));
+        assert!(sharded.covers(1, 0, 64));
+        assert_eq!(sharded.read_covered(1, 0, 64).unwrap(), vec![1u8; 64]);
+        // A newer overlapping append lands in the fresh active region and
+        // wins the merge.
+        sharded.append(1, 32, &[2u8; 64], None).unwrap();
+        let mut page = vec![0u8; 4096];
+        sharded.merge_into(1, &mut page);
+        assert_eq!(&page[..32], &[1u8; 32][..]);
+        assert_eq!(&page[32..96], &[2u8; 64][..]);
+        // Cannot re-seal while the sealed region is undrained.
+        assert!(!sharded.seal_shard(sharded.shard_of(1)));
+        // invalidate_page drops entries from both regions.
+        assert_eq!(sharded.invalidate_page(1), 2);
+        assert_eq!(sharded.entries(), 0);
+        assert_eq!(sharded.used_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_sealed_step_is_incremental_and_migrates_uncommitted() {
+        let sharded = ShardedWriteLog::new(&MssdConfig::small_test());
+        // Three pages in partition 0 (shard 0): two committed, one not.
+        sharded.append(1, 0, &[1u8; 64], None).unwrap();
+        sharded.append(2, 0, &[2u8; 64], Some(TxId(1))).unwrap();
+        sharded.append(3, 0, &[3u8; 64], Some(TxId(9))).unwrap();
+        assert!(sharded.seal_shard(0));
+        let used_before = sharded.used_bytes();
+        let mut applied: Vec<Lpa> = Vec::new();
+        // One page per step: three steps to empty the sealed region.
+        let mut steps = 0;
+        loop {
+            let step = sharded.drain_sealed_step(
+                0,
+                1,
+                || |tx: TxId| tx == TxId(1),
+                |lpa, chunks| {
+                    applied.push(lpa);
+                    assert!(!chunks.is_empty());
+                    7 // arbitrary cost
+                },
+            );
+            if step.pages == 0 {
+                break;
+            }
+            assert_eq!(step.pages, 1);
+            steps += 1;
+            assert!(steps <= 3, "at most one step per sealed page");
+        }
+        assert_eq!(steps, 3);
+        assert_eq!(applied, vec![1, 2]);
+        assert!(!sharded.has_sealed_work());
+        // The uncommitted entry survived into the active region.
+        assert_eq!(sharded.entries(), 1);
+        assert!(sharded.covers(3, 0, 64));
+        assert!(sharded.used_bytes() < used_before);
+        // Draining an empty sealed region is a no-op.
+        let step = sharded.drain_sealed_step(0, 8, || |_: TxId| true, |_, _| 0);
+        assert_eq!(step.pages, 0);
+    }
+
+    #[test]
+    fn lock_all_drains_sealed_and_active_together() {
+        let sharded = ShardedWriteLog::new(&MssdConfig::small_test());
+        sharded.append(1, 0, &[1u8; 64], None).unwrap();
+        sharded.seal_shard(sharded.shard_of(1));
+        sharded.append(1, 64, &[2u8; 64], None).unwrap();
+        sharded.append(5, 0, &[3u8; 64], Some(TxId(4))).unwrap();
+        let mut all = sharded.lock_all();
+        let batch = all.drain(|_| false);
+        // Page 1 surfaces once, with chunks from both regions.
+        assert_eq!(batch.pages.len(), 1);
+        assert_eq!(batch.pages[0].0, 1);
+        assert_eq!(batch.pages[0].1.len(), 2);
+        assert!(batch.pages[0].1.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(batch.migrated.len(), 1);
+        all.reinstate(batch.migrated);
+        drop(all);
+        assert_eq!(sharded.entries(), 1);
+        assert!(sharded.covers(5, 0, 64));
     }
 
     #[test]

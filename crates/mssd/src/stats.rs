@@ -165,6 +165,13 @@ pub struct TrafficCounter {
     pub tx_commits: u64,
     /// Number of log-cleaning passes executed.
     pub log_cleanings: u64,
+    /// Number of times a foreground writer stalled on log space admission and
+    /// had to reclaim (drain sealed regions or full stop-the-world clean)
+    /// itself instead of the background cleaner.
+    pub log_fg_stalls: u64,
+    /// Flash pages merged out of sealed log regions by the background
+    /// cleaner (not counting foreground-stall reclaims).
+    pub log_bg_cleaned_pages: u64,
     /// Total virtual nanoseconds spent in host-visible device operations.
     pub device_busy_ns: u64,
 }
@@ -281,6 +288,8 @@ impl TrafficCounter {
             block_requests: self.block_requests - earlier.block_requests,
             tx_commits: self.tx_commits - earlier.tx_commits,
             log_cleanings: self.log_cleanings - earlier.log_cleanings,
+            log_fg_stalls: self.log_fg_stalls - earlier.log_fg_stalls,
+            log_bg_cleaned_pages: self.log_bg_cleaned_pages - earlier.log_bg_cleaned_pages,
             device_busy_ns: self.device_busy_ns - earlier.device_busy_ns,
         }
     }
@@ -343,6 +352,8 @@ pub struct AtomicTraffic {
     block_requests: CachePadded<AtomicU64>,
     tx_commits: CachePadded<AtomicU64>,
     log_cleanings: CachePadded<AtomicU64>,
+    log_fg_stalls: CachePadded<AtomicU64>,
+    log_bg_cleaned_pages: CachePadded<AtomicU64>,
     device_busy_ns: CachePadded<AtomicU64>,
 }
 
@@ -398,6 +409,18 @@ impl AtomicTraffic {
         self.log_cleanings.add(1);
     }
 
+    /// Counts one foreground space-admission stall (a writer had to reclaim
+    /// log space itself).
+    pub fn inc_log_fg_stalls(&self) {
+        self.log_fg_stalls.add(1);
+    }
+
+    /// Counts flash pages merged out of sealed regions by the background
+    /// cleaner.
+    pub fn add_log_bg_cleaned_pages(&self, pages: u64) {
+        self.log_bg_cleaned_pages.add(pages);
+    }
+
     /// Accumulates host-visible device busy time.
     pub fn add_device_busy_ns(&self, ns: u64) {
         self.device_busy_ns.add(ns);
@@ -437,6 +460,8 @@ impl AtomicTraffic {
             block_requests: self.block_requests.get(),
             tx_commits: self.tx_commits.get(),
             log_cleanings: self.log_cleanings.get(),
+            log_fg_stalls: self.log_fg_stalls.get(),
+            log_bg_cleaned_pages: self.log_bg_cleaned_pages.get(),
             device_busy_ns: self.device_busy_ns.get(),
         }
     }
@@ -460,6 +485,8 @@ impl AtomicTraffic {
             &self.block_requests,
             &self.tx_commits,
             &self.log_cleanings,
+            &self.log_fg_stalls,
+            &self.log_bg_cleaned_pages,
             &self.device_busy_ns,
         ] {
             cell.clear();
