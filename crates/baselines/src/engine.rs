@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use fskit::check::{CrashConsistent, Violation};
 use fskit::journal::BlockJournal;
 use fskit::pagecache::{DirtyPage, PageCache, PageRef};
 use fskit::path as fspath;
@@ -386,6 +387,62 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
         self.with_ctx(st, |ctx, _, _| self.policy.fsync_epilogue(ctx, ino, npages));
         Ok(())
+    }
+}
+
+/// The baseline engine's implementation of the shared checker API: the
+/// namespace's block maps, the per-directory metadata blocks and the block
+/// allocator must agree exactly — every referenced LBA inside the data
+/// region, allocated, and owned once; the allocator counting nothing beyond
+/// what the namespace references. The device FTL invariants ride along.
+impl<P: PersistencePolicy> CrashConsistent for BaselineFs<P> {
+    fn check_invariants(&self) -> Vec<Violation> {
+        let checker = format!("{}-check", self.policy.fs_name());
+        let mut v = Vec::new();
+        let st = self.state.lock();
+        let mut owner: HashMap<u64, u64> = HashMap::new();
+        let mut referenced: u64 = 0;
+        let mut claim = |lba: u64, ino: u64, what: &str, v: &mut Vec<Violation>| {
+            referenced += 1;
+            if lba < st.layout.data_start || lba >= st.layout.total_pages {
+                v.push(Violation::new(
+                    &checker,
+                    format!("inode {ino}: {what} block {lba} outside the data region"),
+                ));
+                return;
+            }
+            if let Some(prev) = owner.insert(lba, ino) {
+                v.push(Violation::new(
+                    &checker,
+                    format!("block {lba} owned by both inode {prev} and inode {ino} ({what})"),
+                ));
+            }
+        };
+        for node in st.ns.nodes() {
+            for (file_block, lba) in &node.blocks {
+                claim(*lba, node.ino, "data", &mut v);
+                let _ = file_block;
+            }
+        }
+        for (ino, lba) in &st.meta_blocks {
+            claim(*lba, *ino, "metadata", &mut v);
+        }
+        if st.alloc.allocated() != referenced {
+            v.push(Violation::new(
+                &checker,
+                format!(
+                    "allocator says {} blocks in use, namespace references {}: \
+                     leaked or lost blocks",
+                    st.alloc.allocated(),
+                    referenced
+                ),
+            ));
+        }
+        drop(st);
+        for problem in self.device.check_consistency() {
+            v.push(Violation::new("mssd-ftl", problem));
+        }
+        v
     }
 }
 

@@ -99,6 +99,12 @@ impl Namespace {
         self.nodes.len() == 1
     }
 
+    /// Iterates over every live node (used by the crash-consistency
+    /// checker).
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
     /// Resolves an absolute path to an inode number.
     pub fn resolve(&self, path: &str) -> FsResult<u64> {
         let comps = fspath::components(path)?;

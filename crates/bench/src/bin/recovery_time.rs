@@ -1,0 +1,171 @@
+//! Remount latency as a function of dirty-log depth (§5.5 extended).
+//!
+//! The `recovery` binary reproduces the paper's single post-crash
+//! `RECOVER()` measurement; this one sweeps the *depth* of the write log at
+//! the moment of the crash — the recovery-time driver the paper identifies
+//! (scan every entry, flush every committed page) — and reports both the
+//! modelled (virtual-clock) recovery time and the harness wall-clock per
+//! remount. crashkit's `recovery_time` data feeds capacity planning: how
+//! long is a device unavailable after power loss, given how full its log
+//! ran?
+//!
+//! Usage: `recovery_time [scale] [output.json]` — scale multiplies the
+//! entry counts (default 1.0); results are printed as a table and written
+//! as JSON (default `BENCH_recovery.json`).
+
+use std::time::Instant;
+
+use bench::{bench_config, print_table};
+use bytefs::{ByteFs, ByteFsConfig};
+use fskit::FileSystemExt;
+use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
+
+/// Dirty-log depths (entries at crash) swept at scale 1.0.
+const DEPTHS: [usize; 5] = [1_000, 8_000, 32_000, 96_000, 160_000];
+
+/// Bytes per byte-interface entry written into the log (one cacheline).
+const ENTRY_BYTES: usize = 64;
+
+struct Sample {
+    entries_target: usize,
+    entries_at_crash: usize,
+    log_bytes: usize,
+    scanned: usize,
+    discarded: usize,
+    flushed_pages: usize,
+    firmware_ms: f64,
+    wall_ms: f64,
+}
+
+fn run(cfg: &MssdConfig, entries: usize) -> Sample {
+    let dev = Mssd::new(cfg.clone(), DramMode::WriteLog);
+    let fs = ByteFs::format(dev.clone(), ByteFsConfig::full()).expect("format");
+    fs.write_file("/anchor", b"survives every depth").expect("anchor file");
+    drop(fs);
+    dev.quiesce_cleaning();
+
+    // Fill the log to the target depth with committed byte writes into the
+    // data region (addresses far above the metadata tables), one cacheline
+    // per entry, spread over many pages so recovery's read-modify-write
+    // path is exercised. Every 64th entry is left uncommitted so recovery
+    // also discards work at every depth.
+    let data_base: u64 = cfg.capacity_bytes / 2;
+    let lines_per_page = (cfg.page_size / ENTRY_BYTES) as u64;
+    let mut tx = TxId(1);
+    let mut batch = 0usize;
+    for i in 0..entries as u64 {
+        let page = i / lines_per_page;
+        let line = i % lines_per_page;
+        let addr = data_base + page * cfg.page_size as u64 + line * ENTRY_BYTES as u64;
+        let uncommitted = i % 64 == 63;
+        let txid = if uncommitted { TxId(u32::MAX) } else { tx };
+        dev.byte_write(addr, &[i as u8; ENTRY_BYTES], Some(txid), Category::Data);
+        batch += 1;
+        if batch == 32 {
+            dev.commit(tx);
+            tx = TxId(tx.0 + 1);
+            batch = 0;
+        }
+    }
+    if batch > 0 {
+        dev.commit(tx);
+    }
+    dev.quiesce_cleaning();
+    let snap = dev.snapshot();
+
+    // Power failure, then measure the remount: superblock read, RECOVER()
+    // (scan + discard + flush), bitmap loads.
+    dev.crash();
+    let virtual_before = dev.clock().now_ns();
+    let wall = Instant::now();
+    let fs = ByteFs::mount(dev.clone(), ByteFsConfig::full()).expect("remount");
+    let report = fs.recover_after_crash();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let virtual_ms = (dev.clock().now_ns() - virtual_before) as f64 / 1e6;
+    assert_eq!(
+        fs.read_file("/anchor").expect("anchor readable"),
+        b"survives every depth",
+        "recovery lost committed data"
+    );
+
+    Sample {
+        entries_target: entries,
+        entries_at_crash: snap.log_entries,
+        log_bytes: snap.log_used_bytes,
+        scanned: report.scanned_entries,
+        discarded: report.discarded_entries,
+        flushed_pages: report.flushed_pages,
+        firmware_ms: virtual_ms,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let out = std::env::args().nth(2).unwrap_or_else(|| "BENCH_recovery.json".into());
+    let cfg = bench_config();
+
+    let mut samples = Vec::new();
+    for depth in DEPTHS {
+        let entries = ((depth as f64 * scale.factor()) as usize).max(64);
+        samples.push(run(&cfg, entries));
+    }
+
+    print_table(
+        "Remount + RECOVER() latency vs dirty-log depth (16 MB log region)",
+        &[
+            "entries at crash",
+            "log bytes",
+            "scanned",
+            "discarded",
+            "flushed pages",
+            "recovery (virtual)",
+            "remount wall-clock",
+        ],
+        &samples
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}", s.entries_at_crash),
+                    format!("{}", s.log_bytes),
+                    format!("{}", s.scanned),
+                    format!("{}", s.discarded),
+                    format!("{}", s.flushed_pages),
+                    format!("{:.2} ms", s.firmware_ms),
+                    format!("{:.2} ms", s.wall_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"entries_target\": {}, \"entries_at_crash\": {}, \"log_bytes\": {}, \
+                 \"scanned\": {}, \"discarded\": {}, \"flushed_pages\": {}, \
+                 \"recovery_virtual_ms\": {:.3}, \"remount_wall_ms\": {:.3}}}",
+                s.entries_target,
+                s.entries_at_crash,
+                s.log_bytes,
+                s.scanned,
+                s.discarded,
+                s.flushed_pages,
+                s.firmware_ms,
+                s.wall_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"recovery_time\",\n  \"scale\": {},\n  \"host_cpus\": {},\n  \
+         \"dram_region_bytes\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        scale.factor(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        cfg.dram_region_bytes,
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write results json");
+    println!("results written to {out}");
+    println!("Note: recovery time scales with scanned entries + flushed pages; the paper's");
+    println!("4.2 s figure is for a 1 GB device DRAM image (this harness models 16 MB).");
+}

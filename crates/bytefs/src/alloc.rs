@@ -166,6 +166,13 @@ impl BitmapAllocator {
         idx / BITS_PER_GROUP
     }
 
+    /// Marks the group containing `idx` dirty without touching any bit
+    /// (used by staged frees, which persist a cleared bit while keeping the
+    /// in-memory bit set until the deferred TRIM completes).
+    pub fn mark_group_dirty(&mut self, idx: u64) {
+        self.dirty_groups.insert(idx / BITS_PER_GROUP);
+    }
+
     /// Returns the current raw bytes of one 64-byte group (what the file
     /// system persists over the byte interface).
     pub fn group_bytes(&self, group: u64) -> [u8; DENTRY_SIZE] {
@@ -210,6 +217,10 @@ impl BitmapAllocator {
 #[derive(Debug)]
 pub struct SharedBitmap {
     inner: Mutex<BitmapAllocator>,
+    /// Staged frees: cleared on the *persisted* image, still allocated in
+    /// memory (see [`SharedBitmap::free_staged`]). Lock order: `inner`
+    /// before `staged`.
+    staged: Mutex<std::collections::HashSet<u64>>,
     free: AtomicU64,
     total: u64,
 }
@@ -219,7 +230,12 @@ impl SharedBitmap {
     pub fn new(bitmap: BitmapAllocator) -> Self {
         let free = AtomicU64::new(bitmap.free_count());
         let total = bitmap.total();
-        Self { inner: Mutex::new(bitmap), free, total }
+        Self {
+            inner: Mutex::new(bitmap),
+            staged: Mutex::new(std::collections::HashSet::new()),
+            free,
+            total,
+        }
     }
 
     /// Total number of objects tracked (immutable, lock-free).
@@ -294,15 +310,63 @@ impl SharedBitmap {
         self.free.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Stages a free for a crash-ordered discard: the object's group is
+    /// marked dirty and [`SharedBitmap::take_dirty_group_bytes`] masks the
+    /// bit off the *persisted* image, while the in-memory bit (and the free
+    /// counter) stay allocated — so no concurrent allocation can pick the
+    /// block up — until [`SharedBitmap::release_staged`] runs after the
+    /// transaction committed and the block was TRIMmed. The split keeps two
+    /// invariants at once: a power cut before the commit rolls the free
+    /// back (the persisted bits were transaction-tagged, and host memory is
+    /// lost anyway), and a block can never be handed to a new owner while
+    /// its deferred TRIM is still pending to destroy the new data.
+    pub fn free_staged(&self, idx: u64) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.is_allocated(idx), "staged free of unallocated {idx}");
+        inner.mark_group_dirty(idx);
+        self.staged.lock().insert(idx);
+    }
+
+    /// Completes staged frees after their transaction committed and the
+    /// TRIMs were issued: clears the in-memory bits and returns the space
+    /// to the allocatable pool (see [`SharedBitmap::free_staged`]).
+    pub fn release_staged(&self, idxs: &[u64]) {
+        if idxs.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let mut staged = self.staged.lock();
+        for idx in idxs {
+            assert!(staged.remove(idx), "releasing {idx} that was never staged");
+            inner.free(*idx);
+        }
+        drop(staged);
+        drop(inner);
+        self.free.fetch_add(idxs.len() as u64, Ordering::AcqRel);
+    }
+
     /// Returns and clears the dirty 64-byte groups together with their
     /// current raw bytes, atomically with respect to other allocations — what
-    /// a transaction persists over the byte interface.
+    /// a transaction persists over the byte interface. Staged frees are
+    /// masked off the bytes: the persisted image shows them freed while the
+    /// in-memory allocator still withholds them (see
+    /// [`SharedBitmap::free_staged`]).
     pub fn take_dirty_group_bytes(&self) -> Vec<(u64, [u8; DENTRY_SIZE])> {
         let mut inner = self.inner.lock();
+        let staged = self.staged.lock();
         inner
             .take_dirty_groups()
             .into_iter()
-            .map(|group| (group, inner.group_bytes(group)))
+            .map(|group| {
+                let mut bytes = inner.group_bytes(group);
+                for idx in staged.iter() {
+                    if BitmapAllocator::group_of(*idx) == group {
+                        let bit = idx % (DENTRY_SIZE as u64 * 8);
+                        bytes[(bit / 8) as usize] &= !(1 << (bit % 8));
+                    }
+                }
+                (group, bytes)
+            })
             .collect()
     }
 
@@ -445,6 +509,31 @@ mod tests {
         assert_eq!(all.len(), 1000, "no index handed out twice");
         assert_eq!(s.free_count(), 0);
         assert_eq!(s.allocate(), None, "full volume rejected on the lock-free path");
+    }
+
+    #[test]
+    fn staged_frees_are_unallocatable_until_released_but_persist_as_freed() {
+        // Regression: a staged free must not be handed to a new owner while
+        // its deferred TRIM is pending — only the *persisted* image shows
+        // the bit cleared (inside the freeing transaction); the in-memory
+        // allocator withholds the block until release_staged.
+        let mut b = BitmapAllocator::new(3);
+        for _ in 0..3 {
+            b.allocate().unwrap();
+        }
+        let s = SharedBitmap::new(b);
+        s.free(1);
+        s.free_staged(0);
+        assert_eq!(s.allocate(), Some(1), "only the truly freed block is allocatable");
+        assert_eq!(s.allocate(), None, "the staged block must not be handed out");
+        // The transaction persists the staged bit as cleared while the live
+        // bits stay set.
+        let groups = s.take_dirty_group_bytes();
+        let (_, bytes) = groups.iter().find(|(g, _)| *g == 0).expect("group 0 dirty");
+        assert_eq!(bytes[0] & 0b001, 0, "staged bit persisted as freed");
+        assert_eq!(bytes[0] & 0b110, 0b110, "live bits persisted as allocated");
+        s.release_staged(&[0]);
+        assert_eq!(s.allocate(), Some(0), "released block is allocatable again");
     }
 
     #[test]

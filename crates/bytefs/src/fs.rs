@@ -103,7 +103,7 @@ pub struct ByteFs {
     pub(crate) config: ByteFsConfig,
     pub(crate) layout: Layout,
     sb: Mutex<Superblock>,
-    namespace: RwLock<Namespace>,
+    pub(crate) namespace: RwLock<Namespace>,
     inode_shards: Vec<RwLock<HashMap<u64, InodeHandle>>>,
     pub(crate) inode_bitmap: SharedBitmap,
     pub(crate) block_bitmap: SharedBitmap,
@@ -485,10 +485,18 @@ impl ByteFs {
         self.block_bitmap.allocate().ok_or(FsError::NoSpace)
     }
 
-    /// Frees a data block: bitmap, device TRIM.
-    pub(crate) fn free_block(&self, lba: u64) {
-        self.block_bitmap.free(lba);
-        self.device.trim(lba, 1);
+    /// Completes a set of staged block frees after their transaction
+    /// committed: TRIM first (so the FTL stops relocating the dead data),
+    /// then hand the space back to the allocator. Issuing the TRIM only
+    /// *after* the commit is crash-ordering-critical: a power cut at the
+    /// commit step rolls the metadata back, and trimming beforehand would
+    /// have destroyed data the recovered file system still references
+    /// (found by the crashkit enumeration; see `crates/crashkit/DESIGN.md`).
+    pub(crate) fn discard_staged_blocks(&self, freed: &[u64]) {
+        for lba in freed {
+            self.device.trim(*lba, 1);
+        }
+        self.block_bitmap.release_staged(freed);
     }
 
     /// Loads a directory's entries into the dentry cache (block-interface
@@ -725,22 +733,26 @@ impl ByteFs {
         // Tombstone the target under its write lock, collecting its blocks.
         // Any data-path racer that acquires the inode lock afterwards sees
         // `nlink == 0` and bails instead of resurrecting freed blocks.
-        let (freed, overflow) = {
+        let (mut freed, overflow) = {
             let mut t = target_handle.write();
             t.nlink = 0;
             let freed: Vec<u64> = t.extents.iter_blocks().map(|(_, lba)| lba).collect();
             (freed, t.overflow_lba)
         };
-        for lba in freed {
-            self.free_block(lba);
-        }
-        if let Some(lba) = overflow {
-            self.free_block(lba);
+        freed.extend(overflow);
+        // Stage the frees inside the transaction (the cleared bits persist
+        // with it); the TRIMs and the allocator release happen only after
+        // the commit, so a power cut anywhere in between either rolls the
+        // whole unlink back with the data intact or completes it — never
+        // leaves a linked file whose blocks were already discarded.
+        for lba in &freed {
+            self.block_bitmap.free_staged(*lba);
         }
         self.inode_bitmap.free(target);
         self.persist_inode_free(&mut txn, target);
         self.persist_bitmaps(&mut txn);
         self.commit_txn(txn);
+        self.discard_staged_blocks(&freed);
 
         self.evict_inode(target);
         ns.dirs.remove(&target);

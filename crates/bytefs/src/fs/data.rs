@@ -303,8 +303,12 @@ impl ByteFs {
         inode.blocks = inode.blocks.saturating_sub(freed.len() as u64);
         inode.size = size;
         inode.mtime_ns = now;
+        // Stage the frees: the cleared bitmap bits persist inside the
+        // transaction below, while the TRIMs wait until after its commit —
+        // a power cut at the commit step must roll the truncate back with
+        // the tail data intact (see `ByteFs::discard_staged_blocks`).
         for lba in &freed {
-            self.free_block(*lba);
+            self.block_bitmap.free_staged(*lba);
         }
         self.page_cache.invalidate_from(ino, new_blocks);
         // Zero the tail of the last partial page so stale bytes beyond the new
@@ -325,6 +329,7 @@ impl ByteFs {
         self.persist_inode(&mut txn, inode);
         self.persist_bitmaps(&mut txn);
         self.commit_txn(txn);
+        self.discard_staged_blocks(&freed);
         self.dirty_inodes.lock().remove(&ino);
         Ok(())
     }

@@ -41,6 +41,26 @@
 //! allocator → journal/txtable → device`; see [`fs`] for the full rules and
 //! why they are deadlock-free.
 //!
+//! # Durability contract
+//!
+//! What ByteFS promises across a power failure, building on the device
+//! contract in [`mssd`] (battery-backed write log + TxLog, `COMMIT` =
+//! durable, `RECOVER` discards uncommitted entries):
+//!
+//! * **Completed metadata operations are durable.** Every `create`/`mkdir`/
+//!   `unlink`/`rmdir`/`rename` persists all of its metadata inside one
+//!   firmware transaction and commits before returning; once the call
+//!   returns, the operation survives any crash point.
+//! * **`fsync`/`fdatasync` returning means the data is durable.** Dirty
+//!   pages are written (byte or block interface per the §4.6 policy) and the
+//!   inode update committed before the call returns.
+//! * **Unsynced writes may vanish but never corrupt.** Buffered data that
+//!   was never fsynced lives only in the host page cache; a crash loses it
+//!   without affecting any committed state — after recovery the volume
+//!   passes [`ByteFs::fsck`] (the [`fskit::check::CrashConsistent`]
+//!   implementation in [`check`]) at every enumerated crash point, which the
+//!   `crashkit` crate verifies exhaustively.
+//!
 //! ```
 //! use bytefs::{ByteFs, ByteFsConfig};
 //! use fskit::{FileSystem, FileSystemExt};
@@ -60,6 +80,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;
+pub mod check;
 pub mod dentry;
 pub mod extent;
 pub mod fs;

@@ -7,10 +7,9 @@
 //! TxTable, device) race. Afterwards the tests assert post-hoc invariants:
 //! every thread's files read back exactly, the namespace agrees with the
 //! expectations, unlinking everything returns the allocators to their
-//! baseline, a concurrent run is observationally equivalent to a sequential
-//! replay of the same per-thread streams, and committed state survives a
-//! crash (mirroring the device-level suite in `mssd/tests/concurrency.rs`,
-//! one layer up).
+//! baseline, and a concurrent run is observationally equivalent to a
+//! sequential replay of the same per-thread streams. (Crash recovery under
+//! concurrency moved to the `crashkit` crate's ported suite.)
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -237,55 +236,9 @@ fn concurrent_run_agrees_with_single_threaded_replay() {
     assert_eq!(shared.allocated_inodes(), replay.allocated_inodes());
 }
 
-/// Crash consistency under concurrency: every thread fsyncs one file and
-/// renames another (both backed by committed firmware transactions), leaves a
-/// third dirty in the page cache, then the machine dies. After recovery the
-/// committed state must be intact and the uncommitted data absent.
-#[test]
-fn concurrent_crash_recovery_preserves_committed_operations() {
-    let (dev, fs) = new_fs();
-    for t in 0..THREADS {
-        fs.mkdir(&format!("/t{t}")).unwrap();
-    }
-    std::thread::scope(|s| {
-        for t in 0..THREADS {
-            let fs = Arc::clone(&fs);
-            s.spawn(move || {
-                let dir = format!("/t{t}");
-                // Durable: written and fsynced.
-                fs.write_file(&format!("{dir}/durable"), &vec![0xA0 + t as u8; 5_000]).unwrap();
-                // Durable metadata: created+fsynced, then renamed.
-                fs.write_file(&format!("{dir}/moved.tmp"), &vec![0xB0 + t as u8; 600]).unwrap();
-                fs.rename(&format!("{dir}/moved.tmp"), &format!("{dir}/moved")).unwrap();
-                // Volatile: created (committed) but its data never fsynced.
-                let fd = fs.open(&format!("{dir}/volatile"), OpenFlags::create_rw()).unwrap();
-                fs.write(fd, 0, &[0xFFu8; 2_000]).unwrap();
-                // No fsync, no close-side flush: the 2 000 bytes stay dirty in
-                // the host page cache and die with the host.
-            });
-        }
-    });
-    drop(fs);
-    dev.crash();
-
-    let fs2 = ByteFs::mount(Arc::clone(&dev), ByteFsConfig::full()).unwrap();
-    for t in 0..THREADS {
-        let dir = format!("/t{t}");
-        assert_eq!(
-            fs2.read_file(&format!("{dir}/durable")).unwrap(),
-            vec![0xA0 + t as u8; 5_000],
-            "thread {t}: fsynced file survives the crash"
-        );
-        assert_eq!(
-            fs2.read_file(&format!("{dir}/moved")).unwrap(),
-            vec![0xB0 + t as u8; 600],
-            "thread {t}: committed rename survives the crash"
-        );
-        assert!(!fs2.exists(&format!("{dir}/moved.tmp")), "thread {t}: old name is gone");
-        let meta = fs2.stat(&format!("{dir}/volatile")).unwrap();
-        assert_eq!(meta.size, 0, "thread {t}: unsynced page-cache data is lost");
-    }
-}
+// NOTE: the concurrent crash-recovery case that used to live here moved to
+// `crates/crashkit/tests/ported_crash_suites.rs`, on top of crashkit's
+// power-cycle machinery (plus a post-recovery fsck).
 
 /// Readers hammer files other threads are writing: per-inode RwLocks must
 /// serialize each file's writes against its reads without ever deadlocking,

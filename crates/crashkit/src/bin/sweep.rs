@@ -1,0 +1,93 @@
+//! CI entry point: bounded crash-point sweep of one scenario, emitting a
+//! JSON report whose `failures` array carries everything needed to replay a
+//! bad crash point (`Enumerator::reproduce(seed, cut)` with the same
+//! scenario and flags). Exits non-zero when any violation was found, so the
+//! workflow can upload the report as the failure-seed artifact.
+//!
+//! ```text
+//! sweep <device|bytefs|kv|ext4like|novalike> <cleaning:on|off> \
+//!       [seeds=4] [cuts-per-seed=24] [out.json]
+//! ```
+
+use std::io::Write as _;
+
+use crashkit::{
+    BaselineKind, BaselineStress, DeviceStress, Enumerator, FsStress, KvStress, Scenario,
+    SweepReport,
+};
+
+fn run<S: Scenario>(scenario: S, cleaning: bool, seeds: u64, cuts: usize) -> SweepReport {
+    let mut e = Enumerator::new(scenario);
+    e.inject_cleaning = cleaning;
+    e.recover_cleaning = cleaning;
+    let seeds: Vec<u64> = (1..=seeds).map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    e.sweep(&seeds, cuts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario = args.get(1).map(String::as_str).unwrap_or("device");
+    let cleaning = matches!(args.get(2).map(String::as_str), Some("on"));
+    let seeds: u64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let cuts: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(24);
+    let out = args.get(5).cloned().unwrap_or_else(|| "crashkit_sweep.json".into());
+
+    let report = match scenario {
+        "device" => run(DeviceStress::quick(), cleaning, seeds, cuts),
+        "bytefs" => run(FsStress::quick(), cleaning, seeds, cuts),
+        "kv" => run(KvStress::quick(), cleaning, seeds, cuts),
+        "ext4like" => run(BaselineStress::quick(BaselineKind::Ext4), cleaning, seeds, cuts),
+        "novalike" => run(BaselineStress::quick(BaselineKind::Nova), cleaning, seeds, cuts),
+        other => {
+            eprintln!("unknown scenario {other:?} (device|bytefs|kv|ext4like|novalike)");
+            std::process::exit(2);
+        }
+    };
+
+    let failures: Vec<String> = report
+        .failures()
+        .map(|o| {
+            let violations: Vec<String> = o
+                .violations
+                .iter()
+                .map(|v| format!("{{\"checker\":{:?},\"detail\":{:?}}}", v.checker, v.detail))
+                .collect();
+            format!(
+                "{{\"seed\":\"{:#x}\",\"cut\":{},\"kind\":{:?},\"repro\":{:?},\"violations\":[{}]}}",
+                o.seed,
+                o.cut,
+                o.cut_kind.map(|k| k.label()).unwrap_or("none"),
+                o.repro_line(),
+                violations.join(",")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scenario\": {:?},\n  \"background_cleaning\": {},\n  \"total_steps\": {},\n  \
+         \"points_explored\": {},\n  \"failures\": [{}]\n}}\n",
+        scenario,
+        cleaning,
+        report.total_steps,
+        report.distinct_points(),
+        failures.join(",")
+    );
+    let mut f = std::fs::File::create(&out).expect("create report file");
+    f.write_all(json.as_bytes()).expect("write report");
+
+    println!(
+        "crashkit sweep: scenario={scenario} cleaning={} -> {} points over a {}-step space, {} failures ({out})",
+        if cleaning { "on" } else { "off" },
+        report.distinct_points(),
+        report.total_steps,
+        failures.len()
+    );
+    for o in report.failures() {
+        println!("  {}", o.repro_line());
+        for v in &o.violations {
+            println!("    {v}");
+        }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,977 @@
+//! Built-in crash scenarios: deterministic seeded workloads paired with the
+//! oracles that verify their durability contract after a power cycle.
+//!
+//! A [`Scenario`] owns the workload shape (which layer it drives, which ops
+//! it mixes); the seed owns the concrete op stream. Scenarios must be
+//! deterministic: the same seed issues the same ops against a fresh device,
+//! so the enumeration driver can first count the durability steps and then
+//! replay the exact run with power cut at any chosen step. Every scenario
+//! polls [`Mssd::fault_tripped`] at op boundaries and stops once the cut
+//! fired; the op during which the cut landed is recorded as *in doubt* — its
+//! effects may be wholly, partially or not at all durable, and the oracle
+//! accepts any of those outcomes while every completed op is checked
+//! exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use baselines::{Ext4Like, NovaLike};
+use bytefs::{ByteFs, ByteFsConfig};
+use fskit::check::{CrashConsistent, Violation};
+use fskit::{FileSystem, FileSystemExt, OpenFlags};
+use kvstore::{Db, DbOptions, WalSync};
+use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
+
+use crate::Rng;
+
+/// A deterministic crash workload plus the knowledge to verify it.
+pub trait Scenario {
+    /// Base device configuration for this scenario. The driver installs the
+    /// fault plan and may override `background_cleaning` on top.
+    fn device_config(&self) -> MssdConfig;
+
+    /// Firmware mode the scenario's stack needs.
+    fn dram_mode(&self) -> DramMode {
+        DramMode::WriteLog
+    }
+
+    /// Drives the stack on a fresh device. Must be a pure function of
+    /// `seed`; must poll [`Mssd::fault_tripped`] at op boundaries and stop
+    /// once it fires. Returns the oracle of expected durable state.
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle>;
+}
+
+/// Expected durable state captured by a [`Scenario::run`]; verified against
+/// the restored-and-recovered device.
+pub trait Oracle {
+    /// Runs recovery-side checks on the restored device (power back on).
+    /// Returns every violation found; empty means the crash point is clean.
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation>;
+}
+
+/// What a completed (or in-doubt) write lets the oracle demand afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// The exact tag must be durable.
+    Exactly(u8),
+    /// The cut landed inside the producing op: either the old or the new
+    /// tag is acceptable.
+    Either(u8, u8),
+}
+
+impl Expect {
+    fn admits(self, got: u8) -> bool {
+        match self {
+            Expect::Exactly(t) => got == t,
+            Expect::Either(a, b) => got == a || got == b,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device-level mixed-op stress
+// ---------------------------------------------------------------------------
+
+/// The mixed-op device stress workload: single-threaded, seeded mix of
+/// non-transactional byte writes, transactional byte writes with batched
+/// commits, page-boundary-crossing byte writes, multi-page block writes,
+/// TRIMs, explicit region seals and NVMe flushes — the workload the
+/// acceptance sweep enumerates. Byte traffic lives in cacheline slots of
+/// partition 0; block traffic in whole pages of partition 1, so the two
+/// oracles never alias.
+#[derive(Debug, Clone)]
+pub struct DeviceStress {
+    /// Number of ops in the stream.
+    pub ops: usize,
+}
+
+/// 64-byte byte-interface slots the stress cycles through.
+const SLOTS: u64 = 96;
+/// Whole pages of block-interface traffic (offset into partition 1).
+const BLOCK_PAGES: u64 = 12;
+/// First logical page of the block region (16 MB / 4 KB = partition 1).
+const BLOCK_BASE: u64 = 4096;
+
+impl DeviceStress {
+    /// A stream sized so the crash-point space comfortably exceeds the
+    /// 200-point acceptance floor while a full exhaustive sweep stays fast.
+    pub fn quick() -> Self {
+        Self { ops: 220 }
+    }
+}
+
+impl Scenario for DeviceStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        // Two 16 MB partitions: byte slots in the first, block pages in the
+        // second.
+        cfg.capacity_bytes = 32 << 20;
+        // A log region small enough that the stream fills it repeatedly,
+        // with the cleaning threshold pushed out of the way so space
+        // admission actually fails: that drives the foreground seal +
+        // sealed-region drain path, whose SealDrain migrations are crash
+        // points of their own.
+        cfg.dram_region_bytes = 8 << 10;
+        cfg.log_clean_threshold = 0.999;
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let mut rng = Rng::new(seed);
+        let mut o = DeviceOracle::default();
+        // Transactional batch in flight: (slot, tag) pairs awaiting commit.
+        let mut pending: Vec<(u64, u8)> = Vec::new();
+        let mut tx = TxId(1);
+        for _ in 0..self.ops {
+            let roll = rng.below(100);
+            // Units touched by this op, with their new tags — used to mark
+            // the op in-doubt if the cut lands inside it.
+            let mut touched_lines: Vec<(u64, u8)> = Vec::new();
+            let mut touched_pages: Vec<(u64, u8)> = Vec::new();
+            let mut committing = false;
+            match roll {
+                // Non-transactional single-cacheline write.
+                0..=39 => {
+                    let slot = rng.below(SLOTS);
+                    let tag = 1 + (rng.below(250)) as u8;
+                    dev.byte_write(slot * 64, &[tag; 64], None, Category::Data);
+                    touched_lines.push((slot, tag));
+                }
+                // Transactional write; every 4th op of this kind commits.
+                40..=59 => {
+                    let slot = rng.below(SLOTS);
+                    let tag = 1 + (rng.below(250)) as u8;
+                    dev.byte_write(slot * 64, &[tag; 64], Some(tx), Category::Inode);
+                    pending.push((slot, tag));
+                    if pending.len() >= 4 {
+                        committing = true;
+                        dev.commit(tx);
+                    }
+                }
+                // Byte write crossing a page boundary: two chunks, torn
+                // independently.
+                60..=69 => {
+                    // Slots come in pairs (2k, 2k+1) at a page boundary:
+                    // slot addresses are page-relative lines, so pick a pair
+                    // whose first line ends a page (line 63 of some page).
+                    let page = 1 + rng.below(SLOTS / 64);
+                    let tag = 1 + (rng.below(250)) as u8;
+                    let addr = page * 4096 - 64;
+                    dev.byte_write(addr, &[tag; 128], None, Category::Data);
+                    touched_lines.push((page * 64 - 1, tag));
+                    touched_lines.push((page * 64, tag));
+                }
+                // Multi-page block write (1-3 pages), torn per page.
+                70..=84 => {
+                    let start = rng.below(BLOCK_PAGES - 2);
+                    let count = 1 + rng.below(3);
+                    let tag = 1 + (rng.below(250)) as u8;
+                    dev.block_write(
+                        BLOCK_BASE + start,
+                        &vec![tag; (count * 4096) as usize],
+                        Category::Data,
+                    );
+                    for p in start..start + count {
+                        touched_pages.push((p, tag));
+                    }
+                }
+                // TRIM one block page (atomic: counts no step).
+                85..=89 => {
+                    let p = rng.below(BLOCK_PAGES);
+                    dev.trim(BLOCK_BASE + p, 1);
+                    touched_pages.push((p, 0));
+                }
+                // Seal every shard's active log region.
+                90..=94 => dev.seal_log_regions(),
+                // NVMe FLUSH.
+                _ => dev.flush(),
+            }
+            if dev.fault_tripped() {
+                // The cut landed inside this op: everything it touched is in
+                // doubt, and any uncommitted transactional writes die with
+                // the TxLog record they never got.
+                for (slot, tag) in touched_lines {
+                    let old = o.line_tag(slot);
+                    o.lines.insert(slot, Expect::Either(old, tag));
+                }
+                for (page, tag) in touched_pages {
+                    let old = o.page_tag(page);
+                    o.pages.insert(page, Expect::Either(old, tag));
+                }
+                if committing {
+                    // Whether the commit record made it decides the whole
+                    // batch at once; per slot only the newest pending tag
+                    // can win the merge, and "old" is the pre-batch value —
+                    // snapshot it before any insert so a batch that wrote
+                    // one slot twice cannot corrupt its own baseline.
+                    let mut newest: BTreeMap<u64, u8> = BTreeMap::new();
+                    for (slot, tag) in pending.drain(..) {
+                        newest.insert(slot, tag);
+                    }
+                    for (slot, tag) in newest {
+                        let old = o.line_tag(slot);
+                        o.lines.insert(slot, Expect::Either(old, tag));
+                    }
+                } else {
+                    pending.clear(); // uncommitted ⇒ recovery discards ⇒ old value stands
+                }
+                return Box::new(o);
+            }
+            // Op completed: its effects are exactly durable. A
+            // non-transactional write also overshadows any older pending
+            // transactional write to the same slot — the pending chunk may
+            // still commit later, but its older sequence number loses the
+            // merge, so the oracle must forget it.
+            for (slot, tag) in touched_lines {
+                pending.retain(|(s, _)| *s != slot);
+                o.lines.insert(slot, Expect::Exactly(tag));
+            }
+            for (page, tag) in touched_pages {
+                o.pages.insert(page, Expect::Exactly(tag));
+            }
+            if committing {
+                for (slot, tag) in pending.drain(..) {
+                    o.lines.insert(slot, Expect::Exactly(tag));
+                }
+                tx = TxId(tx.0 + 1);
+            }
+        }
+        // Stream ended without a cut (count phase): uncommitted
+        // transactional writes are still discarded by recovery, so the old
+        // values already recorded in `lines` stand.
+        Box::new(o)
+    }
+}
+
+/// Expected durable device state of a [`DeviceStress`] run.
+#[derive(Debug, Default)]
+struct DeviceOracle {
+    /// Cacheline slot (address / 64) → expected 64-byte tag.
+    lines: BTreeMap<u64, Expect>,
+    /// Block-region page (relative to [`BLOCK_BASE`]) → expected page tag.
+    pages: BTreeMap<u64, Expect>,
+}
+
+impl DeviceOracle {
+    fn line_tag(&self, slot: u64) -> u8 {
+        match self.lines.get(&slot) {
+            Some(Expect::Exactly(t)) => *t,
+            // An in-doubt slot rewritten later: use 0 as the conservative
+            // base; the new Exactly/Either overwrites the entry anyway.
+            Some(Expect::Either(..)) | None => 0,
+        }
+    }
+
+    fn page_tag(&self, page: u64) -> u8 {
+        match self.pages.get(&page) {
+            Some(Expect::Exactly(t)) => *t,
+            Some(Expect::Either(..)) | None => 0,
+        }
+    }
+}
+
+impl Oracle for DeviceOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = Vec::new();
+        dev.recover();
+        if dev.snapshot().log_entries != 0 {
+            v.push(Violation::new(
+                "device-recover",
+                format!("{} log entries survived recovery", dev.snapshot().log_entries),
+            ));
+        }
+        for (&slot, &expect) in &self.lines {
+            let got = dev.byte_read(slot * 64, 64, Category::Data);
+            let tag = got[0];
+            if !got.iter().all(|b| *b == tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("slot {slot}: torn cacheline (mixes byte values)"),
+                ));
+            } else if !expect.admits(tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("slot {slot}: read tag {tag}, expected {expect:?}"),
+                ));
+            }
+        }
+        for (&page, &expect) in &self.pages {
+            let got = dev.block_read(BLOCK_BASE + page, 1, Category::Data);
+            let tag = got[0];
+            if !got.iter().all(|b| *b == tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("block page {page}: torn page (mixes byte values)"),
+                ));
+            } else if !expect.admits(tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("block page {page}: read tag {tag}, expected {expect:?}"),
+                ));
+            }
+        }
+        for problem in dev.check_consistency() {
+            v.push(Violation::new("mssd-ftl", problem));
+        }
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ByteFS file-system stress
+// ---------------------------------------------------------------------------
+
+/// File-system-level crash scenario on ByteFS: seeded mix of durable ops
+/// (`write_file` = create/overwrite + fsync, `mkdir`, `rename`, `unlink`,
+/// shrinking `truncate` + fsync). Every completed op must survive the crash
+/// exactly; the in-doubt op may land either way (but never tear).
+#[derive(Debug, Clone)]
+pub struct FsStress {
+    /// Number of file-system ops in the stream.
+    pub ops: usize,
+}
+
+impl FsStress {
+    /// Default stream for sweeps.
+    pub fn quick() -> Self {
+        Self { ops: 48 }
+    }
+}
+
+/// The one op whose transaction the cut may have straddled.
+#[derive(Debug, Clone)]
+enum InDoubt {
+    /// Power died during `format`: no file system exists to verify.
+    Format,
+    /// `write_file` (create or overwrite): any of absent / old / new /
+    /// empty is acceptable; content equality is only enforced when the new
+    /// size matches.
+    WriteFile { path: String, old: Option<Vec<u8>>, new: Vec<u8> },
+    /// `mkdir`: the directory may or may not exist.
+    Mkdir { path: String },
+    /// `unlink`: the file is gone, or still there with its old content.
+    Unlink { path: String, old: Vec<u8> },
+    /// `rename`: exactly one of the names exists, carrying the content.
+    Rename { from: String, to: String, content: Vec<u8> },
+    /// shrinking `truncate`: old size or new size, content prefix intact.
+    Truncate { path: String, old: Vec<u8>, new_len: usize },
+}
+
+impl Scenario for FsStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 64 << 20;
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let mut o = FsOracle {
+            files: BTreeMap::new(),
+            dirs: vec!["/".into()],
+            in_doubt: None,
+            formatted: false,
+        };
+        let fs = match ByteFs::format(Arc::clone(dev), ByteFsConfig::full()) {
+            Ok(fs) => fs,
+            Err(_) => {
+                o.in_doubt = Some(InDoubt::Format);
+                return Box::new(o);
+            }
+        };
+        if dev.fault_tripped() {
+            o.in_doubt = Some(InDoubt::Format);
+            return Box::new(o);
+        }
+        o.formatted = true;
+
+        let mut rng = Rng::new(seed);
+        let mut serial = 0usize;
+        for _ in 0..self.ops {
+            let roll = rng.below(100);
+            let in_doubt: InDoubt;
+            match roll {
+                // Create a fresh fsynced file in a random directory.
+                0..=39 => {
+                    let dir = o.dirs[rng.below(o.dirs.len() as u64) as usize].clone();
+                    let path = if dir == "/" {
+                        format!("/f{serial}")
+                    } else {
+                        format!("{dir}/f{serial}")
+                    };
+                    serial += 1;
+                    let tag = 1 + rng.below(250) as u8;
+                    let len = 64 + rng.below(6000) as usize;
+                    let content = vec![tag; len];
+                    in_doubt =
+                        InDoubt::WriteFile { path: path.clone(), old: None, new: content.clone() };
+                    fs.write_file(&path, &content).ok();
+                    if !dev.fault_tripped() {
+                        o.files.insert(path, content);
+                    }
+                }
+                // Overwrite an existing file (fsynced).
+                40..=54 => {
+                    let Some(path) = nth_key(&o.files, rng.next_u64()) else { continue };
+                    let tag = 1 + rng.below(250) as u8;
+                    let len = 64 + rng.below(6000) as usize;
+                    let content = vec![tag; len];
+                    in_doubt = InDoubt::WriteFile {
+                        path: path.clone(),
+                        old: o.files.get(&path).cloned(),
+                        new: content.clone(),
+                    };
+                    fs.write_file(&path, &content).ok();
+                    if !dev.fault_tripped() {
+                        o.files.insert(path, content);
+                    }
+                }
+                // mkdir.
+                55..=64 => {
+                    let path = format!("/d{serial}");
+                    serial += 1;
+                    in_doubt = InDoubt::Mkdir { path: path.clone() };
+                    fs.mkdir(&path).ok();
+                    if !dev.fault_tripped() {
+                        o.dirs.push(path);
+                    }
+                }
+                // Rename a file to a fresh name in its directory.
+                65..=74 => {
+                    let Some(from) = nth_key(&o.files, rng.next_u64()) else { continue };
+                    let to = match from.rfind('/') {
+                        Some(0) => format!("/r{serial}"),
+                        Some(i) => format!("{}/r{serial}", &from[..i]),
+                        None => format!("/r{serial}"),
+                    };
+                    serial += 1;
+                    let content = o.files[&from].clone();
+                    in_doubt =
+                        InDoubt::Rename { from: from.clone(), to: to.clone(), content };
+                    fs.rename(&from, &to).ok();
+                    if !dev.fault_tripped() {
+                        let c = o.files.remove(&from).expect("tracked");
+                        o.files.insert(to, c);
+                    }
+                }
+                // Unlink.
+                75..=87 => {
+                    let Some(path) = nth_key(&o.files, rng.next_u64()) else { continue };
+                    in_doubt =
+                        InDoubt::Unlink { path: path.clone(), old: o.files[&path].clone() };
+                    fs.unlink(&path).ok();
+                    if !dev.fault_tripped() {
+                        o.files.remove(&path);
+                    }
+                }
+                // Shrinking truncate + fsync.
+                _ => {
+                    let Some(path) = nth_key(&o.files, rng.next_u64()) else { continue };
+                    let old = o.files[&path].clone();
+                    if old.len() < 2 {
+                        continue;
+                    }
+                    let new_len = (rng.below(old.len() as u64 - 1) + 1) as usize;
+                    in_doubt =
+                        InDoubt::Truncate { path: path.clone(), old: old.clone(), new_len };
+                    if let Ok(fd) = fs.open(&path, OpenFlags::read_write()) {
+                        fs.truncate(fd, new_len as u64).ok();
+                        fs.fsync(fd).ok();
+                        fs.close(fd).ok();
+                    }
+                    if !dev.fault_tripped() {
+                        o.files.get_mut(&path).expect("tracked").truncate(new_len);
+                    }
+                }
+            }
+            if dev.fault_tripped() {
+                o.in_doubt = Some(in_doubt);
+                break;
+            }
+        }
+        // The crashed host's in-memory fs state dies here; only the device
+        // image carries on.
+        Box::new(o)
+    }
+}
+
+/// Expected durable file-system state of an [`FsStress`] run.
+struct FsOracle {
+    files: BTreeMap<String, Vec<u8>>,
+    dirs: Vec<String>,
+    in_doubt: Option<InDoubt>,
+    formatted: bool,
+}
+
+impl FsOracle {
+    /// Paths the in-doubt op may legitimately have altered; exact checks
+    /// skip them.
+    fn in_doubt_paths(&self) -> Vec<&str> {
+        match &self.in_doubt {
+            Some(InDoubt::WriteFile { path, .. })
+            | Some(InDoubt::Mkdir { path })
+            | Some(InDoubt::Unlink { path, .. })
+            | Some(InDoubt::Truncate { path, .. }) => vec![path],
+            Some(InDoubt::Rename { from, to, .. }) => vec![from, to],
+            Some(InDoubt::Format) | None => vec![],
+        }
+    }
+}
+
+impl Oracle for FsOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = Vec::new();
+        dev.recover();
+        if !self.formatted {
+            // Power died during mkfs: there is nothing mountable to check,
+            // only device-level invariants.
+            for problem in dev.check_consistency() {
+                v.push(Violation::new("mssd-ftl", problem));
+            }
+            return v;
+        }
+        let fs = match ByteFs::mount(Arc::clone(dev), ByteFsConfig::full()) {
+            Ok(fs) => fs,
+            Err(e) => {
+                v.push(Violation::new("fs-mount", format!("remount failed: {e}")));
+                return v;
+            }
+        };
+        let skip = self.in_doubt_paths();
+        for (path, content) in &self.files {
+            if skip.contains(&path.as_str()) {
+                continue;
+            }
+            match fs.read_file(path) {
+                Ok(got) if &got == content => {}
+                Ok(got) => v.push(Violation::new(
+                    "fs-data",
+                    format!(
+                        "{path}: {} bytes read, {} expected (content diverged)",
+                        got.len(),
+                        content.len()
+                    ),
+                )),
+                Err(e) => v.push(Violation::new(
+                    "fs-data",
+                    format!("{path}: completed fsynced write lost ({e})"),
+                )),
+            }
+        }
+        for dir in &self.dirs {
+            if skip.contains(&dir.as_str()) {
+                continue;
+            }
+            if !fs.exists(dir) {
+                v.push(Violation::new("fs-namespace", format!("{dir}: committed mkdir lost")));
+            }
+        }
+        // The in-doubt op may have landed either way — but never torn.
+        match &self.in_doubt {
+            None | Some(InDoubt::Format) => {}
+            Some(InDoubt::WriteFile { path, old, new }) => {
+                if let Ok(got) = fs.read_file(path) {
+                    let ok = got.is_empty()
+                        || Some(&got) == old.as_ref()
+                        || &got == new
+                        // An overwrite tears at page granularity inside the
+                        // host cache writeback; sizes must still be one of
+                        // the two.
+                        || old.as_ref().is_some_and(|o| got.len() == o.len())
+                        || got.len() == new.len();
+                    if !ok {
+                        v.push(Violation::new(
+                            "fs-data",
+                            format!("{path}: in-doubt write left an impossible size {}", got.len()),
+                        ));
+                    }
+                }
+            }
+            Some(InDoubt::Mkdir { .. }) => {}
+            Some(InDoubt::Unlink { path, old }) => {
+                if let Ok(got) = fs.read_file(path) {
+                    if &got != old {
+                        v.push(Violation::new(
+                            "fs-data",
+                            format!(
+                                "{path}: in-doubt unlink left {} bytes, expected the old {} \
+                                 (pre-commit TRIM would zero this)",
+                                got.len(),
+                                old.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+            Some(InDoubt::Rename { from, to, content }) => {
+                let at_from = fs.read_file(from).ok();
+                let at_to = fs.read_file(to).ok();
+                match (at_from, at_to) {
+                    (Some(c), None) | (None, Some(c)) => {
+                        if &c != content {
+                            v.push(Violation::new(
+                                "fs-data",
+                                format!("{from} -> {to}: rename changed the file's content"),
+                            ));
+                        }
+                    }
+                    (Some(_), Some(_)) => v.push(Violation::new(
+                        "fs-namespace",
+                        format!("{from} -> {to}: file visible under both names"),
+                    )),
+                    (None, None) => v.push(Violation::new(
+                        "fs-namespace",
+                        format!("{from} -> {to}: file vanished during rename"),
+                    )),
+                }
+            }
+            Some(InDoubt::Truncate { path, old, new_len }) => {
+                match fs.read_file(path) {
+                    Ok(got) => {
+                        let ok = (got.len() == *new_len && got[..] == old[..*new_len])
+                            || (got.len() == old.len() && got == *old);
+                        if !ok {
+                            v.push(Violation::new(
+                                "fs-data",
+                                format!(
+                                    "{path}: in-doubt truncate left {} bytes (old {}, new {}) \
+                                     or corrupted the prefix",
+                                    got.len(),
+                                    old.len(),
+                                    new_len
+                                ),
+                            ));
+                        }
+                    }
+                    Err(e) => v.push(Violation::new(
+                        "fs-data",
+                        format!("{path}: file lost by a truncate ({e})"),
+                    )),
+                }
+            }
+        }
+        v.extend(fs.fsck());
+        v
+    }
+}
+
+fn nth_key(map: &BTreeMap<String, Vec<u8>>, r: u64) -> Option<String> {
+    if map.is_empty() {
+        return None;
+    }
+    map.keys().nth((r as usize) % map.len()).cloned()
+}
+
+// ---------------------------------------------------------------------------
+// KV-store stress (WAL tail recovery)
+// ---------------------------------------------------------------------------
+
+/// KV-store crash scenario: unique-key puts through [`kvstore::Db`] on
+/// ByteFS with group-committed WAL syncs and periodic explicit flushes. The
+/// oracle pins the WAL-tail contract: reopening the database after *any*
+/// crash point must succeed (a torn final record truncates instead of
+/// erroring), every put up to the last completed flush must be present, and
+/// later puts are each present-or-absent but never corrupt.
+#[derive(Debug, Clone)]
+pub struct KvStress {
+    /// Number of puts in the stream.
+    pub puts: usize,
+    /// A `db.flush()` is issued after every `flush_every` puts.
+    pub flush_every: usize,
+}
+
+impl KvStress {
+    /// Default stream for sweeps.
+    pub fn quick() -> Self {
+        Self { puts: 40, flush_every: 16 }
+    }
+
+    fn value(i: usize) -> Vec<u8> {
+        // Long enough that records regularly straddle page boundaries in
+        // the WAL file — the torn-tail shape the checksums must catch.
+        vec![(i % 251) as u8; 350 + (i * 37) % 300]
+    }
+
+    fn options() -> DbOptions {
+        DbOptions {
+            memtable_bytes: 8 << 10,
+            compaction_threshold: 3,
+            wal_sync: WalSync::Periodic(4),
+        }
+    }
+}
+
+impl Scenario for KvStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 64 << 20;
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let _ = seed; // the stream is fixed; the seed varies only the cut
+        let mut o = KvOracle {
+            flush_every: self.flush_every,
+            completed_puts: 0,
+            durable_puts: 0,
+            opened: false,
+        };
+        let Ok(fs) = ByteFs::format(Arc::clone(dev), ByteFsConfig::full()) else {
+            return Box::new(o);
+        };
+        if dev.fault_tripped() {
+            return Box::new(o);
+        }
+        let Ok(db) = Db::open(fs, "/db", Self::options()) else {
+            return Box::new(o);
+        };
+        if dev.fault_tripped() {
+            return Box::new(o);
+        }
+        o.opened = true;
+        for i in 0..self.puts {
+            db.put(format!("key{i:05}").as_bytes(), &Self::value(i)).ok();
+            if dev.fault_tripped() {
+                return Box::new(o);
+            }
+            o.completed_puts = i + 1;
+            if (i + 1) % self.flush_every == 0 {
+                db.flush().ok();
+                if dev.fault_tripped() {
+                    return Box::new(o);
+                }
+                o.durable_puts = i + 1;
+            }
+        }
+        db.close().ok();
+        if !dev.fault_tripped() {
+            o.durable_puts = self.puts;
+        }
+        Box::new(o)
+    }
+}
+
+/// Expected durable KV state of a [`KvStress`] run.
+struct KvOracle {
+    flush_every: usize,
+    /// Puts whose `put()` call returned before the cut.
+    completed_puts: usize,
+    /// Puts known durable (last completed explicit flush / clean close).
+    durable_puts: usize,
+    /// Whether the database finished opening before the cut.
+    opened: bool,
+}
+
+impl Oracle for KvOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = Vec::new();
+        dev.recover();
+        if !self.opened {
+            for problem in dev.check_consistency() {
+                v.push(Violation::new("mssd-ftl", problem));
+            }
+            return v;
+        }
+        let fs = match ByteFs::mount(Arc::clone(dev), ByteFsConfig::full()) {
+            Ok(fs) => fs,
+            Err(e) => {
+                v.push(Violation::new("fs-mount", format!("remount failed: {e}")));
+                return v;
+            }
+        };
+        // The WAL-tail contract: reopening must always succeed — a torn
+        // final record truncates cleanly instead of erroring out.
+        let db = match Db::open(fs.clone(), "/db", KvStress::options()) {
+            Ok(db) => db,
+            Err(e) => {
+                v.push(Violation::new(
+                    "wal-tail",
+                    format!("Db::open failed after crash (torn WAL tail not recovered): {e}"),
+                ));
+                return v;
+            }
+        };
+        for i in 0..self.durable_puts {
+            let key = format!("key{i:05}");
+            match db.get(key.as_bytes()) {
+                Ok(Some(val)) if val == KvStress::value(i) => {}
+                Ok(Some(_)) => v.push(Violation::new(
+                    "kv-data",
+                    format!("{key}: value corrupted after recovery"),
+                )),
+                Ok(None) => v.push(Violation::new(
+                    "kv-data",
+                    format!("{key}: flushed put lost (durable through put {})", self.durable_puts),
+                )),
+                Err(e) => v.push(Violation::new("kv-data", format!("{key}: read failed: {e}"))),
+            }
+        }
+        // Later puts may or may not have reached the device, but whatever
+        // survives must be byte-exact.
+        for i in self.durable_puts..self.completed_puts {
+            let key = format!("key{i:05}");
+            if let Ok(Some(val)) = db.get(key.as_bytes()) {
+                if val != KvStress::value(i) {
+                    v.push(Violation::new(
+                        "kv-data",
+                        format!("{key}: surviving unsynced put is corrupt"),
+                    ));
+                }
+            }
+        }
+        let _ = self.flush_every;
+        v.extend(db.check_invariants());
+        v.extend(fs.fsck());
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline engines (device-level durability only)
+// ---------------------------------------------------------------------------
+
+/// Which baseline engine a [`BaselineStress`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// The Ext4-like block-journaling baseline.
+    Ext4,
+    /// The NOVA-like byte-interface log-structured baseline.
+    Nova,
+}
+
+impl BaselineKind {
+    /// Stable label for reports and the CI matrix.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::Ext4 => "ext4like",
+            BaselineKind::Nova => "novalike",
+        }
+    }
+}
+
+/// Crash scenario for the baseline engines. The baselines are measurement
+/// stand-ins without a remountable on-disk format (see
+/// `crates/baselines/src/lib.rs`), so the oracle checks what *is* durable
+/// contract here: the engine's own structural invariants at the moment of
+/// the cut (via its [`CrashConsistent`] impl), and the device's — the
+/// restored image must recover into a consistent FTL with no log residue.
+/// The crash points still exercise the whole PageCache-mode device path
+/// (cache writes, evictions, journal writes, flushes, GC).
+#[derive(Debug, Clone)]
+pub struct BaselineStress {
+    /// Which engine to drive.
+    pub kind: BaselineKind,
+    /// Number of file-system ops in the stream.
+    pub ops: usize,
+}
+
+impl BaselineStress {
+    /// Default stream for sweeps.
+    pub fn quick(kind: BaselineKind) -> Self {
+        Self { kind, ops: 60 }
+    }
+}
+
+impl Scenario for BaselineStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 64 << 20;
+        // A small device cache so evictions and write-through traffic
+        // produce flash crash points, not just cache writes.
+        cfg.dram_region_bytes = 64 << 10;
+        cfg
+    }
+
+    fn dram_mode(&self) -> DramMode {
+        DramMode::PageCache
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        match self.kind {
+            BaselineKind::Ext4 => {
+                let fs = Ext4Like::format(Arc::clone(dev));
+                drive_baseline(fs, dev, seed, self.ops)
+            }
+            BaselineKind::Nova => {
+                let fs = NovaLike::format(Arc::clone(dev));
+                drive_baseline(fs, dev, seed, self.ops)
+            }
+        }
+    }
+}
+
+/// Runs the baseline op stream on a concrete engine (the type must stay
+/// concrete so both its [`FileSystem`] and [`CrashConsistent`] impls are
+/// reachable), returning the oracle.
+fn drive_baseline<F>(fs: Arc<F>, dev: &Arc<Mssd>, seed: u64, ops: usize) -> Box<dyn Oracle>
+where
+    F: FileSystem + CrashConsistent,
+{
+    let mut rng = Rng::new(seed);
+    let mut serial = 0usize;
+    let mut files: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for _ in 0..ops {
+        if dev.fault_tripped() {
+            break;
+        }
+        match rng.below(10) {
+            0..=4 => {
+                let path = format!("/f{serial}");
+                serial += 1;
+                let tag = 1 + rng.below(250) as u8;
+                let len = 64 + rng.below(9000) as usize;
+                let content = vec![tag; len];
+                fs.write_file(&path, &content).ok();
+                files.insert(path, content);
+            }
+            5 | 6 => {
+                let Some(path) = nth_key(&files, rng.next_u64()) else { continue };
+                let tag = 1 + rng.below(250) as u8;
+                let content = vec![tag; 64 + rng.below(9000) as usize];
+                fs.write_file(&path, &content).ok();
+                files.insert(path, content);
+            }
+            7 => {
+                let Some(path) = nth_key(&files, rng.next_u64()) else { continue };
+                fs.unlink(&path).ok();
+                files.remove(&path);
+            }
+            8 => {
+                let Some(from) = nth_key(&files, rng.next_u64()) else { continue };
+                let to = format!("/r{serial}");
+                serial += 1;
+                if fs.rename(&from, &to).is_ok() {
+                    let c = files.remove(&from).expect("tracked");
+                    files.insert(to, c);
+                }
+            }
+            _ => {
+                fs.sync().ok();
+            }
+        }
+    }
+    // The engine's own structural invariants must hold at the cut instant —
+    // the device refused every post-cut mutation, and the host-side
+    // structures must not have been corrupted by that.
+    let pre_crash = fs.check_invariants();
+    Box::new(BaselineOracle { pre_crash })
+}
+
+/// Oracle of a [`BaselineStress`] run: pre-crash engine invariants plus
+/// post-restore device recovery checks.
+struct BaselineOracle {
+    pre_crash: Vec<Violation>,
+}
+
+impl Oracle for BaselineOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = self.pre_crash.clone();
+        // PageCache mode: recovery is a no-op scan, but flushing the
+        // battery-backed cache pages to flash must leave the FTL coherent.
+        dev.recover();
+        dev.flush();
+        for problem in dev.check_consistency() {
+            v.push(Violation::new("mssd-ftl", problem));
+        }
+        v
+    }
+}

@@ -1,0 +1,59 @@
+//! Property sweep: for randomized seeds and cut fractions, an enumerated
+//! crash point must recover to the **same invariant-clean state** whether
+//! the recovery-side firmware runs its background cleaner or not, and the
+//! crash-point counting itself must be deterministic (same seed → same
+//! space → same cut → same image).
+
+use proptest::prelude::*;
+
+use crashkit::{DeviceStress, Enumerator, FsStress};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn device_crash_points_recover_identically_with_cleaning_on_and_off(
+        seed in any::<u64>(),
+        frac in 0u64..1000,
+    ) {
+        let off = Enumerator::new(DeviceStress { ops: 120 });
+        let mut on = Enumerator::new(DeviceStress { ops: 120 });
+        on.recover_cleaning = true;
+        let total = off.count_steps(seed);
+        prop_assert!(total > 0);
+        prop_assert_eq!(total, on.count_steps(seed), "counting must be deterministic");
+        let cut = 1 + frac % total;
+        let a = off.run_cut(seed, cut);
+        let b = on.run_cut(seed, cut);
+        prop_assert_eq!(a.image_digest, b.image_digest, "same seed+cut, same crash image");
+        prop_assert!(a.violations.is_empty(), "cleaning-off: {}", a.repro_line());
+        prop_assert!(b.violations.is_empty(), "cleaning-on: {}", b.repro_line());
+        prop_assert_eq!(
+            a.recovered_digest, b.recovered_digest,
+            "recovery must converge to one state regardless of the cleaning mode"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fs_crash_points_recover_identically_with_cleaning_on_and_off(
+        seed in any::<u64>(),
+        frac in 0u64..1000,
+    ) {
+        let off = Enumerator::new(FsStress { ops: 24 });
+        let mut on = Enumerator::new(FsStress { ops: 24 });
+        on.recover_cleaning = true;
+        let total = off.count_steps(seed);
+        prop_assert!(total > 0);
+        let cut = 1 + frac % total;
+        let a = off.run_cut(seed, cut);
+        let b = on.run_cut(seed, cut);
+        prop_assert_eq!(a.image_digest, b.image_digest);
+        prop_assert!(a.violations.is_empty(), "cleaning-off: {}", a.repro_line());
+        prop_assert!(b.violations.is_empty(), "cleaning-on: {}", b.repro_line());
+        prop_assert_eq!(a.recovered_digest, b.recovered_digest);
+    }
+}

@@ -1,0 +1,84 @@
+//! The acceptance sweep: crashkit must enumerate a crash-point space of at
+//! least 200 distinct points on the mixed-op device stress workload and find
+//! zero invariant violations at every one of them — with background cleaning
+//! off (deterministic) and on (racing cleaner thread), on both the injection
+//! and the recovery side. The file-system, KV and baseline scenarios ride
+//! the same driver with bounded sweeps.
+
+use std::collections::BTreeSet;
+
+use crashkit::{BaselineKind, BaselineStress, DeviceStress, Enumerator, FsStress, KvStress};
+use mssd::FaultKind;
+
+#[test]
+fn mixed_op_stress_enumerates_at_least_200_clean_crash_points() {
+    let e = Enumerator::new(DeviceStress::quick());
+    let seed = 0x00A5_CE55;
+    let total = e.count_steps(seed);
+    assert!(
+        total >= 200,
+        "the mixed-op stress must expose >= 200 crash points, got {total}"
+    );
+    let report = e.exhaustive(seed, 400);
+    assert_eq!(report.total_steps, total);
+    assert!(report.distinct_points() >= 200, "only {} points explored", report.distinct_points());
+    report.assert_clean();
+
+    // The sweep must have cut at every flavour of durability step the
+    // workload produces — torn programs, lost commits, half-drained seals.
+    let kinds: BTreeSet<&str> =
+        report.outcomes.iter().filter_map(|o| o.cut_kind).map(FaultKind::label).collect();
+    for expected in ["log-append", "tx-commit", "buffer-write", "flash-program", "seal-drain"] {
+        assert!(kinds.contains(expected), "no cut landed on a {expected} step (got {kinds:?})");
+    }
+}
+
+#[test]
+fn mixed_op_stress_is_clean_with_background_cleaning_on_both_sides() {
+    // Injection with the cleaner thread racing: cut placement is
+    // nondeterministic, but every crash state it produces must still
+    // recover clean. Recovery also runs with cleaning enabled.
+    let mut e = Enumerator::new(DeviceStress::quick());
+    e.inject_cleaning = true;
+    e.recover_cleaning = true;
+    let report = e.sweep(&[1, 2, 3], 20);
+    assert!(report.distinct_points() >= 40);
+    report.assert_clean();
+}
+
+#[test]
+fn bytefs_stress_survives_an_exhaustive_sweep() {
+    let e = Enumerator::new(FsStress::quick());
+    let report = e.exhaustive(0xF5, 120);
+    assert!(report.total_steps > 120, "fs workload too small: {}", report.total_steps);
+    report.assert_clean();
+}
+
+#[test]
+fn bytefs_stress_is_clean_with_cleaning_enabled() {
+    let mut e = Enumerator::new(FsStress::quick());
+    e.inject_cleaning = true;
+    e.recover_cleaning = true;
+    let report = e.sweep(&[0xF6, 0xF7], 15);
+    report.assert_clean();
+}
+
+#[test]
+fn kv_store_recovers_at_every_crash_point() {
+    // Pins the WAL-tail contract: Db::open must succeed (torn final record
+    // truncated, not an error) and flushed puts must survive, at every cut.
+    let e = Enumerator::new(KvStress::quick());
+    let report = e.exhaustive(0xDB, 100);
+    assert!(report.total_steps > 60);
+    report.assert_clean();
+}
+
+#[test]
+fn baseline_engines_stay_consistent_across_crash_points() {
+    for kind in [BaselineKind::Ext4, BaselineKind::Nova] {
+        let e = Enumerator::new(BaselineStress::quick(kind));
+        let report = e.exhaustive(0xBA5E, 60);
+        assert!(report.total_steps > 60, "{}: workload too small", kind.label());
+        report.assert_clean();
+    }
+}

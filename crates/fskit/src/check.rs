@@ -1,0 +1,71 @@
+//! The crash-consistency checker API shared by the whole stack.
+//!
+//! `crashkit` remounts a file system (or reopens a database) on a restored
+//! crash image and then asks every layer to verify its own structural
+//! invariants through the [`CrashConsistent`] trait — an "fsck as a library"
+//! hook. Implementations live next to the structures they check:
+//!
+//! * `bytefs::ByteFs` — bitmap/namespace/extent cross-checks,
+//! * `baselines::BaselineFs` — allocator vs. block-map consistency,
+//! * `kvstore::Db` — WAL tail integrity (checksummed records, torn tail
+//!   truncated).
+//!
+//! Checkers report problems as data ([`Violation`]) instead of panicking, so
+//! an enumeration driver can attribute a failure to the crash point (seed +
+//! cut index) that produced it and print a reproduction line.
+
+/// One invariant violation found by a checker. A clean check returns no
+/// violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which checker (or invariant family) found the problem, e.g.
+    /// `"bytefs-fsck"`, `"wal-tail"`.
+    pub checker: String,
+    /// Human-readable description, specific enough to debug from.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Convenience constructor.
+    pub fn new(checker: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self { checker: checker.into(), detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.checker, self.detail)
+    }
+}
+
+/// Structural self-verification after a mount/recovery (or at any quiescent
+/// point). Implementations must not mutate durable state: a checker that
+/// "repairs" would hide the very corruption crashkit exists to find.
+pub trait CrashConsistent {
+    /// Verifies the implementation's internal invariants, returning every
+    /// violation found (empty = clean).
+    fn check_invariants(&self) -> Vec<Violation>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_formats_with_checker_prefix() {
+        let v = Violation::new("fsck", "inode 7 unreachable");
+        assert_eq!(v.to_string(), "[fsck] inode 7 unreachable");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        struct Clean;
+        impl CrashConsistent for Clean {
+            fn check_invariants(&self) -> Vec<Violation> {
+                Vec::new()
+            }
+        }
+        let c: Box<dyn CrashConsistent> = Box::new(Clean);
+        assert!(c.check_invariants().is_empty());
+    }
+}

@@ -30,6 +30,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod check;
 pub mod error;
 pub mod fs;
 pub mod journal;
@@ -37,6 +38,7 @@ pub mod pagecache;
 pub mod path;
 pub mod types;
 
+pub use check::{CrashConsistent, Violation};
 pub use error::{FsError, FsResult};
 pub use fs::{FileSystem, FileSystemExt};
 pub use types::{DirEntry, Fd, FileType, Metadata, OpenFlags};

@@ -140,6 +140,19 @@ impl Db {
         &self.fs
     }
 
+    /// One consistent snapshot for the crash-consistency checker: the WAL
+    /// validation result plus the memtable's current contents (see the
+    /// [`fskit::check::CrashConsistent`] impl in [`crate::wal`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn wal_and_memtable_view(
+        &self,
+    ) -> (FsResult<Result<Vec<WalRecord>, String>>, Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+        let st = self.state.lock();
+        let wal_check = st.wal.validate();
+        let view = st.memtable.range_from(&[]).map(|(k, v)| (k.clone(), v.clone())).collect();
+        (wal_check, view)
+    }
+
     /// Operation counters.
     pub fn stats(&self) -> DbStats {
         self.state.lock().stats

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::{CACHELINE, PAGE_SIZE};
 
 /// Named flash/interconnect latency profiles from the paper's sensitivity study
@@ -124,6 +125,11 @@ pub struct MssdConfig {
     pub background_cleaning: bool,
     /// Timing profile this configuration was derived from (informational).
     pub profile: TimingProfile,
+    /// Power-failure injection plan (see [`crate::fault`]). Disabled by
+    /// default; the crashkit enumeration driver installs counting or cutting
+    /// plans here. Cloning the config shares the plan's counters, so every
+    /// component of one device observes the same step sequence.
+    pub fault: FaultPlan,
 }
 
 impl Default for MssdConfig {
@@ -158,6 +164,7 @@ impl MssdConfig {
             write_buffer_bytes: 16 << 20,
             background_cleaning: true,
             profile,
+            fault: FaultPlan::disabled(),
         }
     }
 
@@ -183,6 +190,7 @@ impl MssdConfig {
             write_buffer_bytes: 64 << 10,
             background_cleaning: true,
             profile: TimingProfile::Default,
+            fault: FaultPlan::disabled(),
         }
     }
 
@@ -221,6 +229,12 @@ impl MssdConfig {
     /// Enables or disables the background log-cleaner thread.
     pub fn with_background_cleaning(mut self, enabled: bool) -> Self {
         self.background_cleaning = enabled;
+        self
+    }
+
+    /// Installs a power-failure injection plan (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
         self
     }
 

@@ -72,8 +72,9 @@ use serde::{Deserialize, Serialize};
 use crate::clock::Clock;
 use crate::config::MssdConfig;
 use crate::dram_cache::{DramPageCache, ShardedDramCache};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::ftl::{Lpa, ShardedFtl};
-use crate::log::{ChunkEntry, SealedStep, ShardedWriteLog, LOG_SHARDS};
+use crate::log::{ChunkEntry, LogEntryImage, SealedStep, ShardedWriteLog, LOG_SHARDS};
 use crate::stats::{AtomicTraffic, Category, Direction, Interface, StatsSnapshot, TrafficCounter};
 use crate::txn::{TxId, TxLog};
 
@@ -97,6 +98,91 @@ pub struct RecoveryReport {
     pub flushed_pages: usize,
     /// Virtual time the recovery took, in nanoseconds.
     pub duration_ns: u64,
+}
+
+/// The durable state of a device at a power-failure instant: exactly what a
+/// real M-SSD keeps across power loss — NAND contents plus battery-backed
+/// device DRAM (write log, TxLog, FTL write buffer, device page cache).
+/// Produced by [`Mssd::crash_image`], consumed by [`Mssd::from_crash_image`].
+///
+/// Crash harnesses may mutate an image before restoring it to model
+/// violations of the battery assumption (e.g. clearing `buffered_pages`
+/// models a failed capacitor flush, truncating `txlog` models torn commit
+/// records); the crashkit checkers must then catch the resulting
+/// inconsistency.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// Firmware mode the image was captured in.
+    pub mode: DramMode,
+    /// Write-log entries (battery-backed DRAM), sorted by `(lpa, seq)`.
+    pub log_entries: Vec<LogEntryImage>,
+    /// The log's next sequence number.
+    pub log_seq: u64,
+    /// Committed TxIDs in commit order (battery-backed TxLog).
+    pub txlog: Vec<TxId>,
+    /// Logical pages programmed on NAND, sorted by LPA.
+    pub flash_pages: Vec<(Lpa, Vec<u8>)>,
+    /// Pages accepted into the FTL write buffer but not yet programmed
+    /// (battery-backed; a real device flushes them from capacitor power).
+    pub buffered_pages: Vec<(Lpa, Vec<u8>)>,
+    /// Dirty pages of the device page cache (baseline mode; battery-backed).
+    pub cache_pages: Vec<(Lpa, Vec<u8>)>,
+}
+
+impl CrashImage {
+    /// Order-independent-stable FNV-1a digest over the full durable state.
+    /// Two identical crash states always digest equal (the collections are
+    /// sorted at capture), which is what the determinism tests pin.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&[self.mode as u8]);
+        eat(&self.log_seq.to_le_bytes());
+        // Every variable-length field is length-prefixed and every
+        // collection count-prefixed, so field/entry boundaries cannot
+        // alias between two different images.
+        eat(&(self.log_entries.len() as u64).to_le_bytes());
+        for e in &self.log_entries {
+            eat(&e.lpa.to_le_bytes());
+            eat(&(e.offset as u64).to_le_bytes());
+            eat(&e.seq.to_le_bytes());
+            eat(&[u8::from(e.sealed), u8::from(e.txid.is_some())]);
+            eat(&e.txid.map(|t| t.0).unwrap_or(0).to_le_bytes());
+            eat(&(e.data.len() as u64).to_le_bytes());
+            eat(&e.data);
+        }
+        eat(&(self.txlog.len() as u64).to_le_bytes());
+        for tx in &self.txlog {
+            eat(&tx.0.to_le_bytes());
+        }
+        for set in [&self.flash_pages, &self.buffered_pages, &self.cache_pages] {
+            eat(&(set.len() as u64).to_le_bytes());
+            for (lpa, data) in set.iter() {
+                eat(&lpa.to_le_bytes());
+                eat(data);
+            }
+        }
+        h
+    }
+
+    /// One-line summary for reports, e.g. counts of each captured component.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} log entries, {} commits, {} flash pages, {} buffered, {} cached-dirty",
+            self.log_entries.len(),
+            self.txlog.len(),
+            self.flash_pages.len(),
+            self.buffered_pages.len(),
+            self.cache_pages.len()
+        )
+    }
 }
 
 /// Pages the background cleaner merges per shard-lock acquisition. Small, so
@@ -291,16 +377,30 @@ impl Mssd {
             let in_page = (cur_addr % page_size) as usize;
             let span = (self.cfg.page_size - in_page).min(data.len() - off);
             let chunk = &data[off..off + span];
+            // One counted fault step per chunk: a power cut mid-write tears
+            // the host store at cacheline/page-chunk granularity.
             match self.mode {
-                DramMode::WriteLog => cost += self.log_append(lpa, in_page, chunk, txid),
-                DramMode::PageCache => cost += self.cache_write_chunk(lpa, in_page, chunk),
+                DramMode::WriteLog => {
+                    if self.cfg.fault.step(FaultKind::LogAppend) {
+                        cost += self.log_append(lpa, in_page, chunk, txid);
+                    }
+                }
+                DramMode::PageCache => {
+                    if self.cfg.fault.step(FaultKind::CacheWrite) {
+                        cost += self.cache_write_chunk(lpa, in_page, chunk);
+                    }
+                }
             }
             off += span;
         }
         // Crossing the threshold starts background cleaning; with the
         // cleaner disabled, fall back to an inline stop-the-world pass
         // (uncharged, like the background path — the reference behaviour).
-        if self.mode == DramMode::WriteLog && self.log.needs_cleaning() && !self.kick_cleaner() {
+        if self.mode == DramMode::WriteLog
+            && self.log.needs_cleaning()
+            && !self.cfg.fault.is_cut()
+            && !self.kick_cleaner()
+        {
             self.clean_all(false);
         }
         self.charge(cost);
@@ -352,7 +452,12 @@ impl Mssd {
                             let (page, ns) = self.flash.read_page(lpa, &self.stats, false);
                             cost += ns;
                             out.extend_from_slice(&page[in_page..in_page + span]);
-                            cost += self.cache_fill(&mut shard, lpa, page, false);
+                            // A read-miss fill can evict a dirty victim into
+                            // the FTL — a durable mutation, skipped once
+                            // power is off.
+                            if !self.cfg.fault.is_cut() {
+                                cost += self.cache_fill(&mut shard, lpa, page, false);
+                            }
                         }
                     }
                 }
@@ -419,7 +524,9 @@ impl Mssd {
                             let (page, _) = self.flash.read_page(lpa, &self.stats, false);
                             flash_reads += 1;
                             out.extend_from_slice(&page);
-                            cost += self.cache_fill(&mut shard, lpa, page, false);
+                            if !self.cfg.fault.is_cut() {
+                                cost += self.cache_fill(&mut shard, lpa, page, false);
+                            }
                         }
                     }
                 }
@@ -456,8 +563,22 @@ impl Mssd {
         );
         self.stats.record_host(Direction::Write, cat, Interface::Block, data.len() as u64);
         let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(data.len(), false);
+        // Journal pages are counted as their own fault kind: torn journal
+        // writes are the classic crash-consistency hazard the block file
+        // systems defend against.
+        let kind = if cat == Category::Journal {
+            FaultKind::JournalWrite
+        } else {
+            FaultKind::BufferWrite
+        };
         for i in 0..count {
             let lpa = lba + i as u64;
+            // One counted fault step per page: a cut tears multi-page block
+            // writes at page granularity (pages before the cut are
+            // acknowledged into device DRAM, pages after never arrive).
+            if !self.cfg.fault.step(kind) {
+                break;
+            }
             let page = data[i * page_size..(i + 1) * page_size].to_vec();
             match self.mode {
                 DramMode::WriteLog => {
@@ -483,6 +604,9 @@ impl Mssd {
     /// Marks blocks as unused (TRIM). The FS calls this when freeing data
     /// blocks so the FTL stops relocating dead data.
     pub fn trim(&self, lba: u64, count: usize) {
+        if self.cfg.fault.is_cut() {
+            return; // power off: the TRIM never reaches the device
+        }
         for i in 0..count as u64 {
             let lpa = lba + i;
             match self.mode {
@@ -500,6 +624,9 @@ impl Mssd {
     /// NVMe FLUSH: makes all acknowledged block writes durable on flash.
     /// Block-interface file systems call this on `fsync`.
     pub fn flush(&self) {
+        if self.cfg.fault.is_cut() {
+            return; // power off: the FLUSH command never executes
+        }
         let mut cost = 0;
         if self.mode == DramMode::PageCache {
             for (lpa, page) in self.cache.drain_dirty() {
@@ -524,6 +651,12 @@ impl Mssd {
     /// Panics if the device is not in [`DramMode::WriteLog`].
     pub fn commit(&self, txid: TxId) {
         assert_eq!(self.mode, DramMode::WriteLog, "COMMIT requires the write-log firmware");
+        // One counted fault step: a cut exactly here loses the commit record
+        // — the transaction's log entries survive in battery-backed DRAM but
+        // recovery discards them (the §4.7 contract).
+        if !self.cfg.fault.step(FaultKind::TxCommit) {
+            return;
+        }
         let mut cost = self.cfg.nvme_overhead_ns;
         // Concurrent committers can refill the TxLog between our cleaning
         // pass (which clears it) and the retry, so loop rather than assume
@@ -588,6 +721,16 @@ impl Mssd {
     /// active regions), discards uncommitted entries, flushes committed
     /// entries to flash and clears the log (§4.7).
     pub fn recover(&self) -> RecoveryReport {
+        if self.cfg.fault.is_cut() {
+            // Power is off; recovery runs on the restored device instead
+            // (see `Mssd::from_crash_image`).
+            return RecoveryReport {
+                scanned_entries: 0,
+                discarded_entries: 0,
+                flushed_pages: 0,
+                duration_ns: 0,
+            };
+        }
         // Recovery is a stop-the-world command: every log shard, then the
         // TxLog, then the flash channels — the global lock order.
         let mut all = self.log.lock_all();
@@ -599,7 +742,9 @@ impl Mssd {
         cost += scanned as u64 * 120;
 
         let flash_writes_before = self.stats.flash_writes_total();
-        let batch = all.drain(|tx| txlog.is_committed(tx));
+        // Recovery semantics: uncommitted entries are discarded, so every
+        // committed chunk merges (seq order settles overlaps).
+        let batch = all.drain_discarding(|tx| txlog.is_committed(tx));
         let discarded = batch.migrated.len();
         let mut scratch = Vec::new();
         let mut flush_cost = 0;
@@ -625,6 +770,71 @@ impl Mssd {
     }
 
     // ------------------------------------------------------------------
+    // Power-failure injection and crash imaging (crashkit)
+    // ------------------------------------------------------------------
+
+    /// The fault-injection plan this device runs under (disabled by
+    /// default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.cfg.fault
+    }
+
+    /// `true` once the installed fault plan has cut power: every durable
+    /// mutation from that instant on was denied. Crash-test drivers poll
+    /// this at op boundaries to stop their workload.
+    pub fn fault_tripped(&self) -> bool {
+        self.cfg.fault.is_cut()
+    }
+
+    /// Captures the device's durable state — everything that survives a
+    /// power failure: NAND contents (logical view), the battery-backed FTL
+    /// write buffer, the write log, the TxLog and the device page cache's
+    /// dirty pages. Restore it into a fresh device with
+    /// [`Mssd::from_crash_image`] to model the power coming back, possibly
+    /// under a different firmware configuration.
+    ///
+    /// The image is deterministic (all collections sorted), so
+    /// `crash_image().digest()` pins a crash state for reproduction tests.
+    /// Call at a quiescent point; the background cleaner is quiesced first.
+    pub fn crash_image(&self) -> CrashImage {
+        self.quiesce_cleaning();
+        let (log_entries, log_seq) = self.log.export_entries();
+        let txlog = self.txlog.lock().commit_order().to_vec();
+        let (flash_pages, buffered_pages) = self.flash.export_logical();
+        let cache_pages = self.cache.export_dirty();
+        CrashImage { mode: self.mode, log_entries, log_seq, txlog, flash_pages, buffered_pages, cache_pages }
+    }
+
+    /// Builds a powered-on device holding the durable state of a crash
+    /// image: NAND pages are re-programmed, buffered pages re-enter the
+    /// battery-backed write buffer (real SSDs flush them from capacitor
+    /// power; keeping them buffered is equivalent and lets checkers observe
+    /// the pre-flush state), log entries and TxLog records are restored
+    /// verbatim. The new configuration may differ in firmware policy (e.g.
+    /// `background_cleaning`), which is how crashkit verifies that recovery
+    /// does not depend on the cleaning mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid, if the mode disagrees with the image, or
+    /// if the image does not fit the configured geometry.
+    pub fn from_crash_image(cfg: MssdConfig, mode: DramMode, image: &CrashImage) -> Arc<Self> {
+        assert_eq!(mode, image.mode, "crash image was taken in a different DRAM mode");
+        let dev = Self::with_clock(cfg, mode, Clock::new());
+        dev.flash.restore_logical(&image.flash_pages, &image.buffered_pages);
+        dev.log.restore_entries(&image.log_entries, image.log_seq);
+        {
+            let mut txlog = dev.txlog.lock();
+            for tx in &image.txlog {
+                assert!(txlog.commit(*tx), "restored TxLog overflows the configured txlog_bytes");
+            }
+        }
+        dev.cache.restore_dirty(&image.cache_pages);
+        dev.reset_stats();
+        dev
+    }
+
+    // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
 
@@ -647,6 +857,13 @@ impl Mssd {
     /// Resets the traffic counters (the clock keeps running).
     pub fn reset_stats(&self) {
         self.stats.reset();
+    }
+
+    /// Structural invariant check of the flash path (see
+    /// [`ShardedFtl::check_consistency`]); crashkit checkers run this after
+    /// every restore + recovery. Only meaningful at a quiescent point.
+    pub fn check_consistency(&self) -> Vec<String> {
+        self.flash.check_consistency()
     }
 
     // ------------------------------------------------------------------
@@ -677,6 +894,9 @@ impl Mssd {
         // our reclaim and the retry, so loop; a bounded number of attempts
         // distinguishes contention from an entry that can never fit.
         for _ in 0..64 {
+            if self.cfg.fault.is_cut() {
+                return cost; // power died during a reclaim: the append is lost
+            }
             match self.log.append(lpa, offset, data, txid) {
                 Ok(()) => return cost,
                 Err(_) => cost += self.reclaim_space(),
@@ -747,6 +967,9 @@ impl Mssd {
     /// counters but no latency is charged (used as the inline fallback when
     /// the background cleaner is disabled).
     fn clean_all(&self, foreground: bool) -> u64 {
+        if self.cfg.fault.is_cut() {
+            return 0; // power off: no cleaning pass starts
+        }
         let mut all = self.log.lock_all();
         let mut txlog = self.txlog.lock();
         let batch = all.drain(|tx| txlog.is_committed(tx));
@@ -1235,6 +1458,151 @@ mod tests {
         let d = dev(DramMode::WriteLog);
         let cap = d.capacity_bytes();
         d.byte_write(cap - 10, &[0u8; 64], None, Category::Data);
+    }
+
+    #[test]
+    fn late_commit_cannot_resurrect_over_newer_flash_merged_data() {
+        // Found by the crashkit enumeration: an uncommitted chunk survives
+        // cleaning while a newer committed chunk of the same page merges to
+        // flash; once the older transaction commits, its log entry used to
+        // overlay the newer flash bytes on reads. Cleaning now defers such
+        // committed chunks until the older chunk resolves.
+        let d = dev(DramMode::WriteLog);
+        let tx = TxId(9);
+        d.byte_write(0, &[49u8; 64], Some(tx), Category::Data); // older, uncommitted
+        d.byte_write(0, &[89u8; 64], None, Category::Data); // newer, immediately committed
+        d.force_clean();
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![89u8; 64], "after cleaning");
+        d.commit(tx);
+        assert_eq!(
+            d.byte_read(0, 64, Category::Data),
+            vec![89u8; 64],
+            "a late commit must not resurrect overwritten bytes"
+        );
+        d.force_clean();
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![89u8; 64], "after second cleaning");
+        d.crash();
+        d.recover();
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![89u8; 64], "after recovery");
+    }
+
+    #[test]
+    fn cleaning_clips_uncommitted_chunks_under_newer_committed_ranges() {
+        // An uncommitted chunk partially overwritten by a newer committed
+        // write: cleaning merges the committed bytes to flash and clips the
+        // overlap off the surviving chunk, so its later commit exposes only
+        // the bytes nothing newer touched.
+        let d = dev(DramMode::WriteLog);
+        let tx = TxId(5);
+        d.byte_write(0, &[11u8; 128], Some(tx), Category::Data); // [0,128) uncommitted
+        d.byte_write(64, &[22u8; 64], None, Category::Data); // [64,128) newer, committed
+        d.force_clean();
+        let back = d.byte_read(0, 128, Category::Data);
+        assert_eq!(&back[..64], &[11u8; 64][..], "unshadowed half still visible");
+        assert_eq!(&back[64..], &[22u8; 64][..], "newer committed bytes merged");
+        d.commit(tx);
+        let back = d.byte_read(0, 128, Category::Data);
+        assert_eq!(&back[..64], &[11u8; 64][..]);
+        assert_eq!(&back[64..], &[22u8; 64][..], "commit must not resurrect clipped bytes");
+        d.crash();
+        d.recover();
+        let back = d.byte_read(0, 128, Category::Data);
+        assert_eq!(&back[..64], &[11u8; 64][..], "committed remainder survives recovery");
+        assert_eq!(&back[64..], &[22u8; 64][..]);
+    }
+
+    #[test]
+    fn a_stale_open_transaction_cannot_pin_the_log_full() {
+        // Regression: one never-committed chunk plus sustained committed
+        // traffic to the same page must keep cleaning productive (the
+        // clipped survivor is bounded) instead of panicking on a log that
+        // can never shrink.
+        let mut cfg = MssdConfig::small_test();
+        cfg.dram_region_bytes = 8 << 10;
+        cfg.background_cleaning = false;
+        let d = Mssd::new(cfg, DramMode::WriteLog);
+        d.byte_write(0, &[1u8; 64], Some(TxId(999)), Category::Data); // never commits
+        for i in 0..5_000u64 {
+            d.byte_write((i % 60) * 64, &[i as u8; 64], None, Category::Data);
+        }
+        assert!(d.traffic().log_cleanings > 0);
+        // The stale chunk was fully shadowed by committed writes to slot 0
+        // and clipped away; everything reads as the newest committed tag.
+        let last = 4980; // last i with i % 60 == 0
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![last as u8; 64]);
+    }
+
+    #[test]
+    fn crash_image_roundtrip_preserves_durable_state() {
+        let d = dev(DramMode::WriteLog);
+        let committed = TxId(3);
+        let lost = TxId(4);
+        d.block_write(2, &vec![5u8; 4096], Category::Data);
+        d.flush();
+        d.block_write(3, &vec![6u8; 4096], Category::Data); // stays buffered
+        d.byte_write(10 * 4096, &[0x11u8; 64], Some(committed), Category::Inode);
+        d.byte_write(11 * 4096, &[0x22u8; 64], Some(lost), Category::Inode);
+        d.byte_write(12 * 4096, &[0x33u8; 64], None, Category::Data);
+        d.commit(committed);
+
+        let image = d.crash_image();
+        assert!(image.log_entries.len() >= 3);
+        assert_eq!(image.txlog, vec![committed]);
+        assert!(!image.flash_pages.is_empty());
+        assert!(!image.buffered_pages.is_empty());
+        assert_eq!(image.digest(), d.crash_image().digest(), "imaging is repeatable");
+
+        let d2 = Mssd::from_crash_image(MssdConfig::small_test(), DramMode::WriteLog, &image);
+        let report = d2.recover();
+        assert_eq!(report.discarded_entries, 1, "uncommitted tx entry discarded");
+        assert_eq!(d2.byte_read(10 * 4096, 64, Category::Inode), vec![0x11; 64]);
+        assert_eq!(d2.byte_read(11 * 4096, 64, Category::Inode), vec![0u8; 64]);
+        assert_eq!(d2.byte_read(12 * 4096, 64, Category::Data), vec![0x33; 64]);
+        assert_eq!(d2.block_read(2, 1, Category::Data), vec![5u8; 4096]);
+        assert_eq!(d2.block_read(3, 1, Category::Data), vec![6u8; 4096]);
+        assert!(d2.flash.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn fault_cut_tears_a_page_crossing_byte_write() {
+        // A write spanning three pages splits into three log chunks; cut at
+        // the 3rd durability step: pages 0-1 land, page 2 never does.
+        let mut cfg = MssdConfig::small_test();
+        cfg.fault = crate::fault::FaultPlan::cut_at(3);
+        let d = Mssd::new(cfg, DramMode::WriteLog);
+        let addr = 4096 - 64;
+        d.byte_write(addr, &[7u8; 64 + 4096 + 64], None, Category::Data);
+        assert!(d.fault_tripped());
+        assert_eq!(d.fault_plan().cut_kind(), Some(FaultKind::LogAppend));
+        let image = d.crash_image();
+        assert_eq!(image.log_entries.len(), 2, "only the pre-cut chunks are durable");
+        let d2 = Mssd::from_crash_image(MssdConfig::small_test(), DramMode::WriteLog, &image);
+        d2.recover();
+        let back = d2.byte_read(addr, 64 + 4096 + 64, Category::Data);
+        assert_eq!(&back[..64 + 4096], &[7u8; 64 + 4096][..], "chunks before the cut survive");
+        assert_eq!(&back[64 + 4096..], &[0u8; 64][..], "the torn-off chunk never happened");
+        // Post-cut writes are denied entirely.
+        d.byte_write(8 * 4096, &[9u8; 64], None, Category::Data);
+        assert_eq!(d.crash_image().log_entries.len(), 2);
+    }
+
+    #[test]
+    fn fault_count_only_observes_without_changing_behaviour() {
+        let mut cfg = MssdConfig::small_test();
+        cfg.fault = crate::fault::FaultPlan::count_only();
+        let d = Mssd::new(cfg, DramMode::WriteLog);
+        // Crosses one page boundary: two log chunks.
+        d.byte_write(4096 - 64, &[1u8; 128], None, Category::Data);
+        d.block_write(5, &vec![2u8; 8192], Category::Data);
+        d.commit(TxId(1));
+        d.flush();
+        let plan = d.fault_plan();
+        assert_eq!(plan.steps_of(FaultKind::LogAppend), 2);
+        assert_eq!(plan.steps_of(FaultKind::BufferWrite), 2);
+        assert_eq!(plan.steps_of(FaultKind::TxCommit), 1);
+        assert!(plan.steps_of(FaultKind::FlashProgram) >= 2);
+        assert!(!d.fault_tripped());
+        assert_eq!(d.byte_read(4096 - 64, 128, Category::Data), vec![1u8; 128]);
     }
 
     #[test]

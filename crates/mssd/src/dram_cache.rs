@@ -174,6 +174,20 @@ impl DramPageCache {
         self.pages.remove(&lpa);
     }
 
+    /// Copies out the dirty pages without clearing their dirty bits (used
+    /// for crash imaging: the cache is battery-backed device DRAM, so its
+    /// unwritten dirty pages are part of the durable state).
+    pub fn export_dirty(&self) -> Vec<(Lpa, Vec<u8>)> {
+        let mut out: Vec<(Lpa, Vec<u8>)> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(k, p)| (*k, (*p.data).clone()))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Removes the dirty bit from all pages and returns their contents (for
     /// FLUSH / power-loss handling). Pages stay resident.
     pub fn drain_dirty(&mut self) -> Vec<(Lpa, Vec<u8>)> {
@@ -288,6 +302,28 @@ impl ShardedDramCache {
     /// Drops a page regardless of its dirty state.
     pub fn discard(&self, lpa: Lpa) {
         self.lock_shard(lpa).discard(lpa);
+    }
+
+    /// Copies out every shard's dirty pages without clearing dirty bits, in
+    /// ascending LPA order (crash imaging; see
+    /// [`DramPageCache::export_dirty`]).
+    pub fn export_dirty(&self) -> Vec<(Lpa, Vec<u8>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().export_dirty());
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Re-inserts pages as dirty (crash-image restoration into a fresh,
+    /// empty cache). Evictions cannot happen while restoring what one cache
+    /// of the same geometry previously held.
+    pub fn restore_dirty(&self, pages: &[(Lpa, Vec<u8>)]) {
+        for (lpa, data) in pages {
+            let victims = self.lock_shard(*lpa).insert(*lpa, data.clone(), true);
+            assert!(victims.is_empty(), "crash-image cache restore must not evict");
+        }
     }
 }
 

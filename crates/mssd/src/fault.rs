@@ -1,0 +1,305 @@
+//! Deterministic power-failure injection: the device-side half of `crashkit`.
+//!
+//! Every **durability-relevant step** the device executes — a write-log chunk
+//! append, a TxLog commit record, a sealed-region drain migration, a write
+//! buffer acceptance, a NAND page program, a block erase — passes through the
+//! [`FaultPlan`] installed in [`crate::MssdConfig::fault`]. The plan counts
+//! the steps and, when armed with a cut point, denies the chosen step and
+//! every step after it: from that instant the device behaves as if power was
+//! lost mid-operation. Mutations that were about to happen simply do not
+//! (a multi-page program is torn between pages, a sealed region is left
+//! partially drained, a commit record is never appended), while reads keep
+//! returning the state that *did* become durable.
+//!
+//! The default plan is [`FaultPlan::disabled`]: a single `Option` check on
+//! the hot path and no other cost, so production configurations are
+//! unaffected.
+//!
+//! Determinism: with `background_cleaning` off and a single-threaded host,
+//! the step sequence is a pure function of the op stream, so the same seed
+//! and the same cut index always produce the same crash state (pinned by the
+//! crashkit determinism tests). With the background cleaner running, cleaner
+//! steps interleave with host steps nondeterministically; the cut still
+//! lands on *a* valid crash state, but reproduction is only guaranteed for
+//! cleaner-off runs.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Taxonomy of durability-relevant steps (see `crates/crashkit/DESIGN.md`
+/// for the full crash-point taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A byte-interface chunk appended to the write log (battery-backed DRAM).
+    LogAppend,
+    /// A commit record appended to the firmware TxLog.
+    TxCommit,
+    /// One page migrated out of a sealed log region by a cleaner drain step.
+    SealDrain,
+    /// A block-interface page accepted into the FTL write buffer (the
+    /// acknowledgement point of a block write).
+    BufferWrite,
+    /// A block-interface journal page accepted (same mechanism as
+    /// [`FaultKind::BufferWrite`], counted separately because journal commit
+    /// protocols are the classic torn-write victims).
+    JournalWrite,
+    /// A byte-interface chunk absorbed by the baseline device page cache.
+    CacheWrite,
+    /// One NAND page programmed (host flush, cleaner merge, or GC
+    /// relocation). Cutting inside a multi-page program tears it.
+    FlashProgram,
+    /// One NAND block erased by garbage collection.
+    FlashErase,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order (indexable by [`FaultKind::index`]).
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::LogAppend,
+        FaultKind::TxCommit,
+        FaultKind::SealDrain,
+        FaultKind::BufferWrite,
+        FaultKind::JournalWrite,
+        FaultKind::CacheWrite,
+        FaultKind::FlashProgram,
+        FaultKind::FlashErase,
+    ];
+
+    /// Stable index of this kind into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::LogAppend => 0,
+            FaultKind::TxCommit => 1,
+            FaultKind::SealDrain => 2,
+            FaultKind::BufferWrite => 3,
+            FaultKind::JournalWrite => 4,
+            FaultKind::CacheWrite => 5,
+            FaultKind::FlashProgram => 6,
+            FaultKind::FlashErase => 7,
+        }
+    }
+
+    /// Short label used in reports, e.g. `"log-append"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LogAppend => "log-append",
+            FaultKind::TxCommit => "tx-commit",
+            FaultKind::SealDrain => "seal-drain",
+            FaultKind::BufferWrite => "buffer-write",
+            FaultKind::JournalWrite => "journal-write",
+            FaultKind::CacheWrite => "cache-write",
+            FaultKind::FlashProgram => "flash-program",
+            FaultKind::FlashErase => "flash-erase",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared mutable state of an armed plan. Cloning the owning [`FaultPlan`]
+/// (which happens whenever an [`crate::MssdConfig`] is cloned into a device
+/// component) shares this state, so every component of one device counts
+/// into the same sequence.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// The 1-based step ordinal at which power is cut; 0 = count only.
+    cut_at: u64,
+    /// Total steps observed (including denied post-cut attempts).
+    counter: AtomicU64,
+    /// Per-kind step counts, indexed by [`FaultKind::index`].
+    by_kind: [AtomicU64; 8],
+    /// `FaultKind::index() + 1` of the step that tripped the cut (0 = none).
+    cut_kind: AtomicUsize,
+}
+
+/// A fault-injection plan carried inside [`crate::MssdConfig`].
+///
+/// * [`FaultPlan::disabled`] (the `Default`) — no counting, no cutting.
+/// * [`FaultPlan::count_only`] — counts durability steps; never cuts. Used
+///   by the crashkit enumeration driver to size a workload's crash-point
+///   space.
+/// * [`FaultPlan::cut_at`] — counts and denies the `n`-th step and every
+///   step after it (power off).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Option<Arc<FaultState>>,
+}
+
+impl FaultPlan {
+    /// A plan that observes nothing and never cuts (zero-cost default).
+    pub fn disabled() -> Self {
+        Self { state: None }
+    }
+
+    /// A plan that counts every durability step but never cuts power.
+    pub fn count_only() -> Self {
+        Self { state: Some(Arc::new(FaultState::default())) }
+    }
+
+    /// A plan that cuts power at the `step`-th durability step (1-based):
+    /// that step and every later one are denied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is 0 (use [`FaultPlan::count_only`] instead).
+    pub fn cut_at(step: u64) -> Self {
+        assert!(step > 0, "cut point is 1-based; use count_only() for no cut");
+        Self { state: Some(Arc::new(FaultState { cut_at: step, ..Default::default() })) }
+    }
+
+    /// Whether this plan observes steps at all.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Records one durability-relevant step of the given kind. Returns `true`
+    /// when the step may proceed, `false` when power is (now) off and the
+    /// mutation must not happen.
+    #[inline]
+    pub fn step(&self, kind: FaultKind) -> bool {
+        let Some(st) = &self.state else { return true };
+        let ordinal = st.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        st.by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if st.cut_at != 0 && ordinal >= st.cut_at {
+            if ordinal == st.cut_at {
+                st.cut_kind.store(kind.index() + 1, Ordering::SeqCst);
+            }
+            return false;
+        }
+        true
+    }
+
+    /// `true` once the cut point has been reached: power is off and no
+    /// further durable mutation may happen.
+    #[inline]
+    pub fn is_cut(&self) -> bool {
+        match &self.state {
+            Some(st) => st.cut_at != 0 && st.counter.load(Ordering::SeqCst) >= st.cut_at,
+            None => false,
+        }
+    }
+
+    /// Total durability steps observed so far (the size of the crash-point
+    /// space once the workload finished; includes denied post-cut attempts).
+    pub fn total_steps(&self) -> u64 {
+        self.state.as_ref().map(|st| st.counter.load(Ordering::SeqCst)).unwrap_or(0)
+    }
+
+    /// Steps observed of one kind.
+    pub fn steps_of(&self, kind: FaultKind) -> u64 {
+        self.state
+            .as_ref()
+            .map(|st| st.by_kind[kind.index()].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// The armed cut point (1-based), if any.
+    pub fn cut_point(&self) -> Option<u64> {
+        self.state.as_ref().and_then(|st| (st.cut_at != 0).then_some(st.cut_at))
+    }
+
+    /// The kind of the step that tripped the cut (once it has).
+    pub fn cut_kind(&self) -> Option<FaultKind> {
+        let st = self.state.as_ref()?;
+        let idx = st.cut_kind.load(Ordering::SeqCst);
+        (idx > 0).then(|| FaultKind::ALL[idx - 1])
+    }
+
+    /// Per-kind step counts in [`FaultKind::ALL`] order.
+    pub fn histogram(&self) -> [(FaultKind, u64); 8] {
+        let mut out = [(FaultKind::LogAppend, 0); 8];
+        for (slot, kind) in out.iter_mut().zip(FaultKind::ALL) {
+            *slot = (kind, self.steps_of(kind));
+        }
+        out
+    }
+}
+
+/// Two plans are configuration-equal when they are armed the same way; the
+/// runtime counters are deliberately ignored so a device config compares
+/// equal to its clone mid-run.
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.state, &other.state) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.cut_at == b.cut_at,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_always_proceeds() {
+        let p = FaultPlan::disabled();
+        for _ in 0..100 {
+            assert!(p.step(FaultKind::LogAppend));
+        }
+        assert!(!p.is_cut());
+        assert_eq!(p.total_steps(), 0);
+        assert_eq!(p.cut_kind(), None);
+    }
+
+    #[test]
+    fn count_only_counts_without_cutting() {
+        let p = FaultPlan::count_only();
+        for _ in 0..5 {
+            assert!(p.step(FaultKind::FlashProgram));
+        }
+        assert!(p.step(FaultKind::TxCommit));
+        assert_eq!(p.total_steps(), 6);
+        assert_eq!(p.steps_of(FaultKind::FlashProgram), 5);
+        assert_eq!(p.steps_of(FaultKind::TxCommit), 1);
+        assert!(!p.is_cut());
+    }
+
+    #[test]
+    fn cut_denies_the_chosen_step_and_everything_after() {
+        let p = FaultPlan::cut_at(3);
+        assert!(p.step(FaultKind::LogAppend));
+        assert!(p.step(FaultKind::LogAppend));
+        assert!(!p.is_cut());
+        assert!(!p.step(FaultKind::TxCommit), "the cut step itself is denied");
+        assert!(p.is_cut());
+        assert!(!p.step(FaultKind::LogAppend), "power stays off");
+        assert_eq!(p.cut_kind(), Some(FaultKind::TxCommit));
+        assert_eq!(p.cut_point(), Some(3));
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let p = FaultPlan::cut_at(2);
+        let q = p.clone();
+        assert!(p.step(FaultKind::BufferWrite));
+        assert!(!q.step(FaultKind::BufferWrite));
+        assert!(p.is_cut() && q.is_cut());
+    }
+
+    #[test]
+    fn config_equality_ignores_runtime_state() {
+        let a = FaultPlan::cut_at(7);
+        let b = FaultPlan::cut_at(7);
+        a.step(FaultKind::LogAppend);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::disabled());
+        assert_ne!(FaultPlan::count_only(), FaultPlan::cut_at(1));
+        assert_eq!(FaultPlan::disabled(), FaultPlan::default());
+    }
+
+    #[test]
+    fn kind_indices_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in FaultKind::ALL {
+            assert!(seen.insert(kind.index()));
+            assert_eq!(FaultKind::ALL[kind.index()], kind);
+            assert!(!kind.label().is_empty());
+        }
+    }
+}

@@ -306,6 +306,13 @@ impl ChannelFlash {
             && (ppa / self.pages_per_block as u64 % self.channels as u64) as usize == self.channel
     }
 
+    /// Whether the page holds programmed data (as opposed to reading back
+    /// erased zeros). Crash-state checkers use this to detect mappings that
+    /// point at pages a torn program never wrote.
+    pub fn is_programmed(&self, ppa: Ppa) -> bool {
+        self.pages.contains_key(&ppa)
+    }
+
     /// Reads a page of this channel. Unprogrammed pages read as zeros.
     ///
     /// # Errors

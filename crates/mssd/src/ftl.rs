@@ -34,11 +34,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
+use crate::fault::FaultKind;
 use crate::flash::{BlockId, ChannelFlash, FlashArray, Ppa};
 use crate::stats::AtomicTraffic;
 
 /// Logical page address (host-visible page number).
 pub type Lpa = u64;
+
+/// One logical page's contents keyed by its LPA (crash-image currency).
+pub type LogicalPage = (Lpa, Vec<u8>);
 
 /// The flash translation layer plus the flash array it manages.
 #[derive(Debug)]
@@ -543,7 +547,13 @@ impl ShardedFtl {
             if ch.buffer.len() >= ch.buffer_capacity {
                 let r = self.drain_buffer_locked(&mut ch, stats);
                 cost += r.gc_cost + r.programmed as u64 * self.cfg.flash_write_ns;
-                if !r.stranded.is_empty() {
+                // A cut during the slice drain leaves the slice over
+                // capacity; the page is still accepted below — buffer
+                // acceptance is a DRAM move between counted fault steps, and
+                // callers (device ops, log cleaning) gate themselves. Losing
+                // it here would drop committed chunks the cleaner already
+                // drained out of the log.
+                if !r.stranded.is_empty() && !self.cfg.fault.is_cut() {
                     drop(ch);
                     for l in r.stranded {
                         self.migrate_buffered(l, target);
@@ -702,6 +712,9 @@ impl ShardedFtl {
     ///
     /// Returns the latency spent, or 0 if no victim could make progress.
     fn collect_garbage_locked(&self, ch: &mut Channel, stats: &AtomicTraffic) -> u64 {
+        if self.cfg.fault.is_cut() {
+            return 0; // power off: no GC runs
+        }
         let ppb = ch.flash.pages_per_block();
         let active_block = ch.active.map(|(b, _)| b);
         let victim = ch
@@ -742,6 +755,12 @@ impl ShardedFtl {
             let Some(&lpa) = ch.p2l.get(&ppa) else { continue };
             let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
             if stripe.get(&lpa).copied() == Some(Loc::Flash(ppa)) {
+                // A cut mid-relocation aborts GC before the erase: already
+                // relocated pages keep their new mapping, the victim keeps
+                // its (now partly stale) data — nothing is lost.
+                if !self.cfg.fault.step(FaultKind::FlashProgram) {
+                    return cost;
+                }
                 let data = ch.flash.read_page(ppa).expect("victim page readable");
                 stats.inc_flash_read(true);
                 cost += self.cfg.flash_read_ns;
@@ -757,6 +776,9 @@ impl ShardedFtl {
             }
             drop(stripe);
             ch.p2l.remove(&ppa);
+        }
+        if !self.cfg.fault.step(FaultKind::FlashErase) {
+            return cost; // cut before the erase: the victim stays as garbage
         }
         ch.flash.erase_block(victim).expect("victim block erasable");
         stats.inc_flash_erase();
@@ -778,6 +800,17 @@ impl ShardedFtl {
         let channel_index = ch.flash.channel();
         let mut iter = pending.into_iter();
         while let Some((lpa, data)) = iter.next() {
+            // One counted fault step per page program: a cut here tears a
+            // multi-page flush — pages already programmed are on NAND, the
+            // rest stay in the battery-backed buffer slice (not stranded, so
+            // the caller does not migrate them while power is off).
+            if !self.cfg.fault.step(FaultKind::FlashProgram) {
+                ch.buffer.push((lpa, data));
+                for (l, d) in iter.by_ref() {
+                    ch.buffer.push((l, d));
+                }
+                break;
+            }
             r.gc_cost += self.ensure_free_space_locked(ch, stats);
             let Some(ppa) = Self::allocate_ppa_locked(ch) else {
                 // Out of space: keep this page and the rest buffered, in
@@ -833,6 +866,127 @@ impl ShardedFtl {
         let entry = src.buffer.remove(pos);
         dst.buffer.push(entry);
         stripe.insert(lpa, Loc::Buffered(to));
+    }
+
+    // ------------------------------------------------------------------
+    // Crash imaging and invariant checking (crashkit)
+    // ------------------------------------------------------------------
+
+    /// Exports the FTL's logical durable state for a crash image: pages
+    /// programmed on NAND and pages still in the battery-backed write
+    /// buffer, each keyed by LPA and sorted so the image is deterministic.
+    /// Physical placement is deliberately not captured — it is not
+    /// host-visible durable state. Only meaningful at a quiescent point.
+    pub fn export_logical(&self) -> (Vec<LogicalPage>, Vec<LogicalPage>) {
+        let mut mappings: Vec<(Lpa, Loc)> = Vec::new();
+        for stripe in &self.stripes {
+            let guard = stripe.lock();
+            mappings.extend(guard.iter().map(|(lpa, loc)| (*lpa, *loc)));
+        }
+        mappings.sort_by_key(|(lpa, _)| *lpa);
+        let mut flash_pages = Vec::new();
+        let mut buffered = Vec::new();
+        for (lpa, loc) in mappings {
+            match loc {
+                Loc::Flash(ppa) => {
+                    let ch = self.channels[self.channel_of(ppa)].lock();
+                    let data = ch.flash.read_page(ppa).expect("mapped ppa readable");
+                    flash_pages.push((lpa, data));
+                }
+                Loc::Buffered(c) => {
+                    let ch = self.channels[c].lock();
+                    let data = ch
+                        .buffer
+                        .iter()
+                        .rev()
+                        .find(|(l, _)| *l == lpa)
+                        .expect("buffered mapping implies a buffer entry")
+                        .1
+                        .clone();
+                    buffered.push((lpa, data));
+                }
+            }
+        }
+        (flash_pages, buffered)
+    }
+
+    /// Rebuilds the logical state captured by [`ShardedFtl::export_logical`]
+    /// into this (fresh, empty) FTL: NAND pages are re-programmed, buffered
+    /// pages re-enter the write buffer. Traffic generated by the rebuild is
+    /// discarded (it models no host-visible work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTL already holds mapped or buffered pages.
+    pub fn restore_logical(&self, flash_pages: &[(Lpa, Vec<u8>)], buffered: &[(Lpa, Vec<u8>)]) {
+        assert_eq!(
+            self.mapped_pages() + self.buffered_pages(),
+            0,
+            "crash-image restore requires an empty FTL"
+        );
+        let scratch = AtomicTraffic::new();
+        for (lpa, data) in flash_pages {
+            self.buffer_write(*lpa, data.clone(), &scratch);
+        }
+        self.flush_all(&scratch);
+        for (lpa, data) in buffered {
+            self.buffer_write(*lpa, data.clone(), &scratch);
+        }
+    }
+
+    /// Structural invariant check used by crashkit's post-recovery checkers:
+    /// every L2P entry must point at a page its channel really programmed
+    /// (or a live buffer slot), no two LPAs may share a physical page, and
+    /// the buffered-page counter must agree with the buffer slices. Returns
+    /// human-readable descriptions of every violation found (empty = clean).
+    /// Only meaningful at a quiescent point.
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut mappings: Vec<(Lpa, Loc)> = Vec::new();
+        for stripe in &self.stripes {
+            let guard = stripe.lock();
+            mappings.extend(guard.iter().map(|(lpa, loc)| (*lpa, *loc)));
+        }
+        mappings.sort_by_key(|(lpa, _)| *lpa);
+        let mut seen_ppa: HashMap<Ppa, Lpa> = HashMap::new();
+        let mut buffered_mapped = 0usize;
+        for (lpa, loc) in mappings {
+            match loc {
+                Loc::Flash(ppa) => {
+                    if let Some(prev) = seen_ppa.insert(ppa, lpa) {
+                        problems.push(format!(
+                            "physical page {ppa} mapped by both lpa {prev} and lpa {lpa}"
+                        ));
+                    }
+                    let ch = self.channels[self.channel_of(ppa)].lock();
+                    if !ch.flash.is_programmed(ppa) {
+                        problems.push(format!(
+                            "lpa {lpa} maps to physical page {ppa} that was never programmed"
+                        ));
+                    }
+                }
+                Loc::Buffered(c) => {
+                    buffered_mapped += 1;
+                    if c >= self.channels.len() {
+                        problems.push(format!("lpa {lpa} buffered on bogus channel {c}"));
+                        continue;
+                    }
+                    let ch = self.channels[c].lock();
+                    if !ch.buffer.iter().any(|(l, _)| *l == lpa) {
+                        problems.push(format!(
+                            "lpa {lpa} mapped as buffered on channel {c} but absent from its slice"
+                        ));
+                    }
+                }
+            }
+        }
+        let slice_total: usize = self.channels.iter().map(|c| c.lock().buffer.len()).sum();
+        if slice_total != buffered_mapped {
+            problems.push(format!(
+                "buffer slices hold {slice_total} pages but {buffered_mapped} LPAs map to them"
+            ));
+        }
+        problems
     }
 }
 

@@ -38,6 +38,35 @@
 //! drain remain as sequential reference models, pinned to the concurrent
 //! implementations by the property tests in `tests/`.
 //!
+//! # Durability contract
+//!
+//! The device promises exactly this across a power failure (and the
+//! `crashkit` crate enumerates crash points to hold it to the promise):
+//!
+//! 1. **Battery-backed DRAM survives.** The write log, the TxLog, the FTL
+//!    write buffer and (in baseline mode) the device page cache are part of
+//!    the durable state; [`device::CrashImage`] captures precisely this set
+//!    plus NAND contents.
+//! 2. **Committed means durable.** A byte write tagged with a TxID becomes
+//!    durable the instant its `COMMIT(TxID)` record enters the TxLog; an
+//!    untagged byte write is durable the instant its chunk enters the log.
+//!    `RECOVER()` replays every such write and discards every chunk whose
+//!    TxID has no commit record — regardless of where the cut fell relative
+//!    to cleaning, sealing or flash programs.
+//! 3. **Block writes are durable at page granularity on acceptance.** Each
+//!    4 KB page of a block write is durable once accepted into device DRAM
+//!    (the command may tear *between* pages, never inside one). NVMe FLUSH
+//!    adds nothing to durability here — it only moves pages from buffer to
+//!    NAND — because the buffer is battery-backed.
+//! 4. **Cleaning never weakens 1–3.** Sealing, sealed-region drains, GC
+//!    relocation and erasure move data between durable homes; a cut at any
+//!    such step leaves every committed byte reachable from exactly one of
+//!    them.
+//!
+//! Every durability-relevant step passes through the [`fault::FaultPlan`]
+//! installed in [`MssdConfig::fault`], which can count the steps and cut
+//! power at any chosen one; see [`fault`] and `crates/crashkit/DESIGN.md`.
+//!
 //! ```
 //! use mssd::{Mssd, MssdConfig, DramMode, Category};
 //!
@@ -58,6 +87,7 @@ pub mod clock;
 pub mod config;
 pub mod device;
 pub mod dram_cache;
+pub mod fault;
 pub mod flash;
 pub mod ftl;
 pub mod log;
@@ -67,7 +97,8 @@ pub mod txn;
 
 pub use clock::Clock;
 pub use config::{MssdConfig, TimingProfile};
-pub use device::{DramMode, Mssd};
+pub use device::{CrashImage, DramMode, Mssd};
+pub use fault::{FaultKind, FaultPlan};
 pub use dram_cache::{CachePageRef, DramPageCache, ShardedDramCache, CACHE_SHARDS};
 pub use flash::ChannelFlash;
 pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};

@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::stats::CachePadded;
 use crate::ftl::Lpa;
 use crate::skiplist::SkipList;
@@ -281,7 +282,7 @@ impl WriteLog {
     {
         let mut batch = CleanBatch::default();
         let partitions = std::mem::take(&mut self.partitions);
-        drain_partitions_into(partitions, &is_committed, &mut batch);
+        drain_partitions_into(partitions, &is_committed, true, &mut batch);
         batch.pages.sort_by_key(|(lpa, _)| *lpa);
         self.used_bytes = 0;
         self.entries = 0;
@@ -340,32 +341,122 @@ fn push_chunk(
     }
 }
 
+/// Splits one page's drained chunks into the committed set to merge into
+/// flash (seq-sorted) and the surviving set to keep in the log.
+///
+/// `clip_survivors` selects between the two drain semantics:
+///
+/// * **Cleaning** (`true`): uncommitted chunks survive (they migrate into
+///   the fresh log region) — but flash-merging a *newer* committed chunk
+///   erases its sequence number, so any bytes of an older surviving chunk
+///   that a newer committed chunk overwrites must be **clipped off now**:
+///   once the older transaction commits, its log entry would otherwise
+///   overlay the newer flash bytes on every read, resurrecting overwritten
+///   data. Clipping is observably exact — the dropped bytes could never
+///   win a read again (newer committed data always shadows them), and the
+///   unshadowed remainder keeps its seq/TxID and becomes visible if the
+///   transaction commits — and, unlike deferring the committed chunks
+///   instead, it frees their space unconditionally (one stale open
+///   transaction cannot pin the log full).
+/// * **Recovery** (`false`): the survivors are about to be discarded, so
+///   they are returned raw (preserving their count for reporting) and
+///   every committed chunk merges; seq order within the page image settles
+///   overlaps.
+fn split_page_chunks<F>(
+    chunks: Vec<ChunkEntry>,
+    is_committed: &F,
+    clip_survivors: bool,
+) -> (Vec<ChunkEntry>, Vec<ChunkEntry>)
+where
+    F: Fn(TxId) -> bool,
+{
+    let mut committed: Vec<ChunkEntry> = Vec::new();
+    let mut survivors: Vec<ChunkEntry> = Vec::new();
+    for c in chunks {
+        let ok = match c.txid {
+            None => true,
+            Some(txid) => is_committed(txid),
+        };
+        if ok {
+            committed.push(c);
+        } else {
+            survivors.push(c);
+        }
+    }
+    committed.sort_by_key(|c| c.seq);
+    if clip_survivors && !committed.is_empty() {
+        survivors = survivors
+            .into_iter()
+            .flat_map(|u| {
+                let shadows: Vec<(usize, usize)> = committed
+                    .iter()
+                    .filter(|c| c.seq > u.seq)
+                    .map(|c| (c.offset, c.end()))
+                    .collect();
+                clip_chunk(u, shadows)
+            })
+            .collect();
+    }
+    (committed, survivors)
+}
+
+/// Subtracts the `shadows` byte ranges from `u`, returning the surviving
+/// sub-chunks (each keeping `u`'s seq and TxID). An unshadowed chunk comes
+/// back whole; a fully shadowed one vanishes.
+fn clip_chunk(u: ChunkEntry, mut shadows: Vec<(usize, usize)>) -> Vec<ChunkEntry> {
+    if shadows.is_empty() {
+        return vec![u];
+    }
+    shadows.sort_unstable();
+    let mut out = Vec::new();
+    let mut cursor = u.offset;
+    let end = u.end();
+    let emit = |from: usize, to: usize, out: &mut Vec<ChunkEntry>| {
+        if from < to {
+            out.push(ChunkEntry {
+                offset: from,
+                data: u.data[from - u.offset..to - u.offset].to_vec(),
+                txid: u.txid,
+                seq: u.seq,
+                log_off: u.log_off,
+            });
+        }
+    };
+    for (s, e) in shadows {
+        let s = s.clamp(u.offset, end);
+        let e = e.clamp(u.offset, end);
+        if s > cursor {
+            emit(cursor, s, &mut out);
+        }
+        cursor = cursor.max(e);
+        if cursor >= end {
+            break;
+        }
+    }
+    emit(cursor, end, &mut out);
+    out
+}
+
 /// Splits drained partitions into a [`CleanBatch`], consuming the entries —
-/// no chunk data is copied, which matters for the sharded log where this runs
-/// inside the stop-the-world section with every shard locked.
+/// no chunk data is copied (beyond clipped survivors), which matters for
+/// the sharded log where this runs inside the stop-the-world section with
+/// every shard locked. See [`split_page_chunks`] for the
+/// cleaning-vs-recovery semantics of `clip_survivors`.
 fn drain_partitions_into<F>(
     partitions: BTreeMap<u64, SkipList<Vec<ChunkEntry>>>,
     is_committed: &F,
+    clip_survivors: bool,
     batch: &mut CleanBatch,
 ) where
     F: Fn(TxId) -> bool,
 {
     for (_, mut list) in partitions {
         while let Some((lpa, chunks)) = list.pop_first() {
-            let mut committed: Vec<ChunkEntry> = Vec::new();
-            for c in chunks {
-                let ok = match c.txid {
-                    None => true,
-                    Some(txid) => is_committed(txid),
-                };
-                if ok {
-                    committed.push(c);
-                } else {
-                    batch.migrated.push((lpa, c));
-                }
+            let (committed, survivors) = split_page_chunks(chunks, is_committed, clip_survivors);
+            for c in survivors {
+                batch.migrated.push((lpa, c));
             }
             if !committed.is_empty() {
-                committed.sort_by_key(|c| c.seq);
                 batch.pages.push((lpa, committed));
             }
         }
@@ -523,6 +614,10 @@ pub struct ShardedWriteLog {
     entries: CachePadded<AtomicUsize>,
     seq: CachePadded<AtomicU64>,
     write_cursor: CachePadded<AtomicUsize>,
+    /// Power-failure injection plan shared with the rest of the device.
+    /// Gates sealing and sealed-region drains so a cut mid-cleaning leaves a
+    /// partially-drained sealed region behind, exactly like real power loss.
+    fault: FaultPlan,
 }
 
 impl ShardedWriteLog {
@@ -538,6 +633,7 @@ impl ShardedWriteLog {
             entries: CachePadded::default(),
             seq: CachePadded::default(),
             write_cursor: CachePadded::default(),
+            fault: cfg.fault.clone(),
         }
     }
 
@@ -771,6 +867,9 @@ impl ShardedWriteLog {
     /// region switch). Returns `false` when there is nothing to seal or the
     /// previous sealed region has not been fully drained yet.
     pub fn seal_shard(&self, shard: usize) -> bool {
+        if self.fault.is_cut() {
+            return false; // power is off: the region flip never happens
+        }
         let mut guard = self.shards[shard].lock();
         if guard.active.is_empty() || !guard.sealed.is_empty() {
             return false;
@@ -828,6 +927,13 @@ impl ShardedWriteLog {
         let mut step = SealedStep::default();
         while step.pages < max_pages {
             let Some((&partition, _)) = guard.sealed.iter().next() else { break };
+            // One counted fault step per sealed page about to be migrated: a
+            // power cut here leaves the region partially drained (pages not
+            // yet migrated stay sealed; pages already merged are in the FTL
+            // write buffer, which is battery-backed).
+            if !self.fault.step(FaultKind::SealDrain) {
+                break;
+            }
             let list = guard.sealed.get_mut(&partition).expect("partition present");
             let Some((lpa, chunks)) = list.pop_first() else {
                 guard.sealed.remove(&partition);
@@ -836,28 +942,37 @@ impl ShardedWriteLog {
             if list.is_empty() {
                 guard.sealed.remove(&partition);
             }
-            let mut committed: Vec<ChunkEntry> = Vec::new();
-            for c in chunks {
-                let ok = match c.txid {
-                    None => true,
-                    Some(txid) => is_committed(txid),
-                };
-                if ok {
-                    committed.push(c);
-                } else {
-                    // Survives cleaning: back into the active region, keeping
-                    // its original seq so it can never outrank a newer write.
-                    push_chunk(&mut guard.active, partition, lpa, c);
-                }
+            let drained_count = chunks.len();
+            let drained_bytes: usize = chunks.iter().map(ChunkEntry::footprint).sum();
+            // Committed chunks merge into flash; uncommitted survivors go
+            // back into the active region with their original seq — clipped
+            // against newer committed ranges, exactly like the
+            // stop-the-world drain (see split_page_chunks).
+            let (committed, survivors) = split_page_chunks(chunks, &is_committed, true);
+            let mut kept_count = 0usize;
+            let mut kept_bytes = 0usize;
+            for c in survivors {
+                kept_count += 1;
+                kept_bytes += c.footprint();
+                push_chunk(&mut guard.active, partition, lpa, c);
             }
             if !committed.is_empty() {
-                committed.sort_by_key(|c| c.seq);
-                let freed: usize = committed.iter().map(ChunkEntry::footprint).sum();
                 step.cost += apply(lpa, &committed);
                 step.merged_pages += 1;
                 step.chunks += committed.len();
-                self.used_bytes.0.fetch_sub(freed, Ordering::Relaxed);
-                self.entries.0.fetch_sub(committed.len(), Ordering::Relaxed);
+            }
+            // Space accounting: everything drained minus what survived
+            // (clipping usually shrinks survivors; re-alignment of split
+            // pieces can in corner cases grow them, so keep it signed).
+            if drained_bytes >= kept_bytes {
+                self.used_bytes.0.fetch_sub(drained_bytes - kept_bytes, Ordering::Relaxed);
+            } else {
+                self.used_bytes.0.fetch_add(kept_bytes - drained_bytes, Ordering::Relaxed);
+            }
+            if kept_count >= drained_count {
+                self.entries.0.fetch_add(kept_count - drained_count, Ordering::Relaxed);
+            } else {
+                self.entries.0.fetch_sub(drained_count - kept_count, Ordering::Relaxed);
             }
             step.pages += 1;
         }
@@ -920,6 +1035,84 @@ impl ShardedWriteLog {
         self.entries.0.store(0, Ordering::Relaxed);
         self.write_cursor.0.store(0, Ordering::Relaxed);
     }
+
+    // ------------------------------------------------------------------
+    // Crash imaging (crashkit)
+    // ------------------------------------------------------------------
+
+    /// Exports every entry (both regions of every shard) plus the next
+    /// sequence number, as battery-backed DRAM content for a crash image.
+    /// Entries come out sorted by `(lpa, seq)` so the image is deterministic.
+    /// Only meaningful at a quiescent point (shards are locked one at a
+    /// time).
+    pub fn export_entries(&self) -> (Vec<LogEntryImage>, u64) {
+        let mut out = Vec::with_capacity(self.entries());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for (region, sealed) in [(&guard.sealed, true), (&guard.active, false)] {
+                for list in region.values() {
+                    for (lpa, chunks) in list.iter() {
+                        for c in chunks {
+                            out.push(LogEntryImage {
+                                lpa,
+                                offset: c.offset,
+                                data: c.data.clone(),
+                                txid: c.txid,
+                                seq: c.seq,
+                                sealed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.lpa, e.seq));
+        (out, self.seq.0.load(Ordering::SeqCst))
+    }
+
+    /// Restores entries captured by [`ShardedWriteLog::export_entries`] into
+    /// an empty log, preserving sequence numbers and region (sealed/active)
+    /// placement. Used by crash-image restoration; panics if the log is not
+    /// empty.
+    pub fn restore_entries(&self, entries: &[LogEntryImage], next_seq: u64) {
+        assert_eq!(self.entries(), 0, "crash-image restore requires an empty log");
+        for e in entries {
+            let mut shard = self.shards[self.shard_of(e.lpa)].lock();
+            let entry = ChunkEntry {
+                offset: e.offset,
+                data: e.data.clone(),
+                txid: e.txid,
+                seq: e.seq,
+                log_off: self.write_cursor.0.load(Ordering::Relaxed),
+            };
+            let footprint = entry.footprint();
+            self.used_bytes.0.fetch_add(footprint, Ordering::Relaxed);
+            self.write_cursor.0.fetch_add(footprint, Ordering::Relaxed);
+            self.entries.0.fetch_add(1, Ordering::Relaxed);
+            let partition = self.partition_of(e.lpa);
+            let region = if e.sealed { &mut shard.sealed } else { &mut shard.active };
+            push_chunk(region, partition, e.lpa, entry);
+        }
+        self.seq.0.store(next_seq, Ordering::SeqCst);
+    }
+}
+
+/// One write-log entry captured in a crash image (see
+/// [`ShardedWriteLog::export_entries`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntryImage {
+    /// Logical page the chunk belongs to.
+    pub lpa: Lpa,
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// The written bytes.
+    pub data: Vec<u8>,
+    /// Transaction the write belongs to (`None` = immediately committed).
+    pub txid: Option<TxId>,
+    /// Original global sequence number (preserved across restore).
+    pub seq: u64,
+    /// Whether the entry sat in a sealed (being-drained) region.
+    pub sealed: bool,
 }
 
 /// Progress report of one [`ShardedWriteLog::drain_sealed_step`] call.
@@ -944,10 +1137,30 @@ pub struct AllShards<'a> {
 
 impl AllShards<'_> {
     /// Drains sealed and active regions of every shard into a [`CleanBatch`]
-    /// and zeroes the space accounting. The guard stays held, so the caller
-    /// can merge the batch into flash and [`AllShards::reinstate`] the
-    /// uncommitted remainder with no reader-visible window.
+    /// with **cleaning** semantics — uncommitted chunks survive (the caller
+    /// reinstates `migrated`), clipped against the byte ranges of newer
+    /// committed chunks being merged (see [`split_page_chunks`]). Zeroes
+    /// the space accounting; the guard stays held, so the caller can merge
+    /// the batch into flash and [`AllShards::reinstate`] the remainder with
+    /// no reader-visible window.
     pub fn drain<F>(&mut self, is_committed: F) -> CleanBatch
+    where
+        F: Fn(TxId) -> bool,
+    {
+        self.drain_inner(is_committed, true)
+    }
+
+    /// Drains with **recovery** semantics: uncommitted chunks are being
+    /// discarded (not reinstated), so every committed chunk merges and seq
+    /// order within each page image settles overlaps.
+    pub fn drain_discarding<F>(&mut self, is_committed: F) -> CleanBatch
+    where
+        F: Fn(TxId) -> bool,
+    {
+        self.drain_inner(is_committed, false)
+    }
+
+    fn drain_inner<F>(&mut self, is_committed: F, preserve_uncommitted: bool) -> CleanBatch
     where
         F: Fn(TxId) -> bool,
     {
@@ -965,7 +1178,7 @@ impl AllShards<'_> {
                     }
                 }
             }
-            drain_partitions_into(combined, &is_committed, &mut batch);
+            drain_partitions_into(combined, &is_committed, preserve_uncommitted, &mut batch);
         }
         batch.pages.sort_by_key(|(lpa, _)| *lpa);
         batch.migrated.sort_by_key(|(lpa, c)| (*lpa, c.seq));

@@ -1,7 +1,8 @@
 //! Stress tests of the background log cleaner: concurrent writers hammer a
 //! device whose log region is small enough that sealing, background drains
-//! and foreground space-admission stalls all race with the writers, plus a
-//! crash-recovery run with sealed-but-undrained regions.
+//! and foreground space-admission stalls all race with the writers. (The
+//! sealed-but-undrained crash-recovery case moved to the `crashkit` crate's
+//! ported suite, which owns all cut-power/remount machinery now.)
 
 use std::sync::Arc;
 
@@ -135,54 +136,6 @@ fn concurrent_writers_during_background_cleaning() {
                 assert_eq!(got, vec![*tag; 64], "thread {t} slot {slot} after clean");
             }
         }
-    }
-}
-
-#[test]
-fn crash_recovery_with_sealed_undrained_regions() {
-    // Writers leave committed and uncommitted entries behind, the regions are
-    // sealed (as if the cleaner had flipped them but not yet drained), and
-    // the device crashes. Recovery must flush exactly the committed entries.
-    let dev = Mssd::new(cleaner_config(), DramMode::WriteLog);
-    let handles: Vec<_> = (0..THREADS)
-        .map(|t| {
-            let dev = Arc::clone(&dev);
-            std::thread::spawn(move || {
-                let base = t as u64 * PARTITION_BYTES;
-                let committed_tx = TxId(((t as u32) << 8) | 1);
-                let lost_tx = TxId(((t as u32) << 8) | 2);
-                dev.byte_write(base, &[0xA0 + t as u8; 64], Some(committed_tx), Category::Data);
-                dev.byte_write(base + 4096, &[0xB0 + t as u8; 64], Some(lost_tx), Category::Data);
-                dev.commit(committed_tx);
-            })
-        })
-        .collect();
-    for h in handles {
-        h.join().unwrap();
-    }
-    dev.quiesce_cleaning();
-    // Flip every shard's active region into the sealed slot, then crash
-    // before anything drains: recovery must handle sealed regions.
-    dev.seal_log_regions();
-    let entries_before = dev.snapshot().log_entries;
-    assert!(entries_before >= 2 * THREADS, "both writes of each thread still logged");
-    dev.crash();
-    let report = dev.recover();
-    assert_eq!(report.scanned_entries, entries_before);
-    assert_eq!(report.discarded_entries, THREADS, "one uncommitted entry per thread");
-    assert_eq!(dev.snapshot().log_entries, 0);
-    for t in 0..THREADS as u64 {
-        let base = t * PARTITION_BYTES;
-        assert_eq!(
-            dev.byte_read(base, 64, Category::Data),
-            vec![0xA0 + t as u8; 64],
-            "committed write of thread {t} survives"
-        );
-        assert_eq!(
-            dev.byte_read(base + 4096, 64, Category::Data),
-            vec![0u8; 64],
-            "uncommitted write of thread {t} is discarded"
-        );
     }
 }
 

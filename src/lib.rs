@@ -6,6 +6,7 @@
 
 pub use baselines;
 pub use bytefs;
+pub use crashkit;
 pub use fskit;
 pub use kvstore;
 pub use mssd;
