@@ -219,7 +219,8 @@ mod tests {
         let layout = PseudoLayout::compute(&dev);
         let mut alloc = BlockAlloc::new(layout.data_start, layout.total_pages);
         let mut seq = 0;
-        let mut ctx = Ctx { device: &dev, layout: &layout, alloc: &mut alloc, journal: None, seq: &mut seq };
+        let mut ctx =
+            Ctx { device: &dev, layout: &layout, alloc: &mut alloc, journal: None, seq: &mut seq };
         assert_eq!(ctx.next_seq(), 1);
         assert_eq!(ctx.next_seq(), 2);
     }

@@ -231,8 +231,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         f: impl FnOnce(&mut Ctx<'_>, &mut Namespace, &mut PageCache) -> R,
     ) -> R {
         let EngineState { ns, layout, alloc, journal, page_cache, seq, .. } = st;
-        let mut ctx =
-            Ctx { device: &self.device, layout, alloc, journal: journal.as_mut(), seq };
+        let mut ctx = Ctx { device: &self.device, layout, alloc, journal: journal.as_mut(), seq };
         f(&mut ctx, ns, page_cache)
     }
 
@@ -261,10 +260,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
             if !node.file_type.is_dir() {
                 return Err(FsError::NotADirectory(path.to_string()));
             }
-            cur = *node
-                .children
-                .get(comp)
-                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = *node.children.get(comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         self.touch_inode(st, cur);
         Ok(cur)
@@ -373,7 +369,12 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         Ok(page)
     }
 
-    fn writeback_inode(&self, st: &mut EngineState, ino: u64, pages: Vec<DirtyPage>) -> FsResult<()> {
+    fn writeback_inode(
+        &self,
+        st: &mut EngineState,
+        ino: u64,
+        pages: Vec<DirtyPage>,
+    ) -> FsResult<()> {
         let npages = pages.len();
         let meta_dirty = st.dirty_inodes.remove(&ino);
         if npages == 0 && !meta_dirty {
@@ -654,7 +655,13 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
                 } else {
                     let mut page = page.to_vec();
                     page[tail_off..].fill(0);
-                    self.writeback_page(&mut st, of.ino, last, &page, &[(tail_off, ps - tail_off)])?;
+                    self.writeback_page(
+                        &mut st,
+                        of.ino,
+                        last,
+                        &page,
+                        &[(tail_off, ps - tail_off)],
+                    )?;
                 }
             }
         }

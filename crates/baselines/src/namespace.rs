@@ -114,10 +114,7 @@ impl Namespace {
             if !node.file_type.is_dir() {
                 return Err(FsError::NotADirectory(path.to_string()));
             }
-            cur = *node
-                .children
-                .get(comp)
-                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = *node.children.get(comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         Ok(cur)
     }
@@ -131,10 +128,7 @@ impl Namespace {
             if !node.file_type.is_dir() {
                 return Err(FsError::NotADirectory(path.to_string()));
             }
-            cur = *node
-                .children
-                .get(comp)
-                .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            cur = *node.children.get(comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
         if !self.node(cur)?.file_type.is_dir() {
             return Err(FsError::NotADirectory(path.to_string()));
@@ -268,10 +262,7 @@ mod tests {
         assert_eq!(ns.resolve("/dir/f").unwrap(), file);
         assert_eq!(ns.resolve("/").unwrap(), ROOT_INO);
         assert!(matches!(ns.resolve("/missing"), Err(FsError::NotFound(_))));
-        assert!(matches!(
-            ns.remove(ROOT_INO, "dir", true, 3),
-            Err(FsError::DirectoryNotEmpty(_))
-        ));
+        assert!(matches!(ns.remove(ROOT_INO, "dir", true, 3), Err(FsError::DirectoryNotEmpty(_))));
         ns.remove(dir, "f", false, 4).unwrap();
         ns.remove(ROOT_INO, "dir", true, 5).unwrap();
         assert!(ns.is_empty());

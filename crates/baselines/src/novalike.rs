@@ -50,7 +50,11 @@ impl PersistencePolicy for NovaPolicy {
     }
 
     fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
-        ctx.device.byte_read(ctx.layout.inode_addr(ino), BASELINE_INODE_SIZE as usize, Category::Inode);
+        ctx.device.byte_read(
+            ctx.layout.inode_addr(ino),
+            BASELINE_INODE_SIZE as usize,
+            Category::Inode,
+        );
     }
 
     fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, entries: usize) {

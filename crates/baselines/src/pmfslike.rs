@@ -56,7 +56,11 @@ impl PersistencePolicy for PmfsPolicy {
     }
 
     fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
-        ctx.device.byte_read(ctx.layout.inode_addr(ino), BASELINE_INODE_SIZE as usize, Category::Inode);
+        ctx.device.byte_read(
+            ctx.layout.inode_addr(ino),
+            BASELINE_INODE_SIZE as usize,
+            Category::Inode,
+        );
     }
 
     fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, entries: usize) {
@@ -72,7 +76,12 @@ impl PersistencePolicy for PmfsPolicy {
                 // Undo records for inode + dentry + allocator, then in-place.
                 self.journal_entry(ctx, BASELINE_INODE_SIZE + BASELINE_DENTRY_SIZE + 64);
                 ctx.device.persist_barrier();
-                self.in_place(ctx, ctx.layout.inode_addr(ino), BASELINE_INODE_SIZE, Category::Inode);
+                self.in_place(
+                    ctx,
+                    ctx.layout.inode_addr(ino),
+                    BASELINE_INODE_SIZE,
+                    Category::Inode,
+                );
                 self.in_place(
                     ctx,
                     parent_meta_block * page_size,
@@ -86,14 +95,24 @@ impl PersistencePolicy for PmfsPolicy {
                 self.journal_entry(ctx, BASELINE_DENTRY_SIZE + 64 + 64);
                 ctx.device.persist_barrier();
                 self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode);
-                self.in_place(ctx, parent_meta_block * page_size, BASELINE_DENTRY_SIZE, Category::Dentry);
+                self.in_place(
+                    ctx,
+                    parent_meta_block * page_size,
+                    BASELINE_DENTRY_SIZE,
+                    Category::Dentry,
+                );
                 self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap);
                 ctx.device.persist_barrier();
             }
             MetaOp::Rename { from_meta_block, to_meta_block, name_len, .. } => {
                 self.journal_entry(ctx, 2 * BASELINE_DENTRY_SIZE);
                 ctx.device.persist_barrier();
-                self.in_place(ctx, from_meta_block * page_size, BASELINE_DENTRY_SIZE, Category::Dentry);
+                self.in_place(
+                    ctx,
+                    from_meta_block * page_size,
+                    BASELINE_DENTRY_SIZE,
+                    Category::Dentry,
+                );
                 self.in_place(
                     ctx,
                     to_meta_block * page_size,
@@ -131,7 +150,12 @@ impl PersistencePolicy for PmfsPolicy {
         let lba = old_lba.unwrap_or_else(|| ctx.alloc.allocate().expect("data area not full"));
         let base = lba * ctx.layout.page_size as u64;
         for (off, len) in dirty {
-            ctx.device.byte_write(base + *off as u64, &page[*off..*off + *len], None, Category::Data);
+            ctx.device.byte_write(
+                base + *off as u64,
+                &page[*off..*off + *len],
+                None,
+                Category::Data,
+            );
         }
         ctx.device.persist_barrier();
         lba

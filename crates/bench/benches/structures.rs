@@ -22,9 +22,7 @@ fn bench_skiplist(c: &mut Criterion) {
         })
     });
     let list: SkipList<u64> = (0..10_000u64).map(|k| (k, k)).collect();
-    c.bench_function("skiplist_lookup", |b| {
-        b.iter(|| black_box(list.get(black_box(7_777))))
-    });
+    c.bench_function("skiplist_lookup", |b| b.iter(|| black_box(list.get(black_box(7_777)))));
 }
 
 fn bench_write_log(c: &mut Criterion) {
@@ -79,9 +77,7 @@ fn bench_extents_and_bitmap(c: &mut Criterion) {
     for i in 0..1000u64 {
         tree.insert(i * 2, 5_000 + i * 3);
     }
-    c.bench_function("extent_tree_lookup", |b| {
-        b.iter(|| black_box(tree.lookup(black_box(998))))
-    });
+    c.bench_function("extent_tree_lookup", |b| b.iter(|| black_box(tree.lookup(black_box(998)))));
     c.bench_function("bitmap_allocate_free", |b| {
         let mut alloc = BitmapAllocator::new(1 << 20);
         b.iter(|| {

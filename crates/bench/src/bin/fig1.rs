@@ -27,8 +27,7 @@ fn main() {
         let mut rows = Vec::new();
         for kind in [FsKind::Ext4, FsKind::F2fs] {
             for w in &workloads {
-                let run =
-                    run_workload(kind, bench_config(), w.as_ref(), 7).expect("workload runs");
+                let run = run_workload(kind, bench_config(), w.as_ref(), 7).expect("workload runs");
                 let breakdown = TrafficBreakdown::new(&run.traffic, dir);
                 rows.push(vec![
                     kind.label().to_string(),

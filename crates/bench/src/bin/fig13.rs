@@ -8,9 +8,7 @@ use workloads::oltp::Oltp;
 use workloads::{run_workload, FsKind, Workload};
 
 fn config_for(profile: TimingProfile) -> MssdConfig {
-    MssdConfig::with_profile(profile)
-        .with_capacity(1 << 30)
-        .with_dram_region(16 << 20)
+    MssdConfig::with_profile(profile).with_capacity(1 << 30).with_dram_region(16 << 20)
 }
 
 fn main() {
@@ -32,8 +30,8 @@ fn main() {
                 .expect("workload runs")
                 .kops_per_sec;
             for profile in TimingProfile::all() {
-                let run = run_workload(kind, config_for(profile), w.as_ref(), 29)
-                    .expect("workload runs");
+                let run =
+                    run_workload(kind, config_for(profile), w.as_ref(), 29).expect("workload runs");
                 row.push(format!("{}: {:.2}x", profile.label(), run.kops_per_sec / baseline));
             }
             rows.push(row);

@@ -10,8 +10,12 @@ use workloads::oltp::Oltp;
 use workloads::ycsb::{run_ycsb, YcsbSpec, YcsbWorkload};
 use workloads::{run_workload, FsKind, Workload};
 
-const LOG_SIZES: [(usize, &str); 4] =
-    [(4 << 20, "4M (≈64M)"), (8 << 20, "8M (≈128M)"), (16 << 20, "16M (≈256M)"), (32 << 20, "32M (≈512M)")];
+const LOG_SIZES: [(usize, &str); 4] = [
+    (4 << 20, "4M (≈64M)"),
+    (8 << 20, "8M (≈128M)"),
+    (16 << 20, "16M (≈256M)"),
+    (32 << 20, "32M (≈512M)"),
+];
 
 fn main() {
     let scale = scale_from_args();

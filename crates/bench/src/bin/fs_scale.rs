@@ -21,7 +21,7 @@
 
 use std::sync::Arc;
 
-use bench::print_table;
+use bench::{host_cpus, print_table, BenchEntry, BenchReport};
 use fskit::FileSystem;
 use mssd::{Mssd, MssdConfig};
 use workloads::filebench::{Filebench, Personality};
@@ -103,49 +103,29 @@ fn base_ops_per_sec(samples: &[Sample], s: &Sample) -> f64 {
 }
 
 fn write_json(path: &str, scale: f64, samples: &[Sample]) -> std::io::Result<()> {
-    let rows: Vec<String> = samples
-        .iter()
-        .map(|s| {
-            format!(
-                concat!(
-                    "    {{\"fs\": \"{}\", \"workload\": \"{}\", \"threads\": {}, ",
-                    "\"ops\": {}, \"wall_ms\": {:.3}, \"ops_per_sec\": {:.0}, ",
-                    "\"speedup_vs_1t\": {:.3}, \"virtual_kops_per_sec\": {:.3}}}"
+    let mut report = BenchReport::new("fs_scale", scale);
+    for s in samples {
+        report.entries.push(BenchEntry {
+            key: format!("{}/{}/t{}", s.fs, s.workload, s.threads),
+            throughput_ops_s: (s.ops_per_sec * 1000.0).round() / 1000.0,
+            p99_ns: 0,
+            extra: std::collections::BTreeMap::from([
+                ("threads".to_string(), s.threads as f64),
+                ("ops".to_string(), s.ops as f64),
+                ("wall_ms".to_string(), (s.wall_ms * 1000.0).round() / 1000.0),
+                (
+                    "speedup_vs_1t".to_string(),
+                    (s.ops_per_sec / base_ops_per_sec(samples, s) * 1000.0).round() / 1000.0,
                 ),
-                s.fs,
-                s.workload,
-                s.threads,
-                s.ops,
-                s.wall_ms,
-                s.ops_per_sec,
-                s.ops_per_sec / base_ops_per_sec(samples, s),
-                s.virtual_kops,
-            )
-        })
-        .collect();
-    let json = format!(
-        concat!(
-            "{{\n  \"bench\": \"fs_scale\",\n  \"scale\": {scale},\n",
-            "  \"host_cpus\": {cpus},\n  \"results\": [\n{rows}\n  ]\n}}\n"
-        ),
-        scale = scale,
-        cpus = host_cpus(),
-        rows = rows.join(",\n"),
-    );
-    std::fs::write(path, json)
-}
-
-/// Parallelism actually available to this process — wall-clock speedup is
-/// bounded by it (a single-CPU container caps every configuration at 1.0x).
-fn host_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                ("virtual_kops_per_sec".to_string(), (s.virtual_kops * 1000.0).round() / 1000.0),
+            ]),
+        });
+    }
+    report.write(path)
 }
 
 fn main() {
-    let scale_factor = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let scale_factor = std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).unwrap_or(1.0);
     let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_fs_scale.json".to_string());
     let scale = Scale::new(scale_factor);
     eprintln!("fs_scale: scale {scale_factor}, host parallelism {}", host_cpus());

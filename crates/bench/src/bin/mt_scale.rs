@@ -28,7 +28,7 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use bench::print_table;
+use bench::{host_cpus, print_table, BenchEntry, BenchReport};
 use mssd::log::PARTITION_BYTES;
 use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
 
@@ -227,54 +227,32 @@ fn run_config(engine_name: &'static str, engine: Engine, threads: usize, ops: us
 }
 
 fn write_json(path: &str, scale: f64, samples: &[Sample]) -> std::io::Result<()> {
-    let mut rows = Vec::new();
+    let mut report = BenchReport::new("mt_scale", scale);
+    report.summary.insert("ops_per_thread".into(), (OPS_PER_THREAD as f64 * scale).trunc());
     for s in samples {
         let base = samples
             .iter()
             .find(|b| b.engine == s.engine && b.threads == 1)
             .map(|b| b.ops_per_sec)
             .unwrap_or(s.ops_per_sec);
-        rows.push(format!(
-            concat!(
-                "    {{\"engine\": \"{}\", \"threads\": {}, \"total_ops\": {}, ",
-                "\"wall_ms\": {:.3}, \"ops_per_sec\": {:.0}, \"speedup_vs_1t\": {:.3}, ",
-                "\"virtual_device_ms\": {:.3}}}"
-            ),
-            s.engine,
-            s.threads,
-            s.total_ops,
-            s.wall_ms,
-            s.ops_per_sec,
-            s.ops_per_sec / base,
-            s.virtual_ms,
-        ));
+        report.entries.push(BenchEntry {
+            key: format!("{}/t{}", s.engine, s.threads),
+            throughput_ops_s: (s.ops_per_sec * 1000.0).round() / 1000.0,
+            p99_ns: 0,
+            extra: std::collections::BTreeMap::from([
+                ("threads".to_string(), s.threads as f64),
+                ("total_ops".to_string(), s.total_ops as f64),
+                ("wall_ms".to_string(), (s.wall_ms * 1000.0).round() / 1000.0),
+                ("speedup_vs_1t".to_string(), (s.ops_per_sec / base * 1000.0).round() / 1000.0),
+                ("virtual_device_ms".to_string(), (s.virtual_ms * 1000.0).round() / 1000.0),
+            ]),
+        });
     }
-    let json = format!(
-        concat!(
-            "{{\n  \"bench\": \"mt_scale\",\n  \"scale\": {scale},\n",
-            "  \"ops_per_thread\": {ops},\n  \"host_cpus\": {cpus},\n",
-            "  \"results\": [\n{rows}\n  ]\n}}\n"
-        ),
-        scale = scale,
-        ops = (OPS_PER_THREAD as f64 * scale) as usize,
-        cpus = host_cpus(),
-        rows = rows.join(",\n"),
-    );
-    std::fs::write(path, json)
-}
-
-/// Parallelism actually available to this process — wall-clock speedup is
-/// bounded by it, so readers need it to interpret the results (a single-CPU
-/// container caps every configuration at 1.0x).
-fn host_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    report.write(path)
 }
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let scale = std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).unwrap_or(1.0);
     let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_mt_scale.json".to_string());
     let ops = ((OPS_PER_THREAD as f64 * scale) as usize).max(1_000);
     eprintln!("mt_scale: {ops} ops/thread, host parallelism {}", host_cpus());

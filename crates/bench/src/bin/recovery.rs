@@ -37,7 +37,10 @@ fn main() {
                 "firmware recovery time".into(),
                 format!("{:.2} ms", report.duration_ns as f64 / 1e6),
             ],
-            vec!["total remount + recovery time".into(), format!("{:.2} ms", total_ns as f64 / 1e6)],
+            vec![
+                "total remount + recovery time".into(),
+                format!("{:.2} ms", total_ns as f64 / 1e6),
+            ],
         ],
     );
     println!("Note: the harness device DRAM region is 16 MB (vs 1 GB in the paper), so the");

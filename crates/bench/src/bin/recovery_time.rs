@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use bench::{bench_config, print_table};
+use bench::{bench_config, print_table, BenchEntry, BenchReport};
 use bytefs::{ByteFs, ByteFsConfig};
 use fskit::FileSystemExt;
 use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
@@ -27,6 +27,9 @@ const DEPTHS: [usize; 5] = [1_000, 8_000, 32_000, 96_000, 160_000];
 const ENTRY_BYTES: usize = 64;
 
 struct Sample {
+    /// Unscaled depth from [`DEPTHS`] — the stable report key, so reports
+    /// at different scales stay comparable entry-by-entry.
+    depth: usize,
     entries_target: usize,
     entries_at_crash: usize,
     log_bytes: usize,
@@ -37,7 +40,7 @@ struct Sample {
     wall_ms: f64,
 }
 
-fn run(cfg: &MssdConfig, entries: usize) -> Sample {
+fn run(cfg: &MssdConfig, depth: usize, entries: usize) -> Sample {
     let dev = Mssd::new(cfg.clone(), DramMode::WriteLog);
     let fs = ByteFs::format(dev.clone(), ByteFsConfig::full()).expect("format");
     fs.write_file("/anchor", b"survives every depth").expect("anchor file");
@@ -89,6 +92,7 @@ fn run(cfg: &MssdConfig, entries: usize) -> Sample {
     );
 
     Sample {
+        depth,
         entries_target: entries,
         entries_at_crash: snap.log_entries,
         log_bytes: snap.log_used_bytes,
@@ -108,7 +112,7 @@ fn main() {
     let mut samples = Vec::new();
     for depth in DEPTHS {
         let entries = ((depth as f64 * scale.factor()) as usize).max(64);
-        samples.push(run(&cfg, entries));
+        samples.push(run(&cfg, depth, entries));
     }
 
     print_table(
@@ -138,33 +142,26 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    let rows: Vec<String> = samples
-        .iter()
-        .map(|s| {
-            format!(
-                "    {{\"entries_target\": {}, \"entries_at_crash\": {}, \"log_bytes\": {}, \
-                 \"scanned\": {}, \"discarded\": {}, \"flushed_pages\": {}, \
-                 \"recovery_virtual_ms\": {:.3}, \"remount_wall_ms\": {:.3}}}",
-                s.entries_target,
-                s.entries_at_crash,
-                s.log_bytes,
-                s.scanned,
-                s.discarded,
-                s.flushed_pages,
-                s.firmware_ms,
-                s.wall_ms
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"recovery_time\",\n  \"scale\": {},\n  \"host_cpus\": {},\n  \
-         \"dram_region_bytes\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
-        scale.factor(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        cfg.dram_region_bytes,
-        rows.join(",\n")
-    );
-    std::fs::write(&out, json).expect("write results json");
+    let mut report = BenchReport::new("recovery_time", scale.factor());
+    report.summary.insert("dram_region_bytes".into(), cfg.dram_region_bytes as f64);
+    for s in &samples {
+        report.entries.push(BenchEntry {
+            key: format!("entries{}", s.depth),
+            throughput_ops_s: 0.0,
+            p99_ns: 0,
+            extra: std::collections::BTreeMap::from([
+                ("entries_target".to_string(), s.entries_target as f64),
+                ("entries_at_crash".to_string(), s.entries_at_crash as f64),
+                ("log_bytes".to_string(), s.log_bytes as f64),
+                ("scanned".to_string(), s.scanned as f64),
+                ("discarded".to_string(), s.discarded as f64),
+                ("flushed_pages".to_string(), s.flushed_pages as f64),
+                ("recovery_virtual_ms".to_string(), (s.firmware_ms * 1000.0).round() / 1000.0),
+                ("remount_wall_ms".to_string(), (s.wall_ms * 1000.0).round() / 1000.0),
+            ]),
+        });
+    }
+    report.write(&out).expect("write results json");
     println!("results written to {out}");
     println!("Note: recovery time scales with scanned entries + flushed pages; the paper's");
     println!("4.2 s figure is for a 1 GB device DRAM image (this harness models 16 MB).");

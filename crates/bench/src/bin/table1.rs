@@ -39,8 +39,16 @@ fn main() {
         "Table 1 — modelled M-SSD characteristics",
         &["metric", "measured", "paper"],
         &[
-            vec!["cacheline read latency".into(), format!("{:.1} us", read_lat as f64 / 1e3), "4.8 us".into()],
-            vec!["cacheline write latency".into(), format!("{:.1} us", write_lat as f64 / 1e3), "0.6 us".into()],
+            vec![
+                "cacheline read latency".into(),
+                format!("{:.1} us", read_lat as f64 / 1e3),
+                "4.8 us".into(),
+            ],
+            vec![
+                "cacheline write latency".into(),
+                format!("{:.1} us", write_lat as f64 / 1e3),
+                "0.6 us".into(),
+            ],
             vec![
                 "seq read bandwidth (4 KB)".into(),
                 format!("{:.2} GB/s", gbs(pages * 4096, read_elapsed)),
@@ -51,8 +59,16 @@ fn main() {
                 format!("{:.2} GB/s", gbs(pages * 4096, write_elapsed)),
                 "2.5 GB/s".into(),
             ],
-            vec!["flash read latency".into(), format!("{} us", cfg.flash_read_ns / 1000), "40 us".into()],
-            vec!["flash program latency".into(), format!("{} us", cfg.flash_write_ns / 1000), "60 us".into()],
+            vec![
+                "flash read latency".into(),
+                format!("{} us", cfg.flash_read_ns / 1000),
+                "40 us".into(),
+            ],
+            vec![
+                "flash program latency".into(),
+                format!("{} us", cfg.flash_write_ns / 1000),
+                "60 us".into(),
+            ],
         ],
     );
 }

@@ -20,8 +20,8 @@ fn main() {
     let mut rows = Vec::new();
     for kind in [FsKind::Ext4, FsKind::F2fs, FsKind::ByteFs] {
         for w in &workloads {
-            let run = run_workload(kind, bench_config(), w.as_ref(), 42)
-                .expect("workload run succeeds");
+            let run =
+                run_workload(kind, bench_config(), w.as_ref(), 42).expect("workload run succeeds");
             let amp = AmplificationRow::from_run(&run);
             rows.push(vec![
                 kind.label().to_string(),

@@ -13,15 +13,16 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
+
+pub use report::{host_cpus, BenchEntry, BenchReport, SCHEMA_VERSION};
+
 use mssd::MssdConfig;
 use workloads::Scale;
 
 /// Parses the scale factor from the process arguments (default 1.0).
 pub fn scale_from_args() -> Scale {
-    let factor = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let factor = std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).unwrap_or(1.0);
     Scale::new(factor)
 }
 
@@ -30,9 +31,7 @@ pub fn scale_from_args() -> Scale {
 /// that the scaled-down working sets exercise the same cache/flash pressure as
 /// the paper's full-size runs on a 256 MB region.
 pub fn bench_config() -> MssdConfig {
-    MssdConfig::default()
-        .with_capacity(1 << 30)
-        .with_dram_region(16 << 20)
+    MssdConfig::default().with_capacity(1 << 30).with_dram_region(16 << 20)
 }
 
 /// A harness device configuration with a custom DRAM (write-log) size, used by

@@ -1,0 +1,496 @@
+//! The unified bench-report JSON schema shared by every benchmark binary
+//! and consumed by the `bench_compare` CI gate.
+//!
+//! Every bench that commits a `BENCH_*.json` artifact writes a
+//! [`BenchReport`]: a `schema_version` tag, the bench name, the scale
+//! factor and host parallelism the run was produced under, a flat list of
+//! [`BenchEntry`] rows keyed by a stable string (e.g. `"bytefs/t4"` or
+//! `"qd16/t4"`), and a `summary` map of report-level scalars (e.g.
+//! `p99_ratio_on_vs_off`). The two first-class metrics every comparator
+//! understands are `throughput_ops_s` and `p99_ns`; a value of zero means
+//! "not applicable to this bench" and is never gated on. Everything else
+//! rides in the entry's `extra` map.
+//!
+//! The workspace has no JSON dependency (all deps are vendored offline
+//! stand-ins), so this module carries its own writer and a minimal parser —
+//! just enough for the schema it emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Version tag of the unified schema. Bump when a field changes meaning;
+/// `bench_compare` refuses to diff reports with mismatched versions.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// One measured configuration of a bench.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchEntry {
+    /// Stable key, unique within a report (e.g. `"bytefs/t4"`).
+    pub key: String,
+    /// Wall-clock throughput in operations per second; 0 when the bench has
+    /// no throughput notion for this row.
+    pub throughput_ops_s: f64,
+    /// 99th-percentile per-operation latency in nanoseconds; 0 when not
+    /// applicable.
+    pub p99_ns: u64,
+    /// Bench-specific scalars (thread counts, speedups, byte counts, ...).
+    pub extra: BTreeMap<String, f64>,
+}
+
+/// A full bench report in the unified schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] for freshly written reports).
+    pub schema_version: u64,
+    /// Bench name (`"mt_scale"`, `"fs_scale"`, `"gc_pause"`,
+    /// `"recovery_time"`, `"qd_sweep"`).
+    pub bench: String,
+    /// Scale factor the run used.
+    pub scale: f64,
+    /// `std::thread::available_parallelism()` of the producing host —
+    /// wall-clock numbers are only comparable between equal values.
+    pub host_cpus: usize,
+    /// Measured rows.
+    pub entries: Vec<BenchEntry>,
+    /// Report-level scalars (e.g. `"p99_ratio_on_vs_off"`).
+    pub summary: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// Starts a report for `bench` at `scale`, stamping the current host's
+    /// parallelism.
+    pub fn new(bench: &str, scale: f64) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            bench: bench.to_string(),
+            scale,
+            host_cpus: host_cpus(),
+            entries: Vec::new(),
+            summary: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up an entry by key.
+    pub fn entry(&self, key: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"bench\": {},", json_str(&self.bench));
+        let _ = writeln!(s, "  \"scale\": {},", json_f64(self.scale));
+        let _ = writeln!(s, "  \"host_cpus\": {},", self.host_cpus);
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"key\": {}, \"throughput_ops_s\": {}, \"p99_ns\": {}, \"extra\": {{",
+                json_str(&e.key),
+                json_f64(e.throughput_ops_s),
+                e.p99_ns
+            );
+            for (j, (k, v)) in e.extra.iter().enumerate() {
+                let _ =
+                    write!(s, "{}{}: {}", if j > 0 { ", " } else { "" }, json_str(k), json_f64(*v));
+            }
+            s.push_str("}}");
+            s.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"summary\": {");
+        for (j, (k, v)) in self.summary.iter().enumerate() {
+            let _ = write!(s, "{}{}: {}", if j > 0 { ", " } else { "" }, json_str(k), json_f64(*v));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a report from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let mut report = BenchReport {
+            schema_version: obj.get("schema_version").and_then(Json::as_u64).unwrap_or(0),
+            bench: obj.get("bench").and_then(Json::as_str).ok_or("missing \"bench\"")?.to_string(),
+            scale: obj.get("scale").and_then(Json::as_f64).unwrap_or(1.0),
+            host_cpus: obj.get("host_cpus").and_then(Json::as_u64).unwrap_or(0) as usize,
+            entries: Vec::new(),
+            summary: BTreeMap::new(),
+        };
+        if let Some(Json::Array(entries)) = obj.get("entries") {
+            for e in entries {
+                let eo = e.as_object().ok_or("entry is not an object")?;
+                let mut entry = BenchEntry {
+                    key: eo
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or("entry missing \"key\"")?
+                        .to_string(),
+                    throughput_ops_s: eo
+                        .get("throughput_ops_s")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0),
+                    p99_ns: eo.get("p99_ns").and_then(Json::as_u64).unwrap_or(0),
+                    extra: BTreeMap::new(),
+                };
+                if let Some(Json::Object(extra)) = eo.get("extra") {
+                    for (k, v) in extra {
+                        if let Some(f) = v.as_f64() {
+                            entry.extra.insert(k.clone(), f);
+                        }
+                    }
+                }
+                report.entries.push(entry);
+            }
+        }
+        if let Some(Json::Object(summary)) = obj.get("summary") {
+            for (k, v) in summary {
+                if let Some(f) = v.as_f64() {
+                    report.summary.insert(k.clone(), f);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Loads a report from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O, syntax or schema problem.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Parallelism available to this process; wall-clock throughput is bounded
+/// by it, so reports carry it for comparability.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A minimal JSON value: exactly what the unified schema needs, nothing
+/// more (no surrogate-pair escapes, no exponents beyond `f64::from_str`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n == n.trunc() => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from &str, so
+                    // the boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 inside string")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(out));
+                }
+                other => return Err(format!("expected , or ] got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(out));
+                }
+                other => return Err(format!("expected , or }} got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = BenchReport::new("qd_sweep", 0.5);
+        r.entries.push(BenchEntry {
+            key: "qd16/t4".into(),
+            throughput_ops_s: 123456.75,
+            p99_ns: 9800,
+            extra: BTreeMap::from([("threads".to_string(), 4.0), ("qd".to_string(), 16.0)]),
+        });
+        r.entries.push(BenchEntry {
+            key: "qd1/t4".into(),
+            throughput_ops_s: 60000.0,
+            p99_ns: 15000,
+            extra: BTreeMap::new(),
+        });
+        r.summary.insert("qd16_vs_qd1_4t".into(), 2.057);
+        let back = BenchReport::from_json(&r.to_json()).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.entry("qd16/t4").unwrap().p99_ns, 9800);
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let v = Json::parse(
+            "{\"a\": [1, -2.5, 1e3, true, false, null], \"s\": \"x\\\"y\\nz\", \"o\": {}}",
+        )
+        .expect("parse");
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("s").and_then(Json::as_str), Some("x\"y\nz"));
+        let Some(Json::Array(a)) = o.get("a") else { panic!("array") };
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+}

@@ -266,12 +266,8 @@ impl SharedBitmap {
             if cur == 0 {
                 return false;
             }
-            match self.free.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.free.compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(now) => cur = now,
             }

@@ -45,10 +45,8 @@ impl ByteFs {
                 v.push(Violation::new(CHECKER, format!("directory {dir} unreadable: {e}")));
                 continue;
             }
-            let entries: Vec<(String, u64, FileType)> = ns.dirs[&dir]
-                .iter()
-                .map(|(name, e)| (name.clone(), e.ino, e.file_type))
-                .collect();
+            let entries: Vec<(String, u64, FileType)> =
+                ns.dirs[&dir].iter().map(|(name, e)| (name.clone(), e.ino, e.file_type)).collect();
             for (name, ino, ftype) in entries {
                 if visited.insert(ino, ftype).is_some() {
                     v.push(Violation::new(

@@ -244,11 +244,8 @@ mod tests {
         let s = DentrySlot { ino: 1, file_type: FileType::File, name: String::new() };
         assert!(s.encode().is_err());
         // Exactly at the limit is fine.
-        let s = DentrySlot {
-            ino: 1,
-            file_type: FileType::Directory,
-            name: "d".repeat(MAX_NAME_LEN),
-        };
+        let s =
+            DentrySlot { ino: 1, file_type: FileType::Directory, name: "d".repeat(MAX_NAME_LEN) };
         let raw = s.encode().unwrap();
         assert_eq!(DentrySlot::decode(&raw).unwrap().name.len(), MAX_NAME_LEN);
     }

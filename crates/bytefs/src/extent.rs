@@ -181,9 +181,9 @@ impl ExtentTree {
 
     /// Iterates over `(file_block, lba)` pairs for every mapped block.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.extents.iter().flat_map(|e| {
-            (0..e.len as u64).map(move |i| (e.file_block + i, e.start_lba + i))
-        })
+        self.extents
+            .iter()
+            .flat_map(|e| (0..e.len as u64).map(move |i| (e.file_block + i, e.start_lba + i)))
     }
 }
 

@@ -2,8 +2,8 @@
 //! [`FileSystem`] trait implementation.
 //!
 //! The data path (read/write/fsync/truncate and the §4.6 interface-selection
-//! policy) lives in [`crate::fs::data`]; this module owns the in-memory state
-//! and the metadata operations of §4.5.
+//! policy) lives in the private `fs::data` submodule; this module owns the
+//! in-memory state and the metadata operations of §4.5.
 //!
 //! # Concurrency model
 //!
@@ -274,13 +274,7 @@ impl ByteFs {
         Ok(())
     }
 
-    fn write_bitmap_region(
-        device: &Mssd,
-        start: u64,
-        pages: u64,
-        bytes: &[u8],
-        page_size: usize,
-    ) {
+    fn write_bitmap_region(device: &Mssd, start: u64, pages: u64, bytes: &[u8], page_size: usize) {
         for i in 0..pages {
             let lo = (i as usize) * page_size;
             let hi = (lo + page_size).min(bytes.len());
@@ -592,10 +586,8 @@ impl ByteFs {
 
     /// Device byte address of a dentry slot inside a directory.
     fn dentry_addr(&self, dir_inode: &Inode, block_pos: usize, slot: usize) -> u64 {
-        let lba = dir_inode
-            .extents
-            .lookup(block_pos as u64)
-            .expect("directory block must be mapped");
+        let lba =
+            dir_inode.extents.lookup(block_pos as u64).expect("directory block must be mapped");
         lba * self.device.page_size() as u64 + (slot * DENTRY_SIZE) as u64
     }
 
@@ -944,11 +936,11 @@ impl FileSystem for ByteFs {
         if !ns.dirs[&to_parent].has_free_slot() {
             self.grow_directory(&mut ns, to_parent)?;
         }
-        let slot = ns
-            .dirs
-            .get_mut(&to_parent)
-            .expect("cached")
-            .insert(to_name, entry.ino, entry.file_type)?;
+        let slot = ns.dirs.get_mut(&to_parent).expect("cached").insert(
+            to_name,
+            entry.ino,
+            entry.file_type,
+        )?;
         let to_size = (ns.dirs[&to_parent].len() * DENTRY_SIZE) as u64;
         let to_handle = self.inode_handle(to_parent)?;
         let to_inode = {
@@ -1008,9 +1000,11 @@ impl FileSystem for ByteFs {
             .iter()
             .copied()
             .chain(self.page_cache.dirty_inodes())
-            .chain(self.open_files.iter().flat_map(|s| {
-                s.read().values().map(|of| of.ino).collect::<Vec<_>>()
-            }))
+            .chain(
+                self.open_files
+                    .iter()
+                    .flat_map(|s| s.read().values().map(|of| of.ino).collect::<Vec<_>>()),
+            )
             .collect();
         for shard in &self.inode_shards {
             shard.write().retain(|ino, _| keep.contains(ino));

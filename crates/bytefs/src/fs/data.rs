@@ -529,8 +529,7 @@ mod tests {
         fs.fsync(fd).unwrap();
         let delta = dev.traffic().delta_since(&before);
         let byte_data = delta.host_bytes_by_interface(Direction::Write, Interface::Byte);
-        let block_data = delta
-            .host_bytes_by_category(Direction::Write, Category::Data);
+        let block_data = delta.host_bytes_by_category(Direction::Write, Category::Data);
         assert!(byte_data > 0, "byte interface should carry the small update");
         assert!(block_data < 4096, "no full-page data write for a 64 B update");
     }

@@ -69,11 +69,7 @@ impl ByteFsConfig {
     /// "ByteFS-Dual": only the dual interface for metadata; data uses the
     /// block interface and the device keeps page-granular caching.
     pub fn dual_only() -> Self {
-        Self {
-            data_byte_interface: false,
-            firmware_transactions: false,
-            ..Self::full()
-        }
+        Self { data_byte_interface: false, firmware_transactions: false, ..Self::full() }
     }
 
     /// "ByteFS-Log": ByteFS-Dual plus the firmware log-structured memory and

@@ -77,7 +77,11 @@ pub struct SharedTxTable {
 impl SharedTxTable {
     /// Creates an empty table. TxID 0 is reserved as "no transaction".
     pub fn new() -> Self {
-        Self { next: AtomicU32::new(1), active: Mutex::new(HashSet::new()), committed: AtomicU64::new(0) }
+        Self {
+            next: AtomicU32::new(1),
+            active: Mutex::new(HashSet::new()),
+            committed: AtomicU64::new(0),
+        }
     }
 
     /// Starts a new transaction and returns its TxID.

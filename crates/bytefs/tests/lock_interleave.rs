@@ -114,13 +114,19 @@ fn apply(fs: &dyn FileSystem, op: &Op) {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Create { dir, file }),
-        (any::<u8>(), any::<u8>(), any::<u16>())
-            .prop_map(|(dir, file, len)| Op::Write { dir, file, len }),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(dir, file, len)| Op::Write {
+            dir,
+            file,
+            len
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Append { dir, file }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Read { dir, file }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Fsync { dir, file }),
-        (any::<u8>(), any::<u8>(), any::<u16>())
-            .prop_map(|(dir, file, size)| Op::Truncate { dir, file, size }),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(dir, file, size)| Op::Truncate {
+            dir,
+            file,
+            size
+        }),
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(dir, file, to_dir, to_file)| Op::Rename { dir, file, to_dir, to_file }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, file)| Op::Unlink { dir, file }),

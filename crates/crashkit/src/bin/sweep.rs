@@ -5,15 +5,15 @@
 //! workflow can upload the report as the failure-seed artifact.
 //!
 //! ```text
-//! sweep <device|bytefs|kv|ext4like|novalike> <cleaning:on|off> \
+//! sweep <device|device-mq|bytefs|kv|ext4like|novalike> <cleaning:on|off> \
 //!       [seeds=4] [cuts-per-seed=24] [out.json]
 //! ```
 
 use std::io::Write as _;
 
 use crashkit::{
-    BaselineKind, BaselineStress, DeviceStress, Enumerator, FsStress, KvStress, Scenario,
-    SweepReport,
+    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, Enumerator, FsStress, KvStress,
+    Scenario, SweepReport,
 };
 
 fn run<S: Scenario>(scenario: S, cleaning: bool, seeds: u64, cuts: usize) -> SweepReport {
@@ -34,12 +34,13 @@ fn main() {
 
     let report = match scenario {
         "device" => run(DeviceStress::quick(), cleaning, seeds, cuts),
+        "device-mq" => run(DeviceMqStress::quick(), cleaning, seeds, cuts),
         "bytefs" => run(FsStress::quick(), cleaning, seeds, cuts),
         "kv" => run(KvStress::quick(), cleaning, seeds, cuts),
         "ext4like" => run(BaselineStress::quick(BaselineKind::Ext4), cleaning, seeds, cuts),
         "novalike" => run(BaselineStress::quick(BaselineKind::Nova), cleaning, seeds, cuts),
         other => {
-            eprintln!("unknown scenario {other:?} (device|bytefs|kv|ext4like|novalike)");
+            eprintln!("unknown scenario {other:?} (device|device-mq|bytefs|kv|ext4like|novalike)");
             std::process::exit(2);
         }
     };

@@ -211,9 +211,7 @@ impl<S: Scenario> Enumerator<S> {
             vec![total]
         } else {
             // Evenly spaced, always including the first and last step.
-            (0..max_cuts)
-                .map(|i| 1 + (i as u64 * (total - 1)) / (max_cuts as u64 - 1))
-                .collect()
+            (0..max_cuts).map(|i| 1 + (i as u64 * (total - 1)) / (max_cuts as u64 - 1)).collect()
         };
         for cut in cuts {
             report.outcomes.push(self.run_cut(seed, cut));

@@ -48,7 +48,10 @@ pub mod driver;
 pub mod scenarios;
 
 pub use driver::{CutOutcome, Enumerator, SweepReport};
-pub use scenarios::{BaselineKind, BaselineStress, DeviceStress, FsStress, KvStress, Oracle, Scenario};
+pub use scenarios::{
+    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, FsStress, KvStress, Oracle,
+    Scenario,
+};
 
 use std::sync::Arc;
 

@@ -243,13 +243,18 @@ impl Scenario for DeviceStress {
     }
 }
 
-/// Expected durable device state of a [`DeviceStress`] run.
+/// Expected durable device state of a [`DeviceStress`] or
+/// [`DeviceMqStress`] run.
 #[derive(Debug, Default)]
 struct DeviceOracle {
     /// Cacheline slot (address / 64) → expected 64-byte tag.
     lines: BTreeMap<u64, Expect>,
-    /// Block-region page (relative to [`BLOCK_BASE`]) → expected page tag.
+    /// Block-region page (relative to [`BLOCK_BASE`]) → expected page tag
+    /// (used by [`DeviceStress`]).
     pages: BTreeMap<u64, Expect>,
+    /// Absolute logical page → expected page tag (used by
+    /// [`DeviceMqStress`], whose block traffic is sliced per queue).
+    pages_abs: BTreeMap<u64, Expect>,
 }
 
 impl DeviceOracle {
@@ -264,6 +269,13 @@ impl DeviceOracle {
 
     fn page_tag(&self, page: u64) -> u8 {
         match self.pages.get(&page) {
+            Some(Expect::Exactly(t)) => *t,
+            Some(Expect::Either(..)) | None => 0,
+        }
+    }
+
+    fn page_abs_tag(&self, lba: u64) -> u8 {
+        match self.pages_abs.get(&lba) {
             Some(Expect::Exactly(t)) => *t,
             Some(Expect::Either(..)) | None => 0,
         }
@@ -310,10 +322,287 @@ impl Oracle for DeviceOracle {
                 ));
             }
         }
+        for (&lba, &expect) in &self.pages_abs {
+            let got = dev.block_read(lba, 1, Category::Data);
+            let tag = got[0];
+            if !got.iter().all(|b| *b == tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("lba {lba}: torn page (mixes byte values)"),
+                ));
+            } else if !expect.admits(tag) {
+                v.push(Violation::new(
+                    "device-data",
+                    format!("lba {lba}: read tag {tag}, expected {expect:?}"),
+                ));
+            }
+        }
         for problem in dev.check_consistency() {
             v.push(Violation::new("mssd-ftl", problem));
         }
         v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-queue device stress (in-flight commands on several queues)
+// ---------------------------------------------------------------------------
+
+/// Multi-queue crash scenario: three [`mssd::HostQueue`]s over disjoint
+/// partitions, driven round-robin from one thread (crashkit workloads must
+/// be deterministic) with batched doorbells, coalescible adjacent byte
+/// writes, transactional batches with in-batch `COMMIT`s, block writes,
+/// TRIMs and FLUSHes. The power cut lands with commands in flight in three
+/// distinct states, and the oracle holds the queue contract:
+///
+/// * commands whose **completion was produced** — even if the host never
+///   polled it — are durable under the normal rules (non-transactional
+///   writes immediately, transactional writes at their commit);
+/// * the one command group the cut landed **inside** is in-doubt (old or
+///   new value, never torn);
+/// * commands still sitting in a submission queue (**unsubmitted** to the
+///   firmware: the doorbell never consumed them) must have *no* durable
+///   effect — the old value must survive recovery.
+#[derive(Debug, Clone)]
+pub struct DeviceMqStress {
+    /// Number of submission rounds (each round feeds every queue a small
+    /// batch and rings its doorbell).
+    pub rounds: usize,
+}
+
+/// Queues (= 16 MB partitions) the scenario drives.
+const MQ_QUEUES: usize = 3;
+/// 64-byte slots per queue partition.
+const MQ_SLOTS: u64 = 64;
+/// Block pages per queue inside the block partition (partition
+/// [`MQ_QUEUES`]).
+const MQ_BLOCK_PAGES: u64 = 8;
+
+impl DeviceMqStress {
+    /// A stream sized so the crash-point space comfortably exceeds a few
+    /// hundred steps while a sweep stays fast.
+    pub fn quick() -> Self {
+        Self { rounds: 40 }
+    }
+}
+
+/// What one submitted multi-queue command will do, for the oracle's
+/// bookkeeping (absolute line index = device address / 64).
+#[derive(Debug, Clone)]
+enum MqCmd {
+    /// Byte write of one cacheline, tagged with its transaction id if any.
+    Line { line: u64, tag: u8, txid: Option<u32> },
+    /// `COMMIT` of one specific transaction. Carries the id because a
+    /// doorbell-skipped round can leave this commit in the SQ while the
+    /// next round already writes under the successor transaction — the
+    /// commit must only cover its own transaction's writes.
+    Commit { txid: u32 },
+    /// Block write of one page.
+    Page { lba: u64, tag: u8 },
+    /// TRIM of one page.
+    TrimPage { lba: u64 },
+    /// FLUSH (no oracle effect).
+    Flush,
+}
+
+impl Scenario for DeviceMqStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        // MQ_QUEUES byte partitions plus one block partition.
+        cfg.capacity_bytes = (MQ_QUEUES as u64 + 1) * (16 << 20);
+        // Small log region with the threshold pushed out, as in
+        // DeviceStress: space admission failures drive seal-drain crash
+        // points under multi-queue traffic too.
+        cfg.dram_region_bytes = 16 << 10;
+        cfg.log_clean_threshold = 0.999;
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let page_size = dev.page_size() as u64;
+        let partition_pages = (16u64 << 20) / page_size;
+        let block_base = MQ_QUEUES as u64 * partition_pages;
+        let mut rng = Rng::new(seed);
+        let mut o = DeviceOracle::default();
+        let mut queues: Vec<mssd::HostQueue> = (0..MQ_QUEUES).map(|_| dev.open_queue(32)).collect();
+        // Per queue: descriptors of commands sitting in the SQ (front =
+        // oldest), the running TxId, and (slot, tag, txid) writes awaiting
+        // their commit.
+        let mut in_flight: Vec<Vec<MqCmd>> = vec![Vec::new(); MQ_QUEUES];
+        let mut tx: Vec<TxId> = (0..MQ_QUEUES).map(|q| TxId((q as u32 + 1) << 16)).collect();
+        let mut pending_tx: Vec<Vec<(u64, u8, u32)>> = vec![Vec::new(); MQ_QUEUES];
+
+        'rounds: for _ in 0..self.rounds {
+            for q in 0..MQ_QUEUES {
+                // Submit a small batch: a coalescible run of byte writes,
+                // then sometimes a commit / block op / trim / flush.
+                let base_slot = rng.below(MQ_SLOTS);
+                let run_len = 1 + rng.below(4);
+                let tag = 1 + rng.below(250) as u8;
+                let transactional = rng.below(3) == 0;
+                for i in 0..run_len {
+                    let slot = (base_slot + i) % MQ_SLOTS;
+                    let line = q as u64 * (16 << 20) / 64 + slot;
+                    let cmd = mssd::Command::ByteWrite {
+                        addr: line * 64,
+                        data: vec![tag.wrapping_add(i as u8); 64],
+                        txid: transactional.then_some(tx[q]),
+                        cat: Category::Data,
+                    };
+                    if queues[q].submit(cmd).is_ok() {
+                        in_flight[q].push(MqCmd::Line {
+                            line,
+                            tag: tag.wrapping_add(i as u8),
+                            txid: transactional.then_some(tx[q].0),
+                        });
+                    }
+                }
+                match rng.below(10) {
+                    0 | 1 if transactional => {
+                        let cmd = mssd::Command::Commit { txid: tx[q] };
+                        if queues[q].submit(cmd).is_ok() {
+                            in_flight[q].push(MqCmd::Commit { txid: tx[q].0 });
+                            // Advance at *submit*, not at consumption: a
+                            // skipped doorbell must not let the next round
+                            // reuse a TxId whose commit record is already
+                            // queued — the record would retroactively
+                            // commit the later writes on the device while
+                            // the oracle still expects their old values.
+                            tx[q] = TxId(tx[q].0 + 1);
+                        }
+                    }
+                    2 | 3 => {
+                        let lba =
+                            block_base + q as u64 * MQ_BLOCK_PAGES + rng.below(MQ_BLOCK_PAGES);
+                        let ptag = 1 + rng.below(250) as u8;
+                        let cmd = mssd::Command::BlockWrite {
+                            lba,
+                            data: vec![ptag; page_size as usize],
+                            cat: Category::Data,
+                        };
+                        if queues[q].submit(cmd).is_ok() {
+                            in_flight[q].push(MqCmd::Page { lba, tag: ptag });
+                        }
+                    }
+                    4 => {
+                        let lba =
+                            block_base + q as u64 * MQ_BLOCK_PAGES + rng.below(MQ_BLOCK_PAGES);
+                        if queues[q].submit(mssd::Command::Trim { lba, count: 1 }).is_ok() {
+                            in_flight[q].push(MqCmd::TrimPage { lba });
+                        }
+                    }
+                    5 => {
+                        let cmd = mssd::Command::Flush;
+                        if queues[q].submit(cmd).is_ok() {
+                            in_flight[q].push(MqCmd::Flush);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Ring every doorbell round-robin; some rounds leave one queue
+            // un-rung so the cut also catches whole batches unsubmitted.
+            let skip =
+                if rng.below(4) == 0 { Some(rng.below(MQ_QUEUES as u64) as usize) } else { None };
+            for q in 0..MQ_QUEUES {
+                if Some(q) == skip && !dev.fault_tripped() {
+                    continue;
+                }
+                let before = in_flight[q].len();
+                let delivered = queues[q].ring_doorbell();
+                let consumed = before - queues[q].pending();
+                let cmds: Vec<MqCmd> = in_flight[q].drain(..consumed).collect();
+                for (i, cmd) in cmds.into_iter().enumerate() {
+                    let completed = i < delivered;
+                    apply_mq_cmd(&mut o, &mut pending_tx[q], cmd, completed);
+                }
+                if dev.fault_tripped() {
+                    break 'rounds;
+                }
+            }
+        }
+        // Commands still in a submission queue at the cut (or at stream
+        // end): never executed, no durable effect — the oracle's recorded
+        // old values stand, and uncommitted transactional writes die with
+        // the commit record they never got.
+        drop(queues);
+        Box::new(o)
+    }
+}
+
+/// Applies one consumed multi-queue command to the oracle. `completed`
+/// means its completion was produced (durable under the normal rules);
+/// otherwise the cut landed inside its group and it is in-doubt.
+fn apply_mq_cmd(
+    o: &mut DeviceOracle,
+    pending: &mut Vec<(u64, u8, u32)>,
+    cmd: MqCmd,
+    completed: bool,
+) {
+    match cmd {
+        MqCmd::Line { line, tag, txid } => {
+            if let Some(t) = txid {
+                if completed {
+                    pending.push((line, tag, t));
+                }
+                // In-doubt transactional write: its commit never executed,
+                // so recovery discards the chunk either way — the old value
+                // stands and the oracle entry is untouched.
+            } else if completed {
+                // A completed non-transactional write overshadows any older
+                // pending transactional write to the same slot (newer seq
+                // wins the merge).
+                pending.retain(|(l, _, _)| *l != line);
+                o.lines.insert(line, Expect::Exactly(tag));
+            } else {
+                let old = o.line_tag(line);
+                o.lines.insert(line, Expect::Either(old, tag));
+            }
+        }
+        MqCmd::Commit { txid } => {
+            // Only this transaction's writes become durable; pending
+            // entries of a successor transaction (written after this
+            // commit entered the SQ) keep waiting for their own commit.
+            // Push order = consumption order = device seq order, so later
+            // inserts correctly overwrite earlier ones per slot.
+            let (mine, keep): (Vec<_>, Vec<_>) =
+                pending.drain(..).partition(|(_, _, t)| *t == txid);
+            *pending = keep;
+            if completed {
+                for (line, tag, _) in mine {
+                    o.lines.insert(line, Expect::Exactly(tag));
+                }
+            } else {
+                // Whether the commit record made it decides the whole batch
+                // at once; per slot only the newest pending tag can win,
+                // and "old" is the pre-batch value (snapshot before any
+                // insert, as in DeviceStress).
+                let mut newest: BTreeMap<u64, u8> = BTreeMap::new();
+                for (line, tag, _) in mine {
+                    newest.insert(line, tag);
+                }
+                for (line, tag) in newest {
+                    let old = o.line_tag(line);
+                    o.lines.insert(line, Expect::Either(old, tag));
+                }
+            }
+        }
+        MqCmd::Page { lba, tag } => {
+            if completed {
+                o.pages_abs.insert(lba, Expect::Exactly(tag));
+            } else {
+                let old = o.page_abs_tag(lba);
+                o.pages_abs.insert(lba, Expect::Either(old, tag));
+            }
+        }
+        MqCmd::TrimPage { lba } => {
+            // TRIM is atomic (no internal fault step); only a completed one
+            // has an effect.
+            if completed {
+                o.pages_abs.insert(lba, Expect::Exactly(0));
+            }
+        }
+        MqCmd::Flush => {}
     }
 }
 
@@ -393,11 +682,8 @@ impl Scenario for FsStress {
                 // Create a fresh fsynced file in a random directory.
                 0..=39 => {
                     let dir = o.dirs[rng.below(o.dirs.len() as u64) as usize].clone();
-                    let path = if dir == "/" {
-                        format!("/f{serial}")
-                    } else {
-                        format!("{dir}/f{serial}")
-                    };
+                    let path =
+                        if dir == "/" { format!("/f{serial}") } else { format!("{dir}/f{serial}") };
                     serial += 1;
                     let tag = 1 + rng.below(250) as u8;
                     let len = 64 + rng.below(6000) as usize;
@@ -445,8 +731,7 @@ impl Scenario for FsStress {
                     };
                     serial += 1;
                     let content = o.files[&from].clone();
-                    in_doubt =
-                        InDoubt::Rename { from: from.clone(), to: to.clone(), content };
+                    in_doubt = InDoubt::Rename { from: from.clone(), to: to.clone(), content };
                     fs.rename(&from, &to).ok();
                     if !dev.fault_tripped() {
                         let c = o.files.remove(&from).expect("tracked");
@@ -456,8 +741,7 @@ impl Scenario for FsStress {
                 // Unlink.
                 75..=87 => {
                     let Some(path) = nth_key(&o.files, rng.next_u64()) else { continue };
-                    in_doubt =
-                        InDoubt::Unlink { path: path.clone(), old: o.files[&path].clone() };
+                    in_doubt = InDoubt::Unlink { path: path.clone(), old: o.files[&path].clone() };
                     fs.unlink(&path).ok();
                     if !dev.fault_tripped() {
                         o.files.remove(&path);
@@ -471,8 +755,7 @@ impl Scenario for FsStress {
                         continue;
                     }
                     let new_len = (rng.below(old.len() as u64 - 1) + 1) as usize;
-                    in_doubt =
-                        InDoubt::Truncate { path: path.clone(), old: old.clone(), new_len };
+                    in_doubt = InDoubt::Truncate { path: path.clone(), old: old.clone(), new_len };
                     if let Ok(fd) = fs.open(&path, OpenFlags::read_write()) {
                         fs.truncate(fd, new_len as u64).ok();
                         fs.fsync(fd).ok();
@@ -624,30 +907,28 @@ impl Oracle for FsOracle {
                     )),
                 }
             }
-            Some(InDoubt::Truncate { path, old, new_len }) => {
-                match fs.read_file(path) {
-                    Ok(got) => {
-                        let ok = (got.len() == *new_len && got[..] == old[..*new_len])
-                            || (got.len() == old.len() && got == *old);
-                        if !ok {
-                            v.push(Violation::new(
-                                "fs-data",
-                                format!(
-                                    "{path}: in-doubt truncate left {} bytes (old {}, new {}) \
+            Some(InDoubt::Truncate { path, old, new_len }) => match fs.read_file(path) {
+                Ok(got) => {
+                    let ok = (got.len() == *new_len && got[..] == old[..*new_len])
+                        || (got.len() == old.len() && got == *old);
+                    if !ok {
+                        v.push(Violation::new(
+                            "fs-data",
+                            format!(
+                                "{path}: in-doubt truncate left {} bytes (old {}, new {}) \
                                      or corrupted the prefix",
-                                    got.len(),
-                                    old.len(),
-                                    new_len
-                                ),
-                            ));
-                        }
+                                got.len(),
+                                old.len(),
+                                new_len
+                            ),
+                        ));
                     }
-                    Err(e) => v.push(Violation::new(
-                        "fs-data",
-                        format!("{path}: file lost by a truncate ({e})"),
-                    )),
                 }
-            }
+                Err(e) => v.push(Violation::new(
+                    "fs-data",
+                    format!("{path}: file lost by a truncate ({e})"),
+                )),
+            },
         }
         v.extend(fs.fsck());
         v

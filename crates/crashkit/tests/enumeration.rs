@@ -7,7 +7,9 @@
 
 use std::collections::BTreeSet;
 
-use crashkit::{BaselineKind, BaselineStress, DeviceStress, Enumerator, FsStress, KvStress};
+use crashkit::{
+    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, Enumerator, FsStress, KvStress,
+};
 use mssd::FaultKind;
 
 #[test]
@@ -15,10 +17,7 @@ fn mixed_op_stress_enumerates_at_least_200_clean_crash_points() {
     let e = Enumerator::new(DeviceStress::quick());
     let seed = 0x00A5_CE55;
     let total = e.count_steps(seed);
-    assert!(
-        total >= 200,
-        "the mixed-op stress must expose >= 200 crash points, got {total}"
-    );
+    assert!(total >= 200, "the mixed-op stress must expose >= 200 crash points, got {total}");
     let report = e.exhaustive(seed, 400);
     assert_eq!(report.total_steps, total);
     assert!(report.distinct_points() >= 200, "only {} points explored", report.distinct_points());
@@ -43,6 +42,37 @@ fn mixed_op_stress_is_clean_with_background_cleaning_on_both_sides() {
     e.recover_cleaning = true;
     let report = e.sweep(&[1, 2, 3], 20);
     assert!(report.distinct_points() >= 40);
+    report.assert_clean();
+}
+
+#[test]
+fn multi_queue_stress_enumerates_a_clean_crash_space() {
+    // The multi-queue front end: batched doorbells, coalesced byte writes,
+    // in-batch commits and per-queue block traffic. Completed-but-unpolled
+    // commands must be durable, commands left in a submission queue must
+    // have no durable effect; the oracle encodes both.
+    let e = Enumerator::new(DeviceMqStress::quick());
+    let seed = 0x00D0_0B31;
+    let total = e.count_steps(seed);
+    assert!(total >= 150, "multi-queue stress too small: {total} steps");
+    let report = e.exhaustive(seed, 300);
+    assert_eq!(report.total_steps, total);
+    report.assert_clean();
+    // Cuts landed on the step kinds queued traffic produces.
+    let kinds: BTreeSet<&str> =
+        report.outcomes.iter().filter_map(|o| o.cut_kind).map(FaultKind::label).collect();
+    for expected in ["log-append", "tx-commit", "buffer-write"] {
+        assert!(kinds.contains(expected), "no cut landed on a {expected} step (got {kinds:?})");
+    }
+}
+
+#[test]
+fn multi_queue_stress_is_clean_with_cleaning_on_both_sides() {
+    let mut e = Enumerator::new(DeviceMqStress::quick());
+    e.inject_cleaning = true;
+    e.recover_cleaning = true;
+    let report = e.sweep(&[7, 8, 9], 16);
+    assert!(report.distinct_points() >= 30);
     report.assert_clean();
 }
 

@@ -43,10 +43,7 @@ fn a_torn_commit_record_is_caught_and_reproducible() {
     let seed = 0x7EA2;
     let report = e.exhaustive(seed, 150);
     let failures: Vec<_> = report.failures().collect();
-    assert!(
-        !failures.is_empty(),
-        "losing a commit record must surface as lost committed writes"
-    );
+    assert!(!failures.is_empty(), "losing a commit record must surface as lost committed writes");
     for f in failures.iter().take(3) {
         let again = e.reproduce(f.seed, f.cut);
         assert_eq!(again.violations, f.violations, "{}", f.repro_line());

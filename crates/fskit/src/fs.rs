@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use mssd::{Clock, Mssd};
+use mssd::{Clock, HostQueue, Mssd};
 
 use crate::error::FsResult;
 use crate::types::{DirEntry, Fd, Metadata, OpenFlags};
@@ -34,6 +34,15 @@ pub trait FileSystem: Send + Sync {
     /// `self.device().clock()`).
     fn clock(&self) -> Arc<Clock> {
         self.device().clock()
+    }
+
+    /// Opens a queued device handle: an NVMe-style submission/completion
+    /// queue pair of the given depth on this file system's device (see
+    /// [`mssd::queue`]). Each queue belongs to one submitting thread; the
+    /// multi-threaded workload driver opens one per shard so device traffic
+    /// and latency are attributed per queue.
+    fn open_queue(&self, depth: usize) -> HostQueue {
+        self.device().open_queue(depth)
     }
 
     /// Creates a regular file (failing if it already exists) and opens it

@@ -58,10 +58,7 @@ impl BlockJournal {
     /// one data block + commit) or the region exceeds the device capacity.
     pub fn new(device: Arc<Mssd>, start: u64, nblocks: u64) -> Self {
         assert!(nblocks >= 4, "journal area too small");
-        assert!(
-            start + nblocks <= device.logical_pages(),
-            "journal area beyond device capacity"
-        );
+        assert!(start + nblocks <= device.logical_pages(), "journal area beyond device capacity");
         Self { device, start, nblocks, head: 0, stats: JournalStats::default() }
     }
 
@@ -174,7 +171,8 @@ mod tests {
 
         // Journal traffic: descriptor + 2 data + commit = 4 blocks.
         let t = dev.traffic();
-        let journal_bytes = t.host_bytes_by_category(mssd::stats::Direction::Write, Category::Journal);
+        let journal_bytes =
+            t.host_bytes_by_category(mssd::stats::Direction::Write, Category::Journal);
         assert_eq!(journal_bytes, 4 * dev.page_size() as u64);
         // Checkpoint traffic for the destination categories.
         assert_eq!(
@@ -224,7 +222,11 @@ mod tests {
     fn rejects_oversized_transactions_and_bad_blocks() {
         let (dev, mut journal) = setup();
         let too_many: Vec<JournaledBlock> = (0..journal.capacity_blocks())
-            .map(|i| JournaledBlock { lba: 400 + i, data: block(0, &dev), category: Category::Data })
+            .map(|i| JournaledBlock {
+                lba: 400 + i,
+                data: block(0, &dev),
+                category: Category::Data,
+            })
             .collect();
         assert!(matches!(journal.commit(&too_many, true), Err(FsError::InvalidArgument(_))));
 

@@ -245,11 +245,7 @@ impl Db {
         for (k, v) in st.memtable.range_from(start) {
             merged.insert(k.clone(), v.clone());
         }
-        Ok(merged
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .take(count)
-            .collect())
+        Ok(merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).take(count).collect())
     }
 
     /// Forces the memtable to an SSTable (also truncates the WAL).
@@ -389,7 +385,8 @@ mod tests {
         db.put(b"key010", b"fresh").unwrap();
         db.delete(b"key011").unwrap();
         let rows = db.scan(b"key009", 5).unwrap();
-        let keys: Vec<String> = rows.iter().map(|(k, _)| String::from_utf8_lossy(k).into()).collect();
+        let keys: Vec<String> =
+            rows.iter().map(|(k, _)| String::from_utf8_lossy(k).into()).collect();
         assert_eq!(keys, vec!["key009", "key010", "key012", "key013", "key014"]);
         assert_eq!(rows[1].1, b"fresh".to_vec());
     }

@@ -89,9 +89,8 @@ impl SsTable {
         fs.write(fd, 0, &buf)?;
         fs.fsync(fd)?;
         fs.close(fd)?;
-        let bounds = entries
-            .first()
-            .map(|(k, _)| (k.clone(), entries.last().expect("non-empty").0.clone()));
+        let bounds =
+            entries.first().map(|(k, _)| (k.clone(), entries.last().expect("non-empty").0.clone()));
         Ok(Self {
             fs,
             path: path.to_string(),
@@ -288,10 +287,7 @@ mod tests {
     #[test]
     fn unsorted_input_is_rejected() {
         let fs = test_fs();
-        let bad = vec![
-            (b"b".to_vec(), Some(b"1".to_vec())),
-            (b"a".to_vec(), Some(b"2".to_vec())),
-        ];
+        let bad = vec![(b"b".to_vec(), Some(b"1".to_vec())), (b"a".to_vec(), Some(b"2".to_vec()))];
         assert!(matches!(
             SsTable::write(Arc::clone(&fs), "/bad", &bad),
             Err(FsError::InvalidArgument(_))

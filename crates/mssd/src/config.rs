@@ -17,8 +17,7 @@ use crate::{CACHELINE, PAGE_SIZE};
 /// Named flash/interconnect latency profiles from the paper's sensitivity study
 /// (Figure 13). Read/write latencies are expressed in microseconds as in the
 /// figure labels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum TimingProfile {
     /// Low-end flash: 25 µs read / 200 µs program.
     LowEnd,
@@ -65,7 +64,6 @@ impl TimingProfile {
         }
     }
 }
-
 
 impl std::fmt::Display for TimingProfile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -19,7 +19,13 @@
 //! * in baseline mode the device page cache is lock-striped by LPA
 //!   ([`crate::dram_cache::ShardedDramCache`]);
 //! * the firmware TxLog has its own small mutex, so `COMMIT` does not block
-//!   writers.
+//!   writers;
+//! * host requests can enter through NVMe-style submission/completion queue
+//!   pairs ([`Mssd::open_queue`] / [`crate::queue::HostQueue`]) with batched
+//!   doorbells that coalesce adjacent byte writes before they hit the log;
+//!   every synchronous method below is a **depth-1 shim** over the same
+//!   command executor, attributed to queue accounting slot 0 (or the
+//!   thread's ambient queue).
 //!
 //! **Log cleaning is a background activity** (the paper's double-buffered
 //! design): when the log crosses its utilization threshold, a dedicated
@@ -63,7 +69,7 @@
 //!   file systems: the same DRAM budget acts as a page-granular write-back
 //!   cache serving both interfaces.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
@@ -75,7 +81,10 @@ use crate::dram_cache::{DramPageCache, ShardedDramCache};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::ftl::{Lpa, ShardedFtl};
 use crate::log::{ChunkEntry, LogEntryImage, SealedStep, ShardedWriteLog, LOG_SHARDS};
-use crate::stats::{AtomicTraffic, Category, Direction, Interface, StatsSnapshot, TrafficCounter};
+use crate::queue::HostQueue;
+use crate::stats::{
+    AtomicTraffic, Category, Direction, Interface, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
+};
 use crate::txn::{TxId, TxLog};
 
 /// How the firmware manages the device DRAM region.
@@ -243,6 +252,9 @@ pub struct Mssd {
     flash: Arc<ShardedFtl>,
     cache: ShardedDramCache,
     cleaner: Option<CleanerHandle>,
+    /// Monotonic counter handing out per-queue accounting slots
+    /// (see [`Mssd::open_queue`]).
+    next_queue: AtomicUsize,
 }
 
 impl std::fmt::Debug for Mssd {
@@ -300,7 +312,37 @@ impl Mssd {
                 .expect("spawn log-cleaner thread");
             CleanerHandle { shared, thread: Some(thread) }
         });
-        Arc::new(Self { cfg, mode, clock, stats, log, txlog, flash, cache, cleaner })
+        Arc::new(Self {
+            cfg,
+            mode,
+            clock,
+            stats,
+            log,
+            txlog,
+            flash,
+            cache,
+            cleaner,
+            next_queue: AtomicUsize::new(0),
+        })
+    }
+
+    /// Opens a new host submission/completion queue pair of the given depth
+    /// (see [`crate::queue::HostQueue`]). Accounting slots `1..QUEUE_SLOTS`
+    /// are assigned round-robin; slot 0 is reserved for the synchronous
+    /// depth-1 shim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn open_queue(self: &Arc<Self>, depth: usize) -> HostQueue {
+        let n = self.next_queue.fetch_add(1, Ordering::Relaxed);
+        let id = 1 + (n % (QUEUE_SLOTS - 1)) as u16;
+        HostQueue::new(Arc::clone(self), id, depth)
+    }
+
+    /// The device's lock-free stats bank (used by the queue machinery).
+    pub(crate) fn stats_ref(&self) -> &AtomicTraffic {
+        &self.stats
     }
 
     /// The device configuration.
@@ -360,12 +402,25 @@ impl Mssd {
     ///
     /// Panics if the address range exceeds the device capacity.
     pub fn byte_write(&self, addr: u64, data: &[u8], txid: Option<TxId>, cat: Category) {
+        let cost = self.exec_byte_write(addr, data, txid, cat);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+    }
+
+    /// Executor behind [`Mssd::byte_write`], shared with the batched queue
+    /// path; returns the charged virtual cost.
+    pub(crate) fn exec_byte_write(
+        &self,
+        addr: u64,
+        data: &[u8],
+        txid: Option<TxId>,
+        cat: Category,
+    ) -> u64 {
         assert!(
             addr + data.len() as u64 <= self.cfg.capacity_bytes,
             "byte_write beyond device capacity"
         );
         if data.is_empty() {
-            return;
+            return 0;
         }
         self.stats.record_host(Direction::Write, cat, Interface::Byte, data.len() as u64);
         let mut cost = self.cfg.byte_access_ns(data.len(), false);
@@ -404,6 +459,7 @@ impl Mssd {
             self.clean_all(false);
         }
         self.charge(cost);
+        cost
     }
 
     /// Reads `len` bytes at absolute device byte address `addr` through the
@@ -416,13 +472,18 @@ impl Mssd {
     ///
     /// Panics if the address range exceeds the device capacity.
     pub fn byte_read(&self, addr: u64, len: usize, cat: Category) -> Vec<u8> {
-        assert!(
-            addr + len as u64 <= self.cfg.capacity_bytes,
-            "byte_read beyond device capacity"
-        );
+        let (data, cost) = self.exec_byte_read(addr, len, cat);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+        data
+    }
+
+    /// Executor behind [`Mssd::byte_read`], shared with the batched queue
+    /// path; returns the payload and the charged virtual cost.
+    pub(crate) fn exec_byte_read(&self, addr: u64, len: usize, cat: Category) -> (Vec<u8>, u64) {
+        assert!(addr + len as u64 <= self.cfg.capacity_bytes, "byte_read beyond device capacity");
         let mut out = Vec::with_capacity(len);
         if len == 0 {
-            return out;
+            return (out, 0);
         }
         self.stats.record_host(Direction::Read, cat, Interface::Byte, len as u64);
         let mut cost = self.cfg.byte_access_ns(len, true);
@@ -465,7 +526,7 @@ impl Mssd {
             off += span;
         }
         self.charge(cost);
-        out
+        (out, cost)
     }
 
     /// The persistence barrier a host issues after MMIO writes: a cache-line
@@ -486,23 +547,22 @@ impl Mssd {
     ///
     /// Panics if the range exceeds the device capacity.
     pub fn block_read(&self, lba: u64, count: usize, cat: Category) -> Vec<u8> {
-        assert!(
-            lba + count as u64 <= self.logical_pages(),
-            "block_read beyond device capacity"
-        );
+        let (data, cost) = self.exec_block_read(lba, count, cat);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+        data
+    }
+
+    /// Executor behind [`Mssd::block_read`], shared with the batched queue
+    /// path; returns the payload and the charged virtual cost.
+    pub(crate) fn exec_block_read(&self, lba: u64, count: usize, cat: Category) -> (Vec<u8>, u64) {
+        assert!(lba + count as u64 <= self.logical_pages(), "block_read beyond device capacity");
         let page_size = self.cfg.page_size;
         let mut out = Vec::with_capacity(count * page_size);
         if count == 0 {
-            return out;
+            return (out, 0);
         }
-        self.stats.record_host(
-            Direction::Read,
-            cat,
-            Interface::Block,
-            (count * page_size) as u64,
-        );
-        let mut cost =
-            self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(count * page_size, true);
+        self.stats.record_host(Direction::Read, cat, Interface::Block, (count * page_size) as u64);
+        let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(count * page_size, true);
         let mut flash_reads = 0usize;
         for i in 0..count as u64 {
             let lpa = lba + i;
@@ -537,7 +597,7 @@ impl Mssd {
             cost += flash_reads.div_ceil(self.cfg.channels) as u64 * self.cfg.flash_read_ns;
         }
         self.charge(cost);
-        out
+        (out, cost)
     }
 
     /// Writes whole blocks starting at logical block `lba`. `data` length must
@@ -551,26 +611,27 @@ impl Mssd {
     /// Panics if `data` is not page-aligned in length or the range exceeds the
     /// device capacity.
     pub fn block_write(&self, lba: u64, data: &[u8], cat: Category) {
+        let cost = self.exec_block_write(lba, data, cat);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+    }
+
+    /// Executor behind [`Mssd::block_write`], shared with the batched queue
+    /// path; returns the charged virtual cost.
+    pub(crate) fn exec_block_write(&self, lba: u64, data: &[u8], cat: Category) -> u64 {
         let page_size = self.cfg.page_size;
         assert!(
             data.len().is_multiple_of(page_size) && !data.is_empty(),
             "block_write length must be a non-zero multiple of the page size"
         );
         let count = data.len() / page_size;
-        assert!(
-            lba + count as u64 <= self.logical_pages(),
-            "block_write beyond device capacity"
-        );
+        assert!(lba + count as u64 <= self.logical_pages(), "block_write beyond device capacity");
         self.stats.record_host(Direction::Write, cat, Interface::Block, data.len() as u64);
         let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(data.len(), false);
         // Journal pages are counted as their own fault kind: torn journal
         // writes are the classic crash-consistency hazard the block file
         // systems defend against.
-        let kind = if cat == Category::Journal {
-            FaultKind::JournalWrite
-        } else {
-            FaultKind::BufferWrite
-        };
+        let kind =
+            if cat == Category::Journal { FaultKind::JournalWrite } else { FaultKind::BufferWrite };
         for i in 0..count {
             let lpa = lba + i as u64;
             // One counted fault step per page: a cut tears multi-page block
@@ -599,13 +660,21 @@ impl Mssd {
             }
         }
         self.charge(cost);
+        cost
     }
 
     /// Marks blocks as unused (TRIM). The FS calls this when freeing data
     /// blocks so the FTL stops relocating dead data.
     pub fn trim(&self, lba: u64, count: usize) {
+        let cost = self.exec_trim(lba, count);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+    }
+
+    /// Executor behind [`Mssd::trim`], shared with the batched queue path.
+    /// TRIM charges no host-visible latency; returns 0.
+    pub(crate) fn exec_trim(&self, lba: u64, count: usize) -> u64 {
         if self.cfg.fault.is_cut() {
-            return; // power off: the TRIM never reaches the device
+            return 0; // power off: the TRIM never reaches the device
         }
         for i in 0..count as u64 {
             let lpa = lba + i;
@@ -619,13 +688,21 @@ impl Mssd {
                 }
             }
         }
+        0
     }
 
     /// NVMe FLUSH: makes all acknowledged block writes durable on flash.
     /// Block-interface file systems call this on `fsync`.
     pub fn flush(&self) {
+        let cost = self.exec_flush();
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+    }
+
+    /// Executor behind [`Mssd::flush`], shared with the batched queue path;
+    /// returns the charged virtual cost.
+    pub(crate) fn exec_flush(&self) -> u64 {
         if self.cfg.fault.is_cut() {
-            return; // power off: the FLUSH command never executes
+            return 0; // power off: the FLUSH command never executes
         }
         let mut cost = 0;
         if self.mode == DramMode::PageCache {
@@ -636,6 +713,7 @@ impl Mssd {
         cost += self.flash.flush_all(&self.stats);
         cost += self.cfg.nvme_overhead_ns;
         self.charge(cost);
+        cost
     }
 
     // ------------------------------------------------------------------
@@ -650,12 +728,19 @@ impl Mssd {
     ///
     /// Panics if the device is not in [`DramMode::WriteLog`].
     pub fn commit(&self, txid: TxId) {
+        let cost = self.exec_commit(txid);
+        self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+    }
+
+    /// Executor behind [`Mssd::commit`], shared with the batched queue
+    /// path; returns the charged virtual cost.
+    pub(crate) fn exec_commit(&self, txid: TxId) -> u64 {
         assert_eq!(self.mode, DramMode::WriteLog, "COMMIT requires the write-log firmware");
         // One counted fault step: a cut exactly here loses the commit record
         // — the transaction's log entries survive in battery-backed DRAM but
         // recovery discards them (the §4.7 contract).
         if !self.cfg.fault.step(FaultKind::TxCommit) {
-            return;
+            return 0;
         }
         let mut cost = self.cfg.nvme_overhead_ns;
         // Concurrent committers can refill the TxLog between our cleaning
@@ -672,6 +757,7 @@ impl Mssd {
         }
         self.stats.inc_tx_commits();
         self.charge(cost);
+        cost
     }
 
     /// Whether a transaction has a commit record in the firmware TxLog.
@@ -749,8 +835,14 @@ impl Mssd {
         let mut scratch = Vec::new();
         let mut flush_cost = 0;
         for (lpa, chunks) in &batch.pages {
-            flush_cost +=
-                apply_chunks_to_flash(&self.cfg, &self.flash, &self.stats, *lpa, chunks, &mut scratch);
+            flush_cost += apply_chunks_to_flash(
+                &self.cfg,
+                &self.flash,
+                &self.stats,
+                *lpa,
+                chunks,
+                &mut scratch,
+            );
         }
         flush_cost += self.flash.flush_all(&self.stats);
         txlog.clear();
@@ -802,7 +894,15 @@ impl Mssd {
         let txlog = self.txlog.lock().commit_order().to_vec();
         let (flash_pages, buffered_pages) = self.flash.export_logical();
         let cache_pages = self.cache.export_dirty();
-        CrashImage { mode: self.mode, log_entries, log_seq, txlog, flash_pages, buffered_pages, cache_pages }
+        CrashImage {
+            mode: self.mode,
+            log_entries,
+            log_seq,
+            txlog,
+            flash_pages,
+            buffered_pages,
+            cache_pages,
+        }
     }
 
     /// Builds a powered-on device holding the durable state of a crash
@@ -983,8 +1083,14 @@ impl Mssd {
         let mut cost = 0;
         let mut scratch = Vec::new();
         for (lpa, chunks) in &batch.pages {
-            cost +=
-                apply_chunks_to_flash(&self.cfg, &self.flash, &self.stats, *lpa, chunks, &mut scratch);
+            cost += apply_chunks_to_flash(
+                &self.cfg,
+                &self.flash,
+                &self.stats,
+                *lpa,
+                chunks,
+                &mut scratch,
+            );
         }
         cost += self.flash.flush_all(&self.stats);
         all.reinstate(batch.migrated);
@@ -1017,13 +1123,7 @@ impl Mssd {
 
     /// Inserts a page into a locked cache shard, writing evicted dirty
     /// victims through to the FTL (cache shard → flash channel lock order).
-    fn cache_fill(
-        &self,
-        shard: &mut DramPageCache,
-        lpa: Lpa,
-        page: Vec<u8>,
-        dirty: bool,
-    ) -> u64 {
+    fn cache_fill(&self, shard: &mut DramPageCache, lpa: Lpa, page: Vec<u8>, dirty: bool) -> u64 {
         let mut cost = 0;
         for (victim, data) in shard.insert(lpa, page, dirty) {
             cost += self.flash.buffer_write(victim, data, &self.stats);

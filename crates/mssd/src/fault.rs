@@ -191,10 +191,7 @@ impl FaultPlan {
 
     /// Steps observed of one kind.
     pub fn steps_of(&self, kind: FaultKind) -> u64 {
-        self.state
-            .as_ref()
-            .map(|st| st.by_kind[kind.index()].load(Ordering::Relaxed))
-            .unwrap_or(0)
+        self.state.as_ref().map(|st| st.by_kind[kind.index()].load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// The armed cut point (1-based), if any.

@@ -140,11 +140,7 @@ impl FlashArray {
         if ppa >= self.total_pages {
             return Err(FlashError::OutOfRange(ppa));
         }
-        Ok(self
-            .pages
-            .get(&ppa)
-            .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0u8; self.page_size]))
+        Ok(self.pages.get(&ppa).map(|b| b.to_vec()).unwrap_or_else(|| vec![0u8; self.page_size]))
     }
 
     /// Programs a page.
@@ -323,11 +319,7 @@ impl ChannelFlash {
         if !self.owns(ppa) {
             return Err(FlashError::OutOfRange(ppa));
         }
-        Ok(self
-            .pages
-            .get(&ppa)
-            .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0u8; self.page_size]))
+        Ok(self.pages.get(&ppa).map(|b| b.to_vec()).unwrap_or_else(|| vec![0u8; self.page_size]))
     }
 
     /// Programs a page of this channel (same rules as

@@ -383,7 +383,7 @@ struct DrainResult {
 /// paths that need both always lock the channel first and then re-validate
 /// the mapping under the stripe lock (the mapping may have moved in between).
 /// The only place two channel locks are ever held at once is
-/// [`ShardedFtl::migrate_buffered`], which acquires them in ascending index
+/// `ShardedFtl::migrate_buffered`, which acquires them in ascending index
 /// order.
 ///
 /// Observationally equivalent to [`Ftl`] under single-threaded use — the
@@ -415,8 +415,7 @@ impl ShardedFtl {
                     active: None,
                     p2l: HashMap::new(),
                     buffer: Vec::new(),
-                    buffer_capacity: (cfg.write_buffer_bytes / cfg.page_size / cfg.channels)
-                        .max(1),
+                    buffer_capacity: (cfg.write_buffer_bytes / cfg.page_size / cfg.channels).max(1),
                 })
             })
             .collect();
@@ -742,8 +741,7 @@ impl ShardedFtl {
             // Erasing a fully-live block frees nothing.
             return 0;
         }
-        let headroom =
-            ch.active.map(|(_, off)| ppb - off).unwrap_or(0) + ch.free.len() * ppb;
+        let headroom = ch.active.map(|(_, off)| ppb - off).unwrap_or(0) + ch.free.len() * ppb;
         if headroom < live_upper {
             // Not enough erased space to relocate into; give up rather than
             // fail mid-relocation.
@@ -764,8 +762,8 @@ impl ShardedFtl {
                 let data = ch.flash.read_page(ppa).expect("victim page readable");
                 stats.inc_flash_read(true);
                 cost += self.cfg.flash_read_ns;
-                let dst = Self::allocate_ppa_locked(ch)
-                    .expect("GC pre-checked relocation headroom");
+                let dst =
+                    Self::allocate_ppa_locked(ch).expect("GC pre-checked relocation headroom");
                 debug_assert_ne!(self.block_of(dst), victim, "GC wrote into its own victim");
                 ch.flash.program_page(dst, &data).expect("relocation target programmable");
                 stats.inc_flash_write(true);

@@ -91,6 +91,7 @@ pub mod fault;
 pub mod flash;
 pub mod ftl;
 pub mod log;
+pub mod queue;
 pub mod skiplist;
 pub mod stats;
 pub mod txn;
@@ -98,12 +99,15 @@ pub mod txn;
 pub use clock::Clock;
 pub use config::{MssdConfig, TimingProfile};
 pub use device::{CrashImage, DramMode, Mssd};
-pub use fault::{FaultKind, FaultPlan};
 pub use dram_cache::{CachePageRef, DramPageCache, ShardedDramCache, CACHE_SHARDS};
+pub use fault::{FaultKind, FaultPlan};
 pub use flash::ChannelFlash;
 pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};
 pub use log::{ShardedWriteLog, LOG_SHARDS};
-pub use stats::{AtomicTraffic, Category, Interface, StatsSnapshot, TrafficCounter};
+pub use queue::{Command, CommandId, Completion, HostQueue, QueueFull};
+pub use stats::{
+    AtomicTraffic, Category, Interface, QueueLat, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
+};
 pub use txn::TxId;
 
 /// Size of one cacheline, the unit of byte-interface transfers and of write-log

@@ -45,9 +45,9 @@ use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
 use crate::fault::{FaultKind, FaultPlan};
-use crate::stats::CachePadded;
 use crate::ftl::Lpa;
 use crate::skiplist::SkipList;
+use crate::stats::CachePadded;
 use crate::txn::TxId;
 use crate::CACHELINE;
 
@@ -224,9 +224,7 @@ impl WriteLog {
 
     /// Whether any log entries exist for the page.
     pub fn has_page(&self, lpa: Lpa) -> bool {
-        self.partitions
-            .get(&self.partition_of(lpa))
-            .is_some_and(|list| list.contains_key(lpa))
+        self.partitions.get(&self.partition_of(lpa)).is_some_and(|list| list.contains_key(lpa))
     }
 
     /// Returns `true` if the byte range `[offset, offset + len)` of the page is
@@ -1139,7 +1137,7 @@ impl AllShards<'_> {
     /// Drains sealed and active regions of every shard into a [`CleanBatch`]
     /// with **cleaning** semantics — uncommitted chunks survive (the caller
     /// reinstates `migrated`), clipped against the byte ranges of newer
-    /// committed chunks being merged (see [`split_page_chunks`]). Zeroes
+    /// committed chunks being merged (see `split_page_chunks`). Zeroes
     /// the space accounting; the guard stays held, so the caller can merge
     /// the batch into flash and [`AllShards::reinstate`] the remainder with
     /// no reader-visible window.

@@ -1,0 +1,562 @@
+//! Multi-queue host interface: NVMe-style per-core submission/completion
+//! queue pairs with batched doorbell submission.
+//!
+//! The rest of the stack is internally parallel (sharded write log,
+//! channel-parallel FTL, background cleaning), but until this module every
+//! host request entered the device through one synchronous call per
+//! operation, paying full per-command overhead at the host boundary. A
+//! [`HostQueue`] amortizes that boundary the way real NVMe queue pairs do:
+//!
+//! * the host [`submit`](HostQueue::submit)s [`Command`]s into a bounded
+//!   submission queue (SQ) without touching the device;
+//! * [`ring_doorbell`](HostQueue::ring_doorbell) hands the whole batch to
+//!   the firmware, which **coalesces adjacent byte writes** (same
+//!   transaction, same category, contiguous addresses) into single log
+//!   appends before they hit the sharded write log — one shard-lock
+//!   acquisition and one skip-list insert instead of one per command;
+//! * completions land in a completion queue (CQ) the host drains
+//!   asynchronously via [`poll`](HostQueue::poll) or blocks on via
+//!   [`wait`](HostQueue::wait), each carrying the command's virtual device
+//!   latency and any read payload.
+//!
+//! # Queue lifecycle
+//!
+//! A queue pair is created with [`crate::Mssd::open_queue`] and owned by one
+//! submitting thread (the per-core model: queues are not shared, the device
+//! is). Dropping the queue discards unsubmitted commands and undelivered
+//! completions — exactly what happens to host queue memory at power loss.
+//!
+//! # Completion ordering
+//!
+//! Commands of one queue execute in submission order; a doorbell never
+//! reorders, it only merges adjacent byte writes (which preserves the byte
+//! image and the durability class of every merged command). Completions are
+//! delivered in submission order too. Across *different* queues there is no
+//! ordering — as on real hardware, cross-queue ordering is the host's
+//! problem (our workloads partition address ranges per queue).
+//!
+//! # Power failure
+//!
+//! A doorbell checks for a tripped [`crate::FaultPlan`] before every
+//! command group: once power is cut, nothing further executes and the
+//! remaining submission-queue entries are left in place — crashkit's
+//! `device-mq` scenario asserts they have **no** durable effect, while
+//! commands whose completion was produced (even if the host never polled
+//! it) are durable under the normal contract, and the one group the cut
+//! landed inside is in-doubt.
+//!
+//! The synchronous [`crate::Mssd`] API (`byte_write`, `block_read`, …) is a
+//! depth-1 shim over this machinery: each call executes the same command
+//! path immediately and records itself against queue slot 0 (or the
+//! thread's ambient queue, see [`HostQueue::make_ambient`]).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::device::Mssd;
+use crate::stats::Category;
+use crate::txn::TxId;
+
+/// Upper bound on the bytes a doorbell merges into one coalesced byte
+/// write. Bounds the memory of a merged append and keeps a single merged
+/// command from monopolizing a log shard.
+pub const COALESCE_MAX_BYTES: usize = 64 << 10;
+
+/// Per-queue identifier of a submitted command, returned by
+/// [`HostQueue::submit`] and echoed in its [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommandId(pub u64);
+
+/// One host command, covering both interfaces plus the custom firmware
+/// commands (§4.2/§4.7: `COMMIT`, TRIM, FLUSH).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Byte-interface write of `data` at device byte address `addr`,
+    /// optionally transactional.
+    ByteWrite {
+        /// Absolute device byte address.
+        addr: u64,
+        /// Payload.
+        data: Vec<u8>,
+        /// Transaction the write belongs to (durable at commit), if any.
+        txid: Option<TxId>,
+        /// Accounting category.
+        cat: Category,
+    },
+    /// Byte-interface read of `len` bytes at `addr`.
+    ByteRead {
+        /// Absolute device byte address.
+        addr: u64,
+        /// Bytes to read.
+        len: usize,
+        /// Accounting category.
+        cat: Category,
+    },
+    /// Block-interface write of whole pages starting at `lba` (`data` must
+    /// be a non-empty multiple of the page size).
+    BlockWrite {
+        /// First logical block.
+        lba: u64,
+        /// Page-aligned payload.
+        data: Vec<u8>,
+        /// Accounting category.
+        cat: Category,
+    },
+    /// Block-interface read of `count` pages starting at `lba`.
+    BlockRead {
+        /// First logical block.
+        lba: u64,
+        /// Number of pages.
+        count: usize,
+        /// Accounting category.
+        cat: Category,
+    },
+    /// NVMe FLUSH: force acknowledged block writes to flash.
+    Flush,
+    /// TRIM `count` blocks starting at `lba`.
+    Trim {
+        /// First logical block.
+        lba: u64,
+        /// Number of blocks.
+        count: usize,
+    },
+    /// Custom `COMMIT(TxID)` command (write-log firmware only).
+    Commit {
+        /// Transaction to commit.
+        txid: TxId,
+    },
+}
+
+/// A completed command: its id, the read payload (for `ByteRead` /
+/// `BlockRead`), and the virtual device latency attributed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Id the command was submitted under.
+    pub id: CommandId,
+    /// Read payload, `None` for non-read commands.
+    pub data: Option<Vec<u8>>,
+    /// Virtual nanoseconds of device time attributed to this command.
+    /// Commands coalesced into one merged write share the merged write's
+    /// cost evenly.
+    pub latency_ns: u64,
+}
+
+/// Error returned by [`HostQueue::submit`] when the submission queue is at
+/// its configured depth; ring the doorbell (or drain completions) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("submission queue full: ring the doorbell before submitting more")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+thread_local! {
+    /// The queue slot sync (depth-1 shim) operations on this thread are
+    /// attributed to. Slot 0 unless a [`HostQueue::make_ambient`] guard is
+    /// live.
+    static AMBIENT_QUEUE: Cell<u16> = const { Cell::new(0) };
+}
+
+/// The queue slot the calling thread's synchronous device operations are
+/// currently attributed to (0 = the default sync-shim slot).
+pub fn ambient_queue() -> u16 {
+    AMBIENT_QUEUE.with(|c| c.get())
+}
+
+/// Restores the previous ambient queue slot on drop (see
+/// [`HostQueue::make_ambient`]).
+#[derive(Debug)]
+pub struct AmbientQueueGuard {
+    prev: u16,
+}
+
+impl Drop for AmbientQueueGuard {
+    fn drop(&mut self) {
+        AMBIENT_QUEUE.with(|c| c.set(self.prev));
+    }
+}
+
+/// One NVMe-style submission/completion queue pair over a shared [`Mssd`].
+///
+/// Owned by a single submitting thread; the device itself is the shared,
+/// internally-parallel object. See the module docs for lifecycle, ordering
+/// and power-failure semantics.
+pub struct HostQueue {
+    dev: Arc<Mssd>,
+    id: u16,
+    depth: usize,
+    next_cid: u64,
+    sq: VecDeque<(CommandId, Command)>,
+    cq: VecDeque<Completion>,
+}
+
+impl std::fmt::Debug for HostQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostQueue")
+            .field("id", &self.id)
+            .field("depth", &self.depth)
+            .field("pending", &self.sq.len())
+            .field("completions", &self.cq.len())
+            .finish()
+    }
+}
+
+impl HostQueue {
+    /// Creates a queue pair of the given depth on `dev` with accounting
+    /// slot `id`. Use [`Mssd::open_queue`], which assigns slots round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub(crate) fn new(dev: Arc<Mssd>, id: u16, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        Self { dev, id, depth, next_cid: 1, sq: VecDeque::new(), cq: VecDeque::new() }
+    }
+
+    /// The device this queue submits to.
+    pub fn device(&self) -> &Arc<Mssd> {
+        &self.dev
+    }
+
+    /// This queue's accounting slot (see [`crate::stats::QUEUE_SLOTS`]).
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Configured submission-queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Commands submitted but not yet executed (still in the SQ).
+    pub fn pending(&self) -> usize {
+        self.sq.len()
+    }
+
+    /// Completions produced but not yet polled (still in the CQ).
+    pub fn completions_pending(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Enqueues a command without touching the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the SQ already holds `depth` commands.
+    pub fn submit(&mut self, cmd: Command) -> Result<CommandId, QueueFull> {
+        if self.sq.len() >= self.depth {
+            return Err(QueueFull);
+        }
+        let id = CommandId(self.next_cid);
+        self.next_cid += 1;
+        self.sq.push_back((id, cmd));
+        Ok(id)
+    }
+
+    /// Submits, ringing the doorbell first when the SQ is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] only when even a doorbell cannot drain the SQ —
+    /// i.e. power has been cut and the remaining commands will never
+    /// execute.
+    pub fn submit_auto(&mut self, cmd: Command) -> Result<CommandId, QueueFull> {
+        if self.sq.len() >= self.depth {
+            self.ring_doorbell();
+        }
+        self.submit(cmd)
+    }
+
+    /// Rings the doorbell: the firmware consumes the submission queue in
+    /// order, coalescing adjacent byte writes, and delivers completions.
+    /// Returns the number of completions produced by this ring.
+    ///
+    /// With a tripped fault plan the batch stops at the cut: commands after
+    /// the interrupted group stay in the SQ and never execute.
+    pub fn ring_doorbell(&mut self) -> usize {
+        if self.sq.is_empty() {
+            return 0;
+        }
+        let dev = Arc::clone(&self.dev);
+        let mut delivered = 0usize;
+        let mut coalesced = 0u64;
+        while !self.sq.is_empty() {
+            if dev.fault_tripped() {
+                break; // power is off: the rest of the SQ never executes
+            }
+            let (ids, cmd) = self.pop_group();
+            let (data, cost) = execute(&dev, &cmd);
+            if dev.fault_tripped() {
+                // The cut landed inside this group: its effects are in
+                // doubt, so no completion is delivered for it — and it
+                // counts toward neither ops nor coalesced_cmds.
+                break;
+            }
+            coalesced += ids.len() as u64 - 1;
+            // A read's payload goes to the last (only) member; coalesced
+            // byte writes share the merged cost evenly, remainder to the
+            // first, so the per-queue totals stay exact.
+            let share = cost / ids.len() as u64;
+            let mut remainder = cost - share * ids.len() as u64;
+            for id in ids {
+                let lat = share + remainder;
+                remainder = 0;
+                self.cq.push_back(Completion { id, data: data.clone(), latency_ns: lat });
+                dev.stats_ref().record_queue_op(self.id, lat);
+                delivered += 1;
+            }
+        }
+        // A ring that delivered nothing (power already off) did no batch
+        // work worth recording.
+        if delivered > 0 {
+            dev.stats_ref().record_queue_batch(self.id, coalesced);
+        }
+        delivered
+    }
+
+    /// Pops the next command group off the SQ: either one command, or a run
+    /// of adjacent byte writes (contiguous addresses, same transaction and
+    /// category, merged size ≤ [`COALESCE_MAX_BYTES`]) merged into one.
+    fn pop_group(&mut self) -> (Vec<CommandId>, Command) {
+        let (cid, cmd) = self.sq.pop_front().expect("pop_group on empty SQ");
+        let mut ids = vec![cid];
+        let Command::ByteWrite { addr, mut data, txid, cat } = cmd else {
+            return (ids, cmd);
+        };
+        loop {
+            match self.sq.front() {
+                Some((_, Command::ByteWrite { addr: a, data: d, txid: t, cat: c }))
+                    if *a == addr + data.len() as u64
+                        && *t == txid
+                        && *c == cat
+                        && data.len() + d.len() <= COALESCE_MAX_BYTES =>
+                {
+                    let (cid, cmd) = self.sq.pop_front().expect("checked front");
+                    let Command::ByteWrite { data: d, .. } = cmd else { unreachable!() };
+                    data.extend_from_slice(&d);
+                    ids.push(cid);
+                }
+                _ => break,
+            }
+        }
+        (ids, Command::ByteWrite { addr, data, txid, cat })
+    }
+
+    /// Polls the completion queue: the oldest undelivered completion, if
+    /// any. Does not ring the doorbell.
+    pub fn poll(&mut self) -> Option<Completion> {
+        self.cq.pop_front()
+    }
+
+    /// Waits for one command's completion: rings the doorbell if the
+    /// command is still in the SQ, then removes and returns its completion.
+    /// Returns `None` when the command will never complete (it was consumed
+    /// by a power cut, or the id was never submitted / already delivered).
+    pub fn wait(&mut self, id: CommandId) -> Option<Completion> {
+        if !self.cq.iter().any(|c| c.id == id) && self.sq.iter().any(|(cid, _)| *cid == id) {
+            self.ring_doorbell();
+        }
+        let pos = self.cq.iter().position(|c| c.id == id)?;
+        self.cq.remove(pos)
+    }
+
+    /// Makes this queue the calling thread's *ambient* queue: until the
+    /// guard drops, synchronous device calls (the depth-1 shim) on this
+    /// thread are attributed to this queue's accounting slot. This is how
+    /// `workloads::run_concurrent` attributes each shard's file-system
+    /// traffic to the shard's queue without threading a handle through
+    /// every layer.
+    pub fn make_ambient(&self) -> AmbientQueueGuard {
+        let prev = AMBIENT_QUEUE.with(|c| c.replace(self.id));
+        AmbientQueueGuard { prev }
+    }
+}
+
+/// Executes one (possibly merged) command against the device, returning the
+/// read payload and the virtual device cost. This is the single execution
+/// path shared by doorbell batches and the synchronous depth-1 shim.
+pub(crate) fn execute(dev: &Mssd, cmd: &Command) -> (Option<Vec<u8>>, u64) {
+    match cmd {
+        Command::ByteWrite { addr, data, txid, cat } => {
+            (None, dev.exec_byte_write(*addr, data, *txid, *cat))
+        }
+        Command::ByteRead { addr, len, cat } => {
+            let (data, cost) = dev.exec_byte_read(*addr, *len, *cat);
+            (Some(data), cost)
+        }
+        Command::BlockWrite { lba, data, cat } => (None, dev.exec_block_write(*lba, data, *cat)),
+        Command::BlockRead { lba, count, cat } => {
+            let (data, cost) = dev.exec_block_read(*lba, *count, *cat);
+            (Some(data), cost)
+        }
+        Command::Flush => (None, dev.exec_flush()),
+        Command::Trim { lba, count } => (None, dev.exec_trim(*lba, *count)),
+        Command::Commit { txid } => (None, dev.exec_commit(*txid)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MssdConfig;
+    use crate::device::DramMode;
+
+    fn dev() -> Arc<Mssd> {
+        Mssd::new(MssdConfig::small_test(), DramMode::WriteLog)
+    }
+
+    #[test]
+    fn submit_ring_poll_roundtrip() {
+        let d = dev();
+        let mut q = d.open_queue(8);
+        let w = q
+            .submit(Command::ByteWrite {
+                addr: 4096,
+                data: vec![7u8; 64],
+                txid: None,
+                cat: Category::Inode,
+            })
+            .unwrap();
+        let r = q.submit(Command::ByteRead { addr: 4096, len: 64, cat: Category::Inode }).unwrap();
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.ring_doorbell(), 2);
+        assert_eq!(q.pending(), 0);
+        let cw = q.poll().expect("write completion");
+        assert_eq!(cw.id, w);
+        assert_eq!(cw.data, None);
+        let cr = q.poll().expect("read completion");
+        assert_eq!(cr.id, r);
+        assert_eq!(cr.data, Some(vec![7u8; 64]));
+        assert!(q.poll().is_none());
+    }
+
+    #[test]
+    fn queue_full_and_submit_auto() {
+        let d = dev();
+        let mut q = d.open_queue(2);
+        let cmd = || Command::ByteRead { addr: 0, len: 64, cat: Category::Data };
+        q.submit(cmd()).unwrap();
+        q.submit(cmd()).unwrap();
+        assert_eq!(q.submit(cmd()), Err(QueueFull));
+        // submit_auto rings for us.
+        q.submit_auto(cmd()).unwrap();
+        assert_eq!(q.completions_pending(), 2);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn adjacent_byte_writes_coalesce_into_one_log_append() {
+        let d = dev();
+        let mut q = d.open_queue(16);
+        // 8 contiguous cacheline writes -> one merged append.
+        for i in 0..8u64 {
+            q.submit(Command::ByteWrite {
+                addr: 8192 + i * 64,
+                data: vec![i as u8 + 1; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        }
+        q.ring_doorbell();
+        let snap = d.snapshot();
+        assert_eq!(snap.log_entries, 1, "adjacent writes must merge into one entry");
+        let ql = snap.traffic.queue_lat(q.id());
+        assert_eq!(ql.ops, 8);
+        assert_eq!(ql.batches, 1);
+        assert_eq!(ql.coalesced_cmds, 7);
+        for i in 0..8u64 {
+            assert_eq!(d.byte_read(8192 + i * 64, 64, Category::Data), vec![i as u8 + 1; 64]);
+        }
+    }
+
+    #[test]
+    fn non_adjacent_or_cross_tx_writes_do_not_coalesce() {
+        let d = dev();
+        let mut q = d.open_queue(8);
+        q.submit(Command::ByteWrite {
+            addr: 0,
+            data: vec![1; 64],
+            txid: None,
+            cat: Category::Data,
+        })
+        .unwrap();
+        // Gap.
+        q.submit(Command::ByteWrite {
+            addr: 192,
+            data: vec![2; 64],
+            txid: None,
+            cat: Category::Data,
+        })
+        .unwrap();
+        // Adjacent but transactional.
+        q.submit(Command::ByteWrite {
+            addr: 256,
+            data: vec![3; 64],
+            txid: Some(TxId(9)),
+            cat: Category::Data,
+        })
+        .unwrap();
+        q.ring_doorbell();
+        assert_eq!(d.snapshot().traffic.queue_lat(q.id()).coalesced_cmds, 0);
+        assert_eq!(d.snapshot().log_entries, 3);
+    }
+
+    #[test]
+    fn wait_rings_and_returns_the_right_completion() {
+        let d = dev();
+        let mut q = d.open_queue(8);
+        let a = q
+            .submit(Command::ByteWrite {
+                addr: 0,
+                data: vec![5; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        let b = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        let cb = q.wait(b).expect("read completes");
+        assert_eq!(cb.data, Some(vec![5; 64]));
+        let ca = q.wait(a).expect("write completion still retrievable");
+        assert!(ca.latency_ns > 0);
+        assert!(q.wait(b).is_none(), "already delivered");
+    }
+
+    #[test]
+    fn batched_commit_makes_transaction_durable() {
+        let d = dev();
+        let mut q = d.open_queue(8);
+        let tx = TxId(3);
+        q.submit(Command::ByteWrite {
+            addr: 4096,
+            data: vec![0xEE; 64],
+            txid: Some(tx),
+            cat: Category::Inode,
+        })
+        .unwrap();
+        q.submit(Command::Commit { txid: tx }).unwrap();
+        q.ring_doorbell();
+        assert!(d.is_committed(tx));
+        d.recover();
+        assert_eq!(d.byte_read(4096, 64, Category::Inode), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn ambient_guard_attributes_sync_ops_to_the_queue() {
+        let d = dev();
+        let q = d.open_queue(4);
+        {
+            let _g = q.make_ambient();
+            d.byte_write(0, &[1u8; 64], None, Category::Data);
+        }
+        d.byte_write(64, &[2u8; 64], None, Category::Data);
+        let t = d.traffic();
+        assert_eq!(t.queue_lat(q.id()).ops, 1, "ambient op lands on the queue slot");
+        assert_eq!(t.queue_lat(0).ops, 1, "post-guard op lands on the sync slot");
+    }
+}

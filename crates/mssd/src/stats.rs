@@ -141,6 +141,43 @@ pub enum Direction {
     Write,
 }
 
+/// Number of per-queue accounting slots in [`AtomicTraffic`]. Slot 0 belongs
+/// to the synchronous depth-1 shim (direct [`crate::Mssd`] calls with no
+/// ambient queue); slots 1.. are handed out round-robin to
+/// [`crate::queue::HostQueue`]s, so on devices with more than
+/// `QUEUE_SLOTS - 1` live queues two queues may share a slot (the per-queue
+/// numbers then aggregate — never lost, only merged).
+pub const QUEUE_SLOTS: usize = 32;
+
+/// Per-queue latency/throughput counters of one submission/completion queue
+/// slot, as materialized by [`AtomicTraffic::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueLat {
+    /// Commands completed through this queue slot.
+    pub ops: u64,
+    /// Doorbell rings (batches) processed. Zero for the sync shim slot, which
+    /// completes each command at submission.
+    pub batches: u64,
+    /// Commands absorbed into a preceding adjacent byte-write by doorbell
+    /// coalescing (each saved a separate log append).
+    pub coalesced_cmds: u64,
+    /// Total virtual nanoseconds of completed-command device latency.
+    pub lat_total_ns: u64,
+    /// Largest single-command virtual latency observed, in nanoseconds.
+    pub lat_max_ns: u64,
+}
+
+impl QueueLat {
+    /// Mean per-command virtual latency in nanoseconds (0 when idle).
+    pub fn avg_ns(&self) -> u64 {
+        self.lat_total_ns.checked_div(self.ops).unwrap_or(0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ops == 0 && self.batches == 0 && self.coalesced_cmds == 0
+    }
+}
+
 /// Bytes moved between host and device, keyed by category, interface and
 /// direction, plus internal flash traffic and latency accumulators.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -174,6 +211,9 @@ pub struct TrafficCounter {
     pub log_bg_cleaned_pages: u64,
     /// Total virtual nanoseconds spent in host-visible device operations.
     pub device_busy_ns: u64,
+    /// Per-queue-slot submission/completion accounting (slot 0 = the
+    /// synchronous depth-1 shim). Empty slots are omitted.
+    pub queues: BTreeMap<u16, QueueLat>,
 }
 
 impl TrafficCounter {
@@ -183,13 +223,7 @@ impl TrafficCounter {
     }
 
     /// Records a host access of `bytes` bytes.
-    pub fn record_host(
-        &mut self,
-        dir: Direction,
-        cat: Category,
-        iface: Interface,
-        bytes: u64,
-    ) {
+    pub fn record_host(&mut self, dir: Direction, cat: Category, iface: Interface, bytes: u64) {
         let map = match dir {
             Direction::Read => &mut self.host_read,
             Direction::Write => &mut self.host_write,
@@ -291,7 +325,38 @@ impl TrafficCounter {
             log_fg_stalls: self.log_fg_stalls - earlier.log_fg_stalls,
             log_bg_cleaned_pages: self.log_bg_cleaned_pages - earlier.log_bg_cleaned_pages,
             device_busy_ns: self.device_busy_ns - earlier.device_busy_ns,
+            queues: {
+                let mut out = BTreeMap::new();
+                for (id, q) in &self.queues {
+                    let base = earlier.queues.get(id).cloned().unwrap_or_default();
+                    let d = QueueLat {
+                        ops: q.ops - base.ops,
+                        batches: q.batches - base.batches,
+                        coalesced_cmds: q.coalesced_cmds - base.coalesced_cmds,
+                        lat_total_ns: q.lat_total_ns - base.lat_total_ns,
+                        // A running maximum cannot be subtracted; the delta
+                        // keeps the later snapshot's value (an upper bound on
+                        // the interval's true max).
+                        lat_max_ns: q.lat_max_ns,
+                    };
+                    if !d.is_empty() {
+                        out.insert(*id, d);
+                    }
+                }
+                out
+            },
         }
+    }
+
+    /// Per-queue accounting for one slot (zeroed default when the slot is
+    /// idle).
+    pub fn queue_lat(&self, id: u16) -> QueueLat {
+        self.queues.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Commands completed across every queue slot, including the sync shim.
+    pub fn queue_ops_total(&self) -> u64 {
+        self.queues.values().map(|q| q.ops).sum()
     }
 
     /// Per-category breakdown of host traffic for one direction, as
@@ -320,12 +385,46 @@ impl CachePadded<AtomicU64> {
         self.0.fetch_add(v, Ordering::Relaxed);
     }
 
+    fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
 
     fn clear(&self) {
         self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free per-queue-slot counters (one bank per [`QUEUE_SLOTS`] slot).
+#[derive(Debug, Default)]
+struct AtomicQueueLat {
+    ops: CachePadded<AtomicU64>,
+    batches: CachePadded<AtomicU64>,
+    coalesced_cmds: CachePadded<AtomicU64>,
+    lat_total_ns: CachePadded<AtomicU64>,
+    lat_max_ns: CachePadded<AtomicU64>,
+}
+
+impl AtomicQueueLat {
+    fn snapshot(&self) -> QueueLat {
+        QueueLat {
+            ops: self.ops.get(),
+            batches: self.batches.get(),
+            coalesced_cmds: self.coalesced_cmds.get(),
+            lat_total_ns: self.lat_total_ns.get(),
+            lat_max_ns: self.lat_max_ns.get(),
+        }
+    }
+
+    fn clear(&self) {
+        self.ops.clear();
+        self.batches.clear();
+        self.coalesced_cmds.clear();
+        self.lat_total_ns.clear();
+        self.lat_max_ns.clear();
     }
 }
 
@@ -355,6 +454,7 @@ pub struct AtomicTraffic {
     log_fg_stalls: CachePadded<AtomicU64>,
     log_bg_cleaned_pages: CachePadded<AtomicU64>,
     device_busy_ns: CachePadded<AtomicU64>,
+    queues: [AtomicQueueLat; QUEUE_SLOTS],
 }
 
 impl AtomicTraffic {
@@ -426,6 +526,24 @@ impl AtomicTraffic {
         self.device_busy_ns.add(ns);
     }
 
+    /// Records one completed command on queue slot `queue` (slot index is
+    /// taken modulo [`QUEUE_SLOTS`]): bumps the op count and accumulates its
+    /// virtual latency. Lock-free.
+    pub fn record_queue_op(&self, queue: u16, lat_ns: u64) {
+        let cell = &self.queues[queue as usize % QUEUE_SLOTS];
+        cell.ops.add(1);
+        cell.lat_total_ns.add(lat_ns);
+        cell.lat_max_ns.max(lat_ns);
+    }
+
+    /// Records one doorbell batch on queue slot `queue`: `coalesced` counts
+    /// the commands that were absorbed into a preceding adjacent byte write.
+    pub fn record_queue_batch(&self, queue: u16, coalesced: u64) {
+        let cell = &self.queues[queue as usize % QUEUE_SLOTS];
+        cell.batches.add(1);
+        cell.coalesced_cmds.add(coalesced);
+    }
+
     /// Current flash page programs including internal ones (used by recovery
     /// reporting without paying for a full snapshot).
     pub fn flash_writes_total(&self) -> u64 {
@@ -463,6 +581,16 @@ impl AtomicTraffic {
             log_fg_stalls: self.log_fg_stalls.get(),
             log_bg_cleaned_pages: self.log_bg_cleaned_pages.get(),
             device_busy_ns: self.device_busy_ns.get(),
+            queues: {
+                let mut map = BTreeMap::new();
+                for (id, cell) in self.queues.iter().enumerate() {
+                    let q = cell.snapshot();
+                    if !q.is_empty() {
+                        map.insert(id as u16, q);
+                    }
+                }
+                map
+            },
         }
     }
 
@@ -490,6 +618,9 @@ impl AtomicTraffic {
             &self.device_busy_ns,
         ] {
             cell.clear();
+        }
+        for q in &self.queues {
+            q.clear();
         }
     }
 }

@@ -40,22 +40,12 @@ fn lpa_of(cfg: &MssdConfig, sel: u16) -> u64 {
 
 fn op_strategy() -> impl Strategy<Value = LogOp> {
     prop_oneof![
-        (any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(lpa_sel, offset, len, tag, tx)| LogOp::Append {
-                lpa_sel,
-                offset,
-                len,
-                tag,
-                tx
-            }),
-        (any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(lpa_sel, offset, len, tag, tx)| LogOp::Append {
-                lpa_sel,
-                offset,
-                len,
-                tag,
-                tx
-            }),
+        (any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(lpa_sel, offset, len, tag, tx)| LogOp::Append { lpa_sel, offset, len, tag, tx }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(lpa_sel, offset, len, tag, tx)| LogOp::Append { lpa_sel, offset, len, tag, tx }
+        ),
         any::<u16>().prop_map(|lpa_sel| LogOp::Invalidate { lpa_sel }),
         any::<u8>().prop_map(|committed_below| LogOp::CleanAndReinstate { committed_below }),
         (any::<u16>(), any::<u16>(), any::<u8>())

@@ -41,10 +41,8 @@ pub struct TrafficBreakdown {
 impl TrafficBreakdown {
     /// Computes the breakdown of host traffic in one direction.
     pub fn new(traffic: &TrafficCounter, dir: Direction) -> Self {
-        let total: u64 = Category::ALL
-            .iter()
-            .map(|c| traffic.host_bytes_by_category(dir, *c))
-            .sum();
+        let total: u64 =
+            Category::ALL.iter().map(|c| traffic.host_bytes_by_category(dir, *c)).sum();
         let rows = Category::ALL
             .iter()
             .map(|c| {

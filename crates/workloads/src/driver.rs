@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use fskit::{FileSystem, FsResult};
+use mssd::queue::Command;
 use mssd::stats::{Direction, TrafficCounter};
 use mssd::{Mssd, MssdConfig};
 use rand::rngs::SmallRng;
@@ -32,6 +33,9 @@ pub struct RunResult {
     pub write: LatencyStats,
     /// Metadata-operation latency statistics.
     pub meta: LatencyStats,
+    /// Latency statistics of device-queue completions drained during the
+    /// run (empty for sequential runs, which use the depth-1 sync shim).
+    pub queue: LatencyStats,
     /// Device traffic during the measured phase.
     pub traffic: TrafficCounter,
     /// Bytes the application asked to read.
@@ -133,6 +137,7 @@ pub fn run_on(
         read: rec.read_stats(),
         write: rec.write_stats(),
         meta: rec.meta_stats(),
+        queue: rec.queue_stats(),
         traffic,
         app_read_bytes: rec.app_read_bytes,
         app_write_bytes: rec.app_write_bytes,
@@ -153,6 +158,8 @@ pub struct ThreadResult {
     pub write: LatencyStats,
     /// Metadata-operation latency statistics.
     pub meta: LatencyStats,
+    /// Latency statistics of this shard's device-queue completions.
+    pub queue: LatencyStats,
     /// Bytes this thread asked to read.
     pub app_read_bytes: u64,
     /// Bytes this thread asked to write.
@@ -195,10 +202,20 @@ pub fn shard_seed(seed: u64, t: usize) -> u64 {
 /// the setup phase runs once (single-threaded), then each thread executes one
 /// shard of the measured op stream via [`Workload::run_shard`].
 ///
+/// Each shard drives **one device queue**: the thread opens a
+/// submission/completion queue pair on the shared device, makes it the
+/// thread's ambient queue (so the shard's file-system device calls are
+/// attributed to that queue's accounting slot), and closes the measured
+/// phase by issuing the shard's FLUSH barrier through it as a batched
+/// doorbell.
+///
 /// Device traffic is snapshotted exactly **once** around the measured phase
 /// and attached to the aggregate result; merging per-thread snapshots would
 /// count the shared device's traffic once per thread. Per-thread recorders
-/// only carry latencies and application byte counts, which partition cleanly.
+/// carry latencies, application byte counts and the shard's drained queue
+/// completions — all of which partition cleanly across threads and merge
+/// via [`Recorder::merge`]; the driver never re-reads the device's
+/// per-queue counters per thread.
 ///
 /// # Errors
 ///
@@ -227,10 +244,22 @@ pub fn run_concurrent(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let fs = Arc::clone(fs);
+                let device = Arc::clone(device);
                 scope.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(shard_seed(seed, t));
                     let mut rec = Recorder::new();
+                    // One queue per shard; ambient while the shard runs.
+                    let mut queue = device.open_queue(16);
+                    let ambient = queue.make_ambient();
                     workload.run_shard(fs.as_ref(), t, threads, &mut rng, &mut rec)?;
+                    drop(ambient);
+                    // The shard's end-of-phase FLUSH barrier goes through
+                    // the queue as a batched doorbell.
+                    queue.submit(Command::Flush).expect("fresh queue has room");
+                    queue.ring_doorbell();
+                    while let Some(c) = queue.poll() {
+                        rec.record_queue_completion(c.latency_ns);
+                    }
                     Ok(rec)
                 })
             })
@@ -252,6 +281,7 @@ pub fn run_concurrent(
             read: rec.read_stats(),
             write: rec.write_stats(),
             meta: rec.meta_stats(),
+            queue: rec.queue_stats(),
             app_read_bytes: rec.app_read_bytes,
             app_write_bytes: rec.app_write_bytes,
         });
@@ -268,6 +298,7 @@ pub fn run_concurrent(
         read: merged.read_stats(),
         write: merged.write_stats(),
         meta: merged.meta_stats(),
+        queue: merged.queue_stats(),
         traffic,
         app_read_bytes: merged.app_read_bytes,
         app_write_bytes: merged.app_write_bytes,
@@ -292,10 +323,7 @@ mod tests {
         assert!(r.kops_per_sec > 0.0);
         assert!(r.write_amplification() > 0.0);
         assert!(r.metadata_write_bytes() > 0);
-        assert_eq!(
-            r.traffic.host_write_bytes(),
-            r.metadata_write_bytes() + r.data_write_bytes()
-        );
+        assert_eq!(r.traffic.host_write_bytes(), r.metadata_write_bytes() + r.data_write_bytes());
     }
 
     #[test]
@@ -352,6 +380,25 @@ mod tests {
             conc_wa < seq_wa * 2.0,
             "concurrent WA {conc_wa:.2} vs sequential {seq_wa:.2}: traffic was double-counted"
         );
+    }
+
+    #[test]
+    fn concurrent_run_drives_one_queue_per_shard() {
+        let w = Micro::new(MicroOp::Create, Scale::tiny());
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let c = run_concurrent(&dev, &fs, &w, 3, 13).unwrap();
+        // Every shard drained exactly its own FLUSH completion; the
+        // aggregate gets them via Recorder::merge, never by re-reading the
+        // device's per-queue counters per thread.
+        assert_eq!(c.aggregate.queue.count, 3);
+        for t in &c.per_thread {
+            assert_eq!(t.queue.count, 1, "shard {} drains its own queue", t.thread);
+        }
+        // Ambient attribution: the shards' device traffic lands on queue
+        // slots other than the sync-shim slot 0.
+        let queued_ops: u64 =
+            c.aggregate.traffic.queues.iter().filter(|(id, _)| **id != 0).map(|(_, q)| q.ops).sum();
+        assert!(queued_ops >= 3, "per-shard queues saw {queued_ops} ops");
     }
 
     #[test]

@@ -35,8 +35,12 @@ pub enum Personality {
 
 impl Personality {
     /// All personalities in the paper's order.
-    pub const ALL: [Personality; 4] =
-        [Personality::Varmail, Personality::Fileserver, Personality::Webserver, Personality::Webproxy];
+    pub const ALL: [Personality; 4] = [
+        Personality::Varmail,
+        Personality::Fileserver,
+        Personality::Webserver,
+        Personality::Webproxy,
+    ];
 
     /// Report label.
     pub fn label(self) -> &'static str {

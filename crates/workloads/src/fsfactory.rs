@@ -105,9 +105,15 @@ mod tests {
 
     #[test]
     fn every_kind_builds_and_serves_io() {
-        for kind in
-            [FsKind::Ext4, FsKind::F2fs, FsKind::Nova, FsKind::Pmfs, FsKind::ByteFs, FsKind::ByteFsDual, FsKind::ByteFsLog]
-        {
+        for kind in [
+            FsKind::Ext4,
+            FsKind::F2fs,
+            FsKind::Nova,
+            FsKind::Pmfs,
+            FsKind::ByteFs,
+            FsKind::ByteFsDual,
+            FsKind::ByteFsLog,
+        ] {
             let (dev, fs) = kind.build(MssdConfig::small_test());
             assert_eq!(dev.dram_mode(), kind.dram_mode());
             fs.mkdir("/t").unwrap();

@@ -67,6 +67,9 @@ pub struct Recorder {
     reads: Vec<u64>,
     writes: Vec<u64>,
     metas: Vec<u64>,
+    /// Virtual latencies of device-queue completions this thread drained
+    /// (one sample per completed queued command). Not counted in `ops`.
+    queue_lats: Vec<u64>,
     /// Bytes the application asked to read (denominator of read amplification).
     pub app_read_bytes: u64,
     /// Bytes the application asked to write (denominator of write
@@ -106,15 +109,28 @@ impl Recorder {
         self.ops += 1;
     }
 
+    /// Records one drained device-queue completion's virtual latency. Each
+    /// worker thread drains only its own queue, so these samples partition
+    /// cleanly across threads and [`Recorder::merge`] aggregates them — the
+    /// driver must never re-read the device's per-queue counters per thread
+    /// (the shared device's counters are snapshotted once per run, exactly
+    /// like traffic).
+    pub fn record_queue_completion(&mut self, lat_ns: u64) {
+        self.queue_lats.push(lat_ns);
+    }
+
     /// Absorbs another recorder's samples and byte counts (merging the
     /// per-thread recorders of a concurrent run into one aggregate). Device
     /// traffic is *not* tracked here — the driver snapshots the shared
     /// [`mssd::stats::TrafficCounter`] once around the whole measured phase,
-    /// so merging recorders can never double-count it.
+    /// so merging recorders can never double-count it. Per-queue completion
+    /// latencies *are* tracked here (each thread drains only its own
+    /// queue) and merge the same way.
     pub fn merge(&mut self, other: Recorder) {
         self.reads.extend(other.reads);
         self.writes.extend(other.writes);
         self.metas.extend(other.metas);
+        self.queue_lats.extend(other.queue_lats);
         self.app_read_bytes += other.app_read_bytes;
         self.app_write_bytes += other.app_write_bytes;
         self.ops += other.ops;
@@ -133,6 +149,11 @@ impl Recorder {
     /// Latency statistics for metadata operations.
     pub fn meta_stats(&self) -> LatencyStats {
         LatencyStats::from_samples(self.metas.clone())
+    }
+
+    /// Latency statistics of drained device-queue completions.
+    pub fn queue_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(self.queue_lats.clone())
     }
 }
 

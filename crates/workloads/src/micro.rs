@@ -23,7 +23,8 @@ pub enum MicroOp {
 
 impl MicroOp {
     /// All four micro-benchmarks in the paper's order.
-    pub const ALL: [MicroOp; 4] = [MicroOp::Create, MicroOp::Delete, MicroOp::Mkdir, MicroOp::Rmdir];
+    pub const ALL: [MicroOp; 4] =
+        [MicroOp::Create, MicroOp::Delete, MicroOp::Mkdir, MicroOp::Rmdir];
 
     /// Report label.
     pub fn label(self) -> &'static str {
@@ -152,8 +153,7 @@ mod tests {
     fn all_micro_benchmarks_run_on_bytefs() {
         for op in MicroOp::ALL {
             let w = Micro::new(op, Scale::tiny());
-            let result =
-                run_workload(FsKind::ByteFs, MssdConfig::small_test(), &w, 1).unwrap();
+            let result = run_workload(FsKind::ByteFs, MssdConfig::small_test(), &w, 1).unwrap();
             assert!(result.ops > 0, "{op:?}");
             assert!(result.elapsed_ns > 0);
             assert!(result.kops_per_sec > 0.0);
@@ -165,10 +165,7 @@ mod tests {
         for kind in FsKind::MAIN {
             let w = Micro::new(MicroOp::Create, Scale::tiny());
             let result = run_workload(kind, MssdConfig::small_test(), &w, 2).unwrap();
-            assert!(
-                result.traffic.host_write_bytes() > 0,
-                "{kind} should write to the device"
-            );
+            assert!(result.traffic.host_write_bytes() > 0, "{kind} should write to the device");
             assert!(result.write.count > 0);
         }
     }

@@ -66,9 +66,8 @@ impl Workload for Oltp {
         let log_entry = vec![0x11u8; self.log_size];
         for _ in 0..self.transactions {
             let table = rng.gen_range(0..self.files);
-            let offset =
-                (rng.gen_range(0..self.file_size - self.write_size) / self.write_size
-                    * self.write_size) as u64;
+            let offset = (rng.gen_range(0..self.file_size - self.write_size) / self.write_size
+                * self.write_size) as u64;
             // Occasionally read the row first (SELECT before UPDATE).
             if rng.gen_bool(0.3) {
                 let sw = rec.start(&clock);

@@ -139,8 +139,7 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let value =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let value = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         value.min(self.n - 1)
     }
 
@@ -403,8 +402,8 @@ pub fn run_ycsb_concurrent(
                 scope.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64 + 1) << 32));
                     let mut rec = Recorder::new();
-                    let ops = spec.operations / threads
-                        + usize::from(t < spec.operations % threads);
+                    let ops =
+                        spec.operations / threads + usize::from(t < spec.operations % threads);
                     let mut keys = ShardKeys { thread: t, threads, own: 0 };
                     for _ in 0..ops {
                         ycsb_op(db, spec, zipf, &clock, value, &mut rng, &mut rec, &mut keys)?;

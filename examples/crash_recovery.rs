@@ -22,11 +22,7 @@ fn main() {
     //    captures the battery-backed durable image, restores it into a
     //    fresh device, runs RECOVER(), remounts and fscks.
     let report = fs.exhaustive(seed, 60);
-    println!(
-        "explored {} cuts: {} violations",
-        report.outcomes.len(),
-        report.failures().count()
-    );
+    println!("explored {} cuts: {} violations", report.outcomes.len(), report.failures().count());
     report.assert_clean();
 
     // 3. Any failure would print as `crashkit repro: seed=… cut=…`, and

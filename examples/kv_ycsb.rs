@@ -7,9 +7,7 @@ use workloads::ycsb::{run_ycsb, YcsbSpec, YcsbWorkload};
 use workloads::{FsKind, Scale};
 
 fn main() {
-    let cfg = mssd::MssdConfig::default()
-        .with_capacity(1 << 30)
-        .with_dram_region(16 << 20);
+    let cfg = mssd::MssdConfig::default().with_capacity(1 << 30).with_dram_region(16 << 20);
     let spec = YcsbSpec::new(YcsbWorkload::A, Scale::new(0.5));
     println!(
         "YCSB-A (50/50 read/update, zipfian) over {} records, {} operations\n",

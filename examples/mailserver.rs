@@ -9,9 +9,7 @@ use workloads::{run_workload, FsKind, Scale};
 
 fn main() {
     let scale = Scale::new(0.25);
-    let cfg = mssd::MssdConfig::default()
-        .with_capacity(1 << 30)
-        .with_dram_region(16 << 20);
+    let cfg = mssd::MssdConfig::default().with_capacity(1 << 30).with_dram_region(16 << 20);
 
     println!("Running the Varmail personality (small files, fsync-heavy) ...\n");
     let workload = Filebench::new(Personality::Varmail, scale);

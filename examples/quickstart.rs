@@ -24,7 +24,10 @@ fn main() -> fskit::FsResult<()> {
     fs.fsync(fd)?;
     fs.close(fd)?;
 
-    println!("file contents:\n{}\n", String::from_utf8_lossy(&fs.read_file("/projects/notes.txt")?));
+    println!(
+        "file contents:\n{}\n",
+        String::from_utf8_lossy(&fs.read_file("/projects/notes.txt")?)
+    );
 
     // 4. Inspect the device-level effects: which interface carried the bytes,
     //    and which file-system structure they belonged to.

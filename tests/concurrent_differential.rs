@@ -41,8 +41,11 @@ fn snapshot(fs: &dyn FileSystem) -> BTreeMap<String, Observed> {
     let mut stack = vec![String::from("/")];
     while let Some(dir) = stack.pop() {
         for entry in fs.readdir(&dir).unwrap() {
-            let path =
-                if dir == "/" { format!("/{}", entry.name) } else { format!("{dir}/{}", entry.name) };
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
             match entry.file_type {
                 FileType::Directory => {
                     out.insert(path.clone(), Observed::Dir);
@@ -98,12 +101,7 @@ fn assert_differential(workload: &(dyn Workload + Sync), seed: u64) {
     let fs_s = ByteFs::mount(dev_s, ByteFsConfig::full()).unwrap();
     let concurrent = snapshot(fs_c.as_ref());
     let sequential = snapshot(fs_s.as_ref());
-    assert_eq!(
-        concurrent.len(),
-        sequential.len(),
-        "{}: object counts diverge",
-        workload.name()
-    );
+    assert_eq!(concurrent.len(), sequential.len(), "{}: object counts diverge", workload.name());
     assert_eq!(concurrent, sequential, "{}: on-disk images diverge", workload.name());
 }
 

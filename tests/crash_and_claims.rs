@@ -109,7 +109,9 @@ fn device_write_traffic_reduction_holds_end_to_end() {
     let w = Oltp { transactions: 60, file_size: 64 << 10, ..Oltp::new(Scale::tiny()) };
     let bytefs = run_workload(FsKind::ByteFs, small_cfg(), &w, 6).unwrap();
     let ext4 = run_workload(FsKind::Ext4, small_cfg(), &w, 6).unwrap();
-    let reduction = ext4.traffic.host_bytes_by_category(Direction::Write, bytefs_repro::mssd::Category::Journal)
+    let reduction = ext4
+        .traffic
+        .host_bytes_by_category(Direction::Write, bytefs_repro::mssd::Category::Journal)
         + ext4.metadata_write_bytes();
     assert!(
         reduction > bytefs.metadata_write_bytes() * 2,

@@ -3,7 +3,6 @@
 //! ByteFS must agree with an in-memory model under randomized operation
 //! sequences.
 
-
 use bytefs_repro::fskit::{FileSystemExt, OpenFlags};
 use bytefs_repro::mssd::MssdConfig;
 use bytefs_repro::workloads::FsKind;
