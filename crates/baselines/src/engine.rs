@@ -113,19 +113,28 @@ pub trait PersistencePolicy: Send + Sync + 'static {
     }
 
     /// Metadata read traffic generated the first time an inode is accessed.
-    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64);
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) -> FsResult<()>;
 
     /// Metadata read traffic generated the first time a directory is accessed.
-    fn load_dir(&self, ctx: &mut Ctx<'_>, ino: u64, meta_block: u64, entries: usize);
+    fn load_dir(
+        &self,
+        ctx: &mut Ctx<'_>,
+        ino: u64,
+        meta_block: u64,
+        entries: usize,
+    ) -> FsResult<()>;
 
     /// Persist the metadata effects of one namespace operation.
-    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp);
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) -> FsResult<()>;
 
     /// Persist one file page. `old_lba` is the block currently backing the
     /// page (if any), `page` its full new contents (meaningful only where
     /// `dirty` says so when [`PersistencePolicy::needs_full_page`] is false),
     /// and `dirty` the modified byte ranges. Returns the LBA now backing the
     /// page; out-of-place file systems return a freshly allocated one.
+    ///
+    /// Media errors (e.g. the device degraded to read-only) surface as
+    /// [`FsError::Io`].
     fn write_page(
         &self,
         ctx: &mut Ctx<'_>,
@@ -134,20 +143,27 @@ pub trait PersistencePolicy: Send + Sync + 'static {
         old_lba: Option<u64>,
         page: &[u8],
         dirty: &[(usize, usize)],
-    ) -> u64;
+    ) -> FsResult<u64>;
 
     /// Read `len` bytes at `offset` inside the page stored at `lba`.
-    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8>;
+    fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        lba: u64,
+        offset: usize,
+        len: usize,
+    ) -> FsResult<Vec<u8>>;
 
     /// Called at the end of `fsync`/`sync` for an inode, after its data pages
     /// were written (journal commits, ordering barriers).
-    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, ino: u64, synced_pages: usize);
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, ino: u64, synced_pages: usize) -> FsResult<()>;
 
     /// Called at the end of a whole-file-system `sync` (and unmount), so
     /// journaling file systems can commit metadata batches that no `fsync`
     /// forced out. Defaults to a no-op.
-    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) {
+    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) -> FsResult<()> {
         let _ = ctx;
+        Ok(())
     }
 }
 
@@ -235,18 +251,20 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         f(&mut ctx, ns, page_cache)
     }
 
-    fn touch_inode(&self, st: &mut EngineState, ino: u64) {
+    fn touch_inode(&self, st: &mut EngineState, ino: u64) -> FsResult<()> {
         if st.loaded_inodes.insert(ino) {
-            self.with_ctx(st, |ctx, _, _| self.policy.load_inode(ctx, ino));
+            self.with_ctx(st, |ctx, _, _| self.policy.load_inode(ctx, ino))?;
         }
+        Ok(())
     }
 
-    fn touch_dir(&self, st: &mut EngineState, ino: u64) {
+    fn touch_dir(&self, st: &mut EngineState, ino: u64) -> FsResult<()> {
         if st.loaded_dirs.insert(ino) {
             let meta_block = st.meta_blocks.get(&ino).copied().unwrap_or(st.layout.data_start);
             let entries = st.ns.node(ino).map(|n| n.children.len()).unwrap_or(0);
-            self.with_ctx(st, |ctx, _, _| self.policy.load_dir(ctx, ino, meta_block, entries));
+            self.with_ctx(st, |ctx, _, _| self.policy.load_dir(ctx, ino, meta_block, entries))?;
         }
+        Ok(())
     }
 
     /// Resolves a path, generating metadata read traffic for every directory
@@ -255,14 +273,14 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         let comps = fspath::components(path)?;
         let mut cur = ROOT_INO;
         for comp in comps {
-            self.touch_dir(st, cur);
+            self.touch_dir(st, cur)?;
             let node = st.ns.node(cur)?;
             if !node.file_type.is_dir() {
                 return Err(FsError::NotADirectory(path.to_string()));
             }
             cur = *node.children.get(comp).ok_or_else(|| FsError::NotFound(path.to_string()))?;
         }
-        self.touch_inode(st, cur);
+        self.touch_inode(st, cur)?;
         Ok(cur)
     }
 
@@ -275,10 +293,10 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         // Touch every directory on the way for read-traffic accounting.
         let (dirs, _) = fspath::split_parent(path)?;
         let mut cur = ROOT_INO;
-        self.touch_dir(st, cur);
+        self.touch_dir(st, cur)?;
         for comp in dirs {
             cur = *st.ns.node(cur)?.children.get(comp).expect("resolve_parent succeeded");
-            self.touch_dir(st, cur);
+            self.touch_dir(st, cur)?;
         }
         Ok((parent, name))
     }
@@ -298,7 +316,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
 
     fn do_create(&self, st: &mut EngineState, path: &str, is_dir: bool) -> FsResult<u64> {
         let (parent, name) = self.resolve_parent_touch(st, path)?;
-        self.touch_dir(st, parent);
+        self.touch_dir(st, parent)?;
         let now = self.device.clock().now_ns();
         let file_type = if is_dir { FileType::Directory } else { FileType::File };
         let ino = st.ns.create(parent, name, file_type, now)?;
@@ -312,7 +330,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         }
         let name_len = name.len();
         let op = MetaOp::Create { parent, parent_meta_block, ino, is_dir, name_len };
-        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         Ok(ino)
     }
 
@@ -335,7 +353,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         let old_lba = st.ns.node(ino)?.blocks.get(&file_block).copied();
         let new_lba = self.with_ctx(st, |ctx, _, _| {
             self.policy.write_page(ctx, ino, file_block, old_lba, page, dirty)
-        });
+        })?;
         if let Some(old) = old_lba {
             if old != new_lba {
                 st.alloc.free(old);
@@ -359,7 +377,7 @@ impl<P: PersistencePolicy> BaselineFs<P> {
         let lba = st.ns.node(ino)?.blocks.get(&index).copied();
         let page = match lba {
             Some(lba) => PageRef::from(
-                self.with_ctx(st, |ctx, _, _| self.policy.read_range(ctx, lba, 0, page_size)),
+                self.with_ctx(st, |ctx, _, _| self.policy.read_range(ctx, lba, 0, page_size))?,
             ),
             None => PageRef::zeroed(page_size),
         };
@@ -385,8 +403,8 @@ impl<P: PersistencePolicy> BaselineFs<P> {
             self.writeback_page(st, ino, dp.index, &dp.data, &[(0, page_size)])?;
         }
         let op = MetaOp::InodeUpdate { ino, pages: npages };
-        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
-        self.with_ctx(st, |ctx, _, _| self.policy.fsync_epilogue(ctx, ino, npages));
+        self.with_ctx(st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
+        self.with_ctx(st, |ctx, _, _| self.policy.fsync_epilogue(ctx, ino, npages))?;
         Ok(())
     }
 }
@@ -516,7 +534,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
                     Some(lba) => {
                         let bytes = self.with_ctx(&mut st, |ctx, _, _| {
                             self.policy.read_range(ctx, lba, in_page, span)
-                        });
+                        })?;
                         out.extend_from_slice(&bytes);
                     }
                     None => out.extend(std::iter::repeat_n(0u8, span)),
@@ -570,7 +588,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
                 {
                     self.with_ctx(&mut st, |ctx, _, _| {
                         self.policy.read_range(ctx, old_lba.expect("checked"), 0, ps)
-                    })
+                    })?
                 } else {
                     vec![0u8; ps]
                 };
@@ -591,7 +609,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             // DAX-style file systems persist the inode update with the write.
             let pages = ((end - offset) as usize).div_ceil(ps);
             let op = MetaOp::InodeUpdate { ino: of.ino, pages };
-            self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+            self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         }
         Ok(data.len())
     }
@@ -603,8 +621,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             let dirty = st.page_cache.take_dirty(of.ino);
             self.writeback_inode(&mut st, of.ino, dirty)
         } else {
-            self.with_ctx(&mut st, |ctx, _, _| self.policy.fsync_epilogue(ctx, of.ino, 0));
-            Ok(())
+            self.with_ctx(&mut st, |ctx, _, _| self.policy.fsync_epilogue(ctx, of.ino, 0))
         }
     }
 
@@ -666,14 +683,14 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             }
         }
         let op = MetaOp::Truncate { ino: of.ino, freed_blocks: nfreed };
-        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         Ok(())
     }
 
     fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
         let mut st = self.state.lock();
         let of = self.open_file(&st, fd)?;
-        self.touch_inode(&mut st, of.ino);
+        self.touch_inode(&mut st, of.ino)?;
         Ok(st.ns.node(of.ino)?.metadata())
     }
 
@@ -692,7 +709,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
     fn rmdir(&self, path: &str) -> FsResult<()> {
         let mut st = self.state.lock();
         let (parent, name) = self.resolve_parent_touch(&mut st, path)?;
-        self.touch_dir(&mut st, parent);
+        self.touch_dir(&mut st, parent)?;
         let now = self.device.clock().now_ns();
         let removed = st.ns.remove(parent, name, true, now)?;
         if let Some(meta) = st.meta_blocks.remove(&removed.ino) {
@@ -707,14 +724,14 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             is_dir: true,
             freed_blocks: 0,
         };
-        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         Ok(())
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         let mut st = self.state.lock();
         let (parent, name) = self.resolve_parent_touch(&mut st, path)?;
-        self.touch_dir(&mut st, parent);
+        self.touch_dir(&mut st, parent)?;
         let now = self.device.clock().now_ns();
         let removed = st.ns.remove(parent, name, false, now)?;
         let freed_blocks = removed.blocks.len();
@@ -729,7 +746,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             is_dir: false,
             freed_blocks,
         };
-        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         Ok(())
     }
 
@@ -737,8 +754,8 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
         let mut st = self.state.lock();
         let (from_parent, from_name) = self.resolve_parent_touch(&mut st, from)?;
         let (to_parent, to_name) = self.resolve_parent_touch(&mut st, to)?;
-        self.touch_dir(&mut st, from_parent);
-        self.touch_dir(&mut st, to_parent);
+        self.touch_dir(&mut st, from_parent)?;
+        self.touch_dir(&mut st, to_parent)?;
         let now = self.device.clock().now_ns();
         let ino = st.ns.rename(from_parent, from_name, to_parent, to_name, now)?;
         let from_meta_block = self.meta_block_of(&mut st, from_parent);
@@ -751,14 +768,14 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
             ino,
             name_len: to_name.len(),
         };
-        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op));
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.metadata_op(ctx, &op))?;
         Ok(())
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
         let mut st = self.state.lock();
         let ino = self.resolve_touch(&mut st, path)?;
-        self.touch_dir(&mut st, ino);
+        self.touch_dir(&mut st, ino)?;
         st.ns.readdir(ino)
     }
 
@@ -777,7 +794,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
                 self.writeback_inode(&mut st, ino, pages)?;
             }
         }
-        self.with_ctx(&mut st, |ctx, _, _| self.policy.sync_epilogue(ctx));
+        self.with_ctx(&mut st, |ctx, _, _| self.policy.sync_epilogue(ctx))?;
         Ok(())
     }
 
@@ -792,7 +809,7 @@ impl<P: PersistencePolicy> FileSystem for BaselineFs<P> {
 
     fn unmount(&self) -> FsResult<()> {
         self.sync()?;
-        self.device.flush();
+        self.device.try_flush()?;
         Ok(())
     }
 }

@@ -15,6 +15,7 @@
 use parking_lot::Mutex;
 
 use fskit::journal::JournaledBlock;
+use fskit::FsResult;
 use mssd::{Category, Mssd};
 
 use crate::common::Ctx;
@@ -37,30 +38,31 @@ impl Ext4Policy {
         Self::default()
     }
 
-    fn add_pending(&self, ctx: &mut Ctx<'_>, lba: u64, category: Category) {
+    fn add_pending(&self, ctx: &mut Ctx<'_>, lba: u64, category: Category) -> FsResult<()> {
         let mut pending = self.pending.lock();
         if pending.iter().any(|b| b.lba == lba) {
-            return;
+            return Ok(());
         }
         pending.push(JournaledBlock { lba, data: vec![0u8; ctx.layout.page_size], category });
         if pending.len() >= JOURNAL_BATCH_BLOCKS {
             let batch = std::mem::take(&mut *pending);
             drop(pending);
-            self.commit_batch(ctx, batch);
+            self.commit_batch(ctx, batch)?;
         }
+        Ok(())
     }
 
-    fn flush_pending(&self, ctx: &mut Ctx<'_>) {
+    fn flush_pending(&self, ctx: &mut Ctx<'_>) -> FsResult<()> {
         let batch = std::mem::take(&mut *self.pending.lock());
-        self.commit_batch(ctx, batch);
+        self.commit_batch(ctx, batch)
     }
 
-    fn commit_batch(&self, ctx: &mut Ctx<'_>, batch: Vec<JournaledBlock>) {
+    fn commit_batch(&self, ctx: &mut Ctx<'_>, batch: Vec<JournaledBlock>) -> FsResult<()> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
         let journal = ctx.journal.as_deref_mut().expect("Ext4 policy always has a journal");
-        journal.commit(&batch, true).expect("journal transaction fits");
+        journal.commit(&batch, true)
     }
 }
 
@@ -73,37 +75,46 @@ impl PersistencePolicy for Ext4Policy {
         true
     }
 
-    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) -> FsResult<()> {
         let page = ctx.layout.inode_page(ino);
-        ctx.device.block_read(page, 1, Category::Inode);
+        ctx.device.try_block_read(page, 1, Category::Inode)?;
+        Ok(())
     }
 
-    fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, _entries: usize) {
-        ctx.device.block_read(meta_block, 1, Category::Dentry);
+    fn load_dir(
+        &self,
+        ctx: &mut Ctx<'_>,
+        _ino: u64,
+        meta_block: u64,
+        _entries: usize,
+    ) -> FsResult<()> {
+        ctx.device.try_block_read(meta_block, 1, Category::Dentry)?;
+        Ok(())
     }
 
-    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) {
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) -> FsResult<()> {
         match *op {
             MetaOp::Create { parent_meta_block, ino, .. }
             | MetaOp::Remove { parent_meta_block, ino, .. } => {
-                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode);
-                self.add_pending(ctx, parent_meta_block, Category::Dentry);
-                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap);
+                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode)?;
+                self.add_pending(ctx, parent_meta_block, Category::Dentry)?;
+                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap)?;
             }
             MetaOp::Rename { from_meta_block, to_meta_block, ino, .. } => {
-                self.add_pending(ctx, from_meta_block, Category::Dentry);
-                self.add_pending(ctx, to_meta_block, Category::Dentry);
-                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode);
+                self.add_pending(ctx, from_meta_block, Category::Dentry)?;
+                self.add_pending(ctx, to_meta_block, Category::Dentry)?;
+                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode)?;
             }
             MetaOp::InodeUpdate { ino, .. } => {
-                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode);
-                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap);
+                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode)?;
+                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap)?;
             }
             MetaOp::Truncate { ino, .. } => {
-                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode);
-                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap);
+                self.add_pending(ctx, ctx.layout.inode_page(ino), Category::Inode)?;
+                self.add_pending(ctx, ctx.layout.bitmap_page(ino), Category::Bitmap)?;
             }
         }
+        Ok(())
     }
 
     fn write_page(
@@ -114,27 +125,35 @@ impl PersistencePolicy for Ext4Policy {
         old_lba: Option<u64>,
         page: &[u8],
         _dirty: &[(usize, usize)],
-    ) -> u64 {
+    ) -> FsResult<u64> {
         let lba = old_lba.unwrap_or_else(|| ctx.alloc.allocate().expect("data area not full"));
-        ctx.device.block_write(lba, page, Category::Data);
-        lba
+        ctx.device.try_block_write(lba, page, Category::Data)?;
+        Ok(lba)
     }
 
-    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8> {
-        let page = ctx.device.block_read(lba, 1, Category::Data);
-        page[offset..offset + len].to_vec()
+    fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        lba: u64,
+        offset: usize,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        let page = ctx.device.try_block_read(lba, 1, Category::Data)?;
+        Ok(page[offset..offset + len].to_vec())
     }
 
-    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) {
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) -> FsResult<()> {
         // Ordered mode: data is already in place; commit the metadata journal
         // transaction, which also flushes the device write cache.
-        self.flush_pending(ctx);
-        ctx.device.flush();
+        self.flush_pending(ctx)?;
+        ctx.device.try_flush()?;
+        Ok(())
     }
 
-    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) {
-        self.flush_pending(ctx);
-        ctx.device.flush();
+    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) -> FsResult<()> {
+        self.flush_pending(ctx)?;
+        ctx.device.try_flush()?;
+        Ok(())
     }
 }
 

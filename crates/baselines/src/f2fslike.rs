@@ -11,6 +11,7 @@
 //!   traffic and 16 % of the read traffic";
 //! * node (inode) and dentry updates still dirty whole 4 KB blocks.
 
+use fskit::FsResult;
 use parking_lot::Mutex;
 
 use mssd::{Category, Mssd};
@@ -35,40 +36,42 @@ impl F2fsPolicy {
         Self::default()
     }
 
-    fn add_pending(&self, ctx: &mut Ctx<'_>, key: u64, category: Category) {
+    fn add_pending(&self, ctx: &mut Ctx<'_>, key: u64, category: Category) -> FsResult<()> {
         let mut pending = self.pending.lock();
         if pending.iter().any(|(k, c)| *k == key && *c == category) {
-            return;
+            return Ok(());
         }
         pending.push((key, category));
         if pending.len() >= NODE_BATCH_BLOCKS {
             let batch = std::mem::take(&mut *pending);
             drop(pending);
-            self.write_batch(ctx, batch);
+            self.write_batch(ctx, batch)?;
         }
+        Ok(())
     }
 
-    fn flush_pending(&self, ctx: &mut Ctx<'_>) {
+    fn flush_pending(&self, ctx: &mut Ctx<'_>) -> FsResult<()> {
         let batch = std::mem::take(&mut *self.pending.lock());
-        self.write_batch(ctx, batch);
+        self.write_batch(ctx, batch)
     }
 
     /// Writes a batch of metadata blocks out of place, plus one NAT block
     /// recording the new locations.
-    fn write_batch(&self, ctx: &mut Ctx<'_>, batch: Vec<(u64, Category)>) {
+    fn write_batch(&self, ctx: &mut Ctx<'_>, batch: Vec<(u64, Category)>) -> FsResult<()> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
         let page = vec![0u8; ctx.layout.page_size];
         for (_, category) in &batch {
             let lba = ctx.alloc.allocate().expect("log area not full");
-            ctx.device.block_write(lba, &page, *category);
+            ctx.device.try_block_write(lba, &page, *category)?;
             // The block only exists to model traffic; release it immediately
             // so sustained metadata churn does not exhaust the data area.
             ctx.alloc.free(lba);
         }
         // Node address table update for the relocated blocks.
-        ctx.device.block_write(ctx.layout.bitmap_start, &page, Category::DataPointer);
+        ctx.device.try_block_write(ctx.layout.bitmap_start, &page, Category::DataPointer)?;
+        Ok(())
     }
 }
 
@@ -77,38 +80,47 @@ impl PersistencePolicy for F2fsPolicy {
         "f2fs"
     }
 
-    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
-        ctx.device.block_read(ctx.layout.inode_page(ino), 1, Category::Inode);
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) -> FsResult<()> {
+        ctx.device.try_block_read(ctx.layout.inode_page(ino), 1, Category::Inode)?;
+        Ok(())
     }
 
-    fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, _entries: usize) {
-        ctx.device.block_read(meta_block, 1, Category::Dentry);
+    fn load_dir(
+        &self,
+        ctx: &mut Ctx<'_>,
+        _ino: u64,
+        meta_block: u64,
+        _entries: usize,
+    ) -> FsResult<()> {
+        ctx.device.try_block_read(meta_block, 1, Category::Dentry)?;
         // NAT lookup to find the node block of the directory.
-        ctx.device.block_read(ctx.layout.bitmap_start, 1, Category::DataPointer);
+        ctx.device.try_block_read(ctx.layout.bitmap_start, 1, Category::DataPointer)?;
+        Ok(())
     }
 
-    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) {
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) -> FsResult<()> {
         match *op {
             MetaOp::Create { parent_meta_block, ino, .. }
             | MetaOp::Remove { parent_meta_block, ino, .. } => {
-                self.add_pending(ctx, ino, Category::Inode);
-                self.add_pending(ctx, parent_meta_block, Category::Dentry);
+                self.add_pending(ctx, ino, Category::Inode)?;
+                self.add_pending(ctx, parent_meta_block, Category::Dentry)?;
                 // Segment information table update.
-                self.add_pending(ctx, ino, Category::Bitmap);
+                self.add_pending(ctx, ino, Category::Bitmap)?;
             }
             MetaOp::Rename { from_meta_block, to_meta_block, ino, .. } => {
-                self.add_pending(ctx, from_meta_block, Category::Dentry);
-                self.add_pending(ctx, to_meta_block, Category::Dentry);
-                self.add_pending(ctx, ino, Category::Inode);
+                self.add_pending(ctx, from_meta_block, Category::Dentry)?;
+                self.add_pending(ctx, to_meta_block, Category::Dentry)?;
+                self.add_pending(ctx, ino, Category::Inode)?;
             }
             MetaOp::InodeUpdate { ino, .. } => {
-                self.add_pending(ctx, ino, Category::Inode);
+                self.add_pending(ctx, ino, Category::Inode)?;
             }
             MetaOp::Truncate { ino, .. } => {
-                self.add_pending(ctx, ino, Category::Inode);
-                self.add_pending(ctx, ino, Category::Bitmap);
+                self.add_pending(ctx, ino, Category::Inode)?;
+                self.add_pending(ctx, ino, Category::Bitmap)?;
             }
         }
+        Ok(())
     }
 
     fn write_page(
@@ -119,28 +131,36 @@ impl PersistencePolicy for F2fsPolicy {
         _old_lba: Option<u64>,
         page: &[u8],
         _dirty: &[(usize, usize)],
-    ) -> u64 {
+    ) -> FsResult<u64> {
         // Out-of-place data write: always a fresh block; the old one is freed
         // by the engine. The relocation dirties the file's data pointers.
         let lba = ctx.alloc.allocate().expect("log area not full");
-        ctx.device.block_write(lba, page, Category::Data);
-        self.add_pending(ctx, ino, Category::DataPointer);
-        lba
+        ctx.device.try_block_write(lba, page, Category::Data)?;
+        self.add_pending(ctx, ino, Category::DataPointer)?;
+        Ok(lba)
     }
 
-    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8> {
-        let page = ctx.device.block_read(lba, 1, Category::Data);
-        page[offset..offset + len].to_vec()
+    fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        lba: u64,
+        offset: usize,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        let page = ctx.device.try_block_read(lba, 1, Category::Data)?;
+        Ok(page[offset..offset + len].to_vec())
     }
 
-    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) {
-        self.flush_pending(ctx);
-        ctx.device.flush();
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) -> FsResult<()> {
+        self.flush_pending(ctx)?;
+        ctx.device.try_flush()?;
+        Ok(())
     }
 
-    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) {
-        self.flush_pending(ctx);
-        ctx.device.flush();
+    fn sync_epilogue(&self, ctx: &mut Ctx<'_>) -> FsResult<()> {
+        self.flush_pending(ctx)?;
+        ctx.device.try_flush()?;
+        Ok(())
     }
 }
 

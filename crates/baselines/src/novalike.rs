@@ -13,6 +13,7 @@
 //!   copy-on-write mechanism";
 //! * there is no host page cache (DAX-style direct access).
 
+use fskit::FsResult;
 use mssd::{Category, Mssd};
 
 use crate::common::{Ctx, BASELINE_DENTRY_SIZE, BASELINE_INODE_SIZE};
@@ -30,13 +31,20 @@ impl NovaPolicy {
 
     /// Appends a log entry of `len` bytes to the per-inode log anchored at
     /// `log_block`.
-    fn log_append(&self, ctx: &mut Ctx<'_>, log_block: u64, len: u64, cat: Category) {
+    fn log_append(
+        &self,
+        ctx: &mut Ctx<'_>,
+        log_block: u64,
+        len: u64,
+        cat: Category,
+    ) -> FsResult<()> {
         let page_size = ctx.layout.page_size as u64;
         let seq = ctx.next_seq();
         let offset = (seq * BASELINE_DENTRY_SIZE) % (page_size - len.min(page_size)).max(1);
         let addr = log_block * page_size + offset;
         let data = vec![0u8; len as usize];
-        ctx.device.byte_write(addr, &data, None, cat);
+        ctx.device.try_byte_write(addr, &data, None, cat)?;
+        Ok(())
     }
 }
 
@@ -49,22 +57,30 @@ impl PersistencePolicy for NovaPolicy {
         false
     }
 
-    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
-        ctx.device.byte_read(
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) -> FsResult<()> {
+        ctx.device.try_byte_read(
             ctx.layout.inode_addr(ino),
             BASELINE_INODE_SIZE as usize,
             Category::Inode,
-        );
+        )?;
+        Ok(())
     }
 
-    fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, entries: usize) {
+    fn load_dir(
+        &self,
+        ctx: &mut Ctx<'_>,
+        _ino: u64,
+        meta_block: u64,
+        entries: usize,
+    ) -> FsResult<()> {
         // Walk the directory's log entries one by one (no block locality).
         let page_size = ctx.layout.page_size;
         let len = ((entries.max(1)) * BASELINE_DENTRY_SIZE as usize).min(page_size);
-        ctx.device.byte_read(meta_block * page_size as u64, len, Category::Dentry);
+        ctx.device.try_byte_read(meta_block * page_size as u64, len, Category::Dentry)?;
+        Ok(())
     }
 
-    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) {
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) -> FsResult<()> {
         match *op {
             MetaOp::Create { parent_meta_block, ino, name_len, .. } => {
                 self.log_append(
@@ -72,56 +88,57 @@ impl PersistencePolicy for NovaPolicy {
                     parent_meta_block,
                     BASELINE_DENTRY_SIZE + name_len as u64,
                     Category::Dentry,
-                );
-                ctx.device.byte_write(
+                )?;
+                ctx.device.try_byte_write(
                     ctx.layout.inode_addr(ino),
                     &[0u8; BASELINE_INODE_SIZE as usize],
                     None,
                     Category::Inode,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Remove { parent_meta_block, ino, .. } => {
-                self.log_append(ctx, parent_meta_block, BASELINE_DENTRY_SIZE, Category::Dentry);
-                ctx.device.byte_write(
+                self.log_append(ctx, parent_meta_block, BASELINE_DENTRY_SIZE, Category::Dentry)?;
+                ctx.device.try_byte_write(
                     ctx.layout.inode_addr(ino),
                     &[0u8; 64],
                     None,
                     Category::Inode,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Rename { from_meta_block, to_meta_block, name_len, .. } => {
-                self.log_append(ctx, from_meta_block, BASELINE_DENTRY_SIZE, Category::Dentry);
+                self.log_append(ctx, from_meta_block, BASELINE_DENTRY_SIZE, Category::Dentry)?;
                 self.log_append(
                     ctx,
                     to_meta_block,
                     BASELINE_DENTRY_SIZE + name_len as u64,
                     Category::Dentry,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
             MetaOp::InodeUpdate { ino, pages } => {
                 // One log entry per updated page mapping (write-entry log).
                 let len = 64 * pages.max(1) as u64;
-                ctx.device.byte_write(
+                ctx.device.try_byte_write(
                     ctx.layout.inode_addr(ino),
                     &vec![0u8; len.min(BASELINE_INODE_SIZE * 4) as usize],
                     None,
                     Category::Inode,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Truncate { ino, .. } => {
-                ctx.device.byte_write(
+                ctx.device.try_byte_write(
                     ctx.layout.inode_addr(ino),
                     &[0u8; 64],
                     None,
                     Category::Inode,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
         }
+        Ok(())
     }
 
     fn write_page(
@@ -132,22 +149,33 @@ impl PersistencePolicy for NovaPolicy {
         _old_lba: Option<u64>,
         page: &[u8],
         _dirty: &[(usize, usize)],
-    ) -> u64 {
+    ) -> FsResult<u64> {
         // Page-granular copy-on-write: the whole page is written to a fresh
         // block over the byte interface, regardless of how little changed.
         let lba = ctx.alloc.allocate().expect("data area not full");
-        ctx.device.byte_write(lba * ctx.layout.page_size as u64, page, None, Category::Data);
+        ctx.device.try_byte_write(lba * ctx.layout.page_size as u64, page, None, Category::Data)?;
         ctx.device.persist_barrier();
-        lba
+        Ok(lba)
     }
 
-    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8> {
-        ctx.device.byte_read(lba * ctx.layout.page_size as u64 + offset as u64, len, Category::Data)
+    fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        lba: u64,
+        offset: usize,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        Ok(ctx.device.try_byte_read(
+            lba * ctx.layout.page_size as u64 + offset as u64,
+            len,
+            Category::Data,
+        )?)
     }
 
-    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) {
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) -> FsResult<()> {
         // Data and metadata are already persistent; fsync only orders.
         ctx.device.persist_barrier();
+        Ok(())
     }
 }
 

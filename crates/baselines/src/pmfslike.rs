@@ -11,6 +11,7 @@
 //!   (no CoW), so small overwrites are cheap but every write pays the MMIO
 //!   persistence barrier.
 
+use fskit::FsResult;
 use mssd::{Category, Mssd};
 
 use crate::common::{Ctx, BASELINE_DENTRY_SIZE, BASELINE_INODE_SIZE};
@@ -27,18 +28,20 @@ impl PmfsPolicy {
     }
 
     /// Writes an undo-journal record of `len` bytes into the journal region.
-    fn journal_entry(&self, ctx: &mut Ctx<'_>, len: u64) {
+    fn journal_entry(&self, ctx: &mut Ctx<'_>, len: u64) -> FsResult<()> {
         let page_size = ctx.layout.page_size as u64;
         let journal_bytes = ctx.layout.journal_pages * page_size;
         let seq = ctx.next_seq();
         let offset = (seq * 64) % journal_bytes.saturating_sub(len).max(1);
         let addr = ctx.layout.journal_start * page_size + offset;
-        ctx.device.byte_write(addr, &vec![0u8; len as usize], None, Category::Journal);
+        ctx.device.try_byte_write(addr, &vec![0u8; len as usize], None, Category::Journal)?;
+        Ok(())
     }
 
     /// In-place metadata write of `len` bytes at `addr`.
-    fn in_place(&self, ctx: &mut Ctx<'_>, addr: u64, len: u64, cat: Category) {
-        ctx.device.byte_write(addr, &vec![0u8; len as usize], None, cat);
+    fn in_place(&self, ctx: &mut Ctx<'_>, addr: u64, len: u64, cat: Category) -> FsResult<()> {
+        ctx.device.try_byte_write(addr, &vec![0u8; len as usize], None, cat)?;
+        Ok(())
     }
 }
 
@@ -55,86 +58,95 @@ impl PersistencePolicy for PmfsPolicy {
         false
     }
 
-    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) {
-        ctx.device.byte_read(
+    fn load_inode(&self, ctx: &mut Ctx<'_>, ino: u64) -> FsResult<()> {
+        ctx.device.try_byte_read(
             ctx.layout.inode_addr(ino),
             BASELINE_INODE_SIZE as usize,
             Category::Inode,
-        );
+        )?;
+        Ok(())
     }
 
-    fn load_dir(&self, ctx: &mut Ctx<'_>, _ino: u64, meta_block: u64, entries: usize) {
+    fn load_dir(
+        &self,
+        ctx: &mut Ctx<'_>,
+        _ino: u64,
+        meta_block: u64,
+        entries: usize,
+    ) -> FsResult<()> {
         let page_size = ctx.layout.page_size;
         let len = ((entries.max(1)) * BASELINE_DENTRY_SIZE as usize).min(page_size);
-        ctx.device.byte_read(meta_block * page_size as u64, len, Category::Dentry);
+        ctx.device.try_byte_read(meta_block * page_size as u64, len, Category::Dentry)?;
+        Ok(())
     }
 
-    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) {
+    fn metadata_op(&self, ctx: &mut Ctx<'_>, op: &MetaOp) -> FsResult<()> {
         let page_size = ctx.layout.page_size as u64;
         match *op {
             MetaOp::Create { parent_meta_block, ino, name_len, .. } => {
                 // Undo records for inode + dentry + allocator, then in-place.
-                self.journal_entry(ctx, BASELINE_INODE_SIZE + BASELINE_DENTRY_SIZE + 64);
+                self.journal_entry(ctx, BASELINE_INODE_SIZE + BASELINE_DENTRY_SIZE + 64)?;
                 ctx.device.persist_barrier();
                 self.in_place(
                     ctx,
                     ctx.layout.inode_addr(ino),
                     BASELINE_INODE_SIZE,
                     Category::Inode,
-                );
+                )?;
                 self.in_place(
                     ctx,
                     parent_meta_block * page_size,
                     BASELINE_DENTRY_SIZE + name_len as u64,
                     Category::Dentry,
-                );
-                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap);
+                )?;
+                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap)?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Remove { parent_meta_block, ino, .. } => {
-                self.journal_entry(ctx, BASELINE_DENTRY_SIZE + 64 + 64);
+                self.journal_entry(ctx, BASELINE_DENTRY_SIZE + 64 + 64)?;
                 ctx.device.persist_barrier();
-                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode);
+                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode)?;
                 self.in_place(
                     ctx,
                     parent_meta_block * page_size,
                     BASELINE_DENTRY_SIZE,
                     Category::Dentry,
-                );
-                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap);
+                )?;
+                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap)?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Rename { from_meta_block, to_meta_block, name_len, .. } => {
-                self.journal_entry(ctx, 2 * BASELINE_DENTRY_SIZE);
+                self.journal_entry(ctx, 2 * BASELINE_DENTRY_SIZE)?;
                 ctx.device.persist_barrier();
                 self.in_place(
                     ctx,
                     from_meta_block * page_size,
                     BASELINE_DENTRY_SIZE,
                     Category::Dentry,
-                );
+                )?;
                 self.in_place(
                     ctx,
                     to_meta_block * page_size,
                     BASELINE_DENTRY_SIZE + name_len as u64,
                     Category::Dentry,
-                );
+                )?;
                 ctx.device.persist_barrier();
             }
             MetaOp::InodeUpdate { ino, .. } => {
-                self.journal_entry(ctx, 64);
+                self.journal_entry(ctx, 64)?;
                 ctx.device.persist_barrier();
-                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode);
+                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode)?;
                 ctx.device.persist_barrier();
             }
             MetaOp::Truncate { ino, .. } => {
-                self.journal_entry(ctx, 128);
+                self.journal_entry(ctx, 128)?;
                 ctx.device.persist_barrier();
-                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode);
-                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap);
+                self.in_place(ctx, ctx.layout.inode_addr(ino), 64, Category::Inode)?;
+                self.in_place(ctx, ctx.layout.bitmap_group_addr(ino), 64, Category::Bitmap)?;
                 ctx.device.persist_barrier();
             }
         }
+        Ok(())
     }
 
     fn write_page(
@@ -145,28 +157,39 @@ impl PersistencePolicy for PmfsPolicy {
         old_lba: Option<u64>,
         page: &[u8],
         dirty: &[(usize, usize)],
-    ) -> u64 {
+    ) -> FsResult<u64> {
         // In-place write of exactly the modified ranges.
         let lba = old_lba.unwrap_or_else(|| ctx.alloc.allocate().expect("data area not full"));
         let base = lba * ctx.layout.page_size as u64;
         for (off, len) in dirty {
-            ctx.device.byte_write(
+            ctx.device.try_byte_write(
                 base + *off as u64,
                 &page[*off..*off + *len],
                 None,
                 Category::Data,
-            );
+            )?;
         }
         ctx.device.persist_barrier();
-        lba
+        Ok(lba)
     }
 
-    fn read_range(&self, ctx: &mut Ctx<'_>, lba: u64, offset: usize, len: usize) -> Vec<u8> {
-        ctx.device.byte_read(lba * ctx.layout.page_size as u64 + offset as u64, len, Category::Data)
+    fn read_range(
+        &self,
+        ctx: &mut Ctx<'_>,
+        lba: u64,
+        offset: usize,
+        len: usize,
+    ) -> FsResult<Vec<u8>> {
+        Ok(ctx.device.try_byte_read(
+            lba * ctx.layout.page_size as u64 + offset as u64,
+            len,
+            Category::Data,
+        )?)
     }
 
-    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) {
+    fn fsync_epilogue(&self, ctx: &mut Ctx<'_>, _ino: u64, _synced_pages: usize) -> FsResult<()> {
         ctx.device.persist_barrier();
+        Ok(())
     }
 }
 

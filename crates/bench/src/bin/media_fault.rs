@@ -1,0 +1,200 @@
+//! Cost of the media-error RAS layer under a realistic raw bit-error rate
+//! (wall-clock).
+//!
+//! The RAS layer (per-page ECC, read-retry, program-failure remap, bad-block
+//! management) sits on the flash hot path of every read and program. This
+//! bench measures what the fault *handling* costs when faults actually
+//! occur: the same single-threaded, read-heavy op stream is driven against
+//! a fault-free device and against one whose [`mssd::MediaFaultPlan`]
+//! injects transient read errors at a 1e-4 per-read rate — a pessimistic
+//! end-of-life raw bit-error regime. The injected faults exercise the full
+//! ladder (ECC decode, bounded re-reads, the occasional UECC verdict) while
+//! the stream keeps flowing.
+//!
+//! The CI acceptance gate reads the `cost_ratio_fault_vs_clean` summary:
+//! running under the 1e-4 fault rate must cost no more than 1.25x the
+//! fault-free wall time (skipped below 2 CPUs, where container time-slicing
+//! makes small wall-clock ratios unreliable).
+//!
+//! Usage: `media_fault [scale] [output.json]` — scale multiplies the op
+//! count (default 1.0); results go to `BENCH_media_fault.json`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bench::{host_cpus, print_table, BenchEntry, BenchReport};
+use mssd::{Category, DramMode, MediaFaultPlan, Mssd, MssdConfig};
+
+/// Ops in the measured stream at scale 1.0.
+const OPS: usize = 120_000;
+
+/// Timed repetitions per configuration; the best run is reported.
+const REPEATS: usize = 5;
+
+/// Whole pages of block traffic the stream cycles through.
+const PAGES: u64 = 512;
+
+/// 64-byte byte-interface slots (distinct pages from the block region).
+const SLOTS: u64 = 2048;
+
+/// First logical page of the block region (per the byte slots above:
+/// 2048 * 64 B = 128 KB = 32 pages, rounded up generously).
+const BLOCK_BASE: u64 = 64;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Drives the read-heavy stream once; returns (wall seconds, uecc count).
+/// Reads dominate (70%) because the 1e-4 regime is a *read*-error regime:
+/// program and erase failures at end of life are orders of magnitude rarer.
+fn drive(dev: &Mssd, ops: usize) -> (f64, u64) {
+    let mut rng = XorShift(0xEC0_5EED | 1);
+    let mut uecc = 0u64;
+    let start = Instant::now();
+    for _ in 0..ops {
+        match rng.below(100) {
+            // Block read of 1-2 pages: the flash read path, ECC decode and
+            // (under injection) the retry ladder.
+            0..=49 => {
+                let p = rng.below(PAGES - 1);
+                let count = 1 + rng.below(2) as usize;
+                if dev.try_block_read(BLOCK_BASE + p, count, Category::Data).is_err() {
+                    uecc += 1;
+                }
+            }
+            // Byte read through the log-then-flash path.
+            50..=69 => {
+                let slot = rng.below(SLOTS);
+                if dev.try_byte_read(slot * 64, 64, Category::Data).is_err() {
+                    uecc += 1;
+                }
+            }
+            // Block write of one page.
+            70..=84 => {
+                let p = rng.below(PAGES);
+                let tag = rng.next() as u8;
+                let _ = dev.try_block_write(BLOCK_BASE + p, &vec![tag; 4096], Category::Data);
+            }
+            // Byte write of one cacheline.
+            _ => {
+                let slot = rng.below(SLOTS);
+                let tag = rng.next() as u8;
+                let _ = dev.try_byte_write(slot * 64, &[tag; 64], None, Category::Data);
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), uecc)
+}
+
+/// Builds the device, pre-populates every page/slot the stream touches (so
+/// reads hit programmed flash, not the zero fast path), and runs the stream.
+fn timed_run(read_error_rate: f64, ops: usize) -> (f64, u64) {
+    let mut cfg = MssdConfig::default().with_capacity(64 << 20);
+    if read_error_rate > 0.0 {
+        cfg.media = MediaFaultPlan::rates(0xEC0_FA17, read_error_rate, 0.0, 0.0);
+    }
+    let dev = Mssd::new(cfg, DramMode::WriteLog);
+    for p in 0..PAGES {
+        dev.block_write(BLOCK_BASE + p, &vec![(p % 251) as u8 + 1; 4096], Category::Data);
+    }
+    for slot in 0..SLOTS {
+        dev.byte_write(slot * 64, &[(slot % 251) as u8 + 1; 64], None, Category::Data);
+    }
+    // Drain the write log so byte reads exercise flash, and exclude the
+    // pre-population from the measurement.
+    dev.seal_log_regions();
+    dev.flush();
+    dev.reset_stats();
+    drive(&dev, ops)
+}
+
+fn best_of(read_error_rate: f64, ops: usize) -> (f64, u64) {
+    let (mut wall, mut uecc) = timed_run(read_error_rate, ops);
+    for _ in 1..REPEATS {
+        let (w, u) = timed_run(read_error_rate, ops);
+        if w < wall {
+            wall = w;
+            uecc = u;
+        }
+    }
+    (wall, uecc)
+}
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).unwrap_or(1.0);
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_media_fault.json".to_string());
+    // The floor keeps smoke-scale runs long enough that the gated ratio
+    // measures work, not timer noise.
+    let ops = ((OPS as f64 * scale) as usize).max(40_000);
+    eprintln!("media_fault: {ops} ops, host parallelism {}", host_cpus());
+
+    // Bring the CPU out of idle so the first configuration is not penalized.
+    let _ = timed_run(0.0, ops / 10);
+
+    let (clean_wall, clean_uecc) = best_of(0.0, ops);
+    let (fault_wall, fault_uecc) = best_of(1e-4, ops);
+    assert_eq!(clean_uecc, 0, "fault-free run must not report UECCs");
+
+    let ratio = fault_wall / clean_wall;
+    let rows = vec![
+        vec![
+            "fault-free".to_string(),
+            format!("{ops}"),
+            format!("{:.1}", clean_wall * 1e3),
+            format!("{:.0}", ops as f64 / clean_wall),
+            "0".to_string(),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "1e-4 read errors".to_string(),
+            format!("{ops}"),
+            format!("{:.1}", fault_wall * 1e3),
+            format!("{:.0}", ops as f64 / fault_wall),
+            format!("{fault_uecc}"),
+            format!("{ratio:.2}x"),
+        ],
+    ];
+    print_table(
+        "media_fault — RAS-layer cost under a 1e-4 transient read-error rate",
+        &["config", "ops", "wall ms", "ops/s", "ueccs", "cost vs clean"],
+        &rows,
+    );
+
+    let mut report = BenchReport::new("media_fault", scale);
+    for (key, wall, uecc) in
+        [("clean", clean_wall, clean_uecc), ("rber_1e-4", fault_wall, fault_uecc)]
+    {
+        report.entries.push(BenchEntry {
+            key: key.to_string(),
+            throughput_ops_s: (ops as f64 / wall * 1000.0).round() / 1000.0,
+            p99_ns: 0,
+            extra: BTreeMap::from([
+                ("ops".to_string(), ops as f64),
+                ("wall_ms".to_string(), (wall * 1e3 * 1000.0).round() / 1000.0),
+                ("ueccs".to_string(), uecc as f64),
+            ]),
+        });
+    }
+    report
+        .summary
+        .insert("cost_ratio_fault_vs_clean".to_string(), (ratio * 1000.0).round() / 1000.0);
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("results written to {out_path}");
+}

@@ -154,21 +154,25 @@ impl ByteFs {
 
         // Persist the initial metadata with plain block writes; mkfs is not
         // part of any measurement.
-        device.block_write(layout.superblock_page, &sb.encode(page_size), Category::Superblock);
+        device.try_block_write(
+            layout.superblock_page,
+            &sb.encode(page_size),
+            Category::Superblock,
+        )?;
         Self::write_bitmap_region(
             &device,
             layout.inode_bitmap_start,
             layout.inode_bitmap_pages,
             &inode_bitmap.to_bytes(),
             page_size,
-        );
+        )?;
         Self::write_bitmap_region(
             &device,
             layout.block_bitmap_start,
             layout.block_bitmap_pages,
             &block_bitmap.to_bytes(),
             page_size,
-        );
+        )?;
         inode_bitmap.take_dirty_groups();
         block_bitmap.take_dirty_groups();
 
@@ -178,8 +182,8 @@ impl ByteFs {
         let mut inode_page = vec![0u8; page_size];
         let off = (ROOT_INO % layout.inodes_per_page()) as usize * INODE_SIZE;
         inode_page[off..off + INODE_SIZE].copy_from_slice(&root.encode());
-        device.block_write(layout.inode_page(ROOT_INO), &inode_page, Category::Inode);
-        device.flush();
+        device.try_block_write(layout.inode_page(ROOT_INO), &inode_page, Category::Inode)?;
+        device.try_flush()?;
 
         let fs = Self::build(device, config, layout, sb, inode_bitmap, block_bitmap);
         fs.insert_inode(root);
@@ -197,7 +201,7 @@ impl ByteFs {
     pub fn mount(device: Arc<Mssd>, config: ByteFsConfig) -> FsResult<Arc<Self>> {
         Self::check_mode(&device, &config)?;
         let page_size = device.page_size();
-        let sb_page = device.block_read(0, 1, Category::Superblock);
+        let sb_page = device.try_block_read(0, 1, Category::Superblock)?;
         let mut sb = Superblock::decode(&sb_page)?;
         let layout = sb.layout;
 
@@ -208,23 +212,23 @@ impl ByteFs {
 
         // Load bitmaps over the block interface (Table 3: bitmap reads prefer
         // the block interface and are cached in host DRAM afterwards).
-        let inode_bitmap_raw = device.block_read(
+        let inode_bitmap_raw = device.try_block_read(
             layout.inode_bitmap_start,
             layout.inode_bitmap_pages as usize,
             Category::Bitmap,
-        );
-        let block_bitmap_raw = device.block_read(
+        )?;
+        let block_bitmap_raw = device.try_block_read(
             layout.block_bitmap_start,
             layout.block_bitmap_pages as usize,
             Category::Bitmap,
-        );
+        )?;
         let inode_bitmap = BitmapAllocator::from_bytes(&inode_bitmap_raw, layout.inode_count);
         let block_bitmap = BitmapAllocator::from_bytes(&block_bitmap_raw, layout.total_pages);
 
         // Mark the volume dirty until a clean unmount.
         sb.clean = false;
         sb.mount_count += 1;
-        device.block_write(0, &sb.encode(page_size), Category::Superblock);
+        device.try_block_write(0, &sb.encode(page_size), Category::Superblock)?;
 
         Ok(Arc::new(Self::build(device, config, layout, sb, inode_bitmap, block_bitmap)))
     }
@@ -274,7 +278,13 @@ impl ByteFs {
         Ok(())
     }
 
-    fn write_bitmap_region(device: &Mssd, start: u64, pages: u64, bytes: &[u8], page_size: usize) {
+    fn write_bitmap_region(
+        device: &Mssd,
+        start: u64,
+        pages: u64,
+        bytes: &[u8],
+        page_size: usize,
+    ) -> FsResult<()> {
         for i in 0..pages {
             let lo = (i as usize) * page_size;
             let hi = (lo + page_size).min(bytes.len());
@@ -282,8 +292,9 @@ impl ByteFs {
             if lo < bytes.len() {
                 page[..hi - lo].copy_from_slice(&bytes[lo..hi]);
             }
-            device.block_write(start + i, &page, Category::Bitmap);
+            device.try_block_write(start + i, &page, Category::Bitmap)?;
         }
+        Ok(())
     }
 
     /// The configuration this instance runs with.
@@ -339,12 +350,12 @@ impl ByteFs {
         if ino >= self.layout.inode_count || !self.inode_bitmap.is_allocated(ino) {
             return Err(FsError::NotFound(format!("inode {ino}")));
         }
-        let page = self.device.block_read(self.layout.inode_page(ino), 1, Category::Inode);
+        let page = self.device.try_block_read(self.layout.inode_page(ino), 1, Category::Inode)?;
         let off = (ino % self.layout.inodes_per_page()) as usize * INODE_SIZE;
         let mut inode = Inode::decode(ino, &page[off..off + INODE_SIZE])
             .ok_or_else(|| FsError::Corrupted(format!("inode {ino} is allocated but empty")))?;
         if let Some(lba) = inode.overflow_lba {
-            let block = self.device.block_read(lba, 1, Category::DataPointer);
+            let block = self.device.try_block_read(lba, 1, Category::DataPointer)?;
             inode.load_overflow(&block);
         }
         let handle = Arc::new(RwLock::new(inode));
@@ -423,55 +434,63 @@ impl ByteFs {
     /// Persists a small metadata update either over the byte interface (inside
     /// the transaction) or as a read-modify-write of the containing block when
     /// the dual interface is disabled.
-    pub(crate) fn persist_meta(&self, txn: &mut Txn, addr: u64, bytes: &[u8], cat: Category) {
+    pub(crate) fn persist_meta(
+        &self,
+        txn: &mut Txn,
+        addr: u64,
+        bytes: &[u8],
+        cat: Category,
+    ) -> FsResult<()> {
         match self.config.metadata_choice(bytes.len()) {
-            InterfaceChoice::Byte => txn.write(addr, bytes, cat),
+            InterfaceChoice::Byte => txn.write(addr, bytes, cat)?,
             InterfaceChoice::Block => {
                 let page_size = self.device.page_size() as u64;
                 let lba = addr / page_size;
                 let off = (addr % page_size) as usize;
-                let mut page = self.device.block_read(lba, 1, cat);
+                let mut page = self.device.try_block_read(lba, 1, cat)?;
                 page[off..off + bytes.len()].copy_from_slice(bytes);
-                self.device.block_write(lba, &page, cat);
+                self.device.try_block_write(lba, &page, cat)?;
             }
         }
+        Ok(())
     }
 
     /// Persists an inode (both halves) into the inode table.
-    pub(crate) fn persist_inode(&self, txn: &mut Txn, inode: &Inode) {
+    pub(crate) fn persist_inode(&self, txn: &mut Txn, inode: &Inode) -> FsResult<()> {
         let addr = self.layout.inode_addr(inode.ino);
-        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode);
+        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode)?;
         self.persist_meta(
             txn,
             addr + (INODE_SIZE / 2) as u64,
             &inode.encode_upper(),
             Category::Inode,
-        );
+        )
     }
 
     /// Persists only the hot lower half of an inode (size/mtime/nlink updates).
-    pub(crate) fn persist_inode_lower(&self, txn: &mut Txn, inode: &Inode) {
+    pub(crate) fn persist_inode_lower(&self, txn: &mut Txn, inode: &Inode) -> FsResult<()> {
         let addr = self.layout.inode_addr(inode.ino);
-        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode);
+        self.persist_meta(txn, addr, &inode.encode_lower(), Category::Inode)
     }
 
     /// Marks an inode slot free on the device (unlink/rmdir).
-    pub(crate) fn persist_inode_free(&self, txn: &mut Txn, ino: u64) {
+    pub(crate) fn persist_inode_free(&self, txn: &mut Txn, ino: u64) -> FsResult<()> {
         let addr = self.layout.inode_addr(ino);
-        self.persist_meta(txn, addr, &[0u8; INODE_SIZE / 2], Category::Inode);
+        self.persist_meta(txn, addr, &[0u8; INODE_SIZE / 2], Category::Inode)
     }
 
     /// Persists every bitmap group dirtied since the last transaction.
-    pub(crate) fn persist_bitmaps(&self, txn: &mut Txn) {
+    pub(crate) fn persist_bitmaps(&self, txn: &mut Txn) -> FsResult<()> {
         let page_size = self.layout.page_size as u64;
         for (group, bytes) in self.inode_bitmap.take_dirty_group_bytes() {
             let addr = self.layout.inode_bitmap_start * page_size + group * DENTRY_SIZE as u64;
-            self.persist_meta(txn, addr, &bytes, Category::Bitmap);
+            self.persist_meta(txn, addr, &bytes, Category::Bitmap)?;
         }
         for (group, bytes) in self.block_bitmap.take_dirty_group_bytes() {
             let addr = self.layout.block_bitmap_start * page_size + group * DENTRY_SIZE as u64;
-            self.persist_meta(txn, addr, &bytes, Category::Bitmap);
+            self.persist_meta(txn, addr, &bytes, Category::Bitmap)?;
         }
+        Ok(())
     }
 
     /// Allocates one data block and returns its absolute LBA.
@@ -508,8 +527,8 @@ impl ByteFs {
             inode
                 .extents
                 .iter_blocks()
-                .map(|(_, lba)| self.device.block_read(lba, 1, Category::Dentry))
-                .collect::<Vec<_>>()
+                .map(|(_, lba)| self.device.try_block_read(lba, 1, Category::Dentry))
+                .collect::<Result<Vec<_>, _>>()?
         };
         ns.dirs.insert(ino, Directory::from_blocks(self.layout.page_size, &blocks));
         Ok(())
@@ -657,10 +676,10 @@ impl ByteFs {
             p.clone()
         };
         let addr = self.dentry_addr(&parent_inode, slot.block_pos, slot.slot);
-        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry);
-        self.persist_inode(&mut txn, &inode);
-        self.persist_inode(&mut txn, &parent_inode);
-        self.persist_bitmaps(&mut txn);
+        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry)?;
+        self.persist_inode(&mut txn, &inode)?;
+        self.persist_inode(&mut txn, &parent_inode)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
 
         self.insert_inode(inode);
@@ -719,8 +738,8 @@ impl ByteFs {
         let removed =
             ns.dirs.get_mut(&parent).expect("parent cached").remove(name).expect("exists");
         let addr = self.dentry_addr(&parent_inode, removed.slot.block_pos, removed.slot.slot);
-        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry);
-        self.persist_inode_lower(&mut txn, &parent_inode);
+        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry)?;
+        self.persist_inode_lower(&mut txn, &parent_inode)?;
 
         // Tombstone the target under its write lock, collecting its blocks.
         // Any data-path racer that acquires the inode lock afterwards sees
@@ -741,8 +760,8 @@ impl ByteFs {
             self.block_bitmap.free_staged(*lba);
         }
         self.inode_bitmap.free(target);
-        self.persist_inode_free(&mut txn, target);
-        self.persist_bitmaps(&mut txn);
+        self.persist_inode_free(&mut txn, target)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
         self.discard_staged_blocks(&freed);
 
@@ -929,8 +948,8 @@ impl FileSystem for ByteFs {
             .remove(from_name)
             .expect("looked up above");
         let addr = self.dentry_addr(&from_inode, removed.slot.block_pos, removed.slot.slot);
-        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry);
-        self.persist_inode_lower(&mut txn, &from_inode);
+        self.persist_meta(&mut txn, addr, &DentrySlot::free_slot(), Category::Dentry)?;
+        self.persist_inode_lower(&mut txn, &from_inode)?;
 
         // Insert into the destination directory.
         if !ns.dirs[&to_parent].has_free_slot() {
@@ -954,9 +973,9 @@ impl FileSystem for ByteFs {
                 .encode()
                 .expect("validated");
         let addr = self.dentry_addr(&to_inode, slot.block_pos, slot.slot);
-        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry);
-        self.persist_inode(&mut txn, &to_inode);
-        self.persist_bitmaps(&mut txn);
+        self.persist_meta(&mut txn, addr, &slot_bytes, Category::Dentry)?;
+        self.persist_inode(&mut txn, &to_inode)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
         Ok(())
     }
@@ -1017,12 +1036,16 @@ impl FileSystem for ByteFs {
             let mut sb = self.sb.lock();
             sb.clean = true;
             let encoded = sb.encode(self.layout.page_size);
-            self.device.block_write(self.layout.superblock_page, &encoded, Category::Superblock);
+            self.device.try_block_write(
+                self.layout.superblock_page,
+                &encoded,
+                Category::Superblock,
+            )?;
         }
         if self.config.firmware_transactions {
             self.device.force_clean();
         }
-        self.device.flush();
+        self.device.try_flush()?;
         Ok(())
     }
 }

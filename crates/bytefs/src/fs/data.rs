@@ -37,18 +37,18 @@ impl ByteFs {
     /// Reads one page of a file into the host page cache (block interface on a
     /// miss; holes materialize as zero pages) and returns a zero-copy handle
     /// to its contents.
-    fn page_for_read(&self, inode: &Inode, index: u64) -> PageRef {
+    fn page_for_read(&self, inode: &Inode, index: u64) -> FsResult<PageRef> {
         if let Some(page) = self.page_cache.get(inode.ino, index) {
-            return page;
+            return Ok(page);
         }
         let page_size = self.layout.page_size;
         match inode.extents.lookup(index) {
             Some(lba) => {
-                let page = PageRef::from(self.device.block_read(lba, 1, Category::Data));
+                let page = PageRef::from(self.device.try_block_read(lba, 1, Category::Data)?);
                 self.page_cache.insert_clean(inode.ino, index, page.clone());
-                page
+                Ok(page)
             }
-            None => PageRef::zeroed(page_size),
+            None => Ok(PageRef::zeroed(page_size)),
         }
     }
 
@@ -76,7 +76,7 @@ impl ByteFs {
             let index = pos / page_size;
             let in_page = (pos % page_size) as usize;
             let span = ((page_size as usize) - in_page).min((end - pos) as usize);
-            let page = self.page_for_read(inode, index);
+            let page = self.page_for_read(inode, index)?;
             out.extend_from_slice(&page[in_page..in_page + span]);
             pos += span as u64;
         }
@@ -99,10 +99,14 @@ impl ByteFs {
                 Some(lba) => match choice {
                     InterfaceChoice::Byte => {
                         let addr = lba * page_size + in_page as u64;
-                        out.extend_from_slice(&self.device.byte_read(addr, span, Category::Data));
+                        out.extend_from_slice(&self.device.try_byte_read(
+                            addr,
+                            span,
+                            Category::Data,
+                        )?);
                     }
                     InterfaceChoice::Block => {
-                        let page = self.device.block_read(lba, 1, Category::Data);
+                        let page = self.device.try_block_read(lba, 1, Category::Data)?;
                         out.extend_from_slice(&page[in_page..in_page + span]);
                     }
                 },
@@ -147,7 +151,7 @@ impl ByteFs {
                 // Nobody else can touch this inode's pages while we hold its
                 // write lock, so the base read here cannot go stale before
                 // the single-lock-hold install-and-write below.
-                let base = self.page_for_read(inode, index);
+                let base = self.page_for_read(inode, index)?;
                 self.page_cache.write_with_fallback(ino, index, in_page, chunk, base);
             }
             pos += span as u64;
@@ -176,17 +180,17 @@ impl ByteFs {
             let lba = self.ensure_block(inode, index)?;
             match choice {
                 InterfaceChoice::Byte => {
-                    txn.write(lba * page_size + in_page as u64, chunk, Category::Data);
+                    txn.write(lba * page_size + in_page as u64, chunk, Category::Data)?;
                 }
                 InterfaceChoice::Block => {
                     let page = if in_page == 0 && span == page_size as usize {
                         chunk.to_vec()
                     } else {
-                        let mut page = self.device.block_read(lba, 1, Category::Data);
+                        let mut page = self.device.try_block_read(lba, 1, Category::Data)?;
                         page[in_page..in_page + span].copy_from_slice(chunk);
                         page
                     };
-                    self.device.block_write(lba, &page, Category::Data);
+                    self.device.try_block_write(lba, &page, Category::Data)?;
                 }
             }
             // Keep any cached copy coherent (single call: residency is
@@ -199,8 +203,8 @@ impl ByteFs {
         inode.size = inode.size.max(end);
         inode.mtime_ns = now;
         self.persist_extents(&mut txn, inode)?;
-        self.persist_inode(&mut txn, inode);
-        self.persist_bitmaps(&mut txn);
+        self.persist_inode(&mut txn, inode)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
         self.dirty_inodes.lock().remove(&ino);
         Ok(data.len())
@@ -224,7 +228,7 @@ impl ByteFs {
         };
         let bytes = inode.encode_overflow().expect("needs_overflow checked");
         let addr = lba * self.layout.page_size as u64;
-        self.persist_meta(txn, addr, &bytes, Category::DataPointer);
+        self.persist_meta(txn, addr, &bytes, Category::DataPointer)?;
         Ok(())
     }
 
@@ -250,7 +254,7 @@ impl ByteFs {
                             lba * page_size + off as u64,
                             &dp.data[off..off + len],
                             Category::Data,
-                        );
+                        )?;
                     }
                 }
                 InterfaceChoice::Block => {
@@ -265,7 +269,7 @@ impl ByteFs {
                         )?;
                         continue;
                     }
-                    self.device.block_write(lba, &dp.data, Category::Data);
+                    self.device.try_block_write(lba, &dp.data, Category::Data)?;
                 }
             }
         }
@@ -274,8 +278,8 @@ impl ByteFs {
         self.dirty_inodes.lock().remove(&ino);
 
         self.persist_extents(&mut txn, inode)?;
-        self.persist_inode(&mut txn, inode);
-        self.persist_bitmaps(&mut txn);
+        self.persist_inode(&mut txn, inode)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
         Ok(())
     }
@@ -317,7 +321,7 @@ impl ByteFs {
         if shrinking && tail_off != 0 {
             let last = size / page_size;
             if inode.extents.lookup(last).is_some() || self.page_cache.contains(ino, last) {
-                let base = self.page_for_read(inode, last);
+                let base = self.page_for_read(inode, last)?;
                 let zeros = vec![0u8; self.layout.page_size - tail_off];
                 // Single-lock-hold install-and-write: the zeroing must stick
                 // even if a concurrent insertion evicts the page in between.
@@ -326,8 +330,8 @@ impl ByteFs {
         }
 
         let mut txn = self.begin_txn();
-        self.persist_inode(&mut txn, inode);
-        self.persist_bitmaps(&mut txn);
+        self.persist_inode(&mut txn, inode)?;
+        self.persist_bitmaps(&mut txn)?;
         self.commit_txn(txn);
         self.discard_staged_blocks(&freed);
         self.dirty_inodes.lock().remove(&ino);

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mssd::txn::TxIdAllocator;
-use mssd::{Category, Mssd, TxId};
+use mssd::{Category, FlashError, Mssd, TxId};
 
 /// The host transaction table: allocates TxIDs and tracks in-flight
 /// transactions.
@@ -149,10 +149,16 @@ impl Txn {
     }
 
     /// Issues a byte-interface write tagged with this transaction's TxID.
-    pub fn write(&mut self, addr: u64, data: &[u8], cat: Category) {
-        self.device.byte_write(addr, data, self.txid, cat);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::ReadOnly`] when the device has degraded to
+    /// read-only, or another media error surfaced by the write path.
+    pub fn write(&mut self, addr: u64, data: &[u8], cat: Category) -> Result<(), FlashError> {
+        self.device.try_byte_write(addr, data, self.txid, cat)?;
         self.writes += 1;
         self.bytes += data.len();
+        Ok(())
     }
 
     /// Commits the transaction: flush the CPU write-combining buffers
@@ -223,8 +229,8 @@ mod tests {
         let mut table = TxTable::new();
         let txid = table.begin();
         let mut txn = Txn::new(Arc::clone(&dev), Some(txid));
-        txn.write(4096, &[1u8; 64], Category::Inode);
-        txn.write(8192, &[2u8; 64], Category::Bitmap);
+        txn.write(4096, &[1u8; 64], Category::Inode).unwrap();
+        txn.write(8192, &[2u8; 64], Category::Bitmap).unwrap();
         assert_eq!(txn.writes(), 2);
         assert_eq!(txn.bytes(), 128);
         let committed = txn.commit().unwrap();
@@ -237,7 +243,7 @@ mod tests {
     fn txn_without_firmware_transactions_only_barriers() {
         let dev = Mssd::new(MssdConfig::small_test(), DramMode::PageCache);
         let mut txn = Txn::new(Arc::clone(&dev), None);
-        txn.write(0, &[5u8; 64], Category::Dentry);
+        txn.write(0, &[5u8; 64], Category::Dentry).unwrap();
         assert!(txn.commit().is_none());
         assert_eq!(dev.traffic().tx_commits, 0);
         // The data is still durable in device DRAM.

@@ -5,23 +5,45 @@
 //! workflow can upload the report as the failure-seed artifact.
 //!
 //! ```text
-//! sweep <device|device-mq|bytefs|kv|ext4like|novalike> <cleaning:on|off> \
-//!       [seeds=4] [cuts-per-seed=24] [out.json]
+//! sweep <device|device-mq|bytefs|kv|ext4like|novalike|device-media|media+power> \
+//!       <cleaning:on|off> [seeds=4] [cuts-per-seed=24] [out.json]
 //! ```
+//!
+//! `device-media` runs the media-fault stress to completion per seed (no
+//! power cut, clean power cycle at the end); `media+power` sweeps random
+//! power-cut points through the same media-fault workload.
 
 use std::io::Write as _;
 
 use crashkit::{
     BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, Enumerator, FsStress, KvStress,
-    Scenario, SweepReport,
+    MediaStress, Scenario, SweepReport,
 };
+
+fn seed_stream(seeds: u64) -> Vec<u64> {
+    (1..=seeds).map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+}
 
 fn run<S: Scenario>(scenario: S, cleaning: bool, seeds: u64, cuts: usize) -> SweepReport {
     let mut e = Enumerator::new(scenario);
     e.inject_cleaning = cleaning;
     e.recover_cleaning = cleaning;
-    let seeds: Vec<u64> = (1..=seeds).map(|s| s.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
-    e.sweep(&seeds, cuts)
+    e.sweep(&seed_stream(seeds), cuts)
+}
+
+/// Pure media-fault mode: every seed's stream runs to completion (no power
+/// cut) and ends with a clean power cycle; one outcome per seed.
+fn run_to_end<S: Scenario>(scenario: S, cleaning: bool, seeds: u64) -> SweepReport {
+    let mut e = Enumerator::new(scenario);
+    e.inject_cleaning = cleaning;
+    e.recover_cleaning = cleaning;
+    let mut report = SweepReport::default();
+    for seed in seed_stream(seeds) {
+        let outcome = e.run_to_end(seed);
+        report.total_steps = report.total_steps.max(outcome.steps_observed);
+        report.outcomes.push(outcome);
+    }
+    report
 }
 
 fn main() {
@@ -39,8 +61,13 @@ fn main() {
         "kv" => run(KvStress::quick(), cleaning, seeds, cuts),
         "ext4like" => run(BaselineStress::quick(BaselineKind::Ext4), cleaning, seeds, cuts),
         "novalike" => run(BaselineStress::quick(BaselineKind::Nova), cleaning, seeds, cuts),
+        "device-media" => run_to_end(MediaStress::quick(), cleaning, seeds),
+        "media+power" => run(MediaStress::quick(), cleaning, seeds, cuts),
         other => {
-            eprintln!("unknown scenario {other:?} (device|device-mq|bytefs|kv|ext4like|novalike)");
+            eprintln!(
+                "unknown scenario {other:?} \
+                 (device|device-mq|bytefs|kv|ext4like|novalike|device-media|media+power)"
+            );
             std::process::exit(2);
         }
     };

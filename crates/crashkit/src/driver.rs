@@ -188,6 +188,41 @@ impl<S: Scenario> Enumerator<S> {
         }
     }
 
+    /// Runs the workload to completion with no power cut — the pure
+    /// media-fault mode: every injected NAND fault must be absorbed by the
+    /// RAS layer or surfaced as a typed error with the device still
+    /// consistent. The run ends with a clean power cycle (crash image at
+    /// quiescence, restore, recover, verify), which in particular checks
+    /// that the bad-block table survives it. Reported as a [`CutOutcome`]
+    /// with `cut == 0` / `cut_kind == None` so it slots into the same
+    /// [`SweepReport`] plumbing as real cuts.
+    pub fn run_to_end(&self, seed: u64) -> CutOutcome {
+        let plan = FaultPlan::count_only();
+        let mode = self.scenario.dram_mode();
+        let dev = Mssd::new(self.inject_config(plan.clone()), mode);
+        let oracle = self.scenario.run(&dev, seed);
+        dev.quiesce_cleaning();
+        let mut image = dev.crash_image();
+        drop(dev);
+        if let Some(mutate) = self.mutator {
+            mutate(&mut image, seed);
+        }
+        let image_digest = image.digest();
+        let restored = Mssd::from_crash_image(self.recover_config(), mode, &image);
+        let violations = oracle.verify(&restored);
+        restored.quiesce_cleaning();
+        let recovered_digest = restored.crash_image().digest();
+        CutOutcome {
+            seed,
+            cut: 0,
+            cut_kind: None,
+            steps_observed: plan.total_steps(),
+            image_digest,
+            recovered_digest,
+            violations,
+        }
+    }
+
     /// Replays one reported crash point (`CutOutcome::repro_line`).
     pub fn reproduce(&self, seed: u64, cut: u64) -> CutOutcome {
         self.run_cut(seed, cut)

@@ -12,7 +12,7 @@
 //! accepts any of those outcomes while every completed op is checked
 //! exactly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use baselines::{Ext4Like, NovaLike};
@@ -20,7 +20,7 @@ use bytefs::{ByteFs, ByteFsConfig};
 use fskit::check::{CrashConsistent, Violation};
 use fskit::{FileSystem, FileSystemExt, OpenFlags};
 use kvstore::{Db, DbOptions, WalSync};
-use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
+use mssd::{Category, DramMode, MediaFaultConfig, MediaFaultPlan, Mssd, MssdConfig, TxId};
 
 use crate::Rng;
 
@@ -1250,6 +1250,250 @@ impl Oracle for BaselineOracle {
         // battery-backed cache pages to flash must leave the FTL coherent.
         dev.recover();
         dev.flush();
+        for problem in dev.check_consistency() {
+            v.push(Violation::new("mssd-ftl", problem));
+        }
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device-level media-fault stress
+// ---------------------------------------------------------------------------
+
+/// Mixed-op device workload under NAND media-fault injection: a seeded mix
+/// of byte and block writes, read-back checks, TRIMs, flushes and seals
+/// against a device whose [`mssd::MediaFaultPlan`] injects transient read
+/// errors, permanent program failures and erase failures. Run to completion
+/// (no power cut) it proves the RAS layer degrades gracefully — every media
+/// casualty is absorbed by ECC/retry/remap or surfaced as a typed
+/// [`mssd::FlashError`], never a panic or silent corruption. Under the regular
+/// power-cut sweep it proves the durability contract and the persistent
+/// bad-block table survive the overlap of both failure modes.
+///
+/// Because acknowledged data can legitimately be lost to a UECC, the oracle
+/// tracks *allowed tag sets* per unit instead of exact expectations: an `Ok`
+/// read must return an untorn unit carrying some tag that was actually
+/// written there (or the initial zero), and an `Err` read must be the typed
+/// transient kind.
+#[derive(Debug, Clone)]
+pub struct MediaStress {
+    /// Number of ops in the stream.
+    pub ops: usize,
+    /// Media-fault rates installed on the device.
+    pub media: MediaFaultConfig,
+}
+
+/// First logical page of the media stress's block region (512 KB into the
+/// 1 MB device — well clear of the byte slots in the first pages).
+const MEDIA_BLOCK_BASE: u64 = 128;
+
+impl MediaStress {
+    /// Rates tuned for the acceptance sweep on the shrunken geometry below:
+    /// aggressive enough that the stream injects faults of all three kinds,
+    /// gentle enough that the spare pool is not exhausted instantly —
+    /// read-only degradation stays reachable, not guaranteed.
+    pub fn quick() -> Self {
+        Self {
+            ops: 1500,
+            media: MediaFaultConfig {
+                seed: 0xBAD_B17,
+                read_error_rate: 0.2,
+                wear_factor: 0.2,
+                hard_read_rate: 0.15,
+                program_fail_rate: 0.005,
+                erase_fail_rate: 0.15,
+                ..MediaFaultConfig::default()
+            },
+        }
+    }
+}
+
+impl Scenario for MediaStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        // A deliberately tiny device — 1 MB logical, 50% overprovision —
+        // so the op stream actually cycles the block budget: GC erases
+        // blocks (the only erase path, hence the only erase-failure prey)
+        // and wear accumulates enough for the wear-scaled read-error rate
+        // to matter. Byte slots live in the first pages, block pages at
+        // [`MEDIA_BLOCK_BASE`]; the log region is kept tiny so seal +
+        // drain migrations keep programming flash.
+        cfg.capacity_bytes = 1 << 20;
+        cfg.overprovision = 0.5;
+        cfg.dram_region_bytes = 8 << 10;
+        cfg.log_clean_threshold = 0.999;
+        cfg.media = MediaFaultPlan::new(self.media.clone());
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let mut rng = Rng::new(seed);
+        let mut o = MediaOracle::default();
+        let mut live = Vec::new();
+        for _ in 0..self.ops {
+            match rng.below(100) {
+                // Byte write. A failed write may still have had partial
+                // durable effect (read-only tripping mid-op), so the tag is
+                // allowed whether the op succeeded or not; the old tags stay
+                // allowed because the set never shrinks.
+                0..=29 => {
+                    let slot = rng.below(SLOTS);
+                    let tag = 1 + rng.below(250) as u8;
+                    let _ = dev.try_byte_write(slot * 64, &[tag; 64], None, Category::Data);
+                    o.allow_line(slot, tag);
+                }
+                // Block write of 1-2 pages, torn per page.
+                30..=54 => {
+                    let start = rng.below(BLOCK_PAGES - 1);
+                    let count = 1 + rng.below(2);
+                    let tag = 1 + rng.below(250) as u8;
+                    let _ = dev.try_block_write(
+                        MEDIA_BLOCK_BASE + start,
+                        &vec![tag; (count * 4096) as usize],
+                        Category::Data,
+                    );
+                    for p in start..start + count {
+                        o.allow_page(p, tag);
+                    }
+                }
+                // Byte read-back check against the allowed set.
+                55..=69 => {
+                    let slot = rng.below(SLOTS);
+                    o.check_line(dev, slot, "media-live", &mut live);
+                }
+                // Block read-back check.
+                70..=79 => {
+                    let p = rng.below(BLOCK_PAGES);
+                    o.check_page(dev, p, "media-live", &mut live);
+                }
+                // TRIM one block page (it reads as zero afterwards; zero is
+                // always allowed, so no oracle update is needed).
+                80..=84 => dev.trim(MEDIA_BLOCK_BASE + rng.below(BLOCK_PAGES), 1),
+                // NVMe FLUSH (fallible: read-only degradation surfaces here).
+                85..=94 => {
+                    let _ = dev.try_flush();
+                }
+                // Seal every shard's active log region.
+                _ => dev.seal_log_regions(),
+            }
+            if dev.fault_tripped() {
+                break;
+            }
+        }
+        o.live = live;
+        o.bad_blocks_at_cut = dev.bad_blocks();
+        Box::new(o)
+    }
+}
+
+/// Expected durable state of a [`MediaStress`] run: per-unit allowed tag
+/// sets plus the bad-block table captured when the run ended.
+#[derive(Debug, Default)]
+struct MediaOracle {
+    /// Cacheline slot → every tag ever written there. Zero (erased /
+    /// never-written / trimmed) is always allowed.
+    lines: BTreeMap<u64, BTreeSet<u8>>,
+    /// Block-region page (relative to [`MEDIA_BLOCK_BASE`]) → tags ever written.
+    pages: BTreeMap<u64, BTreeSet<u8>>,
+    /// Violations observed while the workload was still running: a read
+    /// that returned a never-written tag, a torn unit, or a non-transient
+    /// error escaping the typed degradation contract.
+    live: Vec<Violation>,
+    /// Bad blocks known when the run ended; the table is persistent, so the
+    /// restored device must still know every one of them.
+    bad_blocks_at_cut: Vec<u64>,
+}
+
+impl MediaOracle {
+    fn allow_line(&mut self, slot: u64, tag: u8) {
+        self.lines.entry(slot).or_default().insert(tag);
+    }
+
+    fn allow_page(&mut self, page: u64, tag: u8) {
+        self.pages.entry(page).or_default().insert(tag);
+    }
+
+    fn admits(set: Option<&BTreeSet<u8>>, tag: u8) -> bool {
+        tag == 0 || set.is_some_and(|s| s.contains(&tag))
+    }
+
+    /// One byte-unit read check: an `Ok` read must be untorn and carry an
+    /// allowed tag; an `Err` read must be the typed transient kind (UECC is
+    /// acknowledged data loss reported through the error path — exactly the
+    /// degradation contract under test).
+    fn check_line(&self, dev: &Arc<Mssd>, slot: u64, domain: &str, v: &mut Vec<Violation>) {
+        match dev.try_byte_read(slot * 64, 64, Category::Data) {
+            Ok(got) => {
+                let tag = got[0];
+                if !got.iter().all(|b| *b == tag) {
+                    v.push(Violation::new(
+                        domain,
+                        format!("slot {slot}: torn cacheline (mixes byte values)"),
+                    ));
+                } else if !Self::admits(self.lines.get(&slot), tag) {
+                    v.push(Violation::new(
+                        domain,
+                        format!("slot {slot}: read tag {tag} was never written there"),
+                    ));
+                }
+            }
+            Err(e) if e.is_transient() => {}
+            Err(e) => v.push(Violation::new(
+                domain,
+                format!("slot {slot}: non-transient read error: {e}"),
+            )),
+        }
+    }
+
+    /// One block-page read check; same classification as [`Self::check_line`].
+    fn check_page(&self, dev: &Arc<Mssd>, page: u64, domain: &str, v: &mut Vec<Violation>) {
+        match dev.try_block_read(MEDIA_BLOCK_BASE + page, 1, Category::Data) {
+            Ok(got) => {
+                let tag = got[0];
+                if !got.iter().all(|b| *b == tag) {
+                    v.push(Violation::new(
+                        domain,
+                        format!("block page {page}: torn page (mixes byte values)"),
+                    ));
+                } else if !Self::admits(self.pages.get(&page), tag) {
+                    v.push(Violation::new(
+                        domain,
+                        format!("block page {page}: read tag {tag} was never written there"),
+                    ));
+                }
+            }
+            Err(e) if e.is_transient() => {}
+            Err(e) => v.push(Violation::new(
+                domain,
+                format!("block page {page}: non-transient read error: {e}"),
+            )),
+        }
+    }
+}
+
+impl Oracle for MediaOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = self.live.clone();
+        dev.recover();
+        // The bad-block table is persistent state: every block retired
+        // before the cut must still be known after the power cycle (more
+        // may have been retired since by recovery-time program failures).
+        let after: BTreeSet<u64> = dev.bad_blocks().into_iter().collect();
+        for &b in &self.bad_blocks_at_cut {
+            if !after.contains(&b) {
+                v.push(Violation::new(
+                    "media-badblock",
+                    format!("block {b} retired before the cut is missing from the restored bad-block table"),
+                ));
+            }
+        }
+        for &slot in self.lines.keys() {
+            self.check_line(dev, slot, "media-data", &mut v);
+        }
+        for &page in self.pages.keys() {
+            self.check_page(dev, page, "media-data", &mut v);
+        }
         for problem in dev.check_consistency() {
             v.push(Violation::new("mssd-ftl", problem));
         }

@@ -1,5 +1,7 @@
 //! The error type shared by every file system in the workspace.
 
+use mssd::FlashError;
+
 /// Result alias used throughout the file-system crates.
 pub type FsResult<T> = Result<T, FsError>;
 
@@ -34,6 +36,10 @@ pub enum FsError {
     PermissionDenied(String),
     /// The file system detected an internal inconsistency (corruption).
     Corrupted(String),
+    /// The device reported a media error (`EIO`): an uncorrectable read, or
+    /// a write refused because the device degraded to read-only after
+    /// exhausting its spare blocks.
+    Io(FlashError),
     /// The operation is not supported by this file system.
     Unsupported(&'static str),
 }
@@ -53,12 +59,19 @@ impl std::fmt::Display for FsError {
             FsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             FsError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             FsError::Corrupted(m) => write!(f, "file system corrupted: {m}"),
+            FsError::Io(e) => write!(f, "i/o error: {e}"),
             FsError::Unsupported(m) => write!(f, "operation not supported: {m}"),
         }
     }
 }
 
 impl std::error::Error for FsError {}
+
+impl From<FlashError> for FsError {
+    fn from(e: FlashError) -> Self {
+        FsError::Io(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -82,5 +95,12 @@ mod tests {
     fn error_trait_is_implemented() {
         fn takes_error<E: std::error::Error>(_e: E) {}
         takes_error(FsError::BadDescriptor(3));
+    }
+
+    #[test]
+    fn media_errors_convert_to_io() {
+        let e: FsError = FlashError::ReadOnly.into();
+        assert_eq!(e, FsError::Io(FlashError::ReadOnly));
+        assert_eq!(e.to_string(), format!("i/o error: {}", FlashError::ReadOnly));
     }
 }

@@ -89,7 +89,8 @@ impl BlockJournal {
     ///
     /// Returns [`FsError::InvalidArgument`] when a block's data length does
     /// not match the device page size, or when the transaction is larger than
-    /// the journal area.
+    /// the journal area. Returns [`FsError::Io`] when the device reports a
+    /// media error (e.g. it degraded to read-only after exhausting spares).
     pub fn commit(&mut self, updates: &[JournaledBlock], checkpoint_now: bool) -> FsResult<()> {
         if updates.is_empty() {
             return Ok(());
@@ -114,34 +115,40 @@ impl BlockJournal {
         // Descriptor block: the list of destination LBAs (content modelled as
         // a zero-filled page; only the traffic matters).
         let descriptor_lba = self.next_journal_lba();
-        self.device.block_write(descriptor_lba, &vec![0u8; page_size], Category::Journal);
+        self.device.try_block_write(descriptor_lba, &vec![0u8; page_size], Category::Journal)?;
 
         // Journal copies of the data blocks.
         for u in updates {
             let jlba = self.next_journal_lba();
-            self.device.block_write(jlba, &u.data, Category::Journal);
+            self.device.try_block_write(jlba, &u.data, Category::Journal)?;
             self.stats.journaled_blocks += 1;
         }
 
         // Commit block, then force everything to flash so the transaction is
         // durable before any in-place write happens.
         let commit_lba = self.next_journal_lba();
-        self.device.block_write(commit_lba, &vec![0u8; page_size], Category::Journal);
-        self.device.flush();
+        self.device.try_block_write(commit_lba, &vec![0u8; page_size], Category::Journal)?;
+        self.device.try_flush()?;
         self.stats.transactions += 1;
 
         if checkpoint_now {
-            self.checkpoint(updates);
+            self.checkpoint(updates)?;
         }
         Ok(())
     }
 
     /// Writes the blocks of a committed transaction in place.
-    pub fn checkpoint(&mut self, updates: &[JournaledBlock]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Io`] when the device refuses a write (read-only
+    /// degradation) or reports a media error.
+    pub fn checkpoint(&mut self, updates: &[JournaledBlock]) -> FsResult<()> {
         for u in updates {
-            self.device.block_write(u.lba, &u.data, u.category);
+            self.device.try_block_write(u.lba, &u.data, u.category)?;
             self.stats.checkpointed_blocks += 1;
         }
+        Ok(())
     }
 }
 
@@ -198,7 +205,7 @@ mod tests {
         assert_eq!(journal.stats().checkpointed_blocks, 0);
         // Destination untouched until checkpoint.
         assert_eq!(dev.block_read(200, 1, Category::Inode), vec![0u8; dev.page_size()]);
-        journal.checkpoint(&updates);
+        journal.checkpoint(&updates).unwrap();
         assert_eq!(dev.block_read(200, 1, Category::Inode), block(7, &dev));
     }
 

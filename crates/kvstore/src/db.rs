@@ -59,6 +59,9 @@ pub struct DbStats {
     pub flushes: u64,
     /// Compactions performed.
     pub compactions: u64,
+    /// Torn WAL tails truncated during recovery at open (the signature of a
+    /// crash mid-append; see [`crate::wal::Wal::open`]).
+    pub torn_tails_truncated: u64,
 }
 
 struct DbState {
@@ -124,14 +127,9 @@ impl Db {
             }
         }
 
-        let state = DbState {
-            memtable,
-            wal,
-            tables,
-            next_table_id,
-            writes_since_sync: 0,
-            stats: DbStats::default(),
-        };
+        let stats =
+            DbStats { torn_tails_truncated: wal.torn_tails_truncated(), ..DbStats::default() };
+        let state = DbState { memtable, wal, tables, next_table_id, writes_since_sync: 0, stats };
         Ok(Self { fs, dir: dir.to_string(), options, state: Mutex::new(state) })
     }
 

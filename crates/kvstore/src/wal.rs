@@ -111,6 +111,7 @@ pub struct Wal {
     path: String,
     fd: Fd,
     offset: u64,
+    torn_tails_truncated: u64,
 }
 
 impl Wal {
@@ -130,11 +131,19 @@ impl Wal {
         let buf = fs.read(fd, 0, size as usize)?;
         let (_, valid) = parse_valid_prefix(&buf);
         let valid = valid as u64;
+        let mut torn_tails_truncated = 0;
         if valid < size {
             // Torn tail from a crash mid-append: recover by truncation.
             fs.truncate(fd, valid)?;
+            torn_tails_truncated = 1;
         }
-        Ok(Self { fs, path: path.to_string(), fd, offset: valid })
+        Ok(Self { fs, path: path.to_string(), fd, offset: valid, torn_tails_truncated })
+    }
+
+    /// Number of torn tails this WAL truncated when it was opened (0 or 1;
+    /// a counter so callers can sum it across reopens).
+    pub fn torn_tails_truncated(&self) -> u64 {
+        self.torn_tails_truncated
     }
 
     /// Current size of the log in bytes.
@@ -332,6 +341,7 @@ mod tests {
             WalRecord { key: b"whole".to_vec(), value: Some(b"record".to_vec()) }.encoded_len();
         let mut wal = Wal::open(Arc::clone(&fs), "/wal").unwrap();
         assert_eq!(wal.size(), whole_len as u64, "torn tail truncated at open");
+        assert_eq!(wal.torn_tails_truncated(), 1, "truncation recorded in the counter");
         wal.append(&WalRecord { key: b"next".to_vec(), value: Some(b"rec".to_vec()) }).unwrap();
         wal.sync().unwrap();
         let records = wal.replay().unwrap();
@@ -360,5 +370,6 @@ mod tests {
         assert_eq!(records[0].key, b"good");
         let reopened = Wal::open(Arc::clone(&fs), "/wal").unwrap();
         assert_eq!(reopened.size(), good_len, "open truncates the torn record");
+        assert_eq!(reopened.torn_tails_truncated(), 1, "truncation recorded in the counter");
     }
 }

@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, MediaFaultPlan};
 use crate::{CACHELINE, PAGE_SIZE};
 
 /// Named flash/interconnect latency profiles from the paper's sensitivity study
@@ -128,6 +128,19 @@ pub struct MssdConfig {
     /// plans here. Cloning the config shares the plan's counters, so every
     /// component of one device observes the same step sequence.
     pub fault: FaultPlan,
+    /// NAND media-fault injection plan (see [`crate::fault::MediaFaultPlan`]).
+    /// Disabled by default — fault-free configurations skip ECC entirely.
+    /// Like [`MssdConfig::fault`], cloning the config shares the plan's
+    /// deterministic draw sequence across device components.
+    pub media: MediaFaultPlan,
+    /// Spare erase blocks reserved per channel for bad-block replacement.
+    /// When a channel retires a block (program or erase failure) a spare is
+    /// pulled into rotation; once spares and free blocks are exhausted the
+    /// device degrades to read-only.
+    pub spare_blocks_per_channel: usize,
+    /// Maximum read retries (ladder rungs after the initial read) before a
+    /// corrupted page is declared an uncorrectable error (UECC).
+    pub read_retry_limit: u32,
 }
 
 impl Default for MssdConfig {
@@ -163,6 +176,9 @@ impl MssdConfig {
             background_cleaning: true,
             profile,
             fault: FaultPlan::disabled(),
+            media: MediaFaultPlan::disabled(),
+            spare_blocks_per_channel: 4,
+            read_retry_limit: 4,
         }
     }
 
@@ -189,6 +205,9 @@ impl MssdConfig {
             background_cleaning: true,
             profile: TimingProfile::Default,
             fault: FaultPlan::disabled(),
+            media: MediaFaultPlan::disabled(),
+            spare_blocks_per_channel: 2,
+            read_retry_limit: 4,
         }
     }
 
@@ -233,6 +252,19 @@ impl MssdConfig {
     /// Installs a power-failure injection plan (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = plan;
+        self
+    }
+
+    /// Installs a NAND media-fault injection plan (see
+    /// [`crate::fault::MediaFaultPlan`]).
+    pub fn with_media_fault_plan(mut self, plan: MediaFaultPlan) -> Self {
+        self.media = plan;
+        self
+    }
+
+    /// Sets the spare-block reserve per channel.
+    pub fn with_spare_blocks(mut self, per_channel: usize) -> Self {
+        self.spare_blocks_per_channel = per_channel;
         self
     }
 
@@ -305,6 +337,20 @@ impl MssdConfig {
             return Err("over-provisioning leaves no spare pages".into());
         }
         Ok(())
+    }
+
+    /// The spare-block reserve a channel actually receives: the configured
+    /// [`MssdConfig::spare_blocks_per_channel`] clamped so the reserve comes
+    /// out of over-provisioning and still leaves at least one
+    /// over-provisioned block per channel free for garbage collection. On
+    /// geometries whose whole over-provisioning is smaller than a block per
+    /// channel the reserve is zero and the first retirement degrades the
+    /// device to read-only.
+    pub fn effective_spare_blocks_per_channel(&self) -> usize {
+        let op_pages = self.physical_pages().saturating_sub(self.logical_pages());
+        let op_blocks_per_channel =
+            (op_pages / self.pages_per_block as u64 / self.channels as u64) as usize;
+        self.spare_blocks_per_channel.min(op_blocks_per_channel.saturating_sub(1))
     }
 }
 
@@ -390,6 +436,33 @@ mod tests {
         let mut c = MssdConfig::small_test();
         c.overprovision = 0.0;
         assert!(c.validate().is_err());
+
+        let mut c = MssdConfig::small_test();
+        c.spare_blocks_per_channel = 1000;
+        assert!(c.validate().is_ok(), "oversized reserves are clamped, not rejected");
+        assert!(
+            c.effective_spare_blocks_per_channel() < 1000,
+            "effective reserve must not eat all over-provisioning"
+        );
+        assert!(c.effective_spare_blocks_per_channel() >= 1);
+
+        // small_test affords its configured reserve outright.
+        let c = MssdConfig::small_test();
+        assert_eq!(c.effective_spare_blocks_per_channel(), c.spare_blocks_per_channel);
+    }
+
+    #[test]
+    fn media_fault_knobs_default_off() {
+        let c = MssdConfig::small_test();
+        assert!(!c.media.is_enabled());
+        assert!(c.spare_blocks_per_channel > 0);
+        assert!(c.read_retry_limit > 0);
+        let armed = c
+            .with_media_fault_plan(crate::fault::MediaFaultPlan::rates(1, 0.1, 0.0, 0.0))
+            .with_spare_blocks(3);
+        assert!(armed.media.is_enabled());
+        assert_eq!(armed.spare_blocks_per_channel, 3);
+        assert!(armed.validate().is_ok());
     }
 
     #[test]

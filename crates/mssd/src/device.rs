@@ -79,6 +79,7 @@ use crate::clock::Clock;
 use crate::config::MssdConfig;
 use crate::dram_cache::{DramPageCache, ShardedDramCache};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::flash::{BlockId, FlashError};
 use crate::ftl::{Lpa, ShardedFtl};
 use crate::log::{ChunkEntry, LogEntryImage, SealedStep, ShardedWriteLog, LOG_SHARDS};
 use crate::queue::HostQueue;
@@ -136,6 +137,10 @@ pub struct CrashImage {
     pub buffered_pages: Vec<(Lpa, Vec<u8>)>,
     /// Dirty pages of the device page cache (baseline mode; battery-backed).
     pub cache_pages: Vec<(Lpa, Vec<u8>)>,
+    /// Retired (bad) physical blocks, sorted. The bad-block table is part of
+    /// the durable state: a real device persists it in NAND metadata so a
+    /// power cycle never re-issues programs to a block that failed one.
+    pub bad_blocks: Vec<BlockId>,
 }
 
 impl CrashImage {
@@ -178,18 +183,23 @@ impl CrashImage {
                 eat(data);
             }
         }
+        eat(&(self.bad_blocks.len() as u64).to_le_bytes());
+        for b in &self.bad_blocks {
+            eat(&b.to_le_bytes());
+        }
         h
     }
 
     /// One-line summary for reports, e.g. counts of each captured component.
     pub fn summary(&self) -> String {
         format!(
-            "{} log entries, {} commits, {} flash pages, {} buffered, {} cached-dirty",
+            "{} log entries, {} commits, {} flash pages, {} buffered, {} cached-dirty, {} bad blocks",
             self.log_entries.len(),
             self.txlog.len(),
             self.flash_pages.len(),
             self.buffered_pages.len(),
-            self.cache_pages.len()
+            self.cache_pages.len(),
+            self.bad_blocks.len()
         )
     }
 }
@@ -295,6 +305,7 @@ impl Mssd {
         let flash = Arc::new(ShardedFtl::new(cfg.clone()));
         let txlog = Arc::new(Mutex::new(TxLog::new(cfg.txlog_bytes)));
         let stats = Arc::new(AtomicTraffic::new());
+        stats.set_ras_spares_remaining(flash.spares_remaining() as u64);
         let cache = ShardedDramCache::new(cfg.dram_region_bytes, cfg.page_size);
         let cleaner = (mode == DramMode::WriteLog && cfg.background_cleaning).then(|| {
             let shared = Arc::new(CleanerShared::default());
@@ -400,27 +411,55 @@ impl Mssd {
     ///
     /// # Panics
     ///
-    /// Panics if the address range exceeds the device capacity.
+    /// Panics if the address range exceeds the device capacity, or on a
+    /// media error (read-only degradation, uncorrectable backing read) — use
+    /// [`Mssd::try_byte_write`] to observe those as typed errors.
     pub fn byte_write(&self, addr: u64, data: &[u8], txid: Option<TxId>, cat: Category) {
-        let cost = self.exec_byte_write(addr, data, txid, cat);
+        match self.try_byte_write(addr, data, txid, cat) {
+            Ok(()) => {}
+            Err(e) => panic!("byte_write at {addr:#x} failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Mssd::byte_write`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadOnly`] once the device has degraded (spare blocks
+    /// exhausted); in baseline mode, media errors from the cache's
+    /// read-modify-write or dirty-eviction path also propagate.
+    pub fn try_byte_write(
+        &self,
+        addr: u64,
+        data: &[u8],
+        txid: Option<TxId>,
+        cat: Category,
+    ) -> Result<(), FlashError> {
+        let (status, cost) = self.exec_byte_write(addr, data, txid, cat);
         self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+        status
     }
 
     /// Executor behind [`Mssd::byte_write`], shared with the batched queue
-    /// path; returns the charged virtual cost.
+    /// path; returns the command status and the charged virtual cost.
     pub(crate) fn exec_byte_write(
         &self,
         addr: u64,
         data: &[u8],
         txid: Option<TxId>,
         cat: Category,
-    ) -> u64 {
+    ) -> (Result<(), FlashError>, u64) {
         assert!(
             addr + data.len() as u64 <= self.cfg.capacity_bytes,
             "byte_write beyond device capacity"
         );
         if data.is_empty() {
-            return 0;
+            return (Ok(()), 0);
+        }
+        if self.flash.is_read_only() {
+            // Degraded device: every mutation is refused with a typed error
+            // before any durable side effect.
+            return (Err(FlashError::ReadOnly), 0);
         }
         self.stats.record_host(Direction::Write, cat, Interface::Byte, data.len() as u64);
         let mut cost = self.cfg.byte_access_ns(data.len(), false);
@@ -442,7 +481,15 @@ impl Mssd {
                 }
                 DramMode::PageCache => {
                     if self.cfg.fault.step(FaultKind::CacheWrite) {
-                        cost += self.cache_write_chunk(lpa, in_page, chunk);
+                        match self.cache_write_chunk(lpa, in_page, chunk) {
+                            Ok(ns) => cost += ns,
+                            Err(e) => {
+                                // Chunks before the failure were accepted —
+                                // the documented per-chunk atomicity.
+                                self.charge(cost);
+                                return (Err(e), cost);
+                            }
+                        }
                     }
                 }
             }
@@ -459,7 +506,7 @@ impl Mssd {
             self.clean_all(false);
         }
         self.charge(cost);
-        cost
+        (Ok(()), cost)
     }
 
     /// Reads `len` bytes at absolute device byte address `addr` through the
@@ -470,20 +517,46 @@ impl Mssd {
     ///
     /// # Panics
     ///
-    /// Panics if the address range exceeds the device capacity.
+    /// Panics if the address range exceeds the device capacity, or on an
+    /// uncorrectable media error — use [`Mssd::try_byte_read`] to observe a
+    /// UECC as a typed error.
     pub fn byte_read(&self, addr: u64, len: usize, cat: Category) -> Vec<u8> {
+        match self.try_byte_read(addr, len, cat) {
+            Ok(data) => data,
+            Err(e) => panic!("byte_read at {addr:#x} failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Mssd::byte_read`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::Uncorrectable`] when a backing flash page fails ECC
+    /// even after the read-retry ladder.
+    pub fn try_byte_read(
+        &self,
+        addr: u64,
+        len: usize,
+        cat: Category,
+    ) -> Result<Vec<u8>, FlashError> {
         let (data, cost) = self.exec_byte_read(addr, len, cat);
         self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
         data
     }
 
     /// Executor behind [`Mssd::byte_read`], shared with the batched queue
-    /// path; returns the payload and the charged virtual cost.
-    pub(crate) fn exec_byte_read(&self, addr: u64, len: usize, cat: Category) -> (Vec<u8>, u64) {
+    /// path; returns the payload (or media error) and the charged virtual
+    /// cost.
+    pub(crate) fn exec_byte_read(
+        &self,
+        addr: u64,
+        len: usize,
+        cat: Category,
+    ) -> (Result<Vec<u8>, FlashError>, u64) {
         assert!(addr + len as u64 <= self.cfg.capacity_bytes, "byte_read beyond device capacity");
         let mut out = Vec::with_capacity(len);
         if len == 0 {
-            return (out, 0);
+            return (Ok(out), 0);
         }
         self.stats.record_host(Direction::Read, cat, Interface::Byte, len as u64);
         let mut cost = self.cfg.byte_access_ns(len, true);
@@ -499,10 +572,24 @@ impl Mssd {
                     // The whole read-through happens under the page's shard
                     // lock, so a concurrent cleaner step on this page cannot
                     // drain entries between the flash fetch and the overlay.
+                    // `read_range` expects an infallible fetch, so a media
+                    // error is parked outside the closure and re-raised
+                    // after the shard lock drops.
+                    let mut media_err = None;
                     let (bytes, ns) = self.log.read_range(lpa, in_page, span, || {
-                        self.flash.read_page(lpa, &self.stats, false)
+                        match self.flash.read_page(lpa, &self.stats, false) {
+                            Ok(fetched) => fetched,
+                            Err(e) => {
+                                media_err = Some(e);
+                                (vec![0u8; self.cfg.page_size], 0)
+                            }
+                        }
                     });
                     cost += ns;
+                    if let Some(e) = media_err {
+                        self.charge(cost);
+                        return (Err(e), cost);
+                    }
                     out.extend_from_slice(&bytes);
                 }
                 DramMode::PageCache => {
@@ -510,14 +597,26 @@ impl Mssd {
                     match shard.get(lpa) {
                         Some(p) => out.extend_from_slice(&p[in_page..in_page + span]),
                         None => {
-                            let (page, ns) = self.flash.read_page(lpa, &self.stats, false);
+                            let (page, ns) = match self.flash.read_page(lpa, &self.stats, false) {
+                                Ok(fetched) => fetched,
+                                Err(e) => {
+                                    self.charge(cost);
+                                    return (Err(e), cost);
+                                }
+                            };
                             cost += ns;
                             out.extend_from_slice(&page[in_page..in_page + span]);
                             // A read-miss fill can evict a dirty victim into
                             // the FTL — a durable mutation, skipped once
                             // power is off.
                             if !self.cfg.fault.is_cut() {
-                                cost += self.cache_fill(&mut shard, lpa, page, false);
+                                match self.cache_fill(&mut shard, lpa, page, false) {
+                                    Ok(ns) => cost += ns,
+                                    Err(e) => {
+                                        self.charge(cost);
+                                        return (Err(e), cost);
+                                    }
+                                }
                             }
                         }
                     }
@@ -526,7 +625,7 @@ impl Mssd {
             off += span;
         }
         self.charge(cost);
-        (out, cost)
+        (Ok(out), cost)
     }
 
     /// The persistence barrier a host issues after MMIO writes: a cache-line
@@ -545,21 +644,47 @@ impl Mssd {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds the device capacity.
+    /// Panics if the range exceeds the device capacity, or on an
+    /// uncorrectable media error — use [`Mssd::try_block_read`] to observe
+    /// a UECC as a typed error.
     pub fn block_read(&self, lba: u64, count: usize, cat: Category) -> Vec<u8> {
+        match self.try_block_read(lba, count, cat) {
+            Ok(data) => data,
+            Err(e) => panic!("block_read at lba {lba} failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Mssd::block_read`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::Uncorrectable`] when a flash page fails ECC even after
+    /// the read-retry ladder.
+    pub fn try_block_read(
+        &self,
+        lba: u64,
+        count: usize,
+        cat: Category,
+    ) -> Result<Vec<u8>, FlashError> {
         let (data, cost) = self.exec_block_read(lba, count, cat);
         self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
         data
     }
 
     /// Executor behind [`Mssd::block_read`], shared with the batched queue
-    /// path; returns the payload and the charged virtual cost.
-    pub(crate) fn exec_block_read(&self, lba: u64, count: usize, cat: Category) -> (Vec<u8>, u64) {
+    /// path; returns the payload (or media error) and the charged virtual
+    /// cost.
+    pub(crate) fn exec_block_read(
+        &self,
+        lba: u64,
+        count: usize,
+        cat: Category,
+    ) -> (Result<Vec<u8>, FlashError>, u64) {
         assert!(lba + count as u64 <= self.logical_pages(), "block_read beyond device capacity");
         let page_size = self.cfg.page_size;
         let mut out = Vec::with_capacity(count * page_size);
         if count == 0 {
-            return (out, 0);
+            return (Ok(out), 0);
         }
         self.stats.record_host(Direction::Read, cat, Interface::Block, (count * page_size) as u64);
         let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(count * page_size, true);
@@ -568,9 +693,20 @@ impl Mssd {
             let lpa = lba + i;
             match self.mode {
                 DramMode::WriteLog => {
+                    let mut media_err = None;
                     let (page, ns) = self.log.read_range(lpa, 0, page_size, || {
-                        self.flash.read_page(lpa, &self.stats, false)
+                        match self.flash.read_page(lpa, &self.stats, false) {
+                            Ok(fetched) => fetched,
+                            Err(e) => {
+                                media_err = Some(e);
+                                (vec![0u8; page_size], 0)
+                            }
+                        }
                     });
+                    if let Some(e) = media_err {
+                        self.charge(cost);
+                        return (Err(e), cost);
+                    }
                     if ns > 0 {
                         flash_reads += 1;
                     }
@@ -581,11 +717,23 @@ impl Mssd {
                     match shard.get(lpa) {
                         Some(p) => out.extend_from_slice(&p),
                         None => {
-                            let (page, _) = self.flash.read_page(lpa, &self.stats, false);
+                            let (page, _) = match self.flash.read_page(lpa, &self.stats, false) {
+                                Ok(fetched) => fetched,
+                                Err(e) => {
+                                    self.charge(cost);
+                                    return (Err(e), cost);
+                                }
+                            };
                             flash_reads += 1;
                             out.extend_from_slice(&page);
                             if !self.cfg.fault.is_cut() {
-                                cost += self.cache_fill(&mut shard, lpa, page, false);
+                                match self.cache_fill(&mut shard, lpa, page, false) {
+                                    Ok(ns) => cost += ns,
+                                    Err(e) => {
+                                        self.charge(cost);
+                                        return (Err(e), cost);
+                                    }
+                                }
                             }
                         }
                     }
@@ -597,7 +745,7 @@ impl Mssd {
             cost += flash_reads.div_ceil(self.cfg.channels) as u64 * self.cfg.flash_read_ns;
         }
         self.charge(cost);
-        (out, cost)
+        (Ok(out), cost)
     }
 
     /// Writes whole blocks starting at logical block `lba`. `data` length must
@@ -608,16 +756,37 @@ impl Mssd {
     ///
     /// # Panics
     ///
-    /// Panics if `data` is not page-aligned in length or the range exceeds the
-    /// device capacity.
+    /// Panics if `data` is not page-aligned in length or the range exceeds
+    /// the device capacity, or on a media error (read-only degradation) —
+    /// use [`Mssd::try_block_write`] to observe those as typed errors.
     pub fn block_write(&self, lba: u64, data: &[u8], cat: Category) {
-        let cost = self.exec_block_write(lba, data, cat);
+        match self.try_block_write(lba, data, cat) {
+            Ok(()) => {}
+            Err(e) => panic!("block_write at lba {lba} failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Mssd::block_write`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadOnly`] once the device has degraded (spare blocks
+    /// exhausted). Pages before the failing one were accepted — the
+    /// documented per-page atomicity of multi-page commands.
+    pub fn try_block_write(&self, lba: u64, data: &[u8], cat: Category) -> Result<(), FlashError> {
+        let (status, cost) = self.exec_block_write(lba, data, cat);
         self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+        status
     }
 
     /// Executor behind [`Mssd::block_write`], shared with the batched queue
-    /// path; returns the charged virtual cost.
-    pub(crate) fn exec_block_write(&self, lba: u64, data: &[u8], cat: Category) -> u64 {
+    /// path; returns the command status and the charged virtual cost.
+    pub(crate) fn exec_block_write(
+        &self,
+        lba: u64,
+        data: &[u8],
+        cat: Category,
+    ) -> (Result<(), FlashError>, u64) {
         let page_size = self.cfg.page_size;
         assert!(
             data.len().is_multiple_of(page_size) && !data.is_empty(),
@@ -625,6 +794,9 @@ impl Mssd {
         );
         let count = data.len() / page_size;
         assert!(lba + count as u64 <= self.logical_pages(), "block_write beyond device capacity");
+        if self.flash.is_read_only() {
+            return (Err(FlashError::ReadOnly), 0);
+        }
         self.stats.record_host(Direction::Write, cat, Interface::Block, data.len() as u64);
         let mut cost = self.cfg.nvme_overhead_ns + self.cfg.transfer_ns(data.len(), false);
         // Journal pages are counted as their own fault kind: torn journal
@@ -647,20 +819,39 @@ impl Mssd {
                     // entries for this page are stale and dropped (§4.4) —
                     // atomically with the buffer write, under the shard lock,
                     // so a cleaner step cannot merge a drained stale chunk on
-                    // top of the fresh block data.
+                    // top of the fresh block data. `invalidate_page_and`
+                    // expects an infallible action, so a media error is
+                    // parked outside the closure and re-raised after it.
+                    let mut media_err = None;
                     let (_, ns) = self.log.invalidate_page_and(lpa, || {
-                        self.flash.buffer_write(lpa, page, &self.stats)
+                        match self.flash.buffer_write(lpa, page, &self.stats) {
+                            Ok(ns) => ns,
+                            Err(e) => {
+                                media_err = Some(e);
+                                0
+                            }
+                        }
                     });
                     cost += ns;
+                    if let Some(e) = media_err {
+                        self.charge(cost);
+                        return (Err(e), cost);
+                    }
                 }
                 DramMode::PageCache => {
                     let mut shard = self.cache.lock_shard(lpa);
-                    cost += self.cache_fill(&mut shard, lpa, page, true);
+                    match self.cache_fill(&mut shard, lpa, page, true) {
+                        Ok(ns) => cost += ns,
+                        Err(e) => {
+                            self.charge(cost);
+                            return (Err(e), cost);
+                        }
+                    }
                 }
             }
         }
         self.charge(cost);
-        cost
+        (Ok(()), cost)
     }
 
     /// Marks blocks as unused (TRIM). The FS calls this when freeing data
@@ -693,27 +884,58 @@ impl Mssd {
 
     /// NVMe FLUSH: makes all acknowledged block writes durable on flash.
     /// Block-interface file systems call this on `fsync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a media error (read-only degradation while pages were
+    /// still buffered) — use [`Mssd::try_flush`] for the typed error.
     pub fn flush(&self) {
-        let cost = self.exec_flush();
+        match self.try_flush() {
+            Ok(()) => {}
+            Err(e) => panic!("flush failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Mssd::flush`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::ReadOnly`] when buffered pages can no longer be
+    /// programmed because the device degraded; they stay in the
+    /// battery-backed buffer.
+    pub fn try_flush(&self) -> Result<(), FlashError> {
+        let (status, cost) = self.exec_flush();
         self.stats.record_queue_op(crate::queue::ambient_queue(), cost);
+        status
     }
 
     /// Executor behind [`Mssd::flush`], shared with the batched queue path;
-    /// returns the charged virtual cost.
-    pub(crate) fn exec_flush(&self) -> u64 {
+    /// returns the command status and the charged virtual cost.
+    pub(crate) fn exec_flush(&self) -> (Result<(), FlashError>, u64) {
         if self.cfg.fault.is_cut() {
-            return 0; // power off: the FLUSH command never executes
+            return (Ok(()), 0); // power off: the FLUSH command never executes
         }
         let mut cost = 0;
+        let mut status = Ok(());
         if self.mode == DramMode::PageCache {
             for (lpa, page) in self.cache.drain_dirty() {
-                cost += self.flash.buffer_write(lpa, page, &self.stats);
+                match self.flash.buffer_write(lpa, page, &self.stats) {
+                    Ok(ns) => cost += ns,
+                    // Keep draining so every page that still fits is
+                    // accepted; report the first failure.
+                    Err(e) if status.is_ok() => status = Err(e),
+                    Err(_) => {}
+                }
             }
         }
-        cost += self.flash.flush_all(&self.stats);
+        match self.flash.flush_all(&self.stats) {
+            Ok(ns) => cost += ns,
+            Err(e) if status.is_ok() => status = Err(e),
+            Err(_) => {}
+        }
         cost += self.cfg.nvme_overhead_ns;
         self.charge(cost);
-        cost
+        (status, cost)
     }
 
     // ------------------------------------------------------------------
@@ -796,10 +1018,12 @@ impl Mssd {
     pub fn crash(&self) {
         if self.mode == DramMode::PageCache {
             for (lpa, page) in self.cache.drain_dirty() {
-                self.flash.buffer_write(lpa, page, &self.stats);
+                // Best effort: a degraded device simply keeps the page in
+                // battery-backed DRAM (captured by the crash image anyway).
+                let _ = self.flash.buffer_write(lpa, page, &self.stats);
             }
         }
-        self.flash.flush_all(&self.stats);
+        let _ = self.flash.flush_all(&self.stats);
         // No time is charged: the host is down during the power loss.
     }
 
@@ -844,7 +1068,11 @@ impl Mssd {
                 &mut scratch,
             );
         }
-        flush_cost += self.flash.flush_all(&self.stats);
+        // A device that degraded to read-only mid-recovery keeps the merged
+        // pages in the battery-backed buffer; nothing is lost.
+        if let Ok(ns) = self.flash.flush_all(&self.stats) {
+            flush_cost += ns;
+        }
         txlog.clear();
         self.stats.inc_log_cleanings();
         cost += flush_cost;
@@ -902,6 +1130,7 @@ impl Mssd {
             flash_pages,
             buffered_pages,
             cache_pages,
+            bad_blocks: self.flash.bad_blocks(),
         }
     }
 
@@ -921,6 +1150,9 @@ impl Mssd {
     pub fn from_crash_image(cfg: MssdConfig, mode: DramMode, image: &CrashImage) -> Arc<Self> {
         assert_eq!(mode, image.mode, "crash image was taken in a different DRAM mode");
         let dev = Self::with_clock(cfg, mode, Clock::new());
+        // Bad blocks first: the restored FTL must never place restored pages
+        // (or its active blocks) on a block that failed a program or erase.
+        dev.flash.restore_bad_blocks(&image.bad_blocks);
         dev.flash.restore_logical(&image.flash_pages, &image.buffered_pages);
         dev.log.restore_entries(&image.log_entries, image.log_seq);
         {
@@ -954,9 +1186,24 @@ impl Mssd {
         self.stats.snapshot()
     }
 
-    /// Resets the traffic counters (the clock keeps running).
+    /// Resets the traffic counters (the clock keeps running). The
+    /// spares-remaining gauge is re-seeded from the FTL rather than zeroed.
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.stats.set_ras_spares_remaining(self.flash.spares_remaining() as u64);
+    }
+
+    /// `true` once the device has degraded to read-only because a channel
+    /// exhausted its spare blocks. Writes return [`FlashError::ReadOnly`];
+    /// reads keep working.
+    pub fn is_read_only(&self) -> bool {
+        self.flash.is_read_only()
+    }
+
+    /// The device's current bad-block table (sorted), as persisted in a
+    /// [`CrashImage`].
+    pub fn bad_blocks(&self) -> Vec<BlockId> {
+        self.flash.bad_blocks()
     }
 
     /// Structural invariant check of the flash path (see
@@ -1045,8 +1292,11 @@ impl Mssd {
         }
         if merged_chunks > 0 {
             // A cleaning pass ends by programming the merged pages
-            // (Algorithm 1): flush the FTL write buffer.
-            cost += self.flash.flush_all(&self.stats);
+            // (Algorithm 1): flush the FTL write buffer. On a degraded
+            // device the pages stay safely buffered.
+            if let Ok(ns) = self.flash.flush_all(&self.stats) {
+                cost += ns;
+            }
             self.stats.inc_log_cleanings();
         } else {
             // Nothing drained freed any space (everything sealed was
@@ -1092,7 +1342,9 @@ impl Mssd {
                 &mut scratch,
             );
         }
-        cost += self.flash.flush_all(&self.stats);
+        if let Ok(ns) = self.flash.flush_all(&self.stats) {
+            cost += ns;
+        }
         all.reinstate(batch.migrated);
         txlog.clear();
         self.stats.inc_log_cleanings();
@@ -1108,27 +1360,33 @@ impl Mssd {
     /// Serves a byte-interface write chunk from the sharded device cache
     /// (baseline mode), filling from flash on a miss. The whole sequence
     /// runs under the page's cache-shard lock.
-    fn cache_write_chunk(&self, lpa: Lpa, offset: usize, chunk: &[u8]) -> u64 {
+    fn cache_write_chunk(&self, lpa: Lpa, offset: usize, chunk: &[u8]) -> Result<u64, FlashError> {
         let mut cost = 0;
         let mut shard = self.cache.lock_shard(lpa);
         if !shard.modify(lpa, offset, chunk) {
             // Miss: fetch the backing page, apply the modification, cache it.
-            let (mut page, ns) = self.flash.read_page(lpa, &self.stats, false);
+            let (mut page, ns) = self.flash.read_page(lpa, &self.stats, false)?;
             cost += ns;
             page[offset..offset + chunk.len()].copy_from_slice(chunk);
-            cost += self.cache_fill(&mut shard, lpa, page, true);
+            cost += self.cache_fill(&mut shard, lpa, page, true)?;
         }
-        cost
+        Ok(cost)
     }
 
     /// Inserts a page into a locked cache shard, writing evicted dirty
     /// victims through to the FTL (cache shard → flash channel lock order).
-    fn cache_fill(&self, shard: &mut DramPageCache, lpa: Lpa, page: Vec<u8>, dirty: bool) -> u64 {
+    fn cache_fill(
+        &self,
+        shard: &mut DramPageCache,
+        lpa: Lpa,
+        page: Vec<u8>,
+        dirty: bool,
+    ) -> Result<u64, FlashError> {
         let mut cost = 0;
         for (victim, data) in shard.insert(lpa, page, dirty) {
-            cost += self.flash.buffer_write(victim, data, &self.stats);
+            cost += self.flash.buffer_write(victim, data, &self.stats)?;
         }
-        cost
+        Ok(cost)
     }
 }
 
@@ -1187,16 +1445,32 @@ fn apply_chunks_to_flash(
     let mut cost = 0;
     let partial = !chunks_cover_full_page(chunks, cfg.page_size, scratch);
     let mut page = if partial && flash.is_mapped(lpa) {
-        let (page, ns) = flash.read_page(lpa, stats, true);
-        cost += ns;
-        page
+        // The cleaner's internal read-modify-write runs with media-fault
+        // injection suspended: it is not a host-visible read path, and an
+        // injected transient here would silently zero the unmerged
+        // remainder of the page instead of surfacing as a typed error.
+        cfg.media.suspend();
+        let fetched = flash.read_page(lpa, stats, true);
+        cfg.media.resume();
+        match fetched {
+            Ok((page, ns)) => {
+                cost += ns;
+                page
+            }
+            Err(_) => vec![0u8; cfg.page_size],
+        }
     } else {
         vec![0u8; cfg.page_size]
     };
     for c in chunks {
         page[c.offset..c.end()].copy_from_slice(&c.data);
     }
-    cost += flash.buffer_write(lpa, page, stats);
+    // A device that degraded to read-only mid-pass drops the merged page;
+    // its chunks were drained already, matching the device's degraded
+    // write-refusal semantics.
+    if let Ok(ns) = flash.buffer_write(lpa, page, stats) {
+        cost += ns;
+    }
     cost
 }
 
@@ -1268,6 +1542,12 @@ fn cleaner_main(ctx: CleanerCtx) {
             if ctx.shared.state.lock().expect("cleaner state lock").shutdown {
                 break;
             }
+            // A degraded (read-only) device cannot program merged pages;
+            // leave the log entries where they are — they stay readable and
+            // battery-backed.
+            if ctx.flash.is_read_only() {
+                break;
+            }
             if ctx.log.needs_cleaning() {
                 ctx.log.seal_all();
             }
@@ -1300,7 +1580,7 @@ fn cleaner_main(ctx: CleanerCtx) {
         if merged_pages > 0 {
             // End of pass: program the merged pages (Algorithm 1). The cost
             // is discarded — background cleaning is off the critical path.
-            ctx.flash.flush_all(&ctx.stats);
+            let _ = ctx.flash.flush_all(&ctx.stats);
             ctx.stats.add_log_bg_cleaned_pages(merged_pages);
             ctx.stats.inc_log_cleanings();
         }

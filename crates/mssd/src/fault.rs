@@ -229,6 +229,342 @@ impl PartialEq for FaultPlan {
     }
 }
 
+/// Media op taxonomy for [`MediaFaultPlan`]: the three NAND operations that
+/// can fail on real media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaOpKind {
+    /// A page read (transient: read-disturb / retention bit flips).
+    Read,
+    /// A page program (permanent: the block is going bad).
+    Program,
+    /// A block erase (permanent: the block is worn out).
+    Erase,
+}
+
+impl MediaOpKind {
+    /// All kinds, in a stable order (indexable by [`MediaOpKind::index`]).
+    pub const ALL: [MediaOpKind; 3] = [MediaOpKind::Read, MediaOpKind::Program, MediaOpKind::Erase];
+
+    /// Stable index of this kind into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            MediaOpKind::Read => 0,
+            MediaOpKind::Program => 1,
+            MediaOpKind::Erase => 2,
+        }
+    }
+
+    /// Short label used in reports, e.g. `"read"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            MediaOpKind::Read => "read",
+            MediaOpKind::Program => "program",
+            MediaOpKind::Erase => "erase",
+        }
+    }
+}
+
+impl std::fmt::Display for MediaOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a [`MediaFaultPlan`]: per-op fault rates plus exact op
+/// ordinals for bit-exact reproduction of a specific failure.
+///
+/// All rates are probabilities in `[0, 1]` drawn deterministically from
+/// `seed` and the per-kind op ordinal, so the same seed over the same op
+/// stream injects the same faults (the crashkit media determinism test pins
+/// this). The `fail_*_at` fields are 1-based op ordinals that force a fault
+/// at exactly that op regardless of the rates; `0` means "never".
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaFaultConfig {
+    /// PRNG seed; every injection decision derives from it.
+    pub seed: u64,
+    /// Per-read probability of a transient raw bit-error event.
+    pub read_error_rate: f64,
+    /// Additional read-error-rate multiplier per block erase (wear): the
+    /// effective rate is `read_error_rate * (1 + wear_factor * erase_count)`,
+    /// modelling read-disturb/retention loss growing with block age.
+    pub wear_factor: f64,
+    /// Probability that a read-error event is *hard*: the retry ladder never
+    /// recovers it and the read resolves as a UECC.
+    pub hard_read_rate: f64,
+    /// Per-program probability of a permanent program failure.
+    pub program_fail_rate: f64,
+    /// Per-erase probability of a permanent erase failure.
+    pub erase_fail_rate: f64,
+    /// Force a hard (uncorrectable) read error at this 1-based read ordinal.
+    pub fail_read_at: u64,
+    /// Force a program failure at this 1-based program ordinal.
+    pub fail_program_at: u64,
+    /// Force an erase failure at this 1-based erase ordinal.
+    pub fail_erase_at: u64,
+}
+
+impl Default for MediaFaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            read_error_rate: 0.0,
+            wear_factor: 0.0,
+            hard_read_rate: 0.0,
+            program_fail_rate: 0.0,
+            erase_fail_rate: 0.0,
+            fail_read_at: 0,
+            fail_program_at: 0,
+            fail_erase_at: 0,
+        }
+    }
+}
+
+/// Shared mutable state of a media plan (see [`FaultState`] for the sharing
+/// rationale: config clones share one counter sequence per device).
+#[derive(Debug)]
+struct MediaState {
+    cfg: MediaFaultConfig,
+    /// Per-kind op ordinals, indexed by [`MediaOpKind::index`].
+    ops: [AtomicU64; 3],
+    /// Per-kind injected fault counts, indexed by [`MediaOpKind::index`].
+    injected: [AtomicU64; 3],
+    /// Suspension depth: while non-zero every draw returns clean *without*
+    /// advancing an ordinal, so crash-image restores (which replay flash ops
+    /// that already happened) neither fault nor perturb the sequence.
+    suspended: AtomicU64,
+}
+
+/// SplitMix64: full-avalanche mix used for all injection decisions.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a mixed word.
+fn unit(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The transient-read-error event drawn for one physical page read.
+///
+/// Carries everything the FTL's read-retry ladder needs: the initial raw
+/// flip count, whether the event is hard (unrecoverable), and the identity
+/// `(seed, ordinal)` from which the deterministic flip positions of every
+/// retry attempt are derived.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadFault {
+    /// Raw flipped-bit count on the first read attempt.
+    pub flips: u32,
+    /// Hard event: retries do not reduce the flip count and the read must
+    /// resolve as a UECC.
+    pub hard: bool,
+    /// 1-based read ordinal that drew this event.
+    pub ordinal: u64,
+    seed: u64,
+}
+
+impl ReadFault {
+    /// Raw flip count observed on retry `attempt` (0 = the initial read).
+    /// Each ladder step models an adjusted-read-voltage retry that halves
+    /// the residual raw errors; hard events do not improve.
+    pub fn flips_at(&self, attempt: u32) -> u32 {
+        if self.hard {
+            self.flips
+        } else {
+            self.flips >> attempt.min(31)
+        }
+    }
+
+    /// Deterministic distinct bit positions (page-wide, 0-based) flipped on
+    /// retry `attempt`. A function of `(seed, ordinal, attempt)` only, so a
+    /// re-run with the same plan seed corrupts the same bits.
+    pub fn flip_positions(&self, attempt: u32, page_bits: usize) -> Vec<usize> {
+        let count = self.flips_at(attempt).min(page_bits as u32) as usize;
+        let mut out = Vec::with_capacity(count);
+        let mut state = mix64(self.seed ^ self.ordinal.rotate_left(17) ^ (attempt as u64) << 48);
+        while out.len() < count {
+            state = mix64(state);
+            let pos = (state % page_bits as u64) as usize;
+            if !out.contains(&pos) {
+                out.push(pos);
+            }
+        }
+        out
+    }
+}
+
+/// Seeded, deterministic NAND media-fault injection, carried inside
+/// [`crate::MssdConfig::media`].
+///
+/// Mirrors [`FaultPlan`]'s sharing model: cloning the plan (which happens
+/// whenever a device config is cloned into a component) shares the per-kind
+/// op counters, so every channel of one device draws from the same
+/// deterministic sequence. The disabled default costs one `Option` check per
+/// flash op.
+///
+/// Determinism has the same caveat as [`FaultPlan`]: with background
+/// cleaning off and a single-threaded host, per-kind op ordinals are a pure
+/// function of the op stream, so a seed reproduces the exact fault sequence;
+/// with the cleaner on, injection is still seeded but interleaving-dependent.
+#[derive(Debug, Clone, Default)]
+pub struct MediaFaultPlan {
+    state: Option<Arc<MediaState>>,
+}
+
+impl MediaFaultPlan {
+    /// A plan that injects nothing (zero-cost default).
+    pub fn disabled() -> Self {
+        Self { state: None }
+    }
+
+    /// A plan armed with the given fault model.
+    pub fn new(cfg: MediaFaultConfig) -> Self {
+        Self {
+            state: Some(Arc::new(MediaState {
+                cfg,
+                ops: Default::default(),
+                injected: Default::default(),
+                suspended: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Convenience: rate-based plan with the given per-op fault rates and
+    /// default wear/hard parameters.
+    pub fn rates(seed: u64, read: f64, program: f64, erase: f64) -> Self {
+        Self::new(MediaFaultConfig {
+            seed,
+            read_error_rate: read,
+            program_fail_rate: program,
+            erase_fail_rate: erase,
+            ..Default::default()
+        })
+    }
+
+    /// Whether any injection is armed. When `false`, the device skips ECC
+    /// encode/decode entirely (fault-free configurations pay nothing).
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Draws the transient-fault outcome for one physical page read of a
+    /// block with the given `wear` (erase count). Advances the read ordinal;
+    /// retries of the same read must reuse the returned [`ReadFault`] rather
+    /// than drawing again. Returns `None` when the read is clean.
+    pub fn read_fault(&self, wear: u64) -> Option<ReadFault> {
+        let st = self.state.as_ref()?;
+        if st.suspended.load(Ordering::SeqCst) > 0 {
+            return None;
+        }
+        let ordinal = st.ops[MediaOpKind::Read.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        let forced = st.cfg.fail_read_at != 0 && ordinal == st.cfg.fail_read_at;
+        let base = mix64(st.cfg.seed ^ ordinal.wrapping_mul(0xa076_1d64_78bd_642f));
+        let rate = st.cfg.read_error_rate * (1.0 + st.cfg.wear_factor * wear as f64);
+        if !forced && unit(base) >= rate {
+            return None;
+        }
+        st.injected[MediaOpKind::Read.index()].fetch_add(1, Ordering::Relaxed);
+        let hard = forced || unit(mix64(base ^ 0x5bf0_3635)) < st.cfg.hard_read_rate;
+        // Flip counts stay within the SECDED guarantee (≤ ECC_DETECT = 2):
+        // three or more simultaneous flips could alias to a valid single-bit
+        // syndrome and miscorrect, which would model silent corruption the
+        // device cannot promise to catch. Hard events pin the count at 2 —
+        // detected but uncorrectable at every rung of the ladder. Soft
+        // events draw 1 or 2 raw flips; a 2-flip event is detected at
+        // attempt 0 and resolves on the first retry (2 >> 1 = 1, corrected).
+        let flips = if hard {
+            crate::ecc::ECC_DETECT
+        } else {
+            1 + (mix64(base ^ 0x93c4_67e3) % u64::from(crate::ecc::ECC_DETECT)) as u32
+        };
+        Some(ReadFault { flips, hard, ordinal, seed: st.cfg.seed })
+    }
+
+    /// Draws the outcome for one page program. Returns `true` when the
+    /// program permanently fails (the active block must be retired and the
+    /// page remapped).
+    pub fn program_fails(&self) -> bool {
+        self.permanent_fails(MediaOpKind::Program)
+    }
+
+    /// Draws the outcome for one block erase. Returns `true` when the erase
+    /// permanently fails (the block must be retired).
+    pub fn erase_fails(&self) -> bool {
+        self.permanent_fails(MediaOpKind::Erase)
+    }
+
+    fn permanent_fails(&self, kind: MediaOpKind) -> bool {
+        let Some(st) = &self.state else { return false };
+        if st.suspended.load(Ordering::SeqCst) > 0 {
+            return false;
+        }
+        let ordinal = st.ops[kind.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        let (rate, forced_at, salt) = match kind {
+            MediaOpKind::Program => {
+                (st.cfg.program_fail_rate, st.cfg.fail_program_at, 0x1d8e_4e27u64)
+            }
+            MediaOpKind::Erase => (st.cfg.erase_fail_rate, st.cfg.fail_erase_at, 0xeb44_accau64),
+            MediaOpKind::Read => unreachable!("reads use read_fault()"),
+        };
+        let forced = forced_at != 0 && ordinal == forced_at;
+        let draw = unit(mix64(st.cfg.seed ^ salt ^ ordinal.wrapping_mul(0xe703_7ed1_a0b4_28db)));
+        let fails = forced || draw < rate;
+        if fails {
+            st.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fails
+    }
+
+    /// Suspends injection: until the matching [`MediaFaultPlan::resume`],
+    /// every draw returns clean and advances no ordinal. Used while a crash
+    /// image is restored — those flash ops already happened before the cut
+    /// and must neither fault again nor shift the deterministic sequence.
+    /// Nestable (depth-counted).
+    pub fn suspend(&self) {
+        if let Some(st) = &self.state {
+            st.suspended.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Re-arms injection after a [`MediaFaultPlan::suspend`].
+    pub fn resume(&self) {
+        if let Some(st) = &self.state {
+            let prev = st.suspended.fetch_sub(1, Ordering::SeqCst);
+            debug_assert!(prev > 0, "resume() without matching suspend()");
+        }
+    }
+
+    /// Ops observed of one kind so far.
+    pub fn ops_of(&self, kind: MediaOpKind) -> u64 {
+        self.state.as_ref().map(|st| st.ops[kind.index()].load(Ordering::SeqCst)).unwrap_or(0)
+    }
+
+    /// Faults injected of one kind so far.
+    pub fn injected_of(&self, kind: MediaOpKind) -> u64 {
+        self.state.as_ref().map(|st| st.injected[kind.index()].load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        MediaOpKind::ALL.iter().map(|&k| self.injected_of(k)).sum()
+    }
+}
+
+/// Two plans are configuration-equal when armed with the same fault model;
+/// runtime counters are ignored (same rationale as [`FaultPlan`]'s
+/// `PartialEq`).
+impl PartialEq for MediaFaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.state, &other.state) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.cfg == b.cfg,
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +634,148 @@ mod tests {
             assert_eq!(FaultKind::ALL[kind.index()], kind);
             assert!(!kind.label().is_empty());
         }
+    }
+
+    #[test]
+    fn disabled_media_plan_injects_nothing() {
+        let p = MediaFaultPlan::disabled();
+        for _ in 0..100 {
+            assert!(p.read_fault(5).is_none());
+            assert!(!p.program_fails());
+            assert!(!p.erase_fails());
+        }
+        assert_eq!(p.ops_of(MediaOpKind::Read), 0);
+        assert_eq!(p.injected_total(), 0);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn media_plan_is_deterministic_per_seed() {
+        let run = |seed| {
+            let p = MediaFaultPlan::rates(seed, 0.3, 0.1, 0.1);
+            let reads: Vec<_> = (0..200)
+                .map(|i| p.read_fault(i % 7).map(|f| (f.flips, f.hard, f.ordinal)))
+                .collect();
+            let progs: Vec<bool> = (0..100).map(|_| p.program_fails()).collect();
+            let erases: Vec<bool> = (0..100).map(|_| p.erase_fails()).collect();
+            (reads, progs, erases, p.injected_total())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+        let (_, _, _, injected) = run(42);
+        assert!(injected > 0, "rates this high must inject something");
+    }
+
+    #[test]
+    fn exact_index_triggers_fire_exactly_once() {
+        let p = MediaFaultPlan::new(MediaFaultConfig {
+            seed: 9,
+            fail_read_at: 3,
+            fail_program_at: 2,
+            fail_erase_at: 1,
+            ..Default::default()
+        });
+        assert!(p.read_fault(0).is_none());
+        assert!(p.read_fault(0).is_none());
+        let f = p.read_fault(0).expect("forced at ordinal 3");
+        assert!(f.hard, "forced read faults are hard");
+        assert!(p.read_fault(0).is_none());
+        assert!(!p.program_fails());
+        assert!(p.program_fails());
+        assert!(!p.program_fails());
+        assert!(p.erase_fails());
+        assert!(!p.erase_fails());
+        assert_eq!(p.injected_total(), 3);
+    }
+
+    #[test]
+    fn read_fault_ladder_halves_soft_flips_and_pins_hard_ones() {
+        let soft = ReadFault { flips: 6, hard: false, ordinal: 1, seed: 1 };
+        assert_eq!(
+            (0..4).map(|a| soft.flips_at(a)).collect::<Vec<_>>(),
+            vec![6, 3, 1, 0],
+            "soft events decay to within ECC reach"
+        );
+        let hard = ReadFault { flips: 2, hard: true, ordinal: 1, seed: 1 };
+        assert!((0..8).all(|a| hard.flips_at(a) == 2), "hard events never improve");
+    }
+
+    #[test]
+    fn flip_positions_are_distinct_in_range_and_reproducible() {
+        let f = ReadFault { flips: 6, hard: false, ordinal: 77, seed: 1234 };
+        for attempt in 0..3 {
+            let a = f.flip_positions(attempt, 4096 * 8);
+            let b = f.flip_positions(attempt, 4096 * 8);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), f.flips_at(attempt) as usize);
+            let mut dedup = a.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), a.len(), "positions must be distinct");
+            assert!(a.iter().all(|&p| p < 4096 * 8));
+        }
+        assert_ne!(
+            f.flip_positions(0, 4096 * 8),
+            f.flip_positions(1, 4096 * 8),
+            "retries re-read different raw noise"
+        );
+    }
+
+    #[test]
+    fn wear_scales_read_error_rate() {
+        let injected_at = |wear: u64| {
+            let p = MediaFaultPlan::new(MediaFaultConfig {
+                seed: 5,
+                read_error_rate: 0.02,
+                wear_factor: 1.0,
+                ..Default::default()
+            });
+            for _ in 0..2000 {
+                p.read_fault(wear);
+            }
+            p.injected_of(MediaOpKind::Read)
+        };
+        assert!(
+            injected_at(40) > injected_at(0) * 2,
+            "worn blocks must see markedly more read faults"
+        );
+    }
+
+    #[test]
+    fn media_config_equality_ignores_runtime_state() {
+        let a = MediaFaultPlan::rates(3, 0.1, 0.0, 0.0);
+        let b = MediaFaultPlan::rates(3, 0.1, 0.0, 0.0);
+        a.read_fault(0);
+        assert_eq!(a, b);
+        assert_ne!(a, MediaFaultPlan::rates(4, 0.1, 0.0, 0.0));
+        assert_ne!(a, MediaFaultPlan::disabled());
+        assert_eq!(MediaFaultPlan::disabled(), MediaFaultPlan::default());
+    }
+
+    #[test]
+    fn suspended_media_plan_draws_clean_without_advancing_ordinals() {
+        // Every op faults when live; none fault and none count while
+        // suspended; the ordinal sequence continues as if the suspended
+        // window never happened.
+        let p = MediaFaultPlan::rates(7, 1.0, 1.0, 1.0);
+        assert!(p.read_fault(0).is_some());
+        assert!(p.program_fails());
+        p.suspend();
+        p.suspend(); // nests
+        assert!(p.read_fault(0).is_none());
+        assert!(!p.program_fails());
+        assert!(!p.erase_fails());
+        p.resume();
+        assert!(p.read_fault(0).is_none());
+        p.resume();
+        assert_eq!(p.ops_of(MediaOpKind::Read), 1);
+        assert_eq!(p.ops_of(MediaOpKind::Program), 1);
+        assert_eq!(p.ops_of(MediaOpKind::Erase), 0);
+        let f = p.read_fault(0).expect("rate 1.0 always faults");
+        assert_eq!(f.ordinal, 2);
+        assert!(p.erase_fails());
+        // Injected: the two pre-suspend draws, the post-resume read, the
+        // erase — and nothing from the suspended window.
+        assert_eq!(p.injected_total(), 4);
     }
 }

@@ -14,13 +14,16 @@
 use std::collections::HashMap;
 
 use crate::config::MssdConfig;
+use crate::ecc::{self, PageParity};
 
 /// Physical page address.
 pub type Ppa = u64;
 /// Physical erase-block index.
 pub type BlockId = u64;
 
-/// Errors returned by the flash array when an operation violates NAND rules.
+/// Errors returned by the flash array and propagated — as typed media errors
+/// — up through the FTL, the device API, queue completions and the file
+/// systems when an operation violates NAND rules or the media itself fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlashError {
     /// The physical page address is beyond the device geometry.
@@ -34,6 +37,23 @@ pub enum FlashError {
         /// The page the block expected to be programmed next.
         expected: Ppa,
     },
+    /// The page's raw bit errors exceeded the ECC correction capability on
+    /// every rung of the read-retry ladder: an uncorrectable ECC error. The
+    /// payload must not be used.
+    Uncorrectable {
+        /// Physical page whose data is lost.
+        ppa: Ppa,
+        /// Read retries attempted before declaring the UECC.
+        retries: u32,
+    },
+    /// A page program failed permanently and the in-flight data could not be
+    /// remapped to a fresh block (replacement machinery exhausted).
+    ProgramFailed(Ppa),
+    /// A block erase failed permanently and the block was retired.
+    EraseFailed(BlockId),
+    /// The device has exhausted its spare blocks and degraded to read-only:
+    /// mutating operations are rejected, reads still succeed.
+    ReadOnly,
 }
 
 impl std::fmt::Display for FlashError {
@@ -46,7 +66,26 @@ impl std::fmt::Display for FlashError {
             FlashError::OutOfOrderProgram { ppa, expected } => {
                 write!(f, "out-of-order program of page {ppa}, expected {expected}")
             }
+            FlashError::Uncorrectable { ppa, retries } => {
+                write!(f, "uncorrectable ECC error on page {ppa} after {retries} retries")
+            }
+            FlashError::ProgramFailed(p) => write!(f, "permanent program failure on page {p}"),
+            FlashError::EraseFailed(b) => write!(f, "permanent erase failure on block {b}"),
+            FlashError::ReadOnly => {
+                write!(f, "device degraded to read-only (spare blocks exhausted)")
+            }
         }
+    }
+}
+
+impl FlashError {
+    /// Whether a host-level retry of the same command could plausibly
+    /// succeed. A fresh read re-samples the media's transient bit-error
+    /// process, so an [`FlashError::Uncorrectable`] verdict may clear on the
+    /// next attempt; permanent program/erase failures and read-only
+    /// degradation never do.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FlashError::Uncorrectable { .. })
     }
 }
 
@@ -236,6 +275,13 @@ pub struct ChannelFlash {
     pages: HashMap<Ppa, Box<[u8]>>,
     /// Block state indexed by *local* block index (`block / channels`).
     blocks: Vec<BlockState>,
+    /// Whether programs compute out-of-band ECC parity (only when a media
+    /// fault plan is armed — fault-free configurations pay nothing).
+    ecc: bool,
+    /// Out-of-band per-page ECC parity (the OOB/spare-area analogue).
+    /// Sparse like `pages`; an absent entry is the parity of an erased
+    /// (all-zero) page, which is exactly [`PageParity::default`].
+    parity: HashMap<Ppa, PageParity>,
 }
 
 impl ChannelFlash {
@@ -257,6 +303,8 @@ impl ChannelFlash {
             total_pages: cfg.physical_pages(),
             pages: HashMap::new(),
             blocks: vec![BlockState::new(); local_blocks],
+            ecc: cfg.media.is_enabled(),
+            parity: HashMap::new(),
         }
     }
 
@@ -347,9 +395,18 @@ impl ChannelFlash {
         let mut page = vec![0u8; self.page_size];
         let n = data.len().min(self.page_size);
         page[..n].copy_from_slice(&data[..n]);
+        if self.ecc {
+            self.parity.insert(ppa, ecc::encode(&page));
+        }
         self.pages.insert(ppa, page.into_boxed_slice());
         self.blocks[local].write_ptr += 1;
         Ok(())
+    }
+
+    /// The out-of-band ECC parity stored with a page. Absent entries (erased
+    /// pages, or ECC disabled) return the parity of an all-zero page.
+    pub fn stored_parity(&self, ppa: Ppa) -> PageParity {
+        self.parity.get(&ppa).copied().unwrap_or_default()
     }
 
     /// Erases a block of this channel, discarding its pages.
@@ -366,6 +423,7 @@ impl ChannelFlash {
         let first = self.first_page_of(block);
         for off in 0..self.pages_per_block as u64 {
             self.pages.remove(&(first + off));
+            self.parity.remove(&(first + off));
         }
         let local = self.local_index(block);
         let state = &mut self.blocks[local];
@@ -527,6 +585,31 @@ mod tests {
         assert_eq!(s.erase_count(block), 1);
         assert_eq!(s.max_wear(), 1);
         s.program_page(first, b"z").unwrap();
+    }
+
+    #[test]
+    fn parity_is_stored_only_under_a_media_plan() {
+        let plain = MssdConfig::small_test();
+        let armed = MssdConfig::small_test()
+            .with_media_fault_plan(crate::fault::MediaFaultPlan::rates(1, 0.0, 0.0, 0.0));
+        for (cfg, ecc_on) in [(&plain, false), (&armed, true)] {
+            let mut s = ChannelFlash::new(cfg, 0);
+            let first = s.first_page_of(s.block_ids().next().unwrap());
+            assert_eq!(s.stored_parity(first), PageParity::default());
+            s.program_page(first, b"parity me").unwrap();
+            let stored = s.stored_parity(first);
+            if ecc_on {
+                let mut page = vec![0u8; cfg.page_size];
+                page[..9].copy_from_slice(b"parity me");
+                assert_eq!(stored, ecc::encode(&page));
+                assert_ne!(stored, PageParity::default());
+            } else {
+                assert_eq!(stored, PageParity::default());
+            }
+            let first_block = s.block_ids().next().unwrap();
+            s.erase_block(first_block).unwrap();
+            assert_eq!(s.stored_parity(first), PageParity::default(), "erase clears parity");
+        }
     }
 
     #[test]

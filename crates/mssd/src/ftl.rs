@@ -29,13 +29,14 @@
 //!   in real time, not just in the virtual-latency formula.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::config::MssdConfig;
+use crate::ecc::{self, EccOutcome};
 use crate::fault::FaultKind;
-use crate::flash::{BlockId, ChannelFlash, FlashArray, Ppa};
+use crate::flash::{BlockId, ChannelFlash, FlashArray, FlashError, Ppa};
 use crate::stats::AtomicTraffic;
 
 /// Logical page address (host-visible page number).
@@ -121,10 +122,21 @@ impl Ftl {
     /// the buffer without a flash access. `internal` marks reads issued by
     /// firmware-internal work (log cleaning read-modify-write) so they are
     /// accounted separately.
-    pub fn read_page(&self, lpa: Lpa, stats: &AtomicTraffic, internal: bool) -> (Vec<u8>, u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlashError`] from the flash array. The sequential
+    /// reference model does not inject media faults (that machinery lives in
+    /// [`ShardedFtl`]), so errors only indicate structural violations.
+    pub fn read_page(
+        &self,
+        lpa: Lpa,
+        stats: &AtomicTraffic,
+        internal: bool,
+    ) -> Result<(Vec<u8>, u64), FlashError> {
         // Newest buffered copy wins.
         if let Some((_, data)) = self.write_buffer.iter().rev().find(|(l, _)| *l == lpa) {
-            return (data.clone(), 0);
+            return Ok((data.clone(), 0));
         }
         match self.l2p.get(&lpa) {
             Some(&ppa) => {
@@ -133,10 +145,10 @@ impl Ftl {
                 } else {
                     stats.inc_flash_read(false);
                 }
-                let data = self.flash.read_page(ppa).expect("mapped ppa in range");
-                (data, self.cfg.flash_read_ns)
+                let data = self.flash.read_page(ppa)?;
+                Ok((data, self.cfg.flash_read_ns))
             }
-            None => (vec![0u8; self.cfg.page_size], 0),
+            None => Ok((vec![0u8; self.cfg.page_size], 0)),
         }
     }
 
@@ -144,11 +156,20 @@ impl Ftl {
     ///
     /// Returns the latency charged now (only a buffer drain if the buffer was
     /// full). The page becomes durable only after [`Ftl::flush_buffer`].
-    pub fn buffer_write(&mut self, lpa: Lpa, data: Vec<u8>, stats: &AtomicTraffic) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlashError`] from a buffer drain forced by a full buffer.
+    pub fn buffer_write(
+        &mut self,
+        lpa: Lpa,
+        data: Vec<u8>,
+        stats: &AtomicTraffic,
+    ) -> Result<u64, FlashError> {
         debug_assert!(lpa < self.logical_pages(), "lpa {lpa} out of range");
         let mut cost = 0;
         if self.write_buffer.len() >= self.write_buffer_capacity {
-            cost += self.flush_buffer(stats);
+            cost += self.flush_buffer(stats)?;
         }
         // Coalesce a pending write to the same page.
         if let Some(slot) = self.write_buffer.iter_mut().find(|(l, _)| *l == lpa) {
@@ -156,28 +177,33 @@ impl Ftl {
         } else {
             self.write_buffer.push((lpa, data));
         }
-        cost
+        Ok(cost)
     }
 
     /// Programs all buffered pages to flash, running garbage collection as
     /// needed. Returns the latency in nanoseconds (channel-parallel).
-    pub fn flush_buffer(&mut self, stats: &AtomicTraffic) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlashError`] from the flash array (structurally
+    /// impossible under the allocator's invariants, but no longer unwrapped).
+    pub fn flush_buffer(&mut self, stats: &AtomicTraffic) -> Result<u64, FlashError> {
         if self.write_buffer.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let pending = std::mem::take(&mut self.write_buffer);
         let n = pending.len();
         let mut cost = 0;
         for (lpa, data) in pending {
-            cost += self.ensure_free_space(stats);
-            let ppa = self.allocate_ppa(stats);
-            self.flash.program_page(ppa, &data).expect("allocation yields programmable page");
+            cost += self.ensure_free_space(stats)?;
+            let ppa = self.allocate_ppa(stats)?;
+            self.flash.program_page(ppa, &data)?;
             stats.inc_flash_write(false);
             self.map(lpa, ppa);
         }
         // Program latency: pages on distinct channels proceed in parallel.
         let rounds = n.div_ceil(self.cfg.channels) as u64;
-        cost + rounds * self.cfg.flash_write_ns
+        Ok(cost + rounds * self.cfg.flash_write_ns)
     }
 
     /// Marks a logical page as no longer containing live data (e.g. the file
@@ -219,7 +245,7 @@ impl Ftl {
 
     /// Allocates the next physical page, filling per-channel active blocks
     /// round-robin.
-    fn allocate_ppa(&mut self, stats: &AtomicTraffic) -> Ppa {
+    fn allocate_ppa(&mut self, stats: &AtomicTraffic) -> Result<Ppa, FlashError> {
         let channels = self.cfg.channels;
         for _ in 0..channels {
             let ch = self.next_channel;
@@ -240,24 +266,24 @@ impl Ftl {
                 } else {
                     self.active[ch] = Some((block, next));
                 }
-                return ppa;
+                return Ok(ppa);
             }
         }
         // All channels exhausted: force GC and retry (GC is guaranteed to free
         // a block because logical capacity < physical capacity).
-        let freed = self.collect_garbage(stats);
+        let freed = self.collect_garbage(stats)?;
         debug_assert!(freed > 0, "garbage collection made no progress");
         self.allocate_ppa(stats)
     }
 
     /// Runs garbage collection if the free-block pool is low. Returns the
     /// latency spent.
-    fn ensure_free_space(&mut self, stats: &AtomicTraffic) -> u64 {
+    fn ensure_free_space(&mut self, stats: &AtomicTraffic) -> Result<u64, FlashError> {
         let low_water = self.cfg.channels + 1;
         let mut cost = 0;
         let mut guard = 0;
         while self.total_free_blocks() < low_water {
-            let c = self.collect_garbage_cost(stats);
+            let c = self.collect_garbage_cost(stats)?;
             if c == 0 {
                 break;
             }
@@ -267,27 +293,23 @@ impl Ftl {
                 break;
             }
         }
-        cost
+        Ok(cost)
     }
 
     /// Greedy GC: relocate valid pages out of the block with the fewest valid
     /// pages, then erase it. Returns number of blocks freed.
-    fn collect_garbage(&mut self, stats: &AtomicTraffic) -> usize {
-        if self.collect_garbage_cost(stats) > 0 {
-            1
-        } else {
-            0
-        }
+    fn collect_garbage(&mut self, stats: &AtomicTraffic) -> Result<usize, FlashError> {
+        Ok(if self.collect_garbage_cost(stats)? > 0 { 1 } else { 0 })
     }
 
-    fn collect_garbage_cost(&mut self, stats: &AtomicTraffic) -> u64 {
+    fn collect_garbage_cost(&mut self, stats: &AtomicTraffic) -> Result<u64, FlashError> {
         // Victim: fully-written, non-active block with minimum valid pages.
         let ppb = self.flash.pages_per_block();
         let victim = (0..self.flash.total_blocks())
             .filter(|b| !self.active_set.contains(b))
             .filter(|b| self.flash.block_fill(*b) == ppb)
             .min_by_key(|b| self.valid_count[*b as usize]);
-        let Some(victim) = victim else { return 0 };
+        let Some(victim) = victim else { return Ok(0) };
 
         let mut cost = 0;
         let first = self.flash.first_page_of(victim);
@@ -299,22 +321,22 @@ impl Ftl {
             })
             .collect();
         for (ppa, lpa) in live {
-            let data = self.flash.read_page(ppa).expect("victim page readable");
+            let data = self.flash.read_page(ppa)?;
             stats.inc_flash_read(true);
             cost += self.cfg.flash_read_ns;
-            let dst = self.allocate_ppa(stats);
+            let dst = self.allocate_ppa(stats)?;
             debug_assert_ne!(self.flash.block_of(dst), victim, "GC wrote into its own victim");
-            self.flash.program_page(dst, &data).expect("relocation target programmable");
+            self.flash.program_page(dst, &data)?;
             stats.inc_flash_write(true);
             cost += self.cfg.flash_write_ns;
             self.map(lpa, dst);
         }
-        self.flash.erase_block(victim).expect("victim block erasable");
+        self.flash.erase_block(victim)?;
         stats.inc_flash_erase();
         cost += self.cfg.flash_erase_ns;
         self.valid_count[victim as usize] = 0;
         self.free_blocks[(victim % self.cfg.channels as u64) as usize].push_back(victim);
-        cost
+        Ok(cost)
     }
 }
 
@@ -351,6 +373,13 @@ struct Channel {
     /// page's stripe lock.
     buffer: Vec<(Lpa, Vec<u8>)>,
     buffer_capacity: usize,
+    /// Spare (erased, reserved) blocks kept out of the allocator. When a
+    /// block is retired a spare is promoted into `free` one-for-one, so
+    /// usable capacity is constant until the pool runs dry.
+    spare: VecDeque<BlockId>,
+    /// Retired (bad) blocks: permanently removed from allocation. Persisted
+    /// in the crash image as the bad-block table.
+    bad: Vec<BlockId>,
 }
 
 /// Result of draining one channel's write-buffer slice.
@@ -364,6 +393,9 @@ struct DrainResult {
     /// blocks even after GC; they remain buffered and the caller migrates
     /// them to another channel.
     stranded: Vec<Lpa>,
+    /// First media error encountered during the drain, if any. Pages after
+    /// the error remain buffered (still durable in battery-backed DRAM).
+    error: Option<FlashError>,
 }
 
 /// The concurrent FTL used by the device: a lock-striped L2P mapping table
@@ -400,15 +432,35 @@ pub struct ShardedFtl {
     rr: AtomicUsize,
     /// Total pages currently in write-buffer slices (all channels).
     buffered: AtomicUsize,
+    /// Spare blocks remaining across all channels. A cached gauge so the
+    /// stats path never has to lock every channel (which would violate the
+    /// one-channel-at-a-time discipline).
+    spare_count: AtomicUsize,
+    /// Latched when any channel retires a block with an empty spare pool:
+    /// the device degrades to read-only instead of panicking.
+    read_only: AtomicBool,
 }
 
 impl ShardedFtl {
     /// Creates a channel-parallel FTL over fresh per-channel flash units.
     pub fn new(cfg: MssdConfig) -> Self {
+        let mut spare_total = 0usize;
         let channels: Vec<Mutex<Channel>> = (0..cfg.channels)
             .map(|c| {
                 let flash = ChannelFlash::new(&cfg, c);
-                let free: VecDeque<BlockId> = flash.block_ids().collect();
+                let mut free: VecDeque<BlockId> = flash.block_ids().collect();
+                // Reserve spares off the back of the free list — the
+                // configured count clamped to what over-provisioning
+                // affords, always leaving at least one allocatable block.
+                let reserve =
+                    cfg.effective_spare_blocks_per_channel().min(free.len().saturating_sub(1));
+                let mut spare = VecDeque::with_capacity(reserve);
+                for _ in 0..reserve {
+                    if let Some(b) = free.pop_back() {
+                        spare.push_front(b);
+                    }
+                }
+                spare_total += spare.len();
                 Mutex::new(Channel {
                     flash,
                     free,
@@ -416,6 +468,8 @@ impl ShardedFtl {
                     p2l: HashMap::new(),
                     buffer: Vec::new(),
                     buffer_capacity: (cfg.write_buffer_bytes / cfg.page_size / cfg.channels).max(1),
+                    spare,
+                    bad: Vec::new(),
                 })
             })
             .collect();
@@ -426,6 +480,8 @@ impl ShardedFtl {
             valid: (0..total_blocks).map(|_| AtomicUsize::new(0)).collect(),
             rr: AtomicUsize::new(0),
             buffered: AtomicUsize::new(0),
+            spare_count: AtomicUsize::new(spare_total),
+            read_only: AtomicBool::new(false),
             cfg,
         }
     }
@@ -488,12 +544,24 @@ impl ShardedFtl {
     /// flash copy otherwise. Returns the page contents (zeros if never
     /// written) and the latency in nanoseconds.
     ///
+    /// Flash reads pass through the media-fault plan: an injected transient
+    /// event corrupts the raw page, the per-page ECC corrects or detects it,
+    /// and detection triggers a bounded read-retry ladder (each rung models
+    /// an adjusted-read-voltage retry and charges a full flash read). A read
+    /// still uncorrectable after [`MssdConfig::read_retry_limit`] retries
+    /// surfaces as [`FlashError::Uncorrectable`].
+    ///
     /// Only the one stripe lock and the one channel lock covering the page
     /// are taken; reads of pages on other channels proceed concurrently.
-    pub fn read_page(&self, lpa: Lpa, stats: &AtomicTraffic, internal: bool) -> (Vec<u8>, u64) {
+    pub fn read_page(
+        &self,
+        lpa: Lpa,
+        stats: &AtomicTraffic,
+        internal: bool,
+    ) -> Result<(Vec<u8>, u64), FlashError> {
         loop {
             let Some(loc) = self.peek(lpa) else {
-                return (vec![0u8; self.cfg.page_size], 0);
+                return Ok((vec![0u8; self.cfg.page_size], 0));
             };
             let ch_idx = match loc {
                 Loc::Buffered(c) => c,
@@ -508,20 +576,52 @@ impl ShardedFtl {
             }
             match loc {
                 Loc::Buffered(_) => {
-                    let data = ch
-                        .buffer
-                        .iter()
-                        .rev()
-                        .find(|(l, _)| *l == lpa)
-                        .expect("buffered mapping implies a buffer entry")
-                        .1
-                        .clone();
-                    return (data, 0);
+                    // The buffered mapping should imply a buffer entry; if
+                    // the slice raced ahead of the stripe, re-resolve rather
+                    // than panic.
+                    let Some(data) =
+                        ch.buffer.iter().rev().find(|(l, _)| *l == lpa).map(|(_, d)| d.clone())
+                    else {
+                        continue;
+                    };
+                    return Ok((data, 0));
                 }
                 Loc::Flash(ppa) => {
                     stats.inc_flash_read(internal);
-                    let data = ch.flash.read_page(ppa).expect("mapped ppa readable");
-                    return (data, self.cfg.flash_read_ns);
+                    let raw = ch.flash.read_page(ppa)?;
+                    let mut cost = self.cfg.flash_read_ns;
+                    let wear = ch.flash.erase_count(self.block_of(ppa));
+                    let Some(fault) = self.cfg.media.read_fault(wear) else {
+                        return Ok((raw, cost));
+                    };
+                    // Injected transient event: corrupt the raw sensing
+                    // deterministically, then run the ECC + retry ladder.
+                    let parity = ch.flash.stored_parity(ppa);
+                    let page_bits = raw.len() * 8;
+                    for attempt in 0..=self.cfg.read_retry_limit {
+                        if attempt > 0 {
+                            stats.inc_ras_read_retries();
+                            stats.inc_flash_read(internal);
+                            cost += self.cfg.flash_read_ns;
+                        }
+                        let mut data = raw.clone();
+                        for pos in fault.flip_positions(attempt, page_bits) {
+                            ecc::flip_bit(&mut data, pos);
+                        }
+                        match ecc::decode(&mut data, parity) {
+                            EccOutcome::Clean => return Ok((data, cost)),
+                            EccOutcome::Corrected { .. } => {
+                                stats.inc_ras_corrected_reads();
+                                return Ok((data, cost));
+                            }
+                            EccOutcome::Uncorrectable => continue,
+                        }
+                    }
+                    stats.inc_ras_uncorrectable_reads();
+                    return Err(FlashError::Uncorrectable {
+                        ppa,
+                        retries: self.cfg.read_retry_limit,
+                    });
                 }
             }
         }
@@ -532,20 +632,38 @@ impl ShardedFtl {
     /// still-buffered page). Returns the latency charged now — only a slice
     /// drain if the slice was full. The page becomes durable after
     /// [`ShardedFtl::flush_all`].
-    pub fn buffer_write(&self, lpa: Lpa, data: Vec<u8>, stats: &AtomicTraffic) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::ReadOnly`] once the device has degraded (spare
+    /// blocks exhausted); the write is not accepted. Media errors raised by
+    /// a forced slice drain also propagate.
+    pub fn buffer_write(
+        &self,
+        lpa: Lpa,
+        data: Vec<u8>,
+        stats: &AtomicTraffic,
+    ) -> Result<u64, FlashError> {
         debug_assert!(lpa < self.logical_pages(), "lpa {lpa} out of range");
+        if self.read_only.load(Ordering::SeqCst) {
+            return Err(FlashError::ReadOnly);
+        }
         let mut cost = 0;
         let mut target = match self.peek(lpa) {
             Some(Loc::Buffered(c)) => c,
             _ => self.rr.fetch_add(1, Ordering::Relaxed) % self.channels.len(),
         };
-        let mut data = Some(data);
         let mut stranded_rounds = 0usize;
         loop {
             let mut ch = self.channels[target].lock();
             if ch.buffer.len() >= ch.buffer_capacity {
                 let r = self.drain_buffer_locked(&mut ch, stats);
                 cost += r.gc_cost + r.programmed as u64 * self.cfg.flash_write_ns;
+                if let Some(e) = r.error {
+                    // The forced drain hit an unrecoverable media condition
+                    // (spares exhausted); refuse the new write.
+                    return Err(e);
+                }
                 // A cut during the slice drain leaves the slice over
                 // capacity; the page is still accepted below — buffer
                 // acceptance is a DRAM move between counted fault steps, and
@@ -569,14 +687,15 @@ impl ShardedFtl {
             match stripe.get(&lpa).copied() {
                 // Coalesce a pending write to the same page.
                 Some(Loc::Buffered(c)) if c == target => {
-                    let slot = ch
-                        .buffer
-                        .iter_mut()
-                        .rev()
-                        .find(|(l, _)| *l == lpa)
-                        .expect("buffered mapping implies a buffer entry");
-                    slot.1 = data.take().expect("data consumed once");
-                    return cost;
+                    if let Some(slot) = ch.buffer.iter_mut().rev().find(|(l, _)| *l == lpa) {
+                        slot.1 = data;
+                    } else {
+                        // Slice out of sync with the mapping (should not
+                        // happen); repair by inserting rather than panicking.
+                        ch.buffer.push((lpa, data));
+                        self.buffered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(cost);
                 }
                 // The page got (re)buffered on another channel meanwhile —
                 // coalesce there instead.
@@ -587,7 +706,7 @@ impl ShardedFtl {
                     continue;
                 }
                 prev => {
-                    ch.buffer.push((lpa, data.take().expect("data consumed once")));
+                    ch.buffer.push((lpa, data));
                     stripe.insert(lpa, Loc::Buffered(target));
                     self.buffered.fetch_add(1, Ordering::Relaxed);
                     if let Some(Loc::Flash(old)) = prev {
@@ -595,7 +714,7 @@ impl ShardedFtl {
                         // invalidated lazily by GC validation.
                         self.valid[self.block_of(old) as usize].fetch_sub(1, Ordering::Relaxed);
                     }
-                    return cost;
+                    return Ok(cost);
                 }
             }
         }
@@ -605,9 +724,16 @@ impl ShardedFtl {
     /// needed. Returns the latency in nanoseconds: channels drain in
     /// parallel, so the program cost is the largest per-channel batch, plus
     /// all GC work.
-    pub fn flush_all(&self, stats: &AtomicTraffic) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unrecoverable media error hit while draining
+    /// (spares exhausted mid-remap). Pages not yet programmed stay in the
+    /// battery-backed buffer — durable, but no longer flushable.
+    pub fn flush_all(&self, stats: &AtomicTraffic) -> Result<u64, FlashError> {
         let mut gc_cost = 0;
         let mut max_pages = 0usize;
+        let mut first_err: Option<FlashError> = None;
         // Two passes: a page stranded on a full channel is migrated to the
         // next channel's slice and picked up there; a page that lands on an
         // already-drained channel simply stays buffered (it is battery-backed
@@ -620,16 +746,22 @@ impl ShardedFtl {
                 drop(ch);
                 gc_cost += r.gc_cost;
                 max_pages = max_pages.max(r.programmed);
+                if first_err.is_none() {
+                    first_err = r.error;
+                }
                 any_stranded |= !r.stranded.is_empty();
                 for l in r.stranded {
                     self.migrate_buffered(l, c);
                 }
             }
-            if !any_stranded {
+            if !any_stranded || first_err.is_some() {
                 break;
             }
         }
-        gc_cost + max_pages as u64 * self.cfg.flash_write_ns
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(gc_cost + max_pages as u64 * self.cfg.flash_write_ns),
+        }
     }
 
     /// Marks a logical page as no longer containing live data. Drops the
@@ -648,13 +780,10 @@ impl ShardedFtl {
             }
             match loc {
                 Loc::Buffered(_) => {
-                    let pos = ch
-                        .buffer
-                        .iter()
-                        .position(|(l, _)| *l == lpa)
-                        .expect("buffered mapping implies a buffer entry");
-                    ch.buffer.remove(pos);
-                    self.buffered.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(pos) = ch.buffer.iter().position(|(l, _)| *l == lpa) {
+                        ch.buffer.remove(pos);
+                        self.buffered.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
                 Loc::Flash(ppa) => {
                     ch.p2l.remove(&ppa);
@@ -720,8 +849,14 @@ impl ShardedFtl {
             .flash
             .block_ids()
             .filter(|b| Some(*b) != active_block)
+            .filter(|b| !ch.bad.contains(b))
             .filter(|b| ch.flash.block_fill(*b) == ppb)
-            .min_by_key(|b| self.valid[*b as usize].load(Ordering::Relaxed));
+            // Wear-aware greedy: fewest valid pages first, lowest erase
+            // count as the tie-break so erase wear spreads across
+            // equally-garbage-laden candidates.
+            .min_by_key(|b| {
+                (self.valid[*b as usize].load(Ordering::Relaxed), ch.flash.erase_count(*b))
+            });
         let Some(victim) = victim else { return 0 };
         let first = ch.flash.first_page_of(victim);
         // Count the pages that are *really* live (p2l keeps stale entries
@@ -751,23 +886,49 @@ impl ShardedFtl {
         for off in 0..ppb as u64 {
             let ppa = first + off;
             let Some(&lpa) = ch.p2l.get(&ppa) else { continue };
+            // Validate and read under the stripe lock, then release it
+            // before programming: the program may retire a failed block,
+            // and retirement relocation takes other stripe locks (stripes
+            // are leaf locks — never hold one across another's acquisition).
+            {
+                let stripe = self.stripes[Self::stripe_of(lpa)].lock();
+                if stripe.get(&lpa).copied() != Some(Loc::Flash(ppa)) {
+                    drop(stripe);
+                    ch.p2l.remove(&ppa);
+                    continue;
+                }
+            }
+            // A cut mid-relocation aborts GC before the erase: already
+            // relocated pages keep their new mapping, the victim keeps
+            // its (now partly stale) data — nothing is lost.
+            if !self.cfg.fault.step(FaultKind::FlashProgram) {
+                return cost;
+            }
+            let Ok(data) = ch.flash.read_page(ppa) else {
+                ch.p2l.remove(&ppa);
+                continue;
+            };
+            stats.inc_flash_read(true);
+            cost += self.cfg.flash_read_ns;
+            let Some(dst) = Self::allocate_ppa_locked(ch) else {
+                // Headroom was pre-checked, but a mid-GC retirement may have
+                // shrunk it; abort the pass rather than fail hard.
+                return cost;
+            };
+            debug_assert_ne!(self.block_of(dst), victim, "GC wrote into its own victim");
+            let (dst, extra) = match self.program_allocated(ch, dst, &data, stats) {
+                Ok(ok) => ok,
+                Err(_) => return cost, // spares exhausted mid-relocation
+            };
+            cost += extra;
+            stats.inc_flash_write(true);
+            cost += self.cfg.flash_write_ns;
+            // Re-validate: the mapping may have moved (e.g. the host
+            // re-buffered the page from another channel) while no stripe
+            // lock was held. If it did, `dst` holds dead data and is simply
+            // left as garbage for a future GC pass.
             let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
             if stripe.get(&lpa).copied() == Some(Loc::Flash(ppa)) {
-                // A cut mid-relocation aborts GC before the erase: already
-                // relocated pages keep their new mapping, the victim keeps
-                // its (now partly stale) data — nothing is lost.
-                if !self.cfg.fault.step(FaultKind::FlashProgram) {
-                    return cost;
-                }
-                let data = ch.flash.read_page(ppa).expect("victim page readable");
-                stats.inc_flash_read(true);
-                cost += self.cfg.flash_read_ns;
-                let dst =
-                    Self::allocate_ppa_locked(ch).expect("GC pre-checked relocation headroom");
-                debug_assert_ne!(self.block_of(dst), victim, "GC wrote into its own victim");
-                ch.flash.program_page(dst, &data).expect("relocation target programmable");
-                stats.inc_flash_write(true);
-                cost += self.cfg.flash_write_ns;
                 ch.p2l.insert(dst, lpa);
                 stripe.insert(lpa, Loc::Flash(dst));
                 self.valid[self.block_of(dst) as usize].fetch_add(1, Ordering::Relaxed);
@@ -778,11 +939,136 @@ impl ShardedFtl {
         if !self.cfg.fault.step(FaultKind::FlashErase) {
             return cost; // cut before the erase: the victim stays as garbage
         }
-        ch.flash.erase_block(victim).expect("victim block erasable");
+        if self.cfg.media.erase_fails() {
+            // Injected permanent erase failure: the attempt still pays its
+            // latency, then the block is retired instead of recycled.
+            cost += self.cfg.flash_erase_ns;
+            self.retire_block_locked(ch, victim, stats);
+            return cost;
+        }
+        if ch.flash.erase_block(victim).is_err() {
+            return cost; // structurally impossible; degrade to no-progress
+        }
         stats.inc_flash_erase();
         cost += self.cfg.flash_erase_ns;
         self.valid[victim as usize].store(0, Ordering::Relaxed);
         ch.free.push_back(victim);
+        cost
+    }
+
+    /// Programs `data` at the freshly allocated `ppa`, absorbing injected
+    /// permanent program failures: the failed block is retired (a spare is
+    /// promoted to replace it), its live pages are relocated by verified
+    /// copyback, the in-flight page is remapped to a fresh allocation and
+    /// the program retried.
+    ///
+    /// Returns the physical page that finally took the data plus the extra
+    /// latency charged (each failed attempt still pays a full program; the
+    /// caller records the one successful program in the traffic stats).
+    /// Must be called with the channel lock held but **no stripe lock** —
+    /// retirement relocation acquires stripe locks.
+    fn program_allocated(
+        &self,
+        ch: &mut Channel,
+        mut ppa: Ppa,
+        data: &[u8],
+        stats: &AtomicTraffic,
+    ) -> Result<(Ppa, u64), FlashError> {
+        let mut cost = 0;
+        loop {
+            if !self.cfg.media.program_fails() {
+                ch.flash.program_page(ppa, data)?;
+                return Ok((ppa, cost));
+            }
+            cost += self.cfg.flash_write_ns;
+            let failed = self.block_of(ppa);
+            // Retire first, then relocate: retirement pulls the failed
+            // block out of the allocator, so the relocation below can never
+            // allocate back into it.
+            let have_spare = self.retire_block_locked(ch, failed, stats);
+            cost += self.relocate_live_pages(ch, failed, stats);
+            stats.inc_ras_remapped_pages();
+            if !have_spare {
+                return Err(FlashError::ReadOnly);
+            }
+            match Self::allocate_ppa_locked(ch) {
+                Some(p) => ppa = p,
+                None => {
+                    self.read_only.store(true, Ordering::SeqCst);
+                    return Err(FlashError::ReadOnly);
+                }
+            }
+        }
+    }
+
+    /// Retires `block`: removes it from every allocation structure, zeroes
+    /// its valid count and promotes one spare into the free list to keep
+    /// usable capacity constant. Returns `false` — and latches the device
+    /// read-only — when the channel's spare pool is empty.
+    fn retire_block_locked(&self, ch: &mut Channel, block: BlockId, stats: &AtomicTraffic) -> bool {
+        ch.bad.push(block);
+        self.valid[block as usize].store(0, Ordering::Relaxed);
+        stats.inc_ras_retired_blocks();
+        if ch.active.map(|(b, _)| b) == Some(block) {
+            ch.active = None;
+        }
+        ch.free.retain(|b| *b != block);
+        let ok = if let Some(s) = ch.spare.pop_front() {
+            ch.free.push_back(s);
+            self.spare_count.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            self.read_only.store(true, Ordering::SeqCst);
+            false
+        };
+        stats.set_ras_spares_remaining(self.spare_count.load(Ordering::Relaxed) as u64);
+        ok
+    }
+
+    /// Relocates the live pages of a just-retired block by verified
+    /// copyback. The copy itself is injection-free — the model treats the
+    /// retirement path as a verified internal transfer, which bounds the
+    /// cascade: the at-most `fill` live pages plus the in-flight page always
+    /// fit the spare block promoted by the retirement. Returns the latency
+    /// spent. Must be called with the channel lock held but no stripe lock.
+    fn relocate_live_pages(&self, ch: &mut Channel, block: BlockId, stats: &AtomicTraffic) -> u64 {
+        let mut cost = 0;
+        let first = ch.flash.first_page_of(block);
+        let fill = ch.flash.block_fill(block);
+        for off in 0..fill as u64 {
+            let ppa = first + off;
+            let Some(&lpa) = ch.p2l.get(&ppa) else { continue };
+            let mut stripe = self.stripes[Self::stripe_of(lpa)].lock();
+            if stripe.get(&lpa).copied() != Some(Loc::Flash(ppa)) {
+                drop(stripe);
+                ch.p2l.remove(&ppa);
+                continue;
+            }
+            let Ok(data) = ch.flash.read_page(ppa) else {
+                drop(stripe);
+                ch.p2l.remove(&ppa);
+                continue;
+            };
+            stats.inc_flash_read(true);
+            cost += self.cfg.flash_read_ns;
+            let Some(dst) = Self::allocate_ppa_locked(ch) else {
+                // No erased space even after the spare promotion; the
+                // remaining live pages stay readable on the retired block.
+                self.read_only.store(true, Ordering::SeqCst);
+                break;
+            };
+            if ch.flash.program_page(dst, &data).is_err() {
+                self.read_only.store(true, Ordering::SeqCst);
+                break;
+            }
+            stats.inc_flash_write(true);
+            cost += self.cfg.flash_write_ns;
+            ch.p2l.insert(dst, lpa);
+            stripe.insert(lpa, Loc::Flash(dst));
+            self.valid[self.block_of(dst) as usize].fetch_add(1, Ordering::Relaxed);
+            drop(stripe);
+            ch.p2l.remove(&ppa);
+        }
         cost
     }
 
@@ -821,7 +1107,23 @@ impl ShardedFtl {
                 }
                 break;
             };
-            ch.flash.program_page(ppa, &data).expect("allocation yields programmable page");
+            let ppa = match self.program_allocated(ch, ppa, &data, stats) {
+                Ok((ppa, extra)) => {
+                    r.gc_cost += extra;
+                    ppa
+                }
+                Err(e) => {
+                    // Unrecoverable media condition (spares exhausted):
+                    // this page and the rest stay in the battery-backed
+                    // buffer — durable, but no longer programmable.
+                    r.error = Some(e);
+                    ch.buffer.push((lpa, data));
+                    for (l, d) in iter.by_ref() {
+                        ch.buffer.push((l, d));
+                    }
+                    break;
+                }
+            };
             stats.inc_flash_write(false);
             ch.p2l.insert(ppa, lpa);
             r.programmed += 1;
@@ -856,14 +1158,76 @@ impl ShardedFtl {
         if stripe.get(&lpa).copied() != Some(Loc::Buffered(from)) {
             return; // trimmed or moved meanwhile
         }
-        let pos = src
-            .buffer
-            .iter()
-            .position(|(l, _)| *l == lpa)
-            .expect("buffered mapping implies a buffer entry");
+        let Some(pos) = src.buffer.iter().position(|(l, _)| *l == lpa) else {
+            return; // slice out of sync with the mapping: nothing to move
+        };
         let entry = src.buffer.remove(pos);
         dst.buffer.push(entry);
         stripe.insert(lpa, Loc::Buffered(to));
+    }
+
+    // ------------------------------------------------------------------
+    // RAS observability and the persistent bad-block table
+    // ------------------------------------------------------------------
+
+    /// All retired (bad) blocks across every channel, sorted. This is the
+    /// bad-block table persisted into crash images: a device must never
+    /// forget which blocks failed, or it would re-use them after power-up.
+    pub fn bad_blocks(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for c in &self.channels {
+            out.extend(c.lock().bad.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Spare blocks remaining across all channels (the RAS gauge).
+    pub fn spares_remaining(&self) -> usize {
+        self.spare_count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the device has degraded to read-only: some retirement found
+    /// its channel's spare pool empty. Reads keep working; every mutation
+    /// fails with [`FlashError::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Re-applies a persisted bad-block table to this (fresh, empty) FTL —
+    /// the first step of a crash-image restore, before any page is
+    /// re-programmed, so the allocator can never place restored data on a
+    /// block that already failed.
+    ///
+    /// Each bad block is removed from wherever the fresh allocator holds it
+    /// and one spare is promoted in its place, mirroring the original
+    /// retirement; the spare gauge ends up where the crashed device left it.
+    pub fn restore_bad_blocks(&self, bad: &[BlockId]) {
+        for &b in bad {
+            let c = (b % self.cfg.channels as u64) as usize;
+            let mut ch = self.channels[c].lock();
+            let consumed_spare = if let Some(pos) = ch.spare.iter().position(|x| *x == b) {
+                ch.spare.remove(pos);
+                true
+            } else if let Some(pos) = ch.free.iter().position(|x| *x == b) {
+                ch.free.remove(pos);
+                if let Some(s) = ch.spare.pop_front() {
+                    ch.free.push_back(s);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if ch.active.map(|(blk, _)| blk) == Some(b) {
+                ch.active = None;
+            }
+            ch.bad.push(b);
+            if consumed_spare {
+                self.spare_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -888,20 +1252,20 @@ impl ShardedFtl {
             match loc {
                 Loc::Flash(ppa) => {
                     let ch = self.channels[self.channel_of(ppa)].lock();
-                    let data = ch.flash.read_page(ppa).expect("mapped ppa readable");
-                    flash_pages.push((lpa, data));
+                    match ch.flash.read_page(ppa) {
+                        Ok(data) => flash_pages.push((lpa, data)),
+                        Err(e) => panic!("crash-image export: mapped ppa {ppa} unreadable: {e}"),
+                    }
                 }
                 Loc::Buffered(c) => {
                     let ch = self.channels[c].lock();
-                    let data = ch
-                        .buffer
-                        .iter()
-                        .rev()
-                        .find(|(l, _)| *l == lpa)
-                        .expect("buffered mapping implies a buffer entry")
-                        .1
-                        .clone();
-                    buffered.push((lpa, data));
+                    match ch.buffer.iter().rev().find(|(l, _)| *l == lpa) {
+                        Some((_, data)) => buffered.push((lpa, data.clone())),
+                        None => panic!(
+                            "crash-image export: lpa {lpa} mapped as buffered on channel {c} \
+                             but absent from its slice"
+                        ),
+                    }
                 }
             }
         }
@@ -922,14 +1286,26 @@ impl ShardedFtl {
             0,
             "crash-image restore requires an empty FTL"
         );
+        // The rebuild replays programs that already succeeded before the
+        // cut: they must neither draw fresh media faults nor advance the
+        // plan's deterministic op ordinals.
+        self.cfg.media.suspend();
         let scratch = AtomicTraffic::new();
+        let replay = |lpa: Lpa, data: &Vec<u8>| match self.buffer_write(lpa, data.clone(), &scratch)
+        {
+            Ok(_) => {}
+            Err(e) => panic!("crash-image restore rejected page {lpa}: {e}"),
+        };
         for (lpa, data) in flash_pages {
-            self.buffer_write(*lpa, data.clone(), &scratch);
+            replay(*lpa, data);
         }
-        self.flush_all(&scratch);
+        if let Err(e) = self.flush_all(&scratch) {
+            panic!("crash-image restore flush failed: {e}");
+        }
         for (lpa, data) in buffered {
-            self.buffer_write(*lpa, data.clone(), &scratch);
+            replay(*lpa, data);
         }
+        self.cfg.media.resume();
     }
 
     /// Structural invariant check used by crashkit's post-recovery checkers:
@@ -940,6 +1316,33 @@ impl ShardedFtl {
     /// Only meaningful at a quiescent point.
     pub fn check_consistency(&self) -> Vec<String> {
         let mut problems = Vec::new();
+        // RAS invariants first: a retired block must be out of every
+        // allocation structure (one channel locked at a time).
+        let mut all_bad: HashSet<BlockId> = HashSet::new();
+        for (idx, c) in self.channels.iter().enumerate() {
+            let ch = c.lock();
+            for &b in &ch.bad {
+                if ch.free.contains(&b) {
+                    problems.push(format!("bad block {b} still on channel {idx} free list"));
+                }
+                if ch.spare.contains(&b) {
+                    problems.push(format!("bad block {b} still in channel {idx} spare pool"));
+                }
+                if ch.active.map(|(blk, _)| blk) == Some(b) {
+                    problems.push(format!("bad block {b} still active on channel {idx}"));
+                }
+                if !all_bad.insert(b) {
+                    problems.push(format!("block {b} retired twice"));
+                }
+            }
+        }
+        let spare_total: usize = self.channels.iter().map(|c| c.lock().spare.len()).sum();
+        if spare_total != self.spare_count.load(Ordering::Relaxed) {
+            problems.push(format!(
+                "spare gauge reads {} but channels hold {spare_total} spares",
+                self.spare_count.load(Ordering::Relaxed)
+            ));
+        }
         let mut mappings: Vec<(Lpa, Loc)> = Vec::new();
         for stripe in &self.stripes {
             let guard = stripe.lock();
@@ -954,6 +1357,16 @@ impl ShardedFtl {
                     if let Some(prev) = seen_ppa.insert(ppa, lpa) {
                         problems.push(format!(
                             "physical page {ppa} mapped by both lpa {prev} and lpa {lpa}"
+                        ));
+                    }
+                    // A fully-relocated retirement leaves no live mappings
+                    // on a bad block. The one exception: a device that
+                    // degraded read-only mid-relocation legitimately leaves
+                    // unrelocated (still readable) pages behind.
+                    if all_bad.contains(&self.block_of(ppa)) && !self.is_read_only() {
+                        problems.push(format!(
+                            "lpa {lpa} maps to physical page {ppa} on retired block {}",
+                            self.block_of(ppa)
                         ));
                     }
                     let ch = self.channels[self.channel_of(ppa)].lock();
@@ -1003,7 +1416,7 @@ mod tests {
     #[test]
     fn read_unwritten_is_zero_and_free() {
         let (f, st) = ftl();
-        let (data, ns) = f.read_page(7, &st, false);
+        let (data, ns) = f.read_page(7, &st, false).unwrap();
         assert_eq!(data, vec![0u8; f.page_size()]);
         assert_eq!(ns, 0);
         assert_eq!(st.snapshot().flash_read_pages, 0);
@@ -1013,10 +1426,10 @@ mod tests {
     fn write_then_read_from_buffer() {
         let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(3, page(0xAB, ps), &st);
+        f.buffer_write(3, page(0xAB, ps), &st).unwrap();
         // Still in buffer: no flash write yet, read served from buffer.
         assert_eq!(st.snapshot().flash_write_pages, 0);
-        let (data, ns) = f.read_page(3, &st, false);
+        let (data, ns) = f.read_page(3, &st, false).unwrap();
         assert_eq!(data, page(0xAB, ps));
         assert_eq!(ns, 0);
     }
@@ -1025,13 +1438,13 @@ mod tests {
     fn flush_programs_pages() {
         let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(1, page(1, ps), &st);
-        f.buffer_write(2, page(2, ps), &st);
-        let cost = f.flush_buffer(&st);
+        f.buffer_write(1, page(1, ps), &st).unwrap();
+        f.buffer_write(2, page(2, ps), &st).unwrap();
+        let cost = f.flush_buffer(&st).unwrap();
         assert!(cost > 0);
         assert_eq!(st.snapshot().flash_write_pages, 2);
         assert_eq!(f.mapped_pages(), 2);
-        let (d, ns) = f.read_page(2, &st, false);
+        let (d, ns) = f.read_page(2, &st, false).unwrap();
         assert_eq!(d, page(2, ps));
         assert!(ns > 0);
         assert_eq!(st.snapshot().flash_read_pages, 1);
@@ -1041,12 +1454,12 @@ mod tests {
     fn overwrite_invalidates_old_mapping() {
         let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(5, page(1, ps), &st);
-        f.flush_buffer(&st);
-        f.buffer_write(5, page(2, ps), &st);
-        f.flush_buffer(&st);
+        f.buffer_write(5, page(1, ps), &st).unwrap();
+        f.flush_buffer(&st).unwrap();
+        f.buffer_write(5, page(2, ps), &st).unwrap();
+        f.flush_buffer(&st).unwrap();
         assert_eq!(f.mapped_pages(), 1);
-        let (d, _) = f.read_page(5, &st, false);
+        let (d, _) = f.read_page(5, &st, false).unwrap();
         assert_eq!(d, page(2, ps));
     }
 
@@ -1054,12 +1467,12 @@ mod tests {
     fn buffer_coalesces_same_lpa() {
         let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(9, page(1, ps), &st);
-        f.buffer_write(9, page(2, ps), &st);
+        f.buffer_write(9, page(1, ps), &st).unwrap();
+        f.buffer_write(9, page(2, ps), &st).unwrap();
         assert_eq!(f.buffered_pages(), 1);
-        f.flush_buffer(&st);
+        f.flush_buffer(&st).unwrap();
         assert_eq!(st.snapshot().flash_write_pages, 1);
-        let (d, _) = f.read_page(9, &st, false);
+        let (d, _) = f.read_page(9, &st, false).unwrap();
         assert_eq!(d, page(2, ps));
     }
 
@@ -1071,9 +1484,9 @@ mod tests {
         let (mut f, st) = ftl();
         let ps = f.page_size();
         for i in 0..channels as u64 {
-            f.buffer_write(i, page(i as u8, ps), &st);
+            f.buffer_write(i, page(i as u8, ps), &st).unwrap();
         }
-        let cost = f.flush_buffer(&st);
+        let cost = f.flush_buffer(&st).unwrap();
         // All pages fit in one parallel round (plus possible GC cost of 0).
         assert_eq!(cost, per_write);
     }
@@ -1082,12 +1495,12 @@ mod tests {
     fn trim_unmaps() {
         let (mut f, st) = ftl();
         let ps = f.page_size();
-        f.buffer_write(4, page(7, ps), &st);
-        f.flush_buffer(&st);
+        f.buffer_write(4, page(7, ps), &st).unwrap();
+        f.flush_buffer(&st).unwrap();
         assert!(f.is_mapped(4));
         f.trim(4);
         assert!(!f.is_mapped(4));
-        let (d, ns) = f.read_page(4, &st, false);
+        let (d, ns) = f.read_page(4, &st, false).unwrap();
         assert_eq!(d, vec![0u8; ps]);
         assert_eq!(ns, 0);
     }
@@ -1105,18 +1518,18 @@ mod tests {
         for round in 0..6u64 {
             version = version.wrapping_add(1);
             for lpa in 0..working_set {
-                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st);
+                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st).unwrap();
             }
-            f.flush_buffer(&st);
+            f.flush_buffer(&st).unwrap();
             // Spot-check correctness each round.
             let probe = round % working_set;
-            let (d, _) = f.read_page(probe, &st, false);
+            let (d, _) = f.read_page(probe, &st, false).unwrap();
             assert_eq!(d, page(version ^ probe as u8, ps), "round {round}");
         }
         assert!(st.snapshot().flash_erase_blocks > 0, "GC should have run");
         // Everything still readable with the final version.
         for lpa in 0..working_set {
-            let (d, _) = f.read_page(lpa, &st, false);
+            let (d, _) = f.read_page(lpa, &st, false).unwrap();
             assert_eq!(d, page(version ^ lpa as u8, ps), "lpa {lpa}");
         }
     }
@@ -1129,43 +1542,43 @@ mod tests {
     fn sharded_write_read_trim_roundtrip() {
         let (f, st) = sharded();
         let ps = f.page_size();
-        assert_eq!(f.read_page(7, &st, false), (vec![0u8; ps], 0));
-        f.buffer_write(3, page(0xAB, ps), &st);
+        assert_eq!(f.read_page(7, &st, false).unwrap(), (vec![0u8; ps], 0));
+        f.buffer_write(3, page(0xAB, ps), &st).unwrap();
         assert_eq!(f.buffered_pages(), 1);
         assert!(f.is_mapped(3));
         // Buffered read: no flash access, no latency.
-        let (data, ns) = f.read_page(3, &st, false);
+        let (data, ns) = f.read_page(3, &st, false).unwrap();
         assert_eq!(data, page(0xAB, ps));
         assert_eq!(ns, 0);
         assert_eq!(st.snapshot().flash_write_pages, 0);
-        let cost = f.flush_all(&st);
+        let cost = f.flush_all(&st).unwrap();
         assert!(cost > 0);
         assert_eq!(f.buffered_pages(), 0);
         assert_eq!(f.mapped_pages(), 1);
-        let (data, ns) = f.read_page(3, &st, false);
+        let (data, ns) = f.read_page(3, &st, false).unwrap();
         assert_eq!(data, page(0xAB, ps));
         assert!(ns > 0);
         f.trim(3);
         assert!(!f.is_mapped(3));
-        assert_eq!(f.read_page(3, &st, false), (vec![0u8; ps], 0));
+        assert_eq!(f.read_page(3, &st, false).unwrap(), (vec![0u8; ps], 0));
     }
 
     #[test]
     fn sharded_coalesces_and_overwrites() {
         let (f, st) = sharded();
         let ps = f.page_size();
-        f.buffer_write(9, page(1, ps), &st);
-        f.buffer_write(9, page(2, ps), &st);
+        f.buffer_write(9, page(1, ps), &st).unwrap();
+        f.buffer_write(9, page(2, ps), &st).unwrap();
         assert_eq!(f.buffered_pages(), 1);
-        f.flush_all(&st);
+        f.flush_all(&st).unwrap();
         assert_eq!(st.snapshot().flash_write_pages, 1);
         // Overwrite of a flash-mapped page: newest wins after re-flush.
-        f.buffer_write(9, page(3, ps), &st);
-        let (d, ns) = f.read_page(9, &st, false);
+        f.buffer_write(9, page(3, ps), &st).unwrap();
+        let (d, ns) = f.read_page(9, &st, false).unwrap();
         assert_eq!((d, ns), (page(3, ps), 0));
-        f.flush_all(&st);
+        f.flush_all(&st).unwrap();
         assert_eq!(f.mapped_pages(), 1);
-        assert_eq!(f.read_page(9, &st, false).0, page(3, ps));
+        assert_eq!(f.read_page(9, &st, false).unwrap().0, page(3, ps));
     }
 
     #[test]
@@ -1176,9 +1589,9 @@ mod tests {
         let (f, st) = sharded();
         let ps = f.page_size();
         for i in 0..channels as u64 {
-            f.buffer_write(i, page(i as u8, ps), &st);
+            f.buffer_write(i, page(i as u8, ps), &st).unwrap();
         }
-        let cost = f.flush_all(&st);
+        let cost = f.flush_all(&st).unwrap();
         // Round-robin placement puts one page per channel: one parallel round.
         assert_eq!(cost, per_write);
     }
@@ -1195,15 +1608,19 @@ mod tests {
         for round in 0..6u64 {
             version = version.wrapping_add(1);
             for lpa in 0..working_set {
-                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st);
+                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st).unwrap();
             }
-            f.flush_all(&st);
+            f.flush_all(&st).unwrap();
             let probe = round % working_set;
-            assert_eq!(f.read_page(probe, &st, false).0, page(version ^ probe as u8, ps));
+            assert_eq!(f.read_page(probe, &st, false).unwrap().0, page(version ^ probe as u8, ps));
         }
         assert!(st.snapshot().flash_erase_blocks > 0, "GC should have run");
         for lpa in 0..working_set {
-            assert_eq!(f.read_page(lpa, &st, false).0, page(version ^ lpa as u8, ps), "lpa {lpa}");
+            assert_eq!(
+                f.read_page(lpa, &st, false).unwrap().0,
+                page(version ^ lpa as u8, ps),
+                "lpa {lpa}"
+            );
         }
         assert!(f.utilization() > 0.0);
         assert!(f.max_wear() > 0);
@@ -1224,13 +1641,13 @@ mod tests {
                     let ps = f.page_size();
                     let base = t * per_thread;
                     for i in 0..per_thread {
-                        f.buffer_write(base + i, page((t * 64 + i) as u8, ps), &st);
+                        f.buffer_write(base + i, page((t * 64 + i) as u8, ps), &st).unwrap();
                         if i % 16 == 15 {
-                            f.flush_all(&st);
+                            f.flush_all(&st).unwrap();
                         }
                     }
                     for i in 0..per_thread {
-                        let (d, _) = f.read_page(base + i, &st, false);
+                        let (d, _) = f.read_page(base + i, &st, false).unwrap();
                         assert_eq!(d, page((t * 64 + i) as u8, ps), "thread {t} page {i}");
                     }
                 })
@@ -1239,7 +1656,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        f.flush_all(&st);
+        f.flush_all(&st).unwrap();
         assert_eq!(f.mapped_pages(), (threads * per_thread) as usize);
         assert_eq!(f.buffered_pages(), 0);
     }
@@ -1250,10 +1667,179 @@ mod tests {
         assert_eq!(f.utilization(), 0.0);
         let ps = f.page_size();
         for lpa in 0..16 {
-            f.buffer_write(lpa, page(1, ps), &st);
+            f.buffer_write(lpa, page(1, ps), &st).unwrap();
         }
-        f.flush_buffer(&st);
+        f.flush_buffer(&st).unwrap();
         assert!(f.utilization() > 0.0);
         assert!(f.utilization() < 1.0);
+    }
+
+    // ------------------------------------------------------------------
+    // RAS: ECC read path, retirement, bad-block table, degradation
+    // ------------------------------------------------------------------
+
+    use crate::fault::{MediaFaultConfig, MediaFaultPlan};
+
+    fn sharded_with_media(media: MediaFaultConfig) -> (ShardedFtl, AtomicTraffic) {
+        let cfg = MssdConfig::small_test().with_media_fault_plan(MediaFaultPlan::new(media));
+        (ShardedFtl::new(cfg), AtomicTraffic::new())
+    }
+
+    #[test]
+    fn soft_read_fault_is_corrected_or_retried_to_data() {
+        // Every read draws a soft transient event; the ECC + retry ladder
+        // must always hand back the original data.
+        let (f, st) = sharded_with_media(MediaFaultConfig {
+            seed: 11,
+            read_error_rate: 1.0,
+            ..Default::default()
+        });
+        let ps = f.page_size();
+        for lpa in 0..8u64 {
+            f.buffer_write(lpa, page(lpa as u8 ^ 0x5a, ps), &st).unwrap();
+        }
+        f.flush_all(&st).unwrap();
+        for lpa in 0..8u64 {
+            let (d, ns) = f.read_page(lpa, &st, false).unwrap();
+            assert_eq!(d, page(lpa as u8 ^ 0x5a, ps), "lpa {lpa}");
+            assert!(ns > 0);
+        }
+        let snap = st.snapshot();
+        assert!(snap.ras_corrected_reads + snap.ras_read_retries > 0);
+        assert_eq!(snap.ras_uncorrectable_reads, 0);
+    }
+
+    #[test]
+    fn hard_read_fault_reports_uncorrectable_after_ladder() {
+        // The first flash read is forced hard: pinned beyond correction on
+        // every rung, so the ladder must exhaust and report a typed UECC.
+        let (f, st) =
+            sharded_with_media(MediaFaultConfig { seed: 2, fail_read_at: 1, ..Default::default() });
+        let ps = f.page_size();
+        f.buffer_write(5, page(0xc3, ps), &st).unwrap();
+        f.flush_all(&st).unwrap();
+        let err = f.read_page(5, &st, false).unwrap_err();
+        match err {
+            FlashError::Uncorrectable { retries, .. } => {
+                assert_eq!(retries, f.cfg.read_retry_limit);
+            }
+            other => panic!("expected Uncorrectable, got {other}"),
+        }
+        let snap = st.snapshot();
+        assert_eq!(snap.ras_uncorrectable_reads, 1);
+        assert_eq!(snap.ras_read_retries as u32, f.cfg.read_retry_limit);
+        // The event was transient (the NAND data itself is intact): the
+        // device is not degraded and a later read of the page succeeds.
+        assert!(!f.is_read_only());
+        assert_eq!(f.read_page(5, &st, false).unwrap().0, page(0xc3, ps));
+    }
+
+    #[test]
+    fn program_failure_retires_block_and_remaps_page() {
+        let (f, st) = sharded_with_media(MediaFaultConfig {
+            seed: 3,
+            fail_program_at: 3,
+            ..Default::default()
+        });
+        let ps = f.page_size();
+        let spares_before = f.spares_remaining();
+        for lpa in 0..8u64 {
+            f.buffer_write(lpa, page(lpa as u8 | 0x80, ps), &st).unwrap();
+        }
+        f.flush_all(&st).unwrap();
+        let snap = st.snapshot();
+        assert_eq!(snap.ras_remapped_pages, 1);
+        assert_eq!(snap.ras_retired_blocks, 1);
+        assert_eq!(f.spares_remaining(), spares_before - 1);
+        assert_eq!(f.bad_blocks().len(), 1);
+        assert!(!f.is_read_only());
+        // Every page, including the remapped one, reads back intact.
+        for lpa in 0..8u64 {
+            assert_eq!(f.read_page(lpa, &st, false).unwrap().0, page(lpa as u8 | 0x80, ps));
+        }
+        assert_eq!(f.check_consistency(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_to_read_only() {
+        // Every program fails: retirements chew through the spare pool and
+        // the device must degrade to read-only instead of panicking.
+        let (f, st) = sharded_with_media(MediaFaultConfig {
+            seed: 4,
+            program_fail_rate: 1.0,
+            ..Default::default()
+        });
+        let ps = f.page_size();
+        f.buffer_write(0, page(0x11, ps), &st).unwrap();
+        let err = f.flush_all(&st).unwrap_err();
+        assert_eq!(err, FlashError::ReadOnly);
+        assert!(f.is_read_only());
+        // One channel's pool (2 spares) was consumed before it gave up.
+        assert_eq!(f.spares_remaining(), 2 * (f.cfg.channels - 1));
+        // Writes are refused, reads still work (the page stayed buffered).
+        assert_eq!(f.buffer_write(1, page(0x22, ps), &st).unwrap_err(), FlashError::ReadOnly);
+        assert_eq!(f.read_page(0, &st, false).unwrap().0, page(0x11, ps));
+    }
+
+    #[test]
+    fn bad_block_table_restores_into_fresh_ftl() {
+        let (f, st) = sharded_with_media(MediaFaultConfig {
+            seed: 5,
+            fail_program_at: 2,
+            ..Default::default()
+        });
+        let ps = f.page_size();
+        for lpa in 0..6u64 {
+            f.buffer_write(lpa, page(lpa as u8 + 1, ps), &st).unwrap();
+        }
+        f.flush_all(&st).unwrap();
+        let bad = f.bad_blocks();
+        assert_eq!(bad.len(), 1);
+        let spares = f.spares_remaining();
+        let (flash_pages, buffered) = f.export_logical();
+
+        // Power-cycle: fresh FTL, bad-block table first, then the pages.
+        let (g, st2) = sharded_with_media(MediaFaultConfig {
+            seed: 5,
+            fail_program_at: 2,
+            ..Default::default()
+        });
+        g.restore_bad_blocks(&bad);
+        assert_eq!(g.bad_blocks(), bad);
+        assert_eq!(g.spares_remaining(), spares);
+        g.restore_logical(&flash_pages, &buffered);
+        for lpa in 0..6u64 {
+            assert_eq!(g.read_page(lpa, &st2, false).unwrap().0, page(lpa as u8 + 1, ps));
+        }
+        // The restore consumed no media-fault ordinals, so the post-restore
+        // plan state matches the pre-crash device's.
+        assert_eq!(g.check_consistency(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn erase_failure_during_gc_retires_victim() {
+        let media = MediaFaultConfig { seed: 6, fail_erase_at: 1, ..Default::default() };
+        let cfg = MssdConfig::small_test().with_media_fault_plan(MediaFaultPlan::new(media));
+        let logical = cfg.logical_pages();
+        let f = ShardedFtl::new(cfg);
+        let st = AtomicTraffic::new();
+        let ps = f.page_size();
+        let working_set = (logical / 2).max(8);
+        let mut version = 0u8;
+        for _ in 0..6u64 {
+            version = version.wrapping_add(1);
+            for lpa in 0..working_set {
+                f.buffer_write(lpa, page(version ^ lpa as u8, ps), &st).unwrap();
+            }
+            f.flush_all(&st).unwrap();
+        }
+        let snap = st.snapshot();
+        assert!(snap.flash_erase_blocks > 0, "GC should have run");
+        assert_eq!(snap.ras_retired_blocks, 1, "first erase was forced to fail");
+        assert_eq!(f.bad_blocks().len(), 1);
+        for lpa in 0..working_set {
+            assert_eq!(f.read_page(lpa, &st, false).unwrap().0, page(version ^ lpa as u8, ps));
+        }
+        assert_eq!(f.check_consistency(), Vec::<String>::new());
     }
 }

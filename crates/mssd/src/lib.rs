@@ -87,6 +87,7 @@ pub mod clock;
 pub mod config;
 pub mod device;
 pub mod dram_cache;
+pub mod ecc;
 pub mod fault;
 pub mod flash;
 pub mod ftl;
@@ -100,8 +101,9 @@ pub use clock::Clock;
 pub use config::{MssdConfig, TimingProfile};
 pub use device::{CrashImage, DramMode, Mssd};
 pub use dram_cache::{CachePageRef, DramPageCache, ShardedDramCache, CACHE_SHARDS};
-pub use fault::{FaultKind, FaultPlan};
-pub use flash::ChannelFlash;
+pub use ecc::{EccOutcome, PageParity, ECC_DETECT, ECC_T};
+pub use fault::{FaultKind, FaultPlan, MediaFaultConfig, MediaFaultPlan, MediaOpKind};
+pub use flash::{ChannelFlash, FlashError};
 pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};
 pub use log::{ShardedWriteLog, LOG_SHARDS};
 pub use queue::{Command, CommandId, Completion, HostQueue, QueueFull};

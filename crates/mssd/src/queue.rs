@@ -55,6 +55,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::device::Mssd;
+use crate::flash::FlashError;
 use crate::stats::Category;
 use crate::txn::TxId;
 
@@ -128,18 +129,31 @@ pub enum Command {
     },
 }
 
-/// A completed command: its id, the read payload (for `ByteRead` /
-/// `BlockRead`), and the virtual device latency attributed to it.
+/// A completed command: its id, a status code, the read payload (for
+/// `ByteRead` / `BlockRead`), and the virtual device latency attributed to
+/// it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
     /// Id the command was submitted under.
     pub id: CommandId,
-    /// Read payload, `None` for non-read commands.
+    /// Command status: `Ok(())` on success, or the media error the firmware
+    /// reported (uncorrectable read, read-only degradation). Mirrors the
+    /// NVMe completion status field. Commands coalesced into one merged
+    /// write share the merged write's status.
+    pub status: Result<(), FlashError>,
+    /// Read payload, `None` for non-read commands and failed reads.
     pub data: Option<Vec<u8>>,
     /// Virtual nanoseconds of device time attributed to this command.
     /// Commands coalesced into one merged write share the merged write's
     /// cost evenly.
     pub latency_ns: u64,
+}
+
+impl Completion {
+    /// Whether the command completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status.is_ok()
+    }
 }
 
 /// Error returned by [`HostQueue::submit`] when the submission queue is at
@@ -290,7 +304,7 @@ impl HostQueue {
                 break; // power is off: the rest of the SQ never executes
             }
             let (ids, cmd) = self.pop_group();
-            let (data, cost) = execute(&dev, &cmd);
+            let (status, data, cost) = execute(&dev, &cmd);
             if dev.fault_tripped() {
                 // The cut landed inside this group: its effects are in
                 // doubt, so no completion is delivered for it — and it
@@ -300,13 +314,19 @@ impl HostQueue {
             coalesced += ids.len() as u64 - 1;
             // A read's payload goes to the last (only) member; coalesced
             // byte writes share the merged cost evenly, remainder to the
-            // first, so the per-queue totals stay exact.
+            // first, so the per-queue totals stay exact. A merged write's
+            // status is shared by every member.
             let share = cost / ids.len() as u64;
             let mut remainder = cost - share * ids.len() as u64;
             for id in ids {
                 let lat = share + remainder;
                 remainder = 0;
-                self.cq.push_back(Completion { id, data: data.clone(), latency_ns: lat });
+                self.cq.push_back(Completion {
+                    id,
+                    status: status.clone(),
+                    data: data.clone(),
+                    latency_ns: lat,
+                });
                 dev.stats_ref().record_queue_op(self.id, lat);
                 delivered += 1;
             }
@@ -378,25 +398,39 @@ impl HostQueue {
 }
 
 /// Executes one (possibly merged) command against the device, returning the
-/// read payload and the virtual device cost. This is the single execution
-/// path shared by doorbell batches and the synchronous depth-1 shim.
-pub(crate) fn execute(dev: &Mssd, cmd: &Command) -> (Option<Vec<u8>>, u64) {
+/// completion status, the read payload and the virtual device cost. This is
+/// the single execution path shared by doorbell batches and the synchronous
+/// depth-1 shim.
+pub(crate) fn execute(dev: &Mssd, cmd: &Command) -> (Result<(), FlashError>, Option<Vec<u8>>, u64) {
     match cmd {
         Command::ByteWrite { addr, data, txid, cat } => {
-            (None, dev.exec_byte_write(*addr, data, *txid, *cat))
+            let (status, cost) = dev.exec_byte_write(*addr, data, *txid, *cat);
+            (status, None, cost)
         }
         Command::ByteRead { addr, len, cat } => {
             let (data, cost) = dev.exec_byte_read(*addr, *len, *cat);
-            (Some(data), cost)
+            match data {
+                Ok(data) => (Ok(()), Some(data), cost),
+                Err(e) => (Err(e), None, cost),
+            }
         }
-        Command::BlockWrite { lba, data, cat } => (None, dev.exec_block_write(*lba, data, *cat)),
+        Command::BlockWrite { lba, data, cat } => {
+            let (status, cost) = dev.exec_block_write(*lba, data, *cat);
+            (status, None, cost)
+        }
         Command::BlockRead { lba, count, cat } => {
             let (data, cost) = dev.exec_block_read(*lba, *count, *cat);
-            (Some(data), cost)
+            match data {
+                Ok(data) => (Ok(()), Some(data), cost),
+                Err(e) => (Err(e), None, cost),
+            }
         }
-        Command::Flush => (None, dev.exec_flush()),
-        Command::Trim { lba, count } => (None, dev.exec_trim(*lba, *count)),
-        Command::Commit { txid } => (None, dev.exec_commit(*txid)),
+        Command::Flush => {
+            let (status, cost) = dev.exec_flush();
+            (status, None, cost)
+        }
+        Command::Trim { lba, count } => (Ok(()), None, dev.exec_trim(*lba, *count)),
+        Command::Commit { txid } => (Ok(()), None, dev.exec_commit(*txid)),
     }
 }
 

@@ -211,6 +211,23 @@ pub struct TrafficCounter {
     pub log_bg_cleaned_pages: u64,
     /// Total virtual nanoseconds spent in host-visible device operations.
     pub device_busy_ns: u64,
+    /// RAS: flash reads whose raw bit errors the ECC corrected.
+    pub ras_corrected_reads: u64,
+    /// RAS: flash reads that resolved as uncorrectable ECC errors (UECC)
+    /// after exhausting the read-retry ladder.
+    pub ras_uncorrectable_reads: u64,
+    /// RAS: read-retry attempts performed (ladder rungs after the initial
+    /// read, whether or not they eventually recovered the page).
+    pub ras_read_retries: u64,
+    /// RAS: pages remapped to a fresh block after a permanent program
+    /// failure.
+    pub ras_remapped_pages: u64,
+    /// RAS: blocks retired to the bad-block table (program or erase failure).
+    pub ras_retired_blocks: u64,
+    /// RAS: spare blocks currently remaining across all channels. A gauge,
+    /// not a tally: [`TrafficCounter::delta_since`] keeps the later
+    /// snapshot's value.
+    pub ras_spares_remaining: u64,
     /// Per-queue-slot submission/completion accounting (slot 0 = the
     /// synchronous depth-1 shim). Empty slots are omitted.
     pub queues: BTreeMap<u16, QueueLat>,
@@ -325,6 +342,14 @@ impl TrafficCounter {
             log_fg_stalls: self.log_fg_stalls - earlier.log_fg_stalls,
             log_bg_cleaned_pages: self.log_bg_cleaned_pages - earlier.log_bg_cleaned_pages,
             device_busy_ns: self.device_busy_ns - earlier.device_busy_ns,
+            ras_corrected_reads: self.ras_corrected_reads - earlier.ras_corrected_reads,
+            ras_uncorrectable_reads: self.ras_uncorrectable_reads - earlier.ras_uncorrectable_reads,
+            ras_read_retries: self.ras_read_retries - earlier.ras_read_retries,
+            ras_remapped_pages: self.ras_remapped_pages - earlier.ras_remapped_pages,
+            ras_retired_blocks: self.ras_retired_blocks - earlier.ras_retired_blocks,
+            // A gauge (current spare inventory), not a monotonic tally: the
+            // delta keeps the later snapshot's reading.
+            ras_spares_remaining: self.ras_spares_remaining,
             queues: {
                 let mut out = BTreeMap::new();
                 for (id, q) in &self.queues {
@@ -454,6 +479,12 @@ pub struct AtomicTraffic {
     log_fg_stalls: CachePadded<AtomicU64>,
     log_bg_cleaned_pages: CachePadded<AtomicU64>,
     device_busy_ns: CachePadded<AtomicU64>,
+    ras_corrected_reads: CachePadded<AtomicU64>,
+    ras_uncorrectable_reads: CachePadded<AtomicU64>,
+    ras_read_retries: CachePadded<AtomicU64>,
+    ras_remapped_pages: CachePadded<AtomicU64>,
+    ras_retired_blocks: CachePadded<AtomicU64>,
+    ras_spares_remaining: CachePadded<AtomicU64>,
     queues: [AtomicQueueLat; QUEUE_SLOTS],
 }
 
@@ -526,6 +557,37 @@ impl AtomicTraffic {
         self.device_busy_ns.add(ns);
     }
 
+    /// Counts one ECC-corrected flash read.
+    pub fn inc_ras_corrected_reads(&self) {
+        self.ras_corrected_reads.add(1);
+    }
+
+    /// Counts one uncorrectable (UECC) flash read.
+    pub fn inc_ras_uncorrectable_reads(&self) {
+        self.ras_uncorrectable_reads.add(1);
+    }
+
+    /// Counts one read-retry ladder rung.
+    pub fn inc_ras_read_retries(&self) {
+        self.ras_read_retries.add(1);
+    }
+
+    /// Counts one page remapped after a permanent program failure.
+    pub fn inc_ras_remapped_pages(&self) {
+        self.ras_remapped_pages.add(1);
+    }
+
+    /// Counts one block retired to the bad-block table.
+    pub fn inc_ras_retired_blocks(&self) {
+        self.ras_retired_blocks.add(1);
+    }
+
+    /// Sets the spare-blocks-remaining gauge (current inventory across all
+    /// channels).
+    pub fn set_ras_spares_remaining(&self, spares: u64) {
+        self.ras_spares_remaining.0.store(spares, Ordering::Relaxed);
+    }
+
     /// Records one completed command on queue slot `queue` (slot index is
     /// taken modulo [`QUEUE_SLOTS`]): bumps the op count and accumulates its
     /// virtual latency. Lock-free.
@@ -581,6 +643,12 @@ impl AtomicTraffic {
             log_fg_stalls: self.log_fg_stalls.get(),
             log_bg_cleaned_pages: self.log_bg_cleaned_pages.get(),
             device_busy_ns: self.device_busy_ns.get(),
+            ras_corrected_reads: self.ras_corrected_reads.get(),
+            ras_uncorrectable_reads: self.ras_uncorrectable_reads.get(),
+            ras_read_retries: self.ras_read_retries.get(),
+            ras_remapped_pages: self.ras_remapped_pages.get(),
+            ras_retired_blocks: self.ras_retired_blocks.get(),
+            ras_spares_remaining: self.ras_spares_remaining.get(),
             queues: {
                 let mut map = BTreeMap::new();
                 for (id, cell) in self.queues.iter().enumerate() {
@@ -616,6 +684,12 @@ impl AtomicTraffic {
             &self.log_fg_stalls,
             &self.log_bg_cleaned_pages,
             &self.device_busy_ns,
+            &self.ras_corrected_reads,
+            &self.ras_uncorrectable_reads,
+            &self.ras_read_retries,
+            &self.ras_remapped_pages,
+            &self.ras_retired_blocks,
+            &self.ras_spares_remaining,
         ] {
             cell.clear();
         }
@@ -682,16 +756,22 @@ mod tests {
         let mut t = TrafficCounter::new();
         t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
         t.flash_write_pages = 1;
+        t.ras_corrected_reads = 2;
+        t.ras_spares_remaining = 8;
         let snap = t.clone();
         t.record_host(Direction::Write, Category::Data, Interface::Block, 4096);
         t.record_host(Direction::Read, Category::Inode, Interface::Block, 4096);
         t.flash_write_pages = 3;
         t.device_busy_ns = 500;
+        t.ras_corrected_reads = 5;
+        t.ras_spares_remaining = 6;
         let d = t.delta_since(&snap);
         assert_eq!(d.host_write_bytes(), 4096);
         assert_eq!(d.host_read_bytes(), 4096);
         assert_eq!(d.flash_write_pages, 2);
         assert_eq!(d.device_busy_ns, 500);
+        assert_eq!(d.ras_corrected_reads, 3);
+        assert_eq!(d.ras_spares_remaining, 6, "gauge keeps the later reading");
     }
 
     #[test]
@@ -725,6 +805,13 @@ mod tests {
         a.inc_tx_commits();
         a.inc_log_cleanings();
         a.add_device_busy_ns(500);
+        a.inc_ras_corrected_reads();
+        a.inc_ras_read_retries();
+        a.inc_ras_read_retries();
+        a.inc_ras_uncorrectable_reads();
+        a.inc_ras_remapped_pages();
+        a.inc_ras_retired_blocks();
+        a.set_ras_spares_remaining(7);
 
         let mut t = TrafficCounter::new();
         t.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
@@ -737,6 +824,12 @@ mod tests {
         t.tx_commits = 1;
         t.log_cleanings = 1;
         t.device_busy_ns = 500;
+        t.ras_corrected_reads = 1;
+        t.ras_read_retries = 2;
+        t.ras_uncorrectable_reads = 1;
+        t.ras_remapped_pages = 1;
+        t.ras_retired_blocks = 1;
+        t.ras_spares_remaining = 7;
 
         assert_eq!(a.snapshot(), t);
         assert_eq!(a.flash_writes_total(), 2);

@@ -65,13 +65,13 @@ proptest! {
             match op {
                 FtlOp::Write { lpa_sel, tag } => {
                     let lpa = lpa_sel as u64 % universe;
-                    reference.buffer_write(lpa, vec![tag; ps], &ref_stats);
-                    sharded.buffer_write(lpa, vec![tag; ps], &sh_stats);
+                    reference.buffer_write(lpa, vec![tag; ps], &ref_stats).unwrap();
+                    sharded.buffer_write(lpa, vec![tag; ps], &sh_stats).unwrap();
                 }
                 FtlOp::Read { lpa_sel } => {
                     let lpa = lpa_sel as u64 % universe;
-                    let (a, _) = reference.read_page(lpa, &ref_stats, false);
-                    let (b, _) = sharded.read_page(lpa, &sh_stats, false);
+                    let (a, _) = reference.read_page(lpa, &ref_stats, false).unwrap();
+                    let (b, _) = sharded.read_page(lpa, &sh_stats, false).unwrap();
                     prop_assert_eq!(a, b, "read of page {} diverged", lpa);
                 }
                 FtlOp::Trim { lpa_sel } => {
@@ -80,8 +80,8 @@ proptest! {
                     sharded.trim(lpa);
                 }
                 FtlOp::Flush => {
-                    reference.flush_buffer(&ref_stats);
-                    sharded.flush_all(&sh_stats);
+                    reference.flush_buffer(&ref_stats).unwrap();
+                    sharded.flush_all(&sh_stats).unwrap();
                     prop_assert_eq!(reference.buffered_pages(), 0);
                     prop_assert_eq!(sharded.buffered_pages(), 0);
                     // At a flush point every surviving page is on flash on
@@ -105,8 +105,8 @@ proptest! {
 
         // Final image: every page of the universe reads identically.
         for lpa in 0..universe {
-            let (a, _) = reference.read_page(lpa, &ref_stats, false);
-            let (b, _) = sharded.read_page(lpa, &sh_stats, false);
+            let (a, _) = reference.read_page(lpa, &ref_stats, false).unwrap();
+            let (b, _) = sharded.read_page(lpa, &sh_stats, false).unwrap();
             prop_assert_eq!(a, b, "final image of page {} diverged", lpa);
         }
     }

@@ -254,11 +254,35 @@ pub fn run_concurrent(
                     workload.run_shard(fs.as_ref(), t, threads, &mut rng, &mut rec)?;
                     drop(ambient);
                     // The shard's end-of-phase FLUSH barrier goes through
-                    // the queue as a batched doorbell.
-                    queue.submit(Command::Flush).expect("fresh queue has room");
+                    // the queue as a batched doorbell. A full SQ gets one
+                    // bounded retry after a drain; a completion carrying a
+                    // transient media error gets one bounded resubmission.
+                    // Neither path busy-spins: every doorbell drains.
+                    if queue.submit(Command::Flush).is_err() {
+                        queue.ring_doorbell();
+                        while let Some(c) = queue.poll() {
+                            rec.record_queue_completion(c.latency_ns);
+                        }
+                        queue.submit(Command::Flush).expect("drained queue has room");
+                    }
                     queue.ring_doorbell();
-                    while let Some(c) = queue.poll() {
-                        rec.record_queue_completion(c.latency_ns);
+                    let mut retried = false;
+                    loop {
+                        let mut resubmit = false;
+                        while let Some(c) = queue.poll() {
+                            rec.record_queue_completion(c.latency_ns);
+                            if let Err(e) = &c.status {
+                                if e.is_transient() && !retried {
+                                    resubmit = true;
+                                }
+                            }
+                        }
+                        if !resubmit {
+                            break;
+                        }
+                        retried = true;
+                        queue.submit(Command::Flush).expect("drained queue has room");
+                        queue.ring_doorbell();
                     }
                     Ok(rec)
                 })
