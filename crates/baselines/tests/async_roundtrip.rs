@@ -1,0 +1,40 @@
+//! The futures-based file-system API is file-system agnostic: a baseline
+//! behind [`AsyncFs`] behaves exactly like its sync self.
+
+use std::sync::Arc;
+
+use baselines::Ext4Like;
+use fskit::{AsyncFileSystem, AsyncFileSystemExt, AsyncFs, FileSystem, FileSystemExt};
+use mssd::{DramMode, Executor, Mssd, MssdConfig};
+
+#[test]
+fn async_clients_round_trip_on_the_ext4_baseline() {
+    let dev = Mssd::new(MssdConfig::small_test(), DramMode::PageCache);
+    let fs = Ext4Like::format(Arc::clone(&dev));
+    let afs: Arc<dyn AsyncFileSystem> =
+        Arc::new(AsyncFs::new(Arc::clone(&fs) as Arc<dyn FileSystem>));
+    let exec = Executor::new(2);
+
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let afs = Arc::clone(&afs);
+            exec.spawn(async move {
+                let path = format!("/base{c}");
+                let body = vec![c as u8 ^ 0x5C; 1024 + c * 64];
+                afs.write_file(&path, &body).await.unwrap();
+                assert_eq!(afs.read_file(&path).await.unwrap(), body);
+                afs.sync().await.unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        exec.block_on(h);
+    }
+
+    // The sync view agrees with what the async clients wrote.
+    for c in 0..8usize {
+        let body = vec![c as u8 ^ 0x5C; 1024 + c * 64];
+        assert_eq!(fs.read_file(&format!("/base{c}")).unwrap(), body);
+    }
+    assert_eq!(fs.readdir("/").unwrap().len(), 8);
+}

@@ -5,7 +5,7 @@
 //! workflow can upload the report as the failure-seed artifact.
 //!
 //! ```text
-//! sweep <device|device-mq|bytefs|kv|ext4like|novalike|device-media|media+power> \
+//! sweep <device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power> \
 //!       <cleaning:on|off> [seeds=4] [cuts-per-seed=24] [out.json]
 //! ```
 //!
@@ -16,8 +16,8 @@
 use std::io::Write as _;
 
 use crashkit::{
-    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, Enumerator, FsStress, KvStress,
-    MediaStress, Scenario, SweepReport,
+    BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, Enumerator,
+    FsStress, KvStress, MediaStress, Scenario, SweepReport,
 };
 
 fn seed_stream(seeds: u64) -> Vec<u64> {
@@ -57,6 +57,7 @@ fn main() {
     let report = match scenario {
         "device" => run(DeviceStress::quick(), cleaning, seeds, cuts),
         "device-mq" => run(DeviceMqStress::quick(), cleaning, seeds, cuts),
+        "device-async" => run(DeviceAsyncStress::quick(), cleaning, seeds, cuts),
         "bytefs" => run(FsStress::quick(), cleaning, seeds, cuts),
         "kv" => run(KvStress::quick(), cleaning, seeds, cuts),
         "ext4like" => run(BaselineStress::quick(BaselineKind::Ext4), cleaning, seeds, cuts),
@@ -66,7 +67,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown scenario {other:?} \
-                 (device|device-mq|bytefs|kv|ext4like|novalike|device-media|media+power)"
+                 (device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power)"
             );
             std::process::exit(2);
         }

@@ -49,8 +49,8 @@ pub mod scenarios;
 
 pub use driver::{CutOutcome, Enumerator, SweepReport};
 pub use scenarios::{
-    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, FsStress, KvStress, MediaStress,
-    Oracle, Scenario,
+    BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, FsStress,
+    KvStress, MediaStress, Oracle, Scenario,
 };
 
 use std::sync::Arc;

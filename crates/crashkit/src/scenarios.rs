@@ -607,6 +607,183 @@ fn apply_mq_cmd(
 }
 
 // ---------------------------------------------------------------------------
+// Async-runtime device stress (futures multiplexed over reactor lanes)
+// ---------------------------------------------------------------------------
+
+/// Logical clients the async stress spawns as futures.
+const ASYNC_CLIENTS: usize = 6;
+/// Reactor lanes (queue pairs) the clients share — three clients per lane.
+const ASYNC_LANES: usize = 2;
+/// SQ depth per lane: shallow enough that one client's batch can fill the
+/// lane and the others must *park* for capacity, so the cut also lands with
+/// submitters suspended in the backpressure queue.
+const ASYNC_DEPTH: usize = 4;
+/// 64-byte cacheline slots per client (disjoint ranges in partition 0).
+const ASYNC_SLOTS: u64 = 48;
+/// Block pages per client (disjoint ranges in partition 1).
+const ASYNC_PAGES: u64 = 6;
+
+/// Async-runtime crash scenario: `ASYNC_CLIENTS` logical clients submit
+/// seeded command batches as futures through one [`mssd::Runtime`] in
+/// deterministic zero-worker mode — the enumerating thread drives the
+/// executor, so the same seed replays the same interleaving exactly. The
+/// clients share `ASYNC_LANES` reactor lanes of depth `ASYNC_DEPTH`,
+/// which keeps submitters parking for capacity; the power cut therefore
+/// lands with futures in every terminal state the runtime distinguishes,
+/// and the oracle holds the typed contract:
+///
+/// * a future resolving `Ok(completion)` — even if nothing ever read the
+///   result — is durable under the normal rules (non-transactional writes
+///   immediately, transactional writes at their commit);
+/// * [`mssd::SubmitError::CutConsumed`] means the cut landed inside the
+///   command's (possibly coalesced) group: in doubt, old or new value but
+///   never torn;
+/// * [`mssd::SubmitError::CutUnsubmitted`] (parked at the cut, stranded in
+///   the SQ, or submitted after power failed) must have **no** durable
+///   effect.
+///
+/// Clients write disjoint cacheline and block-page ranges, so per-location
+/// device write order is each client's own submission order and the oracle
+/// composes client by client via `apply_mq_cmd`.
+#[derive(Debug, Clone)]
+pub struct DeviceAsyncStress {
+    /// Number of batches each client submits.
+    pub rounds: usize,
+}
+
+impl DeviceAsyncStress {
+    /// A stream sized so the crash-point space comfortably exceeds a few
+    /// hundred steps while a sweep stays fast.
+    pub fn quick() -> Self {
+        Self { rounds: 28 }
+    }
+}
+
+impl Scenario for DeviceAsyncStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        // Partition 0 holds the clients' byte slots, partition 1 their
+        // block pages.
+        cfg.capacity_bytes = 32 << 20;
+        // Small log region, threshold pushed out: space admission failures
+        // drive foreground seal + drain crash points under async traffic.
+        cfg.dram_region_bytes = 16 << 10;
+        cfg.log_clean_threshold = 0.999;
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let rt = mssd::Runtime::new(dev, 0, ASYNC_LANES, ASYNC_DEPTH);
+        let page_size = dev.page_size() as u64;
+        let block_base = (16u64 << 20) / page_size; // partition 1
+        let rounds = self.rounds;
+
+        let handles: Vec<_> = (0..ASYNC_CLIENTS)
+            .map(|c| {
+                let reactor = Arc::clone(rt.reactor());
+                let dev = Arc::clone(dev);
+                rt.spawn(async move {
+                    let mut rng = Rng::new(seed.wrapping_add((c as u64 + 1) << 8));
+                    let mut tx = TxId(((c as u32) + 1) << 16);
+                    let lane = reactor.lane_for(c);
+                    let line_base = c as u64 * ASYNC_SLOTS;
+                    let page_base = block_base + c as u64 * ASYNC_PAGES;
+                    let mut log: Vec<(MqCmd, Result<(), mssd::SubmitError>)> = Vec::new();
+                    for _ in 0..rounds {
+                        // A coalescible run of adjacent byte writes, with a
+                        // tail op appended to some batches.
+                        let run_len = 1 + rng.below(3);
+                        let base_slot = rng.below(ASYNC_SLOTS - run_len);
+                        let tag = 1 + rng.below(250) as u8;
+                        let transactional = rng.below(3) == 0;
+                        let mut cmds = Vec::new();
+                        let mut descs = Vec::new();
+                        for i in 0..run_len {
+                            let line = line_base + base_slot + i;
+                            let t = tag.wrapping_add(i as u8);
+                            cmds.push(mssd::Command::ByteWrite {
+                                addr: line * 64,
+                                data: vec![t; 64],
+                                txid: transactional.then_some(tx),
+                                cat: Category::Data,
+                            });
+                            descs.push(MqCmd::Line {
+                                line,
+                                tag: t,
+                                txid: transactional.then_some(tx.0),
+                            });
+                        }
+                        match rng.below(8) {
+                            0 if transactional => {
+                                cmds.push(mssd::Command::Commit { txid: tx });
+                                descs.push(MqCmd::Commit { txid: tx.0 });
+                                // Advance at submission, exactly as the
+                                // multi-queue stress does.
+                                tx = TxId(tx.0 + 1);
+                            }
+                            1 | 2 => {
+                                let lba = page_base + rng.below(ASYNC_PAGES);
+                                let ptag = 1 + rng.below(250) as u8;
+                                cmds.push(mssd::Command::BlockWrite {
+                                    lba,
+                                    data: vec![ptag; page_size as usize],
+                                    cat: Category::Data,
+                                });
+                                descs.push(MqCmd::Page { lba, tag: ptag });
+                            }
+                            3 => {
+                                let lba = page_base + rng.below(ASYNC_PAGES);
+                                cmds.push(mssd::Command::Trim { lba, count: 1 });
+                                descs.push(MqCmd::TrimPage { lba });
+                            }
+                            4 => {
+                                cmds.push(mssd::Command::Flush);
+                                descs.push(MqCmd::Flush);
+                            }
+                            _ => {}
+                        }
+                        let outcomes = reactor.submit_batch(lane, cmds).await;
+                        for (desc, out) in descs.into_iter().zip(outcomes) {
+                            log.push((desc, out.map(|_| ())));
+                        }
+                        if dev.fault_tripped() {
+                            break; // remaining submits would all be dead
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        let logs = rt.block_on(async move {
+            let mut v = Vec::with_capacity(handles.len());
+            for h in handles {
+                v.push(h.await);
+            }
+            v
+        });
+
+        // Locations are disjoint per client, so replaying each client's log
+        // in its own submission order reconstructs per-location device
+        // order.
+        let mut o = DeviceOracle::default();
+        for log in logs {
+            let mut pending: Vec<(u64, u8, u32)> = Vec::new();
+            for (cmd, outcome) in log {
+                match outcome {
+                    Ok(()) => apply_mq_cmd(&mut o, &mut pending, cmd, true),
+                    Err(mssd::SubmitError::CutConsumed) => {
+                        apply_mq_cmd(&mut o, &mut pending, cmd, false)
+                    }
+                    // Never executed: the recorded old value stands.
+                    Err(mssd::SubmitError::CutUnsubmitted) => {}
+                }
+            }
+        }
+        Box::new(o)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ByteFS file-system stress
 // ---------------------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 //! cut)` pair produces the same crash image and the same post-recovery
 //! state. This is what makes a printed failure line a full reproduction.
 
-use crashkit::{DeviceStress, Enumerator, FsStress, KvStress};
+use crashkit::{DeviceAsyncStress, DeviceStress, Enumerator, FsStress, KvStress};
 
 #[test]
 fn same_seed_counts_the_same_crash_point_space() {
@@ -27,6 +27,23 @@ fn same_cut_produces_the_same_image_and_recovery() {
         assert_eq!(a.image_digest, b.image_digest, "cut {cut}: crash image diverged");
         assert_eq!(a.recovered_digest, b.recovered_digest, "cut {cut}: recovery diverged");
         assert_eq!(a.cut_kind, b.cut_kind, "cut {cut}: step kind diverged");
+        assert!(a.clean(), "{}", a.repro_line());
+    }
+}
+
+#[test]
+fn async_runtime_cuts_are_deterministic() {
+    // The zero-worker executor runs every client future on the enumerating
+    // thread in FIFO order, so the async scenario replays bit-exactly.
+    let e = Enumerator::new(DeviceAsyncStress::quick());
+    let seed = 0xA51C;
+    let total = e.count_steps(seed);
+    assert_eq!(total, e.count_steps(seed), "step space diverged");
+    for cut in [1, total / 2, total] {
+        let a = e.run_cut(seed, cut);
+        let b = e.run_cut(seed, cut);
+        assert_eq!(a.image_digest, b.image_digest, "cut {cut}: crash image diverged");
+        assert_eq!(a.recovered_digest, b.recovered_digest, "cut {cut}: recovery diverged");
         assert!(a.clean(), "{}", a.repro_line());
     }
 }

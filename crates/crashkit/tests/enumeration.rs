@@ -8,7 +8,8 @@
 use std::collections::BTreeSet;
 
 use crashkit::{
-    BaselineKind, BaselineStress, DeviceMqStress, DeviceStress, Enumerator, FsStress, KvStress,
+    BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, Enumerator,
+    FsStress, KvStress,
 };
 use mssd::FaultKind;
 
@@ -73,6 +74,36 @@ fn multi_queue_stress_is_clean_with_cleaning_on_both_sides() {
     e.recover_cleaning = true;
     let report = e.sweep(&[7, 8, 9], 16);
     assert!(report.distinct_points() >= 30);
+    report.assert_clean();
+}
+
+#[test]
+fn async_runtime_stress_enumerates_a_clean_crash_space() {
+    // Futures over shared reactor lanes: the cut lands with commands
+    // resolved-but-unread, in coalesced groups mid-execution, stranded in
+    // SQs and *parked for capacity* — every one must resolve to a typed
+    // outcome and the durable state must honour it.
+    let e = Enumerator::new(DeviceAsyncStress::quick());
+    let seed = 0x00A5_0CC5;
+    let total = e.count_steps(seed);
+    assert!(total >= 150, "async stress too small: {total} steps");
+    let report = e.exhaustive(seed, 250);
+    assert_eq!(report.total_steps, total);
+    report.assert_clean();
+    let kinds: BTreeSet<&str> =
+        report.outcomes.iter().filter_map(|o| o.cut_kind).map(FaultKind::label).collect();
+    for expected in ["log-append", "tx-commit", "buffer-write"] {
+        assert!(kinds.contains(expected), "no cut landed on a {expected} step (got {kinds:?})");
+    }
+}
+
+#[test]
+fn async_runtime_stress_is_clean_with_cleaning_on_both_sides() {
+    let mut e = Enumerator::new(DeviceAsyncStress::quick());
+    e.inject_cleaning = true;
+    e.recover_cleaning = true;
+    let report = e.sweep(&[21, 22], 12);
+    assert!(report.distinct_points() >= 20);
     report.assert_clean();
 }
 

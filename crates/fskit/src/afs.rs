@@ -1,0 +1,561 @@
+//! The [`AsyncFileSystem`] trait: the futures-based twin of
+//! [`FileSystem`], plus the adapters that bridge the two worlds.
+//!
+//! The sync trait came first and every file system in the workspace
+//! implements it; this module makes the same API awaitable so that
+//! thousands of logical clients can share a handful of OS threads through
+//! [`mssd::reactor`]. Three pieces:
+//!
+//! * [`AsyncFileSystem`] — object-safe (methods return [`BoxFuture`]s, the
+//!   hand-expanded `async_trait` pattern, cf. SNIPPETS.md #3);
+//! * [`AsyncFs`] — wraps any `Arc<dyn FileSystem>` as an async file system.
+//!   Each call yields to the executor once, then runs the sync operation
+//!   inline on the polling worker — cooperative multiplexing without
+//!   rewriting the file systems themselves;
+//! * [`BlockOnFs`] — the reverse shim: a sync [`FileSystem`] over an async
+//!   one via [`Executor::block_on`], mirroring how the sync device API is a
+//!   depth-1 queue shim.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use mssd::reactor::yield_now;
+use mssd::{Executor, Mssd};
+
+use crate::error::FsResult;
+use crate::fs::FileSystem;
+use crate::types::{DirEntry, Fd, Metadata, OpenFlags};
+
+/// The boxed future type every [`AsyncFileSystem`] method returns — the
+/// standard object-safe expansion of an `async fn` in a trait.
+pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+/// Futures-based twin of [`FileSystem`]. Same contracts and error values,
+/// awaitable methods; see the sync trait for per-method semantics.
+///
+/// Implementations must be cancel-safe at operation granularity: dropping a
+/// returned future either performed the whole operation or none of it.
+pub trait AsyncFileSystem: Send + Sync {
+    /// See [`FileSystem::name`].
+    fn name(&self) -> &'static str;
+
+    /// See [`FileSystem::device`].
+    fn device(&self) -> &Arc<Mssd>;
+
+    /// See [`FileSystem::create`].
+    fn create<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Fd>>;
+
+    /// See [`FileSystem::open`].
+    fn open<'a>(&'a self, path: &'a str, flags: OpenFlags) -> BoxFuture<'a, FsResult<Fd>>;
+
+    /// See [`FileSystem::close`].
+    fn close(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>>;
+
+    /// See [`FileSystem::read`].
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> BoxFuture<'_, FsResult<Vec<u8>>>;
+
+    /// See [`FileSystem::write`].
+    fn write<'a>(&'a self, fd: Fd, offset: u64, data: &'a [u8]) -> BoxFuture<'a, FsResult<usize>>;
+
+    /// See [`FileSystem::append`].
+    fn append<'a>(&'a self, fd: Fd, data: &'a [u8]) -> BoxFuture<'a, FsResult<usize>> {
+        Box::pin(async move {
+            let size = self.fstat(fd).await?.size;
+            self.write(fd, size, data).await
+        })
+    }
+
+    /// See [`FileSystem::fsync`].
+    fn fsync(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>>;
+
+    /// See [`FileSystem::fdatasync`].
+    fn fdatasync(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>> {
+        self.fsync(fd)
+    }
+
+    /// See [`FileSystem::truncate`].
+    fn truncate(&self, fd: Fd, size: u64) -> BoxFuture<'_, FsResult<()>>;
+
+    /// See [`FileSystem::fstat`].
+    fn fstat(&self, fd: Fd) -> BoxFuture<'_, FsResult<Metadata>>;
+
+    /// See [`FileSystem::stat`].
+    fn stat<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Metadata>>;
+
+    /// See [`FileSystem::exists`].
+    fn exists<'a>(&'a self, path: &'a str) -> BoxFuture<'a, bool> {
+        Box::pin(async move { self.stat(path).await.is_ok() })
+    }
+
+    /// See [`FileSystem::mkdir`].
+    fn mkdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>>;
+
+    /// See [`FileSystem::rmdir`].
+    fn rmdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>>;
+
+    /// See [`FileSystem::unlink`].
+    fn unlink<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>>;
+
+    /// See [`FileSystem::rename`].
+    fn rename<'a>(&'a self, from: &'a str, to: &'a str) -> BoxFuture<'a, FsResult<()>>;
+
+    /// See [`FileSystem::readdir`].
+    fn readdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Vec<DirEntry>>>;
+
+    /// See [`FileSystem::sync`].
+    fn sync(&self) -> BoxFuture<'_, FsResult<()>>;
+
+    /// See [`FileSystem::drop_caches`].
+    fn drop_caches(&self) -> BoxFuture<'_, ()> {
+        Box::pin(async {})
+    }
+
+    /// See [`FileSystem::unmount`].
+    fn unmount(&self) -> BoxFuture<'_, FsResult<()>> {
+        self.sync()
+    }
+}
+
+/// Convenience helpers layered on top of [`AsyncFileSystem`];
+/// blanket-implemented, mirroring [`crate::FileSystemExt`].
+pub trait AsyncFileSystemExt: AsyncFileSystem {
+    /// Writes a whole file in one call: create (truncating), write, fsync,
+    /// close.
+    fn write_file<'a>(&'a self, path: &'a str, data: &'a [u8]) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            let fd = self.open(path, OpenFlags::create_truncate()).await?;
+            self.write(fd, 0, data).await?;
+            self.fsync(fd).await?;
+            self.close(fd).await
+        })
+    }
+
+    /// Reads a whole file into memory.
+    fn read_file<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Vec<u8>>> {
+        Box::pin(async move {
+            let fd = self.open(path, OpenFlags::read_only()).await?;
+            let size = self.fstat(fd).await?.size as usize;
+            let data = self.read(fd, 0, size).await?;
+            self.close(fd).await?;
+            Ok(data)
+        })
+    }
+}
+
+impl<T: AsyncFileSystem + ?Sized> AsyncFileSystemExt for T {}
+
+/// Adapts any sync [`FileSystem`] into an [`AsyncFileSystem`].
+///
+/// Each operation first yields to the executor (so thousands of client
+/// tasks interleave fairly over few worker threads), then runs the sync
+/// call inline on the polling thread. The file systems in this workspace
+/// are internally concurrent and non-blocking (the "device time" is a
+/// virtual clock), so an inline call never wedges a worker.
+pub struct AsyncFs {
+    inner: Arc<dyn FileSystem>,
+}
+
+impl AsyncFs {
+    /// Wraps `fs`.
+    pub fn new(fs: Arc<dyn FileSystem>) -> Self {
+        Self { inner: fs }
+    }
+
+    /// The wrapped sync file system.
+    pub fn sync_fs(&self) -> &Arc<dyn FileSystem> {
+        &self.inner
+    }
+}
+
+impl AsyncFileSystem for AsyncFs {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn device(&self) -> &Arc<Mssd> {
+        self.inner.device()
+    }
+
+    fn create<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Fd>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.create(path)
+        })
+    }
+
+    fn open<'a>(&'a self, path: &'a str, flags: OpenFlags) -> BoxFuture<'a, FsResult<Fd>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.open(path, flags)
+        })
+    }
+
+    fn close(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.close(fd)
+        })
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> BoxFuture<'_, FsResult<Vec<u8>>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.read(fd, offset, len)
+        })
+    }
+
+    fn write<'a>(&'a self, fd: Fd, offset: u64, data: &'a [u8]) -> BoxFuture<'a, FsResult<usize>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.write(fd, offset, data)
+        })
+    }
+
+    fn fsync(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.fsync(fd)
+        })
+    }
+
+    fn fdatasync(&self, fd: Fd) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.fdatasync(fd)
+        })
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.truncate(fd, size)
+        })
+    }
+
+    fn fstat(&self, fd: Fd) -> BoxFuture<'_, FsResult<Metadata>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.fstat(fd)
+        })
+    }
+
+    fn stat<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Metadata>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.stat(path)
+        })
+    }
+
+    fn mkdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.mkdir(path)
+        })
+    }
+
+    fn rmdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.rmdir(path)
+        })
+    }
+
+    fn unlink<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.unlink(path)
+        })
+    }
+
+    fn rename<'a>(&'a self, from: &'a str, to: &'a str) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.rename(from, to)
+        })
+    }
+
+    fn readdir<'a>(&'a self, path: &'a str) -> BoxFuture<'a, FsResult<Vec<DirEntry>>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.readdir(path)
+        })
+    }
+
+    fn sync(&self) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.sync()
+        })
+    }
+
+    fn drop_caches(&self) -> BoxFuture<'_, ()> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.drop_caches()
+        })
+    }
+
+    fn unmount(&self) -> BoxFuture<'_, FsResult<()>> {
+        Box::pin(async move {
+            yield_now().await;
+            self.inner.unmount()
+        })
+    }
+}
+
+/// Adapts an [`AsyncFileSystem`] into a sync [`FileSystem`] by blocking on
+/// each operation with an [`Executor`] — the file-system analogue of the
+/// device's depth-1 sync shim. Existing sync workloads run unmodified over
+/// an async implementation this way.
+pub struct BlockOnFs {
+    afs: Arc<dyn AsyncFileSystem>,
+    exec: Executor,
+}
+
+impl BlockOnFs {
+    /// Wraps `afs`, driving its futures on `exec`.
+    pub fn new(afs: Arc<dyn AsyncFileSystem>, exec: Executor) -> Self {
+        Self { afs, exec }
+    }
+}
+
+impl FileSystem for BlockOnFs {
+    fn name(&self) -> &'static str {
+        self.afs.name()
+    }
+
+    fn device(&self) -> &Arc<Mssd> {
+        self.afs.device()
+    }
+
+    fn create(&self, path: &str) -> FsResult<Fd> {
+        self.exec.block_on(self.afs.create(path))
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        self.exec.block_on(self.afs.open(path, flags))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.exec.block_on(self.afs.close(fd))
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.exec.block_on(self.afs.read(fd, offset, len))
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.exec.block_on(self.afs.write(fd, offset, data))
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        self.exec.block_on(self.afs.append(fd, data))
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.exec.block_on(self.afs.fsync(fd))
+    }
+
+    fn fdatasync(&self, fd: Fd) -> FsResult<()> {
+        self.exec.block_on(self.afs.fdatasync(fd))
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        self.exec.block_on(self.afs.truncate(fd, size))
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        self.exec.block_on(self.afs.fstat(fd))
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        self.exec.block_on(self.afs.stat(path))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.exec.block_on(self.afs.exists(path))
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.exec.block_on(self.afs.mkdir(path))
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.exec.block_on(self.afs.rmdir(path))
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.exec.block_on(self.afs.unlink(path))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.exec.block_on(self.afs.rename(from, to))
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.exec.block_on(self.afs.readdir(path))
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.exec.block_on(self.afs.sync())
+    }
+
+    fn drop_caches(&self) {
+        self.exec.block_on(self.afs.drop_caches());
+    }
+
+    fn unmount(&self) -> FsResult<()> {
+        self.exec.block_on(self.afs.unmount())
+    }
+}
+
+/// Polls a future to completion on the current thread with a no-op waker.
+///
+/// Only sound for futures that make progress on every poll (like the
+/// yield-only futures [`AsyncFs`] produces) — a future waiting on an
+/// external wakeup would spin forever, so the loop panics after a bound
+/// rather than hang.
+///
+/// # Panics
+///
+/// Panics if the future is still pending after 1,000,000 polls.
+pub fn poll_inline<T>(fut: impl Future<Output = T>) -> T {
+    let mut fut = std::pin::pin!(fut);
+    let waker = Waker::noop();
+    let mut cx = Context::from_waker(waker);
+    for _ in 0..1_000_000 {
+        if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+            return v;
+        }
+    }
+    panic!("poll_inline: future needs external wakeups; drive it on an Executor instead");
+}
+
+/// A zero-overhead sync view over an [`AsyncFileSystem`] that resolves each
+/// operation by polling it inline ([`poll_inline`]) — no executor, no
+/// threads. This is how the default `Workload::run_shard_async` reuses the
+/// sync shard body: correct for [`AsyncFs`]-style implementations whose
+/// futures never wait on external events.
+pub struct InlineSyncFs<'a> {
+    afs: &'a dyn AsyncFileSystem,
+}
+
+impl<'a> InlineSyncFs<'a> {
+    /// Wraps `afs`.
+    pub fn new(afs: &'a dyn AsyncFileSystem) -> Self {
+        Self { afs }
+    }
+}
+
+impl FileSystem for InlineSyncFs<'_> {
+    fn name(&self) -> &'static str {
+        self.afs.name()
+    }
+
+    fn device(&self) -> &Arc<Mssd> {
+        self.afs.device()
+    }
+
+    fn create(&self, path: &str) -> FsResult<Fd> {
+        poll_inline(self.afs.create(path))
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        poll_inline(self.afs.open(path, flags))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        poll_inline(self.afs.close(fd))
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        poll_inline(self.afs.read(fd, offset, len))
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        poll_inline(self.afs.write(fd, offset, data))
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        poll_inline(self.afs.append(fd, data))
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        poll_inline(self.afs.fsync(fd))
+    }
+
+    fn fdatasync(&self, fd: Fd) -> FsResult<()> {
+        poll_inline(self.afs.fdatasync(fd))
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        poll_inline(self.afs.truncate(fd, size))
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        poll_inline(self.afs.fstat(fd))
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        poll_inline(self.afs.stat(path))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        poll_inline(self.afs.exists(path))
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        poll_inline(self.afs.mkdir(path))
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        poll_inline(self.afs.rmdir(path))
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        poll_inline(self.afs.unlink(path))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        poll_inline(self.afs.rename(from, to))
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        poll_inline(self.afs.readdir(path))
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        poll_inline(self.afs.sync())
+    }
+
+    fn drop_caches(&self) {
+        poll_inline(self.afs.drop_caches());
+    }
+
+    fn unmount(&self) -> FsResult<()> {
+        poll_inline(self.afs.unmount())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_filesystem_trait_is_object_safe() {
+        fn _takes_dyn(_fs: &dyn AsyncFileSystem) {}
+        fn _takes_arc(_fs: Arc<dyn AsyncFileSystem>) {}
+    }
+
+    #[test]
+    fn poll_inline_resolves_yielding_futures() {
+        let v = poll_inline(async {
+            mssd::reactor::yield_now().await;
+            mssd::reactor::yield_now().await;
+            7
+        });
+        assert_eq!(v, 7);
+    }
+}

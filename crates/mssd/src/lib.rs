@@ -93,6 +93,7 @@ pub mod flash;
 pub mod ftl;
 pub mod log;
 pub mod queue;
+pub mod reactor;
 pub mod skiplist;
 pub mod stats;
 pub mod txn;
@@ -106,7 +107,8 @@ pub use fault::{FaultKind, FaultPlan, MediaFaultConfig, MediaFaultPlan, MediaOpK
 pub use flash::{ChannelFlash, FlashError};
 pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};
 pub use log::{ShardedWriteLog, LOG_SHARDS};
-pub use queue::{Command, CommandId, Completion, HostQueue, QueueFull};
+pub use queue::{Command, CommandId, Completion, HostQueue, QueueFull, WaitError};
+pub use reactor::{Executor, JoinHandle, Reactor, Runtime, SubmitError};
 pub use stats::{
     AtomicTraffic, Category, Interface, QueueLat, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
 };

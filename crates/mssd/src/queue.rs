@@ -51,7 +51,7 @@
 //! thread's ambient queue, see [`HostQueue::make_ambient`]).
 
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use crate::device::Mssd;
@@ -169,6 +169,39 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Why [`HostQueue::wait`] (or [`HostQueue::try_complete`]) cannot produce a
+/// completion for a command id. Replaces the old ambiguous `None`, which
+/// collapsed "consumed by a power cut" and "you asked for a bogus id" into
+/// one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The command was consumed by the device when the power cut landed
+    /// inside its (possibly coalesced) execution group: its effects are
+    /// in-doubt — crashkit treats the target bytes as `Either` old or new.
+    PowerCutConsumed,
+    /// Power was cut before the command was consumed: it is still sitting
+    /// in the SQ and will never execute. Its effects never happened.
+    PowerCutPending,
+    /// The id was never returned by [`HostQueue::submit`] on this queue.
+    NeverSubmitted,
+    /// The command completed, but its completion was already delivered by an
+    /// earlier [`poll`](HostQueue::poll) / [`wait`](HostQueue::wait).
+    AlreadyDelivered,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WaitError::PowerCutConsumed => "command consumed by power cut: effects in doubt",
+            WaitError::PowerCutPending => "power cut before the command executed",
+            WaitError::NeverSubmitted => "command id was never submitted on this queue",
+            WaitError::AlreadyDelivered => "completion was already delivered",
+        })
+    }
+}
+
+impl std::error::Error for WaitError {}
+
 thread_local! {
     /// The queue slot sync (depth-1 shim) operations on this thread are
     /// attributed to. Slot 0 unless a [`HostQueue::make_ambient`] guard is
@@ -206,7 +239,14 @@ pub struct HostQueue {
     depth: usize,
     next_cid: u64,
     sq: VecDeque<(CommandId, Command)>,
+    /// Completions in delivery (= submission) order. Command ids are handed
+    /// out monotonically and a doorbell never reorders, so the CQ is always
+    /// sorted by id — lookups by [`CommandId`] are binary searches, not
+    /// scans.
     cq: VecDeque<Completion>,
+    /// Ids of the one command group a power cut landed inside: consumed by
+    /// the device, effects in doubt, no completion will ever be delivered.
+    in_doubt: BTreeSet<u64>,
 }
 
 impl std::fmt::Debug for HostQueue {
@@ -229,7 +269,15 @@ impl HostQueue {
     /// Panics if `depth` is zero.
     pub(crate) fn new(dev: Arc<Mssd>, id: u16, depth: usize) -> Self {
         assert!(depth > 0, "queue depth must be at least 1");
-        Self { dev, id, depth, next_cid: 1, sq: VecDeque::new(), cq: VecDeque::new() }
+        Self {
+            dev,
+            id,
+            depth,
+            next_cid: 1,
+            sq: VecDeque::new(),
+            cq: VecDeque::new(),
+            in_doubt: BTreeSet::new(),
+        }
     }
 
     /// The device this queue submits to.
@@ -294,6 +342,9 @@ impl HostQueue {
     /// the interrupted group stay in the SQ and never execute.
     pub fn ring_doorbell(&mut self) -> usize {
         if self.sq.is_empty() {
+            // An empty doorbell is a no-op: in particular it must not touch
+            // the per-queue stats bank, or a caller mixing `submit_auto`
+            // with manual rings would inflate the batch count.
             return 0;
         }
         let dev = Arc::clone(&self.dev);
@@ -309,6 +360,7 @@ impl HostQueue {
                 // The cut landed inside this group: its effects are in
                 // doubt, so no completion is delivered for it — and it
                 // counts toward neither ops nor coalesced_cmds.
+                self.in_doubt.extend(ids.iter().map(|id| id.0));
                 break;
             }
             coalesced += ids.len() as u64 - 1;
@@ -331,8 +383,9 @@ impl HostQueue {
                 delivered += 1;
             }
         }
-        // A ring that delivered nothing (power already off) did no batch
-        // work worth recording.
+        // A ring that delivered nothing (power already off, or the cut
+        // landed inside the first group) did no batch work worth recording
+        // — same rule as the empty-SQ early return above.
         if delivered > 0 {
             dev.stats_ref().record_queue_batch(self.id, coalesced);
         }
@@ -373,16 +426,81 @@ impl HostQueue {
         self.cq.pop_front()
     }
 
+    /// The oldest undelivered completion, without delivering it. Lets a
+    /// caller draining a batch in submission order pop completions off the
+    /// front ([`poll`](HostQueue::poll), O(1)) instead of binary-searching
+    /// every id ([`try_complete`](HostQueue::try_complete)).
+    pub fn peek(&self) -> Option<&Completion> {
+        self.cq.front()
+    }
+
+    /// Whether `id` is still sitting in the submission queue (submitted but
+    /// not yet consumed by a doorbell). O(1): the SQ holds a contiguous run
+    /// of ids (push-back monotonic, pop-front only), so a front/back range
+    /// check suffices.
+    pub fn in_submission(&self, id: CommandId) -> bool {
+        match (self.sq.front(), self.sq.back()) {
+            (Some((lo, _)), Some((hi, _))) => id.0 >= lo.0 && id.0 <= hi.0,
+            _ => false,
+        }
+    }
+
+    /// Whether `id`'s completion is sitting in the CQ, without delivering
+    /// it. O(log n) binary search over the id-sorted CQ.
+    pub fn completion_ready(&self, id: CommandId) -> bool {
+        self.cq.binary_search_by_key(&id.0, |c| c.id.0).is_ok()
+    }
+
+    /// Delivers `id`'s completion if it is ready, **without ringing the
+    /// doorbell**. Returns `Ok(None)` while the command is still in the SQ
+    /// (ring, then try again). This is the non-blocking primitive the async
+    /// reactor's completion futures poll; [`wait`](HostQueue::wait) is the
+    /// ring-then-retry composition of it.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::NeverSubmitted`] if `id` was never handed out by this
+    /// queue, [`WaitError::PowerCutConsumed`] if a power cut landed inside
+    /// the command's execution group, [`WaitError::AlreadyDelivered`] if the
+    /// completion was already polled or waited out.
+    pub fn try_complete(&mut self, id: CommandId) -> Result<Option<Completion>, WaitError> {
+        if id.0 == 0 || id.0 >= self.next_cid {
+            return Err(WaitError::NeverSubmitted);
+        }
+        if let Ok(pos) = self.cq.binary_search_by_key(&id.0, |c| c.id.0) {
+            return Ok(self.cq.remove(pos));
+        }
+        if self.in_submission(id) {
+            return Ok(None);
+        }
+        if self.in_doubt.contains(&id.0) {
+            return Err(WaitError::PowerCutConsumed);
+        }
+        Err(WaitError::AlreadyDelivered)
+    }
+
     /// Waits for one command's completion: rings the doorbell if the
     /// command is still in the SQ, then removes and returns its completion.
-    /// Returns `None` when the command will never complete (it was consumed
-    /// by a power cut, or the id was never submitted / already delivered).
-    pub fn wait(&mut self, id: CommandId) -> Option<Completion> {
-        if !self.cq.iter().any(|c| c.id == id) && self.sq.iter().any(|(cid, _)| *cid == id) {
-            self.ring_doorbell();
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WaitError`] saying exactly why the completion will never
+    /// arrive: [`WaitError::PowerCutConsumed`] (the cut landed inside the
+    /// command's execution group — effects in doubt),
+    /// [`WaitError::PowerCutPending`] (power failed before the command was
+    /// consumed — no effect), [`WaitError::NeverSubmitted`], or
+    /// [`WaitError::AlreadyDelivered`].
+    pub fn wait(&mut self, id: CommandId) -> Result<Completion, WaitError> {
+        if let Some(c) = self.try_complete(id)? {
+            return Ok(c);
         }
-        let pos = self.cq.iter().position(|c| c.id == id)?;
-        self.cq.remove(pos)
+        self.ring_doorbell();
+        match self.try_complete(id)? {
+            Some(c) => Ok(c),
+            // Still in the SQ after a ring: the ring went nowhere, which
+            // only happens once power is off.
+            None => Err(WaitError::PowerCutPending),
+        }
     }
 
     /// Makes this queue the calling thread's *ambient* queue: until the
@@ -558,7 +676,99 @@ mod tests {
         assert_eq!(cb.data, Some(vec![5; 64]));
         let ca = q.wait(a).expect("write completion still retrievable");
         assert!(ca.latency_ns > 0);
-        assert!(q.wait(b).is_none(), "already delivered");
+        assert_eq!(q.wait(b), Err(WaitError::AlreadyDelivered));
+    }
+
+    #[test]
+    fn wait_distinguishes_never_submitted_from_already_delivered() {
+        let d = dev();
+        let mut q = d.open_queue(4);
+        assert_eq!(q.wait(CommandId(0)), Err(WaitError::NeverSubmitted));
+        assert_eq!(q.wait(CommandId(7)), Err(WaitError::NeverSubmitted));
+        let a = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        assert!(!q.completion_ready(a));
+        assert!(q.in_submission(a));
+        q.wait(a).expect("completes");
+        assert!(!q.in_submission(a));
+        assert_eq!(q.wait(a), Err(WaitError::AlreadyDelivered));
+        assert_eq!(q.try_complete(a), Err(WaitError::AlreadyDelivered));
+    }
+
+    #[test]
+    fn try_complete_does_not_ring() {
+        let d = dev();
+        let mut q = d.open_queue(4);
+        let a = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        assert_eq!(q.try_complete(a), Ok(None), "still in the SQ, no implicit ring");
+        assert_eq!(q.pending(), 1);
+        q.ring_doorbell();
+        assert!(q.completion_ready(a));
+        let c = q.try_complete(a).unwrap().expect("delivered");
+        assert_eq!(c.id, a);
+    }
+
+    #[test]
+    fn wait_reports_power_cut_consumed_and_pending() {
+        use crate::fault::FaultPlan;
+        // Count the device steps of one ring, then cut inside the second
+        // command's execution so the first completes, the second is
+        // consumed-in-doubt and the third never leaves the SQ.
+        let cfg = MssdConfig::small_test();
+        let submit3 = |q: &mut HostQueue| {
+            // A gap between writes prevents coalescing: three groups.
+            let mut ids = Vec::new();
+            for i in 0..3u64 {
+                ids.push(
+                    q.submit(Command::ByteWrite {
+                        addr: i * 4096,
+                        data: vec![i as u8 + 1; 64],
+                        txid: None,
+                        cat: Category::Data,
+                    })
+                    .unwrap(),
+                );
+            }
+            ids
+        };
+        let probe =
+            Mssd::new(cfg.clone().with_fault_plan(FaultPlan::count_only()), DramMode::WriteLog);
+        let mut q = probe.open_queue(4);
+        submit3(&mut q);
+        q.ring_doorbell();
+        let total = probe.fault_plan().total_steps();
+        assert!(total >= 3, "three appends take at least three steps");
+        // Cut at the last step: it lands inside the final group of the ring.
+        let d =
+            Mssd::new(cfg.clone().with_fault_plan(FaultPlan::cut_at(total)), DramMode::WriteLog);
+        let mut q = d.open_queue(4);
+        let ids = submit3(&mut q);
+        q.ring_doorbell();
+        assert!(d.fault_tripped());
+        q.wait(ids[0]).expect("first group completed before the cut");
+        assert_eq!(q.wait(ids[2]), Err(WaitError::PowerCutConsumed));
+        // And a cut at step 1 leaves later commands pending forever.
+        let d = Mssd::new(cfg.with_fault_plan(FaultPlan::cut_at(1)), DramMode::WriteLog);
+        let mut q = d.open_queue(4);
+        let ids = submit3(&mut q);
+        q.ring_doorbell();
+        assert_eq!(q.wait(ids[2]), Err(WaitError::PowerCutPending));
+        assert!(q.in_submission(ids[2]), "unconsumed command stays in the SQ");
+    }
+
+    #[test]
+    fn empty_doorbells_record_no_batch() {
+        let d = dev();
+        let mut q = d.open_queue(4);
+        assert_eq!(q.ring_doorbell(), 0);
+        let cmd = || Command::ByteRead { addr: 0, len: 64, cat: Category::Data };
+        // submit_auto on a non-full SQ must not ring.
+        q.submit_auto(cmd()).unwrap();
+        assert_eq!(q.completions_pending(), 0);
+        q.ring_doorbell();
+        assert_eq!(q.ring_doorbell(), 0, "SQ drained: second ring is a no-op");
+        let ql = d.traffic().queue_lat(q.id());
+        assert_eq!(ql.batches, 1, "only the ring that consumed commands counts");
+        assert_eq!(ql.ops, 1);
     }
 
     #[test]

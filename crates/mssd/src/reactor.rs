@@ -1,0 +1,1042 @@
+//! Async host runtime: a small futures executor plus a reactor that
+//! multiplexes thousands of logical clients over a bounded set of
+//! [`HostQueue`] pairs.
+//!
+//! The multi-queue interface ([`crate::queue`]) caps concurrency at one OS
+//! thread per SQ/CQ pair: `poll`/`wait` are synchronous, so a host wanting
+//! 10k concurrent request streams would burn 10k threads. This module turns
+//! command submission into a future — [`Reactor::submit`] /
+//! [`Reactor::submit_batch`] resolve to the command's [`Completion`] — and
+//! provides the minimal machinery to drive such futures without an external
+//! async runtime (the workspace vendors no tokio):
+//!
+//! * [`Executor`] — a work-queue executor with an optional pool of worker
+//!   threads. `workers = 0` is a fully deterministic single-threaded mode
+//!   (the [`Executor::block_on`] caller drives everything), which is what
+//!   crashkit's enumeration needs.
+//! * [`Reactor`] — owns up to [`MAX_LANES`] *lanes*, each wrapping one
+//!   [`HostQueue`]. Clients submit to a lane; the reactor rings doorbells,
+//!   fans completions out to the registered wakers, and parks submitters
+//!   when an SQ is at depth instead of returning
+//!   [`QueueFull`](crate::queue::QueueFull).
+//!
+//! # Waker model
+//!
+//! Every in-flight batch registers exactly one waker, keyed by its **last**
+//! command id: completions are delivered in submission order, so the last id
+//! leaving the SQ implies the whole batch is resolvable. Wakers are stored
+//! and woken under the lane lock — the same lock a doorbell runs under — so
+//! a completion can never race past a registration (no lost wakeups). The
+//! executor's idle protocol closes the other half of the race: every thread
+//! that marks a lane dirty either services it itself or goes through
+//! [`Executor`]'s pump-before-sleep path, so a dirty lane is always pumped
+//! by *somebody* before all threads sleep.
+//!
+//! # Backpressure
+//!
+//! A full SQ parks the submitter in a FIFO list with a ticket. When
+//! completions free capacity, the reactor grants slots to parked tickets
+//! strictly in FIFO order (head-of-line: a large batch at the front blocks
+//! later small ones rather than being starved by them) and wakes them; a
+//! granted ticket has its capacity reserved, so the wakeup cannot lose the
+//! race to a fresh submitter. Dropping a parked or granted future releases
+//! its ticket and reservation.
+//!
+//! # Power failure
+//!
+//! When the device's fault plan trips, every lane latches `powered_off`,
+//! wakes everything, and submission futures resolve with a typed
+//! [`SubmitError`] instead of hanging: commands whose execution group the
+//! cut landed inside report [`SubmitError::CutConsumed`] (effects in doubt —
+//! crashkit's oracle treats the bytes as either-old-or-new), commands still
+//! in an SQ (or parked, never submitted) report
+//! [`SubmitError::CutUnsubmitted`] (no durable effect). Completions that
+//! were already delivered before the cut are durable as usual.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::device::Mssd;
+use crate::queue::{Command, CommandId, Completion, HostQueue, WaitError};
+
+/// Maximum number of lanes (queue pairs) one [`Reactor`] multiplexes; bounded
+/// by the width of the dirty-lane bitmask.
+pub const MAX_LANES: usize = 64;
+
+/// How a power cut resolved an awaited command (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The cut landed inside the command's (possibly coalesced) execution
+    /// group: the device consumed it but delivered no completion. Its
+    /// effects are in doubt.
+    CutConsumed,
+    /// Power failed before the command was consumed — it was parked or
+    /// still in the SQ. It has no durable effect.
+    CutUnsubmitted,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::CutConsumed => "power cut consumed the command: effects in doubt",
+            SubmitError::CutUnsubmitted => "power cut before the command executed",
+        })
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// An event source the [`Executor`] drives when it runs out of ready tasks.
+/// The only implementor in-tree is [`Reactor`], but keeping the trait small
+/// lets tests plug in synthetic sources.
+pub trait Pump: Send + Sync {
+    /// Services pending events, delivering wakeups. Returns how many wakers
+    /// were woken (0 = nothing to do).
+    fn pump(&self) -> usize;
+    /// Whether unserviced events exist. Checked under the executor's sleep
+    /// lock so a racing event keeps the executor awake.
+    fn pending(&self) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct ExecInner {
+    ready: Mutex<VecDeque<Arc<Task>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    pumps: Mutex<Vec<Arc<dyn Pump>>>,
+}
+
+impl ExecInner {
+    fn pump_all(&self) -> usize {
+        let pumps = self.pumps.lock().expect("pump registry").clone();
+        pumps.iter().map(|p| p.pump()).sum()
+    }
+
+    fn pumps_pending(&self) -> bool {
+        self.pumps.lock().expect("pump registry").iter().any(|p| p.pending())
+    }
+}
+
+struct Task {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    exec: Weak<ExecInner>,
+    /// Wakeup dedup: set while the task sits in the ready queue.
+    queued: AtomicBool,
+}
+
+impl Task {
+    fn run(self: &Arc<Self>) {
+        self.queued.store(false, Ordering::Release);
+        let mut slot = self.future.lock().expect("task future");
+        let Some(fut) = slot.as_mut() else { return };
+        let waker = Waker::from(Arc::clone(self));
+        let mut cx = Context::from_waker(&waker);
+        if fut.as_mut().poll(&mut cx).is_ready() {
+            *slot = None;
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if self.queued.swap(true, Ordering::AcqRel) {
+            return; // already queued
+        }
+        if let Some(inner) = self.exec.upgrade() {
+            inner.ready.lock().expect("ready queue").push_back(self);
+            inner.cv.notify_all();
+        }
+    }
+}
+
+/// Joins worker threads when the last [`Executor`] clone drops.
+struct WorkerSet {
+    inner: Arc<ExecInner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for WorkerSet {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.ready.lock().expect("ready queue");
+            self.inner.cv.notify_all();
+        }
+        for h in self.handles.lock().expect("worker handles").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A small futures executor: FIFO ready queue, optional worker threads, and
+/// registered [`Pump`]s it drives when idle. Cloning shares the executor;
+/// worker threads stop when the last clone drops.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecInner>,
+    _workers: Arc<WorkerSet>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("ready", &self.inner.ready.lock().expect("ready queue").len())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `workers` background threads. `workers = 0`
+    /// spawns none: tasks then only run inside [`block_on`](Self::block_on)
+    /// on the calling thread, which makes execution fully deterministic
+    /// (crashkit depends on this mode).
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(ExecInner {
+            ready: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mssd-exec-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn executor worker"),
+            );
+        }
+        let workers =
+            Arc::new(WorkerSet { inner: Arc::clone(&inner), handles: Mutex::new(handles) });
+        Self { inner, _workers: workers }
+    }
+
+    /// Registers an event source the executor pumps when it has no ready
+    /// tasks (and before any thread sleeps).
+    pub fn register_pump(&self, pump: Arc<dyn Pump>) {
+        self.inner.pumps.lock().expect("pump registry").push(pump);
+    }
+
+    /// Spawns a task, returning a [`JoinHandle`] future for its output.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let shared =
+            Arc::new(JoinShared { slot: Mutex::new(JoinSlot { result: None, waker: None }) });
+        let s2 = Arc::clone(&shared);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(async move {
+                let out = fut.await;
+                let waker = {
+                    let mut slot = s2.slot.lock().expect("join slot");
+                    slot.result = Some(out);
+                    slot.waker.take()
+                };
+                if let Some(w) = waker {
+                    w.wake();
+                }
+            }))),
+            exec: Arc::downgrade(&self.inner),
+            queued: AtomicBool::new(false),
+        });
+        Wake::wake(task);
+        JoinHandle { shared }
+    }
+
+    /// Runs `fut` to completion on the calling thread, driving spawned tasks
+    /// and registered pumps in between polls. This is the sync↔async bridge:
+    /// the caller's thread doubles as an executor worker until `fut`
+    /// resolves.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        struct RootWake {
+            inner: Weak<ExecInner>,
+            woken: AtomicBool,
+        }
+        impl Wake for RootWake {
+            fn wake(self: Arc<Self>) {
+                self.wake_by_ref();
+            }
+            fn wake_by_ref(self: &Arc<Self>) {
+                self.woken.store(true, Ordering::Release);
+                if let Some(inner) = self.inner.upgrade() {
+                    let _g = inner.ready.lock().expect("ready queue");
+                    inner.cv.notify_all();
+                }
+            }
+        }
+        let root =
+            Arc::new(RootWake { inner: Arc::downgrade(&self.inner), woken: AtomicBool::new(true) });
+        let waker = Waker::from(Arc::clone(&root));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            if root.woken.swap(false, Ordering::AcqRel) {
+                if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                    return v;
+                }
+            }
+            let task = self.inner.ready.lock().expect("ready queue").pop_front();
+            if let Some(t) = task {
+                t.run();
+                continue;
+            }
+            if self.inner.pump_all() > 0 || root.woken.load(Ordering::Acquire) {
+                continue;
+            }
+            let guard = self.inner.ready.lock().expect("ready queue");
+            if guard.is_empty()
+                && !root.woken.load(Ordering::Acquire)
+                && !self.inner.pumps_pending()
+            {
+                // The timeout is a safety net against wakeups raced from
+                // threads outside the runtime; the pump-before-sleep
+                // protocol makes it unnecessary in steady state.
+                let _ = self
+                    .inner
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .expect("executor condvar");
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<ExecInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let task = inner.ready.lock().expect("ready queue").pop_front();
+        if let Some(t) = task {
+            t.run();
+            continue;
+        }
+        if inner.pump_all() > 0 {
+            continue;
+        }
+        let guard = inner.ready.lock().expect("ready queue");
+        if guard.is_empty() && !inner.shutdown.load(Ordering::Acquire) && !inner.pumps_pending() {
+            let _ =
+                inner.cv.wait_timeout(guard, Duration::from_millis(5)).expect("executor condvar");
+        }
+    }
+}
+
+struct JoinSlot<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+struct JoinShared<T> {
+    slot: Mutex<JoinSlot<T>>,
+}
+
+/// Future for a spawned task's output (returned by [`Executor::spawn`]).
+pub struct JoinHandle<T> {
+    shared: Arc<JoinShared<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has finished (its output may already be taken).
+    pub fn is_finished(&self) -> bool {
+        self.shared.slot.lock().expect("join slot").result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.shared.slot.lock().expect("join slot");
+        if let Some(v) = slot.result.take() {
+            return Poll::Ready(v);
+        }
+        slot.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Cooperatively yields once: resolves on its second poll, re-queueing the
+/// task behind everything already ready (FIFO fairness).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+struct ParkedTicket {
+    ticket: u64,
+    need: usize,
+    waker: Waker,
+}
+
+struct Lane {
+    hq: HostQueue,
+    /// In-flight batches awaiting completion, keyed by last command id.
+    waiting: BTreeMap<u64, Waker>,
+    /// Submitters parked on a full SQ, FIFO.
+    parked: VecDeque<ParkedTicket>,
+    /// Capacity reservations handed to woken parked submitters
+    /// (ticket → slots), so a wakeup cannot lose its slot to a fresh
+    /// submitter.
+    granted: BTreeMap<u64, usize>,
+    granted_slots: usize,
+    next_ticket: u64,
+    powered_off: bool,
+}
+
+/// Multiplexes async command submission over a fixed set of [`HostQueue`]
+/// lanes. Implements [`Pump`] so an [`Executor`] drives it when idle; see
+/// the module docs for the waker, backpressure and power-cut contracts.
+pub struct Reactor {
+    dev: Arc<Mssd>,
+    lanes: Vec<Mutex<Lane>>,
+    /// Bit i set = lane i has unserviced submissions; cleared by
+    /// [`pump`](Pump::pump).
+    dirty: AtomicU64,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor").field("lanes", &self.lanes.len()).finish()
+    }
+}
+
+impl Reactor {
+    /// Creates a reactor with `lanes` queue pairs of the given SQ depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds [`MAX_LANES`], or `depth` is
+    /// zero.
+    pub fn new(dev: &Arc<Mssd>, lanes: usize, depth: usize) -> Arc<Self> {
+        assert!((1..=MAX_LANES).contains(&lanes), "lanes must be in 1..={MAX_LANES}");
+        let lanes = (0..lanes)
+            .map(|_| {
+                Mutex::new(Lane {
+                    hq: dev.open_queue(depth),
+                    waiting: BTreeMap::new(),
+                    parked: VecDeque::new(),
+                    granted: BTreeMap::new(),
+                    granted_slots: 0,
+                    next_ticket: 0,
+                    powered_off: false,
+                })
+            })
+            .collect();
+        Arc::new(Self { dev: Arc::clone(dev), lanes, dirty: AtomicU64::new(0) })
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a logical client should submit to (stable hash of the
+    /// client index, keeping each client's commands ordered on one queue).
+    pub fn lane_for(&self, client: usize) -> usize {
+        client % self.lanes.len()
+    }
+
+    /// Submits one command to `lane`, resolving to its completion. Parks
+    /// (rather than erroring) while the SQ is full.
+    pub fn submit(self: &Arc<Self>, lane: usize, cmd: Command) -> SubmitOne {
+        SubmitOne { inner: self.submit_batch(lane, vec![cmd]) }
+    }
+
+    /// Submits a batch of commands contiguously to `lane`'s SQ — adjacent
+    /// byte writes in the batch coalesce in the doorbell exactly as they
+    /// would from a dedicated sync thread. Resolves to one outcome per
+    /// command, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or larger than the lane's SQ depth (it
+    /// could never be granted capacity).
+    pub fn submit_batch(self: &Arc<Self>, lane: usize, cmds: Vec<Command>) -> Submit {
+        assert!(!cmds.is_empty(), "empty batch");
+        assert!(lane < self.lanes.len(), "lane out of range");
+        Submit {
+            reactor: Arc::clone(self),
+            lane,
+            state: SubmitState::Queued { cmds, ticket: None },
+        }
+    }
+
+    fn mark_dirty(&self, lane: usize) {
+        self.dirty.fetch_or(1u64 << lane, Ordering::AcqRel);
+    }
+
+    /// Rings `lane`'s doorbell and fans out wakeups: completion waiters
+    /// whose batch left the SQ, then FIFO capacity grants to parked
+    /// submitters. On a tripped fault plan, latches `powered_off` and wakes
+    /// everything so futures resolve with [`SubmitError`]s instead of
+    /// hanging. Must be called with the lane lock held.
+    fn service(&self, l: &mut Lane) -> usize {
+        let mut wakeups = 0usize;
+        if !l.powered_off && l.hq.pending() > 0 {
+            l.hq.ring_doorbell();
+        }
+        let cut = self.dev.fault_tripped();
+        let Lane { hq, waiting, parked, granted, granted_slots, powered_off, .. } = l;
+        if cut {
+            *powered_off = true;
+            for (_, w) in std::mem::take(waiting) {
+                w.wake();
+                wakeups += 1;
+            }
+            for p in parked.drain(..) {
+                p.waker.wake();
+                wakeups += 1;
+            }
+            granted.clear();
+            *granted_slots = 0;
+            return wakeups;
+        }
+        waiting.retain(|cid, w| {
+            if hq.in_submission(CommandId(*cid)) {
+                true
+            } else {
+                w.wake_by_ref();
+                wakeups += 1;
+                false
+            }
+        });
+        let mut free = hq.depth().saturating_sub(hq.pending() + *granted_slots);
+        while let Some(front) = parked.front() {
+            if front.need > free {
+                break; // head-of-line: FIFO order beats best-fit
+            }
+            let p = parked.pop_front().expect("checked front");
+            free -= p.need;
+            *granted_slots += p.need;
+            granted.insert(p.ticket, p.need);
+            p.waker.wake();
+            wakeups += 1;
+        }
+        wakeups
+    }
+}
+
+impl Pump for Reactor {
+    fn pump(&self) -> usize {
+        let cut = self.dev.fault_tripped();
+        let mask = self.dirty.swap(0, Ordering::AcqRel);
+        if mask == 0 && !cut {
+            return 0;
+        }
+        let mut wakeups = 0;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if !cut && mask & (1u64 << i) == 0 {
+                continue;
+            }
+            let mut l = lane.lock().expect("lane mutex");
+            wakeups += self.service(&mut l);
+        }
+        wakeups
+    }
+
+    fn pending(&self) -> bool {
+        self.dirty.load(Ordering::Acquire) != 0
+    }
+}
+
+enum SubmitState {
+    Queued { cmds: Vec<Command>, ticket: Option<u64> },
+    InFlight { cids: Vec<u64>, outcomes: Vec<Option<Result<Completion, SubmitError>>> },
+    Done,
+}
+
+/// Future of a batch submission (see [`Reactor::submit_batch`]): resolves to
+/// one `Result<Completion, SubmitError>` per command, in submission order.
+/// Dropping it before completion releases its parked ticket or capacity
+/// grant; completions of an abandoned in-flight batch are discarded.
+pub struct Submit {
+    reactor: Arc<Reactor>,
+    lane: usize,
+    state: SubmitState,
+}
+
+impl Submit {
+    /// Resolves every outcome it can; returns `Ready` when all are in.
+    /// Call with the lane lock held.
+    fn poll_inflight(
+        state: &mut SubmitState,
+        l: &mut Lane,
+        cx: &mut Context<'_>,
+    ) -> Poll<Vec<Result<Completion, SubmitError>>> {
+        let SubmitState::InFlight { cids, outcomes } = state else {
+            unreachable!("poll_inflight on non-inflight state")
+        };
+        let mut all = true;
+        for (i, cid) in cids.iter().enumerate() {
+            if outcomes[i].is_some() {
+                continue;
+            }
+            // Fast path: batches are woken in CQ order, so this batch's
+            // completions usually sit right at the CQ front — pop them off
+            // in O(1) instead of binary-searching every id.
+            if l.hq.peek().is_some_and(|c| c.id.0 == *cid) {
+                outcomes[i] = Some(Ok(l.hq.poll().expect("peeked front")));
+                continue;
+            }
+            match l.hq.try_complete(CommandId(*cid)) {
+                Ok(Some(c)) => outcomes[i] = Some(Ok(c)),
+                Ok(None) => {
+                    if l.powered_off {
+                        outcomes[i] = Some(Err(SubmitError::CutUnsubmitted));
+                    } else {
+                        all = false;
+                    }
+                }
+                Err(WaitError::PowerCutConsumed) => {
+                    outcomes[i] = Some(Err(SubmitError::CutConsumed));
+                }
+                Err(e) => panic!("async submit lost completion of cid {cid}: {e}"),
+            }
+        }
+        if all {
+            let last = *cids.last().expect("non-empty batch");
+            l.waiting.remove(&last);
+            let outcomes =
+                std::mem::take(outcomes).into_iter().map(|o| o.expect("all resolved")).collect();
+            *state = SubmitState::Done;
+            return Poll::Ready(outcomes);
+        }
+        // Completions arrive in submission order, so waiting on the last
+        // cid covers the whole batch (a cut wakes everything regardless).
+        let last = *cids.last().expect("non-empty batch");
+        l.waiting.insert(last, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl Future for Submit {
+    type Output = Vec<Result<Completion, SubmitError>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let reactor = Arc::clone(&this.reactor);
+        let mut l = reactor.lanes[this.lane].lock().expect("lane mutex");
+        match &mut this.state {
+            SubmitState::Queued { cmds, ticket } => {
+                if l.powered_off {
+                    let n = cmds.len();
+                    this.state = SubmitState::Done;
+                    return Poll::Ready(vec![Err(SubmitError::CutUnsubmitted); n]);
+                }
+                let need = cmds.len();
+                assert!(need <= l.hq.depth(), "batch larger than SQ depth");
+                let has_grant = ticket.is_some_and(|t| l.granted.contains_key(&t));
+                if has_grant {
+                    let t = ticket.expect("grant implies ticket");
+                    let slots = l.granted.remove(&t).expect("checked grant");
+                    l.granted_slots -= slots;
+                } else {
+                    let free = l.hq.depth().saturating_sub(l.hq.pending() + l.granted_slots);
+                    if !l.parked.is_empty() || free < need {
+                        match *ticket {
+                            // Spurious poll while parked: refresh the
+                            // waker in place, keep FIFO position.
+                            Some(t) => {
+                                if let Some(p) = l.parked.iter_mut().find(|p| p.ticket == t) {
+                                    p.waker = cx.waker().clone();
+                                }
+                            }
+                            None => {
+                                let t = l.next_ticket;
+                                l.next_ticket += 1;
+                                *ticket = Some(t);
+                                l.parked.push_back(ParkedTicket {
+                                    ticket: t,
+                                    need,
+                                    waker: cx.waker().clone(),
+                                });
+                            }
+                        }
+                        return Poll::Pending;
+                    }
+                }
+                let cmds = std::mem::take(cmds);
+                let mut cids = Vec::with_capacity(need);
+                for cmd in cmds {
+                    let id = l.hq.submit(cmd).expect("capacity was reserved");
+                    cids.push(id.0);
+                }
+                let last = *cids.last().expect("non-empty batch");
+                l.waiting.insert(last, cx.waker().clone());
+                this.state = SubmitState::InFlight { cids, outcomes: vec![None; need] };
+                // Deliberately no doorbell here: the SQ keeps filling
+                // while other tasks run (maximizing coalescing) and the
+                // executor pumps the lane the moment it has nothing
+                // ready — the async analogue of batched submission.
+                drop(l);
+                reactor.mark_dirty(this.lane);
+                Poll::Pending
+            }
+            SubmitState::InFlight { .. } => Submit::poll_inflight(&mut this.state, &mut l, cx),
+            SubmitState::Done => panic!("Submit polled after completion"),
+        }
+    }
+}
+
+impl Drop for Submit {
+    fn drop(&mut self) {
+        let state = std::mem::replace(&mut self.state, SubmitState::Done);
+        match state {
+            SubmitState::Queued { ticket: Some(t), .. } => {
+                let mut l = self.reactor.lanes[self.lane].lock().expect("lane mutex");
+                if let Some(slots) = l.granted.remove(&t) {
+                    l.granted_slots -= slots;
+                }
+                l.parked.retain(|p| p.ticket != t);
+                drop(l);
+                // Released capacity may unpark someone behind us.
+                self.reactor.mark_dirty(self.lane);
+            }
+            SubmitState::InFlight { cids, .. } => {
+                let mut l = self.reactor.lanes[self.lane].lock().expect("lane mutex");
+                for cid in cids {
+                    l.waiting.remove(&cid);
+                    // Discard already-delivered completions; ones still in
+                    // flight will sit in the CQ until the lane drops.
+                    let _ = l.hq.try_complete(CommandId(cid));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Future of a single-command submission (see [`Reactor::submit`]).
+pub struct SubmitOne {
+    inner: Submit,
+}
+
+impl Future for SubmitOne {
+    type Output = Result<Completion, SubmitError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.get_mut().inner).poll(cx) {
+            Poll::Ready(mut v) => Poll::Ready(v.pop().expect("one outcome per command")),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// An [`Executor`] wired to a [`Reactor`]: the one-call entry point for
+/// running async device work. Cloning shares both halves.
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    exec: Executor,
+    reactor: Arc<Reactor>,
+}
+
+impl Runtime {
+    /// Creates a runtime over `dev` with `workers` executor threads (0 =
+    /// deterministic caller-driven mode) and `lanes` queue pairs of `depth`.
+    pub fn new(dev: &Arc<Mssd>, workers: usize, lanes: usize, depth: usize) -> Self {
+        let exec = Executor::new(workers);
+        let reactor = Reactor::new(dev, lanes, depth);
+        exec.register_pump(Arc::clone(&reactor) as Arc<dyn Pump>);
+        Self { exec, reactor }
+    }
+
+    /// The executor half.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The reactor half.
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        &self.reactor
+    }
+
+    /// See [`Executor::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.exec.spawn(fut)
+    }
+
+    /// See [`Executor::block_on`].
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        self.exec.block_on(fut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MssdConfig;
+    use crate::device::DramMode;
+    use crate::stats::Category;
+
+    fn dev() -> Arc<Mssd> {
+        Mssd::new(MssdConfig::small_test(), DramMode::WriteLog)
+    }
+
+    #[test]
+    fn block_on_plain_future() {
+        let exec = Executor::new(0);
+        assert_eq!(exec.block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let exec = Executor::new(0);
+        let h1 = exec.spawn(async { 1u32 });
+        let h2 = exec.spawn(async {
+            yield_now().await;
+            2u32
+        });
+        assert_eq!(exec.block_on(async move { h1.await + h2.await }), 3);
+    }
+
+    #[test]
+    fn spawn_runs_on_worker_threads() {
+        let exec = Executor::new(2);
+        let handles: Vec<_> = (0..16).map(|i| exec.spawn(async move { i * i })).collect();
+        let total: i32 = exec.block_on(async move {
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await;
+            }
+            sum
+        });
+        assert_eq!(total, (0..16).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn async_submit_roundtrip() {
+        let d = dev();
+        let rt = Runtime::new(&d, 0, 2, 8);
+        let r = Arc::clone(rt.reactor());
+        let out = rt.block_on(async move {
+            r.submit(
+                0,
+                Command::ByteWrite { addr: 0, data: vec![9; 64], txid: None, cat: Category::Data },
+            )
+            .await
+            .expect("write completes");
+            r.submit(1, Command::ByteRead { addr: 0, len: 64, cat: Category::Data })
+                .await
+                .expect("read completes")
+        });
+        assert_eq!(out.data, Some(vec![9; 64]));
+    }
+
+    #[test]
+    fn batch_preserves_doorbell_coalescing() {
+        let d = dev();
+        let rt = Runtime::new(&d, 0, 1, 32);
+        let r = Arc::clone(rt.reactor());
+        let cmds: Vec<Command> = (0..8u64)
+            .map(|i| Command::ByteWrite {
+                addr: 8192 + i * 64,
+                data: vec![i as u8 + 1; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .collect();
+        let outcomes = rt.block_on(async move { r.submit_batch(0, cmds).await });
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(d.snapshot().log_entries, 1, "batch merged into one log append");
+    }
+
+    #[test]
+    fn backpressure_parks_and_wakes_fifo() {
+        // Lane depth 2, six single-command clients: completion order must
+        // equal submission order even though four of them park.
+        let d = dev();
+        let rt = Runtime::new(&d, 0, 1, 2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                let r = Arc::clone(rt.reactor());
+                let order = Arc::clone(&order);
+                rt.spawn(async move {
+                    let c = r
+                        .submit(
+                            0,
+                            Command::ByteWrite {
+                                addr: i * 4096,
+                                data: vec![i as u8; 64],
+                                txid: None,
+                                cat: Category::Data,
+                            },
+                        )
+                        .await
+                        .expect("completes");
+                    assert!(c.is_ok());
+                    order.lock().unwrap().push(i);
+                })
+            })
+            .collect();
+        rt.block_on(async move {
+            for h in handles {
+                h.await;
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4, 5], "FIFO wakeup order");
+    }
+
+    #[test]
+    fn no_lost_wakeups_under_concurrent_fan_in() {
+        // Many clients over few lanes with worker threads; a lost wakeup
+        // would hang the test (the harness timeout is the watchdog).
+        let d = dev();
+        let rt = Runtime::new(&d, 4, 4, 8);
+        let handles: Vec<_> = (0..64u64)
+            .map(|i| {
+                let r = Arc::clone(rt.reactor());
+                rt.spawn(async move {
+                    let lane = r.lane_for(i as usize);
+                    for j in 0..20u64 {
+                        let c = r
+                            .submit(
+                                lane,
+                                Command::ByteWrite {
+                                    addr: (i * 64 + j) * 512,
+                                    data: vec![(i ^ j) as u8; 64],
+                                    txid: None,
+                                    cat: Category::Data,
+                                },
+                            )
+                            .await
+                            .expect("completes");
+                        assert!(c.is_ok());
+                    }
+                })
+            })
+            .collect();
+        rt.block_on(async move {
+            for h in handles {
+                h.await;
+            }
+        });
+    }
+
+    #[test]
+    fn power_cut_resolves_parked_and_inflight_futures() {
+        use crate::fault::FaultPlan;
+        // Count steps first, then cut midway so some commands complete,
+        // some are consumed in-doubt, and parked submitters never run.
+        let cfg = MssdConfig::small_test();
+        let run = |d: Arc<Mssd>| {
+            let rt = Runtime::new(&d, 0, 1, 2);
+            let handles: Vec<_> = (0..8u64)
+                .map(|i| {
+                    let r = Arc::clone(rt.reactor());
+                    rt.spawn(async move {
+                        r.submit(
+                            0,
+                            Command::ByteWrite {
+                                addr: i * 4096,
+                                data: vec![i as u8 + 1; 64],
+                                txid: None,
+                                cat: Category::Data,
+                            },
+                        )
+                        .await
+                    })
+                })
+                .collect();
+            rt.block_on(async move {
+                let mut out = Vec::new();
+                for h in handles {
+                    out.push(h.await);
+                }
+                out
+            })
+        };
+        let probe =
+            Mssd::new(cfg.clone().with_fault_plan(FaultPlan::count_only()), DramMode::WriteLog);
+        let total = {
+            let out = run(Arc::clone(&probe));
+            assert!(out.iter().all(|o| o.is_ok()));
+            probe.fault_plan().total_steps()
+        };
+        assert!(total >= 8);
+        let cut_at = total / 2;
+        let d =
+            Mssd::new(cfg.with_fault_plan(FaultPlan::cut_at(cut_at.max(1))), DramMode::WriteLog);
+        let out = run(Arc::clone(&d));
+        assert_eq!(out.len(), 8, "every future resolves — none may hang");
+        let ok = out.iter().filter(|o| o.is_ok()).count();
+        let consumed = out.iter().filter(|o| matches!(o, Err(SubmitError::CutConsumed))).count();
+        let unsubmitted =
+            out.iter().filter(|o| matches!(o, Err(SubmitError::CutUnsubmitted))).count();
+        assert_eq!(ok + consumed + unsubmitted, 8);
+        assert!(consumed <= 1, "at most one group is in doubt per lane");
+        assert!(unsubmitted >= 1, "the cut must strand later submitters");
+        assert!(ok >= 1, "the cut landed midway, so early writes completed");
+    }
+
+    #[test]
+    fn dropping_parked_future_releases_its_ticket_and_grant() {
+        use std::future::poll_fn;
+        let d = dev();
+        let w = |addr: u64, v: u8| Command::ByteWrite {
+            addr,
+            data: vec![v; 64],
+            txid: None,
+            cat: Category::Data,
+        };
+        let rt = Runtime::new(&d, 0, 1, 1);
+        let r = Arc::clone(rt.reactor());
+        let out = rt.block_on(async move {
+            // Fill the depth-1 SQ and park a second submitter behind it.
+            let mut first = r.submit(0, w(0, 1));
+            let mut parked = r.submit(0, w(4096, 2));
+            poll_fn(|cx| {
+                assert!(Pin::new(&mut first).poll(cx).is_pending(), "first fills the SQ");
+                assert!(Pin::new(&mut parked).poll(cx).is_pending(), "second parks");
+                Poll::Ready(())
+            })
+            .await;
+            // Awaiting `first` makes the executor pump: the ring frees a
+            // slot, which is immediately *granted* to the parked future.
+            first.await.expect("first completes").status.expect("write ok");
+            // Abandon the granted future: its reserved slot must be
+            // released, or the next submitter would park forever (the test
+            // would hang — the harness timeout is the watchdog).
+            drop(parked);
+            r.submit(0, w(8192, 3)).await
+        });
+        assert!(out.expect("third submit completes").is_ok());
+    }
+}

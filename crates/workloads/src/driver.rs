@@ -3,10 +3,10 @@
 
 use std::sync::Arc;
 
-use fskit::{FileSystem, FsResult};
-use mssd::queue::Command;
+use fskit::{AsyncFs, FileSystem, FsResult};
+use mssd::queue::{Command, HostQueue};
 use mssd::stats::{Direction, TrafficCounter};
-use mssd::{Mssd, MssdConfig};
+use mssd::{Mssd, MssdConfig, Runtime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,10 @@ pub struct RunResult {
     pub app_write_bytes: u64,
     /// Device page size (for flash-byte conversions).
     pub page_size: usize,
+    /// End-of-phase FLUSH durability barriers that failed (see
+    /// [`Recorder::flush_errors`]). Non-zero means the run's tail writes
+    /// carry no durability guarantee.
+    pub flush_errors: u64,
 }
 
 impl RunResult {
@@ -142,6 +146,7 @@ pub fn run_on(
         app_read_bytes: rec.app_read_bytes,
         app_write_bytes: rec.app_write_bytes,
         page_size: device.page_size(),
+        flush_errors: rec.flush_errors,
     })
 }
 
@@ -164,6 +169,9 @@ pub struct ThreadResult {
     pub app_read_bytes: u64,
     /// Bytes this thread asked to write.
     pub app_write_bytes: u64,
+    /// FLUSH durability barriers this thread lost (see
+    /// [`Recorder::flush_errors`]).
+    pub flush_errors: u64,
 }
 
 /// The outcome of one multi-threaded workload run.
@@ -172,10 +180,16 @@ pub struct ConcurrentRunResult {
     /// Merged metrics over all threads; `traffic` is the device delta over
     /// the whole measured phase (snapshotted once, not per thread).
     pub aggregate: RunResult,
-    /// Per-thread slices of the aggregate.
+    /// Per-client slices of the aggregate (one per shard; for the threaded
+    /// driver clients and threads coincide).
     pub per_thread: Vec<ThreadResult>,
-    /// Number of worker threads.
+    /// Number of OS worker threads driving the run. For
+    /// [`run_concurrent_async`] this is the executor's worker count — many
+    /// logical clients multiplex over it.
     pub threads: usize,
+    /// Number of logical clients (shards) the op stream was partitioned
+    /// into. Equals `threads` for [`run_concurrent`].
+    pub clients: usize,
     /// Wall-clock (host) time of the measured phase in nanoseconds — the
     /// number that shows whether the file system's locking scales. Virtual
     /// time lives in `aggregate.elapsed_ns` as usual.
@@ -196,6 +210,70 @@ impl ConcurrentRunResult {
 /// sequentially.
 pub fn shard_seed(seed: u64, t: usize) -> u64 {
     seed ^ ((t as u64 + 1) << 32)
+}
+
+/// Issues one shard's end-of-phase FLUSH durability barrier through `queue`
+/// as a batched doorbell, draining every completion into `rec`.
+///
+/// Bounded recovery, never a panic and never a silent drop:
+///
+/// * a full SQ gets one drain-and-resubmit;
+/// * a barrier completion carrying a *transient* media error gets one
+///   resubmission;
+/// * everything else — the device refusing the command even after a drain,
+///   a persistent error status, or no completion at all (a power cut
+///   consumed the barrier or left it stranded in the SQ) — is counted in
+///   [`Recorder::flush_errors`], which the driver propagates into
+///   [`RunResult::flush_errors`]. The old driver `expect`ed the resubmit
+///   and swallowed lost barriers, reporting a durability guarantee it no
+///   longer had.
+pub fn flush_barrier(queue: &mut HostQueue, rec: &mut Recorder) {
+    let mut id = match queue.submit(Command::Flush) {
+        Ok(id) => id,
+        Err(_) => {
+            queue.ring_doorbell();
+            while let Some(c) = queue.poll() {
+                rec.record_queue_completion(c.latency_ns);
+            }
+            match queue.submit(Command::Flush) {
+                Ok(id) => id,
+                Err(_) => {
+                    // Even a doorbell could not drain the SQ: power is off
+                    // and the barrier can never be accepted.
+                    rec.flush_errors += 1;
+                    return;
+                }
+            }
+        }
+    };
+    let mut retried = false;
+    loop {
+        queue.ring_doorbell();
+        let mut barrier_status = None;
+        while let Some(c) = queue.poll() {
+            rec.record_queue_completion(c.latency_ns);
+            if c.id == id {
+                barrier_status = Some(c.status);
+            }
+        }
+        match barrier_status {
+            Some(Ok(())) => return,
+            Some(Err(ref e)) if e.is_transient() && !retried => {
+                retried = true;
+                match queue.submit(Command::Flush) {
+                    Ok(new_id) => id = new_id,
+                    Err(_) => {
+                        rec.flush_errors += 1;
+                        return;
+                    }
+                }
+            }
+            Some(Err(_)) | None => {
+                rec.flush_errors += 1;
+                return;
+            }
+        }
+    }
 }
 
 /// Runs `workload` over one shared file system from `threads` worker threads:
@@ -253,37 +331,7 @@ pub fn run_concurrent(
                     let ambient = queue.make_ambient();
                     workload.run_shard(fs.as_ref(), t, threads, &mut rng, &mut rec)?;
                     drop(ambient);
-                    // The shard's end-of-phase FLUSH barrier goes through
-                    // the queue as a batched doorbell. A full SQ gets one
-                    // bounded retry after a drain; a completion carrying a
-                    // transient media error gets one bounded resubmission.
-                    // Neither path busy-spins: every doorbell drains.
-                    if queue.submit(Command::Flush).is_err() {
-                        queue.ring_doorbell();
-                        while let Some(c) = queue.poll() {
-                            rec.record_queue_completion(c.latency_ns);
-                        }
-                        queue.submit(Command::Flush).expect("drained queue has room");
-                    }
-                    queue.ring_doorbell();
-                    let mut retried = false;
-                    loop {
-                        let mut resubmit = false;
-                        while let Some(c) = queue.poll() {
-                            rec.record_queue_completion(c.latency_ns);
-                            if let Err(e) = &c.status {
-                                if e.is_transient() && !retried {
-                                    resubmit = true;
-                                }
-                            }
-                        }
-                        if !resubmit {
-                            break;
-                        }
-                        retried = true;
-                        queue.submit(Command::Flush).expect("drained queue has room");
-                        queue.ring_doorbell();
-                    }
+                    flush_barrier(&mut queue, &mut rec);
                     Ok(rec)
                 })
             })
@@ -295,8 +343,25 @@ pub fn run_concurrent(
     // One traffic snapshot for the whole run (see the doc comment).
     let traffic = device.traffic().delta_since(&before_traffic);
 
+    merge_outcomes(device, fs, workload, outcomes, threads, threads, elapsed_ns, wall_ns, traffic)
+}
+
+/// Merges per-shard recorder outcomes into a [`ConcurrentRunResult`]
+/// (shared tail of [`run_concurrent`] and [`run_concurrent_async`]).
+#[allow(clippy::too_many_arguments)]
+fn merge_outcomes(
+    device: &Arc<Mssd>,
+    fs: &Arc<dyn FileSystem>,
+    workload: &dyn Workload,
+    outcomes: Vec<FsResult<Recorder>>,
+    threads: usize,
+    clients: usize,
+    elapsed_ns: u64,
+    wall_ns: u64,
+    traffic: TrafficCounter,
+) -> FsResult<ConcurrentRunResult> {
     let mut merged = Recorder::new();
-    let mut per_thread = Vec::with_capacity(threads);
+    let mut per_thread = Vec::with_capacity(outcomes.len());
     for (t, outcome) in outcomes.into_iter().enumerate() {
         let rec = outcome?;
         per_thread.push(ThreadResult {
@@ -308,6 +373,7 @@ pub fn run_concurrent(
             queue: rec.queue_stats(),
             app_read_bytes: rec.app_read_bytes,
             app_write_bytes: rec.app_write_bytes,
+            flush_errors: rec.flush_errors,
         });
         merged.merge(rec);
     }
@@ -327,8 +393,119 @@ pub fn run_concurrent(
         app_read_bytes: merged.app_read_bytes,
         app_write_bytes: merged.app_write_bytes,
         page_size: device.page_size(),
+        flush_errors: merged.flush_errors,
     };
-    Ok(ConcurrentRunResult { aggregate, per_thread, threads, wall_ns })
+    Ok(ConcurrentRunResult { aggregate, per_thread, threads, clients, wall_ns })
+}
+
+/// SQ depth of each reactor lane the async driver opens. Deeper than the
+/// threaded driver's per-shard queues: many clients share one lane, and a
+/// deep SQ maximizes doorbell coalescing while the executor runs tasks.
+const ASYNC_LANE_DEPTH: usize = 64;
+
+/// Runs `workload` over one shared file system from `clients` *logical*
+/// clients multiplexed over `workers` OS threads — the async twin of
+/// [`run_concurrent`], where the shard count and the thread count decouple.
+///
+/// Each client is one spawned future: it drives its shard through
+/// [`Workload::run_shard_async`] over an [`AsyncFs`] view, then closes its
+/// measured phase with a FLUSH durability barrier awaited through its
+/// [`mssd::Reactor`] lane. A lost or failed barrier is counted in the
+/// result's `flush_errors` exactly like the threaded driver's. Clients
+/// share `min(clients, 8)` reactor lanes; file-system device calls run
+/// inline on worker threads (attributed to the sync-shim accounting slot),
+/// while the barriers travel the lanes' queues.
+///
+/// `workers == 0` runs everything deterministically on the calling thread.
+///
+/// # Errors
+///
+/// Propagates the first file-system error any client hit.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero.
+pub fn run_concurrent_async(
+    device: &Arc<Mssd>,
+    fs: &Arc<dyn FileSystem>,
+    workload: &Arc<dyn Workload>,
+    clients: usize,
+    workers: usize,
+    seed: u64,
+) -> FsResult<ConcurrentRunResult> {
+    assert!(clients > 0, "need at least one client");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    workload.setup(fs.as_ref(), &mut rng)?;
+    fs.drop_caches();
+
+    let rt = Runtime::new(device, workers, clients.min(8), ASYNC_LANE_DEPTH);
+    let afs = Arc::new(AsyncFs::new(Arc::clone(fs)));
+
+    let clock = device.clock();
+    let before_traffic = device.traffic();
+    let start_ns = clock.now_ns();
+    let wall_start = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let workload = Arc::clone(workload);
+            let afs = Arc::clone(&afs);
+            let reactor = Arc::clone(rt.reactor());
+            rt.spawn(async move {
+                let mut rng = SmallRng::seed_from_u64(shard_seed(seed, c));
+                let mut rec = Recorder::new();
+                workload.run_shard_async(afs.as_ref(), c, clients, &mut rng, &mut rec).await?;
+                // The client's end-of-phase FLUSH barrier, awaited through
+                // its reactor lane. Same contract as [`flush_barrier`]: one
+                // resubmission on a transient error, every other failure
+                // counted — the reactor already resolves lost-to-power-cut
+                // barriers as typed errors instead of hanging.
+                let lane = reactor.lane_for(c);
+                let mut retried = false;
+                loop {
+                    match reactor.submit(lane, Command::Flush).await {
+                        Ok(comp) => {
+                            rec.record_queue_completion(comp.latency_ns);
+                            match &comp.status {
+                                Ok(()) => break,
+                                Err(e) if e.is_transient() && !retried => retried = true,
+                                Err(_) => {
+                                    rec.flush_errors += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            rec.flush_errors += 1;
+                            break;
+                        }
+                    }
+                }
+                Ok(rec)
+            })
+        })
+        .collect();
+    let outcomes: Vec<FsResult<Recorder>> = rt.block_on(async move {
+        let mut v = Vec::with_capacity(handles.len());
+        for h in handles {
+            v.push(h.await);
+        }
+        v
+    });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let elapsed_ns = clock.now_ns().saturating_sub(start_ns).max(1);
+    let traffic = device.traffic().delta_since(&before_traffic);
+
+    merge_outcomes(
+        device,
+        fs,
+        workload.as_ref(),
+        outcomes,
+        workers,
+        clients,
+        elapsed_ns,
+        wall_ns,
+        traffic,
+    )
 }
 
 #[cfg(test)]
@@ -337,6 +514,66 @@ mod tests {
     use crate::filebench::{Filebench, Personality};
     use crate::micro::{Micro, MicroOp};
     use crate::spec::Scale;
+    use mssd::stats::Category;
+    use mssd::{DramMode, FaultPlan};
+
+    fn byte_write(addr: u64) -> Command {
+        Command::ByteWrite { addr, data: vec![0xEE; 64], txid: None, cat: Category::Data }
+    }
+
+    #[test]
+    fn flush_barrier_succeeds_on_a_healthy_queue() {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        let mut q = dev.open_queue(4);
+        q.submit(byte_write(0)).unwrap();
+        let mut rec = Recorder::new();
+        flush_barrier(&mut q, &mut rec);
+        assert_eq!(rec.flush_errors, 0);
+        // The barrier's doorbell drained the pending write and the FLUSH.
+        assert_eq!(rec.queue_stats().count, 2);
+    }
+
+    #[test]
+    fn flush_barrier_drains_a_full_queue_once_and_retries() {
+        let dev = Mssd::new(MssdConfig::small_test(), DramMode::WriteLog);
+        let mut q = dev.open_queue(1);
+        q.submit(byte_write(0)).unwrap(); // SQ is now at depth
+        let mut rec = Recorder::new();
+        flush_barrier(&mut q, &mut rec);
+        assert_eq!(rec.flush_errors, 0);
+        assert_eq!(rec.queue_stats().count, 2, "drained write, then the barrier itself");
+    }
+
+    #[test]
+    fn flush_barrier_counts_a_power_cut_instead_of_dropping_the_barrier() {
+        // Power fails inside the write group ahead of the barrier: the FLUSH
+        // strands in the SQ and no completion ever arrives. The old driver
+        // returned silently here, reporting durability it no longer had.
+        let cfg = MssdConfig::small_test().with_fault_plan(FaultPlan::cut_at(1));
+        let dev = Mssd::new(cfg, DramMode::WriteLog);
+        let mut q = dev.open_queue(4);
+        q.submit(byte_write(0)).unwrap();
+        let mut rec = Recorder::new();
+        flush_barrier(&mut q, &mut rec);
+        assert!(dev.fault_tripped());
+        assert_eq!(rec.flush_errors, 1, "the lost barrier must be counted");
+        assert_eq!(rec.queue_stats().count, 0, "nothing completed after the cut");
+    }
+
+    #[test]
+    fn flush_barrier_counts_a_cut_that_jams_the_submission_queue() {
+        // Depth-1 SQ jammed by a write the cut strands: even the bounded
+        // drain cannot make room for the barrier.
+        let cfg = MssdConfig::small_test().with_fault_plan(FaultPlan::cut_at(1));
+        let dev = Mssd::new(cfg, DramMode::WriteLog);
+        let mut q = dev.open_queue(1);
+        q.submit(byte_write(0)).unwrap();
+        q.ring_doorbell(); // trips the fault; the write is consumed in doubt
+        q.submit(byte_write(4096)).unwrap(); // re-jams the now-dead queue
+        let mut rec = Recorder::new();
+        flush_barrier(&mut q, &mut rec);
+        assert_eq!(rec.flush_errors, 1);
+    }
 
     #[test]
     fn run_result_metrics_are_consistent() {
@@ -466,6 +703,72 @@ mod tests {
         assert_eq!(c.aggregate.ops, 1, "unpartitioned workloads fall back to shard 0");
         assert_eq!(c.per_thread[0].ops, 1);
         assert!(c.per_thread[1..].iter().all(|t| t.ops == 0));
+    }
+
+    #[test]
+    fn async_run_multiplexes_clients_over_few_workers() {
+        let w = Micro::new(MicroOp::Create, Scale::tiny());
+        let objects = w.objects as u64;
+        let w: Arc<dyn Workload> = Arc::new(w);
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let c = run_concurrent_async(&dev, &fs, &w, 6, 2, 11).unwrap();
+        assert_eq!(c.clients, 6);
+        assert_eq!(c.threads, 2, "six clients ran over two worker threads");
+        assert_eq!(c.per_thread.len(), 6, "one result slice per logical client");
+        // Every object is created exactly once across the six shards, plus
+        // one final sync per shard — identical logical work to the threaded
+        // driver and the sequential run.
+        assert_eq!(c.aggregate.ops, objects + 6);
+        assert_eq!(c.aggregate.flush_errors, 0);
+        assert_eq!(c.aggregate.queue.count, 6, "one FLUSH barrier per client, via the reactor");
+        let shard_ops: u64 = c.per_thread.iter().map(|t| t.ops).sum();
+        assert_eq!(shard_ops, c.aggregate.ops);
+        assert!(c.aggregate.traffic.host_write_bytes() > 0);
+    }
+
+    #[test]
+    fn async_run_is_deterministic_with_zero_workers() {
+        // workers == 0 drives every client future from the calling thread:
+        // two runs must agree on the virtual clock exactly.
+        let w: Arc<dyn Workload> = Arc::new(Micro::new(MicroOp::Create, Scale::tiny()));
+        let run = || {
+            let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+            run_concurrent_async(&dev, &fs, &w, 4, 0, 9).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.aggregate.ops, b.aggregate.ops);
+        assert_eq!(a.aggregate.elapsed_ns, b.aggregate.elapsed_ns);
+        assert_eq!(a.aggregate.traffic.host_write_bytes(), b.aggregate.traffic.host_write_bytes());
+    }
+
+    #[test]
+    fn default_async_shard_falls_back_to_the_sync_body() {
+        struct Probe;
+        impl crate::Workload for Probe {
+            fn name(&self) -> String {
+                "probe".into()
+            }
+            fn setup(&self, _fs: &dyn FileSystem, _rng: &mut SmallRng) -> FsResult<()> {
+                Ok(())
+            }
+            fn run(
+                &self,
+                fs: &dyn FileSystem,
+                _rng: &mut SmallRng,
+                rec: &mut Recorder,
+            ) -> FsResult<()> {
+                let clock = fs.clock();
+                let sw = rec.start(&clock);
+                rec.finish(&clock, sw, crate::OpClass::Meta, 0);
+                Ok(())
+            }
+        }
+        let (dev, fs) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let w: Arc<dyn Workload> = Arc::new(Probe);
+        let c = run_concurrent_async(&dev, &fs, &w, 3, 0, 1).unwrap();
+        assert_eq!(c.aggregate.ops, 1, "unpartitioned workloads fall back to shard 0");
+        assert_eq!(c.per_thread[0].ops, 1);
+        assert_eq!(c.aggregate.queue.count, 3, "every client still issues its barrier");
     }
 
     #[test]

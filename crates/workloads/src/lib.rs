@@ -36,17 +36,23 @@ pub mod spec;
 pub mod ycsb;
 
 pub use driver::{
-    run_concurrent, run_workload, shard_seed, ConcurrentRunResult, RunResult, ThreadResult,
+    flush_barrier, run_concurrent, run_concurrent_async, run_workload, shard_seed,
+    ConcurrentRunResult, RunResult, ThreadResult,
 };
 pub use fsfactory::FsKind;
 pub use metrics::{LatencyStats, OpClass, Recorder};
 pub use spec::Scale;
 
-use fskit::{FileSystem, FsResult};
+use fskit::{AsyncFileSystem, BoxFuture, FileSystem, FsResult, InlineSyncFs};
 use rand::rngs::SmallRng;
 
 /// A file-system workload: a setup phase (not measured) and a measured run.
-pub trait Workload {
+///
+/// `Send + Sync` because the concurrent drivers share one workload across
+/// worker threads ([`driver::run_concurrent`]) and spawned client futures
+/// ([`driver::run_concurrent_async`]); workloads are plain parameter
+/// structs, so the bound costs implementations nothing.
+pub trait Workload: Send + Sync {
     /// Short name used in reports (e.g. `"varmail"`).
     fn name(&self) -> String;
 
@@ -94,5 +100,32 @@ pub trait Workload {
         } else {
             Ok(())
         }
+    }
+
+    /// Runs shard `shard` of `shards` as a future — the unit the async
+    /// driver ([`driver::run_concurrent_async`]) spawns per logical client.
+    /// Same partitioning contract as [`Workload::run_shard`].
+    ///
+    /// The default implementation reuses the sync shard body over an
+    /// [`InlineSyncFs`] view: correct for any workload, but each client
+    /// then runs its whole shard in one poll. Workloads override it with a
+    /// genuinely awaiting body (e.g. [`micro::Micro`]) so thousands of
+    /// clients interleave per operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    fn run_shard_async<'a>(
+        &'a self,
+        fs: &'a dyn AsyncFileSystem,
+        shard: usize,
+        shards: usize,
+        rng: &'a mut SmallRng,
+        rec: &'a mut Recorder,
+    ) -> BoxFuture<'a, FsResult<()>> {
+        Box::pin(async move {
+            let view = InlineSyncFs::new(fs);
+            self.run_shard(&view, shard, shards, rng, rec)
+        })
     }
 }

@@ -77,6 +77,12 @@ pub struct Recorder {
     pub app_write_bytes: u64,
     /// Total operations executed.
     pub ops: u64,
+    /// End-of-phase FLUSH durability barriers that failed — the device
+    /// refused, lost or errored the barrier command (power cut, persistent
+    /// media error). Non-zero means the run's tail writes carry no
+    /// durability guarantee; the driver surfaces this in its result instead
+    /// of dropping the barrier silently.
+    pub flush_errors: u64,
 }
 
 impl Recorder {
@@ -134,6 +140,7 @@ impl Recorder {
         self.app_read_bytes += other.app_read_bytes;
         self.app_write_bytes += other.app_write_bytes;
         self.ops += other.ops;
+        self.flush_errors += other.flush_errors;
     }
 
     /// Latency statistics for read operations.
