@@ -1,0 +1,320 @@
+//! Tail-latency cost of the host error-recovery layer under a realistic
+//! fail-slow rate (virtual clock).
+//!
+//! The recovery layer (per-command deadlines, watchdog timeout → NVMe-style
+//! abort, lane reset + quarantine, capped-backoff retry) sits on the async
+//! submission path of every command. This bench measures what hang
+//! *recovery* costs when hangs actually occur: the same seeded multi-client
+//! command stream is driven through the runtime against a fault-free device
+//! and against one whose [`mssd::HangFaultPlan`] injects stalls, lost
+//! completions and lane wedges at a combined 1e-3 per-command rate — a
+//! pessimistic fail-slow regime (real fleets see orders of magnitude less).
+//! Each affected command rides the full path: deadline expiry on the
+//! virtual clock, abort, seeded backoff, resubmission around quarantined
+//! lanes.
+//!
+//! Latencies are **virtual-clock** nanoseconds measured per command from
+//! submission to final resolution (including any timeout + backoff +
+//! retry), so the numbers are host-independent and deterministic. The CI
+//! acceptance gate reads the `p99_ratio_fault_vs_clean` summary: at the
+//! 1e-3 rate the recovered stream's p99 must stay within 3x of fault-free —
+//! recovery is rare enough and bounded enough that the tail survives.
+//!
+//! Usage: `hang_recovery [scale] [output.json]` — scale multiplies the
+//! per-client command count (default 1.0); results go to
+//! `BENCH_hang_recovery.json`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{host_cpus, print_table, BenchEntry, BenchReport};
+use mssd::{
+    Category, Command, DramMode, HangFaultConfig, HangFaultPlan, Mssd, MssdConfig, RetryPolicy,
+    Runtime, TxId,
+};
+
+/// Commands per client at scale 1.0.
+const CMDS_PER_CLIENT: usize = 5_000;
+
+/// Logical clients submitting as futures.
+const CLIENTS: usize = 4;
+
+/// Reactor lanes (queue pairs) the clients share.
+const LANES: usize = 2;
+
+/// SQ depth per lane.
+const DEPTH: usize = 4;
+
+/// 64-byte byte-interface slots per client (disjoint, partition 0).
+const SLOTS: u64 = 64;
+
+/// Block pages per client (disjoint, partition 1).
+const PAGES: u64 = 8;
+
+/// Timed repetitions per configuration; the best wall time is reported
+/// (virtual metrics are deterministic and identical across repeats).
+const REPEATS: usize = 3;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Everything one measured run produces.
+struct RunResult {
+    wall_s: f64,
+    /// Per-command virtual submission-to-resolution latencies, sorted.
+    lat_ns: Vec<u64>,
+    /// Commands that took at least one retry to resolve.
+    recovered: u64,
+    /// Injected hangs across all kinds.
+    injected: u64,
+    /// Recovery-layer RAS counters after the run.
+    hang_timeouts: u64,
+    aborts: u64,
+    lane_resets: u64,
+    retries: u64,
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The 1e-3 combined fail-slow regime: half stalls (a third of them
+/// unbounded), the rest lost completions and the occasional lane wedge.
+fn hang_plan() -> HangFaultPlan {
+    HangFaultPlan::new(HangFaultConfig {
+        seed: 0x4A6_5EED,
+        stall_rate: 5e-4,
+        stall_min_ns: 100_000,
+        stall_max_ns: 5_000_000,
+        unbounded_stall_rate: 0.34,
+        loss_rate: 3e-4,
+        wedge_rate: 2e-4,
+        ..HangFaultConfig::default()
+    })
+}
+
+/// Drives the seeded stream once through the zero-worker runtime (the
+/// driving thread pumps the executor, so the run — and with it every
+/// virtual-clock number — is deterministic).
+fn timed_run(faulted: bool, cmds_per_client: usize) -> RunResult {
+    let mut cfg = MssdConfig::small_test();
+    // Partition 0 holds the clients' byte slots, partition 1 their pages.
+    cfg.capacity_bytes = 32 << 20;
+    cfg.background_cleaning = false;
+    if faulted {
+        cfg.hang = hang_plan();
+    }
+    let dev = Mssd::new(cfg, DramMode::WriteLog);
+    let page_size = dev.page_size() as u64;
+    let block_base = (16u64 << 20) / page_size;
+
+    let start = Instant::now();
+    let rt = Runtime::new(&dev, 0, LANES, DEPTH);
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let reactor = Arc::clone(rt.reactor());
+            let clock = dev.clock();
+            rt.spawn(async move {
+                let mut rng = XorShift(0x4A6_0B17 ^ ((c as u64 + 1) << 32) | 1);
+                let mut tx = TxId(((c as u32) + 1) << 16);
+                let mut uncommitted = false;
+                let policy = RetryPolicy::default().with_seed(0xBAC_0FF ^ (c as u64 + 1));
+                let line_base = c as u64 * SLOTS;
+                let page_base = block_base + c as u64 * PAGES;
+                let mut lats = Vec::with_capacity(cmds_per_client);
+                let mut recovered = 0u64;
+                for _ in 0..cmds_per_client {
+                    let cmd = match rng.below(100) {
+                        // Byte write of one cacheline (transactional 1 in 4).
+                        0..=59 => {
+                            let line = line_base + rng.below(SLOTS);
+                            let transactional = rng.below(4) == 0;
+                            if transactional {
+                                uncommitted = true;
+                            }
+                            Command::ByteWrite {
+                                addr: line * 64,
+                                data: vec![rng.next() as u8; 64],
+                                txid: transactional.then_some(tx),
+                                cat: Category::Data,
+                            }
+                        }
+                        // Commit the open transaction (or a plain flush).
+                        60..=69 => {
+                            if uncommitted {
+                                let cmd = Command::Commit { txid: tx };
+                                tx = TxId(tx.0 + 1);
+                                uncommitted = false;
+                                cmd
+                            } else {
+                                Command::Flush
+                            }
+                        }
+                        // Block write of one page.
+                        70..=89 => Command::BlockWrite {
+                            lba: page_base + rng.below(PAGES),
+                            data: vec![rng.next() as u8; page_size as usize],
+                            cat: Category::Data,
+                        },
+                        // TRIM one page.
+                        _ => Command::Trim { lba: page_base + rng.below(PAGES), count: 1 },
+                    };
+                    let t0 = clock.now_ns();
+                    let (out, retries) = reactor.submit_with_retry(c, cmd, policy).await;
+                    lats.push(clock.now_ns() - t0);
+                    if retries > 0 {
+                        recovered += 1;
+                    }
+                    assert!(
+                        matches!(&out, Ok(c) if c.status.is_ok()),
+                        "client {c}: a command failed to resolve: {out:?}"
+                    );
+                }
+                (lats, recovered)
+            })
+        })
+        .collect();
+    let per_client = rt.block_on(async move {
+        let mut v = Vec::with_capacity(handles.len());
+        for h in handles {
+            v.push(h.await);
+        }
+        v
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut lat_ns = Vec::with_capacity(CLIENTS * cmds_per_client);
+    let mut recovered = 0u64;
+    for (lats, rec) in per_client {
+        lat_ns.extend(lats);
+        recovered += rec;
+    }
+    lat_ns.sort_unstable();
+    let snap = dev.snapshot();
+    RunResult {
+        wall_s,
+        lat_ns,
+        recovered,
+        injected: dev.config().hang.injected_total(),
+        hang_timeouts: snap.traffic.hang_timeouts,
+        aborts: snap.traffic.aborts,
+        lane_resets: snap.traffic.lane_resets,
+        retries: snap.traffic.retries,
+    }
+}
+
+fn best_of(faulted: bool, cmds_per_client: usize) -> RunResult {
+    let mut best = timed_run(faulted, cmds_per_client);
+    for _ in 1..REPEATS {
+        let r = timed_run(faulted, cmds_per_client);
+        if r.wall_s < best.wall_s {
+            best = r;
+        }
+    }
+    best
+}
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|a| a.parse::<f64>().ok()).unwrap_or(1.0);
+    let out_path =
+        std::env::args().nth(2).unwrap_or_else(|| "BENCH_hang_recovery.json".to_string());
+    // The floor keeps smoke-scale runs long enough that the 1e-3 regime
+    // actually injects hangs for the gated ratio to measure.
+    let cmds = ((CMDS_PER_CLIENT as f64 * scale) as usize).max(2_000);
+    let ops = cmds * CLIENTS;
+    eprintln!("hang_recovery: {ops} commands, host parallelism {}", host_cpus());
+
+    // Bring the CPU out of idle so the first configuration is not penalized.
+    let _ = timed_run(false, cmds / 10);
+
+    let clean = best_of(false, cmds);
+    let fault = best_of(true, cmds);
+    assert_eq!(clean.injected, 0, "fault-free run must not inject hangs");
+    assert_eq!(clean.recovered, 0, "fault-free run must not take retries");
+    assert!(fault.injected > 0, "the armed 1e-3 hang plan injected nothing — grow the stream");
+
+    let clean_p99 = pct(&clean.lat_ns, 0.99);
+    let fault_p99 = pct(&fault.lat_ns, 0.99);
+    let ratio = fault_p99 as f64 / clean_p99.max(1) as f64;
+    let rows = vec![
+        vec![
+            "fault-free".to_string(),
+            format!("{ops}"),
+            format!("{}", pct(&clean.lat_ns, 0.50)),
+            format!("{clean_p99}"),
+            format!("{}", clean.lat_ns.last().copied().unwrap_or(0)),
+            "0/0".to_string(),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "1e-3 hangs".to_string(),
+            format!("{ops}"),
+            format!("{}", pct(&fault.lat_ns, 0.50)),
+            format!("{fault_p99}"),
+            format!("{}", fault.lat_ns.last().copied().unwrap_or(0)),
+            format!("{}/{}", fault.injected, fault.recovered),
+            format!("{ratio:.2}x"),
+        ],
+    ];
+    print_table(
+        "hang_recovery — recovery-layer tail cost under a 1e-3 fail-slow rate",
+        &[
+            "config",
+            "cmds",
+            "virt p50 ns",
+            "virt p99 ns",
+            "virt max ns",
+            "inj/recov",
+            "p99 vs clean",
+        ],
+        &rows,
+    );
+
+    let mut report = BenchReport::new("hang_recovery", scale);
+    for (key, r) in [("clean", &clean), ("hang_1e-3", &fault)] {
+        report.entries.push(BenchEntry {
+            key: key.to_string(),
+            throughput_ops_s: (ops as f64 / r.wall_s * 1000.0).round() / 1000.0,
+            p99_ns: pct(&r.lat_ns, 0.99),
+            extra: BTreeMap::from([
+                ("cmds".to_string(), ops as f64),
+                ("virtual_p50_ns".to_string(), pct(&r.lat_ns, 0.50) as f64),
+                ("virtual_p99_ns".to_string(), pct(&r.lat_ns, 0.99) as f64),
+                ("virtual_max_ns".to_string(), r.lat_ns.last().copied().unwrap_or(0) as f64),
+                ("injected_hangs".to_string(), r.injected as f64),
+                ("recovered_cmds".to_string(), r.recovered as f64),
+                ("hang_timeouts".to_string(), r.hang_timeouts as f64),
+                ("aborts".to_string(), r.aborts as f64),
+                ("lane_resets".to_string(), r.lane_resets as f64),
+                ("retries".to_string(), r.retries as f64),
+            ]),
+        });
+    }
+    report
+        .summary
+        .insert("p99_ratio_fault_vs_clean".to_string(), (ratio * 1000.0).round() / 1000.0);
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("results written to {out_path}");
+}

@@ -5,19 +5,23 @@
 //! workflow can upload the report as the failure-seed artifact.
 //!
 //! ```text
-//! sweep <device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power> \
+//! sweep <device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power|device-hang|hang+power> \
 //!       <cleaning:on|off> [seeds=4] [cuts-per-seed=24] [out.json]
 //! ```
 //!
 //! `device-media` runs the media-fault stress to completion per seed (no
 //! power cut, clean power cycle at the end); `media+power` sweeps random
-//! power-cut points through the same media-fault workload.
+//! power-cut points through the same media-fault workload. `device-hang`
+//! and `hang+power` do the same for the fail-slow (hang-injection) stress:
+//! to-completion runs prove every injected hang resolves through the
+//! timeout/abort/retry recovery layer, and the power sweep crosses hangs
+//! with cuts landing inside recovery windows.
 
 use std::io::Write as _;
 
 use crashkit::{
     BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, Enumerator,
-    FsStress, KvStress, MediaStress, Scenario, SweepReport,
+    FsStress, HangStress, KvStress, MediaStress, Scenario, SweepReport,
 };
 
 fn seed_stream(seeds: u64) -> Vec<u64> {
@@ -64,10 +68,13 @@ fn main() {
         "novalike" => run(BaselineStress::quick(BaselineKind::Nova), cleaning, seeds, cuts),
         "device-media" => run_to_end(MediaStress::quick(), cleaning, seeds),
         "media+power" => run(MediaStress::quick(), cleaning, seeds, cuts),
+        "device-hang" => run_to_end(HangStress::quick(), cleaning, seeds),
+        "hang+power" => run(HangStress::quick(), cleaning, seeds, cuts),
         other => {
             eprintln!(
                 "unknown scenario {other:?} \
-                 (device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power)"
+                 (device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|\
+                 media+power|device-hang|hang+power)"
             );
             std::process::exit(2);
         }

@@ -20,7 +20,10 @@ use bytefs::{ByteFs, ByteFsConfig};
 use fskit::check::{CrashConsistent, Violation};
 use fskit::{FileSystem, FileSystemExt, OpenFlags};
 use kvstore::{Db, DbOptions, WalSync};
-use mssd::{Category, DramMode, MediaFaultConfig, MediaFaultPlan, Mssd, MssdConfig, TxId};
+use mssd::{
+    Category, DramMode, HangFaultConfig, HangFaultPlan, MediaFaultConfig, MediaFaultPlan, Mssd,
+    MssdConfig, TxId,
+};
 
 use crate::Rng;
 
@@ -1675,5 +1678,317 @@ impl Oracle for MediaOracle {
             v.push(Violation::new("mssd-ftl", problem));
         }
         v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-slow (hang) stress: the host error-recovery layer under injected
+// stalls, lost completions and lane wedges
+// ---------------------------------------------------------------------------
+
+/// Logical clients the hang stress spawns as futures.
+const HANG_CLIENTS: usize = 6;
+/// Reactor lanes the clients share — wedges must be able to strand more than
+/// one client's traffic behind a stuck queue.
+const HANG_LANES: usize = 2;
+/// SQ depth per lane: shallow, so a wedged lane quickly backpressures into
+/// parked submitters.
+const HANG_DEPTH: usize = 4;
+/// 64-byte cacheline slots per client (disjoint ranges in partition 0).
+const HANG_SLOTS: u64 = 48;
+/// Block pages per client (disjoint ranges in partition 1).
+const HANG_PAGES: u64 = 6;
+
+/// Fail-slow crash scenario: `HANG_CLIENTS` logical clients drive seeded
+/// command streams through one [`mssd::Runtime`] in deterministic
+/// zero-worker mode against a device whose [`mssd::HangFaultPlan`] injects
+/// bounded and unbounded stalls, lost completions and lane wedges at the
+/// host queue. Every command rides [`mssd::Reactor::submit_with_retry`]: a
+/// hang resolves through the deadline wheel (timeout → abort → typed
+/// `Aborted` completion) and the shared [`mssd::RetryPolicy`] resubmits it
+/// after a seeded backoff on the virtual clock, re-routing around
+/// quarantined lanes.
+///
+/// Run to completion (no power cut) the scenario proves the recovery layer
+/// is *exactly-once observable*: although retries are at-least-once at the
+/// device (a lost completion's command did execute, and its retry executes
+/// again), every command eventually resolves `Ok` with its final value
+/// durable exactly as submitted — never duplicated into a torn or stale
+/// state, never silently dropped. Under the power-cut sweep the cut lands
+/// inside timeout/abort/retry windows too, and the oracle classifies each
+/// command by what the host could know:
+///
+/// * resolved `Ok` with an `Ok` status — the last attempt executed:
+///   durable under the normal rules;
+/// * resolved `Ok` with a transient error status (retry budget exhausted) —
+///   some attempt may or may not have executed: in doubt, old or new value
+///   but never torn;
+/// * [`mssd::SubmitError::CutConsumed`], or `CutUnsubmitted` *after* at
+///   least one retry (an earlier attempt may have executed before being
+///   aborted): in doubt;
+/// * [`mssd::SubmitError::CutUnsubmitted`] with no prior attempt executed:
+///   no durable effect.
+///
+/// Clients write disjoint cacheline and block-page ranges, so per-location
+/// device order is each client's own submission order.
+#[derive(Debug, Clone)]
+pub struct HangStress {
+    /// Number of command batches each client submits.
+    pub rounds: usize,
+    /// Hang-fault rates installed on the device.
+    pub hang: HangFaultConfig,
+}
+
+impl HangStress {
+    /// Rates tuned for the acceptance sweep: aggressive enough that a run
+    /// injects dozens of hangs of all three kinds, bounded enough that the
+    /// retry budget (8 attempts) is effectively never exhausted — every
+    /// command resolves, which is exactly the recovery property under test.
+    pub fn quick() -> Self {
+        Self {
+            rounds: 30,
+            hang: HangFaultConfig {
+                seed: 0x4A2E_6B1D,
+                stall_rate: 0.10,
+                stall_min_ns: 50_000,
+                stall_max_ns: 2_000_000,
+                unbounded_stall_rate: 0.25,
+                loss_rate: 0.06,
+                wedge_rate: 0.03,
+                ..HangFaultConfig::default()
+            },
+        }
+    }
+}
+
+/// What the host learned about one command after retries; drives the
+/// oracle's expectation (see [`HangStress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HangOutcome {
+    /// The final attempt completed `Ok`: effects exactly durable.
+    Done,
+    /// Some attempt may have executed, no attempt is known to have: old or
+    /// new value, never torn.
+    InDoubt,
+    /// No attempt was ever consumed: no durable effect.
+    Never,
+}
+
+/// Classifies one [`mssd::Reactor::submit_with_retry`] result.
+fn classify_hang(out: &Result<mssd::Completion, mssd::SubmitError>, retries: u32) -> HangOutcome {
+    match out {
+        Ok(c) if c.status.is_ok() => HangOutcome::Done,
+        // Retry budget exhausted on transient errors (or a non-transient
+        // status): the aborted attempts were each executed-or-not.
+        Ok(_) => HangOutcome::InDoubt,
+        Err(mssd::SubmitError::CutConsumed) => HangOutcome::InDoubt,
+        // The final attempt never reached the firmware, but an *earlier*
+        // attempt that timed out and was aborted may have executed (a lost
+        // completion's command did).
+        Err(mssd::SubmitError::CutUnsubmitted) if retries > 0 => HangOutcome::InDoubt,
+        Err(mssd::SubmitError::CutUnsubmitted) => HangOutcome::Never,
+    }
+}
+
+/// Applies one classified command to the oracle. `Done` and `Never` reuse
+/// the multi-queue bookkeeping; `InDoubt` differs from a plain power-cut
+/// in-doubt only for TRIM, whose earlier aborted attempt may have executed
+/// (a cut-consumed TRIM in [`apply_mq_cmd`] is known *not* to have run —
+/// TRIM takes no durability step, so the cut preceded it).
+fn apply_hang_cmd(
+    o: &mut DeviceOracle,
+    pending: &mut Vec<(u64, u8, u32)>,
+    cmd: MqCmd,
+    outcome: HangOutcome,
+) {
+    match outcome {
+        HangOutcome::Done => apply_mq_cmd(o, pending, cmd, true),
+        HangOutcome::Never => {}
+        HangOutcome::InDoubt => match cmd {
+            MqCmd::TrimPage { lba } => {
+                let old = o.page_abs_tag(lba);
+                o.pages_abs.insert(lba, Expect::Either(old, 0));
+            }
+            cmd => apply_mq_cmd(o, pending, cmd, false),
+        },
+    }
+}
+
+impl Scenario for HangStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        // Partition 0 holds the clients' byte slots, partition 1 their
+        // block pages — the DeviceAsyncStress layout.
+        cfg.capacity_bytes = 32 << 20;
+        cfg.dram_region_bytes = 16 << 10;
+        cfg.log_clean_threshold = 0.999;
+        cfg.hang = HangFaultPlan::new(self.hang.clone());
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, seed: u64) -> Box<dyn Oracle> {
+        let rt = mssd::Runtime::new(dev, 0, HANG_LANES, HANG_DEPTH);
+        let page_size = dev.page_size() as u64;
+        let block_base = (16u64 << 20) / page_size; // partition 1
+        let rounds = self.rounds;
+
+        let handles: Vec<_> = (0..HANG_CLIENTS)
+            .map(|c| {
+                let reactor = Arc::clone(rt.reactor());
+                let dev = Arc::clone(dev);
+                rt.spawn(async move {
+                    let mut rng = Rng::new(seed.wrapping_add((c as u64 + 1) << 8));
+                    let mut tx = TxId(((c as u32) + 1) << 16);
+                    // The current transaction is *poisoned* once any write
+                    // under it (or any non-transactional overwrite of a slot
+                    // it has pending) resolves in doubt: the client abandons
+                    // it instead of committing, so the maybe-executed chunks
+                    // stay uncommitted and recovery discards them — the only
+                    // outcome the oracle can still bound.
+                    let mut poisoned = false;
+                    // Slots with a pending (uncommitted) write of `tx`.
+                    let mut tx_slots: BTreeSet<u64> = BTreeSet::new();
+                    let policy = mssd::RetryPolicy::default()
+                        .with_seed(seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let line_base = c as u64 * HANG_SLOTS;
+                    let page_base = block_base + c as u64 * HANG_PAGES;
+                    let mut log: Vec<(MqCmd, HangOutcome)> = Vec::new();
+                    'rounds: for _ in 0..rounds {
+                        let run_len = 1 + rng.below(3);
+                        let base_slot = rng.below(HANG_SLOTS - run_len);
+                        let tag = 1 + rng.below(250) as u8;
+                        let transactional = rng.below(3) == 0;
+                        let mut batch: Vec<(mssd::Command, MqCmd)> = Vec::new();
+                        for i in 0..run_len {
+                            let line = line_base + base_slot + i;
+                            let t = tag.wrapping_add(i as u8);
+                            batch.push((
+                                mssd::Command::ByteWrite {
+                                    addr: line * 64,
+                                    data: vec![t; 64],
+                                    txid: transactional.then_some(tx),
+                                    cat: Category::Data,
+                                },
+                                MqCmd::Line { line, tag: t, txid: transactional.then_some(tx.0) },
+                            ));
+                        }
+                        let mut commit_after = false;
+                        match rng.below(8) {
+                            0 if transactional => commit_after = true,
+                            1 | 2 => {
+                                let lba = page_base + rng.below(HANG_PAGES);
+                                let ptag = 1 + rng.below(250) as u8;
+                                batch.push((
+                                    mssd::Command::BlockWrite {
+                                        lba,
+                                        data: vec![ptag; page_size as usize],
+                                        cat: Category::Data,
+                                    },
+                                    MqCmd::Page { lba, tag: ptag },
+                                ));
+                            }
+                            3 => {
+                                let lba = page_base + rng.below(HANG_PAGES);
+                                batch.push((
+                                    mssd::Command::Trim { lba, count: 1 },
+                                    MqCmd::TrimPage { lba },
+                                ));
+                            }
+                            4 => {
+                                batch.push((mssd::Command::Flush, MqCmd::Flush));
+                            }
+                            _ => {}
+                        }
+                        for (cmd, desc) in batch {
+                            let (out, retries) = reactor.submit_with_retry(c, cmd, policy).await;
+                            let outcome = classify_hang(&out, retries);
+                            match &desc {
+                                MqCmd::Line { line, txid: Some(_), .. } => match outcome {
+                                    HangOutcome::Done => {
+                                        tx_slots.insert(*line);
+                                        log.push((desc, outcome));
+                                    }
+                                    // A maybe-executed transactional chunk:
+                                    // abandon the transaction (below) so it
+                                    // is never committed — then it has no
+                                    // durable effect either way.
+                                    HangOutcome::InDoubt => {
+                                        poisoned = true;
+                                        log.push((desc, HangOutcome::Never));
+                                    }
+                                    HangOutcome::Never => log.push((desc, outcome)),
+                                },
+                                MqCmd::Line { line, txid: None, .. } => {
+                                    // An in-doubt overwrite of a slot with a
+                                    // pending chunk makes the slot's fate
+                                    // three-valued (old / chunk / new) if the
+                                    // transaction still commits; abandoning
+                                    // it keeps the outcome two-valued.
+                                    if outcome == HangOutcome::InDoubt && tx_slots.contains(line) {
+                                        poisoned = true;
+                                    }
+                                    if outcome == HangOutcome::Done {
+                                        tx_slots.remove(line);
+                                    }
+                                    log.push((desc, outcome));
+                                }
+                                _ => log.push((desc, outcome)),
+                            }
+                            if dev.fault_tripped() {
+                                break 'rounds;
+                            }
+                        }
+                        if commit_after {
+                            if poisoned {
+                                // Abandoned: the maybe-executed writes stay
+                                // uncommitted forever; no commit is logged,
+                                // so the replay drops their pending entries.
+                                tx = TxId(tx.0 + 1);
+                                poisoned = false;
+                                tx_slots.clear();
+                            } else {
+                                let (out, retries) = reactor
+                                    .submit_with_retry(
+                                        c,
+                                        mssd::Command::Commit { txid: tx },
+                                        policy,
+                                    )
+                                    .await;
+                                log.push((
+                                    MqCmd::Commit { txid: tx.0 },
+                                    classify_hang(&out, retries),
+                                ));
+                                tx = TxId(tx.0 + 1);
+                                tx_slots.clear();
+                                if dev.fault_tripped() {
+                                    break 'rounds;
+                                }
+                            }
+                        }
+                    }
+                    log
+                })
+            })
+            .collect();
+        let logs = rt.block_on(async move {
+            let mut v = Vec::with_capacity(handles.len());
+            for h in handles {
+                v.push(h.await);
+            }
+            v
+        });
+
+        // Locations are disjoint per client, so replaying each client's log
+        // in its own submission order reconstructs per-location device
+        // order (at-least-once duplicates re-append the same bytes, which
+        // per-slot merge collapses to the same value).
+        let mut o = DeviceOracle::default();
+        for log in logs {
+            let mut pending: Vec<(u64, u8, u32)> = Vec::new();
+            for (cmd, outcome) in log {
+                apply_hang_cmd(&mut o, &mut pending, cmd, outcome);
+            }
+        }
+        Box::new(o)
     }
 }

@@ -11,7 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::fault::{FaultPlan, MediaFaultPlan};
+use crate::fault::{FaultPlan, HangFaultPlan, MediaFaultPlan};
 use crate::{CACHELINE, PAGE_SIZE};
 
 /// Named flash/interconnect latency profiles from the paper's sensitivity study
@@ -133,6 +133,11 @@ pub struct MssdConfig {
     /// Like [`MssdConfig::fault`], cloning the config shares the plan's
     /// deterministic draw sequence across device components.
     pub media: MediaFaultPlan,
+    /// Fail-slow (hang) injection plan (see [`crate::fault::HangFaultPlan`]):
+    /// command stalls, lost completions and lane wedges drawn at the host
+    /// queue. Disabled by default. Like [`MssdConfig::fault`], cloning the
+    /// config shares the plan's deterministic draw sequence.
+    pub hang: HangFaultPlan,
     /// Spare erase blocks reserved per channel for bad-block replacement.
     /// When a channel retires a block (program or erase failure) a spare is
     /// pulled into rotation; once spares and free blocks are exhausted the
@@ -177,6 +182,7 @@ impl MssdConfig {
             profile,
             fault: FaultPlan::disabled(),
             media: MediaFaultPlan::disabled(),
+            hang: HangFaultPlan::disabled(),
             spare_blocks_per_channel: 4,
             read_retry_limit: 4,
         }
@@ -206,6 +212,7 @@ impl MssdConfig {
             profile: TimingProfile::Default,
             fault: FaultPlan::disabled(),
             media: MediaFaultPlan::disabled(),
+            hang: HangFaultPlan::disabled(),
             spare_blocks_per_channel: 2,
             read_retry_limit: 4,
         }
@@ -259,6 +266,13 @@ impl MssdConfig {
     /// [`crate::fault::MediaFaultPlan`]).
     pub fn with_media_fault_plan(mut self, plan: MediaFaultPlan) -> Self {
         self.media = plan;
+        self
+    }
+
+    /// Installs a fail-slow (hang) injection plan (see
+    /// [`crate::fault::HangFaultPlan`]).
+    pub fn with_hang_fault_plan(mut self, plan: HangFaultPlan) -> Self {
+        self.hang = plan;
         self
     }
 
@@ -457,10 +471,13 @@ mod tests {
         assert!(!c.media.is_enabled());
         assert!(c.spare_blocks_per_channel > 0);
         assert!(c.read_retry_limit > 0);
+        assert!(!c.hang.is_enabled());
         let armed = c
             .with_media_fault_plan(crate::fault::MediaFaultPlan::rates(1, 0.1, 0.0, 0.0))
+            .with_hang_fault_plan(crate::fault::HangFaultPlan::rates(1, 0.01, 0.0, 0.0))
             .with_spare_blocks(3);
         assert!(armed.media.is_enabled());
+        assert!(armed.hang.is_enabled());
         assert_eq!(armed.spare_blocks_per_channel, 3);
         assert!(armed.validate().is_ok());
     }

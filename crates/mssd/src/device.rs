@@ -1041,6 +1041,11 @@ impl Mssd {
                 duration_ns: 0,
             };
         }
+        // Recovery replay must not draw fail-slow faults: the commands it
+        // replays already happened, and a hang drawn here would perturb the
+        // plan's deterministic group ordinals (same rationale as the media
+        // plan's suspension during the FTL rebuild).
+        self.cfg.hang.suspend();
         // Recovery is a stop-the-world command: every log shard, then the
         // TxLog, then the flash channels — the global lock order.
         let mut all = self.log.lock_all();
@@ -1080,6 +1085,7 @@ impl Mssd {
         let flushed_pages = self.stats.flash_writes_total() - flash_writes_before;
         drop(txlog);
         drop(all);
+        self.cfg.hang.resume();
         self.charge(cost);
         RecoveryReport {
             scanned_entries: scanned,

@@ -334,8 +334,10 @@ struct MediaState {
     suspended: AtomicU64,
 }
 
-/// SplitMix64: full-avalanche mix used for all injection decisions.
-fn mix64(mut z: u64) -> u64 {
+/// SplitMix64: full-avalanche mix used for all injection decisions (and,
+/// crate-wide, for any other deterministic seeded draw — retry jitter
+/// shares it so one seed fixes a whole run).
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -565,6 +567,275 @@ impl PartialEq for MediaFaultPlan {
     }
 }
 
+/// Fail-slow event taxonomy for [`HangFaultPlan`]: the three ways a host
+/// command can hang instead of failing cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HangOpKind {
+    /// The command completes, but late: extra latency is charged to the
+    /// virtual clock before the completion is delivered.
+    Stall,
+    /// The command executes but its completion is dropped (or the stall never
+    /// resolves): the host only learns its fate through a deadline + abort.
+    Loss,
+    /// The whole lane stops consuming its submission queue until it is reset.
+    Wedge,
+}
+
+impl HangOpKind {
+    /// All kinds, in a stable order (indexable by [`HangOpKind::index`]).
+    pub const ALL: [HangOpKind; 3] = [HangOpKind::Stall, HangOpKind::Loss, HangOpKind::Wedge];
+
+    /// Stable index of this kind into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            HangOpKind::Stall => 0,
+            HangOpKind::Loss => 1,
+            HangOpKind::Wedge => 2,
+        }
+    }
+
+    /// Short label used in reports, e.g. `"stall"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            HangOpKind::Stall => "stall",
+            HangOpKind::Loss => "loss",
+            HangOpKind::Wedge => "wedge",
+        }
+    }
+}
+
+impl std::fmt::Display for HangOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a [`HangFaultPlan`]: per-command-group hang rates plus
+/// exact group ordinals for bit-exact reproduction of a specific hang.
+///
+/// All rates are probabilities in `[0, 1]` drawn deterministically from
+/// `seed` and the command-group ordinal, so the same seed over the same
+/// submission stream injects the same hangs (pinned by the crashkit hang
+/// determinism test). The `hang_*_at` fields are 1-based group ordinals that
+/// force that fault at exactly that group regardless of the rates; `0` means
+/// "never".
+#[derive(Debug, Clone, PartialEq)]
+pub struct HangFaultConfig {
+    /// PRNG seed; every injection decision derives from it.
+    pub seed: u64,
+    /// Per-group probability of a stall (bounded or unbounded extra latency).
+    pub stall_rate: f64,
+    /// Minimum bounded-stall duration in virtual nanoseconds.
+    pub stall_min_ns: u64,
+    /// Maximum bounded-stall duration in virtual nanoseconds.
+    pub stall_max_ns: u64,
+    /// Probability that a drawn stall is *unbounded*: the completion never
+    /// arrives on its own and the command resolves only through abort.
+    pub unbounded_stall_rate: f64,
+    /// Per-group probability that the group executes but its completion is
+    /// dropped.
+    pub loss_rate: f64,
+    /// Per-group probability that the lane wedges (stops consuming its
+    /// submission queue until reset).
+    pub wedge_rate: f64,
+    /// Force a (bounded) stall at this 1-based group ordinal.
+    pub hang_stall_at: u64,
+    /// Force a lost completion at this 1-based group ordinal.
+    pub hang_loss_at: u64,
+    /// Force a lane wedge at this 1-based group ordinal.
+    pub hang_wedge_at: u64,
+}
+
+impl Default for HangFaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            stall_rate: 0.0,
+            stall_min_ns: 100_000,
+            stall_max_ns: 5_000_000,
+            unbounded_stall_rate: 0.0,
+            loss_rate: 0.0,
+            wedge_rate: 0.0,
+            hang_stall_at: 0,
+            hang_loss_at: 0,
+            hang_wedge_at: 0,
+        }
+    }
+}
+
+/// The fail-slow event drawn for one command group about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HangFault {
+    /// Stall the group. `extra_ns` is the bounded extra virtual latency, or
+    /// `None` for an unbounded stall that only an abort resolves.
+    Stall {
+        /// Bounded extra delay, or `None` when the stall never resolves.
+        extra_ns: Option<u64>,
+    },
+    /// Execute the group but drop its completion(s).
+    Loss,
+    /// Wedge the lane: the group (and everything behind it) stays in the
+    /// submission queue until a lane reset.
+    Wedge,
+}
+
+/// Shared mutable state of a hang plan (see [`FaultState`] for the sharing
+/// rationale: config clones share one counter sequence per device).
+#[derive(Debug)]
+struct HangState {
+    cfg: HangFaultConfig,
+    /// Command-group ordinal: one draw per group execution attempt.
+    ops: AtomicU64,
+    /// Per-kind injected hang counts, indexed by [`HangOpKind::index`].
+    injected: [AtomicU64; 3],
+    /// Suspension depth: while non-zero every draw returns clean *without*
+    /// advancing the ordinal, so recovery replay neither hangs nor perturbs
+    /// the deterministic sequence.
+    suspended: AtomicU64,
+}
+
+/// Seeded, deterministic fail-slow injection, carried inside
+/// [`crate::MssdConfig::hang`]: command stalls (bounded or unbounded under
+/// the virtual clock), lost completions, and whole-lane wedges.
+///
+/// Mirrors [`MediaFaultPlan`]'s sharing model: cloning the plan shares the
+/// group counter, so every queue of one device draws from the same
+/// deterministic sequence. The disabled default costs one `Option` check per
+/// command group. Determinism has the same caveat as [`FaultPlan`]: it is
+/// exact for single-threaded hosts with background cleaning off.
+#[derive(Debug, Clone, Default)]
+pub struct HangFaultPlan {
+    state: Option<Arc<HangState>>,
+}
+
+impl HangFaultPlan {
+    /// A plan that injects nothing (zero-cost default).
+    pub fn disabled() -> Self {
+        Self { state: None }
+    }
+
+    /// A plan armed with the given hang model.
+    pub fn new(cfg: HangFaultConfig) -> Self {
+        Self {
+            state: Some(Arc::new(HangState {
+                cfg,
+                ops: AtomicU64::new(0),
+                injected: Default::default(),
+                suspended: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Convenience: rate-based plan with default stall bounds and no forced
+    /// ordinals.
+    pub fn rates(seed: u64, stall: f64, loss: f64, wedge: f64) -> Self {
+        Self::new(HangFaultConfig {
+            seed,
+            stall_rate: stall,
+            loss_rate: loss,
+            wedge_rate: wedge,
+            ..Default::default()
+        })
+    }
+
+    /// Whether any injection is armed. When `false`, queues skip the draw
+    /// entirely (fault-free configurations pay nothing).
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Draws the fail-slow outcome for one command group about to execute.
+    /// Advances the group ordinal; retries of the same group draw again (a
+    /// resubmitted command is a new submission as far as the host can tell).
+    /// Returns `None` when the group proceeds normally.
+    ///
+    /// Wedge dominates loss dominates stall: a wedge stops the lane outright,
+    /// so drawing the weaker faults for the same group would be unobservable.
+    pub fn command_fault(&self) -> Option<HangFault> {
+        let st = self.state.as_ref()?;
+        if st.suspended.load(Ordering::SeqCst) > 0 {
+            return None;
+        }
+        let ordinal = st.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let base = mix64(st.cfg.seed ^ ordinal.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let forced_wedge = st.cfg.hang_wedge_at != 0 && ordinal == st.cfg.hang_wedge_at;
+        if forced_wedge || unit(mix64(base ^ 0x7a3d_90e4)) < st.cfg.wedge_rate {
+            st.injected[HangOpKind::Wedge.index()].fetch_add(1, Ordering::Relaxed);
+            return Some(HangFault::Wedge);
+        }
+        let forced_loss = st.cfg.hang_loss_at != 0 && ordinal == st.cfg.hang_loss_at;
+        if forced_loss || unit(mix64(base ^ 0x41c6_4e6d)) < st.cfg.loss_rate {
+            st.injected[HangOpKind::Loss.index()].fetch_add(1, Ordering::Relaxed);
+            return Some(HangFault::Loss);
+        }
+        let forced_stall = st.cfg.hang_stall_at != 0 && ordinal == st.cfg.hang_stall_at;
+        if forced_stall || unit(mix64(base ^ 0x9e91_26bf)) < st.cfg.stall_rate {
+            st.injected[HangOpKind::Stall.index()].fetch_add(1, Ordering::Relaxed);
+            // Forced stalls are bounded: the repro hook exists to pin a
+            // specific late completion, not an abort path.
+            let unbounded =
+                !forced_stall && unit(mix64(base ^ 0x2f61_3b27)) < st.cfg.unbounded_stall_rate;
+            if unbounded {
+                return Some(HangFault::Stall { extra_ns: None });
+            }
+            let span = st.cfg.stall_max_ns.saturating_sub(st.cfg.stall_min_ns);
+            let extra = st.cfg.stall_min_ns.saturating_add(if span > 0 {
+                mix64(base ^ 0x5851_f42d) % (span + 1)
+            } else {
+                0
+            });
+            return Some(HangFault::Stall { extra_ns: Some(extra) });
+        }
+        None
+    }
+
+    /// Suspends injection: until the matching [`HangFaultPlan::resume`],
+    /// every draw returns clean and advances no ordinal. Used while a crash
+    /// image is restored / recovery replays, which must neither hang nor
+    /// shift the deterministic sequence. Nestable (depth-counted).
+    pub fn suspend(&self) {
+        if let Some(st) = &self.state {
+            st.suspended.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Re-arms injection after a [`HangFaultPlan::suspend`].
+    pub fn resume(&self) {
+        if let Some(st) = &self.state {
+            let prev = st.suspended.fetch_sub(1, Ordering::SeqCst);
+            debug_assert!(prev > 0, "resume() without matching suspend()");
+        }
+    }
+
+    /// Command groups observed so far.
+    pub fn ops_total(&self) -> u64 {
+        self.state.as_ref().map(|st| st.ops.load(Ordering::SeqCst)).unwrap_or(0)
+    }
+
+    /// Hangs injected of one kind so far.
+    pub fn injected_of(&self, kind: HangOpKind) -> u64 {
+        self.state.as_ref().map(|st| st.injected[kind.index()].load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Total hangs injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        HangOpKind::ALL.iter().map(|&k| self.injected_of(k)).sum()
+    }
+}
+
+/// Two plans are configuration-equal when armed with the same hang model;
+/// runtime counters are ignored (same rationale as [`FaultPlan`]'s
+/// `PartialEq`).
+impl PartialEq for HangFaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.state, &other.state) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.cfg == b.cfg,
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,5 +1048,111 @@ mod tests {
         // Injected: the two pre-suspend draws, the post-resume read, the
         // erase — and nothing from the suspended window.
         assert_eq!(p.injected_total(), 4);
+    }
+
+    #[test]
+    fn disabled_hang_plan_injects_nothing() {
+        let p = HangFaultPlan::disabled();
+        for _ in 0..100 {
+            assert_eq!(p.command_fault(), None);
+        }
+        assert_eq!(p.ops_total(), 0);
+        assert_eq!(p.injected_total(), 0);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn hang_plan_is_deterministic_per_seed() {
+        let run = |seed| {
+            let p = HangFaultPlan::rates(seed, 0.2, 0.1, 0.05);
+            let draws: Vec<_> = (0..300).map(|_| p.command_fault()).collect();
+            (draws, p.injected_total())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+        let (_, injected) = run(42);
+        assert!(injected > 0, "rates this high must inject something");
+    }
+
+    #[test]
+    fn forced_hang_ordinals_fire_exactly_once() {
+        let p = HangFaultPlan::new(HangFaultConfig {
+            seed: 9,
+            hang_stall_at: 3,
+            hang_loss_at: 2,
+            hang_wedge_at: 1,
+            ..Default::default()
+        });
+        assert_eq!(p.command_fault(), Some(HangFault::Wedge));
+        assert_eq!(p.command_fault(), Some(HangFault::Loss));
+        let stall = p.command_fault().expect("forced stall at ordinal 3");
+        assert!(
+            matches!(stall, HangFault::Stall { extra_ns: Some(_) }),
+            "forced stalls are bounded, got {stall:?}"
+        );
+        assert_eq!(p.command_fault(), None);
+        assert_eq!(p.injected_total(), 3);
+        assert_eq!(p.injected_of(HangOpKind::Stall), 1);
+        assert_eq!(p.injected_of(HangOpKind::Loss), 1);
+        assert_eq!(p.injected_of(HangOpKind::Wedge), 1);
+    }
+
+    #[test]
+    fn stall_durations_stay_in_bounds() {
+        let p = HangFaultPlan::new(HangFaultConfig {
+            seed: 11,
+            stall_rate: 1.0,
+            stall_min_ns: 500,
+            stall_max_ns: 900,
+            ..Default::default()
+        });
+        for _ in 0..200 {
+            match p.command_fault() {
+                Some(HangFault::Stall { extra_ns: Some(ns) }) => {
+                    assert!((500..=900).contains(&ns), "stall of {ns}ns out of bounds");
+                }
+                other => panic!("stall rate 1.0 must always stall, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_stall_rate_marks_stalls_open_ended() {
+        let p = HangFaultPlan::new(HangFaultConfig {
+            seed: 13,
+            stall_rate: 1.0,
+            unbounded_stall_rate: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(p.command_fault(), Some(HangFault::Stall { extra_ns: None }));
+        assert_eq!(p.injected_of(HangOpKind::Stall), 1);
+    }
+
+    #[test]
+    fn hang_config_equality_ignores_runtime_state() {
+        let a = HangFaultPlan::rates(3, 0.1, 0.0, 0.0);
+        let b = HangFaultPlan::rates(3, 0.1, 0.0, 0.0);
+        a.command_fault();
+        assert_eq!(a, b);
+        assert_ne!(a, HangFaultPlan::rates(4, 0.1, 0.0, 0.0));
+        assert_ne!(a, HangFaultPlan::disabled());
+        assert_eq!(HangFaultPlan::disabled(), HangFaultPlan::default());
+    }
+
+    #[test]
+    fn suspended_hang_plan_draws_clean_without_advancing_ordinals() {
+        let p = HangFaultPlan::rates(7, 1.0, 0.0, 0.0);
+        assert!(p.command_fault().is_some());
+        p.suspend();
+        p.suspend(); // nests
+        assert_eq!(p.command_fault(), None);
+        assert_eq!(p.command_fault(), None);
+        p.resume();
+        assert_eq!(p.command_fault(), None);
+        p.resume();
+        assert_eq!(p.ops_total(), 1);
+        assert!(p.command_fault().is_some());
+        assert_eq!(p.ops_total(), 2);
+        assert_eq!(p.injected_total(), 2);
     }
 }

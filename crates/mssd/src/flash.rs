@@ -54,6 +54,12 @@ pub enum FlashError {
     /// The device has exhausted its spare blocks and degraded to read-only:
     /// mutating operations are rejected, reads still succeed.
     ReadOnly,
+    /// The host aborted the command (deadline timeout, lane reset): it never
+    /// completed normally. Whether its effects happened depends on how far
+    /// it got — the abort path reports that separately (see
+    /// `HostQueue::abort`); resubmitting is always safe because every
+    /// command is idempotent at the device level.
+    Aborted,
 }
 
 impl std::fmt::Display for FlashError {
@@ -74,6 +80,9 @@ impl std::fmt::Display for FlashError {
             FlashError::ReadOnly => {
                 write!(f, "device degraded to read-only (spare blocks exhausted)")
             }
+            FlashError::Aborted => {
+                write!(f, "command aborted by the host (deadline timeout or lane reset)")
+            }
         }
     }
 }
@@ -82,10 +91,11 @@ impl FlashError {
     /// Whether a host-level retry of the same command could plausibly
     /// succeed. A fresh read re-samples the media's transient bit-error
     /// process, so an [`FlashError::Uncorrectable`] verdict may clear on the
-    /// next attempt; permanent program/erase failures and read-only
-    /// degradation never do.
+    /// next attempt, and an [`FlashError::Aborted`] command (deadline
+    /// timeout, lane reset) may simply have hit an injected hang; permanent
+    /// program/erase failures and read-only degradation never do.
     pub fn is_transient(&self) -> bool {
-        matches!(self, FlashError::Uncorrectable { .. })
+        matches!(self, FlashError::Uncorrectable { .. } | FlashError::Aborted)
     }
 }
 

@@ -103,12 +103,20 @@ pub use config::{MssdConfig, TimingProfile};
 pub use device::{CrashImage, DramMode, Mssd};
 pub use dram_cache::{CachePageRef, DramPageCache, ShardedDramCache, CACHE_SHARDS};
 pub use ecc::{EccOutcome, PageParity, ECC_DETECT, ECC_T};
-pub use fault::{FaultKind, FaultPlan, MediaFaultConfig, MediaFaultPlan, MediaOpKind};
+pub use fault::{
+    FaultKind, FaultPlan, HangFault, HangFaultConfig, HangFaultPlan, HangOpKind, MediaFaultConfig,
+    MediaFaultPlan, MediaOpKind,
+};
 pub use flash::{ChannelFlash, FlashError};
 pub use ftl::{Ftl, ShardedFtl, L2P_STRIPES};
 pub use log::{ShardedWriteLog, LOG_SHARDS};
-pub use queue::{Command, CommandId, Completion, HostQueue, QueueFull, WaitError};
-pub use reactor::{Executor, JoinHandle, Reactor, Runtime, SubmitError};
+pub use queue::{
+    AbortOutcome, Command, CommandId, Completion, HostQueue, QueueFull, ResetMode, ResetReport,
+    WaitError,
+};
+pub use reactor::{
+    Executor, JoinHandle, Reactor, RetryPolicy, Runtime, SubmitError, DEFAULT_COMMAND_TIMEOUT_NS,
+};
 pub use stats::{
     AtomicTraffic, Category, Interface, QueueLat, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
 };

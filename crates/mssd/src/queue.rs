@@ -51,10 +51,11 @@
 //! thread's ambient queue, see [`HostQueue::make_ambient`]).
 
 use std::cell::Cell;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use crate::device::Mssd;
+use crate::fault::{HangFault, HangFaultPlan};
 use crate::flash::FlashError;
 use crate::stats::Category;
 use crate::txn::TxId;
@@ -136,10 +137,12 @@ pub enum Command {
 pub struct Completion {
     /// Id the command was submitted under.
     pub id: CommandId,
-    /// Command status: `Ok(())` on success, or the media error the firmware
-    /// reported (uncorrectable read, read-only degradation). Mirrors the
-    /// NVMe completion status field. Commands coalesced into one merged
-    /// write share the merged write's status.
+    /// Command status: `Ok(())` on success, the media error the firmware
+    /// reported (uncorrectable read, read-only degradation), or
+    /// [`FlashError::Aborted`] when the host aborted the command (deadline
+    /// timeout, lane reset). Mirrors the NVMe completion status field.
+    /// Commands coalesced into one merged write share the merged write's
+    /// status.
     pub status: Result<(), FlashError>,
     /// Read payload, `None` for non-read commands and failed reads.
     pub data: Option<Vec<u8>>,
@@ -187,6 +190,14 @@ pub enum WaitError {
     /// The command completed, but its completion was already delivered by an
     /// earlier [`poll`](HostQueue::poll) / [`wait`](HostQueue::wait).
     AlreadyDelivered,
+    /// The device consumed the command but its completion will never arrive
+    /// (an injected hang: dropped completion or unbounded stall). The host
+    /// resolves it with [`HostQueue::abort`], which delivers a typed
+    /// [`FlashError::Aborted`] completion.
+    CompletionLost,
+    /// The lane is wedged: the submission queue is not being consumed and
+    /// the command cannot make progress until [`HostQueue::reset`].
+    LaneWedged,
 }
 
 impl std::fmt::Display for WaitError {
@@ -196,11 +207,56 @@ impl std::fmt::Display for WaitError {
             WaitError::PowerCutPending => "power cut before the command executed",
             WaitError::NeverSubmitted => "command id was never submitted on this queue",
             WaitError::AlreadyDelivered => "completion was already delivered",
+            WaitError::CompletionLost => "completion lost (injected hang): abort to resolve",
+            WaitError::LaneWedged => "lane wedged: reset the queue to make progress",
         })
     }
 }
 
 impl std::error::Error for WaitError {}
+
+/// What [`HostQueue::abort`] did to the command, making the in-doubt
+/// taxonomy explicit: an abort never leaves a command in an ambiguous state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortOutcome {
+    /// Too late: the command already completed. Its (real) completion is
+    /// still in the CQ — nothing was changed.
+    AlreadyCompleted,
+    /// The command was removed from the submission queue before the device
+    /// consumed it. Its effects never happened; resubmitting is exactly-once
+    /// safe. A typed [`FlashError::Aborted`] completion was delivered.
+    AbortedUnexecuted,
+    /// The command was consumed but its completion was lost: its effects are
+    /// in-doubt (same taxonomy as a power cut landing inside the group). A
+    /// typed [`FlashError::Aborted`] completion was delivered; resubmitting
+    /// is idempotent at the device level.
+    AbortedInDoubt,
+}
+
+/// How [`HostQueue::reset`] disposes of outstanding submission-queue
+/// commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResetMode {
+    /// Keep unexecuted commands in the SQ: they run on the next doorbell.
+    /// Safe because they were never consumed (exactly-once preserved).
+    Requeue,
+    /// Complete every outstanding SQ command with [`FlashError::Aborted`]
+    /// instead of re-running it.
+    FailFast,
+}
+
+/// Typed outcome of a [`HostQueue::reset`]: every outstanding command is
+/// accounted for — requeued, or aborted with a delivered completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetReport {
+    /// Unexecuted commands left in the SQ to re-run ([`ResetMode::Requeue`]).
+    pub requeued: usize,
+    /// Commands completed with [`FlashError::Aborted`]: every lost
+    /// completion, plus the whole SQ under [`ResetMode::FailFast`].
+    pub aborted: usize,
+    /// Whether the lane was wedged when the reset was issued.
+    pub was_wedged: bool,
+}
 
 thread_local! {
     /// The queue slot sync (depth-1 shim) operations on this thread are
@@ -247,6 +303,22 @@ pub struct HostQueue {
     /// Ids of the one command group a power cut landed inside: consumed by
     /// the device, effects in doubt, no completion will ever be delivered.
     in_doubt: BTreeSet<u64>,
+    /// Fail-slow injection plan shared with the device config (clone shares
+    /// the deterministic draw sequence).
+    hang: HangFaultPlan,
+    /// `true` once an injected wedge stopped this lane: doorbells are no-ops
+    /// until [`HostQueue::reset`].
+    wedged: bool,
+    /// Ids consumed by the device whose completion will never arrive (lost
+    /// completion or unbounded stall). Resolved only by abort / reset.
+    lost: BTreeSet<u64>,
+    /// Ids removed from the SQ by abort or fail-fast reset. Needed to keep
+    /// [`HostQueue::in_submission`]'s contiguous-range check truthful: these
+    /// ids sit inside the SQ's id range but are no longer in it.
+    aborted: BTreeSet<u64>,
+    /// Absolute virtual-clock deadlines (`Clock::now_ns` scale) per
+    /// outstanding command id; removed on delivery.
+    deadlines: BTreeMap<u64, u64>,
 }
 
 impl std::fmt::Debug for HostQueue {
@@ -269,6 +341,7 @@ impl HostQueue {
     /// Panics if `depth` is zero.
     pub(crate) fn new(dev: Arc<Mssd>, id: u16, depth: usize) -> Self {
         assert!(depth > 0, "queue depth must be at least 1");
+        let hang = dev.config().hang.clone();
         Self {
             dev,
             id,
@@ -277,6 +350,11 @@ impl HostQueue {
             sq: VecDeque::new(),
             cq: VecDeque::new(),
             in_doubt: BTreeSet::new(),
+            hang,
+            wedged: false,
+            lost: BTreeSet::new(),
+            aborted: BTreeSet::new(),
+            deadlines: BTreeMap::new(),
         }
     }
 
@@ -341,10 +419,11 @@ impl HostQueue {
     /// With a tripped fault plan the batch stops at the cut: commands after
     /// the interrupted group stay in the SQ and never execute.
     pub fn ring_doorbell(&mut self) -> usize {
-        if self.sq.is_empty() {
+        if self.wedged || self.sq.is_empty() {
             // An empty doorbell is a no-op: in particular it must not touch
             // the per-queue stats bank, or a caller mixing `submit_auto`
-            // with manual rings would inflate the batch count.
+            // with manual rings would inflate the batch count. A wedged lane
+            // consumes nothing until it is reset.
             return 0;
         }
         let dev = Arc::clone(&self.dev);
@@ -354,14 +433,47 @@ impl HostQueue {
             if dev.fault_tripped() {
                 break; // power is off: the rest of the SQ never executes
             }
+            // Fail-slow draw, one per group about to be consumed. A wedge
+            // stops the lane before the group is taken off the SQ.
+            let fault = self.hang.command_fault();
+            if fault == Some(HangFault::Wedge) {
+                self.wedged = true;
+                break;
+            }
             let (ids, cmd) = self.pop_group();
-            let (status, data, cost) = execute(&dev, &cmd);
+            if fault == Some(HangFault::Stall { extra_ns: None }) {
+                // Unbounded stall: the device consumed the group but it
+                // never executes and never completes — only an abort
+                // resolves it. Effects never happen (the host cannot tell;
+                // the abort path reports in-doubt).
+                self.lost.extend(ids.iter().map(|id| id.0));
+                continue;
+            }
+            let (status, data, mut cost) = execute(&dev, &cmd);
             if dev.fault_tripped() {
                 // The cut landed inside this group: its effects are in
                 // doubt, so no completion is delivered for it — and it
                 // counts toward neither ops nor coalesced_cmds.
                 self.in_doubt.extend(ids.iter().map(|id| id.0));
+                for id in &ids {
+                    self.deadlines.remove(&id.0);
+                }
                 break;
+            }
+            match fault {
+                Some(HangFault::Loss) => {
+                    // Executed, completion dropped on the wire: effects are
+                    // durable but the host only learns through a deadline.
+                    self.lost.extend(ids.iter().map(|id| id.0));
+                    continue;
+                }
+                Some(HangFault::Stall { extra_ns: Some(extra) }) => {
+                    // Bounded stall: the completion arrives, late. The extra
+                    // time is real device time under the virtual clock.
+                    dev.clock().advance(extra);
+                    cost += extra;
+                }
+                _ => {}
             }
             coalesced += ids.len() as u64 - 1;
             // A read's payload goes to the last (only) member; coalesced
@@ -373,7 +485,8 @@ impl HostQueue {
             for id in ids {
                 let lat = share + remainder;
                 remainder = 0;
-                self.cq.push_back(Completion {
+                self.deadlines.remove(&id.0);
+                self.push_completion(Completion {
                     id,
                     status: status.clone(),
                     data: data.clone(),
@@ -435,12 +548,15 @@ impl HostQueue {
     }
 
     /// Whether `id` is still sitting in the submission queue (submitted but
-    /// not yet consumed by a doorbell). O(1): the SQ holds a contiguous run
-    /// of ids (push-back monotonic, pop-front only), so a front/back range
-    /// check suffices.
+    /// not yet consumed by a doorbell). The SQ holds a contiguous run of ids
+    /// (push-back monotonic, pop-front only) *minus* any ids an abort or a
+    /// fail-fast reset plucked out, so this is a front/back range check plus
+    /// an aborted-set lookup.
     pub fn in_submission(&self, id: CommandId) -> bool {
         match (self.sq.front(), self.sq.back()) {
-            (Some((lo, _)), Some((hi, _))) => id.0 >= lo.0 && id.0 <= hi.0,
+            (Some((lo, _)), Some((hi, _))) => {
+                id.0 >= lo.0 && id.0 <= hi.0 && !self.aborted.contains(&id.0)
+            }
             _ => false,
         }
     }
@@ -473,6 +589,9 @@ impl HostQueue {
         if self.in_submission(id) {
             return Ok(None);
         }
+        if self.lost.contains(&id.0) {
+            return Err(WaitError::CompletionLost);
+        }
         if self.in_doubt.contains(&id.0) {
             return Err(WaitError::PowerCutConsumed);
         }
@@ -498,9 +617,172 @@ impl HostQueue {
         match self.try_complete(id)? {
             Some(c) => Ok(c),
             // Still in the SQ after a ring: the ring went nowhere, which
-            // only happens once power is off.
-            None => Err(WaitError::PowerCutPending),
+            // only happens once power is off or the lane wedged.
+            None => {
+                Err(if self.wedged { WaitError::LaneWedged } else { WaitError::PowerCutPending })
+            }
         }
+    }
+
+    /// Enqueues a command with an absolute virtual-clock deadline
+    /// (`Clock::now_ns` scale). The deadline does not expire the command by
+    /// itself — it is the input to the host's watchdog, which reads
+    /// [`HostQueue::expired`] and resolves overdue ids via
+    /// [`HostQueue::abort`]. `0` and `u64::MAX` mean "no deadline".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the SQ already holds `depth` commands.
+    pub fn submit_with_deadline(
+        &mut self,
+        cmd: Command,
+        deadline_ns: u64,
+    ) -> Result<CommandId, QueueFull> {
+        let id = self.submit(cmd)?;
+        if deadline_ns != 0 && deadline_ns != u64::MAX {
+            self.deadlines.insert(id.0, deadline_ns);
+        }
+        Ok(id)
+    }
+
+    /// The absolute deadline armed for `id`, if it is still outstanding.
+    pub fn deadline_of(&self, id: CommandId) -> Option<u64> {
+        self.deadlines.get(&id.0).copied()
+    }
+
+    /// The earliest deadline among outstanding (undelivered) commands: the
+    /// instant the host watchdog would fire next.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.deadlines.values().min().copied()
+    }
+
+    /// Ids whose deadline is at or before `now_ns` and whose completion has
+    /// not been delivered (still in the SQ, or lost). These are the commands
+    /// the watchdog must [`abort`](HostQueue::abort) or recover via
+    /// [`reset`](HostQueue::reset).
+    pub fn expired(&self, now_ns: u64) -> Vec<CommandId> {
+        self.deadlines
+            .iter()
+            .filter(|&(_, &dl)| dl <= now_ns)
+            .map(|(&id, _)| CommandId(id))
+            .collect()
+    }
+
+    /// `true` once an injected wedge stopped this lane: doorbells are no-ops
+    /// and nothing completes until [`HostQueue::reset`].
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Commands consumed by the device whose completion will never arrive
+    /// (dropped completion / unbounded stall) and that have not been aborted
+    /// yet.
+    pub fn lost_completions(&self) -> usize {
+        self.lost.len()
+    }
+
+    /// NVMe-style abort: resolves `id` with a typed outcome, never an
+    /// ambiguous `None`. A command still in the SQ is removed (it never
+    /// executed); a consumed-but-lost command is failed (its effects are
+    /// in-doubt — the same taxonomy as a power cut landing inside its
+    /// group). In both cases a completion with status
+    /// [`FlashError::Aborted`] is delivered to the CQ so pollers and waiters
+    /// observe the resolution. Counts into the device's `aborts` RAS
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// [`WaitError::NeverSubmitted`] for an id this queue never handed out;
+    /// [`WaitError::PowerCutConsumed`] when the command was consumed by a
+    /// power cut (an abort cannot resolve power loss). Aborting a command
+    /// that already finished — whether its completion is still in the CQ or
+    /// was already delivered — is a benign no-op reported as
+    /// [`AbortOutcome::AlreadyCompleted`].
+    pub fn abort(&mut self, id: CommandId) -> Result<AbortOutcome, WaitError> {
+        if id.0 == 0 || id.0 >= self.next_cid {
+            return Err(WaitError::NeverSubmitted);
+        }
+        if self.completion_ready(id) {
+            return Ok(AbortOutcome::AlreadyCompleted);
+        }
+        if self.in_submission(id) {
+            let pos = self
+                .sq
+                .iter()
+                .position(|(cid, _)| *cid == id)
+                .expect("in_submission implies an SQ entry");
+            self.sq.remove(pos);
+            self.aborted.insert(id.0);
+            self.deadlines.remove(&id.0);
+            self.deliver_aborted(id.0);
+            self.dev.stats_ref().inc_aborts();
+            return Ok(AbortOutcome::AbortedUnexecuted);
+        }
+        if self.lost.remove(&id.0) {
+            self.deadlines.remove(&id.0);
+            self.deliver_aborted(id.0);
+            self.dev.stats_ref().inc_aborts();
+            return Ok(AbortOutcome::AbortedInDoubt);
+        }
+        if self.in_doubt.contains(&id.0) {
+            return Err(WaitError::PowerCutConsumed);
+        }
+        Ok(AbortOutcome::AlreadyCompleted)
+    }
+
+    /// Lane-level reset: clears a wedge and resolves every outstanding
+    /// command with a typed outcome. Lost completions always fail fast (the
+    /// device already consumed them; waiting longer cannot help);
+    /// unexecuted SQ commands are either left to re-run
+    /// ([`ResetMode::Requeue`] — exactly-once safe, they were never
+    /// consumed) or failed with [`FlashError::Aborted`]
+    /// ([`ResetMode::FailFast`]). Counts into the device's `lane_resets`
+    /// RAS counter.
+    pub fn reset(&mut self, mode: ResetMode) -> ResetReport {
+        let was_wedged = self.wedged;
+        self.wedged = false;
+        let mut aborted = 0usize;
+        for id in std::mem::take(&mut self.lost) {
+            self.deadlines.remove(&id);
+            self.deliver_aborted(id);
+            aborted += 1;
+        }
+        let requeued = match mode {
+            ResetMode::Requeue => self.sq.len(),
+            ResetMode::FailFast => {
+                while let Some((id, _)) = self.sq.pop_front() {
+                    self.aborted.insert(id.0);
+                    self.deadlines.remove(&id.0);
+                    self.deliver_aborted(id.0);
+                    aborted += 1;
+                }
+                0
+            }
+        };
+        self.dev.stats_ref().inc_lane_resets();
+        ResetReport { requeued, aborted, was_wedged }
+    }
+
+    /// Inserts an [`FlashError::Aborted`] completion for `id` at its sorted
+    /// position.
+    fn deliver_aborted(&mut self, id: u64) {
+        self.push_completion(Completion {
+            id: CommandId(id),
+            status: Err(FlashError::Aborted),
+            data: None,
+            latency_ns: 0,
+        });
+    }
+
+    /// Inserts a completion at its id-sorted position. Normal doorbell
+    /// deliveries are monotonic (this degenerates to a push_back), but an
+    /// abort can resolve an id *ahead* of still-queued lower ids — whose
+    /// later completions must then slot in before it, so every insertion
+    /// goes through the same sorted path to keep
+    /// [`HostQueue::try_complete`]'s binary search valid.
+    fn push_completion(&mut self, c: Completion) {
+        let pos = self.cq.partition_point(|e| e.id.0 < c.id.0);
+        self.cq.insert(pos, c);
     }
 
     /// Makes this queue the calling thread's *ambient* queue: until the
@@ -788,6 +1070,209 @@ mod tests {
         assert!(d.is_committed(tx));
         d.recover();
         assert_eq!(d.byte_read(4096, 64, Category::Inode), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn deadlines_track_expiry_and_clear_on_delivery() {
+        let d = dev();
+        let mut q = d.open_queue(4);
+        let now = d.clock().now_ns();
+        let a = q
+            .submit_with_deadline(
+                Command::ByteRead { addr: 0, len: 64, cat: Category::Data },
+                now + 1_000,
+            )
+            .unwrap();
+        let b = q
+            .submit_with_deadline(
+                Command::ByteRead { addr: 4096, len: 64, cat: Category::Data },
+                u64::MAX,
+            )
+            .unwrap();
+        assert_eq!(q.deadline_of(a), Some(now + 1_000));
+        assert_eq!(q.deadline_of(b), None, "u64::MAX means no deadline");
+        assert_eq!(q.next_deadline(), Some(now + 1_000));
+        assert!(q.expired(now).is_empty());
+        d.clock().advance(2_000);
+        assert_eq!(q.expired(d.clock().now_ns()), vec![a]);
+        q.ring_doorbell();
+        assert_eq!(q.deadline_of(a), None, "delivery clears the deadline");
+        assert!(q.expired(u64::MAX).is_empty());
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn abort_of_unexecuted_command_is_typed_and_preserves_the_rest() {
+        let d = dev();
+        let mut q = d.open_queue(4);
+        // A gap prevents coalescing: two groups.
+        let a = q
+            .submit(Command::ByteWrite {
+                addr: 0,
+                data: vec![1; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        let b = q
+            .submit(Command::ByteWrite {
+                addr: 4096,
+                data: vec![2; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        assert_eq!(q.abort(b), Ok(AbortOutcome::AbortedUnexecuted));
+        assert!(!q.in_submission(b), "aborted id is out of the SQ");
+        assert!(q.in_submission(a), "other commands are untouched");
+        let cb = q.try_complete(b).unwrap().expect("typed aborted completion");
+        assert_eq!(cb.status, Err(FlashError::Aborted));
+        q.ring_doorbell();
+        assert!(q.wait(a).expect("survivor completes").is_ok());
+        assert_eq!(d.byte_read(4096, 64, Category::Data), vec![0; 64], "abortee never executed");
+        assert_eq!(q.abort(a), Ok(AbortOutcome::AlreadyCompleted));
+        assert_eq!(q.wait(b), Err(WaitError::AlreadyDelivered));
+        assert_eq!(d.traffic().aborts, 1);
+    }
+
+    #[test]
+    fn lost_completion_is_typed_and_resolves_via_abort() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 3, hang_loss_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let mut q = d.open_queue(4);
+        let a = q
+            .submit(Command::ByteWrite {
+                addr: 0,
+                data: vec![9; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        assert_eq!(q.ring_doorbell(), 0, "the completion was dropped");
+        assert_eq!(q.lost_completions(), 1);
+        assert_eq!(q.try_complete(a), Err(WaitError::CompletionLost));
+        assert_eq!(q.wait(a), Err(WaitError::CompletionLost));
+        assert_eq!(q.abort(a), Ok(AbortOutcome::AbortedInDoubt));
+        assert_eq!(q.lost_completions(), 0);
+        let c = q.wait(a).expect("abort delivered a completion");
+        assert_eq!(c.status, Err(FlashError::Aborted));
+        // Loss means the device *did* execute the command: in-doubt resolves
+        // to "effects durable" here, and a retry would be idempotent.
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![9; 64]);
+    }
+
+    #[test]
+    fn wedge_stops_the_lane_until_requeue_reset() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 3, hang_wedge_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let mut q = d.open_queue(4);
+        let a = q
+            .submit(Command::ByteWrite {
+                addr: 0,
+                data: vec![4; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        let b = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        assert_eq!(q.ring_doorbell(), 0);
+        assert!(q.wedged());
+        assert_eq!(q.wait(a), Err(WaitError::LaneWedged));
+        assert_eq!(q.pending(), 2, "wedged lane consumes nothing");
+        let report = q.reset(ResetMode::Requeue);
+        assert_eq!(report, ResetReport { requeued: 2, aborted: 0, was_wedged: true });
+        assert!(!q.wedged());
+        assert_eq!(q.ring_doorbell(), 2, "requeued commands run after the reset");
+        assert!(q.wait(a).expect("write completes").is_ok());
+        assert_eq!(q.wait(b).expect("read completes").data, Some(vec![4; 64]));
+        assert_eq!(d.traffic().lane_resets, 1);
+    }
+
+    #[test]
+    fn failfast_reset_aborts_everything_outstanding() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 3, hang_wedge_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let mut q = d.open_queue(4);
+        let a = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        let b = q.submit(Command::ByteRead { addr: 4096, len: 64, cat: Category::Data }).unwrap();
+        q.ring_doorbell();
+        assert!(q.wedged());
+        let report = q.reset(ResetMode::FailFast);
+        assert_eq!(report, ResetReport { requeued: 0, aborted: 2, was_wedged: true });
+        assert_eq!(q.pending(), 0);
+        for id in [a, b] {
+            let c = q.wait(id).expect("typed aborted completion");
+            assert_eq!(c.status, Err(FlashError::Aborted));
+        }
+    }
+
+    #[test]
+    fn unbounded_stall_consumes_without_executing() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d = Mssd::new(
+            MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(HangFaultConfig {
+                seed: 3,
+                stall_rate: 1.0,
+                unbounded_stall_rate: 1.0,
+                ..Default::default()
+            })),
+            DramMode::WriteLog,
+        );
+        let mut q = d.open_queue(4);
+        let a = q
+            .submit(Command::ByteWrite {
+                addr: 0,
+                data: vec![7; 64],
+                txid: None,
+                cat: Category::Data,
+            })
+            .unwrap();
+        assert_eq!(q.ring_doorbell(), 0);
+        assert_eq!(q.lost_completions(), 1);
+        assert_eq!(q.abort(a), Ok(AbortOutcome::AbortedInDoubt));
+        // In-doubt resolves to "never executed" for an unbounded stall.
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![0; 64]);
+    }
+
+    #[test]
+    fn bounded_stall_inflates_latency_under_the_virtual_clock() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d = Mssd::new(
+            MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(HangFaultConfig {
+                seed: 3,
+                stall_rate: 1.0,
+                stall_min_ns: 500_000,
+                stall_max_ns: 500_000,
+                ..Default::default()
+            })),
+            DramMode::WriteLog,
+        );
+        let mut q = d.open_queue(4);
+        let a = q.submit(Command::ByteRead { addr: 0, len: 64, cat: Category::Data }).unwrap();
+        let before = d.clock().now_ns();
+        q.ring_doorbell();
+        let c = q.wait(a).expect("stalled command still completes");
+        assert!(c.is_ok());
+        assert!(c.latency_ns >= 500_000, "stall charged to the completion");
+        assert!(d.clock().now_ns() - before >= 500_000, "stall advanced the virtual clock");
     }
 
     #[test]

@@ -62,11 +62,77 @@ use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
 use crate::device::Mssd;
-use crate::queue::{Command, CommandId, Completion, HostQueue, WaitError};
+use crate::fault::mix64;
+use crate::queue::{Command, CommandId, Completion, HostQueue, ResetMode, WaitError};
 
 /// Maximum number of lanes (queue pairs) one [`Reactor`] multiplexes; bounded
 /// by the width of the dirty-lane bitmask.
 pub const MAX_LANES: usize = 64;
+
+/// Default per-command deadline the reactor arms at SQ submission (virtual
+/// nanoseconds): generous against the worst injectable bounded stall, tiny
+/// against a real hang. Override with [`Reactor::set_command_timeout_ns`].
+pub const DEFAULT_COMMAND_TIMEOUT_NS: u64 = 10_000_000;
+
+/// How many requeue-resets the lane watchdog attempts before giving up on a
+/// lane that wedges again immediately and failing its commands fast.
+const MAX_WEDGE_RESETS: u32 = 8;
+
+/// Capped exponential backoff with seeded, deterministic jitter — the one
+/// retry schedule shared by every host-side retry loop (the reactor's
+/// [`Reactor::submit_with_retry`] and `workloads`' concurrent driver), so a
+/// single seed fixes the complete retry timeline of a run.
+///
+/// Delays are **virtual-clock** nanoseconds: a backoff charges
+/// [`crate::Clock::advance`], never a wall-clock sleep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Seed for the jitter draws.
+    pub seed: u64,
+    /// Delay before the first retry (attempt 0), in virtual ns.
+    pub base_delay_ns: u64,
+    /// Cap on any single backoff delay, in virtual ns.
+    pub max_delay_ns: u64,
+    /// Retries after the initial attempt before the error is surfaced.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 100 µs doubling to a 10 ms cap, up to 8 retries, seed 1.
+    fn default() -> Self {
+        Self { seed: 1, base_delay_ns: 100_000, max_delay_ns: 10_000_000, max_retries: 8 }
+    }
+}
+
+impl RetryPolicy {
+    /// The same schedule under a different jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The virtual-ns delay before retry number `attempt` (0-based) of the
+    /// actor identified by `key` (client index, thread id, …): exponential
+    /// from [`base_delay_ns`](Self::base_delay_ns), capped at
+    /// [`max_delay_ns`](Self::max_delay_ns), jittered into the upper half of
+    /// the window so concurrent retriers decorrelate. Pure function of
+    /// `(seed, key, attempt)`.
+    pub fn backoff_ns(&self, key: u64, attempt: u32) -> u64 {
+        let exp = self
+            .base_delay_ns
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_delay_ns.max(self.base_delay_ns));
+        if exp == 0 {
+            return 0;
+        }
+        let half = exp / 2;
+        let r = mix64(
+            self.seed ^ key.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ ((u64::from(attempt) + 1) << 40),
+        );
+        half + r % (exp - half + 1)
+    }
+}
 
 /// How a power cut resolved an awaited command (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +167,16 @@ pub trait Pump: Send + Sync {
     /// Whether unserviced events exist. Checked under the executor's sleep
     /// lock so a racing event keeps the executor awake.
     fn pending(&self) -> bool;
+    /// Called each time the executor's 5 ms safety-net sleep expires on its
+    /// own (rather than being notified): `productive` says whether the
+    /// expiry found real work (ready tasks or pending pump events), i.e.
+    /// whether the net actually caught a raced wakeup. Default: ignore.
+    /// [`Reactor`] forwards the split into the device's
+    /// `exec_productive_wakeups` / `exec_spurious_wakeups` counters so the
+    /// safety net's activity is observable instead of silent.
+    fn note_safety_wakeup(&self, productive: bool) {
+        let _ = productive;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -122,6 +198,12 @@ impl ExecInner {
 
     fn pumps_pending(&self) -> bool {
         self.pumps.lock().expect("pump registry").iter().any(|p| p.pending())
+    }
+
+    fn note_safety_wakeup(&self, productive: bool) {
+        for p in self.pumps.lock().expect("pump registry").iter() {
+            p.note_safety_wakeup(productive);
+        }
     }
 }
 
@@ -302,11 +384,18 @@ impl Executor {
                 // The timeout is a safety net against wakeups raced from
                 // threads outside the runtime; the pump-before-sleep
                 // protocol makes it unnecessary in steady state.
-                let _ = self
+                let (guard, timeout) = self
                     .inner
                     .cv
                     .wait_timeout(guard, Duration::from_millis(5))
                     .expect("executor condvar");
+                if timeout.timed_out() {
+                    let productive = !guard.is_empty()
+                        || root.woken.load(Ordering::Acquire)
+                        || self.inner.pumps_pending();
+                    drop(guard);
+                    self.inner.note_safety_wakeup(productive);
+                }
             }
         }
     }
@@ -327,8 +416,13 @@ fn worker_loop(inner: &Arc<ExecInner>) {
         }
         let guard = inner.ready.lock().expect("ready queue");
         if guard.is_empty() && !inner.shutdown.load(Ordering::Acquire) && !inner.pumps_pending() {
-            let _ =
+            let (guard, timeout) =
                 inner.cv.wait_timeout(guard, Duration::from_millis(5)).expect("executor condvar");
+            if timeout.timed_out() {
+                let productive = !guard.is_empty() || inner.pumps_pending();
+                drop(guard);
+                inner.note_safety_wakeup(productive);
+            }
         }
     }
 }
@@ -425,6 +519,12 @@ pub struct Reactor {
     /// Bit i set = lane i has unserviced submissions; cleared by
     /// [`pump`](Pump::pump).
     dirty: AtomicU64,
+    /// Bit i set = lane i wedged at least once and was reset by the
+    /// watchdog: [`lane_for`](Reactor::lane_for) steers new clients away.
+    quarantined: AtomicU64,
+    /// Relative deadline armed on every command at SQ submission (virtual
+    /// ns); 0 disables deadlines.
+    command_timeout_ns: AtomicU64,
 }
 
 impl std::fmt::Debug for Reactor {
@@ -455,7 +555,13 @@ impl Reactor {
                 })
             })
             .collect();
-        Arc::new(Self { dev: Arc::clone(dev), lanes, dirty: AtomicU64::new(0) })
+        Arc::new(Self {
+            dev: Arc::clone(dev),
+            lanes,
+            dirty: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            command_timeout_ns: AtomicU64::new(DEFAULT_COMMAND_TIMEOUT_NS),
+        })
     }
 
     /// Number of lanes.
@@ -463,10 +569,70 @@ impl Reactor {
         self.lanes.len()
     }
 
-    /// The lane a logical client should submit to (stable hash of the
-    /// client index, keeping each client's commands ordered on one queue).
+    /// Sets the per-command deadline armed at SQ submission (relative,
+    /// virtual ns; 0 disables deadlines). Defaults to
+    /// [`DEFAULT_COMMAND_TIMEOUT_NS`].
+    pub fn set_command_timeout_ns(&self, timeout_ns: u64) {
+        self.command_timeout_ns.store(timeout_ns, Ordering::Release);
+    }
+
+    /// Bitmask of lanes quarantined by the watchdog (bit i = lane i).
+    pub fn quarantined_lanes(&self) -> u64 {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// The lane a logical client should submit to: a stable map of the
+    /// client index (keeping each client's commands ordered on one queue),
+    /// skipping quarantined lanes. Falls back to the home lane when every
+    /// lane is quarantined — a reset lane still works, it has just proven
+    /// hang-prone.
     pub fn lane_for(&self, client: usize) -> usize {
-        client % self.lanes.len()
+        let n = self.lanes.len();
+        let home = client % n;
+        let q = self.quarantined.load(Ordering::Acquire);
+        if q & (1u64 << home) == 0 {
+            return home;
+        }
+        (1..n).map(|off| (home + off) % n).find(|&cand| q & (1u64 << cand) == 0).unwrap_or(home)
+    }
+
+    /// Quarantines lane `idx` and publishes the gauge.
+    fn quarantine(&self, idx: usize) {
+        let prev = self.quarantined.fetch_or(1u64 << idx, Ordering::AcqRel);
+        let mask = prev | (1u64 << idx);
+        self.dev.stats_ref().set_quarantined_lanes(u64::from(mask.count_ones()));
+    }
+
+    /// Lane watchdog: called under the lane lock when a doorbell left the
+    /// lane wedged. Models the host timer on the virtual clock — the hang
+    /// becomes observable once the earliest armed deadline passes — then
+    /// counts the timed-out commands, quarantines the lane, and
+    /// requeue-resets it so every outstanding command re-runs (exactly-once
+    /// safe: a wedge consumes nothing). A lane that wedges again on every
+    /// re-ring is failed fast after [`MAX_WEDGE_RESETS`] attempts, so
+    /// submitters get typed `Aborted` completions instead of a bare hang.
+    fn recover_wedged_lane(&self, l: &mut Lane, idx: usize) {
+        let clock = self.dev.clock();
+        let now = clock.now_ns();
+        if let Some(dl) = l.hq.next_deadline() {
+            if dl > now {
+                clock.advance(dl - now);
+            }
+        }
+        for _ in l.hq.expired(clock.now_ns()) {
+            self.dev.stats_ref().inc_hang_timeouts();
+        }
+        self.quarantine(idx);
+        for _ in 0..MAX_WEDGE_RESETS {
+            l.hq.reset(ResetMode::Requeue);
+            if l.hq.pending() > 0 && !self.dev.fault_tripped() {
+                l.hq.ring_doorbell();
+            }
+            if !l.hq.wedged() {
+                return;
+            }
+        }
+        l.hq.reset(ResetMode::FailFast);
     }
 
     /// Submits one command to `lane`, resolving to its completion. Parks
@@ -494,6 +660,45 @@ impl Reactor {
         }
     }
 
+    /// Submits `client`'s command with host-level retry: a completion whose
+    /// status is transient ([`crate::FlashError::Aborted`] from a hang
+    /// timeout or lane reset, or an uncorrectable-read retry) is
+    /// resubmitted after a [`RetryPolicy::backoff_ns`] delay charged to the
+    /// **virtual** clock, re-routing through [`lane_for`](Self::lane_for)
+    /// each attempt so a quarantined lane is left behind. Resolves to the
+    /// final outcome plus the number of retries taken (also counted into
+    /// the device's `retries` RAS counter). Power-cut errors are returned
+    /// immediately — no retry can resolve power loss.
+    ///
+    /// Retries are at-least-once: an in-doubt abort (`AbortedInDoubt`) may
+    /// have executed, so only idempotent commands should ride this path —
+    /// every [`Command`] in this crate is (byte/block writes of fixed data,
+    /// reads, trim, flush, commit of an already-staged transaction).
+    pub fn submit_with_retry(
+        self: &Arc<Self>,
+        client: usize,
+        cmd: Command,
+        policy: RetryPolicy,
+    ) -> impl Future<Output = (Result<Completion, SubmitError>, u32)> {
+        let reactor = Arc::clone(self);
+        async move {
+            let mut attempt = 0u32;
+            loop {
+                let lane = reactor.lane_for(client);
+                let out = reactor.submit(lane, cmd.clone()).await;
+                let transient =
+                    matches!(&out, Ok(c) if c.status.as_ref().is_err_and(|e| e.is_transient()));
+                if !transient || attempt >= policy.max_retries {
+                    return (out, attempt);
+                }
+                reactor.dev.clock().advance(policy.backoff_ns(client as u64, attempt));
+                reactor.dev.stats_ref().inc_retries();
+                attempt += 1;
+                yield_now().await;
+            }
+        }
+    }
+
     fn mark_dirty(&self, lane: usize) {
         self.dirty.fetch_or(1u64 << lane, Ordering::AcqRel);
     }
@@ -502,13 +707,20 @@ impl Reactor {
     /// whose batch left the SQ, then FIFO capacity grants to parked
     /// submitters. On a tripped fault plan, latches `powered_off` and wakes
     /// everything so futures resolve with [`SubmitError`]s instead of
-    /// hanging. Must be called with the lane lock held.
-    fn service(&self, l: &mut Lane) -> usize {
+    /// hanging. A doorbell that wedges the lane triggers
+    /// [`recover_wedged_lane`](Reactor::recover_wedged_lane) **inside this
+    /// call** — the wedge cleared the dirty bit's reason to exist, so no
+    /// later pump would come back for it. Must be called with the lane lock
+    /// held; `idx` is the lane's index (for the quarantine mask).
+    fn service(&self, l: &mut Lane, idx: usize) -> usize {
         let mut wakeups = 0usize;
         if !l.powered_off && l.hq.pending() > 0 {
             l.hq.ring_doorbell();
         }
         let cut = self.dev.fault_tripped();
+        if !cut && l.hq.wedged() {
+            self.recover_wedged_lane(l, idx);
+        }
         let Lane { hq, waiting, parked, granted, granted_slots, powered_off, .. } = l;
         if cut {
             *powered_off = true;
@@ -562,13 +774,22 @@ impl Pump for Reactor {
                 continue;
             }
             let mut l = lane.lock().expect("lane mutex");
-            wakeups += self.service(&mut l);
+            wakeups += self.service(&mut l, i);
         }
         wakeups
     }
 
     fn pending(&self) -> bool {
         self.dirty.load(Ordering::Acquire) != 0
+    }
+
+    fn note_safety_wakeup(&self, productive: bool) {
+        let stats = self.dev.stats_ref();
+        if productive {
+            stats.inc_exec_productive_wakeups();
+        } else {
+            stats.inc_exec_spurious_wakeups();
+        }
     }
 }
 
@@ -592,6 +813,7 @@ impl Submit {
     /// Resolves every outcome it can; returns `Ready` when all are in.
     /// Call with the lane lock held.
     fn poll_inflight(
+        reactor: &Reactor,
         state: &mut SubmitState,
         l: &mut Lane,
         cx: &mut Context<'_>,
@@ -622,6 +844,33 @@ impl Submit {
                 }
                 Err(WaitError::PowerCutConsumed) => {
                     outcomes[i] = Some(Err(SubmitError::CutConsumed));
+                }
+                Err(WaitError::CompletionLost) if l.powered_off => {
+                    // The device consumed the command, the completion never
+                    // arrived, and then power failed: indistinguishable from
+                    // a cut inside the group.
+                    outcomes[i] = Some(Err(SubmitError::CutConsumed));
+                }
+                Err(WaitError::CompletionLost) => {
+                    // The device consumed the command but its completion
+                    // will never arrive (dropped completion or unbounded
+                    // stall). Model the host timer: wait out the command's
+                    // deadline on the virtual clock, then abort — the typed
+                    // `Aborted` completion flows back so callers can retry.
+                    let clock = reactor.dev.clock();
+                    if let Some(dl) = l.hq.deadline_of(CommandId(*cid)) {
+                        let now = clock.now_ns();
+                        if dl > now {
+                            clock.advance(dl - now);
+                        }
+                    }
+                    reactor.dev.stats_ref().inc_hang_timeouts();
+                    l.hq.abort(CommandId(*cid)).expect("lost command aborts");
+                    let c =
+                        l.hq.try_complete(CommandId(*cid))
+                            .expect("abort delivered a completion")
+                            .expect("aborted completion present");
+                    outcomes[i] = Some(Ok(c));
                 }
                 Err(e) => panic!("async submit lost completion of cid {cid}: {e}"),
             }
@@ -689,9 +938,16 @@ impl Future for Submit {
                     }
                 }
                 let cmds = std::mem::take(cmds);
+                let timeout = reactor.command_timeout_ns.load(Ordering::Acquire);
+                let deadline = if timeout == 0 {
+                    u64::MAX
+                } else {
+                    reactor.dev.clock().now_ns().saturating_add(timeout)
+                };
                 let mut cids = Vec::with_capacity(need);
                 for cmd in cmds {
-                    let id = l.hq.submit(cmd).expect("capacity was reserved");
+                    let id =
+                        l.hq.submit_with_deadline(cmd, deadline).expect("capacity was reserved");
                     cids.push(id.0);
                 }
                 let last = *cids.last().expect("non-empty batch");
@@ -705,7 +961,9 @@ impl Future for Submit {
                 reactor.mark_dirty(this.lane);
                 Poll::Pending
             }
-            SubmitState::InFlight { .. } => Submit::poll_inflight(&mut this.state, &mut l, cx),
+            SubmitState::InFlight { .. } => {
+                Submit::poll_inflight(&reactor, &mut this.state, &mut l, cx)
+            }
             SubmitState::Done => panic!("Submit polled after completion"),
         }
     }
@@ -1004,6 +1262,114 @@ mod tests {
         assert!(consumed <= 1, "at most one group is in doubt per lane");
         assert!(unsubmitted >= 1, "the cut must strand later submitters");
         assert!(ok >= 1, "the cut landed midway, so early writes completed");
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy::default();
+        for attempt in 0..12 {
+            let a = p.backoff_ns(7, attempt);
+            let b = p.backoff_ns(7, attempt);
+            assert_eq!(a, b, "pure function of (seed, key, attempt)");
+            assert!(a <= p.max_delay_ns, "capped");
+            let exp = p.base_delay_ns.saturating_mul(1 << attempt.min(20)).min(p.max_delay_ns);
+            assert!(a >= exp / 2, "jitter stays in the upper half-window");
+        }
+        assert_ne!(p.backoff_ns(7, 3), p.backoff_ns(8, 3), "keys decorrelate");
+        assert_ne!(
+            p.backoff_ns(7, 3),
+            p.with_seed(99).backoff_ns(7, 3),
+            "seed changes the timeline"
+        );
+    }
+
+    #[test]
+    fn lost_completion_times_out_and_resolves_as_aborted() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 5, hang_loss_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let rt = Runtime::new(&d, 0, 1, 8);
+        let r = Arc::clone(rt.reactor());
+        let before = d.clock().now_ns();
+        let out = rt.block_on(async move {
+            r.submit(
+                0,
+                Command::ByteWrite { addr: 0, data: vec![3; 64], txid: None, cat: Category::Data },
+            )
+            .await
+        });
+        let c = out.expect("future resolves — no bare hang");
+        assert_eq!(c.status, Err(crate::flash::FlashError::Aborted));
+        let t = d.traffic();
+        assert_eq!(t.hang_timeouts, 1);
+        assert_eq!(t.aborts, 1);
+        assert!(
+            d.clock().now_ns() - before >= DEFAULT_COMMAND_TIMEOUT_NS,
+            "the host timer waited out the deadline on the virtual clock"
+        );
+    }
+
+    #[test]
+    fn wedged_lane_is_reset_quarantined_and_work_completes() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 5, hang_wedge_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let rt = Runtime::new(&d, 0, 2, 8);
+        let r = Arc::clone(rt.reactor());
+        assert_eq!(r.lane_for(0), 0);
+        let r2 = Arc::clone(&r);
+        let out = rt.block_on(async move {
+            r2.submit(
+                0,
+                Command::ByteWrite { addr: 0, data: vec![8; 64], txid: None, cat: Category::Data },
+            )
+            .await
+        });
+        assert!(out.expect("watchdog un-wedges the lane").is_ok());
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![8; 64], "requeued command re-ran");
+        let t = d.traffic();
+        assert!(t.lane_resets >= 1);
+        assert_eq!(t.hang_timeouts, 1);
+        assert_eq!(t.quarantined_lanes, 1);
+        assert_eq!(r.quarantined_lanes(), 1 << 0);
+        assert_eq!(r.lane_for(0), 1, "new work is routed around the quarantined lane");
+        assert_eq!(r.lane_for(1), 1, "healthy lanes keep their home mapping");
+    }
+
+    #[test]
+    fn submit_with_retry_recovers_from_an_injected_hang() {
+        use crate::fault::{HangFaultConfig, HangFaultPlan};
+        let d =
+            Mssd::new(
+                MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(
+                    HangFaultConfig { seed: 5, hang_loss_at: 1, ..Default::default() },
+                )),
+                DramMode::WriteLog,
+            );
+        let rt = Runtime::new(&d, 0, 1, 8);
+        let r = Arc::clone(rt.reactor());
+        let (out, attempts) = rt.block_on(async move {
+            r.submit_with_retry(
+                0,
+                Command::ByteWrite { addr: 0, data: vec![6; 64], txid: None, cat: Category::Data },
+                RetryPolicy::default(),
+            )
+            .await
+        });
+        assert!(out.expect("resolves").is_ok(), "the retry succeeded");
+        assert_eq!(attempts, 1, "one retry after the hang timeout");
+        assert_eq!(d.traffic().retries, 1);
+        assert_eq!(d.byte_read(0, 64, Category::Data), vec![6; 64]);
     }
 
     #[test]

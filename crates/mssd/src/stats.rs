@@ -228,6 +228,30 @@ pub struct TrafficCounter {
     /// not a tally: [`TrafficCounter::delta_since`] keeps the later
     /// snapshot's value.
     pub ras_spares_remaining: u64,
+    /// RAS: commands that hit their host deadline (watchdog timeout) before
+    /// completing — injected stalls past the deadline, lost completions,
+    /// wedged lanes.
+    pub hang_timeouts: u64,
+    /// RAS: NVMe-style aborts issued by the host (deadline timeout or lane
+    /// reset resolution).
+    pub aborts: u64,
+    /// RAS: lane-level queue resets (wedge recovery or explicit).
+    pub lane_resets: u64,
+    /// RAS: host-level command retries after a transient failure or abort
+    /// (capped exponential backoff, see `mssd::RetryPolicy`).
+    pub retries: u64,
+    /// RAS: reactor lanes currently quarantined after a wedge. A gauge, not
+    /// a tally: [`TrafficCounter::delta_since`] keeps the later snapshot's
+    /// value.
+    pub quarantined_lanes: u64,
+    /// Executor safety-net timer wakeups that found no runnable work
+    /// (pure polls). High spurious counts with zero productive ones mean
+    /// "idle"; see `exec_productive_wakeups`.
+    pub exec_spurious_wakeups: u64,
+    /// Executor safety-net timer wakeups that rescued real work (a lost
+    /// wakeup, pump backlog): these are the ones a watchdog reads as "the
+    /// notify path is missing wakeups", distinguishing hung from idle.
+    pub exec_productive_wakeups: u64,
     /// Per-queue-slot submission/completion accounting (slot 0 = the
     /// synchronous depth-1 shim). Empty slots are omitted.
     pub queues: BTreeMap<u16, QueueLat>,
@@ -350,6 +374,14 @@ impl TrafficCounter {
             // A gauge (current spare inventory), not a monotonic tally: the
             // delta keeps the later snapshot's reading.
             ras_spares_remaining: self.ras_spares_remaining,
+            hang_timeouts: self.hang_timeouts - earlier.hang_timeouts,
+            aborts: self.aborts - earlier.aborts,
+            lane_resets: self.lane_resets - earlier.lane_resets,
+            retries: self.retries - earlier.retries,
+            // A gauge (currently quarantined lanes), not a monotonic tally.
+            quarantined_lanes: self.quarantined_lanes,
+            exec_spurious_wakeups: self.exec_spurious_wakeups - earlier.exec_spurious_wakeups,
+            exec_productive_wakeups: self.exec_productive_wakeups - earlier.exec_productive_wakeups,
             queues: {
                 let mut out = BTreeMap::new();
                 for (id, q) in &self.queues {
@@ -485,6 +517,13 @@ pub struct AtomicTraffic {
     ras_remapped_pages: CachePadded<AtomicU64>,
     ras_retired_blocks: CachePadded<AtomicU64>,
     ras_spares_remaining: CachePadded<AtomicU64>,
+    hang_timeouts: CachePadded<AtomicU64>,
+    aborts: CachePadded<AtomicU64>,
+    lane_resets: CachePadded<AtomicU64>,
+    retries: CachePadded<AtomicU64>,
+    quarantined_lanes: CachePadded<AtomicU64>,
+    exec_spurious_wakeups: CachePadded<AtomicU64>,
+    exec_productive_wakeups: CachePadded<AtomicU64>,
     queues: [AtomicQueueLat; QUEUE_SLOTS],
 }
 
@@ -588,6 +627,42 @@ impl AtomicTraffic {
         self.ras_spares_remaining.0.store(spares, Ordering::Relaxed);
     }
 
+    /// Counts one command that hit its host deadline before completing.
+    pub fn inc_hang_timeouts(&self) {
+        self.hang_timeouts.add(1);
+    }
+
+    /// Counts one host-issued abort.
+    pub fn inc_aborts(&self) {
+        self.aborts.add(1);
+    }
+
+    /// Counts one lane-level queue reset.
+    pub fn inc_lane_resets(&self) {
+        self.lane_resets.add(1);
+    }
+
+    /// Counts one host-level command retry (backoff path).
+    pub fn inc_retries(&self) {
+        self.retries.add(1);
+    }
+
+    /// Sets the quarantined-lanes gauge (lanes currently fenced off after a
+    /// wedge).
+    pub fn set_quarantined_lanes(&self, lanes: u64) {
+        self.quarantined_lanes.0.store(lanes, Ordering::Relaxed);
+    }
+
+    /// Counts one executor safety-net wakeup that found no work (spurious).
+    pub fn inc_exec_spurious_wakeups(&self) {
+        self.exec_spurious_wakeups.add(1);
+    }
+
+    /// Counts one executor safety-net wakeup that rescued real work.
+    pub fn inc_exec_productive_wakeups(&self) {
+        self.exec_productive_wakeups.add(1);
+    }
+
     /// Records one completed command on queue slot `queue` (slot index is
     /// taken modulo [`QUEUE_SLOTS`]): bumps the op count and accumulates its
     /// virtual latency. Lock-free.
@@ -649,6 +724,13 @@ impl AtomicTraffic {
             ras_remapped_pages: self.ras_remapped_pages.get(),
             ras_retired_blocks: self.ras_retired_blocks.get(),
             ras_spares_remaining: self.ras_spares_remaining.get(),
+            hang_timeouts: self.hang_timeouts.get(),
+            aborts: self.aborts.get(),
+            lane_resets: self.lane_resets.get(),
+            retries: self.retries.get(),
+            quarantined_lanes: self.quarantined_lanes.get(),
+            exec_spurious_wakeups: self.exec_spurious_wakeups.get(),
+            exec_productive_wakeups: self.exec_productive_wakeups.get(),
             queues: {
                 let mut map = BTreeMap::new();
                 for (id, cell) in self.queues.iter().enumerate() {
@@ -690,6 +772,13 @@ impl AtomicTraffic {
             &self.ras_remapped_pages,
             &self.ras_retired_blocks,
             &self.ras_spares_remaining,
+            &self.hang_timeouts,
+            &self.aborts,
+            &self.lane_resets,
+            &self.retries,
+            &self.quarantined_lanes,
+            &self.exec_spurious_wakeups,
+            &self.exec_productive_wakeups,
         ] {
             cell.clear();
         }
@@ -812,6 +901,14 @@ mod tests {
         a.inc_ras_remapped_pages();
         a.inc_ras_retired_blocks();
         a.set_ras_spares_remaining(7);
+        a.inc_hang_timeouts();
+        a.inc_aborts();
+        a.inc_aborts();
+        a.inc_lane_resets();
+        a.inc_retries();
+        a.set_quarantined_lanes(2);
+        a.inc_exec_spurious_wakeups();
+        a.inc_exec_productive_wakeups();
 
         let mut t = TrafficCounter::new();
         t.record_host(Direction::Write, Category::Inode, Interface::Byte, 64);
@@ -830,6 +927,13 @@ mod tests {
         t.ras_remapped_pages = 1;
         t.ras_retired_blocks = 1;
         t.ras_spares_remaining = 7;
+        t.hang_timeouts = 1;
+        t.aborts = 2;
+        t.lane_resets = 1;
+        t.retries = 1;
+        t.quarantined_lanes = 2;
+        t.exec_spurious_wakeups = 1;
+        t.exec_productive_wakeups = 1;
 
         assert_eq!(a.snapshot(), t);
         assert_eq!(a.flash_writes_total(), 2);

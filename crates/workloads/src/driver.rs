@@ -6,7 +6,7 @@ use std::sync::Arc;
 use fskit::{AsyncFs, FileSystem, FsResult};
 use mssd::queue::{Command, HostQueue};
 use mssd::stats::{Direction, TrafficCounter};
-use mssd::{Mssd, MssdConfig, Runtime};
+use mssd::{Clock, Mssd, MssdConfig, RetryPolicy, Runtime};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -48,6 +48,10 @@ pub struct RunResult {
     /// [`Recorder::flush_errors`]). Non-zero means the run's tail writes
     /// carry no durability guarantee.
     pub flush_errors: u64,
+    /// Host-side command retries after transient completions (see
+    /// [`Recorder::retries`]): each was preceded by a seeded
+    /// [`RetryPolicy`] backoff on the virtual clock, never a busy spin.
+    pub retries: u64,
 }
 
 impl RunResult {
@@ -147,6 +151,7 @@ pub fn run_on(
         app_write_bytes: rec.app_write_bytes,
         page_size: device.page_size(),
         flush_errors: rec.flush_errors,
+        retries: rec.retries,
     })
 }
 
@@ -172,6 +177,8 @@ pub struct ThreadResult {
     /// FLUSH durability barriers this thread lost (see
     /// [`Recorder::flush_errors`]).
     pub flush_errors: u64,
+    /// Command retries this thread took (see [`Recorder::retries`]).
+    pub retries: u64,
 }
 
 /// The outcome of one multi-threaded workload run.
@@ -218,16 +225,26 @@ pub fn shard_seed(seed: u64, t: usize) -> u64 {
 /// Bounded recovery, never a panic and never a silent drop:
 ///
 /// * a full SQ gets one drain-and-resubmit;
-/// * a barrier completion carrying a *transient* media error gets one
-///   resubmission;
+/// * a barrier completion carrying a *transient* error status (hang-timeout
+///   abort, uncorrectable-read retry) is resubmitted up to
+///   [`RetryPolicy::max_retries`] times, each retry preceded by the
+///   policy's seeded backoff charged to the **virtual** clock (the old
+///   driver resubmitted immediately — a busy spin that devolves to
+///   live-lock under a persisting transient) and counted in
+///   [`Recorder::retries`];
 /// * everything else — the device refusing the command even after a drain,
-///   a persistent error status, or no completion at all (a power cut
-///   consumed the barrier or left it stranded in the SQ) — is counted in
+///   a persistent error status, retry exhaustion, or no completion at all
+///   (a power cut or lane wedge left it unresolvable) — is counted in
 ///   [`Recorder::flush_errors`], which the driver propagates into
 ///   [`RunResult::flush_errors`]. The old driver `expect`ed the resubmit
 ///   and swallowed lost barriers, reporting a durability guarantee it no
 ///   longer had.
-pub fn flush_barrier(queue: &mut HostQueue, rec: &mut Recorder) {
+pub fn flush_barrier(
+    queue: &mut HostQueue,
+    rec: &mut Recorder,
+    clock: &Clock,
+    policy: &RetryPolicy,
+) {
     let mut id = match queue.submit(Command::Flush) {
         Ok(id) => id,
         Err(_) => {
@@ -246,7 +263,8 @@ pub fn flush_barrier(queue: &mut HostQueue, rec: &mut Recorder) {
             }
         }
     };
-    let mut retried = false;
+    let key = u64::from(queue.id());
+    let mut attempt = 0u32;
     loop {
         queue.ring_doorbell();
         let mut barrier_status = None;
@@ -258,8 +276,10 @@ pub fn flush_barrier(queue: &mut HostQueue, rec: &mut Recorder) {
         }
         match barrier_status {
             Some(Ok(())) => return,
-            Some(Err(ref e)) if e.is_transient() && !retried => {
-                retried = true;
+            Some(Err(ref e)) if e.is_transient() && attempt < policy.max_retries => {
+                clock.advance(policy.backoff_ns(key, attempt));
+                attempt += 1;
+                rec.retries += 1;
                 match queue.submit(Command::Flush) {
                     Ok(new_id) => id = new_id,
                     Err(_) => {
@@ -331,7 +351,11 @@ pub fn run_concurrent(
                     let ambient = queue.make_ambient();
                     workload.run_shard(fs.as_ref(), t, threads, &mut rng, &mut rec)?;
                     drop(ambient);
-                    flush_barrier(&mut queue, &mut rec);
+                    // One retry schedule for the whole run, seeded by the
+                    // run seed — the same policy the async driver hands to
+                    // the reactor.
+                    let policy = RetryPolicy::default().with_seed(seed);
+                    flush_barrier(&mut queue, &mut rec, &device.clock(), &policy);
                     Ok(rec)
                 })
             })
@@ -374,6 +398,7 @@ fn merge_outcomes(
             app_read_bytes: rec.app_read_bytes,
             app_write_bytes: rec.app_write_bytes,
             flush_errors: rec.flush_errors,
+            retries: rec.retries,
         });
         merged.merge(rec);
     }
@@ -394,6 +419,7 @@ fn merge_outcomes(
         app_write_bytes: merged.app_write_bytes,
         page_size: device.page_size(),
         flush_errors: merged.flush_errors,
+        retries: merged.retries,
     };
     Ok(ConcurrentRunResult { aggregate, per_thread, threads, clients, wall_ns })
 }
@@ -455,29 +481,24 @@ pub fn run_concurrent_async(
                 let mut rec = Recorder::new();
                 workload.run_shard_async(afs.as_ref(), c, clients, &mut rng, &mut rec).await?;
                 // The client's end-of-phase FLUSH barrier, awaited through
-                // its reactor lane. Same contract as [`flush_barrier`]: one
-                // resubmission on a transient error, every other failure
-                // counted — the reactor already resolves lost-to-power-cut
-                // barriers as typed errors instead of hanging.
-                let lane = reactor.lane_for(c);
-                let mut retried = false;
-                loop {
-                    match reactor.submit(lane, Command::Flush).await {
-                        Ok(comp) => {
-                            rec.record_queue_completion(comp.latency_ns);
-                            match &comp.status {
-                                Ok(()) => break,
-                                Err(e) if e.is_transient() && !retried => retried = true,
-                                Err(_) => {
-                                    rec.flush_errors += 1;
-                                    break;
-                                }
-                            }
-                        }
-                        Err(_) => {
+                // the reactor's retry wrapper: the same [`RetryPolicy`] as
+                // the threaded driver's [`flush_barrier`], with lane
+                // re-routing around quarantined lanes per attempt. Every
+                // unresolvable failure (power cut, persistent status, retry
+                // exhaustion) is counted — the reactor resolves lost and
+                // wedged barriers as typed outcomes instead of hanging.
+                let policy = RetryPolicy::default().with_seed(seed);
+                let (out, retries) = reactor.submit_with_retry(c, Command::Flush, policy).await;
+                rec.retries += u64::from(retries);
+                match out {
+                    Ok(comp) => {
+                        rec.record_queue_completion(comp.latency_ns);
+                        if comp.status.is_err() {
                             rec.flush_errors += 1;
-                            break;
                         }
+                    }
+                    Err(_) => {
+                        rec.flush_errors += 1;
                     }
                 }
                 Ok(rec)
@@ -527,7 +548,7 @@ mod tests {
         let mut q = dev.open_queue(4);
         q.submit(byte_write(0)).unwrap();
         let mut rec = Recorder::new();
-        flush_barrier(&mut q, &mut rec);
+        flush_barrier(&mut q, &mut rec, &dev.clock(), &RetryPolicy::default());
         assert_eq!(rec.flush_errors, 0);
         // The barrier's doorbell drained the pending write and the FLUSH.
         assert_eq!(rec.queue_stats().count, 2);
@@ -539,7 +560,7 @@ mod tests {
         let mut q = dev.open_queue(1);
         q.submit(byte_write(0)).unwrap(); // SQ is now at depth
         let mut rec = Recorder::new();
-        flush_barrier(&mut q, &mut rec);
+        flush_barrier(&mut q, &mut rec, &dev.clock(), &RetryPolicy::default());
         assert_eq!(rec.flush_errors, 0);
         assert_eq!(rec.queue_stats().count, 2, "drained write, then the barrier itself");
     }
@@ -554,7 +575,7 @@ mod tests {
         let mut q = dev.open_queue(4);
         q.submit(byte_write(0)).unwrap();
         let mut rec = Recorder::new();
-        flush_barrier(&mut q, &mut rec);
+        flush_barrier(&mut q, &mut rec, &dev.clock(), &RetryPolicy::default());
         assert!(dev.fault_tripped());
         assert_eq!(rec.flush_errors, 1, "the lost barrier must be counted");
         assert_eq!(rec.queue_stats().count, 0, "nothing completed after the cut");
@@ -571,7 +592,7 @@ mod tests {
         q.ring_doorbell(); // trips the fault; the write is consumed in doubt
         q.submit(byte_write(4096)).unwrap(); // re-jams the now-dead queue
         let mut rec = Recorder::new();
-        flush_barrier(&mut q, &mut rec);
+        flush_barrier(&mut q, &mut rec, &dev.clock(), &RetryPolicy::default());
         assert_eq!(rec.flush_errors, 1);
     }
 
@@ -769,6 +790,37 @@ mod tests {
         assert_eq!(c.aggregate.ops, 1, "unpartitioned workloads fall back to shard 0");
         assert_eq!(c.per_thread[0].ops, 1);
         assert_eq!(c.aggregate.queue.count, 3, "every client still issues its barrier");
+    }
+
+    #[test]
+    fn async_barrier_retries_through_the_shared_policy_after_a_hang() {
+        use mssd::{HangFaultConfig, HangFaultPlan};
+        // Only explicit doorbells draw hang ordinals (the sync shim the
+        // file-system ops ride bypasses them), so with one client the FLUSH
+        // barrier is lane-group ordinal 1: force its completion lost and
+        // the reactor must time out, abort and retry it — backed off on the
+        // virtual clock, counted in the result, with full durability.
+        let w: Arc<dyn Workload> = Arc::new(Micro::new(MicroOp::Create, Scale::tiny()));
+        let cfg =
+            MssdConfig::small_test().with_hang_fault_plan(HangFaultPlan::new(HangFaultConfig {
+                seed: 7,
+                hang_loss_at: 1,
+                ..Default::default()
+            }));
+        let (dev, fs) = FsKind::ByteFs.build(cfg);
+        let c = run_concurrent_async(&dev, &fs, &w, 1, 0, 3).unwrap();
+        assert_eq!(c.aggregate.flush_errors, 0, "the retried barrier succeeded");
+        assert_eq!(c.aggregate.retries, 1, "exactly one retry, surfaced in the result");
+        assert_eq!(c.per_thread[0].retries, 1);
+        let t = dev.traffic();
+        assert_eq!(t.hang_timeouts, 1);
+        assert_eq!(t.aborts, 1);
+        assert_eq!(t.retries, 1, "the reactor's RAS counter agrees with the recorder");
+        // Same logical work as a fault-free run.
+        let clean: Arc<dyn Workload> = Arc::new(Micro::new(MicroOp::Create, Scale::tiny()));
+        let (dev2, fs2) = FsKind::ByteFs.build(MssdConfig::small_test());
+        let c2 = run_concurrent_async(&dev2, &fs2, &clean, 1, 0, 3).unwrap();
+        assert_eq!(c.aggregate.ops, c2.aggregate.ops);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct Recorder {
     /// durability guarantee; the driver surfaces this in its result instead
     /// of dropping the barrier silently.
     pub flush_errors: u64,
+    /// Command retries this thread took after transient completions (hang
+    /// timeouts, lane resets, read retries), each preceded by an
+    /// [`mssd::RetryPolicy`] backoff on the virtual clock.
+    pub retries: u64,
 }
 
 impl Recorder {
@@ -141,6 +145,7 @@ impl Recorder {
         self.app_write_bytes += other.app_write_bytes;
         self.ops += other.ops;
         self.flush_errors += other.flush_errors;
+        self.retries += other.retries;
     }
 
     /// Latency statistics for read operations.
