@@ -3,16 +3,22 @@
 //! on real regressions.
 //!
 //! ```text
-//! bench_compare <delta_out.json> <fresh1.json> <committed1.json> \
+//! bench_compare [--report md] <delta_out.json> <fresh1.json> <committed1.json> \
 //!               [<fresh2.json> <committed2.json> ...]
 //! ```
 //!
 //! For every `(fresh, committed)` pair the comparator matches entries by
-//! key and checks the two first-class metrics:
+//! key and checks the first-class metrics:
 //!
 //! * **throughput**: fresh must reach at least 75 % of the committed
 //!   `throughput_ops_s` (a >25 % drop is a regression);
-//! * **p99 latency**: fresh `p99_ns` must stay within 2x of committed.
+//! * **p99 / p99.9 latency**: fresh `p99_ns` (and, when both sides carry
+//!   it, the schema-v3 `p999_ns`) must stay within 2x of committed.
+//!
+//! Reports at `MIN_SCHEMA_VERSION..=SCHEMA_VERSION` are accepted, so
+//! committed v2 artifacts keep gating a v3 binary (their `p999_ns` parses
+//! as 0 and is skipped). `--report md` additionally writes a markdown
+//! delta table next to the JSON (same path, `.md` extension).
 //!
 //! Zero metrics mean "not applicable" and are never gated. Wall-clock
 //! numbers are only comparable between identical hosts, so a pair is
@@ -28,7 +34,7 @@
 
 use std::fmt::Write as _;
 
-use bench::{BenchReport, SCHEMA_VERSION};
+use bench::{BenchReport, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// Fresh throughput below this fraction of committed is a regression.
 const THROUGHPUT_FLOOR: f64 = 0.75;
@@ -67,10 +73,10 @@ fn compare_pair(
         ));
     }
     for report in [fresh, committed] {
-        if report.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&report.schema_version) {
             return Err(format!(
-                "{}: schema_version {} (this comparator speaks {})",
-                report.bench, report.schema_version, SCHEMA_VERSION
+                "{}: schema_version {} (this comparator speaks {}..={})",
+                report.bench, report.schema_version, MIN_SCHEMA_VERSION, SCHEMA_VERSION
             ));
         }
     }
@@ -112,6 +118,21 @@ fn compare_pair(
                 metric: "p99_ns".into(),
                 committed: c.p99_ns as f64,
                 fresh: f.p99_ns as f64,
+                ratio,
+                enforced,
+                regression: enforced && ratio > P99_CEILING,
+            });
+        }
+        // p99.9 (schema v3) gates like p99; a v2 side reports 0 and the
+        // zero-means-not-applicable rule quietly skips the check.
+        if c.p999_ns > 0 && f.p999_ns > 0 {
+            let ratio = f.p999_ns as f64 / c.p999_ns as f64;
+            deltas.push(Delta {
+                bench: committed.bench.clone(),
+                key: c.key.clone(),
+                metric: "p999_ns".into(),
+                committed: c.p999_ns as f64,
+                fresh: f.p999_ns as f64,
                 ratio,
                 enforced,
                 regression: enforced && ratio > P99_CEILING,
@@ -201,11 +222,64 @@ fn write_delta_report(path: &str, deltas: &[Delta], enforced_any: bool) -> std::
     std::fs::write(path, s)
 }
 
+/// Renders the delta table as a markdown document, written next to the JSON
+/// delta (same path, `.md` extension) when `--report md` is passed — the
+/// human-readable artifact CI uploads alongside the machine-readable one.
+fn write_markdown_report(path: &str, deltas: &[Delta]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("# Bench comparison\n\n");
+    let regressions = deltas.iter().filter(|d| d.regression).count();
+    let _ = writeln!(
+        s,
+        "Gates: throughput ≥ {THROUGHPUT_FLOOR}x committed, p99/p99.9 ≤ {P99_CEILING}x \
+         committed, virtual rates ≥ {VIRTUAL_FLOOR}x / latencies ≤ {VIRTUAL_CEILING}x."
+    );
+    let _ = writeln!(s, "\n**{} deltas, {} regressions.**\n", deltas.len(), regressions);
+    s.push_str("| bench | entry | metric | baseline | fresh | ratio | verdict |\n");
+    s.push_str("|---|---|---|---:|---:|---:|---|\n");
+    for d in deltas {
+        if d.metric == "missing-entry" {
+            let _ = writeln!(s, "| {} | {} | missing-entry | – | – | – | info |", d.bench, d.key);
+            continue;
+        }
+        let verdict = if d.regression {
+            "**REGRESSION**"
+        } else if !d.enforced {
+            "info"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {:.0} | {:.0} | {:.2} | {verdict} |",
+            d.bench, d.key, d.metric, d.committed, d.fresh, d.ratio
+        );
+    }
+    std::fs::write(path, s)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--report md` may appear anywhere; strip it before positional parsing.
+    let mut report_md = false;
+    args.retain(|a| match a.as_str() {
+        "--report=md" => {
+            report_md = true;
+            false
+        }
+        _ => true,
+    });
+    if let Some(pos) = args.iter().position(|a| a == "--report") {
+        if args.get(pos + 1).map(String::as_str) != Some("md") {
+            eprintln!("bench_compare: --report only supports 'md'");
+            std::process::exit(2);
+        }
+        args.drain(pos..=pos + 1);
+        report_md = true;
+    }
     if args.len() < 3 || args.len().is_multiple_of(2) {
         eprintln!(
-            "usage: bench_compare <delta_out.json> <fresh.json> <committed.json> \
+            "usage: bench_compare [--report md] <delta_out.json> <fresh.json> <committed.json> \
              [<fresh2> <committed2> ...]"
         );
         std::process::exit(2);
@@ -264,6 +338,17 @@ fn main() {
     if let Err(e) = write_delta_report(out, &deltas, enforced_any) {
         eprintln!("bench_compare: failed to write {out}: {e}");
         std::process::exit(2);
+    }
+    if report_md {
+        let md_path = match out.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.md"),
+            None => format!("{out}.md"),
+        };
+        if let Err(e) = write_markdown_report(&md_path, &deltas) {
+            eprintln!("bench_compare: failed to write {md_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("bench_compare: markdown report -> {md_path}");
     }
     println!("bench_compare: {} deltas, {} regressions -> {out}", deltas.len(), regressions.len());
     if !regressions.is_empty() {

@@ -34,6 +34,7 @@ use bench::{host_cpus, print_table, BenchEntry, BenchReport};
 use mssd::log::PARTITION_BYTES;
 use mssd::queue::Command;
 use mssd::{Category, DramMode, Mssd, MssdConfig, Runtime, TxId};
+use workloads::Histogram;
 
 /// Total commands per configuration at scale 1.0, split across clients.
 const OPS_TOTAL: usize = 1_920_000;
@@ -148,16 +149,16 @@ impl CmdGen {
 }
 
 /// One logical client: submits `ops` commands in `BATCH`-sized chunks over
-/// its reactor lane, awaiting each batch. Returns sampled batch wall
-/// latencies (ns) and the count of non-Ok outcomes (must be zero — the bench
-/// runs no fault plan).
-async fn drive_client(rt: Runtime, client: usize, ops: usize) -> (Vec<u64>, u64) {
+/// its reactor lane, awaiting each batch. Returns a histogram of sampled
+/// batch wall latencies (ns) and the count of non-Ok outcomes (must be zero
+/// — the bench runs no fault plan).
+async fn drive_client(rt: Runtime, client: usize, ops: usize) -> (Histogram, u64) {
     let reactor = Arc::clone(rt.reactor());
     let lane = reactor.lane_for(client);
     let base = lane as u64 * PARTITION_BYTES
         + ((client / LANES) as u64 * WINDOW_BYTES) % (PARTITION_BYTES - WINDOW_BYTES);
     let mut gen = CmdGen::new(client, base);
-    let mut lat = Vec::with_capacity(ops / (BATCH * LAT_SAMPLE) + 1);
+    let mut lat = Histogram::new();
     let mut errors = 0u64;
     let mut issued = 0usize;
     let mut batch_no = 0usize;
@@ -170,7 +171,7 @@ async fn drive_client(rt: Runtime, client: usize, ops: usize) -> (Vec<u64>, u64)
         let t0 = sample.then(Instant::now);
         let outcomes = reactor.submit_batch(lane, cmds).await;
         if let Some(t0) = t0 {
-            lat.push(t0.elapsed().as_nanos() as u64);
+            lat.record(t0.elapsed().as_nanos() as u64);
         }
         for o in outcomes {
             match o {
@@ -184,12 +185,12 @@ async fn drive_client(rt: Runtime, client: usize, ops: usize) -> (Vec<u64>, u64)
 
 /// The in-bin reference: the committed-best synchronous shape, qd=64 batched
 /// submission with one OS thread per queue (qd_sweep's drive loop).
-fn drive_sync_thread(dev: &Arc<Mssd>, thread: usize, ops: usize) -> Vec<u64> {
+fn drive_sync_thread(dev: &Arc<Mssd>, thread: usize, ops: usize) -> Histogram {
     // The reference gets qd_sweep's transaction-id spacing: at 240k ops per
     // thread it issues far more than 1024 commits.
     let mut gen = CmdGen::new(thread, thread as u64 * PARTITION_BYTES);
     gen.tx = TxId((thread as u32 + 1) << 20);
-    let mut lat = Vec::with_capacity(ops / LAT_SAMPLE + 1);
+    let mut lat = Histogram::new();
     let mut q = dev.open_queue(REF_QD);
     let mut sampled: Vec<(usize, Instant)> = Vec::with_capacity(REF_QD / LAT_SAMPLE + 1);
     let mut issued = 0usize;
@@ -210,7 +211,7 @@ fn drive_sync_thread(dev: &Arc<Mssd>, thread: usize, ops: usize) -> Vec<u64> {
         while q.poll().is_some() {
             if let Some((i, t0)) = next_sample.peek() {
                 if *i == idx {
-                    lat.push(t0.elapsed().as_nanos() as u64);
+                    lat.record(t0.elapsed().as_nanos() as u64);
                     next_sample.next();
                 }
             }
@@ -218,14 +219,6 @@ fn drive_sync_thread(dev: &Arc<Mssd>, thread: usize, ops: usize) -> Vec<u64> {
         }
     }
     lat
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn fresh_device(warm_ops: usize) -> Arc<Mssd> {
@@ -239,30 +232,29 @@ fn fresh_device(warm_ops: usize) -> Arc<Mssd> {
 }
 
 /// One timed async run: `clients` futures over `workers` executor threads.
-/// Returns (wall seconds, p99 batch ns).
-fn timed_async(clients: usize, workers: usize, total_ops: usize) -> (f64, u64) {
+/// Returns (wall seconds, sampled batch latency histogram).
+fn timed_async(clients: usize, workers: usize, total_ops: usize) -> (f64, Histogram) {
     let ops_per_client = (total_ops / clients).max(16);
     let dev = fresh_device(total_ops / 10);
     let rt = Runtime::new(&dev, workers, LANES, DEPTH);
     let start = Instant::now();
     let handles: Vec<_> =
         (0..clients).map(|c| rt.spawn(drive_client(rt.clone(), c, ops_per_client))).collect();
-    let (mut lat, mut errors) = (Vec::new(), 0u64);
+    let (mut lat, mut errors) = (Histogram::new(), 0u64);
     rt.block_on(async {
         for h in handles {
             let (l, e) = h.await;
-            lat.extend(l);
+            lat.merge(&l);
             errors += e;
         }
     });
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(errors, 0, "fault-free run completed with errors");
-    lat.sort_unstable();
-    (wall, percentile(&lat, 0.99))
+    (wall, lat)
 }
 
 /// One timed sync-reference run: qd=64, one thread per queue.
-fn timed_sync(threads: usize, total_ops: usize) -> (f64, u64) {
+fn timed_sync(threads: usize, total_ops: usize) -> (f64, Histogram) {
     let ops = (total_ops / threads).max(16);
     let dev = fresh_device(total_ops / 10);
     let barrier = Arc::new(Barrier::new(threads + 1));
@@ -278,13 +270,12 @@ fn timed_sync(threads: usize, total_ops: usize) -> (f64, u64) {
         .collect();
     barrier.wait();
     let start = Instant::now();
-    let mut lat: Vec<u64> = Vec::new();
+    let mut lat = Histogram::new();
     for h in handles {
-        lat.extend(h.join().expect("bench thread panicked"));
+        lat.merge(&h.join().expect("bench thread panicked"));
     }
     let wall = start.elapsed().as_secs_f64();
-    lat.sort_unstable();
-    (wall, percentile(&lat, 0.99))
+    (wall, lat)
 }
 
 struct Sample {
@@ -295,18 +286,19 @@ struct Sample {
     wall_ms: f64,
     ops_per_sec: f64,
     p99_ns: u64,
+    p999_ns: u64,
 }
 
-fn best_of<F: Fn() -> (f64, u64)>(run: F) -> (f64, u64) {
-    let (mut wall, mut p99) = run();
+fn best_of<F: Fn() -> (f64, Histogram)>(run: F) -> (f64, Histogram) {
+    let (mut wall, mut lat) = run();
     for _ in 1..REPEATS {
-        let (w, p) = run();
+        let (w, l) = run();
         if w < wall {
             wall = w;
-            p99 = p;
+            lat = l;
         }
     }
-    (wall, p99)
+    (wall, lat)
 }
 
 fn main() {
@@ -326,7 +318,7 @@ fn main() {
     let _ = timed_async(64, workers, total_ops / 8);
 
     let mut samples = Vec::new();
-    let (wall, p99) = best_of(|| timed_sync(ref_threads, total_ops));
+    let (wall, lat) = best_of(|| timed_sync(ref_threads, total_ops));
     let ref_ops = (total_ops / ref_threads).max(16) * ref_threads;
     samples.push(Sample {
         key: format!("qd64/t{ref_threads}"),
@@ -335,10 +327,11 @@ fn main() {
         total_ops: ref_ops,
         wall_ms: wall * 1e3,
         ops_per_sec: ref_ops as f64 / wall,
-        p99_ns: p99,
+        p99_ns: lat.value_at(0.99),
+        p999_ns: lat.value_at(0.999),
     });
     for clients in CLIENTS {
-        let (wall, p99) = best_of(|| timed_async(clients, workers, total_ops));
+        let (wall, lat) = best_of(|| timed_async(clients, workers, total_ops));
         let ops = (total_ops / clients).max(16) * clients;
         samples.push(Sample {
             key: format!("c{clients}"),
@@ -347,7 +340,8 @@ fn main() {
             total_ops: ops,
             wall_ms: wall * 1e3,
             ops_per_sec: ops as f64 / wall,
-            p99_ns: p99,
+            p99_ns: lat.value_at(0.99),
+            p999_ns: lat.value_at(0.999),
         });
     }
     let reference = samples[0].ops_per_sec;
@@ -373,13 +367,17 @@ fn main() {
                 format!("{:.0}", s.wall_ms),
                 format!("{:.0}", s.ops_per_sec),
                 format!("{}", s.p99_ns),
+                format!("{}", s.p999_ns),
                 format!("{:.2}x", s.ops_per_sec / reference),
             ]
         })
         .collect();
     print_table(
         "c10k — async client fan-in vs thread-per-queue qd=64 (shared Mssd)",
-        &["config", "clients", "threads", "ops", "wall ms", "ops/s", "p99 ns", "vs qd64"],
+        &[
+            "config", "clients", "threads", "ops", "wall ms", "ops/s", "p99 ns", "p99.9 ns",
+            "vs qd64",
+        ],
         &rows,
     );
 
@@ -389,6 +387,7 @@ fn main() {
             key: s.key.clone(),
             throughput_ops_s: (s.ops_per_sec * 1000.0).round() / 1000.0,
             p99_ns: s.p99_ns,
+            p999_ns: s.p999_ns,
             extra: std::collections::BTreeMap::from([
                 ("clients".to_string(), s.clients as f64),
                 ("threads".to_string(), s.threads as f64),

@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use bench::{host_cpus, print_table, BenchEntry, BenchReport};
 use mssd::{Category, DramMode, Mssd, MssdConfig};
+use workloads::Histogram;
 
 /// Measured byte writes at scale 1.0.
 const OPS: usize = 150_000;
@@ -56,14 +57,6 @@ struct Sample {
     bg_cleaned_pages: u64,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Runs `ops` byte writes against a fresh device and returns the per-op
 /// latency distribution. `log_bytes` decides whether cleaning is active
 /// (2 MB region under an 8 MB working window) or idle (64 MB region).
@@ -80,26 +73,27 @@ fn run(config: &'static str, log_bytes: usize, ops: usize) -> Sample {
         std::hint::black_box(i);
     }
     dev.reset_stats();
-    let mut lat = Vec::with_capacity(ops);
+    // O(1) histogram recording inside the measured loop — no per-op
+    // allocation, no post-hoc sort.
+    let mut lat = Histogram::new();
     for _ in 0..ops {
         let addr = (rng.next() % slots) * 64;
         let len = 64 * (1 + (rng.next() % 4) as usize);
         let t0 = Instant::now();
         dev.byte_write(addr, &payload[..len], None, Category::Data);
-        lat.push(t0.elapsed().as_nanos() as u64);
+        lat.record(t0.elapsed().as_nanos() as u64);
     }
     // Quiesce before snapshotting so the cleaning counters include the pass
     // still in flight when the measured loop ended.
     dev.quiesce_cleaning();
     let t = dev.traffic();
-    lat.sort_unstable();
     Sample {
         config,
         ops,
-        p50_ns: percentile(&lat, 0.50),
-        p99_ns: percentile(&lat, 0.99),
-        p999_ns: percentile(&lat, 0.999),
-        max_ns: *lat.last().unwrap_or(&0),
+        p50_ns: lat.value_at(0.50),
+        p99_ns: lat.value_at(0.99),
+        p999_ns: lat.value_at(0.999),
+        max_ns: lat.max(),
         log_cleanings: t.log_cleanings,
         fg_stalls: t.log_fg_stalls,
         bg_cleaned_pages: t.log_bg_cleaned_pages,
@@ -114,10 +108,10 @@ fn write_json(path: &str, scale: f64, samples: &[Sample], ratio: f64) -> std::io
             key: s.config.to_string(),
             throughput_ops_s: 0.0,
             p99_ns: s.p99_ns,
+            p999_ns: s.p999_ns,
             extra: std::collections::BTreeMap::from([
                 ("ops".to_string(), s.ops as f64),
                 ("p50_ns".to_string(), s.p50_ns as f64),
-                ("p999_ns".to_string(), s.p999_ns as f64),
                 ("max_ns".to_string(), s.max_ns as f64),
                 ("log_cleanings".to_string(), s.log_cleanings as f64),
                 ("fg_stalls".to_string(), s.fg_stalls as f64),

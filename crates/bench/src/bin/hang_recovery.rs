@@ -33,6 +33,7 @@ use mssd::{
     Category, Command, DramMode, HangFaultConfig, HangFaultPlan, Mssd, MssdConfig, RetryPolicy,
     Runtime, TxId,
 };
+use workloads::Histogram;
 
 /// Commands per client at scale 1.0.
 const CMDS_PER_CLIENT: usize = 5_000;
@@ -76,8 +77,9 @@ impl XorShift {
 /// Everything one measured run produces.
 struct RunResult {
     wall_s: f64,
-    /// Per-command virtual submission-to-resolution latencies, sorted.
-    lat_ns: Vec<u64>,
+    /// Per-command virtual submission-to-resolution latency histogram
+    /// (log-linear; O(1) record, exact-bounded percentiles).
+    lat: Histogram,
     /// Commands that took at least one retry to resolve.
     recovered: u64,
     /// Injected hangs across all kinds.
@@ -87,14 +89,6 @@ struct RunResult {
     aborts: u64,
     lane_resets: u64,
     retries: u64,
-}
-
-fn pct(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// The 1e-3 combined fail-slow regime: half stalls (a third of them
@@ -140,7 +134,7 @@ fn timed_run(faulted: bool, cmds_per_client: usize) -> RunResult {
                 let policy = RetryPolicy::default().with_seed(0xBAC_0FF ^ (c as u64 + 1));
                 let line_base = c as u64 * SLOTS;
                 let page_base = block_base + c as u64 * PAGES;
-                let mut lats = Vec::with_capacity(cmds_per_client);
+                let mut lats = Histogram::new();
                 let mut recovered = 0u64;
                 for _ in 0..cmds_per_client {
                     let cmd = match rng.below(100) {
@@ -180,7 +174,7 @@ fn timed_run(faulted: bool, cmds_per_client: usize) -> RunResult {
                     };
                     let t0 = clock.now_ns();
                     let (out, retries) = reactor.submit_with_retry(c, cmd, policy).await;
-                    lats.push(clock.now_ns() - t0);
+                    lats.record(clock.now_ns() - t0);
                     if retries > 0 {
                         recovered += 1;
                     }
@@ -202,17 +196,18 @@ fn timed_run(faulted: bool, cmds_per_client: usize) -> RunResult {
     });
     let wall_s = start.elapsed().as_secs_f64();
 
-    let mut lat_ns = Vec::with_capacity(CLIENTS * cmds_per_client);
+    // Per-client histograms merge in O(buckets) — order-independent, so the
+    // aggregate is deterministic regardless of client count.
+    let mut lat = Histogram::new();
     let mut recovered = 0u64;
     for (lats, rec) in per_client {
-        lat_ns.extend(lats);
+        lat.merge(&lats);
         recovered += rec;
     }
-    lat_ns.sort_unstable();
     let snap = dev.snapshot();
     RunResult {
         wall_s,
-        lat_ns,
+        lat,
         recovered,
         injected: dev.config().hang.injected_total(),
         hang_timeouts: snap.traffic.hang_timeouts,
@@ -252,25 +247,27 @@ fn main() {
     assert_eq!(clean.recovered, 0, "fault-free run must not take retries");
     assert!(fault.injected > 0, "the armed 1e-3 hang plan injected nothing — grow the stream");
 
-    let clean_p99 = pct(&clean.lat_ns, 0.99);
-    let fault_p99 = pct(&fault.lat_ns, 0.99);
+    let clean_p99 = clean.lat.value_at(0.99);
+    let fault_p99 = fault.lat.value_at(0.99);
     let ratio = fault_p99 as f64 / clean_p99.max(1) as f64;
     let rows = vec![
         vec![
             "fault-free".to_string(),
             format!("{ops}"),
-            format!("{}", pct(&clean.lat_ns, 0.50)),
+            format!("{}", clean.lat.value_at(0.50)),
             format!("{clean_p99}"),
-            format!("{}", clean.lat_ns.last().copied().unwrap_or(0)),
+            format!("{}", clean.lat.value_at(0.999)),
+            format!("{}", clean.lat.max()),
             "0/0".to_string(),
             "1.00x".to_string(),
         ],
         vec![
             "1e-3 hangs".to_string(),
             format!("{ops}"),
-            format!("{}", pct(&fault.lat_ns, 0.50)),
+            format!("{}", fault.lat.value_at(0.50)),
             format!("{fault_p99}"),
-            format!("{}", fault.lat_ns.last().copied().unwrap_or(0)),
+            format!("{}", fault.lat.value_at(0.999)),
+            format!("{}", fault.lat.max()),
             format!("{}/{}", fault.injected, fault.recovered),
             format!("{ratio:.2}x"),
         ],
@@ -282,6 +279,7 @@ fn main() {
             "cmds",
             "virt p50 ns",
             "virt p99 ns",
+            "virt p99.9 ns",
             "virt max ns",
             "inj/recov",
             "p99 vs clean",
@@ -294,12 +292,14 @@ fn main() {
         report.entries.push(BenchEntry {
             key: key.to_string(),
             throughput_ops_s: (ops as f64 / r.wall_s * 1000.0).round() / 1000.0,
-            p99_ns: pct(&r.lat_ns, 0.99),
+            p99_ns: r.lat.value_at(0.99),
+            p999_ns: r.lat.value_at(0.999),
             extra: BTreeMap::from([
                 ("cmds".to_string(), ops as f64),
-                ("virtual_p50_ns".to_string(), pct(&r.lat_ns, 0.50) as f64),
-                ("virtual_p99_ns".to_string(), pct(&r.lat_ns, 0.99) as f64),
-                ("virtual_max_ns".to_string(), r.lat_ns.last().copied().unwrap_or(0) as f64),
+                ("virtual_p50_ns".to_string(), r.lat.value_at(0.50) as f64),
+                ("virtual_p99_ns".to_string(), r.lat.value_at(0.99) as f64),
+                ("virtual_p999_ns".to_string(), r.lat.value_at(0.999) as f64),
+                ("virtual_max_ns".to_string(), r.lat.max() as f64),
                 ("injected_hangs".to_string(), r.injected as f64),
                 ("recovered_cmds".to_string(), r.recovered as f64),
                 ("hang_timeouts".to_string(), r.hang_timeouts as f64),

@@ -182,6 +182,7 @@ fn main() {
             key: key.to_string(),
             throughput_ops_s: (ops as f64 / wall * 1000.0).round() / 1000.0,
             p99_ns: 0,
+            p999_ns: 0,
             extra: BTreeMap::from([
                 ("ops".to_string(), ops as f64),
                 ("wall_ms".to_string(), (wall * 1e3 * 1000.0).round() / 1000.0),

@@ -239,6 +239,7 @@ fn write_json(path: &str, scale: f64, samples: &[Sample]) -> std::io::Result<()>
             key: format!("{}/t{}", s.engine, s.threads),
             throughput_ops_s: (s.ops_per_sec * 1000.0).round() / 1000.0,
             p99_ns: 0,
+            p999_ns: 0,
             extra: std::collections::BTreeMap::from([
                 ("threads".to_string(), s.threads as f64),
                 ("total_ops".to_string(), s.total_ops as f64),

@@ -28,6 +28,7 @@ use bench::{host_cpus, print_table, BenchEntry, BenchReport};
 use mssd::log::PARTITION_BYTES;
 use mssd::queue::Command;
 use mssd::{Category, DramMode, Mssd, MssdConfig, TxId};
+use workloads::Histogram;
 
 /// Commands per thread at scale 1.0.
 const OPS_PER_THREAD: usize = 60_000;
@@ -146,18 +147,18 @@ fn apply_sync(dev: &Mssd, cmd: Command) {
 /// and drown the effect under measurement overhead.
 const LAT_SAMPLE: usize = 8;
 
-/// One thread's measured loop. Returns sampled per-command wall latencies
-/// in ns.
-fn drive_thread(dev: &Arc<Mssd>, thread: usize, qd: usize, ops: usize) -> Vec<u64> {
+/// One thread's measured loop. Returns a histogram of sampled per-command
+/// wall latencies in ns.
+fn drive_thread(dev: &Arc<Mssd>, thread: usize, qd: usize, ops: usize) -> Histogram {
     let mut gen = CmdGen::new(thread);
-    let mut lat = Vec::with_capacity(ops / LAT_SAMPLE + 1);
+    let mut lat = Histogram::new();
     if qd == 1 {
         for i in 0..ops {
             let cmd = gen.next_command();
             if i.is_multiple_of(LAT_SAMPLE) {
                 let t0 = Instant::now();
                 apply_sync(dev, cmd);
-                lat.push(t0.elapsed().as_nanos() as u64);
+                lat.record(t0.elapsed().as_nanos() as u64);
             } else {
                 apply_sync(dev, cmd);
             }
@@ -186,7 +187,7 @@ fn drive_thread(dev: &Arc<Mssd>, thread: usize, qd: usize, ops: usize) -> Vec<u6
         while q.poll().is_some() {
             if let Some((i, t0)) = next_sample.peek() {
                 if *i == idx {
-                    lat.push(t0.elapsed().as_nanos() as u64);
+                    lat.record(t0.elapsed().as_nanos() as u64);
                     next_sample.next();
                 }
             }
@@ -203,17 +204,10 @@ struct Sample {
     wall_ms: f64,
     ops_per_sec: f64,
     p99_ns: u64,
+    p999_ns: u64,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn timed_run(qd: usize, threads: usize, ops: usize) -> (f64, u64) {
+fn timed_run(qd: usize, threads: usize, ops: usize) -> (f64, Histogram) {
     let cfg = MssdConfig::default().with_capacity(1 << 30);
     let dev = Mssd::new(cfg, DramMode::WriteLog);
     // Warm up in a partition no measured thread uses.
@@ -233,22 +227,21 @@ fn timed_run(qd: usize, threads: usize, ops: usize) -> (f64, u64) {
         .collect();
     barrier.wait();
     let start = Instant::now();
-    let mut lat: Vec<u64> = Vec::with_capacity(threads * ops);
+    let mut lat = Histogram::new();
     for h in handles {
-        lat.extend(h.join().expect("bench thread panicked"));
+        lat.merge(&h.join().expect("bench thread panicked"));
     }
     let wall = start.elapsed().as_secs_f64();
-    lat.sort_unstable();
-    (wall, percentile(&lat, 0.99))
+    (wall, lat)
 }
 
 fn run_config(qd: usize, threads: usize, ops: usize) -> Sample {
-    let (mut wall, mut p99) = timed_run(qd, threads, ops);
+    let (mut wall, mut lat) = timed_run(qd, threads, ops);
     for _ in 1..REPEATS {
-        let (w, p) = timed_run(qd, threads, ops);
+        let (w, l) = timed_run(qd, threads, ops);
         if w < wall {
             wall = w;
-            p99 = p;
+            lat = l;
         }
     }
     let total_ops = ops * threads;
@@ -258,7 +251,8 @@ fn run_config(qd: usize, threads: usize, ops: usize) -> Sample {
         total_ops,
         wall_ms: wall * 1e3,
         ops_per_sec: total_ops as f64 / wall,
-        p99_ns: p99,
+        p99_ns: lat.value_at(0.99),
+        p999_ns: lat.value_at(0.999),
     }
 }
 
@@ -302,13 +296,14 @@ fn main() {
                 format!("{:.0}", s.wall_ms),
                 format!("{:.0}", s.ops_per_sec),
                 format!("{}", s.p99_ns),
+                format!("{}", s.p999_ns),
                 format!("{:.2}x", s.ops_per_sec / base(s.threads)),
             ]
         })
         .collect();
     print_table(
         "qd_sweep — batched queue submission vs synchronous (shared Mssd)",
-        &["depth", "threads", "ops", "wall ms", "ops/s", "p99 ns", "vs qd1"],
+        &["depth", "threads", "ops", "wall ms", "ops/s", "p99 ns", "p99.9 ns", "vs qd1"],
         &rows,
     );
 
@@ -318,6 +313,7 @@ fn main() {
             key: format!("qd{}/t{}", s.qd, s.threads),
             throughput_ops_s: (s.ops_per_sec * 1000.0).round() / 1000.0,
             p99_ns: s.p99_ns,
+            p999_ns: s.p999_ns,
             extra: std::collections::BTreeMap::from([
                 ("qd".to_string(), s.qd as f64),
                 ("threads".to_string(), s.threads as f64),

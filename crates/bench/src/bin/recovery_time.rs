@@ -149,6 +149,7 @@ fn main() {
             key: format!("entries{}", s.depth),
             throughput_ops_s: 0.0,
             p99_ns: 0,
+            p999_ns: 0,
             extra: std::collections::BTreeMap::from([
                 ("entries_target".to_string(), s.entries_target as f64),
                 ("entries_at_crash".to_string(), s.entries_at_crash as f64),

@@ -18,9 +18,14 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Version tag of the unified schema. Bump when a field changes meaning;
-/// `bench_compare` refuses to diff reports with mismatched versions.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version tag of the unified schema. Bump when a field changes meaning.
+/// `bench_compare` accepts the current version and version 2 (which lacked
+/// the first-class `p999_ns` field — it parses as 0, meaning "not
+/// applicable"), and refuses anything else.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest schema version `bench_compare` still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 /// One measured configuration of a bench.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -31,8 +36,12 @@ pub struct BenchEntry {
     /// no throughput notion for this row.
     pub throughput_ops_s: f64,
     /// 99th-percentile per-operation latency in nanoseconds; 0 when not
-    /// applicable.
+    /// applicable. Histogram-derived (bounded to one log-linear bucket
+    /// width), not sampled.
     pub p99_ns: u64,
+    /// 99.9th-percentile per-operation latency in nanoseconds; 0 when not
+    /// applicable (schema v3; v2 reports parse as 0).
+    pub p999_ns: u64,
     /// Bench-specific scalars (thread counts, speedups, byte counts, ...).
     pub extra: BTreeMap<String, f64>,
 }
@@ -87,10 +96,11 @@ impl BenchReport {
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"key\": {}, \"throughput_ops_s\": {}, \"p99_ns\": {}, \"extra\": {{",
+                "    {{\"key\": {}, \"throughput_ops_s\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"extra\": {{",
                 json_str(&e.key),
                 json_f64(e.throughput_ops_s),
-                e.p99_ns
+                e.p99_ns,
+                e.p999_ns
             );
             for (j, (k, v)) in e.extra.iter().enumerate() {
                 let _ =
@@ -147,6 +157,7 @@ impl BenchReport {
                         .and_then(Json::as_f64)
                         .unwrap_or(0.0),
                     p99_ns: eo.get("p99_ns").and_then(Json::as_u64).unwrap_or(0),
+                    p999_ns: eo.get("p999_ns").and_then(Json::as_u64).unwrap_or(0),
                     extra: BTreeMap::new(),
                 };
                 if let Some(Json::Object(extra)) = eo.get("extra") {
@@ -458,12 +469,14 @@ mod tests {
             key: "qd16/t4".into(),
             throughput_ops_s: 123456.75,
             p99_ns: 9800,
+            p999_ns: 12000,
             extra: BTreeMap::from([("threads".to_string(), 4.0), ("qd".to_string(), 16.0)]),
         });
         r.entries.push(BenchEntry {
             key: "qd1/t4".into(),
             throughput_ops_s: 60000.0,
             p99_ns: 15000,
+            p999_ns: 0,
             extra: BTreeMap::new(),
         });
         r.summary.insert("qd16_vs_qd1_4t".into(), 2.057);
@@ -471,6 +484,25 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.entry("qd16/t4").unwrap().p99_ns, 9800);
+        assert_eq!(back.entry("qd16/t4").unwrap().p999_ns, 12000);
+    }
+
+    #[test]
+    fn v2_reports_without_p999_still_parse() {
+        let v2 = r#"{
+  "schema_version": 2,
+  "bench": "gc_pause",
+  "scale": 1,
+  "host_cpus": 1,
+  "entries": [
+    {"key": "on", "throughput_ops_s": 100, "p99_ns": 5000, "extra": {}}
+  ],
+  "summary": {}
+}"#;
+        let r = BenchReport::from_json(v2).expect("v2 parses");
+        assert_eq!(r.schema_version, 2);
+        assert_eq!(r.entry("on").unwrap().p99_ns, 5000);
+        assert_eq!(r.entry("on").unwrap().p999_ns, 0, "missing p999 defaults to not-applicable");
     }
 
     #[test]

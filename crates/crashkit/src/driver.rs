@@ -51,6 +51,12 @@ pub struct Enumerator<S> {
     pub recover_cleaning: bool,
     /// Optional violation injection applied to every captured image.
     pub mutator: Option<ImageMutator>,
+    /// Enable `mssd::trace` event capture on the injection-side device.
+    /// Tracing is observe-only — it must never change digests or the step
+    /// space; the determinism tests hold it to that. Captured events are
+    /// drained (and truncated at the power cut, since the per-thread rings
+    /// are bounded) into [`CutOutcome::traced_events`].
+    pub trace_injection: bool,
 }
 
 /// Everything one explored crash point produced.
@@ -70,6 +76,9 @@ pub struct CutOutcome {
     pub recovered_digest: u64,
     /// Violations found by the oracle and the layer checkers.
     pub violations: Vec<Violation>,
+    /// Trace events drained from the injection-side device (0 unless
+    /// [`Enumerator::trace_injection`] was set).
+    pub traced_events: u64,
 }
 
 impl CutOutcome {
@@ -133,7 +142,13 @@ impl SweepReport {
 impl<S: Scenario> Enumerator<S> {
     /// Wraps a scenario with deterministic (cleaner-off) defaults.
     pub fn new(scenario: S) -> Self {
-        Self { scenario, inject_cleaning: false, recover_cleaning: false, mutator: None }
+        Self {
+            scenario,
+            inject_cleaning: false,
+            recover_cleaning: false,
+            mutator: None,
+            trace_injection: false,
+        }
     }
 
     fn inject_config(&self, plan: FaultPlan) -> mssd::MssdConfig {
@@ -166,7 +181,10 @@ impl<S: Scenario> Enumerator<S> {
         let plan = FaultPlan::cut_at(cut);
         let mode = self.scenario.dram_mode();
         let dev = Mssd::new(self.inject_config(plan.clone()), mode);
+        dev.set_tracing(self.trace_injection);
         let oracle = self.scenario.run(&dev, seed);
+        let traced_events =
+            if self.trace_injection { dev.trace_sink().drain().events.len() as u64 } else { 0 };
         let mut image = dev.crash_image();
         drop(dev); // the host is gone; joins the cleaner thread if any
         if let Some(mutate) = self.mutator {
@@ -185,6 +203,7 @@ impl<S: Scenario> Enumerator<S> {
             image_digest,
             recovered_digest,
             violations,
+            traced_events,
         }
     }
 
@@ -200,8 +219,11 @@ impl<S: Scenario> Enumerator<S> {
         let plan = FaultPlan::count_only();
         let mode = self.scenario.dram_mode();
         let dev = Mssd::new(self.inject_config(plan.clone()), mode);
+        dev.set_tracing(self.trace_injection);
         let oracle = self.scenario.run(&dev, seed);
         dev.quiesce_cleaning();
+        let traced_events =
+            if self.trace_injection { dev.trace_sink().drain().events.len() as u64 } else { 0 };
         let mut image = dev.crash_image();
         drop(dev);
         if let Some(mutate) = self.mutator {
@@ -220,6 +242,7 @@ impl<S: Scenario> Enumerator<S> {
             image_digest,
             recovered_digest,
             violations,
+            traced_events,
         }
     }
 

@@ -68,6 +68,33 @@ fn fs_and_kv_cuts_are_deterministic_too() {
 }
 
 #[test]
+fn tracing_does_not_change_crash_determinism() {
+    // Event tracing is observe-only: a traced enumeration must produce the
+    // same step space, crash images and recovered digests as an untraced
+    // one, and a power cut simply truncates the bounded trace rings — the
+    // traced run still yields a drainable (non-empty) event stream.
+    let seed = 0x7A3E;
+    let off = Enumerator::new(DeviceStress::quick());
+    let mut on = Enumerator::new(DeviceStress::quick());
+    on.trace_injection = true;
+    let total = off.count_steps(seed);
+    assert_eq!(total, on.count_steps(seed), "tracing changed the step space");
+    for cut in [1, total / 2, total] {
+        let a = off.run_cut(seed, cut);
+        let b = on.run_cut(seed, cut);
+        assert_eq!(a.image_digest, b.image_digest, "cut {cut}: tracing changed the crash image");
+        assert_eq!(a.recovered_digest, b.recovered_digest, "cut {cut}: tracing changed recovery");
+        assert_eq!(a.cut_kind, b.cut_kind, "cut {cut}: tracing moved the cut");
+        assert_eq!(a.traced_events, 0, "untraced run must capture nothing");
+        if cut == total {
+            // An immediate cut can legitimately capture nothing (power dies
+            // before the first instrumented boundary); the full run must not.
+            assert!(b.traced_events > 0, "cut {cut}: traced run captured no events");
+        }
+    }
+}
+
+#[test]
 fn recovery_is_independent_of_background_cleaning() {
     // The same crash image, recovered on a device with the background
     // cleaner enabled vs disabled, must converge to the same durable state.

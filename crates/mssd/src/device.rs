@@ -305,6 +305,7 @@ impl Mssd {
         let flash = Arc::new(ShardedFtl::new(cfg.clone()));
         let txlog = Arc::new(Mutex::new(TxLog::new(cfg.txlog_bytes)));
         let stats = Arc::new(AtomicTraffic::new());
+        stats.trace().attach_clock(Arc::clone(&clock));
         stats.set_ras_spares_remaining(flash.spares_remaining() as u64);
         let cache = ShardedDramCache::new(cfg.dram_region_bytes, cfg.page_size);
         let cleaner = (mode == DramMode::WriteLog && cfg.background_cleaning).then(|| {
@@ -354,6 +355,19 @@ impl Mssd {
     /// The device's lock-free stats bank (used by the queue machinery).
     pub(crate) fn stats_ref(&self) -> &AtomicTraffic {
         &self.stats
+    }
+
+    /// The device's trace sink (see [`crate::trace`]). Drain it after a
+    /// traced run to export Perfetto JSON or a text op trace.
+    pub fn trace_sink(&self) -> &crate::trace::TraceSink {
+        self.stats.trace()
+    }
+
+    /// Turns structured event tracing on or off. Off (the default) costs one
+    /// relaxed atomic load per instrumentation point; tracing never advances
+    /// the virtual clock or changes simulated behavior either way.
+    pub fn set_tracing(&self, on: bool) {
+        self.stats.trace().set_enabled(on);
     }
 
     /// The device configuration.
@@ -999,6 +1013,7 @@ impl Mssd {
     /// exercise recovery with sealed-but-undrained regions.
     pub fn seal_log_regions(&self) {
         self.log.seal_all();
+        self.stats.trace().emit(crate::trace::TraceKind::LogSeal, 0, 0);
     }
 
     /// Blocks until the background cleaner is idle with no pending work.
@@ -1267,6 +1282,7 @@ impl Mssd {
         self.stats.inc_log_fg_stalls();
         self.kick_cleaner();
         self.log.seal_all();
+        self.stats.trace().emit(crate::trace::TraceKind::LogSeal, 0, 0);
         let before = self.log.used_bytes();
         // Free a meaningful fraction of the region per stall so admission
         // retries do not immediately stall again.
@@ -1556,6 +1572,7 @@ fn cleaner_main(ctx: CleanerCtx) {
             }
             if ctx.log.needs_cleaning() {
                 ctx.log.seal_all();
+                ctx.stats.trace().emit(crate::trace::TraceKind::LogSeal, 0, 0);
             }
             // Progress means committed chunks were merged (log space freed).
             // Sweeps that only migrate uncommitted chunks back to the active

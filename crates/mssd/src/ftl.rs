@@ -310,6 +310,11 @@ impl Ftl {
             .filter(|b| self.flash.block_fill(*b) == ppb)
             .min_by_key(|b| self.valid_count[*b as usize]);
         let Some(victim) = victim else { return Ok(0) };
+        stats.trace().emit(
+            crate::trace::TraceKind::GcVictim,
+            victim,
+            self.valid_count[victim as usize] as u64,
+        );
 
         let mut cost = 0;
         let first = self.flash.first_page_of(victim);
@@ -882,6 +887,7 @@ impl ShardedFtl {
             // fail mid-relocation.
             return 0;
         }
+        stats.trace().emit(crate::trace::TraceKind::GcVictim, victim, live_upper as u64);
         let mut cost = 0;
         for off in 0..ppb as u64 {
             let ppa = first + off;

@@ -96,6 +96,7 @@ pub mod queue;
 pub mod reactor;
 pub mod skiplist;
 pub mod stats;
+pub mod trace;
 pub mod txn;
 
 pub use clock::Clock;
@@ -119,6 +120,10 @@ pub use reactor::{
 };
 pub use stats::{
     AtomicTraffic, Category, Interface, QueueLat, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
+};
+pub use trace::{
+    chrome_trace_json, op_trace_text, CtxScope, TraceCtx, TraceDump, TraceEvent, TraceKind,
+    TraceSink,
 };
 pub use txn::TxId;
 

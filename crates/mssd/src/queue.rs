@@ -58,6 +58,7 @@ use crate::device::Mssd;
 use crate::fault::{HangFault, HangFaultPlan};
 use crate::flash::FlashError;
 use crate::stats::Category;
+use crate::trace::{self, CtxScope, TraceKind};
 use crate::txn::TxId;
 
 /// Upper bound on the bytes a doorbell merges into one coalesced byte
@@ -395,6 +396,11 @@ impl HostQueue {
         let id = CommandId(self.next_cid);
         self.next_cid += 1;
         self.sq.push_back((id, cmd));
+        let sink = self.dev.stats_ref().trace();
+        if sink.enabled() {
+            let _s = CtxScope::enter(trace::ctx().with_queue(self.id).with_cmd(id.0));
+            sink.emit(TraceKind::SqSubmit, self.sq.len() as u64, 0);
+        }
         Ok(id)
     }
 
@@ -441,6 +447,18 @@ impl HostQueue {
                 break;
             }
             let (ids, cmd) = self.pop_group();
+            // Attribute this whole group — the doorbell, coalescing, every
+            // flash op `execute` triggers, and the completions — to the
+            // group's first command id, so a command's journey reads as one
+            // track in the exported trace.
+            let sink = dev.stats_ref().trace();
+            let _group_scope = sink
+                .enabled()
+                .then(|| CtxScope::enter(trace::ctx().with_queue(self.id).with_cmd(ids[0].0)));
+            sink.emit(TraceKind::Doorbell, ids.len() as u64, self.sq.len() as u64);
+            if ids.len() > 1 {
+                sink.emit(TraceKind::Coalesce, ids.len() as u64 - 1, 0);
+            }
             if fault == Some(HangFault::Stall { extra_ns: None }) {
                 // Unbounded stall: the device consumed the group but it
                 // never executes and never completes — only an abort
@@ -486,6 +504,7 @@ impl HostQueue {
                 let lat = share + remainder;
                 remainder = 0;
                 self.deadlines.remove(&id.0);
+                sink.emit_cmd(TraceKind::CqComplete, id.0, lat, u64::from(status.is_err()));
                 self.push_completion(Completion {
                     id,
                     status: status.clone(),
@@ -699,6 +718,13 @@ impl HostQueue {
     /// was already delivered — is a benign no-op reported as
     /// [`AbortOutcome::AlreadyCompleted`].
     pub fn abort(&mut self, id: CommandId) -> Result<AbortOutcome, WaitError> {
+        // Attribute the Abort event (emitted by `inc_aborts`) to the command.
+        let _s = self
+            .dev
+            .stats_ref()
+            .trace()
+            .enabled()
+            .then(|| CtxScope::enter(trace::ctx().with_queue(self.id).with_cmd(id.0)));
         if id.0 == 0 || id.0 >= self.next_cid {
             return Err(WaitError::NeverSubmitted);
         }
@@ -739,6 +765,13 @@ impl HostQueue {
     /// ([`ResetMode::FailFast`]). Counts into the device's `lane_resets`
     /// RAS counter.
     pub fn reset(&mut self, mode: ResetMode) -> ResetReport {
+        // Attribute the LaneReset event (emitted by `inc_lane_resets`).
+        let _s = self
+            .dev
+            .stats_ref()
+            .trace()
+            .enabled()
+            .then(|| CtxScope::enter(trace::ctx().with_queue(self.id)));
         let was_wedged = self.wedged;
         self.wedged = false;
         let mut aborted = 0usize;

@@ -64,6 +64,7 @@ use std::time::Duration;
 use crate::device::Mssd;
 use crate::fault::mix64;
 use crate::queue::{Command, CommandId, Completion, HostQueue, ResetMode, WaitError};
+use crate::trace::{self, CtxScope, TraceKind};
 
 /// Maximum number of lanes (queue pairs) one [`Reactor`] multiplexes; bounded
 /// by the width of the dirty-lane bitmask.
@@ -745,6 +746,10 @@ impl Reactor {
                 false
             }
         });
+        let sink = self.dev.stats_ref().trace();
+        let _s = sink
+            .enabled()
+            .then(|| CtxScope::enter(trace::ctx().with_queue(hq.id()).with_lane(idx as u16)));
         let mut free = hq.depth().saturating_sub(hq.pending() + *granted_slots);
         while let Some(front) = parked.front() {
             if front.need > free {
@@ -754,6 +759,7 @@ impl Reactor {
             free -= p.need;
             *granted_slots += p.need;
             granted.insert(p.ticket, p.need);
+            sink.emit(TraceKind::ReactorWake, p.need as u64, p.ticket);
             p.waker.wake();
             wakeups += 1;
         }
@@ -932,6 +938,15 @@ impl Future for Submit {
                                     need,
                                     waker: cx.waker().clone(),
                                 });
+                                let sink = reactor.dev.stats_ref().trace();
+                                if sink.enabled() {
+                                    let _s = CtxScope::enter(
+                                        trace::ctx()
+                                            .with_queue(l.hq.id())
+                                            .with_lane(this.lane as u16),
+                                    );
+                                    sink.emit(TraceKind::ReactorPark, need as u64, t);
+                                }
                             }
                         }
                         return Poll::Pending;

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::trace::{TraceKind, TraceSink};
+
 /// The file-system data structure a device access is attributed to.
 ///
 /// These mirror the legend of Figure 1 in the paper (Data, Inode, Dentry,
@@ -525,6 +527,11 @@ pub struct AtomicTraffic {
     exec_spurious_wakeups: CachePadded<AtomicU64>,
     exec_productive_wakeups: CachePadded<AtomicU64>,
     queues: [AtomicQueueLat; QUEUE_SLOTS],
+    /// The device's trace sink. It lives here because the stats bank is
+    /// already threaded through every instrumented component; events whose
+    /// semantics coincide with a counter are emitted from that counter's
+    /// `inc_*` wrapper, so the two observability planes can never disagree.
+    trace: TraceSink,
 }
 
 impl AtomicTraffic {
@@ -546,6 +553,11 @@ impl AtomicTraffic {
         };
     }
 
+    /// The device's trace sink (see [`crate::trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
     /// Counts one flash page read (`internal` marks firmware-internal work).
     pub fn inc_flash_read(&self, internal: bool) {
         if internal {
@@ -553,6 +565,7 @@ impl AtomicTraffic {
         } else {
             self.flash_read_pages.add(1);
         }
+        self.trace.emit(TraceKind::FlashRead, internal as u64, 0);
     }
 
     /// Counts one flash page program (`internal` marks GC relocation).
@@ -562,6 +575,7 @@ impl AtomicTraffic {
         } else {
             self.flash_write_pages.add(1);
         }
+        self.trace.emit(TraceKind::FlashProgram, internal as u64, 0);
     }
 
     /// Counts one block erase.
@@ -577,6 +591,7 @@ impl AtomicTraffic {
     /// Counts one log-cleaning pass.
     pub fn inc_log_cleanings(&self) {
         self.log_cleanings.add(1);
+        self.trace.emit(TraceKind::LogDrain, 0, 0);
     }
 
     /// Counts one foreground space-admission stall (a writer had to reclaim
@@ -609,6 +624,7 @@ impl AtomicTraffic {
     /// Counts one read-retry ladder rung.
     pub fn inc_ras_read_retries(&self) {
         self.ras_read_retries.add(1);
+        self.trace.emit(TraceKind::EccRetry, 0, 0);
     }
 
     /// Counts one page remapped after a permanent program failure.
@@ -619,6 +635,7 @@ impl AtomicTraffic {
     /// Counts one block retired to the bad-block table.
     pub fn inc_ras_retired_blocks(&self) {
         self.ras_retired_blocks.add(1);
+        self.trace.emit(TraceKind::BadBlockRetire, 0, 0);
     }
 
     /// Sets the spare-blocks-remaining gauge (current inventory across all
@@ -630,21 +647,25 @@ impl AtomicTraffic {
     /// Counts one command that hit its host deadline before completing.
     pub fn inc_hang_timeouts(&self) {
         self.hang_timeouts.add(1);
+        self.trace.emit(TraceKind::DeadlineTimeout, 0, 0);
     }
 
     /// Counts one host-issued abort.
     pub fn inc_aborts(&self) {
         self.aborts.add(1);
+        self.trace.emit(TraceKind::Abort, 0, 0);
     }
 
     /// Counts one lane-level queue reset.
     pub fn inc_lane_resets(&self) {
         self.lane_resets.add(1);
+        self.trace.emit(TraceKind::LaneReset, 0, 0);
     }
 
     /// Counts one host-level command retry (backoff path).
     pub fn inc_retries(&self) {
         self.retries.add(1);
+        self.trace.emit(TraceKind::RetryBackoff, 0, 0);
     }
 
     /// Sets the quarantined-lanes gauge (lanes currently fenced off after a

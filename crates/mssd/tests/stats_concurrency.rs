@@ -1,0 +1,116 @@
+//! Concurrency tests for the lock-free `AtomicTraffic` bank: snapshot,
+//! delta and reset stay exact under concurrent recorders spread over more
+//! queue ids than there are accounting slots (ids share slots modulo
+//! `QUEUE_SLOTS`), and the per-queue `lat_max_ns` running maximum is a true
+//! `fetch_max` — no lost updates under relaxed concurrent recording (the
+//! audit for the historically suspected read-modify-write race).
+
+use std::sync::Arc;
+
+use mssd::{AtomicTraffic, QUEUE_SLOTS};
+
+/// Queue ids used by the recorders: deliberately more than `QUEUE_SLOTS`, so
+/// several ids land on the same accounting slot.
+const QUEUE_IDS: u16 = 48;
+const THREADS: u16 = 8;
+const OPS_PER_THREAD: u64 = 4_000;
+
+#[test]
+fn concurrent_recorders_with_slot_sharing_stay_exact() {
+    assert!(
+        (QUEUE_IDS as usize) > QUEUE_SLOTS,
+        "test must exercise slot sharing: {QUEUE_IDS} ids over {QUEUE_SLOTS} slots"
+    );
+    let stats = Arc::new(AtomicTraffic::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stats = Arc::clone(&stats);
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let queue = ((t as u64 * OPS_PER_THREAD + i) % QUEUE_IDS as u64) as u16;
+                    // Latency encodes the writer so the expected max is known.
+                    stats.record_queue_op(queue, 1 + (t as u64) * 1000 + i % 7);
+                    if i % 16 == 0 {
+                        stats.record_queue_batch(queue, 2);
+                    }
+                }
+            });
+        }
+    });
+    let snap = stats.snapshot();
+    let total_ops: u64 = snap.queues.values().map(|q| q.ops).sum();
+    assert_eq!(total_ops, THREADS as u64 * OPS_PER_THREAD, "ops lost under concurrency");
+    let total_batches: u64 = snap.queues.values().map(|q| q.batches).sum();
+    assert_eq!(total_batches, THREADS as u64 * OPS_PER_THREAD / 16);
+    // Every queue id maps onto its slot modulo QUEUE_SLOTS; with 48 ids over
+    // the 31 non-reserved slots every occupied slot must be within range.
+    for id in snap.queues.keys() {
+        assert!((*id as usize) < QUEUE_SLOTS, "snapshot key {id} is a slot, not a raw queue id");
+    }
+    // The max latency written anywhere is by thread THREADS-1: 1 + (T-1)*1000 + 6.
+    let expected_max = 1 + (THREADS as u64 - 1) * 1000 + 6;
+    let observed_max = snap.queues.values().map(|q| q.lat_max_ns).max().unwrap();
+    assert_eq!(observed_max, expected_max, "lat_max_ns lost an update (fetch_max race)");
+}
+
+#[test]
+fn lat_max_is_fetch_max_not_read_modify_write() {
+    // Hammer one slot from many threads with interleaved ascending and
+    // descending latencies; a load-compare-store implementation loses the
+    // true maximum with high probability, a fetch_max never does.
+    let stats = Arc::new(AtomicTraffic::new());
+    let true_max = 999_983u64;
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let stats = Arc::clone(&stats);
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    let lat =
+                        if i == 10_000 && t == 3 { true_max } else { (i * 31 + t * 7) % 500_000 };
+                    stats.record_queue_op(5, lat);
+                }
+            });
+        }
+    });
+    let snap = stats.snapshot();
+    assert_eq!(snap.queues[&5].lat_max_ns, true_max);
+    assert_eq!(snap.queues[&5].ops, 8 * 20_000);
+}
+
+#[test]
+fn delta_and_reset_under_slot_sharing() {
+    let stats = AtomicTraffic::new();
+    for q in 0..QUEUE_IDS {
+        stats.record_queue_op(q, 100 + q as u64);
+    }
+    let earlier = stats.snapshot();
+    // Second wave on the same slots plus some host traffic.
+    std::thread::scope(|s| {
+        for t in 0..4u16 {
+            let stats = &stats;
+            s.spawn(move || {
+                for q in 0..QUEUE_IDS {
+                    stats.record_queue_op(q, 10_000 + (t as u64) * 100);
+                }
+            });
+        }
+    });
+    let later = stats.snapshot();
+    let delta = later.delta_since(&earlier);
+    let delta_ops: u64 = delta.queues.values().map(|q| q.ops).sum();
+    assert_eq!(delta_ops, 4 * QUEUE_IDS as u64, "delta must cover exactly the second wave");
+    // lat_max_ns in a delta keeps the later snapshot's value (documented
+    // upper bound), so it reflects the second wave's larger latencies.
+    assert!(delta.queues.values().all(|q| q.lat_max_ns >= 10_000));
+
+    stats.reset();
+    let cleared = stats.snapshot();
+    assert!(cleared.queues.is_empty(), "reset must clear every slot");
+    assert_eq!(cleared.host_read_bytes() + cleared.host_write_bytes(), 0);
+
+    // The bank is fully reusable after reset.
+    stats.record_queue_op(40, 77);
+    let again = stats.snapshot();
+    assert_eq!(again.queues[&(40 % QUEUE_SLOTS as u16)].ops, 1);
+    assert_eq!(again.queues[&(40 % QUEUE_SLOTS as u16)].lat_max_ns, 77);
+}

@@ -346,6 +346,9 @@ pub fn run_concurrent(
                 scope.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(shard_seed(seed, t));
                     let mut rec = Recorder::new();
+                    // Attribute this shard's trace events to tenant `t` for
+                    // the thread's lifetime (no-op while tracing is off).
+                    let _tenant = mssd::CtxScope::enter(mssd::trace::ctx().with_tenant(t as u16));
                     // One queue per shard; ambient while the shard runs.
                     let mut queue = device.open_queue(16);
                     let ambient = queue.make_ambient();

@@ -40,7 +40,7 @@ pub use driver::{
     ConcurrentRunResult, RunResult, ThreadResult,
 };
 pub use fsfactory::FsKind;
-pub use metrics::{LatencyStats, OpClass, Recorder};
+pub use metrics::{Histogram, LatencyStats, OpClass, Recorder};
 pub use spec::Scale;
 
 use fskit::{AsyncFileSystem, BoxFuture, FileSystem, FsResult, InlineSyncFs};
