@@ -20,7 +20,8 @@ use std::collections::BTreeSet;
 use bench::report::Json;
 use mssd::queue::Command;
 use mssd::{
-    chrome_trace_json, op_trace_text, Category, DramMode, Mssd, MssdConfig, TraceKind, PAGE_SIZE,
+    chrome_trace_json, op_trace_text, parse_op_trace, Category, DramMode, Mssd, MssdConfig,
+    OpTraceMeta, TraceKind, PAGE_SIZE,
 };
 
 /// Drives a small mixed workload through a host queue with tracing on and
@@ -97,7 +98,8 @@ fn main() {
 
     // Export both formats and write the CI artifacts.
     let json = chrome_trace_json(&dump);
-    let text = op_trace_text(&dump);
+    let meta = OpTraceMeta::new(0, &MssdConfig::small_test());
+    let text = op_trace_text(&dump, &meta);
     if let Err(e) = std::fs::write(&json_path, &json) {
         fail(&format!("writing {json_path}: {e}"));
     }
@@ -137,8 +139,20 @@ fn main() {
         .iter()
         .filter(|e| matches!(e.kind, TraceKind::CqComplete | TraceKind::Abort))
         .count();
-    if text.lines().count() != completions {
-        fail(&format!("op-trace has {} lines for {completions} completions", text.lines().count()));
+    // The op trace must round-trip through the ingest parser: the header
+    // carries the device geometry, and every completion is one entry.
+    let parsed = match parse_op_trace(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => fail(&format!("exported op trace does not parse: {e}")),
+    };
+    if parsed.meta != Some(meta) {
+        fail("op-trace header metadata did not survive the round trip");
+    }
+    if parsed.entries.len() != completions {
+        fail(&format!(
+            "op-trace has {} entries for {completions} completions",
+            parsed.entries.len()
+        ));
     }
 
     println!(

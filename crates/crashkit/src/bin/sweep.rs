@@ -5,7 +5,7 @@
 //! workflow can upload the report as the failure-seed artifact.
 //!
 //! ```text
-//! sweep <device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power|device-hang|hang+power> \
+//! sweep <device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|media+power|device-hang|hang+power|device-replay> \
 //!       <cleaning:on|off> [seeds=4] [cuts-per-seed=24] [out.json]
 //! ```
 //!
@@ -15,13 +15,16 @@
 //! and `hang+power` do the same for the fail-slow (hang-injection) stress:
 //! to-completion runs prove every injected hang resolves through the
 //! timeout/abort/retry recovery layer, and the power sweep crosses hangs
-//! with cuts landing inside recovery windows.
+//! with cuts landing inside recovery windows. `device-replay` re-drives the
+//! recorded CI-churn corpus op trace against ByteFS with power cut at each
+//! enumerated step — crash consistency over a captured production-shaped
+//! trace rather than a synthetic seeded mix.
 
 use std::io::Write as _;
 
 use crashkit::{
     BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, Enumerator,
-    FsStress, HangStress, KvStress, MediaStress, Scenario, SweepReport,
+    FsStress, HangStress, KvStress, MediaStress, ReplayStress, Scenario, SweepReport,
 };
 
 fn seed_stream(seeds: u64) -> Vec<u64> {
@@ -70,11 +73,12 @@ fn main() {
         "media+power" => run(MediaStress::quick(), cleaning, seeds, cuts),
         "device-hang" => run_to_end(HangStress::quick(), cleaning, seeds),
         "hang+power" => run(HangStress::quick(), cleaning, seeds, cuts),
+        "device-replay" => run(ReplayStress::quick(), cleaning, seeds, cuts),
         other => {
             eprintln!(
                 "unknown scenario {other:?} \
                  (device|device-mq|device-async|bytefs|kv|ext4like|novalike|device-media|\
-                 media+power|device-hang|hang+power)"
+                 media+power|device-hang|hang+power|device-replay)"
             );
             std::process::exit(2);
         }

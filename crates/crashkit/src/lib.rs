@@ -50,7 +50,7 @@ pub mod scenarios;
 pub use driver::{CutOutcome, Enumerator, SweepReport};
 pub use scenarios::{
     BaselineKind, BaselineStress, DeviceAsyncStress, DeviceMqStress, DeviceStress, FsStress,
-    HangStress, KvStress, MediaStress, Oracle, Scenario,
+    HangStress, KvStress, MediaStress, Oracle, ReplayStress, Scenario,
 };
 
 use std::sync::Arc;

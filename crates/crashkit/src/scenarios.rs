@@ -12,18 +12,20 @@
 //! accepts any of those outcomes while every completed op is checked
 //! exactly.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use baselines::{Ext4Like, NovaLike};
 use bytefs::{ByteFs, ByteFsConfig};
 use fskit::check::{CrashConsistent, Violation};
-use fskit::{FileSystem, FileSystemExt, OpenFlags};
+use fskit::{Fd, FileSystem, FileSystemExt, OpenFlags};
 use kvstore::{Db, DbOptions, WalSync};
 use mssd::{
     Category, DramMode, HangFaultConfig, HangFaultPlan, MediaFaultConfig, MediaFaultPlan, Mssd,
     MssdConfig, TxId,
 };
+
+use workloads::{record_corpus, CorpusKind, FsKind, OpTrace, Scale};
 
 use crate::Rng;
 
@@ -1990,5 +1992,373 @@ impl Scenario for HangStress {
             }
         }
         Box::new(o)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorded-trace replay stress
+// ---------------------------------------------------------------------------
+
+/// Crash scenario that re-drives a recorded [`workloads::OpTrace`] against
+/// ByteFS with power cut at an enumerated step — "what if the machine died
+/// at step N of this captured production trace?".
+///
+/// Unlike the seeded stresses, the op stream is fixed by the trace: the
+/// sweep's seed only varies *where* the cuts land, not *what* runs. The
+/// oracle tracks a conservative shadow of durable state — a file's content
+/// is only checked when its last completed op left it clean (no writes
+/// since an `fsync`/`fdatasync`/`sync`); dirty files, and any path the
+/// in-doubt op may have touched, are skipped, and absence is never checked
+/// (matching [`FsStress`]'s contract).
+#[derive(Debug, Clone)]
+pub struct ReplayStress {
+    /// The recorded op trace the scenario re-drives (timing is ignored;
+    /// records are applied sequentially in `seq` order).
+    pub trace: OpTrace,
+}
+
+impl ReplayStress {
+    /// Wraps an externally recorded trace.
+    pub fn new(trace: OpTrace) -> Self {
+        Self { trace }
+    }
+
+    /// Default sweep trace: the CI-runner-churn replay-corpus scenario
+    /// (checkout → build → clean rounds) recorded on ByteFS at a scale
+    /// yielding a few hundred file-system calls.
+    pub fn quick() -> Self {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 64 << 20;
+        let recorded =
+            record_corpus(CorpusKind::CiChurn, FsKind::ByteFs, cfg, Scale::new(0.25), 11)
+                .expect("recording the CI-churn corpus trace");
+        Self { trace: recorded.trace }
+    }
+}
+
+/// Per-file shadow state of a [`ReplayStress`] run.
+#[derive(Debug, Clone, Default)]
+struct ShadowFile {
+    /// Logical content after every completed op (durable or not).
+    current: Vec<u8>,
+    /// Content at the last completed sync point, if any.
+    synced: Option<Vec<u8>>,
+    /// `true` when `current` has diverged from `synced` (writes since the
+    /// last sync) — the oracle then skips the file entirely.
+    dirty: bool,
+}
+
+impl ShadowFile {
+    fn flush(&mut self) {
+        self.synced = Some(self.current.clone());
+        self.dirty = false;
+    }
+}
+
+/// Expected durable state of a [`ReplayStress`] run.
+struct ReplayOracle {
+    files: BTreeMap<String, ShadowFile>,
+    dirs: BTreeSet<String>,
+    /// Paths the op straddled by the cut may have altered.
+    in_doubt: BTreeSet<String>,
+    formatted: bool,
+}
+
+impl Scenario for ReplayStress {
+    fn device_config(&self) -> MssdConfig {
+        let mut cfg = MssdConfig::small_test();
+        cfg.capacity_bytes = 64 << 20;
+        if self.trace.meta.capacity_bytes != 0 {
+            cfg.capacity_bytes = self.trace.meta.capacity_bytes;
+        }
+        if self.trace.meta.page_size != 0 {
+            cfg.page_size = self.trace.meta.page_size as usize;
+        }
+        cfg
+    }
+
+    fn run(&self, dev: &Arc<Mssd>, _seed: u64) -> Box<dyn Oracle> {
+        let mut o = ReplayOracle {
+            files: BTreeMap::new(),
+            dirs: BTreeSet::new(),
+            in_doubt: BTreeSet::new(),
+            formatted: false,
+        };
+        let fs = match ByteFs::format(Arc::clone(dev), ByteFsConfig::full()) {
+            Ok(fs) => fs,
+            Err(_) => return Box::new(o),
+        };
+        if dev.fault_tripped() {
+            return Box::new(o);
+        }
+        o.formatted = true;
+
+        // Recorded fd -> live handle / path. The trace is applied strictly
+        // in `seq` order (single stream), so recorded fds are unique enough
+        // without the tenant qualifier the timed replayer uses.
+        let mut fds: HashMap<u64, Fd> = HashMap::new();
+        let mut fd_paths: HashMap<u64, String> = HashMap::new();
+
+        for rec in &self.trace.records {
+            let touched = apply_replay_record(&*fs, rec, &mut fds, &mut fd_paths, dev, &mut o);
+            if dev.fault_tripped() {
+                o.in_doubt.extend(touched);
+                break;
+            }
+        }
+        Box::new(o)
+    }
+}
+
+/// Applies one trace record to the live fs; when the call completes without
+/// tripping the fault, folds its durability effect into the oracle's
+/// shadow. Returns the paths whose durable state the op may alter (they
+/// become in-doubt if the cut lands inside the op).
+fn apply_replay_record(
+    fs: &dyn FileSystem,
+    rec: &workloads::OpRecord,
+    fds: &mut HashMap<u64, Fd>,
+    fd_paths: &mut HashMap<u64, String>,
+    dev: &Arc<Mssd>,
+    o: &mut ReplayOracle,
+) -> Vec<String> {
+    use workloads::replay::{open_flags, NO_FD};
+    use workloads::OpKind;
+
+    let path_of = |fd_paths: &HashMap<u64, String>, fd: &u64| fd_paths.get(fd).cloned();
+    match &rec.op {
+        OpKind::Create { path, fd } => {
+            let live = fs.create(path).ok();
+            if let Some(h) = live {
+                if *fd == NO_FD {
+                    fs.close(h).ok();
+                } else {
+                    fds.insert(*fd, h);
+                    fd_paths.insert(*fd, path.clone());
+                }
+            }
+            if !dev.fault_tripped() && live.is_some() {
+                // create truncates an existing file, so the old synced
+                // content no longer binds: mark dirty until the next sync.
+                let f = o.files.entry(path.clone()).or_default();
+                f.current.clear();
+                f.dirty = true;
+            }
+            vec![path.clone()]
+        }
+        OpKind::Open { path, flags, fd } => {
+            let fl = open_flags(*flags);
+            let live = fs.open(path, fl).ok();
+            if let Some(h) = live {
+                if *fd == NO_FD {
+                    fs.close(h).ok();
+                } else {
+                    fds.insert(*fd, h);
+                    fd_paths.insert(*fd, path.clone());
+                }
+            }
+            if !dev.fault_tripped() && live.is_some() && (fl.truncate || fl.create) {
+                let f = o.files.entry(path.clone()).or_default();
+                if fl.truncate {
+                    f.current.clear();
+                    f.dirty = true;
+                }
+            }
+            if fl.truncate {
+                vec![path.clone()]
+            } else {
+                Vec::new()
+            }
+        }
+        OpKind::Close { fd } => {
+            if let Some(h) = fds.remove(fd) {
+                fs.close(h).ok();
+            }
+            fd_paths.remove(fd);
+            Vec::new()
+        }
+        OpKind::Read { fd, offset, len } => {
+            if let Some(h) = fds.get(fd) {
+                fs.read(*h, *offset, *len as usize).ok();
+            }
+            Vec::new()
+        }
+        OpKind::Write { fd, offset, data } => {
+            let buf = data.to_vec();
+            if let Some(h) = fds.get(fd) {
+                fs.write(*h, *offset, &buf).ok();
+            }
+            let path = path_of(fd_paths, fd);
+            if !dev.fault_tripped() {
+                if let Some(f) = path.as_ref().and_then(|p| o.files.get_mut(p)) {
+                    let end = *offset as usize + buf.len();
+                    if f.current.len() < end {
+                        f.current.resize(end, 0);
+                    }
+                    f.current[*offset as usize..end].copy_from_slice(&buf);
+                    f.dirty = true;
+                }
+            }
+            path.into_iter().collect()
+        }
+        OpKind::Append { fd, data } => {
+            let buf = data.to_vec();
+            if let Some(h) = fds.get(fd) {
+                fs.append(*h, &buf).ok();
+            }
+            let path = path_of(fd_paths, fd);
+            if !dev.fault_tripped() {
+                if let Some(f) = path.as_ref().and_then(|p| o.files.get_mut(p)) {
+                    f.current.extend_from_slice(&buf);
+                    f.dirty = true;
+                }
+            }
+            path.into_iter().collect()
+        }
+        OpKind::Truncate { fd, size } => {
+            if let Some(h) = fds.get(fd) {
+                fs.truncate(*h, *size).ok();
+            }
+            let path = path_of(fd_paths, fd);
+            if !dev.fault_tripped() {
+                if let Some(f) = path.as_ref().and_then(|p| o.files.get_mut(p)) {
+                    f.current.resize(*size as usize, 0);
+                    f.dirty = true;
+                }
+            }
+            path.into_iter().collect()
+        }
+        OpKind::Fsync { fd } | OpKind::Fdatasync { fd } => {
+            if let Some(h) = fds.get(fd) {
+                match &rec.op {
+                    OpKind::Fdatasync { .. } => fs.fdatasync(*h).ok(),
+                    _ => fs.fsync(*h).ok(),
+                };
+            }
+            let path = path_of(fd_paths, fd);
+            if !dev.fault_tripped() {
+                if let Some(f) = path.as_ref().and_then(|p| o.files.get_mut(p)) {
+                    f.flush();
+                }
+            }
+            path.into_iter().collect()
+        }
+        OpKind::Fstat { fd } => {
+            if let Some(h) = fds.get(fd) {
+                fs.fstat(*h).ok();
+            }
+            Vec::new()
+        }
+        OpKind::Stat { path } => {
+            fs.stat(path).ok();
+            Vec::new()
+        }
+        OpKind::Mkdir { path } => {
+            fs.mkdir(path).ok();
+            if !dev.fault_tripped() {
+                o.dirs.insert(path.clone());
+            }
+            vec![path.clone()]
+        }
+        OpKind::Rmdir { path } => {
+            fs.rmdir(path).ok();
+            if !dev.fault_tripped() {
+                o.dirs.remove(path);
+            }
+            vec![path.clone()]
+        }
+        OpKind::Unlink { path } => {
+            fs.unlink(path).ok();
+            if !dev.fault_tripped() {
+                o.files.remove(path);
+            }
+            vec![path.clone()]
+        }
+        OpKind::Rename { from, to } => {
+            fs.rename(from, to).ok();
+            if !dev.fault_tripped() {
+                if let Some(f) = o.files.remove(from) {
+                    o.files.insert(to.clone(), f);
+                }
+                if o.dirs.remove(from) {
+                    o.dirs.insert(to.clone());
+                }
+            }
+            vec![from.clone(), to.clone()]
+        }
+        OpKind::Readdir { path } => {
+            fs.readdir(path).ok();
+            Vec::new()
+        }
+        // A completed whole-fs sync flushes every file; an in-doubt one may
+        // have flushed any subset, but that only *adds* durability: clean
+        // files are unchanged by it and dirty files are skipped anyway, so
+        // nothing becomes in-doubt.
+        OpKind::Sync | OpKind::Unmount => {
+            match &rec.op {
+                OpKind::Sync => fs.sync().ok(),
+                _ => fs.unmount().ok(),
+            };
+            if !dev.fault_tripped() {
+                for f in o.files.values_mut() {
+                    f.flush();
+                }
+            }
+            Vec::new()
+        }
+        OpKind::DropCaches => {
+            fs.drop_caches();
+            Vec::new()
+        }
+    }
+}
+
+impl Oracle for ReplayOracle {
+    fn verify(&self, dev: &Arc<Mssd>) -> Vec<Violation> {
+        let mut v = Vec::new();
+        dev.recover();
+        if !self.formatted {
+            for problem in dev.check_consistency() {
+                v.push(Violation::new("mssd-ftl", problem));
+            }
+            return v;
+        }
+        let fs = match ByteFs::mount(Arc::clone(dev), ByteFsConfig::full()) {
+            Ok(fs) => fs,
+            Err(e) => {
+                v.push(Violation::new("fs-mount", format!("remount failed: {e}")));
+                return v;
+            }
+        };
+        for dir in &self.dirs {
+            if self.in_doubt.contains(dir) {
+                continue;
+            }
+            if !fs.exists(dir) {
+                v.push(Violation::new("replay-namespace", format!("{dir}: committed mkdir lost")));
+            }
+        }
+        for (path, shadow) in &self.files {
+            if shadow.dirty || self.in_doubt.contains(path) {
+                continue;
+            }
+            let Some(synced) = &shadow.synced else { continue };
+            match fs.read_file(path) {
+                Ok(got) if &got == synced => {}
+                Ok(got) => v.push(Violation::new(
+                    "replay-data",
+                    format!(
+                        "{path}: {} bytes read, {} expected (synced content diverged)",
+                        got.len(),
+                        synced.len()
+                    ),
+                )),
+                Err(e) => v.push(Violation::new(
+                    "replay-data",
+                    format!("{path}: fsynced file lost ({e})"),
+                )),
+            }
+        }
+        v
     }
 }

@@ -122,8 +122,9 @@ pub use stats::{
     AtomicTraffic, Category, Interface, QueueLat, StatsSnapshot, TrafficCounter, QUEUE_SLOTS,
 };
 pub use trace::{
-    chrome_trace_json, op_trace_text, CtxScope, TraceCtx, TraceDump, TraceEvent, TraceKind,
-    TraceSink,
+    chrome_trace_json, op_trace_text, parse_op_trace, CtxScope, OpTraceEntry, OpTraceMeta,
+    OpTraceOutcome, ParsedOpTrace, TraceCtx, TraceDump, TraceEvent, TraceKind, TraceSink,
+    OP_TRACE_SCHEMA,
 };
 pub use txn::TxId;
 

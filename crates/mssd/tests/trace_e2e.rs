@@ -8,7 +8,8 @@ use std::collections::BTreeSet;
 
 use mssd::queue::Command;
 use mssd::{
-    chrome_trace_json, op_trace_text, Category, DramMode, Mssd, MssdConfig, TraceKind, PAGE_SIZE,
+    chrome_trace_json, op_trace_text, parse_op_trace, Category, DramMode, Mssd, MssdConfig,
+    OpTraceMeta, TraceKind, PAGE_SIZE,
 };
 
 /// Drives a few block writes and byte writes through a host queue, ringing
@@ -86,9 +87,17 @@ fn traced_command_journey_shares_one_track() {
     let json = chrome_trace_json(&dump);
     assert!(json.contains(&format!("\"name\":\"cmd {first_cmd}\"")), "span missing");
     assert!(json.contains("\"ph\":\"X\""));
-    let text = op_trace_text(&dump);
-    assert!(text.lines().count() >= 7, "one op-trace line per completed command");
+    let meta = OpTraceMeta::new(0, &MssdConfig::small_test());
+    let text = op_trace_text(&dump, &meta);
+    assert!(text.starts_with("#optrace v1 "), "header line first: {text:?}");
+    assert!(text.lines().count() >= 8, "header plus one op-trace line per completed command");
     assert!(text.contains(&format!("cmd={first_cmd} ok")));
+    // The exported trace must read back through the ingest half: same entry
+    // count, and the header's geometry survives the round trip.
+    let parsed = parse_op_trace(&text).expect("exported op trace parses");
+    assert_eq!(parsed.entries.len(), text.lines().count() - 1);
+    assert_eq!(parsed.meta, Some(meta));
+    assert!(parsed.entries.iter().any(|e| e.cmd == first_cmd));
 }
 
 #[test]

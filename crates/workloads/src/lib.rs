@@ -16,7 +16,12 @@
 //! * [`amplification`] reports (read/write amplification and per-structure
 //!   traffic breakdowns, Table 2 / Figures 1, 8–11);
 //! * a [`fsfactory`] that builds every file system under test, including the
-//!   ByteFS ablation variants of Figure 12.
+//!   ByteFS ablation variants of Figure 12;
+//! * a deterministic [`mod@replay`] subsystem — record any workload's
+//!   file-system op stream as a versioned trace (text or binary) and
+//!   re-drive it against any file system at configurable speed and
+//!   concurrency — plus the [`corpus`] of replay scenarios it ships with
+//!   (see `DESIGN-replay.md`).
 //!
 //! All workloads are scaled-down versions of the paper's (which run millions
 //! of files for hours on real hardware); the [`spec::Scale`] parameter controls
@@ -26,21 +31,28 @@
 #![warn(rust_2018_idioms)]
 
 pub mod amplification;
+pub mod corpus;
 pub mod driver;
 pub mod filebench;
 pub mod fsfactory;
 pub mod metrics;
 pub mod micro;
 pub mod oltp;
+pub mod replay;
 pub mod spec;
 pub mod ycsb;
 
+pub use corpus::{record_corpus, CorpusKind};
 pub use driver::{
     flush_barrier, run_concurrent, run_concurrent_async, run_workload, shard_seed,
     ConcurrentRunResult, RunResult, ThreadResult,
 };
 pub use fsfactory::FsKind;
 pub use metrics::{Histogram, LatencyStats, OpClass, Recorder};
+pub use replay::{
+    record_workload, replay, replay_on, OpKind, OpRecord, OpTrace, Payload, Recorded, RecordingFs,
+    ReplayConfig, ReplayOutcome, ReplaySpeed, TraceMeta, FS_TRACE_SCHEMA,
+};
 pub use spec::Scale;
 
 use fskit::{AsyncFileSystem, BoxFuture, FileSystem, FsResult, InlineSyncFs};
